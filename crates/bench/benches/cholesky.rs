@@ -1,0 +1,72 @@
+//! E7 — "All six permutations of these three loops compute the same
+//! result, but their performance, even on sequential machines, can be
+//! quite different" (§1).
+//!
+//! Two tiers:
+//! * every *legal* framework-derived loop order, executed through the
+//!   reference interpreter on the generated program;
+//! * hand-compiled kernels for the three canonical schedules (right-
+//!   looking, left-looking, KJLI), where cache behaviour dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inl_bench::{
+    cholesky_variants, kernel_cholesky_kjli, kernel_cholesky_left, kernel_cholesky_right,
+    spd_init,
+};
+use inl_codegen::generate;
+use inl_exec::{Interpreter, Machine};
+use std::hint::black_box;
+
+fn interpreter_variants(c: &mut Criterion) {
+    let (p, variants) = cholesky_variants();
+    let (layout, deps) = inl_bench::deps_of(&p);
+    let mut group = c.benchmark_group("cholesky_variants_interp");
+    group.sample_size(10);
+    let n: i128 = 60;
+    for (label, m) in &variants {
+        let result = generate(&p, &layout, &deps, m).expect("codegen");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &result.program, |b, prog| {
+            b.iter(|| {
+                let mut machine = Machine::new(prog, &[n], &spd_init);
+                Interpreter::new(prog).run(&mut machine);
+                black_box(machine.array_by_name("A").unwrap()[3]);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn compiled_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_kernels");
+    group.sample_size(10);
+    for n in [128usize, 384, 768] {
+        let w = n + 1;
+        let mut base = vec![0.0; w * w];
+        for i in 0..w {
+            for j in 0..w {
+                base[i * w + j] = spd_init("A", &[i, j]);
+            }
+        }
+        for (name, kern) in [
+            ("right_KIJL", kernel_cholesky_right as fn(&mut [f64], usize)),
+            ("right_KJLI", kernel_cholesky_kjli),
+            ("left_LKJI", kernel_cholesky_left),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &base,
+                |b, base| {
+                    b.iter(|| {
+                        let mut a = base.clone();
+                        kern(&mut a, n);
+                        black_box(a[w + 1]);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, interpreter_variants, compiled_kernels);
+criterion_main!(benches);

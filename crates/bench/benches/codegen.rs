@@ -1,0 +1,82 @@
+//! E5/E6/E9 — end-to-end compilation costs: code generation for the
+//! paper's worked examples (the §5 skewing example with augmentation and
+//! the §6 left-looking completion), and the Fourier–Motzkin substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inl_bench::deps_of;
+use inl_codegen::{generate, generate_seq};
+use inl_core::transform::Transform;
+use inl_ir::zoo;
+use inl_linalg::IMat;
+use inl_poly::{fm, LinExpr, System};
+use std::hint::black_box;
+
+fn codegen_examples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_E6_codegen");
+    group.sample_size(10);
+    // §5: skew with augmentation
+    {
+        let p = zoo::augmentation_example();
+        let loops: Vec<_> = p.loops().collect();
+        group.bench_function("section5_skew", |b| {
+            b.iter(|| {
+                black_box(
+                    generate_seq(
+                        &p,
+                        &[Transform::Skew {
+                            target: loops[0],
+                            source: loops[1],
+                            factor: -1,
+                        }],
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    // §6: left-looking Cholesky
+    {
+        let p = zoo::cholesky_kij();
+        let (layout, deps) = deps_of(&p);
+        let m = IMat::from_rows(&[
+            &[0, 0, 0, 0, 0, 1, 0][..],
+            &[0, 0, 1, 0, 0, 0, 0],
+            &[0, 0, 0, 1, 0, 0, 0],
+            &[0, 1, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 1, 0, 0],
+            &[1, 0, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 0, 0, 1],
+        ]);
+        group.bench_function("section6_left_looking", |b| {
+            b.iter(|| black_box(generate(&p, &layout, &deps, &m).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn fourier_motzkin(c: &mut Criterion) {
+    // E9: FM projection cost vs. variable count on triangular systems
+    let mut group = c.benchmark_group("E9_fourier_motzkin");
+    for nvars in [4usize, 8, 12] {
+        // chain: 1 <= x0 <= N; x_{i-1} <= x_i <= N
+        let space = nvars + 1;
+        let mut sys = System::new(space);
+        sys.add_ge(LinExpr::var(space, 1) - LinExpr::constant(space, 1));
+        for i in 1..nvars {
+            sys.add_ge(LinExpr::var(space, i + 1) - LinExpr::var(space, i));
+        }
+        for i in 0..nvars {
+            sys.add_ge(LinExpr::var(space, 0) - LinExpr::var(space, i + 1));
+        }
+        group.bench_function(format!("project_to_last_of_{nvars}"), |b| {
+            b.iter(|| black_box(fm::project(&sys, &[0, nvars])))
+        });
+        group.bench_function(format!("feasibility_of_{nvars}"), |b| {
+            b.iter(|| black_box(fm::is_empty(&sys)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codegen_examples, fourier_motzkin);
+criterion_main!(benches);

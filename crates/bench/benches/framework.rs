@@ -1,0 +1,106 @@
+//! E1/E3/E9 — costs of the framework itself: instance-vector operations,
+//! dependence analysis, legality checking (abstract interval tier vs the
+//! exact polyhedral tier — the ablation DESIGN.md calls out), and the
+//! completion procedure, as the nest grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inl_bench::{deep_nest, deps_of};
+use inl_core::complete::complete_transform;
+use inl_core::depend::analyze;
+use inl_core::instance::InstanceLayout;
+use inl_core::legal::check_legal;
+use inl_core::transform::Transform;
+use inl_ir::zoo;
+use inl_linalg::IMat;
+use std::hint::black_box;
+
+fn instance_vectors(c: &mut Criterion) {
+    let p = zoo::cholesky_kij();
+    let layout = InstanceLayout::new(&p);
+    let s3 = p.stmts().find(|&s| p.stmt_decl(s).name == "S3").unwrap();
+    c.bench_function("E1_instance_vector_encode", |b| {
+        b.iter(|| black_box(layout.instance_vector(s3, &[2, 7, 4])))
+    });
+    let iv = layout.instance_vector(s3, &[2, 7, 4]);
+    c.bench_function("E1_instance_vector_decode", |b| {
+        b.iter(|| black_box(layout.decode(&p, &iv)))
+    });
+    c.bench_function("E1_layout_construction", |b| {
+        b.iter(|| black_box(InstanceLayout::new(&p)))
+    });
+}
+
+fn dependence_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_dependence_analysis");
+    group.sample_size(10);
+    for (name, p) in [
+        ("simple_cholesky", zoo::simple_cholesky()),
+        ("cholesky_kij", zoo::cholesky_kij()),
+        ("lu_kij", zoo::lu_kij()),
+    ] {
+        let layout = InstanceLayout::new(&p);
+        group.bench_function(name, |b| b.iter(|| black_box(analyze(&p, &layout))));
+    }
+    for depth in [2usize, 4, 6] {
+        let p = deep_nest(depth);
+        let layout = InstanceLayout::new(&p);
+        group.bench_with_input(BenchmarkId::new("deep_nest", depth), &p, |b, p| {
+            b.iter(|| black_box(analyze(p, &layout)))
+        });
+    }
+    group.finish();
+}
+
+fn legality_tiers(c: &mut Criterion) {
+    // ablation: the fast interval tier suffices for exact-distance
+    // dependences; direction entries force the exact polyhedral fallback
+    let mut group = c.benchmark_group("E9_legality");
+    group.sample_size(20);
+    // interval-only path: wavefront (exact distances)
+    {
+        let p = zoo::wavefront();
+        let (layout, deps) = deps_of(&p);
+        let loops: Vec<_> = p.loops().collect();
+        let m = Transform::Skew { target: loops[0], source: loops[1], factor: 1 }
+            .matrix(&p, &layout);
+        group.bench_function("interval_tier_wavefront_skew", |b| {
+            b.iter(|| black_box(check_legal(&p, &layout, &deps, &m)))
+        });
+    }
+    // exact-fallback path: full Cholesky left-looking (direction entries)
+    {
+        let p = zoo::cholesky_kij();
+        let (layout, deps) = deps_of(&p);
+        let m = IMat::from_rows(&[
+            &[0, 0, 0, 0, 0, 1, 0][..],
+            &[0, 0, 1, 0, 0, 0, 0],
+            &[0, 0, 0, 1, 0, 0, 0],
+            &[0, 1, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 1, 0, 0],
+            &[1, 0, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 0, 0, 1],
+        ]);
+        group.bench_function("exact_tier_cholesky_left", |b| {
+            b.iter(|| black_box(check_legal(&p, &layout, &deps, &m)))
+        });
+    }
+    group.finish();
+}
+
+fn completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_completion");
+    group.sample_size(10);
+    for (name, p) in [
+        ("simple_cholesky", zoo::simple_cholesky()),
+        ("cholesky_kij", zoo::cholesky_kij()),
+    ] {
+        let (layout, deps) = deps_of(&p);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(complete_transform(&p, &layout, &deps, &[])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, instance_vectors, dependence_analysis, legality_tiers, completion);
+criterion_main!(benches);

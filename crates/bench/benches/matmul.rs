@@ -1,0 +1,37 @@
+//! E7-companion — the clean permutation case: matrix multiplication, where
+//! the framework proves all six loop orders legal and the machine shows
+//! why a compiler wants to choose among them (row-streaming `ikj` vs
+//! column-striding `jki` in row-major storage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inl_bench::{kernel_matmul_ijk, kernel_matmul_ikj, kernel_matmul_jki};
+use std::hint::black_box;
+
+type Kernel = fn(&mut [f64], &[f64], &[f64], usize);
+
+fn matmul_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_matmul_orders");
+    group.sample_size(10);
+    for n in [128usize, 384] {
+        let w = n + 1;
+        let a: Vec<f64> = (0..w * w).map(|x| (x % 17) as f64 * 0.25).collect();
+        let b: Vec<f64> = (0..w * w).map(|x| (x % 13) as f64 * 0.5).collect();
+        for (name, kern) in [
+            ("ijk", kernel_matmul_ijk as Kernel),
+            ("ikj", kernel_matmul_ikj),
+            ("jki", kernel_matmul_jki),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &(&a, &b), |bch, (a, b)| {
+                bch.iter(|| {
+                    let mut cm = vec![0.0; w * w];
+                    kern(&mut cm, a, b, n);
+                    black_box(cm[w + 1]);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matmul_kernels);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Regenerates the paper-vs-measured tables recorded in `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p inl-bench --bin report
+//! ```
+
+use inl_bench::{
+    cholesky_variants, kernel_cholesky_kjli, kernel_cholesky_left, kernel_cholesky_right,
+    kernel_wavefront_sqrt_seq, kernel_wavefront_sqrt_skewed_parallel, spd_init,
+};
+use inl_codegen::generate;
+use inl_core::depend::analyze;
+use inl_core::instance::InstanceLayout;
+use inl_exec::{run_fresh, Interpreter, Machine};
+use inl_ir::zoo;
+use std::time::Instant;
+
+fn time<F: FnMut()>(mut f: F, reps: usize) -> std::time::Duration {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed() / reps as u32
+}
+
+fn main() {
+    println!("# inl experiment report\n");
+
+    // ------------------------------------------------- E3: dep matrices
+    println!("## E3 — dependence matrices\n");
+    for p in [zoo::simple_cholesky(), zoo::cholesky_kij()] {
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        println!(
+            "{} ({} positions, {} columns):\n{}",
+            p.name(),
+            layout.len(),
+            deps.deps.len(),
+            deps.display()
+        );
+    }
+
+    // ------------------------------------------------- E7: variants
+    println!("## E7 — legal Cholesky loop orders (interpreted, N = 100)\n");
+    let (p, variants) = cholesky_variants();
+    let layout = InstanceLayout::new(&p);
+    let deps = analyze(&p, &layout);
+    let n: i128 = 100;
+    let reference = run_fresh(&p, &[n], &spd_init);
+    println!("| order | time | verified |");
+    println!("|-------|------|----------|");
+    for (label, m) in &variants {
+        let result = generate(&p, &layout, &deps, m).expect("codegen");
+        let mut machine = Machine::new(&result.program, &[n], &spd_init);
+        Interpreter::new(&result.program).run(&mut machine);
+        let ok = reference.same_state(&machine).is_ok();
+        let dt = time(
+            || {
+                let mut m2 = Machine::new(&result.program, &[n], &spd_init);
+                Interpreter::new(&result.program).run(&mut m2);
+            },
+            3,
+        );
+        println!("| {label} | {dt:.2?} | {} |", if ok { "yes" } else { "NO" });
+    }
+
+    // ------------------------------------------------- E7: kernels
+    println!("\n## E7 — compiled kernels (N = 768)\n");
+    let nk = 768usize;
+    let w = nk + 1;
+    let mut base = vec![0.0; w * w];
+    for i in 0..w {
+        for j in 0..w {
+            base[i * w + j] = spd_init("A", &[i, j]);
+        }
+    }
+    println!("| kernel | time |");
+    println!("|--------|------|");
+    for (name, kern) in [
+        ("right-looking KIJL", kernel_cholesky_right as fn(&mut [f64], usize)),
+        ("right-looking KJLI", kernel_cholesky_kjli),
+        ("left-looking  LKJI", kernel_cholesky_left),
+    ] {
+        let dt = time(
+            || {
+                let mut a = base.clone();
+                kern(&mut a, nk);
+            },
+            3,
+        );
+        println!("| {name} | {dt:.2?} |");
+    }
+
+    // ------------------------------------------------- E8: wavefront
+    println!("\n## E8 — wavefront kernels (N = 4096)\n");
+    let nw = 4096usize;
+    let ww = nw + 1;
+    let mut wbase = vec![0.0; ww * ww];
+    for i in 0..ww {
+        wbase[i * ww] = 1.0;
+        wbase[i] = 1.0;
+    }
+    let dt_seq = time(
+        || {
+            let mut a = wbase.clone();
+            kernel_wavefront_sqrt_seq(&mut a, nw);
+        },
+        3,
+    );
+    println!("| schedule | time | speedup |");
+    println!("|----------|------|---------|");
+    println!("| sequential row-major | {dt_seq:.2?} | 1.00x |");
+    let max_threads = std::thread::available_parallelism().map_or(2, |x| x.get());
+    for threads in [1usize, max_threads] {
+        let dt = time(
+            || {
+                let mut a = wbase.clone();
+                kernel_wavefront_sqrt_skewed_parallel(&mut a, nw, threads);
+            },
+            3,
+        );
+        println!(
+            "| skewed, {threads} thread(s) | {dt:.2?} | {:.2}x |",
+            dt_seq.as_secs_f64() / dt.as_secs_f64()
+        );
+    }
+}

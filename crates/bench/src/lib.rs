@@ -1,0 +1,466 @@
+//! # inl-bench
+//!
+//! Benchmark harnesses reproducing the paper's worked examples and its
+//! motivating performance claims. See `EXPERIMENTS.md` at the workspace
+//! root for the experiment index (E1–E9) and recorded results.
+//!
+//! Two kinds of measurements:
+//!
+//! * **framework costs** — instance-vector construction, dependence
+//!   analysis, legality checking (abstract vs. exact ablation), completion
+//!   and code generation, over nests of growing depth/width;
+//! * **schedule quality** — the six legal Cholesky loop orders and the
+//!   wavefront schedules, executed both through the reference interpreter
+//!   (framework-generated programs) and as hand-compiled Rust kernels
+//!   (what a compiler's backend would emit), where cache behaviour makes
+//!   the paper's "performance can be quite different" visible.
+
+use inl_core::complete::complete_transform;
+use inl_core::depend::{analyze, DependenceMatrix};
+use inl_core::instance::InstanceLayout;
+use inl_ir::{zoo, Program};
+use inl_linalg::{IMat, IVec};
+
+/// Symmetric positive-definite-ish initializer for factorizations.
+pub fn spd_init(_: &str, idx: &[usize]) -> f64 {
+    if idx.len() == 2 {
+        if idx[0] == idx[1] {
+            (idx[0] + 10) as f64
+        } else {
+            1.0 / ((idx[0] + idx[1] + 2) as f64)
+        }
+    } else {
+        2.0 + idx[0] as f64
+    }
+}
+
+/// The legal Cholesky loop-order variants: `(label, matrix)` pairs
+/// discovered by enumerating slot assignments and completing each.
+pub fn cholesky_variants() -> (Program, Vec<(String, IMat)>) {
+    let p = zoo::cholesky_kij();
+    let layout = InstanceLayout::new(&p);
+    let deps = analyze(&p, &layout);
+    let names = ["K", "J", "L", "I"];
+    let positions: Vec<usize> = names
+        .iter()
+        .map(|nm| {
+            let l = p.loops().find(|&l| p.loop_decl(l).name == *nm).unwrap();
+            layout.loop_position(l)
+        })
+        .collect();
+    let mut out = Vec::new();
+    for pm in permutations(&[0usize, 1, 2, 3]) {
+        let label: String = pm.iter().map(|&i| names[i]).collect::<Vec<_>>().join("");
+        let rows: Vec<IVec> =
+            pm.iter().map(|&i| IVec::unit(layout.len(), positions[i])).collect();
+        if let Ok(c) = complete_transform(&p, &layout, &deps, &rows) {
+            out.push((label, c.matrix));
+        }
+    }
+    (p, out)
+}
+
+/// All permutations of a small slice.
+pub fn permutations(v: &[usize]) -> Vec<Vec<usize>> {
+    if v.len() <= 1 {
+        return vec![v.to_vec()];
+    }
+    let mut out = Vec::new();
+    for i in 0..v.len() {
+        let mut rest = v.to_vec();
+        let x = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, x);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// A deep imperfect nest with `depth` loops and one statement per level —
+/// used to measure how framework costs scale.
+pub fn deep_nest(depth: usize) -> Program {
+    use inl_ir::{Aff, ProgramBuilder};
+    let mut b = ProgramBuilder::new(format!("deep{depth}"));
+    let n = b.param("N");
+    let ext = Aff::param(n) + Aff::konst(2);
+    let a = b.array("A", std::slice::from_ref(&ext));
+    fn nest(
+        b: &mut ProgramBuilder,
+        level: usize,
+        depth: usize,
+        a: inl_ir::ArrayId,
+        n: inl_ir::ParamId,
+    ) {
+        use inl_ir::{Aff, Expr};
+        let name = format!("i{level}");
+        b.hloop(name.clone(), Aff::konst(1), Aff::param(n), move |b| {
+            let iv = b.loop_var(&name);
+            b.stmt(
+                format!("S{level}"),
+                a,
+                vec![Aff::var(iv)],
+                Expr::add(Expr::read(a, vec![Aff::var(iv)]), Expr::konst(1.0)),
+            );
+            if level + 1 < depth {
+                nest(b, level + 1, depth, a, n);
+            }
+        });
+    }
+    nest(&mut b, 0, depth, a, n);
+    b.finish()
+}
+
+/// Dependence matrix of a zoo program (helper for benches).
+pub fn deps_of(p: &Program) -> (InstanceLayout, DependenceMatrix) {
+    let layout = InstanceLayout::new(p);
+    let deps = analyze(p, &layout);
+    (layout, deps)
+}
+
+// ---------------------------------------------------------------------
+// Hand-compiled kernels: what a backend would emit for the schedules the
+// framework derives. Dense row-major N+1 × N+1 matrices, 1-based indices.
+// ---------------------------------------------------------------------
+
+/// Right-looking (KIJ) Cholesky, the zoo source program compiled by hand.
+pub fn kernel_cholesky_right(a: &mut [f64], n: usize) {
+    let w = n + 1;
+    for k in 1..=n {
+        a[k * w + k] = a[k * w + k].sqrt();
+        for i in k + 1..=n {
+            a[i * w + k] /= a[k * w + k];
+        }
+        for j in k + 1..=n {
+            for l in k + 1..=j {
+                a[j * w + l] -= a[j * w + k] * a[l * w + k];
+            }
+        }
+    }
+}
+
+/// Left-looking (§6's completion result) Cholesky, compiled by hand.
+pub fn kernel_cholesky_left(a: &mut [f64], n: usize) {
+    let w = n + 1;
+    for k in 1..=n {
+        for j in k..=n {
+            for l in 1..k {
+                a[j * w + k] -= a[j * w + l] * a[k * w + l];
+            }
+        }
+        a[k * w + k] = a[k * w + k].sqrt();
+        for i in k + 1..=n {
+            a[i * w + k] /= a[k * w + k];
+        }
+    }
+}
+
+/// The KJLI variant (update loops interchanged: J outer walks rows,
+/// L inner walks the row) — same family, different cache behaviour.
+pub fn kernel_cholesky_kjli(a: &mut [f64], n: usize) {
+    let w = n + 1;
+    for k in 1..=n {
+        a[k * w + k] = a[k * w + k].sqrt();
+        for i in k + 1..=n {
+            a[i * w + k] /= a[k * w + k];
+        }
+        for l in k + 1..=n {
+            for j in l..=n {
+                a[j * w + l] -= a[j * w + k] * a[l * w + k];
+            }
+        }
+    }
+}
+
+/// Matrix-multiply kernels for the three canonical orders (all legal per
+/// the framework; wildly different cache behaviour).
+pub fn kernel_matmul_ijk(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    let w = n + 1;
+    for i in 1..=n {
+        for j in 1..=n {
+            let mut acc = c[i * w + j];
+            for k in 1..=n {
+                acc += a[i * w + k] * b[k * w + j];
+            }
+            c[i * w + j] = acc;
+        }
+    }
+}
+
+/// `ikj` order: innermost loop streams rows of `B` and `C` (cache-friendly
+/// row-major).
+pub fn kernel_matmul_ikj(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    let w = n + 1;
+    for i in 1..=n {
+        for k in 1..=n {
+            let aik = a[i * w + k];
+            for j in 1..=n {
+                c[i * w + j] += aik * b[k * w + j];
+            }
+        }
+    }
+}
+
+/// `jki` order: innermost loop strides down columns (cache-hostile in
+/// row-major storage).
+pub fn kernel_matmul_jki(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    let w = n + 1;
+    for j in 1..=n {
+        for k in 1..=n {
+            let bkj = b[k * w + j];
+            for i in 1..=n {
+                c[i * w + j] += a[i * w + k] * bkj;
+            }
+        }
+    }
+}
+
+/// Sequential wavefront recurrence (row-major sweep).
+pub fn kernel_wavefront_seq(a: &mut [f64], n: usize) {
+    let w = n + 1;
+    for i in 1..=n {
+        for j in 1..=n {
+            a[i * w + j] = a[(i - 1) * w + j] + a[i * w + (j - 1)];
+        }
+    }
+}
+
+/// A sense-reversing spin barrier: wavefront synchronization happens once
+/// per anti-diagonal (thousands of times per run), so the microseconds of
+/// a futex-based barrier dominate; spinning costs tens of nanoseconds.
+pub struct SpinBarrier {
+    count: std::sync::atomic::AtomicUsize,
+    generation: std::sync::atomic::AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    /// A barrier for `total` participants.
+    pub fn new(total: usize) -> Self {
+        SpinBarrier {
+            count: std::sync::atomic::AtomicUsize::new(0),
+            generation: std::sync::atomic::AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Block (spinning) until all participants arrive.
+    pub fn wait(&self) {
+        use std::sync::atomic::Ordering;
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                std::hint::spin_loop();
+                spins += 1;
+                if spins > 1 << 12 {
+                    // oversubscribed (more workers than cores): let the
+                    // straggler run instead of burning its cycles
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// The wavefront update used by the E8 kernels. A bare add is below the
+/// synchronization cost of any per-diagonal schedule; a sqrt-weighted
+/// update models a Gauss–Seidel-like sweep with realistic per-cell work.
+#[inline]
+fn wf_update(up: f64, left: f64) -> f64 {
+    // three dependent square roots ≈ the per-point cost of a small
+    // Gauss–Seidel-style kernel; enough work to amortize one barrier per
+    // anti-diagonal
+    let a = (up * up + left * left + 1.0e-6).sqrt();
+    let b = (a + up.abs()).sqrt();
+    (b + left.abs()).sqrt()
+}
+
+/// Sequential sqrt-weighted wavefront (for the parallel speedup benches).
+pub fn kernel_wavefront_sqrt_seq(a: &mut [f64], n: usize) {
+    let w = n + 1;
+    for i in 1..=n {
+        for j in 1..=n {
+            a[i * w + j] = wf_update(a[(i - 1) * w + j], a[i * w + (j - 1)]);
+        }
+    }
+}
+
+/// Skewed sqrt-weighted wavefront across `threads` persistent workers that
+/// advance the outer (anti-diagonal) loop in lockstep through a spin
+/// barrier — the schedule the framework derives in E8.
+pub fn kernel_wavefront_sqrt_skewed_parallel(a: &mut [f64], n: usize, threads: usize) {
+    let w = n + 1;
+    struct Shared(*mut f64);
+    unsafe impl Sync for Shared {}
+    let ptr = Shared(a.as_mut_ptr());
+    let shared = &ptr;
+    let barrier = SpinBarrier::new(threads);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            scope.spawn(move || {
+                for t in 2..=2 * n {
+                    let jlo = t.saturating_sub(n).max(1);
+                    let jhi = (t - 1).min(n);
+                    if jhi >= jlo {
+                        let count = jhi - jlo + 1;
+                        let chunk = count.div_ceil(threads);
+                        let start = jlo + tid * chunk;
+                        let end = (start + chunk).min(jhi + 1);
+                        // anti-diagonal t: cells (t - j, j) are independent
+                        for j in start..end {
+                            let i = t - j;
+                            unsafe {
+                                *shared.0.add(i * w + j) = wf_update(
+                                    *shared.0.add((i - 1) * w + j),
+                                    *shared.0.add(i * w + (j - 1)),
+                                );
+                            }
+                        }
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+}
+
+/// Plain-add skewed wavefront (kept for bit-exact correctness checks
+/// against [`kernel_wavefront_seq`]; grain is too fine for speedup).
+pub fn kernel_wavefront_skewed_parallel(a: &mut [f64], n: usize, threads: usize) {
+    let w = n + 1;
+    struct Shared(*mut f64);
+    unsafe impl Sync for Shared {}
+    let ptr = Shared(a.as_mut_ptr());
+    let shared = &ptr;
+    let barrier = SpinBarrier::new(threads);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            scope.spawn(move || {
+                for t in 2..=2 * n {
+                    let jlo = t.saturating_sub(n).max(1);
+                    let jhi = (t - 1).min(n);
+                    if jhi >= jlo {
+                        let count = jhi - jlo + 1;
+                        let chunk = count.div_ceil(threads);
+                        let start = jlo + tid * chunk;
+                        let end = (start + chunk).min(jhi + 1);
+                        for j in start..end {
+                            let i = t - j;
+                            unsafe {
+                                *shared.0.add(i * w + j) = *shared.0.add((i - 1) * w + j)
+                                    + *shared.0.add(i * w + (j - 1));
+                            }
+                        }
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_include_both_families() {
+        let (_p, variants) = cholesky_variants();
+        assert_eq!(variants.len(), 12);
+        assert!(variants.iter().any(|(l, _)| l == "KJLI"));
+        assert!(variants.iter().any(|(l, _)| l.starts_with('L')));
+    }
+
+    #[test]
+    fn kernels_agree_with_interpreter() {
+        let n = 24usize;
+        let p = zoo::cholesky_kij();
+        let m = inl_exec::run_fresh(&p, &[n as i128], &spd_init);
+        let reference = m.array_by_name("A").unwrap();
+        for (name, kern) in [
+            ("right", kernel_cholesky_right as fn(&mut [f64], usize)),
+            ("left", kernel_cholesky_left),
+            ("kjli", kernel_cholesky_kjli),
+        ] {
+            let w = n + 1;
+            let mut a = vec![0.0; w * w];
+            for i in 0..w {
+                for j in 0..w {
+                    a[i * w + j] = spd_init("A", &[i, j]);
+                }
+            }
+            kern(&mut a, n);
+            for (x, y) in a.iter().zip(reference) {
+                assert_eq!(x.to_bits(), y.to_bits(), "kernel {name} diverges");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_kernels_agree() {
+        let n = 16usize;
+        let w = n + 1;
+        let a: Vec<f64> = (0..w * w).map(|x| (x % 17) as f64 * 0.25).collect();
+        let b: Vec<f64> = (0..w * w).map(|x| (x % 13) as f64 * 0.5).collect();
+        let mut ref_c = vec![0.0; w * w];
+        kernel_matmul_ijk(&mut ref_c, &a, &b, n);
+        // ikj is a pure (I,J,K)->(I,K,J) interchange: per-cell accumulation
+        // order over K is unchanged, so results are bitwise equal
+        let mut c2 = vec![0.0; w * w];
+        kernel_matmul_ikj(&mut c2, &a, &b, n);
+        assert_eq!(ref_c, c2);
+        let mut c3 = vec![0.0; w * w];
+        kernel_matmul_jki(&mut c3, &a, &b, n);
+        assert_eq!(ref_c, c3);
+        // and against the interpreted zoo program
+        let p = zoo::matmul();
+        let m = inl_exec::run_fresh(&p, &[n as i128], &|name, idx| match name {
+            "A" => a[idx[0] * w + idx[1]],
+            "B" => b[idx[0] * w + idx[1]],
+            _ => 0.0,
+        });
+        let interp_c = m.array_by_name("C").unwrap();
+        for (x, y) in ref_c.iter().zip(interp_c) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn wavefront_kernels_agree() {
+        let n = 64usize;
+        let w = n + 1;
+        let init = |i: usize, j: usize| if i == 0 || j == 0 { 1.0 } else { 0.0 };
+        let mut seq = vec![0.0; w * w];
+        let mut par = vec![0.0; w * w];
+        for i in 0..w {
+            for j in 0..w {
+                seq[i * w + j] = init(i, j);
+                par[i * w + j] = init(i, j);
+            }
+        }
+        kernel_wavefront_seq(&mut seq, n);
+        kernel_wavefront_skewed_parallel(&mut par, n, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn deep_nest_scales() {
+        for d in [1, 3, 5] {
+            let p = deep_nest(d);
+            assert_eq!(p.loops().count(), d);
+            assert!(p.validate().is_ok());
+            let (layout, deps) = deps_of(&p);
+            // each non-innermost loop contributes its position + 2 edges
+            assert_eq!(layout.len(), 3 * d - 2);
+            // a single level writes each cell once (no deps); deeper nests
+            // conflict across levels
+            assert_eq!(deps.deps.is_empty(), d == 1);
+        }
+    }
+}

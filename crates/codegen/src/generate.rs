@@ -1,0 +1,716 @@
+//! The code generator. See the crate docs for the pipeline overview.
+
+use inl_core::depend::{analyze, DependenceMatrix};
+use inl_core::instance::{InstanceLayout, Position};
+use inl_core::legal::{check_legal, NewAst};
+use inl_core::perstmt::{schedule_all, ScheduleError, StmtSchedule};
+use inl_core::transform::Transform;
+use inl_ir::{
+    Aff, Bound, Guard, LoopId, Node, Program, ProgramBuilder, StmtId, VarKey,
+};
+use inl_linalg::{gauss, lcm, IMat, Int};
+use inl_poly::{fm, is_empty, scan_bounds, Feasibility, LinExpr, System, VarBounds};
+use std::collections::HashMap;
+
+/// Lower/upper bound term lists for one loop slot, in the shared space.
+type SlotBounds = (Vec<(LinExpr, Int)>, Vec<(LinExpr, Int)>);
+
+/// Why code generation failed.
+#[derive(Clone, Debug)]
+pub enum CodegenError {
+    /// The matrix is not a legal transformation.
+    Illegal(String),
+    /// Per-statement scheduling failed.
+    Schedule(ScheduleError),
+    /// Two statements sharing a loop have bounds that could not be merged
+    /// (neither could be proven to dominate the other).
+    BoundMerge(String),
+    /// A loop slot ended up with no bound on one side.
+    Unbounded(String),
+}
+
+/// The generated program, with the mapping from source to target
+/// statements.
+#[derive(Clone, Debug)]
+pub struct CodegenResult {
+    /// The transformed program.
+    pub program: Program,
+    /// `stmt_map[source.0]` = target statement id.
+    pub stmt_map: Vec<StmtId>,
+}
+
+/// Everything known about one statement during generation.
+struct StmtPlan {
+    sched: StmtSchedule,
+    /// Scan bounds for each of the statement's new loops (slots then
+    /// augmented), over the local space `[params | old iters | new vars]`.
+    bounds: Vec<VarBounds>,
+    /// Local-space size and offsets.
+    np: usize,
+    kold: usize,
+}
+
+/// Generate the transformed program for a legal matrix `m`.
+pub fn generate(
+    p: &Program,
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    m: &IMat,
+) -> Result<CodegenResult, CodegenError> {
+    let report = check_legal(p, layout, deps, m);
+    let ast = match &report.new_ast {
+        Ok(a) => a.clone(),
+        Err(e) => return Err(CodegenError::Illegal(e.clone())),
+    };
+    if !report.violations.is_empty() {
+        return Err(CodegenError::Illegal(format!("{:?}", report.violations)));
+    }
+    let schedules =
+        schedule_all(p, layout, &ast, m, deps, &report).map_err(CodegenError::Schedule)?;
+
+    // --- per-statement polyhedra and scan bounds ---
+    let np = p.nparams();
+    let mut plans: Vec<StmtPlan> = Vec::with_capacity(schedules.len());
+    for sched in schedules {
+        let s = sched.stmt;
+        let old_loops = layout.stmt_loops(s).to_vec();
+        let kold = old_loops.len();
+        let knew = sched.rows.nrows();
+        let space = np + kold + knew;
+        let mut sys = p.assumption_system(space);
+        add_domain(p, s, &old_loops, np, space, &mut sys);
+        // v_r = rows_r · i + off_r
+        for r in 0..knew {
+            let mut e = LinExpr::var(space, np + kold + r);
+            for (q, &c) in sched.rows.row_slice(r).iter().enumerate() {
+                e = e - LinExpr::var(space, np + q) * c;
+            }
+            e = e - LinExpr::constant(space, sched.offsets[r]);
+            sys.add_eq(e);
+        }
+        // eliminate old iteration variables
+        let keep: Vec<usize> =
+            (0..np).chain(np + kold..space).collect();
+        let (projected, _exact) = fm::project(&sys, &keep);
+        let order: Vec<usize> = (np + kold..space).collect();
+        let bounds = scan_bounds(&projected, &order);
+        plans.push(StmtPlan { sched, bounds, np, kold });
+    }
+
+    // --- merge bounds for shared loop slots ---
+    // Which statements sit under each loop slot (position) in the new AST?
+    let assumptions = p.assumption_system(np);
+    let mut slot_bounds: HashMap<usize, SlotBounds> = HashMap::new();
+    for (qi, pos) in layout.positions().iter().enumerate() {
+        if !matches!(pos, Position::Loop(_)) {
+            continue;
+        }
+        // statements under this slot, with the index of the slot in their
+        // schedule
+        let members: Vec<(usize, usize)> = plans
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, plan)| {
+                plan.sched
+                    .slot_positions
+                    .iter()
+                    .position(|&sp| sp == qi)
+                    .map(|r| (pi, r))
+            })
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        // canonicalize each member's bound terms into the shared space
+        // [params | slot positions...]: we translate LinExprs over local
+        // spaces into (coeff per global slot, const, div) keyed by slot
+        // position.
+        let canon = |pi: usize, r: usize, lower: bool| -> Vec<(LinExpr, Int)> {
+            let plan = &plans[pi];
+            let vb = &plan.bounds[r];
+            let terms = if lower { &vb.lowers } else { &vb.uppers };
+            terms
+                .iter()
+                .map(|t| (globalize(&t.expr, plan, layout, np), t.div))
+                .collect()
+        };
+        let mut lo = canon(members[0].0, members[0].1, true);
+        let mut hi = canon(members[0].0, members[0].1, false);
+        for &(pi, r) in &members[1..] {
+            lo = merge_side(lo, canon(pi, r, true), true, &assumptions).map_err(|e| {
+                CodegenError::BoundMerge(format!("slot {qi} lower: {e}"))
+            })?;
+            hi = merge_side(hi, canon(pi, r, false), false, &assumptions).map_err(|e| {
+                CodegenError::BoundMerge(format!("slot {qi} upper: {e}"))
+            })?;
+        }
+        if lo.is_empty() || hi.is_empty() {
+            return Err(CodegenError::Unbounded(format!("loop slot {qi}")));
+        }
+        slot_bounds.insert(qi, (lo, hi));
+    }
+
+    // --- build the target program ---
+    let builder = Builder {
+        src: p,
+        layout,
+        ast: &ast,
+        plans: &plans,
+        slot_bounds: &slot_bounds,
+        np,
+    };
+    let result = builder.build()?;
+    Ok(simplify_guards(result, p))
+}
+
+/// Convenience: compose a transformation sequence, analyze, and generate.
+pub fn generate_seq(p: &Program, seq: &[Transform]) -> Result<CodegenResult, CodegenError> {
+    let layout = InstanceLayout::new(p);
+    let deps = analyze(p, &layout);
+    let m = Transform::compose(p, &layout, seq)
+        .map_err(|e| CodegenError::Illegal(format!("{e:?}")))?;
+    generate(p, &layout, &deps, &m)
+}
+
+/// Add statement `s`'s iteration-domain constraints over old-iteration
+/// slots `np..np+k`.
+fn add_domain(
+    p: &Program,
+    s: StmtId,
+    old_loops: &[LoopId],
+    np: usize,
+    space: usize,
+    sys: &mut System,
+) {
+    let slot_of = |l: LoopId| -> usize {
+        np + old_loops.iter().position(|&x| x == l).expect("surrounding loop")
+    };
+    let to_expr = |a: &Aff| -> LinExpr {
+        let mut coeffs = vec![0; space];
+        for &(v, c) in a.terms() {
+            match v {
+                VarKey::Param(pr) => coeffs[pr.0] += c,
+                VarKey::Loop(l) => coeffs[slot_of(l)] += c,
+            }
+        }
+        LinExpr::from_parts(coeffs, a.constant())
+    };
+    for (idx, &l) in old_loops.iter().enumerate() {
+        let ld = p.loop_decl(l);
+        let iv = LinExpr::var(space, np + idx);
+        for t in &ld.lower.terms {
+            sys.add_ge(iv.clone() * t.divisor() - to_expr(&t.numerator()));
+        }
+        for t in &ld.upper.terms {
+            sys.add_ge(to_expr(&t.numerator()) - iv.clone() * t.divisor());
+        }
+        assert_eq!(ld.step, 1, "codegen source with non-unit steps unsupported");
+    }
+    for g in &p.stmt_decl(s).guards {
+        match g {
+            Guard::Ge(a) => sys.add_ge(to_expr(a)),
+            Guard::Eq(a) => sys.add_eq(to_expr(a)),
+            Guard::Div(_, _) => {
+                // conservative: the guard shrinks the domain; omitting it
+                // from the polyhedron only widens loop bounds, and the
+                // rewritten guard is re-emitted on the target statement.
+            }
+        }
+    }
+}
+
+/// Translate a bound LinExpr from a plan's local space into the shared
+/// space `[params | layout positions]`: coefficients keyed by parameter or
+/// by *slot position*. Panics if an augmented variable appears (augmented
+/// loops are innermost and never feed shared-slot bounds); use
+/// [`globalize_tail`] for per-statement augmented-loop bounds.
+fn globalize(e: &LinExpr, plan: &StmtPlan, layout: &InstanceLayout, np: usize) -> LinExpr {
+    let n = layout.len();
+    let out = globalize_tail(e, plan, layout, np);
+    for i in np + n..out.nvars() {
+        assert_eq!(out.coeff(i), 0, "shared-slot bound references an augmented variable");
+    }
+    LinExpr::from_parts(out.coeffs()[..np + n].to_vec(), out.constant_term())
+}
+
+/// Like [`globalize`], but keeps a per-statement tail for augmented
+/// variables: space `[params | layout positions | this statement's rows]`.
+fn globalize_tail(e: &LinExpr, plan: &StmtPlan, layout: &InstanceLayout, np: usize) -> LinExpr {
+    let n = layout.len();
+    let shared = np + n + plan.sched.rows.nrows();
+    let mut coeffs = vec![0; shared];
+    for (i, &c) in e.coeffs().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if i < np {
+            coeffs[i] += c;
+        } else if i < plan.np + plan.kold {
+            panic!("bound references an eliminated old iteration variable");
+        } else {
+            let r = i - plan.np - plan.kold;
+            if r < plan.sched.slot_positions.len() {
+                coeffs[np + plan.sched.slot_positions[r]] += c;
+            } else {
+                // augmented variable: keep in the per-statement tail
+                coeffs[np + n + r] += c;
+            }
+        }
+    }
+    LinExpr::from_parts(coeffs, e.constant_term())
+}
+
+/// Merge bound-term lists from two statements on one side.
+/// `lower = true`: result must be `≤` both maxima; prefer the provably
+/// smaller side. `lower = false`: result must be `≥` both minima.
+fn merge_side(
+    a: Vec<(LinExpr, Int)>,
+    b: Vec<(LinExpr, Int)>,
+    lower: bool,
+    assumptions: &System,
+) -> Result<Vec<(LinExpr, Int)>, String> {
+    if a.iter().all(|t| b.contains(t)) && b.iter().all(|t| a.contains(t)) {
+        return Ok(a);
+    }
+    // prove: max(a) <= max(b) (lower) or min(a) >= min(b) (upper) — then
+    // keeping `a` is sound for the union; and vice versa.
+    let a_covers_b = side_dominates(&a, &b, lower, assumptions);
+    if a_covers_b {
+        return Ok(a);
+    }
+    if side_dominates(&b, &a, lower, assumptions) {
+        return Ok(b);
+    }
+    Err("incomparable bound sets".to_string())
+}
+
+/// For lower bounds: does `max(keep) ≤ max(other)` always hold? (Then
+/// `keep` is a sound lower bound for the union.) It does if for every term
+/// `k` of `keep` there is a term `o` of `other` with `k ≤ o`... which is
+/// necessary only against the other statement's *range*; we use the
+/// sufficient pairwise check `∀k ∃o: k ≤ o` for lowers and `∀k ∃o: k ≥ o`
+/// for uppers.
+fn side_dominates(
+    keep: &[(LinExpr, Int)],
+    other: &[(LinExpr, Int)],
+    lower: bool,
+    assumptions: &System,
+) -> bool {
+    keep.iter().all(|k| {
+        other.iter().any(|o| {
+            if lower {
+                prove_le(k, o, assumptions)
+            } else {
+                prove_le(o, k, assumptions)
+            }
+        })
+    })
+}
+
+/// Prove `a/da ≤ b/db` for all parameter values satisfying the
+/// assumptions (conservative: free variables universally quantified).
+fn prove_le(a: &(LinExpr, Int), b: &(LinExpr, Int), assumptions: &System) -> bool {
+    let space = a.0.nvars();
+    let mut sys = assumptions.extend(space);
+    // counterexample: a·db − b·da ≥ 1
+    sys.add_ge(a.0.clone() * b.1 - b.0.clone() * a.1 - LinExpr::constant(space, 1));
+    is_empty(&sys) == Feasibility::Empty
+}
+
+/// Builder state for emitting the target program.
+struct Builder<'x> {
+    src: &'x Program,
+    layout: &'x InstanceLayout,
+    ast: &'x NewAst,
+    plans: &'x [StmtPlan],
+    slot_bounds: &'x HashMap<usize, SlotBounds>,
+    np: usize,
+}
+
+impl Builder<'_> {
+    fn build(&self) -> Result<CodegenResult, CodegenError> {
+        let mut b = ProgramBuilder::new(format!("{}_transformed", self.src.name()));
+        for name in self.src.params() {
+            b.param(name.clone());
+        }
+        for a in self.src.assumes() {
+            b.assume(a.clone());
+        }
+        let mut arrays = Vec::new();
+        for a in self.src.arrays() {
+            let d = self.src.array_decl(a);
+            arrays.push(b.array(d.name.clone(), &d.dims));
+        }
+        // map: slot position -> target LoopId (filled as loops open)
+        let mut slot_loop: HashMap<usize, LoopId> = HashMap::new();
+        let mut stmt_map = vec![StmtId(usize::MAX); self.src.stmts().count()];
+        let root: Vec<Node> = self.ast.program.root().to_vec();
+        self.emit_nodes(&mut b, &root, &mut slot_loop, &mut stmt_map)?;
+        let program = b.finish_unchecked();
+        if let Err(e) = program.validate() {
+            return Err(CodegenError::Illegal(format!("generated program invalid: {e}")));
+        }
+        Ok(CodegenResult { program, stmt_map })
+    }
+
+    fn emit_nodes(
+        &self,
+        b: &mut ProgramBuilder,
+        nodes: &[Node],
+        slot_loop: &mut HashMap<usize, LoopId>,
+        stmt_map: &mut [StmtId],
+    ) -> Result<(), CodegenError> {
+        for &n in nodes {
+            match n {
+                Node::Loop(l) => {
+                    // slot position of this loop in the pinned layout
+                    let qpos = self.ast.layout.loop_position(l);
+                    let (lo, hi) = self
+                        .slot_bounds
+                        .get(&qpos)
+                        .ok_or_else(|| CodegenError::Unbounded(format!("slot {qpos}")))?;
+                    let name = self.slot_name(qpos);
+                    let lower = Bound {
+                        terms: lo.iter().map(|t| self.to_aff(t, slot_loop, None)).collect(),
+                    };
+                    let upper = Bound {
+                        terms: hi.iter().map(|t| self.to_aff(t, slot_loop, None)).collect(),
+                    };
+                    let children = self.ast.program.loop_decl(l).children.clone();
+                    let mut res: Result<(), CodegenError> = Ok(());
+                    b.loop_full(name, lower, upper, 1, false, |b| {
+                        let id = b.current_loop().expect("inside loop");
+                        slot_loop.insert(qpos, id);
+                        res = self.emit_nodes(b, &children, slot_loop, stmt_map);
+                    });
+                    res?;
+                }
+                Node::Stmt(s) => {
+                    self.emit_stmt(b, s, slot_loop, stmt_map)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Name a slot loop: reuse the source loop's name when every statement
+    /// schedules this slot as exactly that loop (identity row), otherwise
+    /// a fresh `t<pos>`.
+    fn slot_name(&self, qpos: usize) -> String {
+        let mut source: Option<usize> = None;
+        let mut uniform = true;
+        for plan in self.plans {
+            let Some(r) = plan.sched.slot_positions.iter().position(|&sp| sp == qpos) else {
+                continue;
+            };
+            let row = plan.sched.rows.row(r);
+            if plan.sched.offsets[r] != 0 {
+                uniform = false;
+                break;
+            }
+            // identity selector of some old loop dimension?
+            let nz: Vec<usize> = (0..row.len()).filter(|&i| row[i] != 0).collect();
+            if nz.len() == 1 && row[nz[0]] == 1 {
+                let old = self.layout.stmt_loops(plan.sched.stmt)[nz[0]];
+                let oldpos = self.layout.loop_position(old);
+                match source {
+                    None => source = Some(oldpos),
+                    Some(x) if x == oldpos => {}
+                    _ => {
+                        uniform = false;
+                        break;
+                    }
+                }
+            } else {
+                uniform = false;
+                break;
+            }
+        }
+        match (uniform, source) {
+            (true, Some(oldpos)) => {
+                if let Position::Loop(l) = self.layout.positions()[oldpos] {
+                    self.src.loop_decl(l).name.clone()
+                } else {
+                    format!("t{qpos}")
+                }
+            }
+            _ => format!("t{qpos}"),
+        }
+    }
+
+    /// Convert a globalized bound term into a target-program `Aff`.
+    /// `aug_ctx` maps aug tail indices to target loop ids (for aug-loop
+    /// bounds referencing outer augs).
+    fn to_aff(
+        &self,
+        t: &(LinExpr, Int),
+        slot_loop: &HashMap<usize, LoopId>,
+        aug_ctx: Option<&HashMap<usize, LoopId>>,
+    ) -> Aff {
+        let n = self.layout.len();
+        let mut acc = Aff::konst(t.0.constant_term());
+        for (i, &c) in t.0.coeffs().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let v = if i < self.np {
+                VarKey::Param(inl_ir::ParamId(i))
+            } else if i < self.np + n {
+                let qpos = i - self.np;
+                VarKey::Loop(*slot_loop.get(&qpos).expect("outer slot loop open"))
+            } else {
+                let r = i - self.np - n;
+                VarKey::Loop(
+                    *aug_ctx
+                        .expect("aug variable outside statement context")
+                        .get(&r)
+                        .expect("outer aug loop open"),
+                )
+            };
+            acc = acc + Aff::var(v) * c;
+        }
+        if t.1 != 1 {
+            acc = acc.exact_div(t.1);
+        }
+        acc
+    }
+
+    fn emit_stmt(
+        &self,
+        b: &mut ProgramBuilder,
+        s: StmtId,
+        slot_loop: &mut HashMap<usize, LoopId>,
+        stmt_map: &mut [StmtId],
+    ) -> Result<(), CodegenError> {
+        let plan = self.plans.iter().find(|pl| pl.sched.stmt == s).expect("plan");
+        let sched = &plan.sched;
+        let k = sched.slot_positions.len();
+        let knew = sched.rows.nrows();
+
+        // open augmented loops (innermost around the statement)
+        let mut aug_ctx: HashMap<usize, LoopId> = HashMap::new();
+        self.emit_aug_loops(b, plan, k, &mut aug_ctx, slot_loop, s, stmt_map)?;
+        if knew == k {
+            // no augs: emit directly
+            self.emit_stmt_body(b, s, plan, slot_loop, &aug_ctx, stmt_map)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_aug_loops(
+        &self,
+        b: &mut ProgramBuilder,
+        plan: &StmtPlan,
+        r: usize,
+        aug_ctx: &mut HashMap<usize, LoopId>,
+        slot_loop: &mut HashMap<usize, LoopId>,
+        s: StmtId,
+        stmt_map: &mut [StmtId],
+    ) -> Result<(), CodegenError> {
+        let knew = plan.sched.rows.nrows();
+        if r >= knew {
+            if plan.sched.n_aug > 0 {
+                self.emit_stmt_body(b, s, plan, slot_loop, aug_ctx, stmt_map)?;
+            }
+            return Ok(());
+        }
+        let vb = &plan.bounds[r];
+        let lo: Vec<Aff> = vb
+            .lowers
+            .iter()
+            .map(|t| {
+                self.to_aff(&(globalize_tail(&t.expr, plan, self.layout, self.np), t.div), slot_loop, Some(aug_ctx))
+            })
+            .collect();
+        let hi: Vec<Aff> = vb
+            .uppers
+            .iter()
+            .map(|t| {
+                self.to_aff(&(globalize_tail(&t.expr, plan, self.layout, self.np), t.div), slot_loop, Some(aug_ctx))
+            })
+            .collect();
+        if lo.is_empty() || hi.is_empty() {
+            return Err(CodegenError::Unbounded(format!(
+                "augmented loop {r} of {}",
+                self.src.stmt_decl(s).name
+            )));
+        }
+        let name = format!("{}_a{}", self.src.stmt_decl(s).name.to_lowercase(), r - plan.sched.slot_positions.len());
+        let mut res: Result<(), CodegenError> = Ok(());
+        b.loop_full(name, Bound { terms: lo }, Bound { terms: hi }, 1, false, |b| {
+            let id = b.current_loop().expect("inside loop");
+            aug_ctx.insert(r, id);
+            res = self.emit_aug_loops(b, plan, r + 1, aug_ctx, slot_loop, s, stmt_map);
+        });
+        res
+    }
+
+    fn emit_stmt_body(
+        &self,
+        b: &mut ProgramBuilder,
+        s: StmtId,
+        plan: &StmtPlan,
+        slot_loop: &HashMap<usize, LoopId>,
+        aug_ctx: &HashMap<usize, LoopId>,
+        stmt_map: &mut [StmtId],
+    ) -> Result<(), CodegenError> {
+        let sched = &plan.sched;
+        let k = sched.slot_positions.len();
+        let old_loops = self.layout.stmt_loops(s);
+
+        // target loop variable for row r of the schedule
+        let target_var = |r: usize| -> VarKey {
+            if r < k {
+                VarKey::Loop(*slot_loop.get(&sched.slot_positions[r]).expect("slot open"))
+            } else {
+                VarKey::Loop(*aug_ctx.get(&r).expect("aug open"))
+            }
+        };
+
+        // i = N_S⁻¹ · (v - off), one Aff per old loop dim
+        let inv = gauss::inverse_rational(&sched.n_s).expect("N_S nonsingular");
+        let kq = sched.n_s.nrows();
+        let mut old_exprs: Vec<Aff> = Vec::with_capacity(kq);
+        for q in 0..kq {
+            // common denominator of row q
+            let den = inv.rows[q].iter().fold(1, |acc, x| lcm(acc, x.den()).max(1));
+            let mut acc = Aff::konst(0);
+            let mut constant = 0;
+            for (j, &coef) in inv.rows[q].iter().enumerate() {
+                if coef.is_zero() {
+                    continue;
+                }
+                let r = sched.n_s_rows[j];
+                let c = coef.num() * (den / coef.den());
+                acc = acc + Aff::var(target_var(r)) * c;
+                constant -= c * sched.offsets[r];
+            }
+            acc = acc + Aff::konst(constant);
+            if den != 1 {
+                acc = acc.exact_div(den);
+            }
+            old_exprs.push(acc);
+        }
+        let subst = |a: &Aff| -> Aff {
+            a.substitute_loops(&|l: LoopId| {
+                match old_loops.iter().position(|&x| x == l) {
+                    Some(q) => old_exprs[q].clone(),
+                    None => Aff::var(VarKey::Loop(l)), // not ours (impossible after validation)
+                }
+            })
+        };
+
+        // guards
+        let mut guards: Vec<Guard> = Vec::new();
+        // (a) divisibility of each recovered old index
+        for e in &old_exprs {
+            if e.divisor() > 1 {
+                guards.push(Guard::Div(e.numerator(), e.divisor()));
+            }
+        }
+        // (b) singular-row equalities: v_r - off_r = Σ m_j (v_kj - off_kj)
+        for (r, sing) in sched.singular.iter().enumerate() {
+            let Some(coeffs) = sing else { continue };
+            let den = coeffs.iter().fold(1, |acc, x| lcm(acc, x.den()).max(1));
+            let mut e = (Aff::var(target_var(r)) - Aff::konst(sched.offsets[r])) * den;
+            for (j, coef) in coeffs.iter().enumerate() {
+                if coef.is_zero() {
+                    continue;
+                }
+                let rj = sched.n_s_rows[j];
+                let c = coef.num() * (den / coef.den());
+                e = e - (Aff::var(target_var(rj)) - Aff::konst(sched.offsets[rj])) * c;
+            }
+            guards.push(Guard::Eq(e.numerator()));
+        }
+        // (c) original bounds re-derived through the substitution
+        for &l in old_loops {
+            let ld = self.src.loop_decl(l);
+            let iv = subst(&Aff::var(VarKey::Loop(l)));
+            for t in &ld.lower.terms {
+                // d·i - t ≥ 0
+                let e = iv.clone() * t.divisor() - subst(&t.numerator());
+                guards.push(Guard::Ge(e.numerator()));
+            }
+            for t in &ld.upper.terms {
+                let e = subst(&t.numerator()) - iv.clone() * t.divisor();
+                guards.push(Guard::Ge(e.numerator()));
+            }
+        }
+        // (d) original statement guards, rewritten
+        for g in &self.src.stmt_decl(s).guards {
+            guards.push(match g {
+                Guard::Ge(a) => Guard::Ge(subst(a).numerator()),
+                Guard::Eq(a) => Guard::Eq(subst(a).numerator()),
+                Guard::Div(a, md) => {
+                    let sa = subst(a);
+                    // (e/d) mod m == 0 with guaranteed divisibility of d:
+                    // check m·d | e (conservative exactness: the separate
+                    // Div guard for d already holds when this runs)
+                    Guard::Div(sa.numerator(), md * sa.divisor())
+                }
+            });
+        }
+
+        // body
+        let sd = self.src.stmt_decl(s);
+        let write_idxs: Vec<Aff> = sd.write.idxs.iter().map(&subst).collect();
+        let rhs = sd.rhs.map_affs(&subst);
+        let target_array = inl_ir::ArrayId(sd.write.array.0); // arrays copied in order
+        let new_id =
+            b.stmt_guarded(sd.name.clone(), target_array, write_idxs, rhs, guards);
+        stmt_map[s.0] = new_id;
+        Ok(())
+    }
+}
+
+/// Drop guards implied by the enclosing loops' bounds (and the program
+/// assumptions): the paper's "standard optimizations" step, §5.5.
+fn simplify_guards(result: CodegenResult, _src: &Program) -> CodegenResult {
+    let mut program = result.program;
+    let stmts: Vec<StmtId> = program.stmts().collect();
+    for s in stmts {
+        let sys = context_without_guards(&program, s);
+        let space = sys.nvars();
+        let to_expr = |a: &Aff| -> LinExpr { program.to_linexpr(a, space) };
+        let decl = program.stmt_decl(s).clone();
+        let kept: Vec<Guard> = decl
+            .guards
+            .iter()
+            .filter(|g| match g {
+                Guard::Ge(a) => {
+                    // keep unless ¬(a ≥ 0) is infeasible in context
+                    let mut neg = sys.clone();
+                    neg.add_ge(-to_expr(a) - LinExpr::constant(space, 1));
+                    is_empty(&neg) != Feasibility::Empty
+                }
+                Guard::Eq(a) => {
+                    let mut pos = sys.clone();
+                    pos.add_ge(to_expr(a) - LinExpr::constant(space, 1));
+                    let mut negs = sys.clone();
+                    negs.add_ge(-to_expr(a) - LinExpr::constant(space, 1));
+                    is_empty(&pos) != Feasibility::Empty
+                        || is_empty(&negs) != Feasibility::Empty
+                }
+                Guard::Div(_, _) => true,
+            })
+            .cloned()
+            .collect();
+        set_guards(&mut program, s, kept);
+    }
+    CodegenResult { program, stmt_map: result.stmt_map }
+}
+
+/// The iteration context of a statement ignoring its own guards.
+fn context_without_guards(p: &Program, s: StmtId) -> System {
+    // temporarily strip guards, reuse iteration_system
+    let mut q = p.clone();
+    set_guards(&mut q, s, Vec::new());
+    q.iteration_system(s)
+}
+
+fn set_guards(p: &mut Program, s: StmtId, guards: Vec<Guard>) {
+    // Program fields are private to inl-ir; use the surgery-style accessor
+    p.set_stmt_guards(s, guards);
+}

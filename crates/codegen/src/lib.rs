@@ -1,0 +1,38 @@
+//! # inl-codegen
+//!
+//! Code generation from legal transformation matrices (§5.4–5.5 of the
+//! paper): turn a source [`Program`], its dependence matrix, and a legal
+//! matrix `M` into a new executable [`Program`].
+//!
+//! The pipeline:
+//!
+//! 1. **Legality & AST** — [`inl_core::legal::check_legal`] recovers the
+//!    transformed AST (child reorderings) and the self-dependences left
+//!    unsatisfied.
+//! 2. **Per-statement schedules** — [`inl_core::perstmt`] builds each
+//!    statement's (possibly augmented) transformation `T'_S`, its
+//!    non-singular core `N_S`, and the singular-row combinations.
+//! 3. **Bounds** — for every statement, the polyhedron `{domain(i), v =
+//!    T'_S·i + off}` is projected onto `(params, v)` by Fourier–Motzkin and
+//!    scanned (Ancourt–Irigoin) to get per-loop bounds; bounds of loops
+//!    shared by several statements are merged by proving pairwise `≤` under
+//!    the program's parameter assumptions.
+//! 4. **Guards** — exactness does not rely on the (possibly over-
+//!    approximate) scan bounds: each statement gets guards that re-derive
+//!    its original bounds through `i = N_S⁻¹(v − off)` (integer `Ge`
+//!    guards after clearing denominators), divisibility guards when `N_S`
+//!    is non-unimodular, and equality guards for singular rows (§5.5's
+//!    `i_k = Σ m_j·i_j`). Guards implied by the enclosing loop bounds are
+//!    removed by a Fourier–Motzkin implication pass.
+//! 5. **Bodies** — subscripts and expressions are rewritten with the same
+//!    `N_S⁻¹` substitution (exact rational, guarded divisors).
+//!
+//! The result executes **bitwise identically** to the source program — the
+//! `inl-exec` interpreter enforces this throughout the test-suite.
+
+pub mod generate;
+
+#[cfg(test)]
+mod tests;
+
+pub use generate::{generate, generate_seq, CodegenError, CodegenResult};

@@ -1,0 +1,538 @@
+//! The completion procedure (§6 of the paper).
+//!
+//! Given a dependence matrix and a *partial* transformation — the desired
+//! rows for the first few loop slots — produce a complete legal
+//! transformation matrix. This generalizes the Li–Pingali completion for
+//! perfectly nested loops [10]:
+//!
+//! * loop slots are processed outside-in; each gets either the next
+//!   user-supplied row or a greedily chosen candidate (unit position
+//!   selectors, then their negations, then pairwise skew combinations)
+//!   that keeps every still-active dependence non-negative — preferring
+//!   candidates that *strictly satisfy* the most dependences;
+//! * dependences whose projection ends up all-zero between *different*
+//!   statements are satisfied syntactically: they impose "source's child
+//!   before target's child" constraints at the divergence node, which a
+//!   topological sort turns into the child permutations (the edge rows);
+//! * leftover all-zero *self* dependences are legal — the augmentation
+//!   step (§5.4) adds loops that carry them.
+//!
+//! The §6 worked example — completing "make the updated-column position
+//! outermost" on right-looking Cholesky into the left-looking form — is
+//! reproduced in the tests.
+
+use crate::depend::{DepEntry, Dependence, DependenceMatrix};
+use crate::instance::{InstanceLayout, Position};
+use crate::legal::{check_legal, LegalityReport};
+use inl_ir::{LoopId, Node, Program, StmtId};
+use inl_linalg::{IMat, IVec, Int};
+use inl_poly::{is_empty, Feasibility, LinExpr};
+use std::collections::HashMap;
+
+/// Why completion failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompletionError {
+    /// A user-supplied row would make some dependence's projection
+    /// negative.
+    PartialRowIllegal(usize),
+    /// More partial rows than loop slots.
+    TooManyRows,
+    /// No candidate row was valid for the given slot.
+    NoCandidate(usize),
+    /// The syntactic ordering constraints are cyclic.
+    OrderingCycle,
+    /// The assembled matrix failed the final legality check.
+    FinalCheckFailed(String),
+}
+
+/// A successful completion.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The complete legal transformation matrix.
+    pub matrix: IMat,
+    /// Its legality report (always legal; carries the recovered AST and
+    /// the self-dependences left to augmentation).
+    pub report: LegalityReport,
+}
+
+/// Per-dependence completion state.
+struct DepState<'a> {
+    dep: &'a Dependence,
+    /// Common loop positions (ascending) of src/dst.
+    common: Vec<usize>,
+    /// Rows already applied at this dependence's common slots that may be
+    /// zero on some instances (context for exact queries).
+    zero_context: Vec<IVec>,
+    satisfied: bool,
+}
+
+/// Interval of `row · entries`.
+fn row_dot(row: &IVec, entries: &[DepEntry]) -> DepEntry {
+    let mut acc = DepEntry::dist(0);
+    for (j, &c) in row.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let e = entries[j];
+        let scaled = if c > 0 {
+            DepEntry { lo: e.lo.map(|x| x * c), hi: e.hi.map(|x| x * c) }
+        } else {
+            DepEntry { lo: e.hi.map(|x| x * c), hi: e.lo.map(|x| x * c) }
+        };
+        acc = DepEntry {
+            lo: acc.lo.zip(scaled.lo).map(|(a, b)| a + b),
+            hi: acc.hi.zip(scaled.hi).map(|(a, b)| a + b),
+        };
+    }
+    acc
+}
+
+/// `row · Δ` as a linear expression over the dependence polyhedron.
+fn row_expr(layout: &InstanceLayout, nparams: usize, d: &Dependence, row: &IVec) -> LinExpr {
+    let space = d.system.nvars();
+    let mut acc = LinExpr::zero(space);
+    for (j, &c) in row.iter().enumerate() {
+        if c != 0 {
+            acc = acc + d.delta_expr(layout, nparams, j) * c;
+        }
+    }
+    acc
+}
+
+/// Outcome of applying a row to a dependence.
+enum RowEffect {
+    /// Every instance gets a strictly positive value: dependence satisfied.
+    Satisfies,
+    /// Identically zero (or possibly zero, never negative): stays active.
+    /// The boolean says whether the row must join the zero context.
+    NonNegative(bool),
+    /// Some instance would go negative: the row is invalid.
+    Invalid,
+}
+
+fn apply_row(
+    layout: &InstanceLayout,
+    nparams: usize,
+    st: &DepState<'_>,
+    row: &IVec,
+) -> RowEffect {
+    let v = row_dot(row, &st.dep.entries);
+    if v.is_positive() {
+        return RowEffect::Satisfies;
+    }
+    if v.is_zero() {
+        return RowEffect::NonNegative(false);
+    }
+    if v.lo.is_some_and(|l| l >= 0) {
+        // never negative; strictly positive unless it can be 0
+        return if can_be(layout, nparams, st, row, 0) {
+            RowEffect::NonNegative(true)
+        } else {
+            RowEffect::Satisfies
+        };
+    }
+    // interval admits negative values: ask the polyhedron
+    if can_be_negative(layout, nparams, st, row) {
+        RowEffect::Invalid
+    } else if can_be(layout, nparams, st, row, 0) {
+        RowEffect::NonNegative(true)
+    } else {
+        RowEffect::Satisfies
+    }
+}
+
+fn context_system(
+    layout: &InstanceLayout,
+    nparams: usize,
+    st: &DepState<'_>,
+) -> inl_poly::System {
+    let mut sys = st.dep.system.clone();
+    for z in &st.zero_context {
+        sys.add_eq(row_expr(layout, nparams, st.dep, z));
+    }
+    sys
+}
+
+fn can_be_negative(
+    layout: &InstanceLayout,
+    nparams: usize,
+    st: &DepState<'_>,
+    row: &IVec,
+) -> bool {
+    let mut sys = context_system(layout, nparams, st);
+    let space = sys.nvars();
+    sys.add_ge(-row_expr(layout, nparams, st.dep, row) - LinExpr::constant(space, 1));
+    is_empty(&sys) != Feasibility::Empty
+}
+
+fn can_be(
+    layout: &InstanceLayout,
+    nparams: usize,
+    st: &DepState<'_>,
+    row: &IVec,
+    value: Int,
+) -> bool {
+    let mut sys = context_system(layout, nparams, st);
+    let space = sys.nvars();
+    sys.add_eq(row_expr(layout, nparams, st.dep, row) - LinExpr::constant(space, value));
+    is_empty(&sys) != Feasibility::Empty
+}
+
+/// Complete a partial transformation into a full legal matrix.
+///
+/// `partial` supplies desired rows (over source vector positions) for the
+/// outermost loop slots, in order; it may be empty.
+pub fn complete_transform(
+    p: &Program,
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    partial: &[IVec],
+) -> Result<Completion, CompletionError> {
+    let n = layout.len();
+    let nparams = p.nparams();
+    let loop_slots: Vec<usize> = layout
+        .positions()
+        .iter()
+        .enumerate()
+        .filter(|(_, pos)| matches!(pos, Position::Loop(_)))
+        .map(|(i, _)| i)
+        .collect();
+    if partial.len() > loop_slots.len() {
+        return Err(CompletionError::TooManyRows);
+    }
+
+    // dependency state
+    let mut states: Vec<DepState<'_>> = deps
+        .deps
+        .iter()
+        .enumerate()
+        .map(|(idx, d)| {
+            let ncommon = d.common_loops();
+            let mut common: Vec<usize> = d.src_loops[..ncommon]
+                .iter()
+                .map(|&l| layout.loop_position(l))
+                .collect();
+            common.sort_unstable();
+            let _ = idx;
+            DepState { dep: d, common, zero_context: Vec::new(), satisfied: false }
+        })
+        .collect();
+
+    let mut chosen_rows: Vec<(usize, IVec)> = Vec::new(); // (slot, row)
+    let mut used_positions: Vec<bool> = vec![false; n];
+    for (slot_idx, &slot) in loop_slots.iter().enumerate() {
+        // evaluate a candidate against all active deps whose common slots
+        // include this slot
+        let evaluate = |row: &IVec, states: &Vec<DepState<'_>>| -> bool {
+            states.iter().all(|st| {
+                st.satisfied
+                    || !st.common.contains(&slot)
+                    || !matches!(apply_row(layout, nparams, st, row), RowEffect::Invalid)
+            })
+        };
+        let commit = |row: &IVec, states: &mut Vec<DepState<'_>>| {
+            for st in states.iter_mut() {
+                if st.satisfied || !st.common.contains(&slot) {
+                    continue;
+                }
+                match apply_row(layout, nparams, st, row) {
+                    RowEffect::Invalid => unreachable!("validated"),
+                    RowEffect::Satisfies => st.satisfied = true,
+                    RowEffect::NonNegative(needs_ctx) => {
+                        if needs_ctx {
+                            st.zero_context.push(row.clone());
+                        }
+                    }
+                }
+            }
+        };
+
+        let independent = |row: &IVec, chosen: &[(usize, IVec)]| -> bool {
+            let mut m = IMat::zeros(0, 0);
+            for (_, r) in chosen {
+                m.push_row(r);
+            }
+            let before = if m.nrows() == 0 { 0 } else { m.rank() };
+            m.push_row(row);
+            m.rank() > before
+        };
+
+        if slot_idx < partial.len() {
+            let row = partial[slot_idx].clone();
+            assert_eq!(row.len(), n, "partial row has wrong length");
+            if !evaluate(&row, &states) {
+                return Err(CompletionError::PartialRowIllegal(slot_idx));
+            }
+            commit(&row, &mut states);
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0 {
+                    used_positions[j] = true;
+                }
+            }
+            chosen_rows.push((slot, row));
+            continue;
+        }
+        // Candidate preference mirrors the paper's worked example: keep the
+        // remaining original loops in their original order. Try the slot's
+        // own selector if unused, then the unused loop selectors outside-in,
+        // then reversals, then skew combinations; take the first valid,
+        // linearly independent candidate.
+        let mut candidates: Vec<IVec> = Vec::new();
+        if !used_positions[slot] {
+            candidates.push(IVec::unit(n, slot));
+        }
+        for &q in &loop_slots {
+            if !used_positions[q] && q != slot {
+                candidates.push(IVec::unit(n, q));
+            }
+        }
+        for &q in &loop_slots {
+            candidates.push(IVec::unit(n, q)); // used ones (may combine via independence)
+            candidates.push(-&IVec::unit(n, q));
+        }
+        for &a in &loop_slots {
+            for &b in &loop_slots {
+                if a != b {
+                    candidates.push(&IVec::unit(n, a) + &IVec::unit(n, b));
+                    candidates.push(&IVec::unit(n, a) - &IVec::unit(n, b));
+                }
+            }
+        }
+        let mut picked: Option<IVec> = None;
+        for cand in &candidates {
+            if independent(cand, &chosen_rows) && evaluate(cand, &states) {
+                picked = Some(cand.clone());
+                break;
+            }
+        }
+        let Some(row) = picked else {
+            return Err(CompletionError::NoCandidate(slot_idx));
+        };
+        commit(&row, &mut states);
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0 {
+                used_positions[j] = true;
+            }
+        }
+        chosen_rows.push((slot, row));
+    }
+
+    // syntactic ordering constraints from deps still active between
+    // different statements
+    let mut constraints: HashMap<Option<LoopId>, Vec<(usize, usize)>> = HashMap::new();
+    for st in &states {
+        if st.satisfied || st.dep.src == st.dep.dst {
+            continue;
+        }
+        let (node, ca, cb) = divergence(p, st.dep.src, st.dep.dst);
+        if ca != cb {
+            constraints.entry(node).or_default().push((ca, cb));
+        }
+    }
+    // topological sort of each constrained node's children
+    let mut perms: HashMap<Option<LoopId>, Vec<usize>> = HashMap::new();
+    for (node, edges) in &constraints {
+        let c = match node {
+            None => p.root().len(),
+            Some(l) => p.loop_decl(*l).children.len(),
+        };
+        let order = topo_order(c, edges).ok_or(CompletionError::OrderingCycle)?;
+        // order[i] = old child at new index i  =>  perm[old] = new
+        let mut perm = vec![0usize; c];
+        for (newi, &old) in order.iter().enumerate() {
+            perm[old] = newi;
+        }
+        perms.insert(*node, perm);
+    }
+
+    // assemble the matrix
+    let mut m = IMat::zeros(n, n);
+    for (slot, row) in &chosen_rows {
+        for (j, &v) in row.iter().enumerate() {
+            m[(*slot, j)] = v;
+        }
+    }
+    for (i, pos) in layout.positions().iter().enumerate() {
+        if let Position::Edge { parent, child } = *pos {
+            let new_child = perms.get(&parent).map_or(child, |perm| perm[child]);
+            let target = layout.edge_position(parent, new_child).expect("edge");
+            m[(target, i)] = 1;
+        }
+    }
+
+    let report = check_legal(p, layout, deps, &m);
+    if !report.is_legal() {
+        let why = report
+            .new_ast
+            .as_ref()
+            .err()
+            .cloned()
+            .unwrap_or_else(|| format!("{:?}", report.violations));
+        return Err(CompletionError::FinalCheckFailed(why));
+    }
+    Ok(Completion { matrix: m, report })
+}
+
+/// The node at which the paths to two statements diverge, and the child
+/// indices each takes there.
+fn divergence(p: &Program, a: StmtId, b: StmtId) -> (Option<LoopId>, usize, usize) {
+    let la = p.loops_surrounding(a);
+    let lb = p.loops_surrounding(b);
+    let ncommon = la.iter().zip(&lb).take_while(|(x, y)| x == y).count();
+    let node: Option<LoopId> = if ncommon == 0 { None } else { Some(la[ncommon - 1]) };
+    let children: &[Node] = match node {
+        None => p.root(),
+        Some(l) => &p.loop_decl(l).children,
+    };
+    let towards = |s: StmtId, next: Option<LoopId>| -> usize {
+        let target = match next {
+            Some(l) => Node::Loop(l),
+            None => Node::Stmt(s),
+        };
+        children
+            .iter()
+            .position(|&ch| crate::transform::node_contains(p, ch, target))
+            .expect("child towards statement")
+    };
+    let ca = towards(a, la.get(ncommon).copied());
+    let cb = towards(b, lb.get(ncommon).copied());
+    (node, ca, cb)
+}
+
+/// Stable topological order of `0..c` under `before` edges; `None` on a
+/// cycle. Prefers the smallest available original index (stability).
+#[allow(clippy::question_mark)] // the let-else reads better than `?` on find()
+fn topo_order(c: usize, edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut indeg = vec![0usize; c];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); c];
+    for &(a, b) in edges {
+        if a == b {
+            return None;
+        }
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut out = Vec::with_capacity(c);
+    let mut done = vec![false; c];
+    while out.len() < c {
+        let Some(next) = (0..c).find(|&i| !done[i] && indeg[i] == 0) else {
+            return None;
+        };
+        done[next] = true;
+        out.push(next);
+        for &t in &adj[next] {
+            indeg[t] -= 1;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depend::analyze;
+    use crate::perstmt::schedule_all;
+    use inl_ir::zoo;
+
+    fn looop(p: &Program, name: &str) -> LoopId {
+        p.loops().find(|&l| p.loop_decl(l).name == name).unwrap()
+    }
+
+    #[test]
+    fn empty_partial_completes_to_legal() {
+        for p in [zoo::simple_cholesky(), zoo::cholesky_kij(), zoo::wavefront()] {
+            let layout = InstanceLayout::new(&p);
+            let deps = analyze(&p, &layout);
+            let c = complete_transform(&p, &layout, &deps, &[]).expect("completes");
+            assert!(c.report.is_legal(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn paper_section6_completion() {
+        // §6: completing the one-row partial transformation on full
+        // Cholesky yields a legal matrix that (a) reorders K's children to
+        // [J-nest, S1, I-loop] and (b) has the left-looking per-statement
+        // permutation (k,j,l) → (l,j,k) for S3, with every per-statement
+        // transform non-singular (no augmentation).
+        let p = zoo::cholesky_kij();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        // "make the updated-column position outermost": the unit selector
+        // of the L position (see EXPERIMENTS.md E6 for why this is the
+        // corrected form of the paper's printed first row)
+        let l = looop(&p, "L");
+        let partial = vec![IVec::unit(layout.len(), layout.loop_position(l))];
+        let c = complete_transform(&p, &layout, &deps, &partial).expect("completes");
+        assert!(c.report.is_legal());
+        let ast = c.report.new_ast.as_ref().unwrap();
+        let k = looop(&p, "K");
+        assert_eq!(ast.child_perms[&Some(k)], vec![1, 2, 0], "children reorder to J,S1,I");
+        let scheds =
+            schedule_all(&p, &layout, ast, &c.matrix, &deps, &c.report).expect("schedules");
+        for s in &scheds {
+            assert_eq!(s.n_aug, 0, "no augmentation needed (paper's claim)");
+            assert!(s.n_s.is_unimodular());
+        }
+        let s3 = p.stmts().find(|&s| p.stmt_decl(s).name == "S3").unwrap();
+        let sched = scheds.iter().find(|s| s.stmt == s3).unwrap();
+        assert_eq!(
+            sched.rows,
+            IMat::from_rows(&[&[0, 0, 1][..], &[0, 1, 0], &[1, 0, 0]]),
+            "S3 is scheduled left-looking: (k,j,l) → (l,j,k)"
+        );
+    }
+
+    #[test]
+    fn simple_cholesky_interchange_completion() {
+        // partial: new outer = old J position. Completion must discover
+        // the statement reordering (S2's loop before S1) that makes the
+        // interchange legal.
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let j = looop(&p, "J");
+        let partial = vec![IVec::unit(layout.len(), layout.loop_position(j))];
+        let c = complete_transform(&p, &layout, &deps, &partial).expect("completes");
+        assert!(c.report.is_legal());
+        let ast = c.report.new_ast.as_ref().unwrap();
+        let order = ast.program.stmts_in_syntactic_order();
+        assert_eq!(ast.program.stmt_decl(order[0]).name, "S2", "updates before sqrt");
+    }
+
+    #[test]
+    fn illegal_partial_row_rejected() {
+        // new outer = −I reverses every I-carried dependence
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let i = looop(&p, "I");
+        let partial = vec![-&IVec::unit(layout.len(), layout.loop_position(i))];
+        assert!(matches!(
+            complete_transform(&p, &layout, &deps, &partial),
+            Err(CompletionError::PartialRowIllegal(0))
+        ));
+    }
+
+    #[test]
+    fn too_many_rows_rejected() {
+        let p = zoo::perfect_nest();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let rows = vec![IVec::unit(2, 0), IVec::unit(2, 1), IVec::unit(2, 0)];
+        assert!(matches!(
+            complete_transform(&p, &layout, &deps, &rows),
+            Err(CompletionError::TooManyRows)
+        ));
+    }
+
+    #[test]
+    fn completion_is_deterministic() {
+        let p = zoo::cholesky_kij();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let a = complete_transform(&p, &layout, &deps, &[]).unwrap();
+        let b = complete_transform(&p, &layout, &deps, &[]).unwrap();
+        assert_eq!(a.matrix, b.matrix);
+    }
+}

@@ -1,0 +1,559 @@
+//! Dependence analysis over instance vectors (§3 of the paper).
+//!
+//! For every pair of accesses to the same array (at least one a write), a
+//! conflict polyhedron is built over `[parameters | source iteration |
+//! target iteration]`: loop bounds for both statements, subscript equality,
+//! and precedence. Precedence ("read after write" etc.) is a disjunction
+//! over *levels* — either the instances differ at the q-th common loop, or
+//! they agree on all common loops and the source statement is syntactically
+//! earlier — so each feasible level yields one dependence column.
+//!
+//! Each dependence records:
+//!
+//! * the distance/direction **entries** of the instance-vector difference
+//!   (target − source), obtained by projecting the polyhedron onto each Δ
+//!   with Fourier–Motzkin (this is what the paper computes with the Omega
+//!   toolkit, e.g. `[0, 1, -1, +]'` for the flow dependence of §3);
+//! * the **polyhedron itself**, kept for the exact legality fallback.
+
+use crate::instance::InstanceLayout;
+use inl_ir::{Guard, LoopId, Program, StmtId};
+use inl_linalg::Int;
+use inl_poly::{expr_bounds, is_empty, Feasibility, LinExpr, System};
+use std::fmt;
+
+/// One entry of a dependence vector: an integer interval containing every
+/// value the corresponding instance-vector difference takes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEntry {
+    /// Greatest known lower bound (`None` = unbounded below).
+    pub lo: Option<Int>,
+    /// Least known upper bound (`None` = unbounded above).
+    pub hi: Option<Int>,
+}
+
+impl DepEntry {
+    /// An exact distance.
+    pub fn dist(c: Int) -> Self {
+        DepEntry { lo: Some(c), hi: Some(c) }
+    }
+
+    /// The `+` direction (`≥ 1`).
+    pub fn plus() -> Self {
+        DepEntry { lo: Some(1), hi: None }
+    }
+
+    /// The `-` direction (`≤ -1`).
+    pub fn minus() -> Self {
+        DepEntry { lo: None, hi: Some(-1) }
+    }
+
+    /// The `*` direction (unknown).
+    pub fn star() -> Self {
+        DepEntry { lo: None, hi: None }
+    }
+
+    /// Exact distance, if the interval is a single point.
+    pub fn as_dist(&self) -> Option<Int> {
+        match (self.lo, self.hi) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True iff this entry is exactly 0.
+    pub fn is_zero(&self) -> bool {
+        self.as_dist() == Some(0)
+    }
+
+    /// True iff every value in the interval is ≥ 1.
+    pub fn is_positive(&self) -> bool {
+        self.lo.is_some_and(|l| l >= 1)
+    }
+
+    /// True iff every value in the interval is ≤ -1.
+    pub fn is_negative(&self) -> bool {
+        self.hi.is_some_and(|h| h <= -1)
+    }
+}
+
+impl fmt::Display for DepEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.lo, self.hi) {
+            (Some(a), Some(b)) if a == b => write!(f, "{a}"),
+            (Some(1), None) => write!(f, "+"),
+            (None, Some(-1)) => write!(f, "-"),
+            (Some(0), None) => write!(f, "0+"),
+            (None, Some(0)) => write!(f, "0-"),
+            (None, None) => write!(f, "*"),
+            (Some(a), None) => write!(f, ">={a}"),
+            (None, Some(b)) => write!(f, "<={b}"),
+            (Some(a), Some(b)) => write!(f, "[{a},{b}]"),
+        }
+    }
+}
+
+/// The classic dependence kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// Write → read (true dependence).
+    Flow,
+    /// Read → write.
+    Anti,
+    /// Write → write.
+    Output,
+}
+
+/// One dependence: from an instance of `src` to a later instance of `dst`.
+#[derive(Clone, Debug)]
+pub struct Dependence {
+    /// Source statement (earlier in execution).
+    pub src: StmtId,
+    /// Target statement.
+    pub dst: StmtId,
+    /// Kind.
+    pub kind: DepKind,
+    /// Precedence level: the dependence is carried by the `level`-th common
+    /// loop (0-based, outside-in); `level == common_loops` means the
+    /// instances share all common loop values and the dependence is
+    /// loop-independent (satisfied by syntactic order).
+    pub level: usize,
+    /// The instance-vector difference `L(dst) − L(src)`, abstracted to
+    /// intervals (distances and directions).
+    pub entries: Vec<DepEntry>,
+    /// The conflict polyhedron over `[params | src iters | dst iters]`
+    /// (plus any existential variables appended at the end).
+    pub system: System,
+    /// `src`'s surrounding loops, outside-in (variable slots
+    /// `nparams .. nparams+k_src` of `system`).
+    pub src_loops: Vec<LoopId>,
+    /// `dst`'s surrounding loops (following slots).
+    pub dst_loops: Vec<LoopId>,
+    /// True if integer feasibility was proven (vs. conservatively assumed).
+    pub certain: bool,
+}
+
+impl Dependence {
+    /// Number of common loops of `src` and `dst`.
+    pub fn common_loops(&self) -> usize {
+        self.src_loops
+            .iter()
+            .zip(&self.dst_loops)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The instance-vector difference at position `i` as a [`LinExpr`] over
+    /// the dependence polyhedron's variable space.
+    pub fn delta_expr(&self, layout: &InstanceLayout, nparams: usize, i: usize) -> LinExpr {
+        let space = self.system.nvars();
+        let (es, fs) = layout.embedding(self.src);
+        let (et, ft) = layout.embedding(self.dst);
+        let ks = self.src_loops.len();
+        let mut coeffs = vec![0; space];
+        for j in 0..self.dst_loops.len() {
+            coeffs[nparams + ks + j] += et[(i, j)];
+        }
+        for j in 0..ks {
+            coeffs[nparams + j] -= es[(i, j)];
+        }
+        LinExpr::from_parts(coeffs, ft[i] - fs[i])
+    }
+}
+
+/// All dependences of a program.
+#[derive(Clone, Debug)]
+pub struct DependenceMatrix {
+    /// Instance-vector length.
+    pub n: usize,
+    /// The dependences (columns of the paper's dependence matrix).
+    pub deps: Vec<Dependence>,
+}
+
+impl DependenceMatrix {
+    /// Self-dependences of a statement.
+    pub fn self_deps(&self, s: StmtId) -> impl Iterator<Item = &Dependence> {
+        self.deps.iter().filter(move |d| d.src == s && d.dst == s)
+    }
+
+    /// True iff some column has the given entries (used to compare against
+    /// the paper's published matrices, which may order columns differently).
+    pub fn has_column(&self, entries: &[DepEntry]) -> bool {
+        self.deps.iter().any(|d| d.entries == entries)
+    }
+
+    /// Render as the paper does: one column per dependence.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.n {
+            out.push('[');
+            for (j, d) in self.deps.iter().enumerate() {
+                if j > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{}", d.entries[i]));
+            }
+            out.push_str("]\n");
+        }
+        out
+    }
+}
+
+/// Append `stmt`'s iteration-space constraints to `sys`, with the
+/// statement's surrounding loop variables mapped to the contiguous slot
+/// range starting at `base`. Returns the next free existential slot.
+fn add_stmt_constraints(
+    p: &Program,
+    s: StmtId,
+    loops: &[LoopId],
+    sys: &mut System,
+    base: usize,
+    mut next_exist: usize,
+) -> usize {
+    let space = sys.nvars();
+    let slot_of = |l: LoopId| -> usize {
+        base + loops.iter().position(|&x| x == l).expect("loop not surrounding stmt")
+    };
+    let to_expr = |a: &inl_ir::Aff| -> LinExpr {
+        // numerator form; divisor handled by the caller via scaling
+        let mut coeffs = vec![0; space];
+        for &(v, c) in a.terms() {
+            match v {
+                inl_ir::VarKey::Param(pr) => coeffs[pr.0] += c,
+                inl_ir::VarKey::Loop(l) => coeffs[slot_of(l)] += c,
+            }
+        }
+        LinExpr::from_parts(coeffs, a.constant())
+    };
+    for (idx, &l) in loops.iter().enumerate() {
+        let ld = p.loop_decl(l);
+        let iv = LinExpr::var(space, base + idx);
+        for t in &ld.lower.terms {
+            sys.add_ge(iv.clone() * t.divisor() - to_expr(t));
+        }
+        for t in &ld.upper.terms {
+            sys.add_ge(to_expr(t) - iv.clone() * t.divisor());
+        }
+        if ld.step != 1 {
+            assert_eq!(ld.lower.terms.len(), 1, "non-unit step with multi-term lower bound");
+            let lo = &ld.lower.terms[0];
+            assert_eq!(lo.divisor(), 1);
+            let q = LinExpr::var(space, next_exist);
+            next_exist += 1;
+            sys.add_eq(iv.clone() - to_expr(lo) - q * ld.step);
+        }
+    }
+    for g in &p.stmt_decl(s).guards {
+        match g {
+            Guard::Ge(a) => sys.add_ge(to_expr(a)),
+            Guard::Eq(a) => sys.add_eq(to_expr(a)),
+            Guard::Div(a, m) => {
+                let q = LinExpr::var(space, next_exist);
+                next_exist += 1;
+                sys.add_eq(to_expr(a) - q * *m);
+            }
+        }
+    }
+    next_exist
+}
+
+fn count_exists(p: &Program, s: StmtId, loops: &[LoopId]) -> usize {
+    loops.iter().filter(|&&l| p.loop_decl(l).step != 1).count()
+        + p.stmt_decl(s)
+            .guards
+            .iter()
+            .filter(|g| matches!(g, Guard::Div(_, _)))
+            .count()
+}
+
+/// Compute the dependence matrix of a program (the general procedure of
+/// §3: "performs this analysis for all pairs of reads and writes").
+pub fn analyze(p: &Program, layout: &InstanceLayout) -> DependenceMatrix {
+    let mut deps = Vec::new();
+    let stmts: Vec<StmtId> = p.stmts().collect();
+    for &src in &stmts {
+        for &dst in &stmts {
+            // access pairs: (kind, src subscripts, dst subscripts, array)
+            let sd = p.stmt_decl(src);
+            let dd = p.stmt_decl(dst);
+            let mut src_reads = Vec::new();
+            sd.rhs.collect_reads(&mut src_reads);
+            let mut dst_reads = Vec::new();
+            dd.rhs.collect_reads(&mut dst_reads);
+
+            let mut pairs: Vec<(DepKind, &inl_ir::Access, &inl_ir::Access)> = Vec::new();
+            // write -> read: flow
+            for r in &dst_reads {
+                if r.array == sd.write.array {
+                    pairs.push((DepKind::Flow, &sd.write, r));
+                }
+            }
+            // read -> write: anti
+            for r in &src_reads {
+                if r.array == dd.write.array {
+                    pairs.push((DepKind::Anti, r, &dd.write));
+                }
+            }
+            // write -> write: output
+            if sd.write.array == dd.write.array {
+                pairs.push((DepKind::Output, &sd.write, &dd.write));
+            }
+
+            for (kind, asrc, adst) in pairs {
+                deps.extend(analyze_pair(p, layout, src, dst, kind, asrc, adst));
+            }
+        }
+    }
+    // Dedup: different access pairs (and kinds) often induce identical
+    // columns; legality only cares about src/dst/level/entries, so collapse
+    // those and keep the first kind observed.
+    let mut uniq: Vec<Dependence> = Vec::new();
+    for d in deps {
+        if !uniq.iter().any(|u| {
+            u.src == d.src && u.dst == d.dst && u.level == d.level && u.entries == d.entries
+        }) {
+            uniq.push(d);
+        }
+    }
+    DependenceMatrix { n: layout.len(), deps: uniq }
+}
+
+fn analyze_pair(
+    p: &Program,
+    layout: &InstanceLayout,
+    src: StmtId,
+    dst: StmtId,
+    kind: DepKind,
+    asrc: &inl_ir::Access,
+    adst: &inl_ir::Access,
+) -> Vec<Dependence> {
+    let nparams = p.nparams();
+    let src_loops = layout.stmt_loops(src).to_vec();
+    let dst_loops = layout.stmt_loops(dst).to_vec();
+    let (ks, kd) = (src_loops.len(), dst_loops.len());
+    let nexist = count_exists(p, src, &src_loops) + count_exists(p, dst, &dst_loops);
+    let space = nparams + ks + kd + nexist;
+
+    let mut base_sys = p.assumption_system(space);
+    let mut next_exist = nparams + ks + kd;
+    next_exist = add_stmt_constraints(p, src, &src_loops, &mut base_sys, nparams, next_exist);
+    let _ = add_stmt_constraints(p, dst, &dst_loops, &mut base_sys, nparams + ks, next_exist);
+
+    // subscript equality, cross-multiplying divisors
+    let src_slot = |l: LoopId| nparams + src_loops.iter().position(|&x| x == l).unwrap();
+    let dst_slot = |l: LoopId| nparams + ks + dst_loops.iter().position(|&x| x == l).unwrap();
+    let to_expr = |a: &inl_ir::Aff, slot: &dyn Fn(LoopId) -> usize| -> LinExpr {
+        let mut coeffs = vec![0; space];
+        for &(v, c) in a.terms() {
+            match v {
+                inl_ir::VarKey::Param(pr) => coeffs[pr.0] += c,
+                inl_ir::VarKey::Loop(l) => coeffs[slot(l)] += c,
+            }
+        }
+        LinExpr::from_parts(coeffs, a.constant())
+    };
+    for (is_, id_) in asrc.idxs.iter().zip(&adst.idxs) {
+        let es = to_expr(is_, &|l| src_slot(l));
+        let ed = to_expr(id_, &|l| dst_slot(l));
+        base_sys.add_eq(es * id_.divisor() - ed * is_.divisor());
+    }
+
+    // precedence levels over common loops
+    let ncommon = src_loops.iter().zip(&dst_loops).take_while(|(a, b)| a == b).count();
+    let mut out = Vec::new();
+    for level in 0..=ncommon {
+        if level == ncommon {
+            // loop-independent: requires src strictly before dst syntactically
+            if src == dst || !p.syntactically_before(src, dst) {
+                continue;
+            }
+        }
+        let mut sys = base_sys.clone();
+        for &l in &src_loops[..level.min(ncommon)] {
+            let e = LinExpr::var(space, dst_slot(l)) - LinExpr::var(space, src_slot(l));
+            sys.add_eq(e);
+        }
+        if level < ncommon {
+            let l = src_loops[level];
+            let e = LinExpr::var(space, dst_slot(l)) - LinExpr::var(space, src_slot(l));
+            sys.add_ge(e - LinExpr::constant(space, 1));
+        }
+        let feas = is_empty(&sys);
+        if feas == Feasibility::Empty {
+            continue;
+        }
+        // abstract each instance-vector difference position
+        let mut dep = Dependence {
+            src,
+            dst,
+            kind,
+            level,
+            entries: Vec::with_capacity(layout.len()),
+            system: sys,
+            src_loops: src_loops.clone(),
+            dst_loops: dst_loops.clone(),
+            certain: feas == Feasibility::NonEmpty,
+        };
+        for i in 0..layout.len() {
+            let expr = dep.delta_expr(layout, nparams, i);
+            let (lo, hi) = expr_bounds(&dep.system, &expr);
+            dep.entries.push(DepEntry { lo, hi });
+        }
+        out.push(dep);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inl_ir::zoo;
+
+    fn stmt(p: &Program, name: &str) -> StmtId {
+        p.stmts().find(|&s| p.stmt_decl(s).name == name).unwrap()
+    }
+
+    #[test]
+    fn paper_section3_matrix() {
+        // The paper's §3 dependence matrix for the simplified Cholesky:
+        //   [0  1  0]
+        //   [1 -1  0]
+        //   [-1 1  0]
+        //   [+  0  1]
+        // columns: three dependences (order may differ in our analysis).
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let dm = analyze(&p, &layout);
+        let col = |a: DepEntry, b: DepEntry, c: DepEntry, d: DepEntry| vec![a, b, c, d];
+        use DepEntry as E;
+        // flow S1 -> S2 through A(I): [0, 1, -1, +] — exactly the paper's
+        // first column.
+        assert!(
+            dm.has_column(&col(E::dist(0), E::dist(1), E::dist(-1), E::plus())),
+            "missing flow column; got\n{}",
+            dm.display()
+        );
+        // paper column 2 is [1, -1, 1, 0] (S2 -> S1): the paper reports the
+        // *value-based* distance 1 (only the last write of A(J) reaches the
+        // read); our memory-based analysis soundly reports the subsuming
+        // direction [+, -1, 1, 0].
+        assert!(
+            dm.has_column(&col(E::plus(), E::dist(-1), E::dist(1), E::dist(0))),
+            "missing column subsuming [1,-1,1,0]; got\n{}",
+            dm.display()
+        );
+        // paper column 3 abstracts the S2 self dependences; our analysis
+        // must find an S2 self dependence carried by the I loop with the
+        // same J (the A(J) write-to-write/read chain):
+        assert!(
+            dm.deps.iter().any(|d| d.src == d.dst
+                && p.stmt_decl(d.src).name == "S2"
+                && d.entries[0].is_positive()
+                && d.entries[3].is_zero()),
+            "missing S2 self dependence; got\n{}",
+            dm.display()
+        );
+    }
+
+    #[test]
+    fn flow_dep_is_certain_and_carries_system() {
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let dm = analyze(&p, &layout);
+        let s1 = stmt(&p, "S1");
+        let s2 = stmt(&p, "S2");
+        let flow = dm
+            .deps
+            .iter()
+            .find(|d| d.src == s1 && d.dst == s2 && d.kind == DepKind::Flow)
+            .expect("flow dep exists");
+        assert!(flow.certain);
+        // its polyhedron contains (N=4, Iw=2, Ir=2, Jr=3)
+        assert!(flow.system.contains(&[4, 2, 2, 3]));
+        assert!(!flow.system.contains(&[4, 2, 3, 4])); // different location
+    }
+
+    #[test]
+    fn no_dependence_between_disjoint_arrays() {
+        let p = zoo::independent_pair();
+        let layout = InstanceLayout::new(&p);
+        let dm = analyze(&p, &layout);
+        // X and Y never conflict; each statement writes disjoint cells
+        // (val(I) to X(I)): the only candidate is an output self-dep on the
+        // same cell, infeasible at distinct iterations.
+        assert!(
+            dm.deps.is_empty(),
+            "independent statements should have no deps; got\n{}",
+            dm.display()
+        );
+    }
+
+    #[test]
+    fn wavefront_has_unit_distances() {
+        let p = zoo::wavefront();
+        let layout = InstanceLayout::new(&p);
+        let dm = analyze(&p, &layout);
+        // flow deps (1,0) and (0,1)
+        use DepEntry as E;
+        assert!(dm.has_column(&[E::dist(1), E::dist(0)]), "{}", dm.display());
+        assert!(dm.has_column(&[E::dist(0), E::dist(1)]), "{}", dm.display());
+        // no negative-distance columns (all deps lexicographically positive)
+        for d in &dm.deps {
+            assert!(
+                d.entries[0].is_positive() || d.entries[0].is_zero(),
+                "dep not lexicographically positive: {}",
+                dm.display()
+            );
+        }
+    }
+
+    #[test]
+    fn cholesky_kij_has_paper_columns() {
+        // §6's published 7-row dependence matrix contains (among others)
+        // the column [0 0 + 1 / 0 1 0 -1 / ...]ᵀ — spot-check two.
+        let p = zoo::cholesky_kij();
+        let layout = InstanceLayout::new(&p);
+        let dm = analyze(&p, &layout);
+        assert!(!dm.deps.is_empty());
+        // every dependence is lexicographically non-negative as an
+        // instance-vector difference (execution order!)
+        for d in &dm.deps {
+            let first_nonzero = d.entries.iter().find(|e| !e.is_zero());
+            if let Some(e) = first_nonzero {
+                assert!(
+                    e.lo.is_some_and(|l| l >= 0),
+                    "dependence difference not lex-positive:\n{}",
+                    dm.display()
+                );
+            }
+        }
+        // S1 -> S2 flow via A[k][k] at the same k
+        let s1 = stmt(&p, "S1");
+        let s2 = stmt(&p, "S2");
+        assert!(dm
+            .deps
+            .iter()
+            .any(|d| d.src == s1 && d.dst == s2 && d.kind == DepKind::Flow));
+    }
+
+    #[test]
+    fn levels_partition_precedence() {
+        // in the wavefront nest, the (1,0) dep is carried at level 0 and
+        // the (0,1) dep at level 1
+        let p = zoo::wavefront();
+        let layout = InstanceLayout::new(&p);
+        let dm = analyze(&p, &layout);
+        let d10 = dm
+            .deps
+            .iter()
+            .find(|d| d.entries[0] == DepEntry::dist(1))
+            .unwrap();
+        assert_eq!(d10.level, 0);
+        let d01 = dm
+            .deps
+            .iter()
+            .find(|d| d.entries[0] == DepEntry::dist(0) && d.entries[1] == DepEntry::dist(1))
+            .unwrap();
+        assert_eq!(d01.level, 1);
+    }
+}

@@ -1,0 +1,602 @@
+//! Legality of transformation matrices (§5.1–5.3 of the paper).
+//!
+//! A square matrix `M` is a legal transformation (Definition 6) iff
+//!
+//! 1. it has the **block structure** of Fig. 5, from which the transformed
+//!    AST can be recovered (Fig. 6's `NewAST`): for every node, the edge
+//!    rows form a permutation of that node's edge columns (giving the new
+//!    child order), and subtree blocks only map to their own new location;
+//! 2. for every dependence `d` from `S1` to `S2`, the projection `P` of
+//!    `M·d` onto the loops common to `S1` and `S2` is lexicographically
+//!    positive, or zero with `S1 ⪯ₛ S2` in the new AST.
+//!
+//! `P = 0` with `S1 = S2` is allowed — the dependence is *unsatisfied* and
+//! must be carried by the extra loops the augmentation step adds (§5.4).
+//!
+//! The dependence test runs in two tiers: interval arithmetic over the
+//! distance/direction entries (fast, conservative), falling back to exact
+//! feasibility queries on the retained dependence polyhedra when the
+//! intervals are inconclusive.
+
+use crate::depend::{DepEntry, Dependence, DependenceMatrix};
+use crate::instance::InstanceLayout;
+use inl_ir::{LoopId, Program, StmtId};
+use inl_linalg::{IMat, Int};
+use inl_poly::{is_empty, Feasibility, LinExpr};
+use std::collections::HashMap;
+
+/// The recovered transformed AST (Fig. 6): the source program with each
+/// node's children permuted, plus the mapping from old vector positions to
+/// new ones.
+#[derive(Clone, Debug)]
+pub struct NewAst {
+    /// Structurally transformed program (bounds/bodies still the source
+    /// ones — code generation rewrites them; syntactic order is already
+    /// the new one).
+    pub program: Program,
+    /// Its layout.
+    pub layout: InstanceLayout,
+    /// `pos_map[old] = new` for every slot (loop or edge).
+    pub pos_map: Vec<usize>,
+    /// Child permutation per node (`None` key = virtual root): old child
+    /// index → new child index. Identity permutations included.
+    pub child_perms: HashMap<Option<LoopId>, Vec<usize>>,
+}
+
+/// Why a dependence is violated.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Index into `deps.deps`.
+    pub dep: usize,
+    /// Human-readable description.
+    pub reason: String,
+}
+
+/// Result of [`check_legal`].
+#[derive(Clone, Debug)]
+pub struct LegalityReport {
+    /// The recovered AST, or the block-structure error.
+    pub new_ast: Result<NewAst, String>,
+    /// Violated dependences.
+    pub violations: Vec<Violation>,
+    /// Indices of self-dependences left unsatisfied (`P = 0`, `S1 = S2`);
+    /// the augmentation procedure must carry these.
+    pub unsatisfied_self: Vec<usize>,
+}
+
+impl LegalityReport {
+    /// True iff the matrix is a legal transformation.
+    pub fn is_legal(&self) -> bool {
+        self.new_ast.is_ok() && self.violations.is_empty()
+    }
+}
+
+/// Recover the transformed AST from the block structure of `m`
+/// (Fig. 6's `NewAST`). Fails with a description if `m` lacks the
+/// structure.
+///
+/// The convention (read off the paper's §6 worked example) is that
+/// statement reordering permutes only a node's **edge positions**; subtree
+/// slots stay pinned. So the check is: for every node with ≥ 2 children,
+/// the rows at that node's edge positions must be unit selectors of that
+/// same node's edge columns, jointly forming a permutation — which *is*
+/// the new child order. Loop rows are unconstrained here (they are vetted
+/// by the dependence test and the per-statement rank machinery).
+pub fn recover_ast(p: &Program, layout: &InstanceLayout, m: &IMat) -> Result<NewAst, String> {
+    let n = layout.len();
+    if m.nrows() != n || m.ncols() != n {
+        return Err(format!("matrix is {}×{}, expected {n}×{n}", m.nrows(), m.ncols()));
+    }
+    if m.det() == 0 {
+        return Err("matrix is singular".to_string());
+    }
+    let mut perms: HashMap<Option<LoopId>, Vec<usize>> = HashMap::new();
+    // visit the virtual root and every loop
+    let mut nodes: Vec<(Option<LoopId>, usize)> = vec![(None, p.root().len())];
+    for l in p.loops() {
+        nodes.push((Some(l), p.loop_decl(l).children.len()));
+    }
+    for (node, c) in nodes {
+        // loops detached by surgery (e.g. after jamming) have no layout
+        // slots and no children in the tree — skip them
+        if let Some(l) = node {
+            let present = layout
+                .positions().contains(&crate::instance::Position::Loop(l));
+            if !present {
+                continue;
+            }
+        }
+        let name = match node {
+            None => "<root>".to_string(),
+            Some(l) => p.loop_decl(l).name.clone(),
+        };
+        let mut perm: Vec<usize> = (0..c).collect();
+        if c >= 2 {
+            let edge_pos: Vec<usize> = (0..c)
+                .map(|j| {
+                    layout
+                        .edge_position(node, j)
+                        .ok_or_else(|| format!("node {name} missing edge positions"))
+                })
+                .collect::<Result<_, _>>()?;
+            let edge_set: std::collections::HashSet<usize> =
+                edge_pos.iter().copied().collect();
+            for j_row in 0..c {
+                let row = edge_pos[j_row];
+                let mut hit = None;
+                for (col, &v) in m.row_slice(row).iter().enumerate() {
+                    match v {
+                        0 => {}
+                        1 if edge_set.contains(&col) && hit.is_none() => hit = Some(col),
+                        _ => {
+                            return Err(format!(
+                                "edge row {row} of node {name} is not a unit edge selector"
+                            ));
+                        }
+                    }
+                }
+                let Some(colpos) = hit else {
+                    return Err(format!("edge row {row} of node {name} selects no edge"));
+                };
+                let j_col = edge_pos.iter().position(|&e| e == colpos).unwrap();
+                // new vector's slot for child j_row gets old child j_col's
+                // edge: old child j_col becomes new child j_row
+                perm[j_col] = j_row;
+            }
+            let mut seen = vec![false; c];
+            for &i in &perm {
+                if seen[i] {
+                    return Err(format!("edge rows of node {name} do not form a permutation"));
+                }
+                seen[i] = true;
+            }
+            // edge columns must not be written with ±1-breaking values by
+            // OTHER edge rows — already ensured; loop rows may read edge
+            // columns (alignment), which is fine.
+        }
+        perms.insert(node, perm);
+    }
+    // Build the reordered program by applying each non-identity child
+    // permutation (node identities are stable under reordering).
+    let mut program = p.clone();
+    for (node, perm) in &perms {
+        if perm.iter().enumerate().any(|(i, &x)| i != x) {
+            program = program.reorder_children(*node, perm);
+        }
+    }
+    // Pinned-slot layout: same position vector, interpreted against the
+    // reordered program.
+    let new_layout = InstanceLayout::with_positions(&program, layout.positions().to_vec());
+    Ok(NewAst {
+        program,
+        layout: new_layout,
+        pos_map: (0..n).collect(),
+        child_perms: perms,
+    })
+}
+
+
+/// Interval arithmetic over dependence entries.
+fn scale_entry(e: DepEntry, k: Int) -> DepEntry {
+    if k == 0 {
+        return DepEntry::dist(0);
+    }
+    let (lo, hi) = (e.lo.map(|x| x * k), e.hi.map(|x| x * k));
+    if k > 0 {
+        DepEntry { lo, hi }
+    } else {
+        DepEntry { lo: hi, hi: lo }
+    }
+}
+
+fn add_entry(a: DepEntry, b: DepEntry) -> DepEntry {
+    DepEntry {
+        lo: a.lo.zip(b.lo).map(|(x, y)| x + y),
+        hi: a.hi.zip(b.hi).map(|(x, y)| x + y),
+    }
+}
+
+/// One transformed row of `M · d` as an interval.
+pub(crate) fn transformed_entry(m: &IMat, d: &Dependence, row: usize) -> DepEntry {
+    let mut acc = DepEntry::dist(0);
+    for (j, &coef) in m.row_slice(row).iter().enumerate() {
+        if coef != 0 {
+            acc = add_entry(acc, scale_entry(d.entries[j], coef));
+        }
+    }
+    acc
+}
+
+/// Outcome of one dependence under the transformation.
+enum DepStatus {
+    Satisfied,
+    UnsatisfiedSelf,
+    Violated(String),
+}
+
+/// Check legality of `m` (Definition 6).
+pub fn check_legal(
+    p: &Program,
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    m: &IMat,
+) -> LegalityReport {
+    let new_ast = recover_ast(p, layout, m);
+    let mut violations = Vec::new();
+    let mut unsatisfied_self = Vec::new();
+    if let Ok(ast) = &new_ast {
+        for (idx, d) in deps.deps.iter().enumerate() {
+            match check_dep(p, layout, ast, m, d) {
+                DepStatus::Satisfied => {}
+                DepStatus::UnsatisfiedSelf => unsatisfied_self.push(idx),
+                DepStatus::Violated(reason) => violations.push(Violation { dep: idx, reason }),
+            }
+        }
+    }
+    LegalityReport { new_ast, violations, unsatisfied_self }
+}
+
+/// Positions (new-space, ascending = outside-in) of the loops common to the
+/// dependence's source and target.
+pub(crate) fn common_new_positions(
+    layout: &InstanceLayout,
+    ast: &NewAst,
+    d: &Dependence,
+) -> Vec<usize> {
+    let ncommon = d.common_loops();
+    let mut pos: Vec<usize> = d.src_loops[..ncommon]
+        .iter()
+        .map(|&l| ast.pos_map[layout.loop_position(l)])
+        .collect();
+    pos.sort_unstable();
+    pos
+}
+
+fn check_dep(
+    p: &Program,
+    layout: &InstanceLayout,
+    ast: &NewAst,
+    m: &IMat,
+    d: &Dependence,
+) -> DepStatus {
+    let common = common_new_positions(layout, ast, d);
+    // fast path: interval arithmetic
+    let mut need_exact = false;
+    let mut decided: Option<DepStatus> = None;
+    for (k, &row) in common.iter().enumerate() {
+        let e = transformed_entry(m, d, row);
+        if e.is_positive() {
+            decided = Some(DepStatus::Satisfied);
+            break;
+        } else if e.is_zero() {
+            continue;
+        } else if e.is_negative() {
+            decided = Some(DepStatus::Violated(format!(
+                "projected entry {k} is negative ({e})"
+            )));
+            break;
+        } else {
+            need_exact = true;
+            break;
+        }
+    }
+    if !need_exact {
+        return match decided {
+            Some(s) => s,
+            // all projected entries exactly zero
+            None => zero_case(ast, d),
+        };
+    }
+    // exact fallback: per-prefix feasibility on the dependence polyhedron
+    exact_check(p, layout, ast, m, d, &common)
+}
+
+fn zero_case(ast: &NewAst, d: &Dependence) -> DepStatus {
+    if d.src == d.dst {
+        DepStatus::UnsatisfiedSelf
+    } else if ast.program.syntactically_before(d.src, d.dst) {
+        DepStatus::Satisfied
+    } else {
+        DepStatus::Violated(
+            "projection is zero but statements are reordered against the dependence".to_string(),
+        )
+    }
+}
+
+fn exact_check(
+    p: &Program,
+    layout: &InstanceLayout,
+    ast: &NewAst,
+    m: &IMat,
+    d: &Dependence,
+    common: &[usize],
+) -> DepStatus {
+    let nparams = p.nparams();
+    let space = d.system.nvars();
+    // new-space row `row` of M·Δ as a LinExpr over the dependence polyhedron
+    let row_expr = |row: usize| -> LinExpr {
+        let mut acc = LinExpr::zero(space);
+        for (j, &coef) in m.row_slice(row).iter().enumerate() {
+            if coef != 0 {
+                acc = acc + d.delta_expr(layout, nparams, j) * coef;
+            }
+        }
+        acc
+    };
+    // violation at prefix q: rows 0..q zero, row q negative
+    for q in 0..common.len() {
+        let mut sys = d.system.clone();
+        for &r in &common[..q] {
+            sys.add_eq(row_expr(r));
+        }
+        sys.add_ge(-row_expr(common[q]) - LinExpr::constant(space, 1));
+        if is_empty(&sys) != Feasibility::Empty {
+            return DepStatus::Violated(format!(
+                "dependence instance with negative projected entry {q} exists"
+            ));
+        }
+    }
+    // all-zero case feasible?
+    let mut sys = d.system.clone();
+    for &r in common {
+        sys.add_eq(row_expr(r));
+    }
+    if is_empty(&sys) != Feasibility::Empty {
+        zero_case(ast, d)
+    } else {
+        DepStatus::Satisfied
+    }
+}
+
+/// Convenience: check legality of a transformation sequence.
+pub fn check_legal_seq(
+    p: &Program,
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    seq: &[crate::transform::Transform],
+) -> LegalityReport {
+    let m = crate::transform::Transform::compose(p, layout, seq).expect("valid transforms");
+    check_legal(p, layout, deps, &m)
+}
+
+/// Group a report's unsatisfied self-dependences by statement (input to the
+/// augmentation procedure).
+pub fn unsatisfied_by_stmt(
+    deps: &DependenceMatrix,
+    report: &LegalityReport,
+) -> HashMap<StmtId, Vec<usize>> {
+    let mut map: HashMap<StmtId, Vec<usize>> = HashMap::new();
+    for &idx in &report.unsatisfied_self {
+        map.entry(deps.deps[idx].src).or_default().push(idx);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depend::analyze;
+    use crate::transform::Transform;
+    use inl_ir::zoo;
+
+    fn looop(p: &Program, name: &str) -> LoopId {
+        p.loops().find(|&l| p.loop_decl(l).name == name).unwrap()
+    }
+    fn stmt(p: &Program, name: &str) -> StmtId {
+        p.stmts().find(|&s| p.stmt_decl(s).name == name).unwrap()
+    }
+
+    #[test]
+    fn identity_is_legal() {
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let m = IMat::identity(layout.len());
+        let r = check_legal(&p, &layout, &deps, &m);
+        assert!(r.is_legal(), "{:?}", r.violations);
+        assert!(r.unsatisfied_self.is_empty());
+    }
+
+    #[test]
+    fn cholesky_interchange_needs_statement_reorder() {
+        // A naked I↔J interchange of the simplified Cholesky is ILLEGAL:
+        // at new outer value v, S1@v (the sqrt) would run before
+        // S2@(i, v), but S2@(i, v) writes the A(v) that S1@v consumes.
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let i = looop(&p, "I");
+        let j = looop(&p, "J");
+        let inter = Transform::Interchange(i, j).matrix(&p, &layout);
+        let r = check_legal(&p, &layout, &deps, &inter);
+        assert!(!r.is_legal(), "naked interchange must be illegal");
+        // Interchange combined with moving the J loop before S1 (the
+        // left-looking form: all updates of column v, then its sqrt) is
+        // legal — this is §6's point that loop permutation of matrix
+        // factorizations needs the full framework.
+        let m = Transform::compose(
+            &p,
+            &layout,
+            &[
+                Transform::ReorderChildren { parent: Some(i), perm: vec![1, 0] },
+                Transform::Interchange(i, j),
+            ],
+        )
+        .unwrap();
+        let r2 = check_legal(&p, &layout, &deps, &m);
+        assert!(r2.is_legal(), "{:?}", r2.violations);
+        // and the recovered AST puts S2's loop first
+        let ast = r2.new_ast.unwrap();
+        let order = ast.program.stmts_in_syntactic_order();
+        assert_eq!(ast.program.stmt_decl(order[0]).name, "S2");
+    }
+
+    #[test]
+    fn reversal_of_carried_loop_is_illegal() {
+        // reversing the I loop of the simplified Cholesky reverses the
+        // flow dependence from S1 to S2 in later iterations
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let m = Transform::Reverse(looop(&p, "I")).matrix(&p, &layout);
+        let r = check_legal(&p, &layout, &deps, &m);
+        assert!(!r.is_legal());
+    }
+
+    #[test]
+    fn wavefront_interchange_legal_reversal_illegal() {
+        let p = zoo::wavefront();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let i = looop(&p, "I");
+        let j = looop(&p, "J");
+        let inter = Transform::Interchange(i, j).matrix(&p, &layout);
+        assert!(check_legal(&p, &layout, &deps, &inter).is_legal());
+        let rev = Transform::Reverse(i).matrix(&p, &layout);
+        assert!(!check_legal(&p, &layout, &deps, &rev).is_legal());
+        // skewing J by I keeps all dependences lexicographically positive
+        let skew = Transform::Skew { target: j, source: i, factor: 1 }.matrix(&p, &layout);
+        assert!(check_legal(&p, &layout, &deps, &skew).is_legal());
+    }
+
+    #[test]
+    fn paper_skew_example_legal_with_unsatisfied_self_dep() {
+        // §5.4: M = skew of I by -J on the augmentation example is legal,
+        // and S1's self dependence is left unsatisfied (to be carried by
+        // the added loop).
+        let p = zoo::augmentation_example();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let m = Transform::Skew {
+            target: looop(&p, "I"),
+            source: looop(&p, "J"),
+            factor: -1,
+        }
+        .matrix(&p, &layout);
+        let r = check_legal(&p, &layout, &deps, &m);
+        assert!(r.is_legal(), "{:?}", r.violations);
+        let s1 = stmt(&p, "S1");
+        let unsat = unsatisfied_by_stmt(&deps, &r);
+        assert!(
+            unsat.contains_key(&s1),
+            "S1 should have unsatisfied self deps: {:?}",
+            r.unsatisfied_self
+        );
+    }
+
+    #[test]
+    fn statement_reorder_against_dependence_is_illegal() {
+        // moving S2's loop before S1 breaks the S1 -> S2 flow dependence at
+        // equal I
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let i = looop(&p, "I");
+        let m =
+            Transform::ReorderChildren { parent: Some(i), perm: vec![1, 0] }.matrix(&p, &layout);
+        let r = check_legal(&p, &layout, &deps, &m);
+        assert!(!r.is_legal());
+    }
+
+    #[test]
+    fn recover_ast_reads_child_permutation() {
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let i = looop(&p, "I");
+        let m =
+            Transform::ReorderChildren { parent: Some(i), perm: vec![1, 0] }.matrix(&p, &layout);
+        let ast = recover_ast(&p, &layout, &m).unwrap();
+        assert_eq!(ast.child_perms[&Some(i)], vec![1, 0]);
+        // in the new AST the J loop comes first
+        let order = ast.program.stmts_in_syntactic_order();
+        assert_eq!(ast.program.stmt_decl(order[0]).name, "S2");
+    }
+
+    #[test]
+    fn recover_ast_rejects_garbage() {
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        // singular
+        let z = IMat::zeros(4, 4);
+        assert!(recover_ast(&p, &layout, &z).is_err());
+        // edge row smeared into loop columns
+        let mut m = IMat::identity(4);
+        m[(1, 0)] = 1; // edge row reads the I loop
+        assert!(recover_ast(&p, &layout, &m).is_err());
+        // wrong size
+        assert!(recover_ast(&p, &layout, &IMat::identity(3)).is_err());
+    }
+
+    #[test]
+    fn paper_section6_left_looking_matrix_is_legal() {
+        // §6's worked example: transform right-looking (KIJ) Cholesky to
+        // the traditional left-looking form. The paper prints a matrix C
+        // whose loop rows are inconsistent with the position layout its
+        // own §3 vectors and §6 dependence matrix fix (see EXPERIMENTS.md,
+        // E6); in that layout — [K, e₃, e₂, e₁, J, L, I] — the correct
+        // left-looking matrix has the same edge rows and the loop rows:
+        //   new outer ← old L position (the column being updated, reaching
+        //               every statement through the diagonal padding),
+        //   new J slot ← old J, new L slot ← old K, new I slot ← old I.
+        let p = zoo::cholesky_kij();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let c = IMat::from_rows(&[
+            &[0, 0, 0, 0, 0, 1, 0][..], // outer = old L position
+            &[0, 0, 1, 0, 0, 0, 0],     // edge rows: children (S1, I, J)
+            &[0, 0, 0, 1, 0, 0, 0],     //   permuted to (J, S1, I)
+            &[0, 1, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 1, 0, 0], // J slot = old J
+            &[1, 0, 0, 0, 0, 0, 0], // L slot = old K
+            &[0, 0, 0, 0, 0, 0, 1], // I slot = old I
+        ]);
+        let r = check_legal(&p, &layout, &deps, &c);
+        assert!(r.is_legal(), "violations: {:?}", r.violations);
+        assert!(r.unsatisfied_self.is_empty(), "per-statement transforms are nonsingular");
+        let ast = r.new_ast.unwrap();
+        let k = looop(&p, "K");
+        // old children (S1, I, J) → new order (J, S1, I): perm [1, 2, 0]
+        assert_eq!(ast.child_perms[&Some(k)], vec![1, 2, 0]);
+        let order = ast.program.stmts_in_syntactic_order();
+        let names: Vec<_> =
+            order.iter().map(|&s| ast.program.stmt_decl(s).name.clone()).collect();
+        assert_eq!(names, vec!["S3", "S1", "S2"]);
+    }
+
+    #[test]
+    fn paper_section6_printed_matrix_is_rejected() {
+        // The literally-printed C of §6 (first row selecting the old J
+        // position) reverses the flow from S3's column-k updates to S2's
+        // column-k division in our (paper-§3-faithful) layout; the checker
+        // must catch it.
+        let p = zoo::cholesky_kij();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let c = IMat::from_rows(&[
+            &[0, 0, 0, 0, 1, 0, 0][..],
+            &[0, 0, 1, 0, 0, 0, 0],
+            &[0, 0, 0, 1, 0, 0, 0],
+            &[0, 1, 0, 0, 0, 0, 0],
+            &[1, 0, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 0, 1, 0],
+            &[0, 0, 0, 0, 0, 0, 1],
+        ]);
+        let r = check_legal(&p, &layout, &deps, &c);
+        assert!(!r.is_legal());
+    }
+
+    #[test]
+    fn forward_alignment_breaking_flow_is_illegal() {
+        // aligning S1 forward by 1 w.r.t. I delays each pivot sqrt to the
+        // next outer iteration; S2@(I, ·) reads A(I) written by S1@I, so
+        // the flow dependence is reversed.
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let s1 = stmt(&p, "S1");
+        let i = looop(&p, "I");
+        let fwd = Transform::Align { stmt: s1, looop: i, offset: 1 }.matrix(&p, &layout);
+        let r = check_legal(&p, &layout, &deps, &fwd);
+        assert!(!r.is_legal());
+    }
+}

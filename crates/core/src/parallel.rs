@@ -1,0 +1,223 @@
+//! Parallel loop discovery (§7 of the paper).
+//!
+//! "The linear framework allows us to look for good transformations
+//! efficiently (for example, parallelizing a loop requires finding a row in
+//! the nullspace of the dependence matrix)."
+//!
+//! Two notions:
+//!
+//! * **Outer parallelism** ([`parallel_rows`]): a row `r` with `r · d = 0`
+//!   for *every* dependence can be made the outermost loop and run DOALL —
+//!   every dependence stays within one of its iterations. This is the
+//!   nullspace computation the paper describes.
+//! * **Inner parallelism** ([`parallel_slots`]): under a transformation
+//!   `M`, a loop slot is parallel when every dependence is either already
+//!   carried (strictly positive) by an outer slot or zero at this slot.
+//!   The classic wavefront — whose dependence matrix has a trivial
+//!   nullspace, so *no* outer loop can be parallel — gets an inner parallel
+//!   loop after skewing the outer loop by the inner.
+
+use crate::depend::DependenceMatrix;
+use crate::instance::{InstanceLayout, Position};
+use crate::legal::{common_new_positions, transformed_entry, NewAst};
+use inl_linalg::{gauss, IMat, IVec};
+
+/// Integer basis of rows `r` with `r · d = 0` for every dependence `d`
+/// (outer-parallel candidate directions).
+///
+/// Entries that are not exact distances (directions like `+`) cannot be
+/// multiplied by a nonzero coefficient and still give a guaranteed zero, so
+/// positions where any dependence is inexact are pinned to zero.
+pub fn parallel_rows(layout: &InstanceLayout, deps: &DependenceMatrix) -> Vec<IVec> {
+    let n = layout.len();
+    let mut constraint = IMat::zeros(0, 0);
+    let mut inexact = vec![false; n];
+    for d in &deps.deps {
+        let mut row = IVec::zeros(n);
+        for (j, e) in d.entries.iter().enumerate() {
+            match e.as_dist() {
+                Some(c) => row[j] = c,
+                None => inexact[j] = true,
+            }
+        }
+        constraint.push_row(&row);
+    }
+    for (j, &bad) in inexact.iter().enumerate() {
+        if bad {
+            constraint.push_row(&IVec::unit(n, j));
+        }
+    }
+    if constraint.nrows() == 0 {
+        // no dependences at all: every loop position row qualifies
+        return layout
+            .positions()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Position::Loop(_)))
+            .map(|(i, _)| IVec::unit(n, i))
+            .collect();
+    }
+    gauss::nullspace_int(&constraint)
+        .into_iter()
+        // a useful parallel row must touch at least one loop position
+        .filter(|v| {
+            layout
+                .positions()
+                .iter()
+                .enumerate()
+                .any(|(i, p)| matches!(p, Position::Loop(_)) && v[i] != 0)
+        })
+        .collect()
+}
+
+/// True iff `row · d = 0` for every dependence (using exact entries only).
+pub fn is_parallel_row(deps: &DependenceMatrix, row: &IVec) -> bool {
+    deps.deps.iter().all(|d| {
+        let mut acc = 0;
+        for (j, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            match d.entries[j].as_dist() {
+                Some(v) => acc += c * v,
+                None => return false,
+            }
+        }
+        acc == 0
+    })
+}
+
+/// The loop slots (vector positions) that can run in parallel under the
+/// legal transformation `m`: slot `q` is parallel iff every dependence
+/// whose source/target share `q` is either carried strictly positive by an
+/// earlier common slot or exactly zero at `q`.
+///
+/// Conservative: inconclusive intervals disqualify the slot.
+pub fn parallel_slots(
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    ast: &NewAst,
+    m: &IMat,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    'slots: for (q, pos) in layout.positions().iter().enumerate() {
+        if !matches!(pos, Position::Loop(_)) {
+            continue;
+        }
+        for d in &deps.deps {
+            let common = common_new_positions(layout, ast, d);
+            if !common.contains(&q) {
+                continue;
+            }
+            let mut carried = false;
+            for &row in common.iter().take_while(|&&r| r < q) {
+                let e = transformed_entry(m, d, row);
+                if e.is_positive() {
+                    carried = true;
+                    break;
+                }
+                if !e.is_zero() {
+                    // inconclusive earlier entry: cannot prove carrying
+                    break;
+                }
+            }
+            if carried {
+                continue;
+            }
+            if !transformed_entry(m, d, q).is_zero() {
+                continue 'slots;
+            }
+        }
+        out.push(q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depend::analyze;
+    use crate::legal::check_legal;
+    use crate::transform::Transform;
+    use inl_ir::zoo;
+
+    #[test]
+    fn wavefront_has_no_outer_parallelism() {
+        // deps (1,0) and (0,1) span the whole space: the nullspace is
+        // trivial, so no single loop direction is dependence-free. This is
+        // exactly why the wavefront needs skewing.
+        let p = zoo::wavefront();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        assert!(parallel_rows(&layout, &deps).is_empty());
+        assert!(!is_parallel_row(&deps, &IVec::from(vec![1, -1])));
+        assert!(!is_parallel_row(&deps, &IVec::from(vec![1, 1])));
+    }
+
+    #[test]
+    fn skewed_wavefront_inner_loop_is_parallel() {
+        // after skewing the outer loop by the inner (outer' = i + j), both
+        // unit dependences are carried at level 0 and the inner loop can
+        // run DOALL — the classic wavefront schedule
+        let p = zoo::wavefront();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let loops: Vec<_> = p.loops().collect();
+        let m = Transform::Skew { target: loops[0], source: loops[1], factor: 1 }
+            .matrix(&p, &layout);
+        let report = check_legal(&p, &layout, &deps, &m);
+        assert!(report.is_legal());
+        let ast = report.new_ast.as_ref().unwrap();
+        let slots = parallel_slots(&layout, &deps, ast, &m);
+        assert_eq!(slots, vec![1], "inner slot parallel, outer not");
+        // without the skew, nothing is parallel
+        let id = IMat::identity(2);
+        let rid = check_legal(&p, &layout, &deps, &id);
+        let ast_id = rid.new_ast.as_ref().unwrap();
+        assert!(parallel_slots(&layout, &deps, ast_id, &id).is_empty());
+    }
+
+    #[test]
+    fn independent_statements_fully_parallel() {
+        let p = zoo::independent_pair();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        assert!(deps.deps.is_empty());
+        let rows = parallel_rows(&layout, &deps);
+        assert!(!rows.is_empty(), "dependence-free loop has parallel rows");
+        let id = IMat::identity(layout.len());
+        let report = check_legal(&p, &layout, &deps, &id);
+        let ast = report.new_ast.as_ref().unwrap();
+        let slots = parallel_slots(&layout, &deps, ast, &id);
+        assert_eq!(slots.len(), 1, "the single loop slot is parallel");
+    }
+
+    #[test]
+    fn cholesky_outer_not_parallel() {
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let i_unit = IVec::unit(layout.len(), 0);
+        assert!(!is_parallel_row(&deps, &i_unit));
+        // under the identity schedule, the inner J loop IS parallel (the
+        // divisions of one pivot step are independent)
+        let id = IMat::identity(layout.len());
+        let report = check_legal(&p, &layout, &deps, &id);
+        let ast = report.new_ast.as_ref().unwrap();
+        let slots = parallel_slots(&layout, &deps, ast, &id);
+        let jpos = 3;
+        assert!(slots.contains(&jpos), "inner J loop parallel: {slots:?}");
+        assert!(!slots.contains(&0), "outer I loop sequential");
+    }
+
+    #[test]
+    fn parallel_rows_are_orthogonal_to_exact_deps() {
+        for p in [zoo::augmentation_example(), zoo::independent_pair()] {
+            let layout = InstanceLayout::new(&p);
+            let deps = analyze(&p, &layout);
+            for r in parallel_rows(&layout, &deps) {
+                assert!(is_parallel_row(&deps, &r), "{}: row {r} not parallel", p.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Statement sinking — the baseline the paper argues *against*.
+//!
+//! §4.1: "the commonly used strategy of performing transformations after
+//! sinking all statements into the innermost loop will in general change
+//! the index space". This module implements that classical strategy so the
+//! repo can compare it with the paper's direct approach:
+//!
+//! * a statement before (after) a sibling loop is moved into the loop,
+//!   guarded by "first (last) iteration";
+//! * this is only *possible* when each loop has a single loop child
+//!   (otherwise no perfect nest exists without distribution), and only
+//!   *correct* when the inner loop's range is provably non-empty — exactly
+//!   the two failure modes matrix factorizations hit, which is the paper's
+//!   motivation for transforming imperfect nests directly.
+
+use inl_ir::{Aff, Guard, LoopId, Node, Program, VarKey};
+use inl_poly::{is_empty, Feasibility, LinExpr, System};
+
+/// Why sinking is impossible or unsafe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SinkError {
+    /// A loop has two or more loop children: no single perfect nest exists
+    /// without loop distribution.
+    Branching(String),
+    /// The inner loop's range may be empty for some legal parameter/outer
+    /// values, so a sunk statement could be skipped entirely.
+    PossiblyEmptyRange(String),
+    /// Bounds with multiple max/min terms cannot express the "first/last
+    /// iteration" guard as a single affine equality.
+    ComplexBounds(String),
+    /// Non-unit steps are not supported by this baseline.
+    NonUnitStep(String),
+}
+
+/// Sink every statement into the innermost loop, producing a perfect nest.
+///
+/// Returns the transformed program or the reason the strategy breaks down.
+pub fn sink_statements(p: &Program) -> Result<Program, SinkError> {
+    let mut cur = p.clone();
+    loop {
+        let Some(target) = find_sinkable(&cur)? else {
+            return Ok(cur);
+        };
+        cur = sink_one(&cur, target)?;
+    }
+}
+
+/// Find a loop whose children mix statements with exactly one loop.
+/// `Ok(None)` when the program is already perfectly nested.
+fn find_sinkable(p: &Program) -> Result<Option<LoopId>, SinkError> {
+    for l in p.loops() {
+        // skip detached loops
+        if p.loops_surrounding_loop(l).is_empty()
+            && !p.root().contains(&Node::Loop(l))
+        {
+            continue;
+        }
+        let children = &p.loop_decl(l).children;
+        let nloops = children.iter().filter(|c| matches!(c, Node::Loop(_))).count();
+        let nstmts = children.len() - nloops;
+        if nloops >= 2 {
+            return Err(SinkError::Branching(p.loop_decl(l).name.clone()));
+        }
+        if nloops == 1 && nstmts > 0 {
+            return Ok(Some(l));
+        }
+    }
+    // also the virtual root must not branch for a perfect nest, but a
+    // multi-loop root is a sequence of perfect nests — acceptable output
+    Ok(None)
+}
+
+/// Sink the statement children of `outer` into its single loop child.
+fn sink_one(p: &Program, outer: LoopId) -> Result<Program, SinkError> {
+    let mut out = p.clone();
+    let children = p.loop_decl(outer).children.clone();
+    let inner = children
+        .iter()
+        .find_map(|&c| match c {
+            Node::Loop(l) => Some(l),
+            _ => None,
+        })
+        .expect("sinkable loop has a loop child");
+    let inner_decl = p.loop_decl(inner).clone();
+    let iname = inner_decl.name.clone();
+    if inner_decl.step != 1 {
+        return Err(SinkError::NonUnitStep(iname));
+    }
+    if inner_decl.lower.terms.len() != 1 || inner_decl.upper.terms.len() != 1 {
+        return Err(SinkError::ComplexBounds(iname));
+    }
+    let lo = inner_decl.lower.terms[0].clone();
+    let hi = inner_decl.upper.terms[0].clone();
+    if lo.divisor() != 1 || hi.divisor() != 1 {
+        return Err(SinkError::ComplexBounds(iname));
+    }
+
+    // The range must be provably non-empty in the outer context.
+    if range_may_be_empty(p, inner) {
+        return Err(SinkError::PossiblyEmptyRange(iname));
+    }
+
+    let loop_pos = children
+        .iter()
+        .position(|&c| c == Node::Loop(inner))
+        .expect("inner position");
+    let ivar = Aff::var(VarKey::Loop(inner));
+    let mut new_inner_children = Vec::new();
+    // statements before the loop: guard "first iteration" (i == lo)
+    for &c in &children[..loop_pos] {
+        let Node::Stmt(s) = c else { unreachable!("single loop child") };
+        out.stmts_guard_push(s, Guard::Eq(ivar.clone() - lo.clone()));
+        new_inner_children.push(c);
+    }
+    new_inner_children.extend(&inner_decl.children);
+    // statements after the loop: guard "last iteration" (i == hi)
+    for &c in &children[loop_pos + 1..] {
+        let Node::Stmt(s) = c else { unreachable!("single loop child") };
+        out.stmts_guard_push(s, Guard::Eq(ivar.clone() - hi.clone()));
+        new_inner_children.push(c);
+    }
+    out.set_loop_children(inner, new_inner_children);
+    out.set_loop_children(outer, vec![Node::Loop(inner)]);
+    Ok(out)
+}
+
+/// Can the loop's range be empty for some feasible outer iteration?
+fn range_may_be_empty(p: &Program, l: LoopId) -> bool {
+    let space = p.space();
+    let mut sys = p.assumption_system(space);
+    // outer loops' bounds
+    for &o in p.loops_surrounding_loop(l).iter() {
+        add_loop_bounds(p, o, space, &mut sys);
+    }
+    // emptiness: upper <= lower - 1 (single-term bounds checked by caller)
+    let ld = p.loop_decl(l);
+    let lo = p.to_linexpr(&ld.lower.terms[0], space);
+    let hi = p.to_linexpr(&ld.upper.terms[0], space);
+    sys.add_ge(lo - hi - LinExpr::constant(space, 1));
+    is_empty(&sys) != Feasibility::Empty
+}
+
+fn add_loop_bounds(p: &Program, l: LoopId, space: usize, sys: &mut System) {
+    let ld = p.loop_decl(l);
+    let iv = LinExpr::var(space, p.loop_var_index(l));
+    for t in &ld.lower.terms {
+        sys.add_ge(iv.clone() * t.divisor() - p.to_linexpr(&t.numerator(), space));
+    }
+    for t in &ld.upper.terms {
+        sys.add_ge(p.to_linexpr(&t.numerator(), space) - iv.clone() * t.divisor());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inl_ir::zoo;
+
+    #[test]
+    fn running_example_sinks_to_perfect_nest() {
+        // J = I..N is never empty (I <= N), so sinking S3 (after the J
+        // loop) works with a "last iteration" guard
+        let p = zoo::running_example();
+        let q = sink_statements(&p).expect("sinkable");
+        // perfect: the I loop has a single loop child carrying everything
+        let i = q.loops().next().unwrap();
+        assert_eq!(q.loop_decl(i).children.len(), 1);
+        let inl_ir::Node::Loop(j) = q.loop_decl(i).children[0] else {
+            panic!("expected loop child")
+        };
+        assert_eq!(q.loop_decl(j).children.len(), 3); // S1, S2, S3(guarded)
+        assert!(q.validate().is_ok(), "{:?}", q.validate());
+        // and it computes the same thing
+        inl_exec::equivalent(&p, &q, &[5], &|_, _| 0.0).expect("identical");
+        inl_exec::equivalent(&p, &q, &[1], &|_, _| 0.0).expect("identical at N=1");
+    }
+
+    #[test]
+    fn cholesky_sinking_fails_on_empty_range() {
+        // the paper's motivation: J = I+1..N is empty at I = N, so the
+        // pivot sqrt would be lost — sinking must refuse
+        let p = zoo::simple_cholesky();
+        assert!(matches!(
+            sink_statements(&p),
+            Err(SinkError::PossiblyEmptyRange(name)) if name == "J"
+        ));
+    }
+
+    #[test]
+    fn full_cholesky_sinking_fails_on_branching() {
+        // K has two loop children (I and J nests): no perfect nest without
+        // distribution — which §1 notes is illegal here anyway
+        let p = zoo::cholesky_kij();
+        assert!(matches!(sink_statements(&p), Err(SinkError::Branching(_))));
+    }
+
+    #[test]
+    fn already_perfect_nest_is_untouched() {
+        let p = zoo::perfect_nest();
+        let q = sink_statements(&p).expect("no-op");
+        assert_eq!(p.to_pseudocode(), q.to_pseudocode());
+    }
+
+    #[test]
+    fn sunk_guards_reference_inner_variable() {
+        let p = zoo::running_example();
+        let q = sink_statements(&p).expect("sinkable");
+        let s3 = q.stmts().find(|&s| q.stmt_decl(s).name == "S3").unwrap();
+        assert_eq!(q.stmt_decl(s3).guards.len(), 1);
+        assert!(matches!(q.stmt_decl(s3).guards[0], Guard::Eq(_)));
+    }
+}

@@ -1,0 +1,222 @@
+//! The reference interpreter.
+//!
+//! Executes a program exactly in its AST order: loops run from their lower
+//! to their upper bound (inclusive, with step), guards are evaluated per
+//! statement instance, subscripts must evaluate to integers (divisor
+//! expressions from non-unimodular code generation are guarded by `Div`
+//! guards so inexact divisions never reach an access).
+
+use crate::machine::Machine;
+use inl_ir::{Aff, Expr, Guard, LoopId, Node, Program, StmtId, VarKey};
+use inl_linalg::Int;
+
+/// Interpreter over one program.
+/// Per-instance observation hook: `(statement, loop environment)`.
+pub type InstanceHook<'p> = Box<dyn FnMut(StmtId, &[Option<Int>]) + 'p>;
+
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    /// Optional hook invoked before each executed statement instance with
+    /// the current loop environment.
+    pub on_instance: Option<InstanceHook<'p>>,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Create an interpreter for `program`.
+    pub fn new(program: &'p Program) -> Self {
+        Interpreter { program, on_instance: None }
+    }
+
+    /// Execute the program on the machine.
+    pub fn run(&mut self, m: &mut Machine) {
+        let mut env: Vec<Option<Int>> = vec![None; self.program.loops().count()];
+        let root: Vec<Node> = self.program.root().to_vec();
+        self.run_nodes(&root, &mut env, m);
+    }
+
+    fn lookup<'e>(env: &'e [Option<Int>], params: &'e [Int]) -> impl Fn(VarKey) -> Int + 'e {
+        move |v: VarKey| match v {
+            VarKey::Param(p) => params[p.0],
+            VarKey::Loop(l) => env[l.0].expect("loop variable read outside its loop"),
+        }
+    }
+
+    fn run_nodes(&mut self, nodes: &[Node], env: &mut Vec<Option<Int>>, m: &mut Machine) {
+        for &n in nodes {
+            match n {
+                Node::Loop(l) => self.run_loop(l, env, m),
+                Node::Stmt(s) => self.run_stmt(s, env, m),
+            }
+        }
+    }
+
+    fn run_loop(&mut self, l: LoopId, env: &mut Vec<Option<Int>>, m: &mut Machine) {
+        // `self.program` is a plain `&'p Program`, so declarations borrow
+        // for 'p — no cloning in the hot loop.
+        let ld = Program::loop_decl(self.program, l);
+        let (lo, hi) = {
+            let look = Self::lookup(env, m.params());
+            (ld.lower.eval_lower(&look), ld.upper.eval_upper(&look))
+        };
+        let mut i = lo;
+        while i <= hi {
+            env[l.0] = Some(i);
+            self.run_nodes(&ld.children, env, m);
+            i += ld.step;
+        }
+        env[l.0] = None;
+    }
+
+    fn run_stmt(&mut self, s: StmtId, env: &mut [Option<Int>], m: &mut Machine) {
+        let sd = Program::stmt_decl(self.program, s);
+        {
+            let look = Self::lookup(env, m.params());
+            for g in &sd.guards {
+                let pass = match g {
+                    Guard::Ge(a) => a.eval(&look).signum() >= 0,
+                    Guard::Eq(a) => a.eval(&look).is_zero(),
+                    Guard::Div(a, k) => {
+                        let v = a.eval(&look);
+                        debug_assert!(v.is_integer());
+                        v.num() % *k == 0
+                    }
+                };
+                if !pass {
+                    return;
+                }
+            }
+        }
+        if let Some(hook) = &mut self.on_instance {
+            hook(s, env);
+        }
+        let value = self.eval(&sd.rhs, env, m);
+        let idx = self.eval_subscripts(&sd.write.idxs, env, m);
+        m.array_mut(sd.write.array).set(&idx, value);
+    }
+
+    fn eval_subscripts(
+        &self,
+        idxs: &[Aff],
+        env: &[Option<Int>],
+        m: &Machine,
+    ) -> Vec<usize> {
+        let look = Self::lookup(env, m.params());
+        idxs.iter()
+            .map(|a| {
+                let v = a
+                    .eval_int(&look)
+                    .unwrap_or_else(|| panic!("subscript {a:?} not integral"));
+                assert!(v >= 0, "negative subscript {v}");
+                v as usize
+            })
+            .collect()
+    }
+
+    fn eval(&self, e: &Expr, env: &[Option<Int>], m: &Machine) -> f64 {
+        match e {
+            Expr::Const(v) => *v,
+            Expr::Index(a) => {
+                let look = Self::lookup(env, m.params());
+                let r = a.eval(&look);
+                r.num() as f64 / r.den() as f64
+            }
+            Expr::Read(acc) => {
+                let idx = self.eval_subscripts(&acc.idxs, env, m);
+                m.array(acc.array).get(&idx)
+            }
+            Expr::Neg(x) => -self.eval(x, env, m),
+            Expr::Sqrt(x) => self.eval(x, env, m).sqrt(),
+            Expr::Add(a, b) => self.eval(a, env, m) + self.eval(b, env, m),
+            Expr::Sub(a, b) => self.eval(a, env, m) - self.eval(b, env, m),
+            Expr::Mul(a, b) => self.eval(a, env, m) * self.eval(b, env, m),
+            Expr::Div(a, b) => self.eval(a, env, m) / self.eval(b, env, m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inl_ir::zoo;
+
+    #[test]
+    fn simple_cholesky_computes() {
+        // N = 1: A(1) = sqrt(A(1)); no inner iterations
+        let p = zoo::simple_cholesky();
+        let mut m = Machine::new(&p, &[1], &|_, _| 16.0);
+        Interpreter::new(&p).run(&mut m);
+        assert_eq!(m.array_by_name("A").unwrap()[1], 4.0);
+        // N = 2: A(1)=sqrt(A(1)); A(2)=A(2)/A(1); A(2)=sqrt(A(2))
+        let mut m2 = Machine::new(&p, &[2], &|_, _| 16.0);
+        Interpreter::new(&p).run(&mut m2);
+        let a = m2.array_by_name("A").unwrap();
+        assert_eq!(a[1], 4.0);
+        assert_eq!(a[2], 2.0); // sqrt(16/4)
+    }
+
+    #[test]
+    fn wavefront_values() {
+        // A[i][j] = A[i-1][j] + A[i][j-1] over zero boundary except
+        // A[0][*] = A[*][0] = 1 gives binomial-like growth
+        let p = zoo::wavefront();
+        let mut m = Machine::new(&p, &[3], &|_, idx| {
+            if idx[0] == 0 || idx[1] == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        Interpreter::new(&p).run(&mut m);
+        let a = m.arrays().iter().find(|a| a.name == "A").unwrap();
+        assert_eq!(a.get(&[1, 1]), 2.0);
+        assert_eq!(a.get(&[2, 1]), 3.0);
+        assert_eq!(a.get(&[2, 2]), 6.0);
+        assert_eq!(a.get(&[3, 3]), 20.0);
+    }
+
+    #[test]
+    fn guards_filter_instances() {
+        use inl_ir::{Aff, Expr, ProgramBuilder};
+        // do I = 1..N: if (I mod 2 == 0) X(I) = 1
+        let mut b = ProgramBuilder::new("guarded");
+        let n = b.param("N");
+        let x = b.array("X", &[Aff::param(n) + Aff::konst(1)]);
+        b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+            let i = b.loop_var("I");
+            b.stmt_guarded(
+                "S",
+                x,
+                vec![Aff::var(i)],
+                Expr::konst(1.0),
+                vec![Guard::Div(Aff::var(i), 2)],
+            );
+        });
+        let p = b.finish();
+        let mut m = Machine::new(&p, &[5], &|_, _| 0.0);
+        Interpreter::new(&p).run(&mut m);
+        let x = m.array_by_name("X").unwrap();
+        assert_eq!(x, &[0.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn hook_sees_every_instance() {
+        let p = zoo::simple_cholesky();
+        let counter = std::cell::Cell::new(0usize);
+        let mut interp = Interpreter::new(&p);
+        interp.on_instance = Some(Box::new(|_, _| counter.set(counter.get() + 1)));
+        let mut m = Machine::new(&p, &[4], &|_, _| 9.0);
+        interp.run(&mut m);
+        drop(interp);
+        // N=4: S1 runs 4 times; S2 runs 3+2+1 = 6 times
+        assert_eq!(counter.get(), 10);
+    }
+
+    #[test]
+    fn empty_ranges_execute_nothing() {
+        let p = zoo::perfect_nest();
+        // N = 1: inner loop J = 2..1 is empty
+        let mut m = Machine::new(&p, &[1], &|_, _| 7.0);
+        Interpreter::new(&p).run(&mut m);
+        assert_eq!(m.array_by_name("A").unwrap(), &[7.0, 7.0]);
+    }
+}

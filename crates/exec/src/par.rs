@@ -1,0 +1,299 @@
+//! Parallel execution of loops the framework has proven dependence-free.
+//!
+//! Loops marked `parallel` in the IR (set by the user or by
+//! `inl-core::parallel` analysis results) execute their iterations across
+//! worker threads; everything else runs sequentially in AST order.
+//!
+//! # Safety contract
+//!
+//! The executor trusts the `parallel` flags: distinct iterations of a
+//! parallel loop must not write the same array cell, and no iteration may
+//! read a cell another writes. That is precisely what the dependence
+//! framework certifies (a loop slot with no carried dependence —
+//! [`inl_core`-level `parallel_slots`]); executing a loop wrongly marked
+//! parallel is a data race. Array storage is shared across threads through
+//! raw pointers for exactly this reason.
+
+use crate::machine::Machine;
+use inl_ir::{Aff, ArrayId, Expr, Guard, LoopId, Node, Program, VarKey};
+use inl_linalg::Int;
+
+/// Raw shared view of the machine's arrays.
+struct RawArray {
+    ptr: *mut f64,
+    dims: Vec<usize>,
+    name: String,
+}
+
+struct RawStorage<'a> {
+    arrays: Vec<RawArray>,
+    params: &'a [Int],
+}
+
+// Shared across worker threads under the module's safety contract.
+unsafe impl Send for RawStorage<'_> {}
+unsafe impl Sync for RawStorage<'_> {}
+
+impl RawStorage<'_> {
+    #[inline]
+    fn flat(&self, a: ArrayId, idx: &[usize]) -> usize {
+        let arr = &self.arrays[a.0];
+        let mut f = 0usize;
+        for (d, (&i, &ext)) in idx.iter().zip(&arr.dims).enumerate() {
+            assert!(i < ext, "array {}: index {i} out of bounds {ext} in dim {d}", arr.name);
+            f = f * ext + i;
+        }
+        f
+    }
+
+    #[inline]
+    fn read(&self, a: ArrayId, idx: &[usize]) -> f64 {
+        let f = self.flat(a, idx);
+        unsafe { *self.arrays[a.0].ptr.add(f) }
+    }
+
+    #[inline]
+    fn write(&self, a: ArrayId, idx: &[usize], v: f64) {
+        let f = self.flat(a, idx);
+        unsafe { *self.arrays[a.0].ptr.add(f) = v }
+    }
+}
+
+/// Executes a program, running `parallel`-marked loops across threads.
+pub struct ParallelExecutor<'p> {
+    program: &'p Program,
+    nthreads: usize,
+}
+
+impl<'p> ParallelExecutor<'p> {
+    /// Create an executor with the given worker count (`0` = available
+    /// parallelism).
+    pub fn new(program: &'p Program, nthreads: usize) -> Self {
+        let nthreads = if nthreads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            nthreads
+        };
+        ParallelExecutor { program, nthreads }
+    }
+
+    /// Execute on the machine.
+    pub fn run(&self, m: &mut Machine) {
+        let params = m.params().to_vec();
+        let storage = RawStorage {
+            arrays: m
+                .arrays_mut()
+                .iter_mut()
+                .map(|a| RawArray {
+                    ptr: a.data.as_mut_ptr(),
+                    dims: a.dims.clone(),
+                    name: a.name.clone(),
+                })
+                .collect(),
+            params: &params,
+        };
+        let mut env: Vec<Option<Int>> = vec![None; self.program.loops().count()];
+        exec_nodes(self.program, self.program.root(), &mut env, &storage, self.nthreads);
+    }
+}
+
+fn lookup<'e>(env: &'e [Option<Int>], params: &'e [Int]) -> impl Fn(VarKey) -> Int + 'e {
+    move |v: VarKey| match v {
+        VarKey::Param(p) => params[p.0],
+        VarKey::Loop(l) => env[l.0].expect("loop variable read outside its loop"),
+    }
+}
+
+fn exec_nodes(
+    p: &Program,
+    nodes: &[Node],
+    env: &mut Vec<Option<Int>>,
+    st: &RawStorage<'_>,
+    nthreads: usize,
+) {
+    for &n in nodes {
+        match n {
+            Node::Loop(l) => exec_loop(p, l, env, st, nthreads),
+            Node::Stmt(s) => exec_stmt(p, s, env, st),
+        }
+    }
+}
+
+fn exec_loop(
+    p: &Program,
+    l: LoopId,
+    env: &mut Vec<Option<Int>>,
+    st: &RawStorage<'_>,
+    nthreads: usize,
+) {
+    let ld = p.loop_decl(l);
+    let (lo, hi) = {
+        let look = lookup(env, st.params);
+        (ld.lower.eval_lower(&look), ld.upper.eval_upper(&look))
+    };
+    if lo > hi {
+        return;
+    }
+    let iters: Vec<Int> = {
+        let mut v = Vec::new();
+        let mut i = lo;
+        while i <= hi {
+            v.push(i);
+            i += ld.step;
+        }
+        v
+    };
+    if ld.parallel && nthreads > 1 && iters.len() > 1 {
+        let chunk = iters.len().div_ceil(nthreads);
+        std::thread::scope(|scope| {
+            for ch in iters.chunks(chunk) {
+                let mut thread_env = env.clone();
+                scope.spawn(move || {
+                    for &i in ch {
+                        thread_env[l.0] = Some(i);
+                        // inner parallel loops run sequentially inside a
+                        // worker (one level of parallelism is enough here)
+                        exec_nodes(p, &ld.children, &mut thread_env, st, 1);
+                    }
+                });
+            }
+        });
+    } else {
+        for &i in &iters {
+            env[l.0] = Some(i);
+            exec_nodes(p, &ld.children, env, st, nthreads);
+        }
+    }
+    env[l.0] = None;
+}
+
+fn exec_stmt(p: &Program, s: inl_ir::StmtId, env: &[Option<Int>], st: &RawStorage<'_>) {
+    let sd = p.stmt_decl(s);
+    {
+        let look = lookup(env, st.params);
+        for g in &sd.guards {
+            let pass = match g {
+                Guard::Ge(a) => a.eval(&look).signum() >= 0,
+                Guard::Eq(a) => a.eval(&look).is_zero(),
+                Guard::Div(a, k) => {
+                    let v = a.eval(&look);
+                    v.is_integer() && v.num() % *k == 0
+                }
+            };
+            if !pass {
+                return;
+            }
+        }
+    }
+    let value = eval(p, &sd.rhs, env, st);
+    let idx = eval_subscripts(&sd.write.idxs, env, st);
+    st.write(sd.write.array, &idx, value);
+}
+
+fn eval_subscripts(idxs: &[Aff], env: &[Option<Int>], st: &RawStorage<'_>) -> Vec<usize> {
+    let look = lookup(env, st.params);
+    idxs.iter()
+        .map(|a| {
+            let v = a.eval_int(&look).unwrap_or_else(|| panic!("subscript {a:?} not integral"));
+            assert!(v >= 0, "negative subscript {v}");
+            v as usize
+        })
+        .collect()
+}
+
+#[allow(clippy::only_used_in_recursion)] // keep the program in scope for future expression forms
+fn eval(p: &Program, e: &Expr, env: &[Option<Int>], st: &RawStorage<'_>) -> f64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::Index(a) => {
+            let look = lookup(env, st.params);
+            let r = a.eval(&look);
+            r.num() as f64 / r.den() as f64
+        }
+        Expr::Read(acc) => {
+            let idx = eval_subscripts(&acc.idxs, env, st);
+            st.read(acc.array, &idx)
+        }
+        Expr::Neg(x) => -eval(p, x, env, st),
+        Expr::Sqrt(x) => eval(p, x, env, st).sqrt(),
+        Expr::Add(a, b) => eval(p, a, env, st) + eval(p, b, env, st),
+        Expr::Sub(a, b) => eval(p, a, env, st) - eval(p, b, env, st),
+        Expr::Mul(a, b) => eval(p, a, env, st) * eval(p, b, env, st),
+        Expr::Div(a, b) => eval(p, a, env, st) / eval(p, b, env, st),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use inl_ir::{zoo, Bound, ProgramBuilder};
+
+    /// A dependence-free doubly nested initialization, marked parallel.
+    fn parallel_init_program() -> Program {
+        let mut b = ProgramBuilder::new("parinit");
+        let n = b.param("N");
+        let ext = Aff::param(n) + Aff::konst(1);
+        let a = b.array("A", &[ext.clone(), ext.clone()]);
+        b.loop_full(
+            "I",
+            Bound::single(Aff::konst(1)),
+            Bound::single(Aff::param(n)),
+            1,
+            true, // parallel
+            |b| {
+                let i = b.loop_var("I");
+                b.hloop("J", Aff::konst(1), Aff::param(n), |b| {
+                    let j = b.loop_var("J");
+                    b.stmt(
+                        "S",
+                        a,
+                        vec![Aff::var(i), Aff::var(j)],
+                        Expr::index(Aff::var(i) * 100 + Aff::var(j)),
+                    );
+                });
+            },
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let p = parallel_init_program();
+        let mut seq = Machine::new(&p, &[17], &|_, _| -1.0);
+        Interpreter::new(&p).run(&mut seq);
+        for threads in [1, 2, 4, 8] {
+            let mut par = Machine::new(&p, &[17], &|_, _| -1.0);
+            ParallelExecutor::new(&p, threads).run(&mut par);
+            seq.same_state(&par).unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_when_not_marked() {
+        // wavefront is NOT parallel; executor must run it sequentially and
+        // agree with the interpreter
+        let p = zoo::wavefront();
+        let init = |_: &str, idx: &[usize]| {
+            if idx[0] == 0 || idx[1] == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let mut seq = Machine::new(&p, &[8], &init);
+        Interpreter::new(&p).run(&mut seq);
+        let mut par = Machine::new(&p, &[8], &init);
+        ParallelExecutor::new(&p, 4).run(&mut par);
+        seq.same_state(&par).expect("identical");
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let p = parallel_init_program();
+        let mut m = Machine::new(&p, &[5], &|_, _| 0.0);
+        ParallelExecutor::new(&p, 0).run(&mut m);
+        let a = m.arrays().iter().find(|a| a.name == "A").unwrap();
+        assert_eq!(a.get(&[3, 4]), 304.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Statement bodies: array accesses and arithmetic expressions.
+
+use crate::aff::Aff;
+use crate::program::ArrayId;
+
+/// A subscripted array reference `A[e₁, …, e_d]` with affine subscripts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Access {
+    /// The array.
+    pub array: ArrayId,
+    /// One affine subscript per dimension.
+    pub idxs: Vec<Aff>,
+}
+
+/// The right-hand side of an atomic statement.
+///
+/// Expressions are real enough to execute (so transformed programs can be
+/// checked for bitwise-equal results) but deliberately minimal: affine index
+/// values, array reads, and the arithmetic that matrix factorizations need.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A floating-point literal.
+    Const(f64),
+    /// The value of an affine expression of loop variables/parameters,
+    /// converted to a value. (Used by "A(I,J) = f()"-style synthetic
+    /// statements — a deterministic function of the iteration point.)
+    Index(Aff),
+    /// An array read.
+    Read(Access),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Square root (Cholesky's pivot).
+    Sqrt(Box<Expr>),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // constructors build AST nodes, not arithmetic
+impl Expr {
+    /// A constant.
+    pub fn konst(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// An affine index value.
+    pub fn index(a: Aff) -> Expr {
+        Expr::Index(a)
+    }
+
+    /// An array read.
+    pub fn read(array: ArrayId, idxs: Vec<Aff>) -> Expr {
+        Expr::Read(Access { array, idxs })
+    }
+
+    /// `sqrt(e)`.
+    pub fn sqrt(e: Expr) -> Expr {
+        Expr::Sqrt(Box::new(e))
+    }
+
+    /// `-e`.
+    pub fn neg(e: Expr) -> Expr {
+        Expr::Neg(Box::new(e))
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// Collect every array read in the expression, left-to-right.
+    pub fn collect_reads(&self, out: &mut Vec<Access>) {
+        match self {
+            Expr::Const(_) | Expr::Index(_) => {}
+            Expr::Read(a) => out.push(a.clone()),
+            Expr::Neg(e) | Expr::Sqrt(e) => e.collect_reads(out),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+
+    /// Rewrite every affine expression (subscripts and index values) with
+    /// `f`. Used by code generation to substitute old loop variables with
+    /// expressions in the new ones.
+    pub fn map_affs(&self, f: &dyn Fn(&Aff) -> Aff) -> Expr {
+        match self {
+            Expr::Const(v) => Expr::Const(*v),
+            Expr::Index(a) => Expr::Index(f(a)),
+            Expr::Read(acc) => Expr::Read(Access {
+                array: acc.array,
+                idxs: acc.idxs.iter().map(f).collect(),
+            }),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.map_affs(f))),
+            Expr::Sqrt(e) => Expr::Sqrt(Box::new(e.map_affs(f))),
+            Expr::Add(a, b) => Expr::Add(Box::new(a.map_affs(f)), Box::new(b.map_affs(f))),
+            Expr::Sub(a, b) => Expr::Sub(Box::new(a.map_affs(f)), Box::new(b.map_affs(f))),
+            Expr::Mul(a, b) => Expr::Mul(Box::new(a.map_affs(f)), Box::new(b.map_affs(f))),
+            Expr::Div(a, b) => Expr::Div(Box::new(a.map_affs(f)), Box::new(b.map_affs(f))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArrayId, LoopId};
+    use crate::VarKey;
+
+    #[test]
+    fn collect_reads_in_order() {
+        let a = ArrayId(0);
+        let i = Aff::var(VarKey::Loop(LoopId(0)));
+        let e = Expr::add(
+            Expr::read(a, vec![i.clone()]),
+            Expr::mul(Expr::read(a, vec![i.clone() + Aff::konst(1)]), Expr::konst(2.0)),
+        );
+        let mut reads = Vec::new();
+        e.collect_reads(&mut reads);
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].idxs[0], i);
+        assert_eq!(reads[1].idxs[0], i + Aff::konst(1));
+    }
+
+    #[test]
+    fn map_affs_rewrites_everywhere() {
+        let a = ArrayId(0);
+        let i = Aff::var(VarKey::Loop(LoopId(0)));
+        let e = Expr::sub(Expr::read(a, vec![i.clone()]), Expr::index(i.clone()));
+        let shifted = e.map_affs(&|x| x.clone() + Aff::konst(10));
+        let mut reads = Vec::new();
+        shifted.collect_reads(&mut reads);
+        assert_eq!(reads[0].idxs[0], i.clone() + Aff::konst(10));
+        match shifted {
+            Expr::Sub(_, idx) => match *idx {
+                Expr::Index(x) => assert_eq!(x, i + Aff::konst(10)),
+                _ => panic!("expected index"),
+            },
+            _ => panic!("expected sub"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # inl-ir
+//!
+//! The loop-nest intermediate representation of the `inl` framework.
+//!
+//! A [`Program`] is an abstract syntax tree in the sense of §2 of the paper:
+//! internal nodes are `do` loops with affine bounds, leaves are *atomic
+//! statements* (single array assignments with an expression body). Loops may
+//! be **imperfectly nested** — a loop's children are an ordered mix of
+//! statements and further loops.
+//!
+//! The IR is deliberately executable: statements carry real expression
+//! bodies ([`Expr`]) over array reads and affine index expressions, so that
+//! the `inl-exec` interpreter can run a program and the test-suite can check
+//! that transformed programs compute **bitwise identical** results (a legal
+//! transformation preserves, per memory location, the order of all accesses,
+//! so even floating-point results cannot change).
+//!
+//! Key types:
+//!
+//! * [`Aff`] — sparse affine expressions over parameters and loop variables,
+//!   with an optional divisor (for non-unimodular code generation);
+//! * [`Program`] / [`ProgramBuilder`] — the AST and its construction API;
+//! * [`zoo`] — the paper's running examples and classic kernels
+//!   (Cholesky in several shapes, LU, wavefront).
+//!
+//! # Example
+//!
+//! Build the simplified Cholesky fragment from §3 of the paper:
+//!
+//! ```
+//! use inl_ir::{Aff, Expr, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new("simple_cholesky");
+//! let n = b.param("N");
+//! let a = b.array("A", &[Aff::param(n) + Aff::konst(1)]);
+//! b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+//!     let i = b.loop_var("I");
+//!     b.stmt("S1", a, vec![Aff::var(i)], Expr::sqrt(Expr::read(a, vec![Aff::var(i)])));
+//!     b.hloop("J", Aff::var(i) + Aff::konst(1), Aff::param(n), |b| {
+//!         let j = b.loop_var("J");
+//!         b.stmt("S2", a, vec![Aff::var(j)],
+//!             Expr::div(Expr::read(a, vec![Aff::var(j)]), Expr::read(a, vec![Aff::var(i)])));
+//!     });
+//! });
+//! let prog = b.finish();
+//! assert_eq!(prog.stmts().count(), 2);
+//! assert_eq!(prog.loops().count(), 2);
+//! ```
+
+pub mod aff;
+pub mod builder;
+pub mod expr;
+pub mod pretty;
+pub mod program;
+pub mod surgery;
+pub mod zoo;
+
+pub use aff::{Aff, VarKey};
+pub use builder::ProgramBuilder;
+pub use expr::{Access, Expr};
+pub use program::{
+    ArrayDecl, ArrayId, Bound, Guard, LoopDecl, LoopId, Node, ParamId, Program, StmtDecl, StmtId,
+};
+
+pub use inl_linalg::Int;

@@ -1,0 +1,136 @@
+//! Pseudo-code rendering of programs, matching the paper's `do` notation.
+
+use crate::aff::{Aff, VarKey};
+use crate::expr::{Access, Expr};
+use crate::program::{Bound, Guard, Node, Program};
+use std::fmt::Write;
+
+impl Program {
+    /// Human-readable name of a variable.
+    pub fn var_name(&self, v: VarKey) -> String {
+        match v {
+            VarKey::Param(p) => self.params[p.0].clone(),
+            VarKey::Loop(l) => self.loops[l.0].name.clone(),
+        }
+    }
+
+    /// Render an affine expression with program names.
+    pub fn show_aff(&self, a: &Aff) -> String {
+        let name = |v: VarKey| self.var_name(v);
+        format!("{}", a.display_with(&name))
+    }
+
+    fn show_bound(&self, b: &Bound, lower: bool) -> String {
+        if b.terms.len() == 1 {
+            self.show_aff(&b.terms[0])
+        } else {
+            let inner =
+                b.terms.iter().map(|t| self.show_aff(t)).collect::<Vec<_>>().join(", ");
+            format!("{}({inner})", if lower { "max" } else { "min" })
+        }
+    }
+
+    fn show_access(&self, a: &Access) -> String {
+        let idxs =
+            a.idxs.iter().map(|i| self.show_aff(i)).collect::<Vec<_>>().join("][");
+        format!("{}[{idxs}]", self.arrays[a.array.0].name)
+    }
+
+    /// Render an expression with program names.
+    pub fn show_expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Const(v) => format!("{v}"),
+            Expr::Index(a) => format!("val({})", self.show_aff(a)),
+            Expr::Read(a) => self.show_access(a),
+            Expr::Neg(x) => format!("-({})", self.show_expr(x)),
+            Expr::Sqrt(x) => format!("sqrt({})", self.show_expr(x)),
+            Expr::Add(a, b) => format!("({} + {})", self.show_expr(a), self.show_expr(b)),
+            Expr::Sub(a, b) => format!("({} - {})", self.show_expr(a), self.show_expr(b)),
+            Expr::Mul(a, b) => format!("({} * {})", self.show_expr(a), self.show_expr(b)),
+            Expr::Div(a, b) => format!("({} / {})", self.show_expr(a), self.show_expr(b)),
+        }
+    }
+
+    fn show_guard(&self, g: &Guard) -> String {
+        match g {
+            Guard::Ge(a) => format!("{} >= 0", self.show_aff(a)),
+            Guard::Eq(a) => format!("{} == 0", self.show_aff(a)),
+            Guard::Div(a, m) => format!("({}) mod {m} == 0", self.show_aff(a)),
+        }
+    }
+
+    /// Render the whole program as indented pseudo-code.
+    pub fn to_pseudocode(&self) -> String {
+        let mut out = String::new();
+        self.render_nodes(&self.root, 0, &mut out);
+        out
+    }
+
+    fn render_nodes(&self, nodes: &[Node], depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        for &n in nodes {
+            match n {
+                Node::Loop(l) => {
+                    let ld = &self.loops[l.0];
+                    let step = if ld.step != 1 { format!(" step {}", ld.step) } else { String::new() };
+                    let par = if ld.parallel { " parallel" } else { "" };
+                    let _ = writeln!(
+                        out,
+                        "{pad}do{par} {} = {}..{}{step}",
+                        ld.name,
+                        self.show_bound(&ld.lower, true),
+                        self.show_bound(&ld.upper, false)
+                    );
+                    self.render_nodes(&ld.children, depth + 1, out);
+                }
+                Node::Stmt(s) => {
+                    let sd = &self.stmts[s.0];
+                    let mut d = depth;
+                    for g in &sd.guards {
+                        let gpad = "  ".repeat(d);
+                        let _ = writeln!(out, "{gpad}if ({})", self.show_guard(g));
+                        d += 1;
+                    }
+                    let spad = "  ".repeat(d);
+                    let _ = writeln!(
+                        out,
+                        "{spad}{}: {} = {}",
+                        sd.name,
+                        self.show_access(&sd.write),
+                        self.show_expr(&sd.rhs)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::zoo;
+
+    #[test]
+    fn simple_cholesky_pseudocode() {
+        let p = zoo::simple_cholesky();
+        let code = p.to_pseudocode();
+        assert!(code.contains("do I = 1..N"), "{code}");
+        assert!(code.contains("do J = I + 1..N"), "{code}");
+        assert!(code.contains("S1: A[I] = sqrt(A[I])"), "{code}");
+        assert!(code.contains("S2: A[J] = (A[J] / A[I])"), "{code}");
+        // indentation reflects nesting
+        let lines: Vec<&str> = code.lines().collect();
+        assert!(lines[0].starts_with("do"), "{code}");
+        assert!(lines[1].starts_with("  S1"), "{code}");
+        assert!(lines[2].starts_with("  do J"), "{code}");
+        assert!(lines[3].starts_with("    S2"), "{code}");
+    }
+
+    #[test]
+    fn cholesky_kij_pseudocode() {
+        let p = zoo::cholesky_kij();
+        let code = p.to_pseudocode();
+        assert!(code.contains("do K = 1..N"), "{code}");
+        assert!(code.contains("do L = K + 1..J"), "{code}");
+        assert!(code.contains("S3: A[J][L] = (A[J][L] - (A[J][K] * A[L][K]))"), "{code}");
+    }
+}

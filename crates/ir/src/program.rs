@@ -1,0 +1,603 @@
+//! The program AST: loops, statements, arrays, parameters.
+
+use crate::aff::{Aff, VarKey};
+use crate::expr::{Access, Expr};
+use inl_linalg::Int;
+use inl_poly::{LinExpr, System};
+
+/// Identifies a symbolic parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ParamId(pub usize);
+
+/// Identifies a loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub usize);
+
+/// Identifies an atomic statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub usize);
+
+/// Identifies an array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub usize);
+
+/// A child of a loop (or of the virtual root): a nested loop or a statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A nested loop.
+    Loop(LoopId),
+    /// An atomic statement.
+    Stmt(StmtId),
+}
+
+/// One side of a loop bound: for a lower bound the value is
+/// `max over terms of ceil(expr_num / div)`; for an upper bound
+/// `min over terms of floor(expr_num / div)`. Each term is an [`Aff`]
+/// whose own divisor provides `div`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bound {
+    /// The bound terms; must be non-empty.
+    pub terms: Vec<Aff>,
+}
+
+impl Bound {
+    /// A single-term bound.
+    pub fn single(a: Aff) -> Self {
+        Bound { terms: vec![a] }
+    }
+
+    /// Evaluate as a lower bound (max of ceilings).
+    pub fn eval_lower(&self, lookup: &dyn Fn(VarKey) -> Int) -> Int {
+        self.terms
+            .iter()
+            .map(|a| a.eval(lookup).ceil())
+            .max()
+            .expect("empty bound")
+    }
+
+    /// Evaluate as an upper bound (min of floors).
+    pub fn eval_upper(&self, lookup: &dyn Fn(VarKey) -> Int) -> Int {
+        self.terms
+            .iter()
+            .map(|a| a.eval(lookup).floor())
+            .min()
+            .expect("empty bound")
+    }
+}
+
+/// A guard on a statement: the statement instance executes only when the
+/// guard holds. Produced by code generation (§5.5: singular-loop conditions
+/// and lattice-membership tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Guard {
+    /// `expr ≥ 0` (the expression's divisor must be 1).
+    Ge(Aff),
+    /// `expr = 0` (the expression's divisor must be 1).
+    Eq(Aff),
+    /// `modulus` divides `expr` (numerator form; divisor must be 1).
+    Div(Aff, Int),
+}
+
+/// A loop declaration.
+#[derive(Clone, Debug)]
+pub struct LoopDecl {
+    /// Source-level name of the index variable.
+    pub name: String,
+    /// Lower bound (max of ceilings).
+    pub lower: Bound,
+    /// Upper bound (min of floors).
+    pub upper: Bound,
+    /// Step (must be ≥ 1; non-unit steps arise from non-unimodular
+    /// transformations).
+    pub step: Int,
+    /// Ordered children.
+    pub children: Vec<Node>,
+    /// True if the loop has been proven to carry no dependences and may be
+    /// executed in parallel.
+    pub parallel: bool,
+}
+
+/// An atomic statement: `write ← rhs`, possibly guarded.
+#[derive(Clone, Debug)]
+pub struct StmtDecl {
+    /// Source-level label (e.g. `"S1"`).
+    pub name: String,
+    /// The single array element written.
+    pub write: Access,
+    /// The right-hand side.
+    pub rhs: Expr,
+    /// Guards; all must hold for the instance to execute.
+    pub guards: Vec<Guard>,
+}
+
+/// An array declaration: name and per-dimension extents (affine in the
+/// parameters). Valid indices for dimension `d` are `0 .. extent_d`.
+#[derive(Clone, Debug)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Extent of each dimension, affine in the parameters only.
+    pub dims: Vec<Aff>,
+}
+
+/// An imperfectly nested loop program (one AST, possibly with several
+/// top-level items under a virtual root).
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) params: Vec<String>,
+    pub(crate) loops: Vec<LoopDecl>,
+    pub(crate) stmts: Vec<StmtDecl>,
+    pub(crate) arrays: Vec<ArrayDecl>,
+    pub(crate) root: Vec<Node>,
+    /// Assumptions on the parameters, each `aff ≥ 0` (e.g. `N - 1 ≥ 0`).
+    /// Legality's exact tests and code generation's bound comparisons
+    /// reason under these.
+    pub(crate) assumes: Vec<Aff>,
+}
+
+impl Program {
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter names, indexed by [`ParamId`].
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Loop declaration.
+    pub fn loop_decl(&self, l: LoopId) -> &LoopDecl {
+        &self.loops[l.0]
+    }
+
+    /// Statement declaration.
+    pub fn stmt_decl(&self, s: StmtId) -> &StmtDecl {
+        &self.stmts[s.0]
+    }
+
+    /// Array declaration.
+    pub fn array_decl(&self, a: ArrayId) -> &ArrayDecl {
+        &self.arrays[a.0]
+    }
+
+    /// All loop ids.
+    pub fn loops(&self) -> impl Iterator<Item = LoopId> {
+        (0..self.loops.len()).map(LoopId)
+    }
+
+    /// All statement ids.
+    pub fn stmts(&self) -> impl Iterator<Item = StmtId> {
+        (0..self.stmts.len()).map(StmtId)
+    }
+
+    /// All array ids.
+    pub fn arrays(&self) -> impl Iterator<Item = ArrayId> {
+        (0..self.arrays.len()).map(ArrayId)
+    }
+
+    /// Top-level nodes (children of the virtual root).
+    pub fn root(&self) -> &[Node] {
+        &self.root
+    }
+
+    /// Parameter assumptions (`aff ≥ 0` each).
+    pub fn assumes(&self) -> &[Aff] {
+        &self.assumes
+    }
+
+    /// The assumptions as a constraint system over any space whose first
+    /// `nparams()` variables are the parameters (assumptions may only
+    /// mention parameters).
+    pub fn assumption_system(&self, space: usize) -> System {
+        assert!(space >= self.nparams());
+        let mut sys = System::new(space);
+        for a in &self.assumes {
+            assert_eq!(a.divisor(), 1, "assumption with divisor");
+            let mut coeffs = vec![0; space];
+            for &(v, c) in a.terms() {
+                match v {
+                    VarKey::Param(pr) => coeffs[pr.0] = c,
+                    VarKey::Loop(_) => panic!("assumption mentions a loop variable"),
+                }
+            }
+            sys.add_ge(LinExpr::from_parts(coeffs, a.constant()));
+        }
+        sys
+    }
+
+    /// Number of parameters.
+    pub fn nparams(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The loops surrounding a statement, outside-in.
+    pub fn loops_surrounding(&self, s: StmtId) -> Vec<LoopId> {
+        let mut path = Vec::new();
+        self.find_path(Node::Stmt(s), &mut path);
+        path
+    }
+
+    /// The loops surrounding a loop, outside-in (excluding itself).
+    pub fn loops_surrounding_loop(&self, l: LoopId) -> Vec<LoopId> {
+        let mut path = Vec::new();
+        self.find_path(Node::Loop(l), &mut path);
+        path
+    }
+
+    fn find_path(&self, target: Node, path: &mut Vec<LoopId>) -> bool {
+        fn walk(p: &Program, nodes: &[Node], target: Node, path: &mut Vec<LoopId>) -> bool {
+            for &n in nodes {
+                if n == target {
+                    return true;
+                }
+                if let Node::Loop(l) = n {
+                    path.push(l);
+                    if walk(p, &p.loops[l.0].children, target, path) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+            false
+        }
+        walk(self, &self.root, target, path)
+    }
+
+    /// Statements in syntactic order (depth-first, left-to-right): the
+    /// `⪯ₛ` relation of Definition 1.
+    pub fn stmts_in_syntactic_order(&self) -> Vec<StmtId> {
+        fn walk(p: &Program, nodes: &[Node], out: &mut Vec<StmtId>) {
+            for &n in nodes {
+                match n {
+                    Node::Stmt(s) => out.push(s),
+                    Node::Loop(l) => walk(p, &p.loops[l.0].children, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &self.root, &mut out);
+        out
+    }
+
+    /// True iff `a ⪯ₛ b` (syntactic order, Definition 1; reflexive).
+    pub fn syntactically_before(&self, a: StmtId, b: StmtId) -> bool {
+        let order = self.stmts_in_syntactic_order();
+        let pa = order.iter().position(|&s| s == a).expect("stmt not in program");
+        let pb = order.iter().position(|&s| s == b).expect("stmt not in program");
+        pa <= pb
+    }
+
+    /// Size of the program's constraint-variable space: parameters first,
+    /// then loop variables.
+    pub fn space(&self) -> usize {
+        self.params.len() + self.loops.len()
+    }
+
+    /// Constraint-space index of a parameter.
+    pub fn param_var(&self, p: ParamId) -> usize {
+        p.0
+    }
+
+    /// Constraint-space index of a loop variable.
+    pub fn loop_var_index(&self, l: LoopId) -> usize {
+        self.params.len() + l.0
+    }
+
+    /// Convert an [`Aff`] with divisor 1 into a [`LinExpr`] over the
+    /// program space (optionally widened to `space ≥ self.space()`).
+    ///
+    /// # Panics
+    /// If the divisor is not 1.
+    pub fn to_linexpr(&self, a: &Aff, space: usize) -> LinExpr {
+        assert_eq!(a.divisor(), 1, "to_linexpr: expression has a divisor");
+        assert!(space >= self.space());
+        let mut coeffs = vec![0; space];
+        for &(v, c) in a.terms() {
+            let idx = match v {
+                VarKey::Param(p) => self.param_var(p),
+                VarKey::Loop(l) => self.loop_var_index(l),
+            };
+            coeffs[idx] = c;
+        }
+        LinExpr::from_parts(coeffs, a.constant())
+    }
+
+    /// The iteration space of a statement as a constraint system over the
+    /// program space (§3: "loop bounds"): for every surrounding loop,
+    /// `lower ≤ i ≤ upper`, plus the statement's guards. Parameters are
+    /// unconstrained. `Div` guards and non-unit steps are modelled with
+    /// existential variables appended after the program space; the returned
+    /// system's arity is therefore `≥ space()`.
+    pub fn iteration_system(&self, s: StmtId) -> System {
+        // Count existential variables needed.
+        let surrounding = self.loops_surrounding(s);
+        let mut nexist = 0;
+        for &l in &surrounding {
+            if self.loops[l.0].step != 1 {
+                nexist += 1;
+            }
+        }
+        for g in &self.stmts[s.0].guards {
+            if matches!(g, Guard::Div(_, _)) {
+                nexist += 1;
+            }
+        }
+        let space = self.space() + nexist;
+        let mut sys = self.assumption_system(space);
+        let mut next_exist = self.space();
+
+        for &l in &surrounding {
+            let ld = &self.loops[l.0];
+            let iv = LinExpr::var(space, self.loop_var_index(l));
+            for t in &ld.lower.terms {
+                // i ≥ ceil(e/d)  ⇔  d·i - e ≥ 0
+                let d = t.divisor();
+                let mut num = t.clone();
+                // numerator form: divisor 1 version scaled by d
+                num = Aff::from_terms(num.terms().to_vec(), num.constant());
+                let e = self.to_linexpr(&num, space);
+                sys.add_ge(iv.clone() * d - e);
+            }
+            for t in &ld.upper.terms {
+                let d = t.divisor();
+                let num = Aff::from_terms(t.terms().to_vec(), t.constant());
+                let e = self.to_linexpr(&num, space);
+                sys.add_ge(e - iv.clone() * d);
+            }
+            if ld.step != 1 {
+                // i = lower + step·q. Only single-term lower bounds with
+                // divisor 1 are supported with non-unit steps.
+                assert_eq!(
+                    ld.lower.terms.len(),
+                    1,
+                    "non-unit step with multi-term lower bound unsupported"
+                );
+                let lo = &ld.lower.terms[0];
+                assert_eq!(lo.divisor(), 1, "non-unit step with divided lower bound");
+                let q = LinExpr::var(space, next_exist);
+                next_exist += 1;
+                let e = self.to_linexpr(lo, space);
+                sys.add_eq(iv.clone() - e - q * ld.step);
+            }
+        }
+        for g in &self.stmts[s.0].guards {
+            match g {
+                Guard::Ge(a) => {
+                    let e = self.to_linexpr(a, space);
+                    sys.add_ge(e);
+                }
+                Guard::Eq(a) => {
+                    let e = self.to_linexpr(a, space);
+                    sys.add_eq(e);
+                }
+                Guard::Div(a, m) => {
+                    let e = self.to_linexpr(a, space);
+                    let q = LinExpr::var(space, next_exist);
+                    next_exist += 1;
+                    sys.add_eq(e - q * *m);
+                }
+            }
+        }
+        sys
+    }
+
+    /// Replace a statement's guards (used by code generation's guard
+    /// simplification pass).
+    pub fn set_stmt_guards(&mut self, s: StmtId, guards: Vec<Guard>) {
+        self.stmts[s.0].guards = guards;
+    }
+
+    /// Mark a loop parallel (or not). The caller asserts the loop carries
+    /// no dependence — typically established via the framework's
+    /// parallel-slot analysis.
+    pub fn set_loop_parallel(&mut self, l: LoopId, parallel: bool) {
+        self.loops[l.0].parallel = parallel;
+    }
+
+    /// Append a guard to a statement (used by statement sinking).
+    pub fn stmts_guard_push(&mut self, s: StmtId, guard: Guard) {
+        self.stmts[s.0].guards.push(guard);
+    }
+
+    /// Replace a loop's child list (structural surgery; the caller is
+    /// responsible for keeping each node in exactly one place — validated
+    /// by [`Program::validate`]).
+    pub fn set_loop_children(&mut self, l: LoopId, children: Vec<Node>) {
+        self.loops[l.0].children = children;
+    }
+
+    /// Validate structural invariants; returns an error description on the
+    /// first violation. Called by the builder; also useful after manual
+    /// surgery on a program.
+    pub fn validate(&self) -> Result<(), String> {
+        // Every loop and statement appears exactly once in the tree.
+        let mut loop_seen = vec![0usize; self.loops.len()];
+        let mut stmt_seen = vec![0usize; self.stmts.len()];
+        fn walk(
+            p: &Program,
+            nodes: &[Node],
+            loop_seen: &mut [usize],
+            stmt_seen: &mut [usize],
+        ) -> Result<(), String> {
+            for &n in nodes {
+                match n {
+                    Node::Loop(l) => {
+                        if l.0 >= loop_seen.len() {
+                            return Err(format!("dangling loop id {:?}", l));
+                        }
+                        loop_seen[l.0] += 1;
+                        walk(p, &p.loops[l.0].children, loop_seen, stmt_seen)?;
+                    }
+                    Node::Stmt(s) => {
+                        if s.0 >= stmt_seen.len() {
+                            return Err(format!("dangling stmt id {:?}", s));
+                        }
+                        stmt_seen[s.0] += 1;
+                    }
+                }
+            }
+            Ok(())
+        }
+        walk(self, &self.root, &mut loop_seen, &mut stmt_seen)?;
+        // A loop may be detached (0 occurrences) after surgery such as
+        // jamming, but may never appear twice.
+        for (i, &c) in loop_seen.iter().enumerate() {
+            if c > 1 {
+                return Err(format!("loop {i} appears {c} times in the tree"));
+            }
+        }
+        for (i, &c) in stmt_seen.iter().enumerate() {
+            if c != 1 {
+                return Err(format!("stmt {i} appears {c} times in the tree"));
+            }
+        }
+        // Bounds may reference parameters and strictly-outer loops only
+        // (skipping detached loops, whose bounds are meaningless).
+        for l in self.loops() {
+            if loop_seen[l.0] == 0 {
+                continue;
+            }
+            let outer = self.loops_surrounding_loop(l);
+            let ld = &self.loops[l.0];
+            for t in ld.lower.terms.iter().chain(&ld.upper.terms) {
+                for v in t.vars() {
+                    if let VarKey::Loop(dep) = v {
+                        if !outer.contains(&dep) {
+                            return Err(format!(
+                                "bound of loop {} references non-outer loop {}",
+                                ld.name, self.loops[dep.0].name
+                            ));
+                        }
+                    }
+                }
+            }
+            if ld.step < 1 {
+                return Err(format!("loop {} has non-positive step", ld.name));
+            }
+        }
+        // Statement accesses reference declared arrays with correct arity
+        // and only surrounding loop variables.
+        for s in self.stmts() {
+            let surround = self.loops_surrounding(s);
+            let sd = &self.stmts[s.0];
+            let check_access = |acc: &Access| -> Result<(), String> {
+                if acc.array.0 >= self.arrays.len() {
+                    return Err(format!("stmt {} references undeclared array", sd.name));
+                }
+                let decl = &self.arrays[acc.array.0];
+                if acc.idxs.len() != decl.dims.len() {
+                    return Err(format!(
+                        "stmt {} indexes array {} with {} subscripts (declared {})",
+                        sd.name,
+                        decl.name,
+                        acc.idxs.len(),
+                        decl.dims.len()
+                    ));
+                }
+                for idx in &acc.idxs {
+                    for v in idx.vars() {
+                        if let VarKey::Loop(dep) = v {
+                            if !surround.contains(&dep) {
+                                return Err(format!(
+                                    "stmt {} subscript references loop {} that does not surround it",
+                                    sd.name, self.loops[dep.0].name
+                                ));
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            };
+            check_access(&sd.write)?;
+            let mut reads = Vec::new();
+            sd.rhs.collect_reads(&mut reads);
+            for r in reads {
+                check_access(&r)?;
+            }
+            for g in &sd.guards {
+                let a = match g {
+                    Guard::Ge(a) | Guard::Eq(a) | Guard::Div(a, _) => a,
+                };
+                if a.divisor() != 1 {
+                    return Err(format!("stmt {} guard has a divisor", sd.name));
+                }
+                for v in a.vars() {
+                    if let VarKey::Loop(dep) = v {
+                        if !surround.contains(&dep) {
+                            return Err(format!(
+                                "stmt {} guard references loop {} that does not surround it",
+                                sd.name, self.loops[dep.0].name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn simple_cholesky_structure() {
+        let p = zoo::simple_cholesky();
+        assert_eq!(p.stmts().count(), 2);
+        assert_eq!(p.loops().count(), 2);
+        assert!(p.validate().is_ok());
+        let order = p.stmts_in_syntactic_order();
+        assert_eq!(
+            order.iter().map(|&s| p.stmt_decl(s).name.clone()).collect::<Vec<_>>(),
+            vec!["S1", "S2"]
+        );
+        // S1 is under I only; S2 under I and J
+        let s1 = order[0];
+        let s2 = order[1];
+        assert_eq!(p.loops_surrounding(s1).len(), 1);
+        assert_eq!(p.loops_surrounding(s2).len(), 2);
+        assert!(p.syntactically_before(s1, s2));
+        assert!(!p.syntactically_before(s2, s1));
+        assert!(p.syntactically_before(s1, s1));
+    }
+
+    #[test]
+    fn iteration_system_triangular() {
+        let p = zoo::simple_cholesky();
+        let s2 = p.stmts_in_syntactic_order()[1];
+        let sys = p.iteration_system(s2);
+        // space: 1 param (N) + 2 loops
+        assert_eq!(sys.nvars(), 3);
+        // point (N=4, I=2, J=3) is in S2's iteration space
+        assert!(sys.contains(&[4, 2, 3]));
+        // J must exceed I
+        assert!(!sys.contains(&[4, 2, 2]));
+        assert!(!sys.contains(&[4, 0, 1]));
+        assert!(!sys.contains(&[4, 2, 5]));
+    }
+
+    #[test]
+    fn validate_catches_misuse() {
+        // hand-build a program where a statement indexes with a non-
+        // surrounding loop variable
+        let mut b = crate::ProgramBuilder::new("bad");
+        let n = b.param("N");
+        let a = b.array("A", &[Aff::param(n)]);
+        let mut captured = None;
+        b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+            captured = Some(b.loop_var("I"));
+            let i = captured.unwrap();
+            b.stmt("S1", a, vec![Aff::var(i)], Expr::konst(1.0));
+        });
+        // second top-level loop whose statement uses the first loop's var
+        b.hloop("K", Aff::konst(1), Aff::param(n), |b| {
+            b.stmt("S2", a, vec![Aff::var(captured.unwrap())], Expr::konst(2.0));
+        });
+        let p = b.finish_unchecked();
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Structural AST surgery: child reordering, loop distribution, loop
+//! jamming (fusion).
+//!
+//! These build the *target programs* of the paper's §4.2 AST
+//! transformations. Legality is the caller's business (`inl-core`); the
+//! operations here are purely structural and keep statement ids stable so
+//! instance mappings can be tracked across the surgery.
+
+use crate::aff::{Aff, VarKey};
+use crate::program::{Bound, LoopDecl, LoopId, Node, Program};
+
+impl Program {
+    /// A copy with the children of `parent` (`None` = virtual root)
+    /// reordered: old child `j` moves to index `perm[j]`.
+    ///
+    /// # Panics
+    /// If `perm` is not a permutation of the child indices.
+    pub fn reorder_children(&self, parent: Option<LoopId>, perm: &[usize]) -> Program {
+        let mut out = self.clone();
+        let children = match parent {
+            None => &mut out.root,
+            Some(l) => &mut out.loops[l.0].children,
+        };
+        assert_eq!(perm.len(), children.len(), "permutation arity mismatch");
+        let old = children.clone();
+        for (j, &nj) in perm.iter().enumerate() {
+            children[nj] = old[j];
+        }
+        out.name = format!("{}_reordered", self.name);
+        out
+    }
+
+    /// Distribute loop `l` at `split`: the loop is replaced by two copies,
+    /// the first keeping children `..split`, the second (a fresh loop with
+    /// the same bounds) getting children `split..`. All references to `l`'s
+    /// index variable inside the moved subtree are rewritten to the new
+    /// loop's variable. Returns the program and the fresh loop's id.
+    ///
+    /// # Panics
+    /// If `split` is not in `1..children.len()`.
+    pub fn distribute_loop(&self, l: LoopId, split: usize) -> (Program, LoopId) {
+        let mut out = self.clone();
+        let nchildren = out.loops[l.0].children.len();
+        assert!(
+            split >= 1 && split < nchildren,
+            "split {split} out of range for {nchildren} children"
+        );
+        let moved: Vec<Node> = out.loops[l.0].children.split_off(split);
+        let new_id = LoopId(out.loops.len());
+        let old_decl = out.loops[l.0].clone();
+        out.loops.push(LoopDecl {
+            name: format!("{}_2", old_decl.name),
+            lower: old_decl.lower.clone(),
+            upper: old_decl.upper.clone(),
+            step: old_decl.step,
+            children: moved.clone(),
+            parallel: false,
+        });
+        // rewrite l -> new_id in the moved subtree
+        let subst = |a: &Aff| -> Aff {
+            a.substitute_loops(&|id: LoopId| {
+                if id == l {
+                    Aff::var(VarKey::Loop(new_id))
+                } else {
+                    Aff::var(VarKey::Loop(id))
+                }
+            })
+        };
+        rewrite_subtree(&mut out, &moved, &subst);
+        // insert the new loop right after l in its parent's child list
+        let parent = self.loops_surrounding_loop(l).last().copied();
+        let siblings = match parent {
+            None => &mut out.root,
+            Some(q) => &mut out.loops[q.0].children,
+        };
+        let idx = siblings.iter().position(|&n| n == Node::Loop(l)).expect("loop in parent");
+        siblings.insert(idx + 1, Node::Loop(new_id));
+        out.name = format!("{}_distributed", self.name);
+        (out, new_id)
+    }
+
+    /// Jam (fuse) two adjacent sibling loops: children `idx` and `idx + 1`
+    /// of `parent` must both be loops with structurally identical bounds
+    /// (after renaming the second's variable to the first's). The second
+    /// loop's body is appended to the first's; references to the second
+    /// loop's variable are rewritten.
+    ///
+    /// # Panics
+    /// If the children are not adjacent sibling loops with matching bounds
+    /// and steps.
+    pub fn jam_loops(&self, parent: Option<LoopId>, idx: usize) -> Program {
+        let mut out = self.clone();
+        let siblings = match parent {
+            None => out.root.clone(),
+            Some(q) => out.loops[q.0].children.clone(),
+        };
+        assert!(idx + 1 < siblings.len(), "no adjacent sibling to jam");
+        let (Node::Loop(a), Node::Loop(b)) = (siblings[idx], siblings[idx + 1]) else {
+            panic!("jam targets must both be loops");
+        };
+        // bounds of b with b's variable renamed to a must equal a's bounds
+        let rename = |aff: &Aff| -> Aff {
+            aff.substitute_loops(&|id: LoopId| {
+                if id == b {
+                    Aff::var(VarKey::Loop(a))
+                } else {
+                    Aff::var(VarKey::Loop(id))
+                }
+            })
+        };
+        let rebound = |bd: &Bound| Bound { terms: bd.terms.iter().map(&rename).collect() };
+        assert_eq!(
+            rebound(&out.loops[b.0].lower),
+            out.loops[a.0].lower,
+            "jam: lower bounds differ"
+        );
+        assert_eq!(
+            rebound(&out.loops[b.0].upper),
+            out.loops[a.0].upper,
+            "jam: upper bounds differ"
+        );
+        assert_eq!(out.loops[a.0].step, out.loops[b.0].step, "jam: steps differ");
+        // rewrite b -> a in b's subtree, then append children
+        let moved = out.loops[b.0].children.clone();
+        rewrite_subtree(&mut out, &moved, &rename);
+        out.loops[b.0].children.clear();
+        out.loops[a.0].children.extend(moved);
+        // remove b from the sibling list (the dead LoopDecl remains,
+        // harmlessly detached)
+        let siblings = match parent {
+            None => &mut out.root,
+            Some(q) => &mut out.loops[q.0].children,
+        };
+        siblings.remove(idx + 1);
+        out.name = format!("{}_jammed", self.name);
+        out
+    }
+}
+
+/// Rewrite every affine expression in the subtree (nested loop bounds,
+/// statement subscripts, guards, rhs) with `subst`.
+fn rewrite_subtree(p: &mut Program, nodes: &[Node], subst: &dyn Fn(&Aff) -> Aff) {
+    for &n in nodes {
+        match n {
+            Node::Loop(l) => {
+                let children = p.loops[l.0].children.clone();
+                let ld = &mut p.loops[l.0];
+                ld.lower.terms = ld.lower.terms.iter().map(subst).collect();
+                ld.upper.terms = ld.upper.terms.iter().map(subst).collect();
+                rewrite_subtree(p, &children, subst);
+            }
+            Node::Stmt(s) => {
+                let sd = &mut p.stmts[s.0];
+                sd.write.idxs = sd.write.idxs.iter().map(subst).collect();
+                sd.rhs = sd.rhs.map_affs(subst);
+                for g in &mut sd.guards {
+                    match g {
+                        crate::program::Guard::Ge(a)
+                        | crate::program::Guard::Eq(a)
+                        | crate::program::Guard::Div(a, _) => *a = subst(a),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn reorder_children_of_root_loop() {
+        let p = zoo::simple_cholesky();
+        let i = p.loops().next().unwrap();
+        let q = p.reorder_children(Some(i), &[1, 0]);
+        // S1 was first; now the J loop is first
+        assert!(matches!(q.loop_decl(i).children[0], Node::Loop(_)));
+        assert!(matches!(q.loop_decl(i).children[1], Node::Stmt(_)));
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn distribute_simple_cholesky_structure() {
+        // distributing the I loop of simple Cholesky yields the §4.2 shape
+        let p = zoo::simple_cholesky();
+        let i = p.loops().next().unwrap();
+        let (q, new_loop) = p.distribute_loop(i, 1);
+        assert_eq!(q.root().len(), 2);
+        assert_eq!(q.root()[1], Node::Loop(new_loop));
+        assert_eq!(q.loop_decl(i).children.len(), 1);
+        assert_eq!(q.loop_decl(new_loop).children.len(), 1);
+        assert!(q.validate().is_ok(), "{:?}", q.validate());
+        // the moved J loop's bound now references the new loop variable
+        let Node::Loop(j) = q.loop_decl(new_loop).children[0] else { panic!() };
+        let lower = &q.loop_decl(j).lower.terms[0];
+        assert_eq!(lower.coeff(VarKey::Loop(new_loop)), 1);
+        assert_eq!(lower.coeff(VarKey::Loop(i)), 0);
+    }
+
+    #[test]
+    fn jam_round_trips_distribution() {
+        let p = zoo::simple_cholesky();
+        let i = p.loops().next().unwrap();
+        let (q, _new) = p.distribute_loop(i, 1);
+        let r = q.jam_loops(None, 0);
+        assert_eq!(r.root().len(), 1);
+        let Node::Loop(merged) = r.root()[0] else { panic!() };
+        assert_eq!(r.loop_decl(merged).children.len(), 2);
+        assert!(r.validate().is_ok(), "{:?}", r.validate());
+        // pseudo-code equals the original's
+        assert_eq!(r.to_pseudocode(), p.to_pseudocode());
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bounds differ")]
+    fn jam_rejects_mismatched_bounds() {
+        let mut b = crate::ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", &[Aff::param(n) + Aff::konst(1)]);
+        b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+            let i = b.loop_var("I");
+            b.stmt("S1", a, vec![Aff::var(i)], crate::Expr::konst(1.0));
+        });
+        b.hloop("I2", Aff::konst(2), Aff::param(n), |b| {
+            let i = b.loop_var("I2");
+            b.stmt("S2", a, vec![Aff::var(i)], crate::Expr::konst(2.0));
+        });
+        let p = b.finish();
+        let _ = p.jam_loops(None, 0);
+    }
+}

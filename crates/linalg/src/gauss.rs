@@ -1,0 +1,330 @@
+//! Exact elimination: rank, determinant, solving, inverses and nullspaces.
+//!
+//! These are the primitives behind the paper's machinery: `rank` drives the
+//! augmentation procedure (§5.4), `inverse_rational` drives loop-bound
+//! generation for non-singular per-statement transforms (§5.5),
+//! `nullspace_int` finds candidate parallel loops (§7: "parallelizing a loop
+//! requires finding a row in the nullspace of the dependence matrix"), and
+//! `express_in_row_space` recovers the coefficients `m_1..m_l` that define the
+//! guard of a *singular loop* (§5.5).
+
+use crate::{IMat, IVec, Int, Rational};
+
+/// A matrix of rationals, used internally for elimination and returned where
+/// exact non-integer results are meaningful (e.g. `M⁻¹`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QMat {
+    /// Row-major entries.
+    pub rows: Vec<Vec<Rational>>,
+}
+
+impl QMat {
+    /// Convert from an integer matrix.
+    pub fn from_imat(m: &IMat) -> Self {
+        QMat {
+            rows: (0..m.nrows())
+                .map(|i| m.row_slice(i).iter().map(|&x| Rational::int(x)).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.rows.first().map_or(0, |r| r.len())
+    }
+
+    /// Multiply by a rational vector.
+    pub fn mul_vec(&self, v: &[Rational]) -> Vec<Rational> {
+        self.rows
+            .iter()
+            .map(|r| {
+                r.iter().zip(v).fold(Rational::ZERO, |acc, (&a, &b)| acc + a * b)
+            })
+            .collect()
+    }
+
+    /// If every entry is an integer, convert to an `IMat`.
+    pub fn to_imat(&self) -> Option<IMat> {
+        if self.rows.iter().all(|r| r.iter().all(|x| x.is_integer())) {
+            Some(IMat::from_fn(self.nrows(), self.ncols(), |i, j| self.rows[i][j].num()))
+        } else {
+            None
+        }
+    }
+}
+
+/// Reduced row echelon form in place; returns pivot column of each pivot row.
+fn rref(m: &mut QMat) -> Vec<usize> {
+    let (nr, nc) = (m.nrows(), m.ncols());
+    let mut pivots = Vec::new();
+    let mut r = 0;
+    for c in 0..nc {
+        if r == nr {
+            break;
+        }
+        // find a pivot
+        let Some(p) = (r..nr).find(|&i| !m.rows[i][c].is_zero()) else {
+            continue;
+        };
+        m.rows.swap(r, p);
+        let inv = m.rows[r][c].recip();
+        for x in m.rows[r].iter_mut() {
+            *x = *x * inv;
+        }
+        for i in 0..nr {
+            if i != r && !m.rows[i][c].is_zero() {
+                let f = m.rows[i][c];
+                for j in 0..nc {
+                    let sub = m.rows[r][j] * f;
+                    m.rows[i][j] = m.rows[i][j] - sub;
+                }
+            }
+        }
+        pivots.push(c);
+        r += 1;
+    }
+    pivots
+}
+
+/// Rank of an integer matrix over the rationals.
+pub fn rank(m: &IMat) -> usize {
+    let mut q = QMat::from_imat(m);
+    rref(&mut q).len()
+}
+
+/// Determinant via fraction-free (Bareiss) elimination.
+///
+/// # Panics
+/// If `m` is not square.
+pub fn det(m: &IMat) -> Int {
+    assert!(m.is_square(), "det of non-square matrix");
+    let n = m.nrows();
+    if n == 0 {
+        return 1;
+    }
+    let mut a: Vec<Vec<Int>> = (0..n).map(|i| m.row_slice(i).to_vec()).collect();
+    let mut sign: Int = 1;
+    let mut prev: Int = 1;
+    for k in 0..n - 1 {
+        if a[k][k] == 0 {
+            let Some(p) = (k + 1..n).find(|&i| a[i][k] != 0) else {
+                return 0;
+            };
+            a.swap(k, p);
+            sign = -sign;
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let num = a[k][k]
+                    .checked_mul(a[i][j])
+                    .and_then(|x| a[i][k].checked_mul(a[k][j]).map(|y| (x, y)))
+                    .and_then(|(x, y)| x.checked_sub(y))
+                    .expect("bareiss overflow");
+                a[i][j] = num / prev; // exact by Bareiss' theorem
+            }
+            a[i][k] = 0;
+        }
+        prev = a[k][k];
+    }
+    sign * a[n - 1][n - 1]
+}
+
+/// Solve `A·x = b` over the rationals. Returns `None` if inconsistent;
+/// if underdetermined, returns one particular solution (free variables = 0).
+pub fn solve_rational(a: &IMat, b: &IVec) -> Option<Vec<Rational>> {
+    assert_eq!(a.nrows(), b.len(), "solve: dimension mismatch");
+    let (nr, nc) = (a.nrows(), a.ncols());
+    let mut aug = QMat {
+        rows: (0..nr)
+            .map(|i| {
+                let mut row: Vec<Rational> =
+                    a.row_slice(i).iter().map(|&x| Rational::int(x)).collect();
+                row.push(Rational::int(b[i]));
+                row
+            })
+            .collect(),
+    };
+    let pivots = rref(&mut aug);
+    // inconsistent iff a pivot lands in the augmented column
+    if pivots.last() == Some(&nc) {
+        return None;
+    }
+    let mut x = vec![Rational::ZERO; nc];
+    for (r, &c) in pivots.iter().enumerate() {
+        x[c] = aug.rows[r][nc];
+    }
+    Some(x)
+}
+
+/// Exact inverse of a square integer matrix, as rationals.
+/// Returns `None` if singular.
+pub fn inverse_rational(m: &IMat) -> Option<QMat> {
+    assert!(m.is_square(), "inverse of non-square matrix");
+    let n = m.nrows();
+    let mut aug = QMat {
+        rows: (0..n)
+            .map(|i| {
+                let mut row: Vec<Rational> =
+                    m.row_slice(i).iter().map(|&x| Rational::int(x)).collect();
+                for j in 0..n {
+                    row.push(if i == j { Rational::ONE } else { Rational::ZERO });
+                }
+                row
+            })
+            .collect(),
+    };
+    let pivots = rref(&mut aug);
+    // All n pivots must land in the left (coefficient) block; a singular
+    // matrix pushes a pivot into the appended identity columns.
+    if pivots.iter().filter(|&&c| c < n).count() != n {
+        return None;
+    }
+    Some(QMat { rows: aug.rows.into_iter().map(|r| r[n..].to_vec()).collect() })
+}
+
+/// An integer basis of the (right) nullspace of `m`: vectors `v` with
+/// `m·v = 0`. Each basis vector is primitive (content 1). Empty if the
+/// nullspace is trivial.
+pub fn nullspace_int(m: &IMat) -> Vec<IVec> {
+    let nc = m.ncols();
+    let mut q = QMat::from_imat(m);
+    let pivots = rref(&mut q);
+    let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+    let free: Vec<usize> = (0..nc).filter(|c| !pivot_set.contains(c)).collect();
+    let mut basis = Vec::with_capacity(free.len());
+    for &f in &free {
+        // x[f] = 1, other free vars 0, pivot vars from rref rows
+        let mut x = vec![Rational::ZERO; nc];
+        x[f] = Rational::ONE;
+        for (r, &c) in pivots.iter().enumerate() {
+            x[c] = -q.rows[r][f];
+        }
+        // clear denominators
+        let lcm = x.iter().fold(1, |acc, v| crate::lcm(acc, v.den()).max(1));
+        let iv: IVec = x.iter().map(|v| v.num() * (lcm / v.den())).collect();
+        basis.push(iv.primitive());
+    }
+    basis
+}
+
+/// If `target` lies in the row space of `rows`, return coefficients `m_j`
+/// with `target = Σ m_j · rows[j]`. Used to derive the guards of singular
+/// loops in §5.5.
+pub fn express_in_row_space(rows: &[IVec], target: &IVec) -> Option<Vec<Rational>> {
+    if rows.is_empty() {
+        return if target.is_zero() { Some(vec![]) } else { None };
+    }
+    // Solve Rᵀ · m = target where Rᵀ has the rows as columns.
+    let n = rows[0].len();
+    let a = IMat::from_fn(n, rows.len(), |i, j| rows[j][i]);
+    solve_rational(&a, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[Int]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn det_small() {
+        assert_eq!(det(&IMat::identity(3)), 1);
+        assert_eq!(det(&m(&[&[2, 0], &[0, 3]])), 6);
+        assert_eq!(det(&m(&[&[1, 2], &[2, 4]])), 0);
+        assert_eq!(det(&m(&[&[0, 1], &[1, 0]])), -1);
+        // needs a pivot swap mid-way (expansion: 1·1 − 2·(−3) + 3·(−2) = 1)
+        assert_eq!(det(&m(&[&[1, 2, 3], &[2, 4, 7], &[3, 5, 9]])), 1);
+    }
+
+    #[test]
+    fn det_paper_interchange() {
+        // interchange matrix from §4.1: permutation, det = -1
+        let t = m(&[&[0, 0, 0, 1], &[0, 1, 0, 0], &[0, 0, 1, 0], &[1, 0, 0, 0]]);
+        assert_eq!(det(&t), -1);
+    }
+
+    #[test]
+    fn rank_cases() {
+        assert_eq!(rank(&IMat::identity(4)), 4);
+        assert_eq!(rank(&m(&[&[1, 2], &[2, 4]])), 1);
+        assert_eq!(rank(&m(&[&[0, 0], &[0, 0]])), 0);
+        assert_eq!(rank(&m(&[&[1, 0, 1], &[0, 1, 1]])), 2);
+        // the paper's rank-0 per-statement transform for S1 under skewing: [0]
+        assert_eq!(rank(&m(&[&[0]])), 0);
+    }
+
+    #[test]
+    fn solve_consistent() {
+        let a = m(&[&[1, 1], &[1, -1]]);
+        let x = solve_rational(&a, &IVec::from(vec![3, 1])).unwrap();
+        assert_eq!(x, vec![Rational::int(2), Rational::int(1)]);
+    }
+
+    #[test]
+    fn solve_inconsistent() {
+        let a = m(&[&[1, 1], &[2, 2]]);
+        assert!(solve_rational(&a, &IVec::from(vec![1, 3])).is_none());
+    }
+
+    #[test]
+    fn solve_underdetermined() {
+        let a = m(&[&[1, 1, 0]]);
+        let x = solve_rational(&a, &IVec::from(vec![5])).unwrap();
+        // particular solution must satisfy the equation
+        assert_eq!(x[0] + x[1], Rational::int(5));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = m(&[&[1, -1], &[0, 1]]); // skew
+        let inv = inverse_rational(&a).unwrap().to_imat().unwrap();
+        assert_eq!(a.mul(&inv), IMat::identity(2));
+        // non-unimodular: inverse has fractions
+        let s = m(&[&[2, 0], &[0, 1]]);
+        let sinv = inverse_rational(&s).unwrap();
+        assert_eq!(sinv.rows[0][0], Rational::new(1, 2));
+        assert!(sinv.to_imat().is_none());
+        assert!(inverse_rational(&m(&[&[1, 2], &[2, 4]])).is_none());
+    }
+
+    #[test]
+    fn nullspace_simple() {
+        // x + y = 0 has nullspace spanned by (1, -1)
+        let ns = nullspace_int(&m(&[&[1, 1]]));
+        assert_eq!(ns.len(), 1);
+        let v = &ns[0];
+        assert_eq!(v[0] + v[1], 0);
+        assert_ne!(v[0], 0);
+        // full-rank square matrix: trivial nullspace
+        assert!(nullspace_int(&IMat::identity(3)).is_empty());
+        // zero matrix: full nullspace
+        assert_eq!(nullspace_int(&m(&[&[0, 0, 0]])).len(), 3);
+    }
+
+    #[test]
+    fn nullspace_is_nullspace() {
+        let a = m(&[&[1, 2, 3], &[0, 1, 1]]);
+        for v in nullspace_int(&a) {
+            assert!(a.mul_vec(&v).is_zero(), "not in nullspace: {v}");
+        }
+        assert_eq!(nullspace_int(&a).len(), 1);
+    }
+
+    #[test]
+    fn express_rows() {
+        let rows = vec![IVec::from(vec![1, 0, 1]), IVec::from(vec![0, 1, 1])];
+        let target = IVec::from(vec![2, 3, 5]);
+        let c = express_in_row_space(&rows, &target).unwrap();
+        assert_eq!(c, vec![Rational::int(2), Rational::int(3)]);
+        assert!(express_in_row_space(&rows, &IVec::from(vec![0, 0, 1])).is_none());
+        assert_eq!(express_in_row_space(&[], &IVec::zeros(3)), Some(vec![]));
+        assert!(express_in_row_space(&[], &IVec::from(vec![1, 0])).is_none());
+    }
+}

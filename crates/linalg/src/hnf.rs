@@ -1,0 +1,251 @@
+//! Hermite normal form (column style) and completion of partial matrices.
+//!
+//! Two uses in the framework:
+//!
+//! * **Non-unimodular code generation** (§5.5, following Li & Pingali [10]):
+//!   when the non-singular per-statement transform `N_S` has `|det| > 1`,
+//!   the image of the iteration lattice is a proper sublattice; the column
+//!   HNF `N_S · U = H` (lower triangular) yields the loop *steps* (diagonal
+//!   of `H`) of the transformed loops.
+//! * **Completion** (§6): extending a partial transformation (a few
+//!   linearly independent rows) to a full non-singular — preferably
+//!   unimodular — matrix.
+
+use crate::{ext_gcd, floor_div, gauss, IMat, IVec, Int};
+
+/// Result of [`column_hnf`]: `a * u == h` with `u` unimodular and `h` in
+/// column-style (lower-triangular) Hermite form.
+#[derive(Clone, Debug)]
+pub struct HnfResult {
+    /// The Hermite form: pivot entries positive, entries left of each pivot
+    /// reduced into `[0, pivot)`.
+    pub h: IMat,
+    /// The unimodular column-operation matrix.
+    pub u: IMat,
+    /// For each row of `a`, the pivot column in `h` (if the row introduced
+    /// a new pivot).
+    pub pivots: Vec<Option<usize>>,
+}
+
+/// Column-style Hermite normal form: find unimodular `U` such that
+/// `A · U = H` is lower triangular (in echelon sense) with positive pivots.
+///
+/// Works for any `k × n` matrix, including rank-deficient ones.
+pub fn column_hnf(a: &IMat) -> HnfResult {
+    let (k, n) = (a.nrows(), a.ncols());
+    let mut h: Vec<Vec<Int>> = (0..k).map(|i| a.row_slice(i).to_vec()).collect();
+    let mut u: Vec<Vec<Int>> = (0..n)
+        .map(|i| (0..n).map(|j| Int::from(i == j)).collect())
+        .collect();
+    let mut pivots = vec![None; k];
+    let mut col = 0usize;
+
+    // Apply the 2x2 unimodular column operation to columns c1, c2 of both
+    // h and u: [c1, c2] := [a*c1 + b*c2, c*c1 + d*c2].
+    let combine = |m: &mut Vec<Vec<Int>>, c1: usize, c2: usize, a2: Int, b2: Int, c2f: Int, d2: Int| {
+        for row in m.iter_mut() {
+            let (x, y) = (row[c1], row[c2]);
+            row[c1] = a2 * x + b2 * y;
+            row[c2] = c2f * x + d2 * y;
+        }
+    };
+
+    for r in 0..k {
+        if col >= n {
+            break;
+        }
+        // Bring a nonzero entry to (r, col) if possible.
+        let Some(j0) = (col..n).find(|&j| h[r][j] != 0) else {
+            continue;
+        };
+        if j0 != col {
+            for row in h.iter_mut() {
+                row.swap(col, j0);
+            }
+            for row in u.iter_mut() {
+                row.swap(col, j0);
+            }
+        }
+        // Zero out the rest of the row to the right using gcd steps.
+        for j in col + 1..n {
+            if h[r][j] == 0 {
+                continue;
+            }
+            let (g, x, y) = ext_gcd(h[r][col], h[r][j]);
+            let (p, q) = (h[r][col] / g, h[r][j] / g);
+            // column op [c1', c2'] = [x·c1 + y·c2, -q·c1 + p·c2];
+            // det = x·p + y·q = (x·a + y·b)/g = 1, so it is unimodular, and
+            // the new row-r entries are (g, 0).
+            combine(&mut h, col, j, x, y, -q, p);
+            combine(&mut u, col, j, x, y, -q, p);
+        }
+        // Make the pivot positive.
+        if h[r][col] < 0 {
+            for row in h.iter_mut() {
+                row[col] = -row[col];
+            }
+            for row in u.iter_mut() {
+                row[col] = -row[col];
+            }
+        }
+        // Reduce entries to the left of the pivot into [0, pivot).
+        let pivot = h[r][col];
+        for j in 0..col {
+            let q = floor_div(h[r][j], pivot);
+            if q != 0 {
+                for row in h.iter_mut() {
+                    let sub = q * row[col];
+                    row[j] -= sub;
+                }
+                for row in u.iter_mut() {
+                    let sub = q * row[col];
+                    row[j] -= sub;
+                }
+            }
+        }
+        pivots[r] = Some(col);
+        col += 1;
+    }
+
+    HnfResult {
+        h: IMat::from_rows(&h),
+        u: IMat::from_rows(&u),
+        pivots,
+    }
+}
+
+/// Complete a set of linearly independent rows to a full `n × n`
+/// non-singular integer matrix whose first rows are exactly `rows`.
+///
+/// If the rows span a *primitive* lattice (their HNF pivots are all 1), the
+/// result is unimodular; otherwise `|det|` equals the product of the HNF
+/// pivots. Returns `None` if the rows are linearly dependent.
+pub fn complete_unimodular(rows: &[IVec], n: usize) -> Option<IMat> {
+    let k = rows.len();
+    assert!(k <= n, "more rows than dimensions");
+    if k == 0 {
+        return Some(IMat::identity(n));
+    }
+    let a = IMat::from_rows(&rows.iter().map(|r| r.as_slice().to_vec()).collect::<Vec<_>>());
+    assert_eq!(a.ncols(), n, "row length mismatch");
+    if gauss::rank(&a) != k {
+        return None;
+    }
+    let hnf = column_hnf(&a);
+    // a * u = h  =>  a = h * u⁻¹. Build m = [h; 0 I] * u⁻¹ so that the first
+    // k rows of m are exactly a, and det m = det(h_kxk) * det(u⁻¹) = ±Πpivots.
+    let uinv = gauss::inverse_rational(&hnf.u)
+        .expect("u is unimodular")
+        .to_imat()
+        .expect("unimodular inverse is integral");
+    let mut block = IMat::zeros(n, n);
+    for i in 0..k {
+        for j in 0..n {
+            block[(i, j)] = hnf.h[(i, j)];
+        }
+    }
+    for i in k..n {
+        block[(i, i)] = 1;
+    }
+    Some(block.mul(&uinv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn im(rows: &[&[Int]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn hnf_identity() {
+        let a = IMat::identity(3);
+        let r = column_hnf(&a);
+        assert_eq!(r.h, a);
+        assert!(r.u.is_unimodular());
+    }
+
+    #[test]
+    fn hnf_property() {
+        let cases = vec![
+            im(&[&[2, 4], &[-1, 3]]),
+            im(&[&[1, -1], &[0, 1]]),
+            im(&[&[6, 4, 2], &[3, 2, 1]]), // rank 1 second row dependent
+            im(&[&[0, 0], &[0, 0]]),
+            im(&[&[5]]),
+            im(&[&[0, 3, 0], &[1, 1, 1]]),
+        ];
+        for a in cases {
+            let r = column_hnf(&a);
+            assert!(r.u.is_unimodular(), "u not unimodular for {a}");
+            assert_eq!(a.mul(&r.u), r.h, "A*U != H for {a}");
+            // echelon: each pivot's row is zero to the right of the pivot
+            for (row, piv) in r.pivots.iter().enumerate() {
+                if let Some(c) = piv {
+                    for j in c + 1..r.h.ncols() {
+                        assert_eq!(r.h[(row, j)], 0, "nonzero right of pivot in {}", r.h);
+                    }
+                    assert!(r.h[(row, *c)] > 0, "pivot not positive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hnf_skew_is_unimodular_pivot() {
+        // unimodular input => all pivots 1 after reduction of a triangular det ±1 matrix
+        let a = im(&[&[1, -1], &[0, 1]]);
+        let r = column_hnf(&a);
+        assert_eq!(r.h[(0, 0)], 1);
+        assert_eq!(r.h[(1, 1)], 1);
+    }
+
+    #[test]
+    fn hnf_nonunimodular_steps() {
+        // scaling by 2: the image lattice has stride 2 in the first dimension
+        let a = im(&[&[2, 0], &[0, 1]]);
+        let r = column_hnf(&a);
+        assert_eq!(r.h[(0, 0)], 2);
+        assert_eq!(r.h[(1, 1)], 1);
+    }
+
+    #[test]
+    fn complete_from_one_row() {
+        // the paper's §6 partial transform: first row selects the j loop
+        let row = IVec::from(vec![0, 0, 0, 0, 1, 0, 0]);
+        let m = complete_unimodular(std::slice::from_ref(&row), 7).unwrap();
+        assert_eq!(m.row(0), row);
+        assert!(m.is_unimodular());
+    }
+
+    #[test]
+    fn complete_preserves_rows_and_nonsingular() {
+        let rows = vec![IVec::from(vec![1, 1, 0]), IVec::from(vec![0, 1, 1])];
+        let m = complete_unimodular(&rows, 3).unwrap();
+        assert_eq!(m.row(0), rows[0]);
+        assert_eq!(m.row(1), rows[1]);
+        assert!(m.det().abs() >= 1);
+        assert!(m.is_unimodular(), "primitive rows should give unimodular completion, got {m}");
+    }
+
+    #[test]
+    fn complete_dependent_rows_fails() {
+        let rows = vec![IVec::from(vec![1, 2]), IVec::from(vec![2, 4])];
+        assert!(complete_unimodular(&rows, 2).is_none());
+    }
+
+    #[test]
+    fn complete_empty() {
+        assert_eq!(complete_unimodular(&[], 3).unwrap(), IMat::identity(3));
+    }
+
+    #[test]
+    fn complete_nonprimitive_rows() {
+        // row (2,0): sublattice of index 2; completion is nonsingular with |det| 2
+        let rows = vec![IVec::from(vec![2, 0])];
+        let m = complete_unimodular(&rows, 2).unwrap();
+        assert_eq!(m.row(0).as_slice(), &[2, 0]);
+        assert_eq!(m.det().abs(), 2);
+    }
+}

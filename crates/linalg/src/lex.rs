@@ -1,0 +1,86 @@
+//! Lexicographic order on integer vectors.
+//!
+//! Execution order of dynamic instances corresponds to lexicographic order on
+//! instance vectors (Theorem 1 of the paper), and the legality condition
+//! (Definition 6) requires projected transformed dependence vectors to be
+//! lexicographically positive or zero.
+
+use crate::{IVec, Int};
+use std::cmp::Ordering;
+
+/// The lexicographic sign of a vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LexSign {
+    /// First nonzero entry is positive.
+    Positive,
+    /// All entries are zero.
+    Zero,
+    /// First nonzero entry is negative.
+    Negative,
+}
+
+impl LexSign {
+    /// Classify a slice.
+    pub fn of(v: &[Int]) -> LexSign {
+        for &x in v {
+            match x.cmp(&0) {
+                Ordering::Greater => return LexSign::Positive,
+                Ordering::Less => return LexSign::Negative,
+                Ordering::Equal => {}
+            }
+        }
+        LexSign::Zero
+    }
+}
+
+/// Lexicographic comparison of two equal-length vectors.
+///
+/// # Panics
+/// If lengths differ (comparing instance vectors of different programs is a
+/// bug).
+pub fn lex_cmp(a: &IVec, b: &IVec) -> Ordering {
+    assert_eq!(a.len(), b.len(), "lex_cmp: length mismatch");
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp(y) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// The lexicographic sign of a vector.
+pub fn lex_sign(v: &IVec) -> LexSign {
+    LexSign::of(v.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs() {
+        assert_eq!(LexSign::of(&[0, 0, 1, -5]), LexSign::Positive);
+        assert_eq!(LexSign::of(&[0, -1, 9]), LexSign::Negative);
+        assert_eq!(LexSign::of(&[0, 0, 0]), LexSign::Zero);
+        assert_eq!(LexSign::of(&[]), LexSign::Zero);
+    }
+
+    #[test]
+    fn cmp_order() {
+        let a = IVec::from(vec![1, 2, 3]);
+        let b = IVec::from(vec![1, 3, 0]);
+        assert_eq!(lex_cmp(&a, &b), Ordering::Less);
+        assert_eq!(lex_cmp(&b, &a), Ordering::Greater);
+        assert_eq!(lex_cmp(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn execution_order_matches_difference_sign() {
+        // b - a lexicographically positive iff a < b
+        let a = IVec::from(vec![2, 0, 1, 2]);
+        let b = IVec::from(vec![2, 1, 0, 3]);
+        assert_eq!(lex_cmp(&a, &b), Ordering::Less);
+        assert_eq!(lex_sign(&(&b - &a)), LexSign::Positive);
+    }
+}

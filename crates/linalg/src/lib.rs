@@ -1,0 +1,190 @@
+//! # inl-linalg
+//!
+//! Exact integer and rational linear algebra for the `inl` loop-transformation
+//! framework.
+//!
+//! Loop transformations are represented by integer matrices acting on integer
+//! instance vectors (Kodukula & Pingali, SC 1996). Everything the framework
+//! does with those matrices — legality tests, rank computations for the
+//! augmentation procedure, non-singular per-statement transforms, Hermite
+//! normal forms for non-unimodular loop bounds — must be *exact*: a rounding
+//! error of 1 changes which iterations a loop executes. This crate therefore
+//! provides:
+//!
+//! * [`Rational`] — exact rationals over `i128` (sufficient for the matrix
+//!   sizes that arise from loop nests; all operations are overflow-checked
+//!   and panic loudly rather than wrap);
+//! * [`IMat`] / [`IVec`] — dense integer matrices/vectors with exact
+//!   elimination: rank, determinant, rational inverse, solving, integer
+//!   nullspace bases;
+//! * [`hnf`] — column-style Hermite normal form and unimodular completion,
+//!   used for non-unimodular code generation and the completion procedure;
+//! * [`lex`] — lexicographic order utilities on integer vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use inl_linalg::{IMat, IVec};
+//!
+//! // The paper's loop-interchange matrix for the simplified Cholesky nest.
+//! let m = IMat::from_rows(&[
+//!     &[0, 0, 0, 1][..],
+//!     &[0, 1, 0, 0],
+//!     &[0, 0, 1, 0],
+//!     &[1, 0, 0, 0],
+//! ]);
+//! assert_eq!(m.det(), -1); // a permutation: unimodular
+//! let v = IVec::from(vec![2, 0, 1, 2]); // instance vector of S1 at I=2
+//! assert_eq!(m.mul_vec(&v).as_slice(), &[2, 0, 1, 2]);
+//! ```
+
+pub mod gauss;
+pub mod hnf;
+pub mod lex;
+pub mod matrix;
+pub mod rational;
+pub mod vector;
+
+pub use gauss::{inverse_rational, nullspace_int, rank, solve_rational};
+pub use hnf::{column_hnf, complete_unimodular, HnfResult};
+pub use lex::{lex_cmp, LexSign};
+pub use matrix::IMat;
+pub use rational::Rational;
+pub use vector::IVec;
+
+/// The integer type used throughout the framework.
+///
+/// `i128` gives comfortable headroom for the products that appear in
+/// fraction-free elimination of loop-transformation matrices (whose entries
+/// are small: skew factors, ±1, alignment offsets).
+pub type Int = i128;
+
+/// Greatest common divisor (always non-negative; `gcd(0, 0) == 0`).
+#[inline]
+pub fn gcd(a: Int, b: Int) -> Int {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple (non-negative; `lcm(x, 0) == 0`).
+#[inline]
+pub fn lcm(a: Int, b: Int) -> Int {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+    }
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`,
+/// `g >= 0`.
+pub fn ext_gcd(a: Int, b: Int) -> (Int, Int, Int) {
+    if b == 0 {
+        if a < 0 {
+            (-a, -1, 0)
+        } else {
+            (a, 1, 0)
+        }
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        // g = b*x + (a % b)*y = a*y + b*(x - (a/b)*y)
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Floor division (rounds towards negative infinity), as needed for integer
+/// loop bounds: `floor_div(-3, 2) == -2`.
+#[inline]
+pub fn floor_div(a: Int, b: Int) -> Int {
+    debug_assert!(b != 0, "floor_div by zero");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division (rounds towards positive infinity): `ceil_div(3, 2) == 2`.
+#[inline]
+pub fn ceil_div(a: Int, b: Int) -> Int {
+    debug_assert!(b != 0, "ceil_div by zero");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Mathematical modulus: result is in `[0, |b|)`.
+#[inline]
+pub fn modulo(a: Int, b: Int) -> Int {
+    let r = a % b;
+    if r < 0 {
+        r + b.abs()
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(17, 13), 1);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+        assert_eq!(lcm(7, 7), 7);
+    }
+
+    #[test]
+    fn ext_gcd_identity() {
+        for (a, b) in [(12, 18), (-12, 18), (0, 7), (7, 0), (1, 1), (240, 46), (-5, -15)] {
+            let (g, x, y) = ext_gcd(a, b);
+            assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+            assert_eq!(a * x + b * y, g, "bezout identity fails for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn floor_ceil_div() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(7, -2), -4);
+        assert_eq!(floor_div(-7, -2), 3);
+        assert_eq!(floor_div(6, 3), 2);
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(7, -2), -3);
+        assert_eq!(ceil_div(-7, -2), 4);
+        assert_eq!(ceil_div(6, 3), 2);
+    }
+
+    #[test]
+    fn modulo_range() {
+        assert_eq!(modulo(7, 3), 1);
+        assert_eq!(modulo(-7, 3), 2);
+        assert_eq!(modulo(-7, -3), 2);
+        assert_eq!(modulo(6, 3), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Exact rational numbers over [`Int`].
+//!
+//! Used wherever the framework needs non-integer intermediate values:
+//! rational matrix inverses for loop-bound generation, Fourier–Motzkin
+//! pivoting, and the per-statement transformation algebra. The denominator is
+//! kept positive and the fraction fully reduced, so equality is structural.
+
+use crate::{gcd, Int};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) == 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: Int,
+    den: Int,
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num / den`, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// If `den == 0`.
+    pub fn new(num: Int, den: Int) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        if g == 0 {
+            return Rational { num: 0, den: 1 };
+        }
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// An integer as a rational.
+    #[inline]
+    pub fn int(n: Int) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    #[inline]
+    pub fn num(&self) -> Int {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    #[inline]
+    pub fn den(&self) -> Int {
+        self.den
+    }
+
+    /// True iff the value is an integer.
+    #[inline]
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign: -1, 0 or 1.
+    #[inline]
+    pub fn signum(&self) -> Int {
+        self.num.signum()
+    }
+
+    /// Floor to the nearest integer towards negative infinity.
+    pub fn floor(&self) -> Int {
+        crate::floor_div(self.num, self.den)
+    }
+
+    /// Ceiling to the nearest integer towards positive infinity.
+    pub fn ceil(&self) -> Int {
+        crate::ceil_div(self.num, self.den)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// If the value is zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    fn checked(num: Option<Int>, den: Option<Int>) -> Self {
+        Rational::new(
+            num.expect("rational numerator overflow"),
+            den.expect("rational denominator overflow"),
+        )
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<Int> for Rational {
+    fn from(n: Int) -> Self {
+        Rational::int(n)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        let num = self
+            .num
+            .checked_mul(rhs.den)
+            .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)));
+        Rational::checked(num, self.den.checked_mul(rhs.den))
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Rational::checked(
+            (self.num / g1).checked_mul(rhs.num / g2),
+            (self.den / g2).checked_mul(rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a * b⁻¹ is the definition
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        let lhs = self.num.checked_mul(other.den).expect("rational cmp overflow");
+        let rhs = other.num.checked_mul(self.den).expect("rational cmp overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Rational::new(6, -4);
+        assert_eq!(r.num(), -3);
+        assert_eq!(r.den(), 2);
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
+        assert!(Rational::new(2, 4) == Rational::new(1, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::new(6, 3).floor(), 2);
+        assert_eq!(Rational::new(6, 3).ceil(), 2);
+    }
+
+    #[test]
+    fn recip_and_int() {
+        assert_eq!(Rational::new(3, 4).recip(), Rational::new(4, 3));
+        assert!(Rational::int(5).is_integer());
+        assert!(!Rational::new(5, 2).is_integer());
+        assert_eq!(Rational::new(-3, 4).signum(), -1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Linear expressions over indexed variables.
+
+use inl_linalg::{gcd, Int, IVec};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A linear expression `Σ coeffs[i]·xᵢ + constant` over a fixed number of
+/// variables. The variable space is positional; callers decide what each
+/// index means (loop variables, symbolic parameters, Δ variables, …).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    coeffs: Vec<Int>,
+    constant: Int,
+}
+
+impl LinExpr {
+    /// The zero expression over `n` variables.
+    pub fn zero(n: usize) -> Self {
+        LinExpr { coeffs: vec![0; n], constant: 0 }
+    }
+
+    /// The constant expression `c` over `n` variables.
+    pub fn constant(n: usize, c: Int) -> Self {
+        LinExpr { coeffs: vec![0; n], constant: c }
+    }
+
+    /// The single variable `xᵢ` over `n` variables.
+    pub fn var(n: usize, i: usize) -> Self {
+        let mut coeffs = vec![0; n];
+        coeffs[i] = 1;
+        LinExpr { coeffs, constant: 0 }
+    }
+
+    /// Build from raw parts.
+    pub fn from_parts(coeffs: Vec<Int>, constant: Int) -> Self {
+        LinExpr { coeffs, constant }
+    }
+
+    /// Number of variables in the space.
+    pub fn nvars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of variable `i`.
+    #[inline]
+    pub fn coeff(&self, i: usize) -> Int {
+        self.coeffs[i]
+    }
+
+    /// Set the coefficient of variable `i`.
+    pub fn set_coeff(&mut self, i: usize, c: Int) {
+        self.coeffs[i] = c;
+    }
+
+    /// The constant term.
+    #[inline]
+    pub fn constant_term(&self) -> Int {
+        self.constant
+    }
+
+    /// Set the constant term.
+    pub fn set_constant(&mut self, c: Int) {
+        self.constant = c;
+    }
+
+    /// The coefficient vector.
+    pub fn coeffs(&self) -> &[Int] {
+        &self.coeffs
+    }
+
+    /// True iff all coefficients are zero (a pure constant).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// True iff identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.constant == 0 && self.is_constant()
+    }
+
+    /// Indices of variables with non-zero coefficients.
+    pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
+        self.coeffs.iter().enumerate().filter(|(_, &c)| c != 0).map(|(i, _)| i)
+    }
+
+    /// Gcd of all coefficients (not the constant); 0 if constant.
+    pub fn coeff_content(&self) -> Int {
+        self.coeffs.iter().fold(0, |acc, &c| gcd(acc, c))
+    }
+
+    /// Evaluate at a point (must supply all variables).
+    pub fn eval(&self, point: &[Int]) -> Int {
+        assert_eq!(point.len(), self.coeffs.len(), "eval: wrong arity");
+        self.coeffs
+            .iter()
+            .zip(point)
+            .map(|(&c, &x)| c.checked_mul(x).expect("eval overflow"))
+            .fold(self.constant, |acc, t| acc.checked_add(t).expect("eval overflow"))
+    }
+
+    /// Substitute variable `i` with expression `e` (which must live in the
+    /// same variable space and have zero coefficient on `i` itself).
+    pub fn substitute(&self, i: usize, e: &LinExpr) -> LinExpr {
+        assert_eq!(self.nvars(), e.nvars(), "substitute: arity mismatch");
+        assert_eq!(e.coeff(i), 0, "substitute: replacement mentions the variable");
+        let c = self.coeffs[i];
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs[i] = 0;
+        for j in 0..out.coeffs.len() {
+            out.coeffs[j] += c * e.coeffs[j];
+        }
+        out.constant += c * e.constant;
+        out
+    }
+
+    /// Extend the variable space to `n` variables (new variables have
+    /// coefficient 0). `n` must be ≥ the current arity.
+    pub fn extend(&self, n: usize) -> LinExpr {
+        assert!(n >= self.nvars());
+        let mut coeffs = self.coeffs.clone();
+        coeffs.resize(n, 0);
+        LinExpr { coeffs, constant: self.constant }
+    }
+
+    /// Remove variable `i` from the space (its coefficient must be zero),
+    /// shifting later variables down.
+    pub fn drop_var(&self, i: usize) -> LinExpr {
+        assert_eq!(self.coeffs[i], 0, "drop_var: coefficient not zero");
+        let mut coeffs = self.coeffs.clone();
+        coeffs.remove(i);
+        LinExpr { coeffs, constant: self.constant }
+    }
+
+    /// Re-index into a smaller space: keep only variables in `keep` (in that
+    /// order). All other variables must have zero coefficients.
+    pub fn project_onto(&self, keep: &[usize]) -> LinExpr {
+        let keep_set: std::collections::HashSet<usize> = keep.iter().copied().collect();
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            assert!(
+                c == 0 || keep_set.contains(&i),
+                "project_onto: dropping variable {i} with nonzero coefficient"
+            );
+        }
+        LinExpr {
+            coeffs: keep.iter().map(|&i| self.coeffs[i]).collect(),
+            constant: self.constant,
+        }
+    }
+
+    /// The coefficients as an [`IVec`] (without the constant).
+    pub fn coeff_vec(&self) -> IVec {
+        IVec::from(self.coeffs.as_slice())
+    }
+
+    /// Render with variable names supplied by `name`.
+    pub fn display_with<'a>(&'a self, name: &'a dyn Fn(usize) -> String) -> LinExprDisplay<'a> {
+        LinExprDisplay { expr: self, name }
+    }
+}
+
+/// Helper for [`LinExpr::display_with`].
+pub struct LinExprDisplay<'a> {
+    expr: &'a LinExpr,
+    name: &'a dyn Fn(usize) -> String,
+}
+
+impl fmt::Display for LinExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.expr.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let n = (self.name)(i);
+            if first {
+                match c {
+                    1 => write!(f, "{n}")?,
+                    -1 => write!(f, "-{n}")?,
+                    _ => write!(f, "{c}*{n}")?,
+                }
+                first = false;
+            } else if c > 0 {
+                if c == 1 {
+                    write!(f, " + {n}")?;
+                } else {
+                    write!(f, " + {c}*{n}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {n}")?;
+            } else {
+                write!(f, " - {}*{n}", -c)?;
+            }
+        }
+        let k = self.expr.constant;
+        if first {
+            write!(f, "{k}")?;
+        } else if k > 0 {
+            write!(f, " + {k}")?;
+        } else if k < 0 {
+            write!(f, " - {}", -k)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |i: usize| format!("x{i}");
+        write!(f, "{}", self.display_with(&name))
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        assert_eq!(self.nvars(), rhs.nvars(), "add: arity mismatch");
+        LinExpr {
+            coeffs: self.coeffs.iter().zip(&rhs.coeffs).map(|(&a, &b)| a + b).collect(),
+            constant: self.constant + rhs.constant,
+        }
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        assert_eq!(self.nvars(), rhs.nvars(), "sub: arity mismatch");
+        LinExpr {
+            coeffs: self.coeffs.iter().zip(&rhs.coeffs).map(|(&a, &b)| a - b).collect(),
+            constant: self.constant - rhs.constant,
+        }
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|&a| -a).collect(),
+            constant: -self.constant,
+        }
+    }
+}
+
+impl Mul<Int> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, k: Int) -> LinExpr {
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|&a| a * k).collect(),
+            constant: self.constant * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_eval() {
+        let n = 3;
+        let e = LinExpr::var(n, 0) * 2 - LinExpr::var(n, 2) + LinExpr::constant(n, 5);
+        assert_eq!(e.coeff(0), 2);
+        assert_eq!(e.coeff(1), 0);
+        assert_eq!(e.coeff(2), -1);
+        assert_eq!(e.constant_term(), 5);
+        assert_eq!(e.eval(&[10, 99, 3]), 22);
+        assert!(!e.is_constant());
+        assert!(LinExpr::constant(2, 7).is_constant());
+        assert!(LinExpr::zero(2).is_zero());
+    }
+
+    #[test]
+    fn substitute_var() {
+        // x0 + 2*x1, substitute x1 := x2 - 1  =>  x0 + 2*x2 - 2
+        let n = 3;
+        let e = LinExpr::var(n, 0) + LinExpr::var(n, 1) * 2;
+        let r = LinExpr::var(n, 2) - LinExpr::constant(n, 1);
+        let s = e.substitute(1, &r);
+        assert_eq!(s.coeff(0), 1);
+        assert_eq!(s.coeff(1), 0);
+        assert_eq!(s.coeff(2), 2);
+        assert_eq!(s.constant_term(), -2);
+    }
+
+    #[test]
+    fn project_and_extend() {
+        let n = 4;
+        let e = LinExpr::var(n, 1) + LinExpr::var(n, 3) * 3;
+        let p = e.project_onto(&[1, 3]);
+        assert_eq!(p.nvars(), 2);
+        assert_eq!(p.coeff(0), 1);
+        assert_eq!(p.coeff(1), 3);
+        let x = p.extend(5);
+        assert_eq!(x.nvars(), 5);
+        assert_eq!(x.coeff(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero coefficient")]
+    fn project_drops_used_var() {
+        let e = LinExpr::var(3, 2);
+        let _ = e.project_onto(&[0, 1]);
+    }
+
+    #[test]
+    fn display() {
+        let n = 3;
+        let name = |i: usize| ["N", "i", "j"][i].to_string();
+        let e = LinExpr::var(n, 1) * 2 - LinExpr::var(n, 2) - LinExpr::constant(n, 3);
+        assert_eq!(format!("{}", e.display_with(&name)), "2*i - j - 3");
+        assert_eq!(format!("{}", LinExpr::zero(n).display_with(&name)), "0");
+        let f = -LinExpr::var(n, 0) + LinExpr::constant(n, 1);
+        assert_eq!(format!("{}", f.display_with(&name)), "-N + 1");
+    }
+
+    #[test]
+    fn content() {
+        let n = 2;
+        let e = LinExpr::var(n, 0) * 4 + LinExpr::var(n, 1) * 6 + LinExpr::constant(n, 3);
+        assert_eq!(e.coeff_content(), 2);
+        assert_eq!(LinExpr::constant(n, 5).coeff_content(), 0);
+    }
+}

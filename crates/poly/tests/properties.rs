@@ -1,0 +1,162 @@
+//! Property-based tests for the integer-programming substrate. Everything
+//! the dependence analysis and code generator conclude rests on these
+//! soundness properties of Fourier–Motzkin elimination.
+
+use inl_linalg::Int;
+use inl_poly::{expr_bounds, fm, is_empty, scan_bounds, Feasibility, LinExpr, System};
+use proptest::prelude::*;
+
+const NVARS: usize = 3;
+
+/// A random constraint `Σ aᵢxᵢ + c ≥ 0` with small coefficients.
+fn small_constraint() -> impl Strategy<Value = LinExpr> {
+    (prop::collection::vec(-3i64..=3, NVARS), -8i64..=8).prop_map(|(coeffs, c)| {
+        LinExpr::from_parts(coeffs.into_iter().map(|x| x as Int).collect(), c as Int)
+    })
+}
+
+/// A random system, biased towards feasible ones by adding box constraints.
+fn small_system() -> impl Strategy<Value = System> {
+    (prop::collection::vec(small_constraint(), 0..5), 1i64..=6).prop_map(|(cons, box_)| {
+        let mut s = System::new(NVARS);
+        for v in 0..NVARS {
+            // -box <= x_v <= box keeps everything bounded
+            s.add_ge(LinExpr::var(NVARS, v) + LinExpr::constant(NVARS, box_ as Int));
+            s.add_ge(LinExpr::constant(NVARS, box_ as Int) - LinExpr::var(NVARS, v));
+        }
+        for c in cons {
+            s.add_ge(c);
+        }
+        s
+    })
+}
+
+/// Brute-force enumerate integer points of a bounded system.
+fn enumerate(s: &System, bound: Int) -> Vec<[Int; NVARS]> {
+    let mut out = Vec::new();
+    for x in -bound..=bound {
+        for y in -bound..=bound {
+            for z in -bound..=bound {
+                if s.contains(&[x, y, z]) {
+                    out.push([x, y, z]);
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 120, ..ProptestConfig::default() })]
+
+    /// Eliminating a variable keeps every point's projection.
+    #[test]
+    fn elimination_preserves_points(s in small_system(), var in 0usize..NVARS) {
+        let (proj, _) = fm::eliminate(&s, var);
+        for pt in enumerate(&s, 8) {
+            prop_assert!(
+                proj.contains(&pt),
+                "point {pt:?} lost by eliminating x{var}"
+            );
+        }
+    }
+
+    /// Feasibility agrees with brute force.
+    #[test]
+    fn feasibility_sound(s in small_system()) {
+        let pts = enumerate(&s, 8);
+        match is_empty(&s) {
+            Feasibility::Empty => prop_assert!(pts.is_empty(), "claimed empty but has {pts:?}"),
+            Feasibility::NonEmpty => prop_assert!(!pts.is_empty(), "claimed non-empty but is empty"),
+            Feasibility::Unknown => {} // conservative; allowed either way
+        }
+    }
+
+    /// Bounds of an expression cover every feasible point's value.
+    #[test]
+    fn expr_bounds_cover(s in small_system(), e in small_constraint()) {
+        let pts = enumerate(&s, 8);
+        prop_assume!(!pts.is_empty());
+        let (lo, hi) = expr_bounds(&s, &e);
+        for pt in pts {
+            let v = e.eval(&pt);
+            if let Some(l) = lo {
+                prop_assert!(l <= v, "lower bound {l} exceeds value {v} at {pt:?}");
+            }
+            if let Some(h) = hi {
+                prop_assert!(v <= h, "value {v} exceeds upper bound {h} at {pt:?}");
+            }
+        }
+    }
+
+    /// Projection keeps every point's kept coordinates.
+    #[test]
+    fn projection_preserves_points(s in small_system(), keep in 0usize..NVARS) {
+        let (proj, _) = fm::project(&s, &[keep]);
+        for pt in enumerate(&s, 8) {
+            prop_assert!(proj.contains(&pt), "projected point {pt:?} lost");
+        }
+    }
+
+    /// Scanning bounds enumerate a superset of the integer points, and the
+    /// original constraints filter it back exactly (the guard discipline
+    /// code generation relies on).
+    #[test]
+    fn scan_bounds_cover_set(s in small_system()) {
+        let pts = enumerate(&s, 8);
+        prop_assume!(!pts.is_empty());
+        let order = [0usize, 1, 2];
+        let bounds = scan_bounds(&s, &order);
+        let mut scanned = Vec::new();
+        let mut pt = [0 as Int; NVARS];
+        let (Some(l0), Some(h0)) = (bounds[0].eval_lower(&pt), bounds[0].eval_upper(&pt)) else {
+            return Err(TestCaseError::fail("unbounded outer despite box"));
+        };
+        for x in l0..=h0 {
+            pt[0] = x;
+            let (Some(l1), Some(h1)) = (bounds[1].eval_lower(&pt), bounds[1].eval_upper(&pt)) else {
+                continue;
+            };
+            for y in l1..=h1 {
+                pt[1] = y;
+                let (Some(l2), Some(h2)) =
+                    (bounds[2].eval_lower(&pt), bounds[2].eval_upper(&pt))
+                else {
+                    continue;
+                };
+                for z in l2..=h2 {
+                    pt[2] = z;
+                    if s.contains(&pt) {
+                        scanned.push(pt);
+                    }
+                }
+            }
+        }
+        scanned.sort();
+        let mut expected = pts;
+        expected.sort();
+        prop_assert_eq!(scanned, expected, "scan+filter must enumerate the exact set");
+    }
+
+    /// Integer tightening never *adds* integer points.
+    #[test]
+    fn tightening_preserves_integer_semantics(
+        coeffs in prop::collection::vec(-4i64..=4, NVARS),
+        c in -10i64..=10,
+        pt in prop::collection::vec(-6i64..=6, NVARS),
+    ) {
+        let e = LinExpr::from_parts(
+            coeffs.iter().map(|&x| x as Int).collect(),
+            c as Int,
+        );
+        let mut s = System::new(NVARS);
+        s.add_ge(e.clone());
+        let p: Vec<Int> = pt.iter().map(|&x| x as Int).collect();
+        // containment in the normalized system == raw constraint truth
+        let raw = e.eval(&p) >= 0;
+        prop_assert_eq!(s.contains(&p) || s.is_trivially_empty(), raw || s.is_trivially_empty());
+        if !s.is_trivially_empty() {
+            prop_assert_eq!(s.contains(&p), raw);
+        }
+    }
+}
