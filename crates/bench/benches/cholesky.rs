@@ -10,8 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use inl_bench::{
-    cholesky_variants, kernel_cholesky_kjli, kernel_cholesky_left, kernel_cholesky_right,
-    spd_init,
+    cholesky_variants, kernel_cholesky_kjli, kernel_cholesky_left, kernel_cholesky_right, spd_init,
 };
 use inl_codegen::generate;
 use inl_exec::{Interpreter, Machine};
@@ -25,13 +24,17 @@ fn interpreter_variants(c: &mut Criterion) {
     let n: i128 = 60;
     for (label, m) in &variants {
         let result = generate(&p, &layout, &deps, m).expect("codegen");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &result.program, |b, prog| {
-            b.iter(|| {
-                let mut machine = Machine::new(prog, &[n], &spd_init);
-                Interpreter::new(prog).run(&mut machine);
-                black_box(machine.array_by_name("A").unwrap()[3]);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &result.program,
+            |b, prog| {
+                b.iter(|| {
+                    let mut machine = Machine::new(prog, &[n], &spd_init);
+                    Interpreter::new(prog).run(&mut machine);
+                    black_box(machine.array_by_name("A").unwrap()[3]);
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -52,17 +55,13 @@ fn compiled_kernels(c: &mut Criterion) {
             ("right_KJLI", kernel_cholesky_kjli),
             ("left_LKJI", kernel_cholesky_left),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &base,
-                |b, base| {
-                    b.iter(|| {
-                        let mut a = base.clone();
-                        kern(&mut a, n);
-                        black_box(a[w + 1]);
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &base, |b, base| {
+                b.iter(|| {
+                    let mut a = base.clone();
+                    kern(&mut a, n);
+                    black_box(a[w + 1]);
+                })
+            });
         }
     }
     group.finish();

@@ -61,8 +61,12 @@ fn legality_tiers(c: &mut Criterion) {
         let p = zoo::wavefront();
         let (layout, deps) = deps_of(&p);
         let loops: Vec<_> = p.loops().collect();
-        let m = Transform::Skew { target: loops[0], source: loops[1], factor: 1 }
-            .matrix(&p, &layout);
+        let m = Transform::Skew {
+            target: loops[0],
+            source: loops[1],
+            factor: 1,
+        }
+        .matrix(&p, &layout);
         group.bench_function("interval_tier_wavefront_skew", |b| {
             b.iter(|| black_box(check_legal(&p, &layout, &deps, &m)))
         });
@@ -102,5 +106,11 @@ fn completion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, instance_vectors, dependence_analysis, legality_tiers, completion);
+criterion_group!(
+    benches,
+    instance_vectors,
+    dependence_analysis,
+    legality_tiers,
+    completion
+);
 criterion_main!(benches);

@@ -21,13 +21,17 @@ fn wavefront_kernels(c: &mut Criterion) {
                 base[i * w + j] = if i == 0 || j == 0 { 1.0 } else { 0.0 };
             }
         }
-        group.bench_with_input(BenchmarkId::new("sequential_row_major", n), &base, |b, base| {
-            b.iter(|| {
-                let mut a = base.clone();
-                kernel_wavefront_sqrt_seq(&mut a, n);
-                black_box(a[w + 1]);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_row_major", n),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    let mut a = base.clone();
+                    kernel_wavefront_sqrt_seq(&mut a, n);
+                    black_box(a[w + 1]);
+                })
+            },
+        );
         let mut thread_counts = vec![1usize, 2, max_threads];
         thread_counts.dedup();
         for threads in thread_counts {

@@ -1,8 +1,11 @@
-//! Regenerates the paper-vs-measured tables recorded in `EXPERIMENTS.md`.
+//! Regenerates the paper-vs-measured tables recorded in `EXPERIMENTS.md`,
+//! and emits the pipeline telemetry report (`inl-obs`) as a table plus JSON.
 //!
 //! ```sh
-//! cargo run --release -p inl-bench --bin report
+//! cargo run --release -p inl-bench --bin report -- [--obs-json <path>]
 //! ```
+//!
+//! The JSON lands at `target/inl-obs.json` unless `--obs-json` overrides it.
 
 use inl_bench::{
     cholesky_variants, kernel_cholesky_kjli, kernel_cholesky_left, kernel_cholesky_right,
@@ -11,19 +14,40 @@ use inl_bench::{
 use inl_codegen::generate;
 use inl_core::depend::analyze;
 use inl_core::instance::InstanceLayout;
-use inl_exec::{run_fresh, Interpreter, Machine};
+use inl_core::transform::Transform;
+use inl_exec::{run_fresh, run_traced, Interpreter, Machine, ParallelExecutor};
 use inl_ir::zoo;
-use std::time::Instant;
+use inl_obs::{Json, PipelineReport};
+use std::time::{Duration, Instant};
 
-fn time<F: FnMut()>(mut f: F, reps: usize) -> std::time::Duration {
-    let t0 = Instant::now();
+/// Time `reps` runs of `f` under an `inl-obs` span and return the mean.
+///
+/// This is the report's only timing primitive: every number in the tables
+/// below is also a span in the telemetry JSON, under the same name.
+fn timed<F: FnMut()>(name: &str, reps: usize, mut f: F) -> Duration {
+    let name: &'static str = Box::leak(name.to_string().into_boxed_str());
     for _ in 0..reps {
+        let _g = inl_obs::span(name);
         f();
     }
-    t0.elapsed() / reps as u32
+    let snap = PipelineReport::capture();
+    Duration::from_nanos(snap.spans[name].mean_ns())
+}
+
+fn obs_json_path() -> std::path::PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--obs-json" {
+            return args.next().expect("--obs-json needs a path").into();
+        }
+    }
+    "target/inl-obs.json".into()
 }
 
 fn main() {
+    let json_path = obs_json_path();
+    inl_obs::set_enabled(true);
+
     println!("# inl experiment report\n");
 
     // ------------------------------------------------- E3: dep matrices
@@ -54,13 +78,10 @@ fn main() {
         let mut machine = Machine::new(&result.program, &[n], &spd_init);
         Interpreter::new(&result.program).run(&mut machine);
         let ok = reference.same_state(&machine).is_ok();
-        let dt = time(
-            || {
-                let mut m2 = Machine::new(&result.program, &[n], &spd_init);
-                Interpreter::new(&result.program).run(&mut m2);
-            },
-            3,
-        );
+        let dt = timed(&format!("report.e7.variant/{label}"), 3, || {
+            let mut m2 = Machine::new(&result.program, &[n], &spd_init);
+            Interpreter::new(&result.program).run(&mut m2);
+        });
         println!("| {label} | {dt:.2?} | {} |", if ok { "yes" } else { "NO" });
     }
 
@@ -77,17 +98,17 @@ fn main() {
     println!("| kernel | time |");
     println!("|--------|------|");
     for (name, kern) in [
-        ("right-looking KIJL", kernel_cholesky_right as fn(&mut [f64], usize)),
+        (
+            "right-looking KIJL",
+            kernel_cholesky_right as fn(&mut [f64], usize),
+        ),
         ("right-looking KJLI", kernel_cholesky_kjli),
         ("left-looking  LKJI", kernel_cholesky_left),
     ] {
-        let dt = time(
-            || {
-                let mut a = base.clone();
-                kern(&mut a, nk);
-            },
-            3,
-        );
+        let dt = timed(&format!("report.e7.kernel/{}", name.trim()), 3, || {
+            let mut a = base.clone();
+            kern(&mut a, nk);
+        });
         println!("| {name} | {dt:.2?} |");
     }
 
@@ -100,28 +121,118 @@ fn main() {
         wbase[i * ww] = 1.0;
         wbase[i] = 1.0;
     }
-    let dt_seq = time(
-        || {
-            let mut a = wbase.clone();
-            kernel_wavefront_sqrt_seq(&mut a, nw);
-        },
-        3,
-    );
+    let dt_seq = timed("report.e8.kernel/sequential", 3, || {
+        let mut a = wbase.clone();
+        kernel_wavefront_sqrt_seq(&mut a, nw);
+    });
     println!("| schedule | time | speedup |");
     println!("|----------|------|---------|");
     println!("| sequential row-major | {dt_seq:.2?} | 1.00x |");
     let max_threads = std::thread::available_parallelism().map_or(2, |x| x.get());
     for threads in [1usize, max_threads] {
-        let dt = time(
-            || {
-                let mut a = wbase.clone();
-                kernel_wavefront_sqrt_skewed_parallel(&mut a, nw, threads);
-            },
-            3,
-        );
+        let dt = timed(&format!("report.e8.kernel/skewed-{threads}t"), 3, || {
+            let mut a = wbase.clone();
+            kernel_wavefront_sqrt_skewed_parallel(&mut a, nw, threads);
+        });
         println!(
             "| skewed, {threads} thread(s) | {dt:.2?} | {:.2}x |",
             dt_seq.as_secs_f64() / dt.as_secs_f64()
         );
     }
+
+    // --------------------------------- E8: framework parallel executor
+    // Run the framework's own skewed wavefront through ParallelExecutor so
+    // the exec.par.* telemetry reflects a real generated schedule, not just
+    // the hand kernels above.
+    println!("\n## E8 — generated wavefront through ParallelExecutor (N = 200)\n");
+    let wp = zoo::wavefront();
+    let wlayout = InstanceLayout::new(&wp);
+    let wdeps = analyze(&wp, &wlayout);
+    let wloops: Vec<_> = wp.loops().collect();
+    let skew = Transform::Skew {
+        target: wloops[0],
+        source: wloops[1],
+        factor: 1,
+    }
+    .matrix(&wp, &wlayout);
+    let mut skewed = generate(&wp, &wlayout, &wdeps, &skew).expect("codegen");
+    let inner = skewed
+        .program
+        .loops()
+        .find(|&l| {
+            !skewed.program.loop_decl(l).children.is_empty()
+                && skewed.program.loops_surrounding_loop(l).len() == 1
+        })
+        .expect("inner loop");
+    skewed.program.set_loop_parallel(inner, true);
+    let winit = |_: &str, idx: &[usize]| if idx[0] == 0 || idx[1] == 0 { 1.0 } else { 0.0 };
+    let nwf: i128 = 200;
+    let wseq = run_fresh(&wp, &[nwf], &winit);
+    for threads in [2usize, max_threads.max(2)] {
+        let mut par = Machine::new(&skewed.program, &[nwf], &winit);
+        let dt = timed(&format!("report.e8.framework/{threads}t"), 1, || {
+            ParallelExecutor::new(&skewed.program, threads).run(&mut par);
+        });
+        let ok = wseq.same_state(&par).is_ok();
+        println!(
+            "skewed + inner DOALL, {threads} threads: {dt:.2?}, {}",
+            if ok { "bitwise identical" } else { "MISMATCH" }
+        );
+    }
+
+    // ------------------------------------------------- trace summary
+    let (_, trace) = run_traced(&p, &[20], &spd_init);
+    let trace_summary = trace.summary(&p);
+
+    // ------------------------------------------------- overhead
+    // Enabled-vs-disabled instrumentation cost on the interpreted Cholesky
+    // run. Uses plain `Instant` because half the measurement runs with the
+    // telemetry layer off.
+    let reps = 7usize;
+    let one_run = |prog: &inl_ir::Program| {
+        let t0 = Instant::now();
+        let mut m2 = Machine::new(prog, &[n], &spd_init);
+        Interpreter::new(prog).run(&mut m2);
+        t0.elapsed()
+    };
+    one_run(&p); // warmup
+                 // Alternate modes per rep and keep the per-mode minimum: back-to-back
+                 // block timings confound instrumentation cost with drift (frequency
+                 // scaling, cache state); the min over interleaved reps does not.
+    let (mut on, mut off) = (Duration::MAX, Duration::MAX);
+    for _ in 0..reps {
+        inl_obs::set_enabled(true);
+        on = on.min(one_run(&p));
+        inl_obs::set_enabled(false);
+        off = off.min(one_run(&p));
+    }
+    inl_obs::set_enabled(true);
+    let overhead_pct = (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0;
+    println!("\n## instrumentation overhead (interpreted Cholesky, N = {n}, {reps} reps)\n");
+    println!("enabled {on:.2?}, disabled {off:.2?}: {overhead_pct:+.2}%");
+
+    // ------------------------------------------------- telemetry report
+    let mut report = PipelineReport::capture();
+    report.attach("trace", trace_summary.to_json());
+    let mut oh = Json::object();
+    oh.insert(
+        "benchmark",
+        Json::Str(format!("interpreted cholesky N={n}")),
+    );
+    oh.insert("reps", Json::Int(reps as u64));
+    oh.insert("enabled_ns", Json::Int(on.as_nanos() as u64));
+    oh.insert("disabled_ns", Json::Int(off.as_nanos() as u64));
+    oh.insert("overhead_pct", Json::Float(overhead_pct));
+    report.attach("overhead", oh);
+
+    println!("\n## pipeline telemetry\n");
+    println!("{}", report.to_table());
+    report.write_json(&json_path).expect("write telemetry JSON");
+    println!(
+        "telemetry: {} counters, {} histograms, {} spans -> {}",
+        report.counters.len(),
+        report.histograms.len(),
+        report.spans.len(),
+        json_path.display()
+    );
 }

@@ -51,8 +51,10 @@ pub fn cholesky_variants() -> (Program, Vec<(String, IMat)>) {
     let mut out = Vec::new();
     for pm in permutations(&[0usize, 1, 2, 3]) {
         let label: String = pm.iter().map(|&i| names[i]).collect::<Vec<_>>().join("");
-        let rows: Vec<IVec> =
-            pm.iter().map(|&i| IVec::unit(layout.len(), positions[i])).collect();
+        let rows: Vec<IVec> = pm
+            .iter()
+            .map(|&i| IVec::unit(layout.len(), positions[i]))
+            .collect();
         if let Ok(c) = complete_transform(&p, &layout, &deps, &rows) {
             out.push((label, c.matrix));
         }
@@ -353,8 +355,8 @@ pub fn kernel_wavefront_skewed_parallel(a: &mut [f64], n: usize, threads: usize)
                         for j in start..end {
                             let i = t - j;
                             unsafe {
-                                *shared.0.add(i * w + j) = *shared.0.add((i - 1) * w + j)
-                                    + *shared.0.add(i * w + (j - 1));
+                                *shared.0.add(i * w + j) =
+                                    *shared.0.add((i - 1) * w + j) + *shared.0.add(i * w + (j - 1));
                             }
                         }
                     }

@@ -5,9 +5,7 @@ use inl_core::instance::{InstanceLayout, Position};
 use inl_core::legal::{check_legal, NewAst};
 use inl_core::perstmt::{schedule_all, ScheduleError, StmtSchedule};
 use inl_core::transform::Transform;
-use inl_ir::{
-    Aff, Bound, Guard, LoopId, Node, Program, ProgramBuilder, StmtId, VarKey,
-};
+use inl_ir::{Aff, Bound, Guard, LoopId, Node, Program, ProgramBuilder, StmtId, VarKey};
 use inl_linalg::{gauss, lcm, IMat, Int};
 use inl_poly::{fm, is_empty, scan_bounds, Feasibility, LinExpr, System, VarBounds};
 use std::collections::HashMap;
@@ -57,6 +55,7 @@ pub fn generate(
     deps: &DependenceMatrix,
     m: &IMat,
 ) -> Result<CodegenResult, CodegenError> {
+    let _span = inl_obs::span("codegen.generate");
     let report = check_legal(p, layout, deps, m);
     let ast = match &report.new_ast {
         Ok(a) => a.clone(),
@@ -89,12 +88,18 @@ pub fn generate(
             sys.add_eq(e);
         }
         // eliminate old iteration variables
-        let keep: Vec<usize> =
-            (0..np).chain(np + kold..space).collect();
+        let keep: Vec<usize> = (0..np).chain(np + kold..space).collect();
         let (projected, _exact) = fm::project(&sys, &keep);
         let order: Vec<usize> = (np + kold..space).collect();
         let bounds = scan_bounds(&projected, &order);
-        plans.push(StmtPlan { sched, bounds, np, kold });
+        inl_obs::counter_add!("codegen.bounds_scanned", bounds.len());
+        inl_obs::counter_add!("codegen.loops_augmented", sched.n_aug);
+        plans.push(StmtPlan {
+            sched,
+            bounds,
+            np,
+            kold,
+        });
     }
 
     // --- merge bounds for shared loop slots ---
@@ -137,12 +142,10 @@ pub fn generate(
         let mut lo = canon(members[0].0, members[0].1, true);
         let mut hi = canon(members[0].0, members[0].1, false);
         for &(pi, r) in &members[1..] {
-            lo = merge_side(lo, canon(pi, r, true), true, &assumptions).map_err(|e| {
-                CodegenError::BoundMerge(format!("slot {qi} lower: {e}"))
-            })?;
-            hi = merge_side(hi, canon(pi, r, false), false, &assumptions).map_err(|e| {
-                CodegenError::BoundMerge(format!("slot {qi} upper: {e}"))
-            })?;
+            lo = merge_side(lo, canon(pi, r, true), true, &assumptions)
+                .map_err(|e| CodegenError::BoundMerge(format!("slot {qi} lower: {e}")))?;
+            hi = merge_side(hi, canon(pi, r, false), false, &assumptions)
+                .map_err(|e| CodegenError::BoundMerge(format!("slot {qi} upper: {e}")))?;
         }
         if lo.is_empty() || hi.is_empty() {
             return Err(CodegenError::Unbounded(format!("loop slot {qi}")));
@@ -167,8 +170,8 @@ pub fn generate(
 pub fn generate_seq(p: &Program, seq: &[Transform]) -> Result<CodegenResult, CodegenError> {
     let layout = InstanceLayout::new(p);
     let deps = analyze(p, &layout);
-    let m = Transform::compose(p, &layout, seq)
-        .map_err(|e| CodegenError::Illegal(format!("{e:?}")))?;
+    let m =
+        Transform::compose(p, &layout, seq).map_err(|e| CodegenError::Illegal(format!("{e:?}")))?;
     generate(p, &layout, &deps, &m)
 }
 
@@ -183,7 +186,10 @@ fn add_domain(
     sys: &mut System,
 ) {
     let slot_of = |l: LoopId| -> usize {
-        np + old_loops.iter().position(|&x| x == l).expect("surrounding loop")
+        np + old_loops
+            .iter()
+            .position(|&x| x == l)
+            .expect("surrounding loop")
     };
     let to_expr = |a: &Aff| -> LinExpr {
         let mut coeffs = vec![0; space];
@@ -228,7 +234,11 @@ fn globalize(e: &LinExpr, plan: &StmtPlan, layout: &InstanceLayout, np: usize) -
     let n = layout.len();
     let out = globalize_tail(e, plan, layout, np);
     for i in np + n..out.nvars() {
-        assert_eq!(out.coeff(i), 0, "shared-slot bound references an augmented variable");
+        assert_eq!(
+            out.coeff(i),
+            0,
+            "shared-slot bound references an augmented variable"
+        );
     }
     LinExpr::from_parts(out.coeffs()[..np + n].to_vec(), out.constant_term())
 }
@@ -348,7 +358,9 @@ impl Builder<'_> {
         self.emit_nodes(&mut b, &root, &mut slot_loop, &mut stmt_map)?;
         let program = b.finish_unchecked();
         if let Err(e) = program.validate() {
-            return Err(CodegenError::Illegal(format!("generated program invalid: {e}")));
+            return Err(CodegenError::Illegal(format!(
+                "generated program invalid: {e}"
+            )));
         }
         Ok(CodegenResult { program, stmt_map })
     }
@@ -482,7 +494,11 @@ impl Builder<'_> {
         slot_loop: &mut HashMap<usize, LoopId>,
         stmt_map: &mut [StmtId],
     ) -> Result<(), CodegenError> {
-        let plan = self.plans.iter().find(|pl| pl.sched.stmt == s).expect("plan");
+        let plan = self
+            .plans
+            .iter()
+            .find(|pl| pl.sched.stmt == s)
+            .expect("plan");
         let sched = &plan.sched;
         let k = sched.slot_positions.len();
         let knew = sched.rows.nrows();
@@ -520,14 +536,22 @@ impl Builder<'_> {
             .lowers
             .iter()
             .map(|t| {
-                self.to_aff(&(globalize_tail(&t.expr, plan, self.layout, self.np), t.div), slot_loop, Some(aug_ctx))
+                self.to_aff(
+                    &(globalize_tail(&t.expr, plan, self.layout, self.np), t.div),
+                    slot_loop,
+                    Some(aug_ctx),
+                )
             })
             .collect();
         let hi: Vec<Aff> = vb
             .uppers
             .iter()
             .map(|t| {
-                self.to_aff(&(globalize_tail(&t.expr, plan, self.layout, self.np), t.div), slot_loop, Some(aug_ctx))
+                self.to_aff(
+                    &(globalize_tail(&t.expr, plan, self.layout, self.np), t.div),
+                    slot_loop,
+                    Some(aug_ctx),
+                )
             })
             .collect();
         if lo.is_empty() || hi.is_empty() {
@@ -536,13 +560,24 @@ impl Builder<'_> {
                 self.src.stmt_decl(s).name
             )));
         }
-        let name = format!("{}_a{}", self.src.stmt_decl(s).name.to_lowercase(), r - plan.sched.slot_positions.len());
+        let name = format!(
+            "{}_a{}",
+            self.src.stmt_decl(s).name.to_lowercase(),
+            r - plan.sched.slot_positions.len()
+        );
         let mut res: Result<(), CodegenError> = Ok(());
-        b.loop_full(name, Bound { terms: lo }, Bound { terms: hi }, 1, false, |b| {
-            let id = b.current_loop().expect("inside loop");
-            aug_ctx.insert(r, id);
-            res = self.emit_aug_loops(b, plan, r + 1, aug_ctx, slot_loop, s, stmt_map);
-        });
+        b.loop_full(
+            name,
+            Bound { terms: lo },
+            Bound { terms: hi },
+            1,
+            false,
+            |b| {
+                let id = b.current_loop().expect("inside loop");
+                aug_ctx.insert(r, id);
+                res = self.emit_aug_loops(b, plan, r + 1, aug_ctx, slot_loop, s, stmt_map);
+            },
+        );
         res
     }
 
@@ -574,7 +609,9 @@ impl Builder<'_> {
         let mut old_exprs: Vec<Aff> = Vec::with_capacity(kq);
         for q in 0..kq {
             // common denominator of row q
-            let den = inv.rows[q].iter().fold(1, |acc, x| lcm(acc, x.den()).max(1));
+            let den = inv.rows[q]
+                .iter()
+                .fold(1, |acc, x| lcm(acc, x.den()).max(1));
             let mut acc = Aff::konst(0);
             let mut constant = 0;
             for (j, &coef) in inv.rows[q].iter().enumerate() {
@@ -658,8 +695,7 @@ impl Builder<'_> {
         let write_idxs: Vec<Aff> = sd.write.idxs.iter().map(&subst).collect();
         let rhs = sd.rhs.map_affs(&subst);
         let target_array = inl_ir::ArrayId(sd.write.array.0); // arrays copied in order
-        let new_id =
-            b.stmt_guarded(sd.name.clone(), target_array, write_idxs, rhs, guards);
+        let new_id = b.stmt_guarded(sd.name.clone(), target_array, write_idxs, rhs, guards);
         stmt_map[s.0] = new_id;
         Ok(())
     }
@@ -690,16 +726,19 @@ fn simplify_guards(result: CodegenResult, _src: &Program) -> CodegenResult {
                     pos.add_ge(to_expr(a) - LinExpr::constant(space, 1));
                     let mut negs = sys.clone();
                     negs.add_ge(-to_expr(a) - LinExpr::constant(space, 1));
-                    is_empty(&pos) != Feasibility::Empty
-                        || is_empty(&negs) != Feasibility::Empty
+                    is_empty(&pos) != Feasibility::Empty || is_empty(&negs) != Feasibility::Empty
                 }
                 Guard::Div(_, _) => true,
             })
             .cloned()
             .collect();
+        inl_obs::counter_add!("codegen.guards_simplified", decl.guards.len() - kept.len());
         set_guards(&mut program, s, kept);
     }
-    CodegenResult { program, stmt_map: result.stmt_map }
+    CodegenResult {
+        program,
+        stmt_map: result.stmt_map,
+    }
 }
 
 /// The iteration context of a statement ignoring its own guards.

@@ -23,8 +23,13 @@ fn check_matrix(p: &Program, m: &IMat, init: &dyn Fn(&str, &[usize]) -> f64) -> 
     let deps = analyze(p, &layout);
     let result = generate(p, &layout, &deps, m).expect("codegen succeeds");
     for n in [1, 2, 3, 5, 8] {
-        equivalent(p, &result.program, &[n], init)
-            .unwrap_or_else(|e| panic!("N={n}: {e}\nsource:\n{}\ntarget:\n{}", p.to_pseudocode(), result.program.to_pseudocode()));
+        equivalent(p, &result.program, &[n], init).unwrap_or_else(|e| {
+            panic!(
+                "N={n}: {e}\nsource:\n{}\ntarget:\n{}",
+                p.to_pseudocode(),
+                result.program.to_pseudocode()
+            )
+        });
     }
     result.program
 }
@@ -112,7 +117,10 @@ fn simple_cholesky_left_looking_via_transforms() {
     let result = generate_seq(
         &p,
         &[
-            Transform::ReorderChildren { parent: Some(i), perm: vec![1, 0] },
+            Transform::ReorderChildren {
+                parent: Some(i),
+                perm: vec![1, 0],
+            },
             Transform::Interchange(i, j),
         ],
     )
@@ -132,7 +140,11 @@ fn wavefront_skew_codegen() {
     let j = looop(&p, "J");
     let result = generate_seq(
         &p,
-        &[Transform::Skew { target: i, source: j, factor: 1 }],
+        &[Transform::Skew {
+            target: i,
+            source: j,
+            factor: 1,
+        }],
     )
     .expect("codegen");
     let init = |_: &str, idx: &[usize]| {
@@ -169,13 +181,26 @@ fn scaling_generates_divisibility_guards() {
     // over the scaled space with divisibility guards; execution identical
     let p = zoo::independent_pair();
     let i = p.loops().next().unwrap();
-    let result =
-        generate_seq(&p, &[Transform::Scale { target: i, factor: 2 }]).expect("codegen");
+    let result = generate_seq(
+        &p,
+        &[Transform::Scale {
+            target: i,
+            factor: 2,
+        }],
+    )
+    .expect("codegen");
     let t = &result.program;
-    let has_div_guard = t
-        .stmts()
-        .any(|s| t.stmt_decl(s).guards.iter().any(|g| matches!(g, inl_ir::Guard::Div(_, _))));
-    assert!(has_div_guard, "expected divisibility guards:\n{}", t.to_pseudocode());
+    let has_div_guard = t.stmts().any(|s| {
+        t.stmt_decl(s)
+            .guards
+            .iter()
+            .any(|g| matches!(g, inl_ir::Guard::Div(_, _)))
+    });
+    assert!(
+        has_div_guard,
+        "expected divisibility guards:\n{}",
+        t.to_pseudocode()
+    );
     for n in [1, 2, 5] {
         equivalent(&p, t, &[n], &|_, _| 0.0).unwrap_or_else(|e| {
             panic!("N={n}: {e}\n{}", t.to_pseudocode());
@@ -210,7 +235,12 @@ fn alignment_codegen() {
     let deps = analyze(&p, &layout);
     let s1 = stmt(&p, "S1");
     let i = looop(&p, "I");
-    let m = Transform::Align { stmt: s1, looop: i, offset: -1 }.matrix(&p, &layout);
+    let m = Transform::Align {
+        stmt: s1,
+        looop: i,
+        offset: -1,
+    }
+    .matrix(&p, &layout);
     assert!(
         generate(&p, &layout, &deps, &m).is_err(),
         "backward alignment of the pivot must be illegal"
@@ -220,8 +250,15 @@ fn alignment_codegen() {
     let q = zoo::independent_pair();
     let qs1 = stmt(&q, "S1");
     let qi = q.loops().next().unwrap();
-    let result = generate_seq(&q, &[Transform::Align { stmt: qs1, looop: qi, offset: 3 }])
-        .expect("codegen");
+    let result = generate_seq(
+        &q,
+        &[Transform::Align {
+            stmt: qs1,
+            looop: qi,
+            offset: 3,
+        }],
+    )
+    .expect("codegen");
     for n in [1, 4, 7] {
         equivalent(&q, &result.program, &[n], &|_, _| 0.0).unwrap_or_else(|e| {
             panic!("N={n}: {e}\n{}", result.program.to_pseudocode());
@@ -265,11 +302,14 @@ fn generated_pseudocode_matches_paper_shape() {
     .expect("codegen");
     let code = result.program.to_pseudocode();
     // the outer loop's bounds include 1-N (lower) and 0 (upper)
-    assert!(code.contains("1..") || code.contains("- N") || code.contains("-N"), "{code}");
+    assert!(
+        code.contains("1..") || code.contains("- N") || code.contains("-N"),
+        "{code}"
+    );
     // S1 sits under a guard (its outer position is pinned to 0)
     let s1_new = result.stmt_map[stmt(&p, "S1").0];
     let t = &result.program;
-    let has_eq_guard = !t.stmt_decl(s1_new).guards.is_empty()
-        || t.loops_surrounding(s1_new).len() > 1;
+    let has_eq_guard =
+        !t.stmt_decl(s1_new).guards.is_empty() || t.loops_surrounding(s1_new).len() > 1;
     assert!(has_eq_guard, "{code}");
 }

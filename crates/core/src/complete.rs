@@ -75,9 +75,15 @@ fn row_dot(row: &IVec, entries: &[DepEntry]) -> DepEntry {
         }
         let e = entries[j];
         let scaled = if c > 0 {
-            DepEntry { lo: e.lo.map(|x| x * c), hi: e.hi.map(|x| x * c) }
+            DepEntry {
+                lo: e.lo.map(|x| x * c),
+                hi: e.hi.map(|x| x * c),
+            }
         } else {
-            DepEntry { lo: e.hi.map(|x| x * c), hi: e.lo.map(|x| x * c) }
+            DepEntry {
+                lo: e.hi.map(|x| x * c),
+                hi: e.lo.map(|x| x * c),
+            }
         };
         acc = DepEntry {
             lo: acc.lo.zip(scaled.lo).map(|(a, b)| a + b),
@@ -110,12 +116,7 @@ enum RowEffect {
     Invalid,
 }
 
-fn apply_row(
-    layout: &InstanceLayout,
-    nparams: usize,
-    st: &DepState<'_>,
-    row: &IVec,
-) -> RowEffect {
+fn apply_row(layout: &InstanceLayout, nparams: usize, st: &DepState<'_>, row: &IVec) -> RowEffect {
     let v = row_dot(row, &st.dep.entries);
     if v.is_positive() {
         return RowEffect::Satisfies;
@@ -141,11 +142,7 @@ fn apply_row(
     }
 }
 
-fn context_system(
-    layout: &InstanceLayout,
-    nparams: usize,
-    st: &DepState<'_>,
-) -> inl_poly::System {
+fn context_system(layout: &InstanceLayout, nparams: usize, st: &DepState<'_>) -> inl_poly::System {
     let mut sys = st.dep.system.clone();
     for z in &st.zero_context {
         sys.add_eq(row_expr(layout, nparams, st.dep, z));
@@ -153,12 +150,7 @@ fn context_system(
     sys
 }
 
-fn can_be_negative(
-    layout: &InstanceLayout,
-    nparams: usize,
-    st: &DepState<'_>,
-    row: &IVec,
-) -> bool {
+fn can_be_negative(layout: &InstanceLayout, nparams: usize, st: &DepState<'_>, row: &IVec) -> bool {
     let mut sys = context_system(layout, nparams, st);
     let space = sys.nvars();
     sys.add_ge(-row_expr(layout, nparams, st.dep, row) - LinExpr::constant(space, 1));
@@ -188,6 +180,7 @@ pub fn complete_transform(
     deps: &DependenceMatrix,
     partial: &[IVec],
 ) -> Result<Completion, CompletionError> {
+    let _span = inl_obs::span("complete.transform");
     let n = layout.len();
     let nparams = p.nparams();
     let loop_slots: Vec<usize> = layout
@@ -214,7 +207,12 @@ pub fn complete_transform(
                 .collect();
             common.sort_unstable();
             let _ = idx;
-            DepState { dep: d, common, zero_context: Vec::new(), satisfied: false }
+            DepState {
+                dep: d,
+                common,
+                zero_context: Vec::new(),
+                satisfied: false,
+            }
         })
         .collect();
 
@@ -300,6 +298,7 @@ pub fn complete_transform(
         }
         let mut picked: Option<IVec> = None;
         for cand in &candidates {
+            inl_obs::counter_add!("complete.candidates_tried", 1);
             if independent(cand, &chosen_rows) && evaluate(cand, &states) {
                 picked = Some(cand.clone());
                 break;
@@ -379,7 +378,11 @@ fn divergence(p: &Program, a: StmtId, b: StmtId) -> (Option<LoopId>, usize, usiz
     let la = p.loops_surrounding(a);
     let lb = p.loops_surrounding(b);
     let ncommon = la.iter().zip(&lb).take_while(|(x, y)| x == y).count();
-    let node: Option<LoopId> = if ncommon == 0 { None } else { Some(la[ncommon - 1]) };
+    let node: Option<LoopId> = if ncommon == 0 {
+        None
+    } else {
+        Some(la[ncommon - 1])
+    };
     let children: &[Node] = match node {
         None => p.root(),
         Some(l) => &p.loop_decl(l).children,
@@ -440,7 +443,11 @@ mod tests {
 
     #[test]
     fn empty_partial_completes_to_legal() {
-        for p in [zoo::simple_cholesky(), zoo::cholesky_kij(), zoo::wavefront()] {
+        for p in [
+            zoo::simple_cholesky(),
+            zoo::cholesky_kij(),
+            zoo::wavefront(),
+        ] {
             let layout = InstanceLayout::new(&p);
             let deps = analyze(&p, &layout);
             let c = complete_transform(&p, &layout, &deps, &[]).expect("completes");
@@ -467,7 +474,11 @@ mod tests {
         assert!(c.report.is_legal());
         let ast = c.report.new_ast.as_ref().unwrap();
         let k = looop(&p, "K");
-        assert_eq!(ast.child_perms[&Some(k)], vec![1, 2, 0], "children reorder to J,S1,I");
+        assert_eq!(
+            ast.child_perms[&Some(k)],
+            vec![1, 2, 0],
+            "children reorder to J,S1,I"
+        );
         let scheds =
             schedule_all(&p, &layout, ast, &c.matrix, &deps, &c.report).expect("schedules");
         for s in &scheds {
@@ -497,7 +508,11 @@ mod tests {
         assert!(c.report.is_legal());
         let ast = c.report.new_ast.as_ref().unwrap();
         let order = ast.program.stmts_in_syntactic_order();
-        assert_eq!(ast.program.stmt_decl(order[0]).name, "S2", "updates before sqrt");
+        assert_eq!(
+            ast.program.stmt_decl(order[0]).name,
+            "S2",
+            "updates before sqrt"
+        );
     }
 
     #[test]

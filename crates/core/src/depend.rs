@@ -35,17 +35,26 @@ pub struct DepEntry {
 impl DepEntry {
     /// An exact distance.
     pub fn dist(c: Int) -> Self {
-        DepEntry { lo: Some(c), hi: Some(c) }
+        DepEntry {
+            lo: Some(c),
+            hi: Some(c),
+        }
     }
 
     /// The `+` direction (`≥ 1`).
     pub fn plus() -> Self {
-        DepEntry { lo: Some(1), hi: None }
+        DepEntry {
+            lo: Some(1),
+            hi: None,
+        }
     }
 
     /// The `-` direction (`≤ -1`).
     pub fn minus() -> Self {
-        DepEntry { lo: None, hi: Some(-1) }
+        DepEntry {
+            lo: None,
+            hi: Some(-1),
+        }
     }
 
     /// The `*` direction (unknown).
@@ -212,7 +221,10 @@ fn add_stmt_constraints(
 ) -> usize {
     let space = sys.nvars();
     let slot_of = |l: LoopId| -> usize {
-        base + loops.iter().position(|&x| x == l).expect("loop not surrounding stmt")
+        base + loops
+            .iter()
+            .position(|&x| x == l)
+            .expect("loop not surrounding stmt")
     };
     let to_expr = |a: &inl_ir::Aff| -> LinExpr {
         // numerator form; divisor handled by the caller via scaling
@@ -235,7 +247,11 @@ fn add_stmt_constraints(
             sys.add_ge(to_expr(t) - iv.clone() * t.divisor());
         }
         if ld.step != 1 {
-            assert_eq!(ld.lower.terms.len(), 1, "non-unit step with multi-term lower bound");
+            assert_eq!(
+                ld.lower.terms.len(),
+                1,
+                "non-unit step with multi-term lower bound"
+            );
             let lo = &ld.lower.terms[0];
             assert_eq!(lo.divisor(), 1);
             let q = LinExpr::var(space, next_exist);
@@ -269,6 +285,7 @@ fn count_exists(p: &Program, s: StmtId, loops: &[LoopId]) -> usize {
 /// Compute the dependence matrix of a program (the general procedure of
 /// §3: "performs this analysis for all pairs of reads and writes").
 pub fn analyze(p: &Program, layout: &InstanceLayout) -> DependenceMatrix {
+    let _span = inl_obs::span("depend.analyze");
     let mut deps = Vec::new();
     let stmts: Vec<StmtId> = p.stmts().collect();
     for &src in &stmts {
@@ -315,7 +332,10 @@ pub fn analyze(p: &Program, layout: &InstanceLayout) -> DependenceMatrix {
             uniq.push(d);
         }
     }
-    DependenceMatrix { n: layout.len(), deps: uniq }
+    DependenceMatrix {
+        n: layout.len(),
+        deps: uniq,
+    }
 }
 
 fn analyze_pair(
@@ -327,6 +347,7 @@ fn analyze_pair(
     asrc: &inl_ir::Access,
     adst: &inl_ir::Access,
 ) -> Vec<Dependence> {
+    inl_obs::counter_add!("depend.pairs_tested", 1);
     let nparams = p.nparams();
     let src_loops = layout.stmt_loops(src).to_vec();
     let dst_loops = layout.stmt_loops(dst).to_vec();
@@ -359,7 +380,11 @@ fn analyze_pair(
     }
 
     // precedence levels over common loops
-    let ncommon = src_loops.iter().zip(&dst_loops).take_while(|(a, b)| a == b).count();
+    let ncommon = src_loops
+        .iter()
+        .zip(&dst_loops)
+        .take_while(|(a, b)| a == b)
+        .count();
     let mut out = Vec::new();
     for level in 0..=ncommon {
         if level == ncommon {
@@ -380,8 +405,10 @@ fn analyze_pair(
         }
         let feas = is_empty(&sys);
         if feas == Feasibility::Empty {
+            inl_obs::counter_add!("depend.levels_pruned", 1);
             continue;
         }
+        inl_obs::counter_add!("depend.polyhedra_retained", 1);
         // abstract each instance-vector difference position
         let mut dep = Dependence {
             src,

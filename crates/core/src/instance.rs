@@ -93,7 +93,11 @@ impl InstanceLayout {
                 loop_pos[l.0] = i;
             }
         }
-        let mut layout = InstanceLayout { positions, loop_pos, stmt_embed: Vec::new() };
+        let mut layout = InstanceLayout {
+            positions,
+            loop_pos,
+            stmt_embed: Vec::new(),
+        };
         layout.stmt_embed = p.stmts().map(|s| layout.embed_stmt(p, s)).collect();
         layout
     }
@@ -130,7 +134,11 @@ impl InstanceLayout {
 
     /// Positions of the loops surrounding a statement, outside-in.
     pub fn stmt_loop_positions(&self, s: StmtId) -> Vec<usize> {
-        self.stmt_embed[s.0].loops.iter().map(|&l| self.loop_position(l)).collect()
+        self.stmt_embed[s.0]
+            .loops
+            .iter()
+            .map(|&l| self.loop_position(l))
+            .collect()
     }
 
     /// The loops surrounding a statement, outside-in (cached).
@@ -153,7 +161,11 @@ impl InstanceLayout {
     /// (values of the surrounding loops, outside-in).
     pub fn instance_vector(&self, s: StmtId, iter: &[Int]) -> IVec {
         let emb = &self.stmt_embed[s.0];
-        assert_eq!(iter.len(), emb.loops.len(), "instance_vector: wrong iteration arity");
+        assert_eq!(
+            iter.len(),
+            emb.loops.len(),
+            "instance_vector: wrong iteration arity"
+        );
         let iv = IVec::from(iter);
         &emb.e.mul_vec(&iv) + &emb.f
     }
@@ -176,8 +188,7 @@ impl InstanceLayout {
     /// and its iteration vector (outside-in), ignoring padded positions.
     pub fn decode(&self, p: &Program, iv: &IVec) -> Option<(StmtId, Vec<Int>)> {
         let s = self.statement_of(p, iv)?;
-        let iter = self
-            .stmt_embed[s.0]
+        let iter = self.stmt_embed[s.0]
             .loops
             .iter()
             .map(|&l| iv[self.loop_position(l)])
@@ -224,8 +235,7 @@ impl InstanceLayout {
                         }
                         Some(l) => {
                             if loops.contains(&l) {
-                                child_index_towards(p, &p.loop_decl(l).children, s)
-                                    == Some(child)
+                                child_index_towards(p, &p.loop_decl(l).children, s) == Some(child)
                             } else {
                                 false
                             }
@@ -237,7 +247,12 @@ impl InstanceLayout {
                 }
             }
         }
-        StmtEmbed { loops, e, f, padded }
+        StmtEmbed {
+            loops,
+            e,
+            f,
+            padded,
+        }
     }
 }
 
@@ -252,12 +267,7 @@ fn child_index_towards(p: &Program, nodes: &[Node], s: StmtId) -> Option<usize> 
     nodes.iter().position(|&n| contains(p, n, s))
 }
 
-fn emit_children(
-    p: &Program,
-    parent: Option<LoopId>,
-    children: &[Node],
-    out: &mut Vec<Position>,
-) {
+fn emit_children(p: &Program, parent: Option<LoopId>, children: &[Node], out: &mut Vec<Position>) {
     let m = children.len();
     if m >= 2 {
         for j in (0..m).rev() {
@@ -292,7 +302,10 @@ mod tests {
         let s1 = stmt_by_name(&p, "S1");
         let s2 = stmt_by_name(&p, "S2");
         assert_eq!(layout.instance_vector(s1, &[7]).as_slice(), &[7, 0, 1, 7]);
-        assert_eq!(layout.instance_vector(s2, &[7, 9]).as_slice(), &[7, 1, 0, 9]);
+        assert_eq!(
+            layout.instance_vector(s2, &[7, 9]).as_slice(),
+            &[7, 1, 0, 9]
+        );
         // the J position of S1 is padded (Definition 4 / Lemma 1)
         let jpos = 3;
         assert_eq!(layout.padded_positions(s1), &[jpos]);
@@ -321,7 +334,10 @@ mod tests {
         assert!(matches!(layout.positions()[0], Position::Loop(_)));
         assert_eq!(
             layout.positions()[1],
-            Position::Edge { parent: Some(inl_ir::LoopId(0)), child: 2 }
+            Position::Edge {
+                parent: Some(inl_ir::LoopId(0)),
+                child: 2
+            }
         );
     }
 

@@ -85,7 +85,11 @@ impl LegalityReport {
 pub fn recover_ast(p: &Program, layout: &InstanceLayout, m: &IMat) -> Result<NewAst, String> {
     let n = layout.len();
     if m.nrows() != n || m.ncols() != n {
-        return Err(format!("matrix is {}×{}, expected {n}×{n}", m.nrows(), m.ncols()));
+        return Err(format!(
+            "matrix is {}×{}, expected {n}×{n}",
+            m.nrows(),
+            m.ncols()
+        ));
     }
     if m.det() == 0 {
         return Err("matrix is singular".to_string());
@@ -101,7 +105,8 @@ pub fn recover_ast(p: &Program, layout: &InstanceLayout, m: &IMat) -> Result<New
         // slots and no children in the tree — skip them
         if let Some(l) = node {
             let present = layout
-                .positions().contains(&crate::instance::Position::Loop(l));
+                .positions()
+                .contains(&crate::instance::Position::Loop(l));
             if !present {
                 continue;
             }
@@ -119,8 +124,7 @@ pub fn recover_ast(p: &Program, layout: &InstanceLayout, m: &IMat) -> Result<New
                         .ok_or_else(|| format!("node {name} missing edge positions"))
                 })
                 .collect::<Result<_, _>>()?;
-            let edge_set: std::collections::HashSet<usize> =
-                edge_pos.iter().copied().collect();
+            let edge_set: std::collections::HashSet<usize> = edge_pos.iter().copied().collect();
             for j_row in 0..c {
                 let row = edge_pos[j_row];
                 let mut hit = None;
@@ -146,7 +150,9 @@ pub fn recover_ast(p: &Program, layout: &InstanceLayout, m: &IMat) -> Result<New
             let mut seen = vec![false; c];
             for &i in &perm {
                 if seen[i] {
-                    return Err(format!("edge rows of node {name} do not form a permutation"));
+                    return Err(format!(
+                        "edge rows of node {name} do not form a permutation"
+                    ));
                 }
                 seen[i] = true;
             }
@@ -174,7 +180,6 @@ pub fn recover_ast(p: &Program, layout: &InstanceLayout, m: &IMat) -> Result<New
         child_perms: perms,
     })
 }
-
 
 /// Interval arithmetic over dependence entries.
 fn scale_entry(e: DepEntry, k: Int) -> DepEntry {
@@ -221,6 +226,7 @@ pub fn check_legal(
     deps: &DependenceMatrix,
     m: &IMat,
 ) -> LegalityReport {
+    let _span = inl_obs::span("legal.check");
     let new_ast = recover_ast(p, layout, m);
     let mut violations = Vec::new();
     let mut unsatisfied_self = Vec::new();
@@ -233,7 +239,11 @@ pub fn check_legal(
             }
         }
     }
-    LegalityReport { new_ast, violations, unsatisfied_self }
+    LegalityReport {
+        new_ast,
+        violations,
+        unsatisfied_self,
+    }
 }
 
 /// Positions (new-space, ascending = outside-in) of the loops common to the
@@ -281,6 +291,7 @@ fn check_dep(
         }
     }
     if !need_exact {
+        inl_obs::counter_add!("legal.fast_path_hits", 1);
         return match decided {
             Some(s) => s,
             // all projected entries exactly zero
@@ -288,6 +299,7 @@ fn check_dep(
         };
     }
     // exact fallback: per-prefix feasibility on the dependence polyhedron
+    inl_obs::counter_add!("legal.exact_fallbacks", 1);
     exact_check(p, layout, ast, m, d, &common)
 }
 
@@ -311,6 +323,7 @@ fn exact_check(
     d: &Dependence,
     common: &[usize],
 ) -> DepStatus {
+    let _span = inl_obs::span("legal.exact");
     let nparams = p.nparams();
     let space = d.system.nvars();
     // new-space row `row` of M·Δ as a LinExpr over the dependence polyhedron
@@ -418,7 +431,10 @@ mod tests {
             &p,
             &layout,
             &[
-                Transform::ReorderChildren { parent: Some(i), perm: vec![1, 0] },
+                Transform::ReorderChildren {
+                    parent: Some(i),
+                    perm: vec![1, 0],
+                },
                 Transform::Interchange(i, j),
             ],
         )
@@ -455,7 +471,12 @@ mod tests {
         let rev = Transform::Reverse(i).matrix(&p, &layout);
         assert!(!check_legal(&p, &layout, &deps, &rev).is_legal());
         // skewing J by I keeps all dependences lexicographically positive
-        let skew = Transform::Skew { target: j, source: i, factor: 1 }.matrix(&p, &layout);
+        let skew = Transform::Skew {
+            target: j,
+            source: i,
+            factor: 1,
+        }
+        .matrix(&p, &layout);
         assert!(check_legal(&p, &layout, &deps, &skew).is_legal());
     }
 
@@ -492,8 +513,11 @@ mod tests {
         let layout = InstanceLayout::new(&p);
         let deps = analyze(&p, &layout);
         let i = looop(&p, "I");
-        let m =
-            Transform::ReorderChildren { parent: Some(i), perm: vec![1, 0] }.matrix(&p, &layout);
+        let m = Transform::ReorderChildren {
+            parent: Some(i),
+            perm: vec![1, 0],
+        }
+        .matrix(&p, &layout);
         let r = check_legal(&p, &layout, &deps, &m);
         assert!(!r.is_legal());
     }
@@ -503,8 +527,11 @@ mod tests {
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
         let i = looop(&p, "I");
-        let m =
-            Transform::ReorderChildren { parent: Some(i), perm: vec![1, 0] }.matrix(&p, &layout);
+        let m = Transform::ReorderChildren {
+            parent: Some(i),
+            perm: vec![1, 0],
+        }
+        .matrix(&p, &layout);
         let ast = recover_ast(&p, &layout, &m).unwrap();
         assert_eq!(ast.child_perms[&Some(i)], vec![1, 0]);
         // in the new AST the J loop comes first
@@ -552,14 +579,19 @@ mod tests {
         ]);
         let r = check_legal(&p, &layout, &deps, &c);
         assert!(r.is_legal(), "violations: {:?}", r.violations);
-        assert!(r.unsatisfied_self.is_empty(), "per-statement transforms are nonsingular");
+        assert!(
+            r.unsatisfied_self.is_empty(),
+            "per-statement transforms are nonsingular"
+        );
         let ast = r.new_ast.unwrap();
         let k = looop(&p, "K");
         // old children (S1, I, J) → new order (J, S1, I): perm [1, 2, 0]
         assert_eq!(ast.child_perms[&Some(k)], vec![1, 2, 0]);
         let order = ast.program.stmts_in_syntactic_order();
-        let names: Vec<_> =
-            order.iter().map(|&s| ast.program.stmt_decl(s).name.clone()).collect();
+        let names: Vec<_> = order
+            .iter()
+            .map(|&s| ast.program.stmt_decl(s).name.clone())
+            .collect();
         assert_eq!(names, vec!["S3", "S1", "S2"]);
     }
 
@@ -595,7 +627,12 @@ mod tests {
         let deps = analyze(&p, &layout);
         let s1 = stmt(&p, "S1");
         let i = looop(&p, "I");
-        let fwd = Transform::Align { stmt: s1, looop: i, offset: 1 }.matrix(&p, &layout);
+        let fwd = Transform::Align {
+            stmt: s1,
+            looop: i,
+            offset: 1,
+        }
+        .matrix(&p, &layout);
         let r = check_legal(&p, &layout, &deps, &fwd);
         assert!(!r.is_legal());
     }

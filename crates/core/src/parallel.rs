@@ -163,8 +163,12 @@ mod tests {
         let layout = InstanceLayout::new(&p);
         let deps = analyze(&p, &layout);
         let loops: Vec<_> = p.loops().collect();
-        let m = Transform::Skew { target: loops[0], source: loops[1], factor: 1 }
-            .matrix(&p, &layout);
+        let m = Transform::Skew {
+            target: loops[0],
+            source: loops[1],
+            factor: 1,
+        }
+        .matrix(&p, &layout);
         let report = check_legal(&p, &layout, &deps, &m);
         assert!(report.is_legal());
         let ast = report.new_ast.as_ref().unwrap();
@@ -216,7 +220,11 @@ mod tests {
             let layout = InstanceLayout::new(&p);
             let deps = analyze(&p, &layout);
             for r in parallel_rows(&layout, &deps) {
-                assert!(is_parallel_row(&deps, &r), "{}: row {r} not parallel", p.name());
+                assert!(
+                    is_parallel_row(&deps, &r),
+                    "{}: row {r} not parallel",
+                    p.name()
+                );
             }
         }
     }

@@ -182,7 +182,12 @@ pub fn schedule_stmt(
             }
         }
     }
-    let n_s = IMat::from_rows(&kept.iter().map(|v| v.as_slice().to_vec()).collect::<Vec<_>>());
+    let n_s = IMat::from_rows(
+        &kept
+            .iter()
+            .map(|v| v.as_slice().to_vec())
+            .collect::<Vec<_>>(),
+    );
     debug_assert_eq!(n_s.nrows(), k);
     debug_assert_ne!(n_s.det(), 0);
 
@@ -207,7 +212,9 @@ pub fn schedule_all(
     deps: &DependenceMatrix,
     report: &LegalityReport,
 ) -> Result<Vec<StmtSchedule>, ScheduleError> {
-    p.stmts().map(|s| schedule_stmt(p, layout, ast, m, deps, report, s)).collect()
+    p.stmts()
+        .map(|s| schedule_stmt(p, layout, ast, m, deps, report, s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -226,7 +233,13 @@ mod tests {
     }
 
     /// The paper's §5.4 example: skew I by -J.
-    fn skew_setup() -> (Program, InstanceLayout, DependenceMatrix, IMat, LegalityReport) {
+    fn skew_setup() -> (
+        Program,
+        InstanceLayout,
+        DependenceMatrix,
+        IMat,
+        LegalityReport,
+    ) {
         let p = zoo::augmentation_example();
         let layout = InstanceLayout::new(&p);
         let deps = analyze(&p, &layout);
@@ -307,7 +320,12 @@ mod tests {
         let ast = report.new_ast.as_ref().unwrap();
         for s in p.stmts() {
             let sched = schedule_stmt(&p, &layout, ast, &c, &deps, &report, s).unwrap();
-            assert_eq!(sched.n_aug, 0, "{} needed augmentation", p.stmt_decl(s).name);
+            assert_eq!(
+                sched.n_aug,
+                0,
+                "{} needed augmentation",
+                p.stmt_decl(s).name
+            );
             assert!(sched.singular.iter().all(|x| x.is_none()));
             assert!(sched.n_s.is_unimodular());
         }
@@ -347,7 +365,12 @@ mod tests {
         let deps = analyze(&p, &layout);
         let s1 = stmt(&p, "S1");
         let i = looop(&p, "I");
-        let m = Transform::Align { stmt: s1, looop: i, offset: -1 }.matrix(&p, &layout);
+        let m = Transform::Align {
+            stmt: s1,
+            looop: i,
+            offset: -1,
+        }
+        .matrix(&p, &layout);
         let report = check_legal(&p, &layout, &deps, &m);
         let ast = report.new_ast.as_ref().unwrap();
         let (_, ms1, g1) = raw_per_stmt(&layout, ast, &m, s1);

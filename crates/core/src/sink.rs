@@ -50,13 +50,14 @@ pub fn sink_statements(p: &Program) -> Result<Program, SinkError> {
 fn find_sinkable(p: &Program) -> Result<Option<LoopId>, SinkError> {
     for l in p.loops() {
         // skip detached loops
-        if p.loops_surrounding_loop(l).is_empty()
-            && !p.root().contains(&Node::Loop(l))
-        {
+        if p.loops_surrounding_loop(l).is_empty() && !p.root().contains(&Node::Loop(l)) {
             continue;
         }
         let children = &p.loop_decl(l).children;
-        let nloops = children.iter().filter(|c| matches!(c, Node::Loop(_))).count();
+        let nloops = children
+            .iter()
+            .filter(|c| matches!(c, Node::Loop(_)))
+            .count();
         let nstmts = children.len() - nloops;
         if nloops >= 2 {
             return Err(SinkError::Branching(p.loop_decl(l).name.clone()));
@@ -108,14 +109,18 @@ fn sink_one(p: &Program, outer: LoopId) -> Result<Program, SinkError> {
     let mut new_inner_children = Vec::new();
     // statements before the loop: guard "first iteration" (i == lo)
     for &c in &children[..loop_pos] {
-        let Node::Stmt(s) = c else { unreachable!("single loop child") };
+        let Node::Stmt(s) = c else {
+            unreachable!("single loop child")
+        };
         out.stmts_guard_push(s, Guard::Eq(ivar.clone() - lo.clone()));
         new_inner_children.push(c);
     }
     new_inner_children.extend(&inner_decl.children);
     // statements after the loop: guard "last iteration" (i == hi)
     for &c in &children[loop_pos + 1..] {
-        let Node::Stmt(s) = c else { unreachable!("single loop child") };
+        let Node::Stmt(s) = c else {
+            unreachable!("single loop child")
+        };
         out.stmts_guard_push(s, Guard::Eq(ivar.clone() - hi.clone()));
         new_inner_children.push(c);
     }

@@ -48,7 +48,12 @@ pub fn apply_reorder(p: &Program, parent: Option<LoopId>, perm: &[usize]) -> Pro
 ///
 /// # Panics
 /// If `l` has fewer than 2 children or `split` is out of range.
-pub fn distribute(p: &Program, layout: &InstanceLayout, l: LoopId, split: usize) -> StructuralResult {
+pub fn distribute(
+    p: &Program,
+    layout: &InstanceLayout,
+    l: LoopId,
+    split: usize,
+) -> StructuralResult {
     let (target, new_loop) = p.distribute_loop(l, split);
     let target_layout = InstanceLayout::new(&target);
     let n_old = layout.len();
@@ -60,7 +65,10 @@ pub fn distribute(p: &Program, layout: &InstanceLayout, l: LoopId, split: usize)
         None => p.root(),
         Some(q) => &p.loop_decl(q).children,
     };
-    let t = old_siblings.iter().position(|&x| x == Node::Loop(l)).expect("l under parent");
+    let t = old_siblings
+        .iter()
+        .position(|&x| x == Node::Loop(l))
+        .expect("l under parent");
 
     let mut m = IMat::zeros(n_new, n_old);
     for (new_pos, slot) in target_layout.positions().iter().enumerate() {
@@ -69,7 +77,10 @@ pub fn distribute(p: &Program, layout: &InstanceLayout, l: LoopId, split: usize)
                 let src = if x == new_loop { l } else { x };
                 m[(new_pos, layout.loop_position(src))] = 1;
             }
-            Position::Edge { parent: q, child: c } => {
+            Position::Edge {
+                parent: q,
+                child: c,
+            } => {
                 if q == parent {
                     // the parent's child list grew by one at index t
                     if c < t {
@@ -77,7 +88,11 @@ pub fn distribute(p: &Program, layout: &InstanceLayout, l: LoopId, split: usize)
                     } else if c == t || c == t + 1 {
                         // indicator "in first part" / "in second part":
                         // sum of the old loop's child edges of that part
-                        let range = if c == t { 0..split } else { split..old_children };
+                        let range = if c == t {
+                            0..split
+                        } else {
+                            split..old_children
+                        };
                         for j in range {
                             let e = layout
                                 .edge_position(Some(l), j)
@@ -91,23 +106,25 @@ pub fn distribute(p: &Program, layout: &InstanceLayout, l: LoopId, split: usize)
                     // first part kept children 0..split
                     m[(new_pos, layout.edge_position(Some(l), c).expect("edge"))] = 1;
                 } else if q == Some(new_loop) {
-                    m[(new_pos, layout.edge_position(Some(l), c + split).expect("edge"))] = 1;
+                    m[(
+                        new_pos,
+                        layout.edge_position(Some(l), c + split).expect("edge"),
+                    )] = 1;
                 } else {
                     m[(new_pos, layout.edge_position(q, c).expect("edge"))] = 1;
                 }
             }
         }
     }
-    StructuralResult { matrix: m, target, target_layout }
+    StructuralResult {
+        matrix: m,
+        target,
+        target_layout,
+    }
 }
 
 /// Is distributing loop `l` at `split` legal under `deps`?
-pub fn distribution_legal(
-    p: &Program,
-    deps: &DependenceMatrix,
-    l: LoopId,
-    split: usize,
-) -> bool {
+pub fn distribution_legal(p: &Program, deps: &DependenceMatrix, l: LoopId, split: usize) -> bool {
     let depth = p.loops_surrounding_loop(l).len();
     let children = &p.loop_decl(l).children;
     let in_part = |s: StmtId, range: std::ops::Range<usize>| -> bool {
@@ -127,7 +144,12 @@ pub fn distribution_legal(
 
 /// Jam (fuse) adjacent sibling loops — children `idx` and `idx + 1` of
 /// `parent` — and build the jamming matrix.
-pub fn jam(p: &Program, layout: &InstanceLayout, parent: Option<LoopId>, idx: usize) -> StructuralResult {
+pub fn jam(
+    p: &Program,
+    layout: &InstanceLayout,
+    parent: Option<LoopId>,
+    idx: usize,
+) -> StructuralResult {
     let siblings: &[Node] = match parent {
         None => p.root(),
         Some(q) => &p.loop_decl(q).children,
@@ -170,7 +192,10 @@ pub fn jam(p: &Program, layout: &InstanceLayout, parent: Option<LoopId>, idx: us
                     m[(new_pos, layout.loop_position(x))] = 1;
                 }
             }
-            Position::Edge { parent: q, child: c } => {
+            Position::Edge {
+                parent: q,
+                child: c,
+            } => {
                 if q == parent {
                     // the parent's child list shrank by one at idx+1
                     if c < idx {
@@ -201,7 +226,11 @@ pub fn jam(p: &Program, layout: &InstanceLayout, parent: Option<LoopId>, idx: us
             }
         }
     }
-    StructuralResult { matrix: m, target, target_layout }
+    StructuralResult {
+        matrix: m,
+        target,
+        target_layout,
+    }
 }
 
 /// Is jamming children `idx`, `idx+1` of `parent` legal under `deps`?
@@ -232,8 +261,16 @@ pub fn jamming_legal(
             continue;
         }
         // slots of a (in src loops) and b (in dst loops)
-        let sa = d.src_loops.iter().position(|&x| x == a).expect("a surrounds src");
-        let sb = d.dst_loops.iter().position(|&x| x == b).expect("b surrounds dst");
+        let sa = d
+            .src_loops
+            .iter()
+            .position(|&x| x == a)
+            .expect("a surrounds src");
+        let sb = d
+            .dst_loops
+            .iter()
+            .position(|&x| x == b)
+            .expect("b surrounds dst");
         let space = d.system.nvars();
         let ia = LinExpr::var(space, nparams + sa);
         let ib = LinExpr::var(space, nparams + d.src_loops.len() + sb);
@@ -283,7 +320,10 @@ mod tests {
         // and all S1 instances now precede all S2 instances
         let early = r.matrix.mul_vec(&layout.instance_vector(s1, &[9]));
         let late = r.matrix.mul_vec(&layout.instance_vector(s2, &[1, 2]));
-        assert_eq!(inl_linalg::lex::lex_cmp(&early, &late), std::cmp::Ordering::Less);
+        assert_eq!(
+            inl_linalg::lex::lex_cmp(&early, &late),
+            std::cmp::Ordering::Less
+        );
     }
 
     #[test]
@@ -327,7 +367,10 @@ mod tests {
         let (d2, it2) = r.target_layout.decode(&r.target, &v2).unwrap();
         assert_eq!((d2, it2), (s2, vec![4, 6]));
         // jammed program prints like the original simple_cholesky
-        assert_eq!(r.target.to_pseudocode(), zoo::simple_cholesky().to_pseudocode());
+        assert_eq!(
+            r.target.to_pseudocode(),
+            zoo::simple_cholesky().to_pseudocode()
+        );
     }
 
     #[test]

@@ -86,11 +86,7 @@ impl Transform {
 
     /// Build the `n × n` matrix representing this transformation for the
     /// given program layout.
-    pub fn try_matrix(
-        &self,
-        p: &Program,
-        layout: &InstanceLayout,
-    ) -> Result<IMat, TransformError> {
+    pub fn try_matrix(&self, p: &Program, layout: &InstanceLayout) -> Result<IMat, TransformError> {
         let n = layout.len();
         match self {
             Transform::Interchange(a, b) => {
@@ -108,7 +104,11 @@ impl Transform {
                 m[(pl, pl)] = -1;
                 Ok(m)
             }
-            Transform::Skew { target, source, factor } => {
+            Transform::Skew {
+                target,
+                source,
+                factor,
+            } => {
                 let mut m = IMat::identity(n);
                 m[(layout.loop_position(*target), layout.loop_position(*source))] = *factor;
                 Ok(m)
@@ -122,10 +122,12 @@ impl Transform {
                 m[(pl, pl)] = *factor;
                 Ok(m)
             }
-            Transform::ReorderChildren { parent, perm } => {
-                reorder_matrix(p, layout, *parent, perm)
-            }
-            Transform::Align { stmt, looop, offset } => {
+            Transform::ReorderChildren { parent, perm } => reorder_matrix(p, layout, *parent, perm),
+            Transform::Align {
+                stmt,
+                looop,
+                offset,
+            } => {
                 let path = p.loops_surrounding(*stmt);
                 let Some(depth) = path.iter().position(|l| l == looop) else {
                     return Err(TransformError::LoopNotSurrounding);
@@ -181,7 +183,11 @@ pub(crate) fn node_contains(p: &Program, n: Node, target: Node) -> bool {
     }
     match n {
         Node::Stmt(_) => false,
-        Node::Loop(l) => p.loop_decl(l).children.iter().any(|&c| node_contains(p, c, target)),
+        Node::Loop(l) => p
+            .loop_decl(l)
+            .children
+            .iter()
+            .any(|&c| node_contains(p, c, target)),
     }
 }
 
@@ -293,8 +299,11 @@ mod tests {
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
         let i = looop(&p, "I");
-        let m = Transform::ReorderChildren { parent: Some(i), perm: vec![1, 0] }
-            .matrix(&p, &layout);
+        let m = Transform::ReorderChildren {
+            parent: Some(i),
+            perm: vec![1, 0],
+        }
+        .matrix(&p, &layout);
         let expected = IMat::from_rows(&[
             &[1, 0, 0, 0][..],
             &[0, 0, 1, 0],
@@ -315,8 +324,12 @@ mod tests {
         // maps to I+1 while S2 is untouched.
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let m = Transform::Align { stmt: stmt(&p, "S1"), looop: looop(&p, "I"), offset: 1 }
-            .matrix(&p, &layout);
+        let m = Transform::Align {
+            stmt: stmt(&p, "S1"),
+            looop: looop(&p, "I"),
+            offset: 1,
+        }
+        .matrix(&p, &layout);
         let s1 = stmt(&p, "S1");
         let s2 = stmt(&p, "S2");
         let t1 = m.mul_vec(&layout.instance_vector(s1, &[4]));
@@ -333,10 +346,19 @@ mod tests {
         let r = Transform::Reverse(j).matrix(&p, &layout);
         assert_eq!(r[(3, 3)], -1);
         assert_eq!(r.det(), -1);
-        let s = Transform::Scale { target: j, factor: 2 }.matrix(&p, &layout);
+        let s = Transform::Scale {
+            target: j,
+            factor: 2,
+        }
+        .matrix(&p, &layout);
         assert_eq!(s[(3, 3)], 2);
         assert_eq!(s.det(), 2);
-        assert!(Transform::Scale { target: j, factor: 0 }.try_matrix(&p, &layout).is_err());
+        assert!(Transform::Scale {
+            target: j,
+            factor: 0
+        }
+        .try_matrix(&p, &layout)
+        .is_err());
     }
 
     #[test]
@@ -347,7 +369,12 @@ mod tests {
         let s = p.stmts().next().unwrap();
         let l = p.loops().next().unwrap();
         assert_eq!(
-            Transform::Align { stmt: s, looop: l, offset: 1 }.try_matrix(&p, &layout),
+            Transform::Align {
+                stmt: s,
+                looop: l,
+                offset: 1
+            }
+            .try_matrix(&p, &layout),
             Err(TransformError::NoDistinguishingEdge)
         );
     }
@@ -373,7 +400,11 @@ mod tests {
         let i = looop(&p, "I");
         for perm in [vec![0], vec![0, 0], vec![0, 2]] {
             assert_eq!(
-                Transform::ReorderChildren { parent: Some(i), perm }.try_matrix(&p, &layout),
+                Transform::ReorderChildren {
+                    parent: Some(i),
+                    perm
+                }
+                .try_matrix(&p, &layout),
                 Err(TransformError::BadPermutation)
             );
         }

@@ -24,11 +24,15 @@ pub struct Interpreter<'p> {
 impl<'p> Interpreter<'p> {
     /// Create an interpreter for `program`.
     pub fn new(program: &'p Program) -> Self {
-        Interpreter { program, on_instance: None }
+        Interpreter {
+            program,
+            on_instance: None,
+        }
     }
 
     /// Execute the program on the machine.
     pub fn run(&mut self, m: &mut Machine) {
+        let _span = inl_obs::span("exec.interpret");
         let mut env: Vec<Option<Int>> = vec![None; self.program.loops().count()];
         let root: Vec<Node> = self.program.root().to_vec();
         self.run_nodes(&root, &mut env, m);
@@ -86,6 +90,7 @@ impl<'p> Interpreter<'p> {
                 }
             }
         }
+        inl_obs::counter_add!("exec.instances", 1);
         if let Some(hook) = &mut self.on_instance {
             hook(s, env);
         }
@@ -94,12 +99,7 @@ impl<'p> Interpreter<'p> {
         m.array_mut(sd.write.array).set(&idx, value);
     }
 
-    fn eval_subscripts(
-        &self,
-        idxs: &[Aff],
-        env: &[Option<Int>],
-        m: &Machine,
-    ) -> Vec<usize> {
+    fn eval_subscripts(&self, idxs: &[Aff], env: &[Option<Int>], m: &Machine) -> Vec<usize> {
         let look = Self::lookup(env, m.params());
         idxs.iter()
             .map(|a| {

@@ -30,7 +30,7 @@ pub mod trace;
 pub use interp::Interpreter;
 pub use machine::{ArrayData, Machine};
 pub use par::ParallelExecutor;
-pub use trace::{run_traced, InstanceRecord, Trace};
+pub use trace::{run_traced, InstanceRecord, Trace, TraceSummary};
 
 /// Run a program to completion on a fresh machine and return the machine.
 pub fn run_fresh(
@@ -74,8 +74,13 @@ mod tests {
                 1.0 / ((idx[0] + idx[1] + 1) as f64)
             }
         };
-        equivalent(&zoo::cholesky_kij(), &zoo::cholesky_left_looking(), &[6], &init)
-            .expect("factors agree");
+        equivalent(
+            &zoo::cholesky_kij(),
+            &zoo::cholesky_left_looking(),
+            &[6],
+            &init,
+        )
+        .expect("factors agree");
     }
 
     #[test]
@@ -90,6 +95,9 @@ mod tests {
             &[5],
             &init,
         );
-        assert!(r.is_err(), "illegal distribution changed semantics, must differ");
+        assert!(
+            r.is_err(),
+            "illegal distribution changed semantics, must differ"
+        );
     }
 }

@@ -22,7 +22,12 @@ impl ArrayData {
     /// If out of bounds or of wrong arity.
     #[inline]
     pub fn flat(&self, idx: &[usize]) -> usize {
-        debug_assert_eq!(idx.len(), self.dims.len(), "array {}: arity mismatch", self.name);
+        debug_assert_eq!(
+            idx.len(),
+            self.dims.len(),
+            "array {}: arity mismatch",
+            self.name
+        );
         let mut f = 0usize;
         for (d, (&i, &ext)) in idx.iter().zip(&self.dims).enumerate() {
             assert!(
@@ -98,10 +103,17 @@ impl Machine {
                         idx[d] = 0;
                     }
                 }
-                ArrayData { name: decl.name.clone(), dims, data }
+                ArrayData {
+                    name: decl.name.clone(),
+                    dims,
+                    data,
+                }
             })
             .collect();
-        Machine { params: params.to_vec(), arrays }
+        Machine {
+            params: params.to_vec(),
+            arrays,
+        }
     }
 
     /// The bound parameters.
@@ -131,7 +143,10 @@ impl Machine {
 
     /// Flat data of an array found by name.
     pub fn array_by_name(&self, name: &str) -> Option<&[f64]> {
-        self.arrays.iter().find(|a| a.name == name).map(|a| a.data.as_slice())
+        self.arrays
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.data.as_slice())
     }
 
     /// Compare final states with another machine, matching arrays by name
@@ -150,10 +165,7 @@ impl Machine {
             }
             for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
                 if x.to_bits() != y.to_bits() {
-                    return Err(format!(
-                        "array {}: cell {i} differs: {x} vs {y}",
-                        a.name
-                    ));
+                    return Err(format!("array {}: cell {i} differs: {x} vs {y}", a.name));
                 }
             }
         }

@@ -40,7 +40,11 @@ impl RawStorage<'_> {
         let arr = &self.arrays[a.0];
         let mut f = 0usize;
         for (d, (&i, &ext)) in idx.iter().zip(&arr.dims).enumerate() {
-            assert!(i < ext, "array {}: index {i} out of bounds {ext} in dim {d}", arr.name);
+            assert!(
+                i < ext,
+                "array {}: index {i} out of bounds {ext} in dim {d}",
+                arr.name
+            );
             f = f * ext + i;
         }
         f
@@ -79,6 +83,7 @@ impl<'p> ParallelExecutor<'p> {
 
     /// Execute on the machine.
     pub fn run(&self, m: &mut Machine) {
+        let _span = inl_obs::span("exec.parallel");
         let params = m.params().to_vec();
         let storage = RawStorage {
             arrays: m
@@ -93,7 +98,13 @@ impl<'p> ParallelExecutor<'p> {
             params: &params,
         };
         let mut env: Vec<Option<Int>> = vec![None; self.program.loops().count()];
-        exec_nodes(self.program, self.program.root(), &mut env, &storage, self.nthreads);
+        exec_nodes(
+            self.program,
+            self.program.root(),
+            &mut env,
+            &storage,
+            self.nthreads,
+        );
     }
 }
 
@@ -144,17 +155,23 @@ fn exec_loop(
         v
     };
     if ld.parallel && nthreads > 1 && iters.len() > 1 {
+        inl_obs::counter_add!("exec.par.wavefronts", 1);
         let chunk = iters.len().div_ceil(nthreads);
         std::thread::scope(|scope| {
             for ch in iters.chunks(chunk) {
                 let mut thread_env = env.clone();
                 scope.spawn(move || {
+                    let busy = std::time::Instant::now();
                     for &i in ch {
                         thread_env[l.0] = Some(i);
                         // inner parallel loops run sequentially inside a
                         // worker (one level of parallelism is enough here)
                         exec_nodes(p, &ld.children, &mut thread_env, st, 1);
                     }
+                    inl_obs::counter_add!(
+                        "exec.par.thread_busy_ns",
+                        busy.elapsed().as_nanos() as u64
+                    );
                 });
             }
         });
@@ -185,6 +202,7 @@ fn exec_stmt(p: &Program, s: inl_ir::StmtId, env: &[Option<Int>], st: &RawStorag
             }
         }
     }
+    inl_obs::counter_add!("exec.instances", 1);
     let value = eval(p, &sd.rhs, env, st);
     let idx = eval_subscripts(&sd.write.idxs, env, st);
     st.write(sd.write.array, &idx, value);
@@ -194,7 +212,9 @@ fn eval_subscripts(idxs: &[Aff], env: &[Option<Int>], st: &RawStorage<'_>) -> Ve
     let look = lookup(env, st.params);
     idxs.iter()
         .map(|a| {
-            let v = a.eval_int(&look).unwrap_or_else(|| panic!("subscript {a:?} not integral"));
+            let v = a
+                .eval_int(&look)
+                .unwrap_or_else(|| panic!("subscript {a:?} not integral"));
             assert!(v >= 0, "negative subscript {v}");
             v as usize
         })
@@ -265,7 +285,8 @@ mod tests {
         for threads in [1, 2, 4, 8] {
             let mut par = Machine::new(&p, &[17], &|_, _| -1.0);
             ParallelExecutor::new(&p, threads).run(&mut par);
-            seq.same_state(&par).unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+            seq.same_state(&par)
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
         }
     }
 

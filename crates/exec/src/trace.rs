@@ -43,6 +43,32 @@ impl Trace {
         self.instances.iter().filter(|r| r.stmt == s).count()
     }
 
+    /// Aggregate the trace: per-statement instance counts plus a loop-depth
+    /// histogram. This is what the pipeline report surfaces as its `trace`
+    /// section.
+    pub fn summary(&self, p: &Program) -> TraceSummary {
+        let mut per_stmt: Vec<(String, usize)> = Vec::new();
+        let mut depth_histogram: Vec<usize> = Vec::new();
+        for r in &self.instances {
+            let name = &p.stmt_decl(r.stmt).name;
+            match per_stmt.iter_mut().find(|(n, _)| n == name) {
+                Some((_, c)) => *c += 1,
+                None => per_stmt.push((name.clone(), 1)),
+            }
+            let depth = r.iter.len();
+            if depth_histogram.len() <= depth {
+                depth_histogram.resize(depth + 1, 0);
+            }
+            depth_histogram[depth] += 1;
+        }
+        per_stmt.sort();
+        TraceSummary {
+            total: self.instances.len(),
+            per_stmt,
+            depth_histogram,
+        }
+    }
+
     /// The multiset of instances (sorted), for comparing coverage between
     /// a program and its transformation (same instances, different order).
     pub fn sorted_multiset(&self, p: &Program) -> Vec<(String, Vec<Int>)> {
@@ -56,8 +82,48 @@ impl Trace {
     }
 }
 
+/// Aggregated view of a [`Trace`]; see [`Trace::summary`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total executed instances.
+    pub total: usize,
+    /// `(statement name, instance count)`, sorted by name.
+    pub per_stmt: Vec<(String, usize)>,
+    /// `depth_histogram[d]` = instances executed under exactly `d`
+    /// surrounding loops.
+    pub depth_histogram: Vec<usize>,
+}
+
+impl TraceSummary {
+    /// Convert to a JSON section for [`inl_obs::PipelineReport::attach`].
+    pub fn to_json(&self) -> inl_obs::Json {
+        use inl_obs::Json;
+        let mut obj = Json::object();
+        obj.insert("instances", Json::Int(self.total as u64));
+        let mut stmts = Json::object();
+        for (name, c) in &self.per_stmt {
+            stmts.insert(name.clone(), Json::Int(*c as u64));
+        }
+        obj.insert("per_stmt", stmts);
+        obj.insert(
+            "depth_histogram",
+            Json::Array(
+                self.depth_histogram
+                    .iter()
+                    .map(|&c| Json::Int(c as u64))
+                    .collect(),
+            ),
+        );
+        obj
+    }
+}
+
 /// Run a program, recording the trace alongside the final machine state.
-pub fn run_traced(p: &Program, params: &[Int], init: &dyn Fn(&str, &[usize]) -> f64) -> (Machine, Trace) {
+pub fn run_traced(
+    p: &Program,
+    params: &[Int],
+    init: &dyn Fn(&str, &[usize]) -> f64,
+) -> (Machine, Trace) {
     let mut machine = Machine::new(p, params, init);
     let trace = std::cell::RefCell::new(Trace::default());
     {
@@ -68,7 +134,10 @@ pub fn run_traced(p: &Program, params: &[Int], init: &dyn Fn(&str, &[usize]) -> 
                 .iter()
                 .map(|l| env[l.0].expect("surrounding loop bound"))
                 .collect();
-            trace.borrow_mut().instances.push(InstanceRecord { stmt: s, iter });
+            trace
+                .borrow_mut()
+                .instances
+                .push(InstanceRecord { stmt: s, iter });
         }));
         interp.run(&mut machine);
     }
@@ -110,6 +179,26 @@ mod tests {
                 w[1]
             );
         }
+    }
+
+    #[test]
+    fn summary_counts_stmts_and_depths() {
+        // simple_cholesky at N=5: S1 runs once per outer iteration (depth
+        // 1), S2 triangularly under both loops (depth 2).
+        let p = zoo::simple_cholesky();
+        let (_, t) = run_traced(&p, &[5], &|_, _| 4.0);
+        let s = t.summary(&p);
+        assert_eq!(s.total, 15);
+        assert_eq!(
+            s.per_stmt,
+            vec![("S1".to_string(), 5), ("S2".to_string(), 10)]
+        );
+        assert_eq!(s.depth_histogram, vec![0, 5, 10]);
+        let json = s.to_json();
+        assert_eq!(
+            json.get("instances").and_then(inl_obs::Json::as_u64),
+            Some(15)
+        );
     }
 
     #[test]

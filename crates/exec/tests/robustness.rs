@@ -101,14 +101,13 @@ fn executors_agree_on_every_zoo_program() {
         zoo::independent_pair(),
     ] {
         let params: Vec<i128> = vec![5; p.nparams()];
-        let init = |_: &str, idx: &[usize]| {
-            (idx.iter().sum::<usize>() + 2) as f64 * 1.75
-        };
+        let init = |_: &str, idx: &[usize]| (idx.iter().sum::<usize>() + 2) as f64 * 1.75;
         let mut a = Machine::new(&p, &params, &init);
         Interpreter::new(&p).run(&mut a);
         let mut b = Machine::new(&p, &params, &init);
         ParallelExecutor::new(&p, 2).run(&mut b);
-        a.same_state(&b).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+        a.same_state(&b)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
     }
 }
 
@@ -121,7 +120,11 @@ fn trace_multiset_invariant_under_legal_transform() {
     let loops: Vec<_> = p.loops().collect();
     let result = inl_codegen::generate_seq(
         &p,
-        &[Transform::Skew { target: loops[0], source: loops[1], factor: 1 }],
+        &[Transform::Skew {
+            target: loops[0],
+            source: loops[1],
+            factor: 1,
+        }],
     )
     .expect("codegen");
     let init = |_: &str, _: &[usize]| 1.0;
@@ -149,7 +152,12 @@ fn zero_iteration_programs() {
     b.hloop("I", Aff::param(n) + Aff::konst(5), Aff::param(n), |b| {
         let i = b.loop_var("I");
         // would be out of bounds if executed
-        b.stmt("S", x, vec![Aff::var(i) + Aff::konst(100)], Expr::konst(1.0));
+        b.stmt(
+            "S",
+            x,
+            vec![Aff::var(i) + Aff::konst(100)],
+            Expr::konst(1.0),
+        );
     });
     let p = b.finish_unchecked();
     let m = run_fresh(&p, &[3], &|_, _| 7.0);

@@ -39,7 +39,11 @@ pub struct Aff {
 impl Aff {
     /// The constant expression `k`.
     pub fn konst(k: Int) -> Self {
-        Aff { terms: vec![], constant: k, div: 1 }
+        Aff {
+            terms: vec![],
+            constant: k,
+            div: 1,
+        }
     }
 
     /// The zero expression.
@@ -49,7 +53,11 @@ impl Aff {
 
     /// A single variable.
     pub fn var(v: VarKey) -> Self {
-        Aff { terms: vec![(v, 1)], constant: 0, div: 1 }
+        Aff {
+            terms: vec![(v, 1)],
+            constant: 0,
+            div: 1,
+        }
     }
 
     /// A parameter variable.
@@ -64,7 +72,11 @@ impl Aff {
 
     /// Build from terms (need not be sorted/deduped) and a constant.
     pub fn from_terms(terms: Vec<(VarKey, Int)>, constant: Int) -> Self {
-        let mut a = Aff { terms: vec![], constant, div: 1 };
+        let mut a = Aff {
+            terms: vec![],
+            constant,
+            div: 1,
+        };
         for (v, c) in terms {
             a.add_term(v, c);
         }
@@ -150,7 +162,9 @@ impl Aff {
             .terms
             .iter()
             .map(|&(v, c)| c.checked_mul(lookup(v)).expect("aff eval overflow"))
-            .fold(self.constant, |acc, t| acc.checked_add(t).expect("aff eval overflow"));
+            .fold(self.constant, |acc, t| {
+                acc.checked_add(t).expect("aff eval overflow")
+            });
         Rational::new(num, self.div)
     }
 
@@ -164,7 +178,11 @@ impl Aff {
     /// Substitute each loop variable via `subst` (parameters are kept).
     /// Each replacement may itself have a divisor; the result is normalized.
     pub fn substitute_loops(&self, subst: &dyn Fn(LoopId) -> Aff) -> Aff {
-        let mut acc = Aff { terms: vec![], constant: self.constant, div: 1 };
+        let mut acc = Aff {
+            terms: vec![],
+            constant: self.constant,
+            div: 1,
+        };
         let mut den: Int = 1;
         let mut parts: Vec<(Aff, Int)> = Vec::new(); // (replacement, coeff)
         for &(v, c) in &self.terms {
@@ -172,13 +190,19 @@ impl Aff {
                 VarKey::Param(_) => acc.add_term(v, c),
                 VarKey::Loop(l) => {
                     let r = subst(l);
-                    den = den.checked_mul(r.div / gcd(den, r.div).max(1)).expect("lcm overflow");
+                    den = den
+                        .checked_mul(r.div / gcd(den, r.div).max(1))
+                        .expect("lcm overflow");
                     parts.push((r, c));
                 }
             }
         }
         // common denominator: den (lcm of replacement divisors)
-        let mut out = Aff { terms: vec![], constant: 0, div: 1 };
+        let mut out = Aff {
+            terms: vec![],
+            constant: 0,
+            div: 1,
+        };
         for (v, c) in acc.terms {
             out.add_term(v, c * den);
         }
@@ -204,7 +228,11 @@ impl Aff {
     /// == self` as exact rationals. Useful for turning `e/d ≥ 0` into the
     /// equivalent integer constraint `e ≥ 0` (the divisor is positive).
     pub fn numerator(&self) -> Aff {
-        Aff { terms: self.terms.clone(), constant: self.constant, div: 1 }
+        Aff {
+            terms: self.terms.clone(),
+            constant: self.constant,
+            div: 1,
+        }
     }
 
     /// Scale so the divisor becomes 1: returns `self * divisor()` as a
@@ -221,7 +249,11 @@ impl Add for Aff {
         let d2 = rhs.div;
         let l = d1 / gcd(d1, d2).max(1) * d2; // lcm
         let (s1, s2) = (l / d1, l / d2);
-        let mut out = Aff { terms: vec![], constant: 0, div: l };
+        let mut out = Aff {
+            terms: vec![],
+            constant: 0,
+            div: l,
+        };
         for (v, c) in self.terms {
             out.add_term(v, c * s1);
         }

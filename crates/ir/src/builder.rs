@@ -54,7 +54,10 @@ impl ProgramBuilder {
     /// Declare an array with the given per-dimension extents (affine in
     /// parameters).
     pub fn array(&mut self, name: impl Into<String>, dims: &[Aff]) -> ArrayId {
-        self.arrays.push(ArrayDecl { name: name.into(), dims: dims.to_vec() });
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims: dims.to_vec(),
+        });
         ArrayId(self.arrays.len() - 1)
     }
 
@@ -201,10 +204,15 @@ mod tests {
         });
         let p = b.finish();
         assert_eq!(p.root().len(), 1);
-        let Node::Loop(outer) = p.root()[0] else { panic!() };
+        let Node::Loop(outer) = p.root()[0] else {
+            panic!()
+        };
         assert_eq!(p.loop_decl(outer).children.len(), 3);
-        let names: Vec<_> =
-            p.stmts_in_syntactic_order().iter().map(|&s| p.stmt_decl(s).name.clone()).collect();
+        let names: Vec<_> = p
+            .stmts_in_syntactic_order()
+            .iter()
+            .map(|&s| p.stmt_decl(s).name.clone())
+            .collect();
         assert_eq!(names, vec!["S1", "S2", "S3"]);
     }
 

@@ -134,7 +134,10 @@ mod tests {
         let i = Aff::var(VarKey::Loop(LoopId(0)));
         let e = Expr::add(
             Expr::read(a, vec![i.clone()]),
-            Expr::mul(Expr::read(a, vec![i.clone() + Aff::konst(1)]), Expr::konst(2.0)),
+            Expr::mul(
+                Expr::read(a, vec![i.clone() + Aff::konst(1)]),
+                Expr::konst(2.0),
+            ),
         );
         let mut reads = Vec::new();
         e.collect_reads(&mut reads);

@@ -24,15 +24,23 @@ impl Program {
         if b.terms.len() == 1 {
             self.show_aff(&b.terms[0])
         } else {
-            let inner =
-                b.terms.iter().map(|t| self.show_aff(t)).collect::<Vec<_>>().join(", ");
+            let inner = b
+                .terms
+                .iter()
+                .map(|t| self.show_aff(t))
+                .collect::<Vec<_>>()
+                .join(", ");
             format!("{}({inner})", if lower { "max" } else { "min" })
         }
     }
 
     fn show_access(&self, a: &Access) -> String {
-        let idxs =
-            a.idxs.iter().map(|i| self.show_aff(i)).collect::<Vec<_>>().join("][");
+        let idxs = a
+            .idxs
+            .iter()
+            .map(|i| self.show_aff(i))
+            .collect::<Vec<_>>()
+            .join("][");
         format!("{}[{idxs}]", self.arrays[a.array.0].name)
     }
 
@@ -72,7 +80,11 @@ impl Program {
             match n {
                 Node::Loop(l) => {
                     let ld = &self.loops[l.0];
-                    let step = if ld.step != 1 { format!(" step {}", ld.step) } else { String::new() };
+                    let step = if ld.step != 1 {
+                        format!(" step {}", ld.step)
+                    } else {
+                        String::new()
+                    };
                     let par = if ld.parallel { " parallel" } else { "" };
                     let _ = writeln!(
                         out,
@@ -131,6 +143,9 @@ mod tests {
         let code = p.to_pseudocode();
         assert!(code.contains("do K = 1..N"), "{code}");
         assert!(code.contains("do L = K + 1..J"), "{code}");
-        assert!(code.contains("S3: A[J][L] = (A[J][L] - (A[J][K] * A[L][K]))"), "{code}");
+        assert!(
+            code.contains("S3: A[J][L] = (A[J][L] - (A[J][K] * A[L][K]))"),
+            "{code}"
+        );
     }
 }

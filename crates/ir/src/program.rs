@@ -264,8 +264,14 @@ impl Program {
     /// True iff `a ⪯ₛ b` (syntactic order, Definition 1; reflexive).
     pub fn syntactically_before(&self, a: StmtId, b: StmtId) -> bool {
         let order = self.stmts_in_syntactic_order();
-        let pa = order.iter().position(|&s| s == a).expect("stmt not in program");
-        let pb = order.iter().position(|&s| s == b).expect("stmt not in program");
+        let pa = order
+            .iter()
+            .position(|&s| s == a)
+            .expect("stmt not in program");
+        let pb = order
+            .iter()
+            .position(|&s| s == b)
+            .expect("stmt not in program");
         pa <= pb
     }
 
@@ -552,7 +558,10 @@ mod tests {
         assert!(p.validate().is_ok());
         let order = p.stmts_in_syntactic_order();
         assert_eq!(
-            order.iter().map(|&s| p.stmt_decl(s).name.clone()).collect::<Vec<_>>(),
+            order
+                .iter()
+                .map(|&s| p.stmt_decl(s).name.clone())
+                .collect::<Vec<_>>(),
             vec!["S1", "S2"]
         );
         // S1 is under I only; S2 under I and J

@@ -73,7 +73,10 @@ impl Program {
             None => &mut out.root,
             Some(q) => &mut out.loops[q.0].children,
         };
-        let idx = siblings.iter().position(|&n| n == Node::Loop(l)).expect("loop in parent");
+        let idx = siblings
+            .iter()
+            .position(|&n| n == Node::Loop(l))
+            .expect("loop in parent");
         siblings.insert(idx + 1, Node::Loop(new_id));
         out.name = format!("{}_distributed", self.name);
         (out, new_id)
@@ -108,7 +111,9 @@ impl Program {
                 }
             })
         };
-        let rebound = |bd: &Bound| Bound { terms: bd.terms.iter().map(&rename).collect() };
+        let rebound = |bd: &Bound| Bound {
+            terms: bd.terms.iter().map(&rename).collect(),
+        };
         assert_eq!(
             rebound(&out.loops[b.0].lower),
             out.loops[a.0].lower,
@@ -119,7 +124,10 @@ impl Program {
             out.loops[a.0].upper,
             "jam: upper bounds differ"
         );
-        assert_eq!(out.loops[a.0].step, out.loops[b.0].step, "jam: steps differ");
+        assert_eq!(
+            out.loops[a.0].step, out.loops[b.0].step,
+            "jam: steps differ"
+        );
         // rewrite b -> a in b's subtree, then append children
         let moved = out.loops[b.0].children.clone();
         rewrite_subtree(&mut out, &moved, &rename);
@@ -193,7 +201,9 @@ mod tests {
         assert_eq!(q.loop_decl(new_loop).children.len(), 1);
         assert!(q.validate().is_ok(), "{:?}", q.validate());
         // the moved J loop's bound now references the new loop variable
-        let Node::Loop(j) = q.loop_decl(new_loop).children[0] else { panic!() };
+        let Node::Loop(j) = q.loop_decl(new_loop).children[0] else {
+            panic!()
+        };
         let lower = &q.loop_decl(j).lower.terms[0];
         assert_eq!(lower.coeff(VarKey::Loop(new_loop)), 1);
         assert_eq!(lower.coeff(VarKey::Loop(i)), 0);
@@ -206,7 +216,9 @@ mod tests {
         let (q, _new) = p.distribute_loop(i, 1);
         let r = q.jam_loops(None, 0);
         assert_eq!(r.root().len(), 1);
-        let Node::Loop(merged) = r.root()[0] else { panic!() };
+        let Node::Loop(merged) = r.root()[0] else {
+            panic!()
+        };
         assert_eq!(r.loop_decl(merged).children.len(), 2);
         assert!(r.validate().is_ok(), "{:?}", r.validate());
         // pseudo-code equals the original's

@@ -23,14 +23,22 @@ pub fn simple_cholesky() -> Program {
     let a = b.array("A", &[Aff::param(n) + Aff::konst(1)]);
     b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
         let i = b.loop_var("I");
-        b.stmt("S1", a, vec![Aff::var(i)], Expr::sqrt(Expr::read(a, vec![Aff::var(i)])));
+        b.stmt(
+            "S1",
+            a,
+            vec![Aff::var(i)],
+            Expr::sqrt(Expr::read(a, vec![Aff::var(i)])),
+        );
         b.hloop("J", Aff::var(i) + Aff::konst(1), Aff::param(n), |b| {
             let j = b.loop_var("J");
             b.stmt(
                 "S2",
                 a,
                 vec![Aff::var(j)],
-                Expr::div(Expr::read(a, vec![Aff::var(j)]), Expr::read(a, vec![Aff::var(i)])),
+                Expr::div(
+                    Expr::read(a, vec![Aff::var(j)]),
+                    Expr::read(a, vec![Aff::var(i)]),
+                ),
             );
         });
     });
@@ -67,7 +75,10 @@ pub fn running_example() -> Program {
                 "S2",
                 y,
                 vec![Aff::var(i), Aff::var(j)],
-                Expr::mul(Expr::read(x, vec![Aff::var(i), Aff::var(j)]), Expr::konst(2.0)),
+                Expr::mul(
+                    Expr::read(x, vec![Aff::var(i), Aff::var(j)]),
+                    Expr::konst(2.0),
+                ),
             );
         });
         b.stmt("S3", z, vec![Aff::var(i)], Expr::index(Aff::var(i)));
@@ -94,7 +105,10 @@ pub fn perfect_nest() -> Program {
                 "S1",
                 a,
                 vec![Aff::var(j)],
-                Expr::div(Expr::read(a, vec![Aff::var(j)]), Expr::read(a, vec![Aff::var(i)])),
+                Expr::div(
+                    Expr::read(a, vec![Aff::var(j)]),
+                    Expr::read(a, vec![Aff::var(i)]),
+                ),
             );
         });
     });
@@ -125,7 +139,10 @@ pub fn augmentation_example() -> Program {
             vec![Aff::var(i)],
             Expr::add(
                 Expr::read(bb, vec![Aff::var(i) - Aff::konst(1)]),
-                Expr::read(a, vec![Aff::var(i) - Aff::konst(1), Aff::var(i) + Aff::konst(1)]),
+                Expr::read(
+                    a,
+                    vec![Aff::var(i) - Aff::konst(1), Aff::var(i) + Aff::konst(1)],
+                ),
             ),
         );
         b.hloop("J", Aff::var(i), Aff::param(n), |b| {
@@ -395,7 +412,10 @@ pub fn rect_wavefront() -> Program {
     let mut b = ProgramBuilder::new("rect_wavefront");
     let m = b.param("M");
     let n = b.param("N");
-    let a = b.array("A", &[Aff::param(m) + Aff::konst(1), Aff::param(n) + Aff::konst(1)]);
+    let a = b.array(
+        "A",
+        &[Aff::param(m) + Aff::konst(1), Aff::param(n) + Aff::konst(1)],
+    );
     b.hloop("I", Aff::konst(1), Aff::param(m), |b| {
         let i = b.loop_var("I");
         b.hloop("J", Aff::konst(1), Aff::param(n), |b| {
@@ -464,7 +484,12 @@ pub fn distributed_simple_cholesky() -> Program {
     let a = b.array("A", &[Aff::param(n) + Aff::konst(1)]);
     b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
         let i = b.loop_var("I");
-        b.stmt("S1", a, vec![Aff::var(i)], Expr::sqrt(Expr::read(a, vec![Aff::var(i)])));
+        b.stmt(
+            "S1",
+            a,
+            vec![Aff::var(i)],
+            Expr::sqrt(Expr::read(a, vec![Aff::var(i)])),
+        );
     });
     b.hloop("I2", Aff::konst(1), Aff::param(n), |b| {
         let i2 = b.loop_var("I2");
@@ -474,7 +499,10 @@ pub fn distributed_simple_cholesky() -> Program {
                 "S2",
                 a,
                 vec![Aff::var(j)],
-                Expr::div(Expr::read(a, vec![Aff::var(j)]), Expr::read(a, vec![Aff::var(i2)])),
+                Expr::div(
+                    Expr::read(a, vec![Aff::var(j)]),
+                    Expr::read(a, vec![Aff::var(i2)]),
+                ),
             );
         });
     });
@@ -534,10 +562,7 @@ mod tests {
         assert_eq!(p.loops().count(), 4);
         assert_eq!(p.stmts().count(), 3);
         assert_eq!(p.root().len(), 1);
-        let s3 = p
-            .stmts()
-            .find(|&s| p.stmt_decl(s).name == "S3")
-            .unwrap();
+        let s3 = p.stmts().find(|&s| p.stmt_decl(s).name == "S3").unwrap();
         assert_eq!(p.loops_surrounding(s3).len(), 3); // K, J, L
     }
 

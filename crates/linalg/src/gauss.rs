@@ -43,7 +43,9 @@ impl QMat {
         self.rows
             .iter()
             .map(|r| {
-                r.iter().zip(v).fold(Rational::ZERO, |acc, (&a, &b)| acc + a * b)
+                r.iter()
+                    .zip(v)
+                    .fold(Rational::ZERO, |acc, (&a, &b)| acc + a * b)
             })
             .collect()
     }
@@ -51,7 +53,9 @@ impl QMat {
     /// If every entry is an integer, convert to an `IMat`.
     pub fn to_imat(&self) -> Option<IMat> {
         if self.rows.iter().all(|r| r.iter().all(|x| x.is_integer())) {
-            Some(IMat::from_fn(self.nrows(), self.ncols(), |i, j| self.rows[i][j].num()))
+            Some(IMat::from_fn(self.nrows(), self.ncols(), |i, j| {
+                self.rows[i][j].num()
+            }))
         } else {
             None
         }
@@ -172,7 +176,11 @@ pub fn inverse_rational(m: &IMat) -> Option<QMat> {
                 let mut row: Vec<Rational> =
                     m.row_slice(i).iter().map(|&x| Rational::int(x)).collect();
                 for j in 0..n {
-                    row.push(if i == j { Rational::ONE } else { Rational::ZERO });
+                    row.push(if i == j {
+                        Rational::ONE
+                    } else {
+                        Rational::ZERO
+                    });
                 }
                 row
             })
@@ -184,7 +192,9 @@ pub fn inverse_rational(m: &IMat) -> Option<QMat> {
     if pivots.iter().filter(|&&c| c < n).count() != n {
         return None;
     }
-    Some(QMat { rows: aug.rows.into_iter().map(|r| r[n..].to_vec()).collect() })
+    Some(QMat {
+        rows: aug.rows.into_iter().map(|r| r[n..].to_vec()).collect(),
+    })
 }
 
 /// An integer basis of the (right) nullspace of `m`: vectors `v` with

@@ -42,13 +42,14 @@ pub fn column_hnf(a: &IMat) -> HnfResult {
 
     // Apply the 2x2 unimodular column operation to columns c1, c2 of both
     // h and u: [c1, c2] := [a*c1 + b*c2, c*c1 + d*c2].
-    let combine = |m: &mut Vec<Vec<Int>>, c1: usize, c2: usize, a2: Int, b2: Int, c2f: Int, d2: Int| {
-        for row in m.iter_mut() {
-            let (x, y) = (row[c1], row[c2]);
-            row[c1] = a2 * x + b2 * y;
-            row[c2] = c2f * x + d2 * y;
-        }
-    };
+    let combine =
+        |m: &mut Vec<Vec<Int>>, c1: usize, c2: usize, a2: Int, b2: Int, c2f: Int, d2: Int| {
+            for row in m.iter_mut() {
+                let (x, y) = (row[c1], row[c2]);
+                row[c1] = a2 * x + b2 * y;
+                row[c2] = c2f * x + d2 * y;
+            }
+        };
 
     for r in 0..k {
         if col >= n {
@@ -126,7 +127,12 @@ pub fn complete_unimodular(rows: &[IVec], n: usize) -> Option<IMat> {
     if k == 0 {
         return Some(IMat::identity(n));
     }
-    let a = IMat::from_rows(&rows.iter().map(|r| r.as_slice().to_vec()).collect::<Vec<_>>());
+    let a = IMat::from_rows(
+        &rows
+            .iter()
+            .map(|r| r.as_slice().to_vec())
+            .collect::<Vec<_>>(),
+    );
     assert_eq!(a.ncols(), n, "row length mismatch");
     if gauss::rank(&a) != k {
         return None;
@@ -226,7 +232,10 @@ mod tests {
         assert_eq!(m.row(0), rows[0]);
         assert_eq!(m.row(1), rows[1]);
         assert!(m.det().abs() >= 1);
-        assert!(m.is_unimodular(), "primitive rows should give unimodular completion, got {m}");
+        assert!(
+            m.is_unimodular(),
+            "primitive rows should give unimodular completion, got {m}"
+        );
     }
 
     #[test]

@@ -159,7 +159,15 @@ mod tests {
 
     #[test]
     fn ext_gcd_identity() {
-        for (a, b) in [(12, 18), (-12, 18), (0, 7), (7, 0), (1, 1), (240, 46), (-5, -15)] {
+        for (a, b) in [
+            (12, 18),
+            (-12, 18),
+            (0, 7),
+            (7, 0),
+            (1, 1),
+            (240, 46),
+            (-5, -15),
+        ] {
             let (g, x, y) = ext_gcd(a, b);
             assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
             assert_eq!(a * x + b * y, g, "bezout identity fails for ({a},{b})");

@@ -19,7 +19,11 @@ pub struct IMat {
 impl IMat {
     /// The `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        IMat { rows, cols, data: vec![0; rows * cols] }
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -43,7 +47,11 @@ impl IMat {
             assert_eq!(r.as_ref().len(), ncols, "from_rows: ragged rows");
             data.extend_from_slice(r.as_ref());
         }
-        IMat { rows: nrows, cols: ncols, data }
+        IMat {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
     }
 
     /// Build an `rows × cols` matrix from a function of (row, col).
@@ -236,7 +244,11 @@ impl IMat {
         assert_eq!(self.cols, other.cols, "vstack: column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        IMat { rows: self.rows + other.rows, cols: self.cols, data }
+        IMat {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -318,8 +330,14 @@ mod tests {
     #[test]
     fn transpose_submatrix() {
         let m = IMat::from_rows(&[&[1, 2][..], &[3, 4], &[5, 6]]);
-        assert_eq!(m.transpose(), IMat::from_rows(&[&[1, 3, 5][..], &[2, 4, 6]]));
-        assert_eq!(m.submatrix(&[2, 0], &[1]), IMat::from_rows(&[&[6][..], &[2]]));
+        assert_eq!(
+            m.transpose(),
+            IMat::from_rows(&[&[1, 3, 5][..], &[2, 4, 6]])
+        );
+        assert_eq!(
+            m.submatrix(&[2, 0], &[1]),
+            IMat::from_rows(&[&[6][..], &[2]])
+        );
     }
 
     #[test]

@@ -98,7 +98,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     fn checked(num: Option<Int>, den: Option<Int>) -> Self {
@@ -169,7 +172,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -182,8 +188,14 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // Denominators are positive, so cross-multiplication preserves order.
-        let lhs = self.num.checked_mul(other.den).expect("rational cmp overflow");
-        let rhs = other.num.checked_mul(self.den).expect("rational cmp overflow");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational cmp overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational cmp overflow");
         lhs.cmp(&rhs)
     }
 }

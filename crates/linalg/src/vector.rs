@@ -107,7 +107,12 @@ impl IVec {
 
     /// Scale by a constant.
     pub fn scale(&self, k: Int) -> IVec {
-        IVec(self.0.iter().map(|&x| x.checked_mul(k).expect("scale overflow")).collect())
+        IVec(
+            self.0
+                .iter()
+                .map(|&x| x.checked_mul(k).expect("scale overflow"))
+                .collect(),
+        )
     }
 }
 
@@ -224,7 +229,10 @@ mod tests {
 
     #[test]
     fn primitive() {
-        assert_eq!(IVec::from(vec![4, -6, 8]).primitive().as_slice(), &[2, -3, 4]);
+        assert_eq!(
+            IVec::from(vec![4, -6, 8]).primitive().as_slice(),
+            &[2, -3, 4]
+        );
         assert_eq!(IVec::from(vec![0, 0]).primitive().as_slice(), &[0, 0]);
         assert_eq!(IVec::from(vec![3, 5]).primitive().as_slice(), &[3, 5]);
     }

@@ -9,14 +9,12 @@ use inl_linalg::{
 use proptest::prelude::*;
 
 fn small_matrix(n: usize) -> impl Strategy<Value = IMat> {
-    prop::collection::vec(-4i64..=4, n * n).prop_map(move |v| {
-        IMat::from_fn(n, n, |i, j| v[i * n + j] as Int)
-    })
+    prop::collection::vec(-4i64..=4, n * n)
+        .prop_map(move |v| IMat::from_fn(n, n, |i, j| v[i * n + j] as Int))
 }
 
 fn small_vec(n: usize) -> impl Strategy<Value = IVec> {
-    prop::collection::vec(-6i64..=6, n)
-        .prop_map(|v| v.into_iter().map(|x| x as Int).collect())
+    prop::collection::vec(-6i64..=6, n).prop_map(|v| v.into_iter().map(|x| x as Int).collect())
 }
 
 proptest! {
@@ -125,7 +123,7 @@ proptest! {
             for i in 0..3 {
                 let mut acc = Rational::ZERO;
                 for (j, xv) in x.iter().enumerate() {
-                    acc = acc + Rational::int(a[(i, j)]) * *xv;
+                    acc += Rational::int(a[(i, j)]) * *xv;
                 }
                 prop_assert_eq!(acc, Rational::int(b[i]));
             }
@@ -163,7 +161,7 @@ proptest! {
         prop_assert_eq!(lex_cmp(&a, &b), lex_cmp(&b, &a).reverse());
         // transitivity (via sorting consistency)
         let mut v = [a.clone(), b.clone(), c.clone()];
-        v.sort_by(|x, y| lex_cmp(x, y));
+        v.sort_by(lex_cmp);
         prop_assert_ne!(lex_cmp(&v[0], &v[1]), Ordering::Greater);
         prop_assert_ne!(lex_cmp(&v[1], &v[2]), Ordering::Greater);
         prop_assert_ne!(lex_cmp(&v[0], &v[2]), Ordering::Greater);

@@ -1,0 +1,451 @@
+//! Snapshotting the live registry into a [`PipelineReport`] and rendering
+//! it as a human-readable table or a JSON telemetry document.
+//!
+//! The JSON schema (stable; version bumped on breaking change):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "enabled": true,
+//!   "counters":   { "depend.pairs_tested": 9, ... },
+//!   "histograms": { "poly.fm.constraints": {
+//!       "count": 4, "sum": 31, "min": 2, "max": 17,
+//!       "buckets": [[3, 1], [7, 2], [31, 1]] }, ... },
+//!   "spans": { "codegen.generate/poly.feasibility": {
+//!       "count": 12, "total_ns": 83120, "min_ns": 401, "max_ns": 22010 }, ... },
+//!   "sections": { "trace": { ... } }
+//! }
+//! ```
+//!
+//! Histogram `buckets` are `[upper_bound, count]` pairs over log₂ buckets;
+//! a value `v` lands in the bucket whose upper bound is the smallest
+//! `2^k - 1 >= v`. `sections` holds free-form JSON attached by callers
+//! (e.g. the executor's trace summary) so domain crates can surface
+//! structured data without this crate depending on them.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::registry;
+
+/// Schema version written into every JSON report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Aggregate statistics for one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// 0 when `count == 0`.
+    pub min: u64,
+    pub max: u64,
+    /// `(upper_bound, count)` per non-empty log₂ bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Mean duration in nanoseconds, or 0 when empty.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A point-in-time snapshot of all telemetry, plus caller-attached
+/// sections. Counters and histograms that never fired are omitted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineReport {
+    /// Whether telemetry was enabled when the snapshot was taken.
+    pub enabled: bool,
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    /// Free-form JSON sections attached via [`PipelineReport::attach`].
+    pub sections: BTreeMap<String, Json>,
+}
+
+impl PipelineReport {
+    /// Snapshot the global registry.
+    pub fn capture() -> Self {
+        let reg = registry();
+        let counters = reg
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|(name, c)| {
+                let v = c.load(std::sync::atomic::Ordering::Relaxed);
+                (v > 0).then(|| (name.to_string(), v))
+            })
+            .collect();
+        let histograms = reg
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|(name, h)| {
+                let snap = h.snapshot();
+                (snap.count > 0).then(|| (name.to_string(), snap))
+            })
+            .collect();
+        let spans = reg
+            .spans
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(path, st)| {
+                (
+                    path.clone(),
+                    SpanSnapshot {
+                        count: st.count,
+                        total_ns: st.total_ns,
+                        min_ns: st.min_ns,
+                        max_ns: st.max_ns,
+                    },
+                )
+            })
+            .collect();
+        PipelineReport {
+            enabled: crate::enabled(),
+            counters,
+            histograms,
+            spans,
+            sections: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a free-form JSON section (overwrites an existing one).
+    pub fn attach(&mut self, name: impl Into<String>, value: Json) {
+        self.sections.insert(name.into(), value);
+    }
+
+    /// Convert to the JSON schema documented at module level.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.insert("version", Json::Int(SCHEMA_VERSION));
+        root.insert("enabled", Json::Bool(self.enabled));
+
+        let mut counters = Json::object();
+        for (name, v) in &self.counters {
+            counters.insert(name.clone(), Json::Int(*v));
+        }
+        root.insert("counters", counters);
+
+        let mut histograms = Json::object();
+        for (name, h) in &self.histograms {
+            let mut obj = Json::object();
+            obj.insert("count", Json::Int(h.count));
+            obj.insert("sum", Json::Int(h.sum));
+            obj.insert("min", Json::Int(h.min));
+            obj.insert("max", Json::Int(h.max));
+            obj.insert(
+                "buckets",
+                Json::Array(
+                    h.buckets
+                        .iter()
+                        .map(|&(ub, c)| Json::Array(vec![Json::Int(ub), Json::Int(c)]))
+                        .collect(),
+                ),
+            );
+            histograms.insert(name.clone(), obj);
+        }
+        root.insert("histograms", histograms);
+
+        let mut spans = Json::object();
+        for (path, s) in &self.spans {
+            let mut obj = Json::object();
+            obj.insert("count", Json::Int(s.count));
+            obj.insert("total_ns", Json::Int(s.total_ns));
+            obj.insert("min_ns", Json::Int(s.min_ns));
+            obj.insert("max_ns", Json::Int(s.max_ns));
+            spans.insert(path.clone(), obj);
+        }
+        root.insert("spans", spans);
+
+        let mut sections = Json::object();
+        for (name, value) in &self.sections {
+            sections.insert(name.clone(), value.clone());
+        }
+        root.insert("sections", sections);
+        root
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Parse a report previously produced by [`to_json_string`]
+    /// (`attach`ed sections round-trip as raw [`Json`]).
+    ///
+    /// [`to_json_string`]: PipelineReport::to_json_string
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        let version = root
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("missing 'version'")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!("unsupported schema version {version}"));
+        }
+        let enabled = matches!(root.get("enabled"), Some(Json::Bool(true)));
+
+        let get_u64 = |obj: &Json, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer field '{key}'"))
+        };
+
+        let mut counters = BTreeMap::new();
+        if let Some(Json::Object(map)) = root.get("counters") {
+            for (name, v) in map {
+                counters.insert(
+                    name.clone(),
+                    v.as_u64()
+                        .ok_or_else(|| format!("counter '{name}' not an integer"))?,
+                );
+            }
+        }
+
+        let mut histograms = BTreeMap::new();
+        if let Some(Json::Object(map)) = root.get("histograms") {
+            for (name, obj) in map {
+                let mut buckets = Vec::new();
+                if let Some(Json::Array(items)) = obj.get("buckets") {
+                    for pair in items {
+                        match pair {
+                            Json::Array(p) if p.len() == 2 => buckets.push((
+                                p[0].as_u64().ok_or("bad bucket bound")?,
+                                p[1].as_u64().ok_or("bad bucket count")?,
+                            )),
+                            _ => return Err(format!("bad bucket entry in '{name}'")),
+                        }
+                    }
+                }
+                histograms.insert(
+                    name.clone(),
+                    HistogramSnapshot {
+                        count: get_u64(obj, "count")?,
+                        sum: get_u64(obj, "sum")?,
+                        min: get_u64(obj, "min")?,
+                        max: get_u64(obj, "max")?,
+                        buckets,
+                    },
+                );
+            }
+        }
+
+        let mut spans = BTreeMap::new();
+        if let Some(Json::Object(map)) = root.get("spans") {
+            for (path, obj) in map {
+                spans.insert(
+                    path.clone(),
+                    SpanSnapshot {
+                        count: get_u64(obj, "count")?,
+                        total_ns: get_u64(obj, "total_ns")?,
+                        min_ns: get_u64(obj, "min_ns")?,
+                        max_ns: get_u64(obj, "max_ns")?,
+                    },
+                );
+            }
+        }
+
+        let mut sections = BTreeMap::new();
+        if let Some(Json::Object(map)) = root.get("sections") {
+            for (name, value) in map {
+                sections.insert(name.clone(), value.clone());
+            }
+        }
+
+        Ok(PipelineReport {
+            enabled,
+            counters,
+            histograms,
+            spans,
+            sections,
+        })
+    }
+
+    /// Write the JSON document to `path`, creating parent directories.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json_string())
+    }
+
+    /// Render a human-readable table (counters, then histograms, then
+    /// spans sorted by total time descending).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "inl-obs pipeline report (telemetry {})\n",
+            if self.enabled { "enabled" } else { "disabled" }
+        ));
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {v}\n"));
+            }
+        }
+
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms\n");
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  count={} sum={} min={} mean={:.1} max={}\n",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.mean(),
+                    h.max
+                ));
+            }
+        }
+
+        if !self.spans.is_empty() {
+            out.push_str("\nspans (by total time)\n");
+            let mut rows: Vec<_> = self.spans.iter().collect();
+            rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+            let width = rows.iter().map(|(p, _)| p.len()).max().unwrap_or(0);
+            for (path, s) in rows {
+                out.push_str(&format!(
+                    "  {path:<width$}  n={:<6} total={:<10} mean={:<10} max={}\n",
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.mean_ns()),
+                    fmt_ns(s.max_ns)
+                ));
+            }
+        }
+
+        for name in self.sections.keys() {
+            out.push_str(&format!("\nsection '{name}' attached (see JSON output)\n"));
+        }
+        out
+    }
+}
+
+/// Format nanoseconds with an adaptive unit (`412ns`, `13.2µs`, `4.7ms`,
+/// `1.23s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PipelineReport {
+        let mut report = PipelineReport {
+            enabled: true,
+            ..Default::default()
+        };
+        report.counters.insert("depend.pairs_tested".into(), 9);
+        report.counters.insert("legal.fast_path_hits".into(), 4);
+        report.histograms.insert(
+            "poly.fm.constraints".into(),
+            HistogramSnapshot {
+                count: 4,
+                sum: 31,
+                min: 2,
+                max: 17,
+                buckets: vec![(3, 1), (7, 2), (31, 1)],
+            },
+        );
+        report.spans.insert(
+            "codegen.generate/poly.feasibility".into(),
+            SpanSnapshot {
+                count: 12,
+                total_ns: 83_120,
+                min_ns: 401,
+                max_ns: 22_010,
+            },
+        );
+        let mut trace = Json::object();
+        trace.insert("instances", Json::Int(385));
+        report.attach("trace", trace);
+        report
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let back = PipelineReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn rejects_unknown_schema_version() {
+        let text = sample_report()
+            .to_json_string()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert!(PipelineReport::from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let table = sample_report().to_table();
+        assert!(table.contains("depend.pairs_tested"));
+        assert!(table.contains("poly.fm.constraints"));
+        assert!(table.contains("codegen.generate/poly.feasibility"));
+        assert!(table.contains("section 'trace'"));
+    }
+
+    #[test]
+    fn capture_skips_never_fired_metrics() {
+        let _l = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        crate::reset();
+        let c = crate::counter("obs.test.capture.fired");
+        let _zero = crate::counter("obs.test.capture.zero");
+        c.add(2);
+        let report = PipelineReport::capture();
+        assert_eq!(report.counters.get("obs.test.capture.fired"), Some(&2));
+        assert!(!report.counters.contains_key("obs.test.capture.zero"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(412), "412ns");
+        assert_eq!(fmt_ns(13_200), "13.2µs");
+        assert_eq!(fmt_ns(4_700_000), "4.7ms");
+        assert_eq!(fmt_ns(1_230_000_000), "1.23s");
+    }
+}

@@ -69,8 +69,7 @@ pub fn scan_bounds(sys: &System, order: &[usize]) -> Vec<VarBounds> {
     let mut out: Vec<VarBounds> = vec![VarBounds::default(); order.len()];
     for k in (0..order.len()).rev() {
         let var = order[k];
-        let inner: std::collections::HashSet<usize> =
-            order[k + 1..].iter().copied().collect();
+        let inner: std::collections::HashSet<usize> = order[k + 1..].iter().copied().collect();
         let mut vb = VarBounds::default();
         for e in cur.to_ineqs() {
             let a = e.coeff(var);
@@ -86,10 +85,16 @@ pub fn scan_bounds(sys: &System, order: &[usize]) -> Vec<VarBounds> {
             rest.set_coeff(var, 0);
             if a > 0 {
                 // x ≥ ceil(-rest / a)
-                vb.lowers.push(BoundTerm { expr: -rest, div: a });
+                vb.lowers.push(BoundTerm {
+                    expr: -rest,
+                    div: a,
+                });
             } else {
                 // x ≤ floor(rest / -a)
-                vb.uppers.push(BoundTerm { expr: rest, div: -a });
+                vb.uppers.push(BoundTerm {
+                    expr: rest,
+                    div: -a,
+                });
             }
         }
         dedup_terms(&mut vb.lowers);

@@ -1,6 +1,6 @@
 //! Linear expressions over indexed variables.
 
-use inl_linalg::{gcd, Int, IVec};
+use inl_linalg::{gcd, IVec, Int};
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
@@ -16,19 +16,28 @@ pub struct LinExpr {
 impl LinExpr {
     /// The zero expression over `n` variables.
     pub fn zero(n: usize) -> Self {
-        LinExpr { coeffs: vec![0; n], constant: 0 }
+        LinExpr {
+            coeffs: vec![0; n],
+            constant: 0,
+        }
     }
 
     /// The constant expression `c` over `n` variables.
     pub fn constant(n: usize, c: Int) -> Self {
-        LinExpr { coeffs: vec![0; n], constant: c }
+        LinExpr {
+            coeffs: vec![0; n],
+            constant: c,
+        }
     }
 
     /// The single variable `xᵢ` over `n` variables.
     pub fn var(n: usize, i: usize) -> Self {
         let mut coeffs = vec![0; n];
         coeffs[i] = 1;
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Build from raw parts.
@@ -80,7 +89,11 @@ impl LinExpr {
 
     /// Indices of variables with non-zero coefficients.
     pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
-        self.coeffs.iter().enumerate().filter(|(_, &c)| c != 0).map(|(i, _)| i)
+        self.coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, _)| i)
     }
 
     /// Gcd of all coefficients (not the constant); 0 if constant.
@@ -95,14 +108,20 @@ impl LinExpr {
             .iter()
             .zip(point)
             .map(|(&c, &x)| c.checked_mul(x).expect("eval overflow"))
-            .fold(self.constant, |acc, t| acc.checked_add(t).expect("eval overflow"))
+            .fold(self.constant, |acc, t| {
+                acc.checked_add(t).expect("eval overflow")
+            })
     }
 
     /// Substitute variable `i` with expression `e` (which must live in the
     /// same variable space and have zero coefficient on `i` itself).
     pub fn substitute(&self, i: usize, e: &LinExpr) -> LinExpr {
         assert_eq!(self.nvars(), e.nvars(), "substitute: arity mismatch");
-        assert_eq!(e.coeff(i), 0, "substitute: replacement mentions the variable");
+        assert_eq!(
+            e.coeff(i),
+            0,
+            "substitute: replacement mentions the variable"
+        );
         let c = self.coeffs[i];
         if c == 0 {
             return self.clone();
@@ -122,7 +141,10 @@ impl LinExpr {
         assert!(n >= self.nvars());
         let mut coeffs = self.coeffs.clone();
         coeffs.resize(n, 0);
-        LinExpr { coeffs, constant: self.constant }
+        LinExpr {
+            coeffs,
+            constant: self.constant,
+        }
     }
 
     /// Remove variable `i` from the space (its coefficient must be zero),
@@ -131,7 +153,10 @@ impl LinExpr {
         assert_eq!(self.coeffs[i], 0, "drop_var: coefficient not zero");
         let mut coeffs = self.coeffs.clone();
         coeffs.remove(i);
-        LinExpr { coeffs, constant: self.constant }
+        LinExpr {
+            coeffs,
+            constant: self.constant,
+        }
     }
 
     /// Re-index into a smaller space: keep only variables in `keep` (in that
@@ -218,7 +243,12 @@ impl Add for LinExpr {
     fn add(self, rhs: LinExpr) -> LinExpr {
         assert_eq!(self.nvars(), rhs.nvars(), "add: arity mismatch");
         LinExpr {
-            coeffs: self.coeffs.iter().zip(&rhs.coeffs).map(|(&a, &b)| a + b).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| a + b)
+                .collect(),
             constant: self.constant + rhs.constant,
         }
     }
@@ -229,7 +259,12 @@ impl Sub for LinExpr {
     fn sub(self, rhs: LinExpr) -> LinExpr {
         assert_eq!(self.nvars(), rhs.nvars(), "sub: arity mismatch");
         LinExpr {
-            coeffs: self.coeffs.iter().zip(&rhs.coeffs).map(|(&a, &b)| a - b).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| a - b)
+                .collect(),
             constant: self.constant - rhs.constant,
         }
     }

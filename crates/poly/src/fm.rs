@@ -46,6 +46,7 @@ pub fn eliminate(sys: &System, var: usize) -> (System, bool) {
 /// Core single-system elimination. `dark` selects the dark-shadow variant
 /// (each lower/upper combination is strengthened by `(a-1)(b-1)`).
 fn eliminate_one(sys: &System, var: usize, dark: bool) -> (System, bool) {
+    inl_obs::counter_add!("poly.fm.eliminations", 1);
     let n = sys.nvars();
     let mut out = System::new(n);
     if sys.is_trivially_empty() {
@@ -171,6 +172,11 @@ pub fn project(sys: &System, keep: &[usize]) -> (System, bool) {
 
 /// Integer feasibility of the system.
 pub fn is_empty(sys: &System) -> Feasibility {
+    let _span = inl_obs::span("poly.feasibility");
+    inl_obs::hist_record!(
+        "poly.fm.constraints",
+        sys.ineqs().len() + 2 * sys.eqs().len()
+    );
     if sys.is_trivially_empty() {
         return Feasibility::Empty;
     }
@@ -192,9 +198,14 @@ pub fn is_empty(sys: &System) -> Feasibility {
     }
     if real.is_trivially_empty() {
         Feasibility::Empty
-    } else if exact || !dark.is_trivially_empty() {
+    } else if exact {
+        inl_obs::counter_add!("poly.feasibility.exact_hits", 1);
+        Feasibility::NonEmpty
+    } else if !dark.is_trivially_empty() {
+        inl_obs::counter_add!("poly.fm.dark_shadow_fallbacks", 1);
         Feasibility::NonEmpty
     } else {
+        inl_obs::counter_add!("poly.feasibility.unknown", 1);
         Feasibility::Unknown
     }
 }

@@ -23,7 +23,12 @@ pub struct System {
 impl System {
     /// The unconstrained system over `n` variables.
     pub fn new(n: usize) -> Self {
-        System { nvars: n, eqs: Vec::new(), ineqs: Vec::new(), trivially_empty: false }
+        System {
+            nvars: n,
+            eqs: Vec::new(),
+            ineqs: Vec::new(),
+            trivially_empty: false,
+        }
     }
 
     /// Number of variables.

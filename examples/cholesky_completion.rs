@@ -42,9 +42,15 @@ fn main() {
     // Per-statement transformations: all non-singular, no augmentation
     // (the paper's §6 observation).
     let ast = completion.report.new_ast.as_ref().unwrap();
-    let schedules =
-        schedule_all(&p, &layout, ast, &completion.matrix, &deps, &completion.report)
-            .expect("schedulable");
+    let schedules = schedule_all(
+        &p,
+        &layout,
+        ast,
+        &completion.matrix,
+        &deps,
+        &completion.report,
+    )
+    .expect("schedulable");
     for s in &schedules {
         println!(
             "per-statement transform of {}: N_S =\n{}  (augmented rows: {})",
@@ -55,7 +61,10 @@ fn main() {
     }
 
     let result = generate(&p, &layout, &deps, &completion.matrix).expect("codegen");
-    println!("== generated left-looking program ==\n{}", result.program.to_pseudocode());
+    println!(
+        "== generated left-looking program ==\n{}",
+        result.program.to_pseudocode()
+    );
 
     let spd = |_: &str, idx: &[usize]| {
         if idx[0] == idx[1] {

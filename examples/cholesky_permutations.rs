@@ -65,8 +65,10 @@ fn main() {
     println!("---------------------|-------|----------|-------------");
     for pm in permutations(&[0, 1, 2, 3]) {
         let label: String = pm.iter().map(|&i| names[i]).collect::<Vec<_>>().join("");
-        let rows: Vec<IVec> =
-            pm.iter().map(|&i| IVec::unit(layout.len(), positions[i])).collect();
+        let rows: Vec<IVec> = pm
+            .iter()
+            .map(|&i| IVec::unit(layout.len(), positions[i]))
+            .collect();
         let Ok(completion) = complete_transform(&p, &layout, &deps, &rows) else {
             println!("{label:>20} |  no   |    —     |      —");
             continue;

@@ -30,7 +30,11 @@ fn main() {
     // 3. Dependence analysis (§3): distance/direction vectors over instance
     //    vectors, computed by integer linear programming.
     let deps = analyze(&p, &layout);
-    println!("\n== dependence matrix ({} columns) ==\n{}", deps.deps.len(), deps.display());
+    println!(
+        "\n== dependence matrix ({} columns) ==\n{}",
+        deps.deps.len(),
+        deps.display()
+    );
 
     // 4. Transformations are matrices (§4). A naked I↔J interchange is
     //    illegal (the pivot sqrt would run before the updates feeding it);
@@ -45,7 +49,10 @@ fn main() {
         &p,
         &layout,
         &[
-            Transform::ReorderChildren { parent: Some(loops[0]), perm: vec![1, 0] },
+            Transform::ReorderChildren {
+                parent: Some(loops[0]),
+                perm: vec![1, 0],
+            },
             Transform::Interchange(loops[0], loops[1]),
         ],
     )
@@ -55,7 +62,10 @@ fn main() {
 
     // 5. Code generation (§5).
     let result = generate(&p, &layout, &deps, &m).expect("legal transforms generate");
-    println!("\n== transformed program ==\n{}", result.program.to_pseudocode());
+    println!(
+        "\n== transformed program ==\n{}",
+        result.program.to_pseudocode()
+    );
 
     // 6. Verify: both programs compute bitwise identical results.
     let init = |_: &str, idx: &[usize]| 2.0 + idx[0] as f64;

@@ -29,12 +29,19 @@ fn main() {
     // §7: "parallelizing a loop requires finding a row in the nullspace of
     // the dependence matrix" — here the nullspace is trivial:
     let rows = parallel_rows(&layout, &deps);
-    println!("outer-parallel directions: {} (nullspace is trivial)", rows.len());
+    println!(
+        "outer-parallel directions: {} (nullspace is trivial)",
+        rows.len()
+    );
 
     // the classic fix: skew the outer loop by the inner one
     let loops: Vec<_> = p.loops().collect();
-    let m = Transform::Skew { target: loops[0], source: loops[1], factor: 1 }
-        .matrix(&p, &layout);
+    let m = Transform::Skew {
+        target: loops[0],
+        source: loops[1],
+        factor: 1,
+    }
+    .matrix(&p, &layout);
     let report = check_legal(&p, &layout, &deps, &m);
     assert!(report.is_legal());
     let ast = report.new_ast.as_ref().unwrap();
@@ -46,8 +53,10 @@ fn main() {
     let inner = result
         .program
         .loops()
-        .find(|&l| !result.program.loop_decl(l).children.is_empty()
-            && result.program.loops_surrounding_loop(l).len() == 1)
+        .find(|&l| {
+            !result.program.loop_decl(l).children.is_empty()
+                && result.program.loops_surrounding_loop(l).len() == 1
+        })
         .expect("inner loop");
     result.program.set_loop_parallel(inner, true);
     println!("== skewed program ==\n{}", result.program.to_pseudocode());

@@ -11,12 +11,14 @@
 //!   completion
 //! * [`codegen`] — code generation from transformation matrices
 //! * [`exec`] — interpreter, traces, equivalence checks, parallel executor
+//! * [`obs`] — pipeline observability: spans, counters, histograms, reports
 
 pub use inl_codegen as codegen;
 pub use inl_core as core;
 pub use inl_exec as exec;
 pub use inl_ir as ir;
 pub use inl_linalg as linalg;
+pub use inl_obs as obs;
 pub use inl_poly as poly;
 
 /// Commonly used items, for `use inl::prelude::*`.

@@ -36,9 +36,8 @@ fn e6_completion_produces_left_looking_cholesky() {
     let completion = complete_transform(&p, &layout, &deps, &partial).expect("completes");
     let result = generate(&p, &layout, &deps, &completion.matrix).expect("codegen");
     for n in [1, 2, 3, 6, 10] {
-        equivalent(&p, &result.program, &[n], &spd).unwrap_or_else(|e| {
-            panic!("N={n}: {e}\n{}", result.program.to_pseudocode())
-        });
+        equivalent(&p, &result.program, &[n], &spd)
+            .unwrap_or_else(|e| panic!("N={n}: {e}\n{}", result.program.to_pseudocode()));
     }
     // the generated program also matches the hand-written left-looking
     // form semantically
@@ -52,20 +51,13 @@ fn e6_completion_produces_left_looking_cholesky() {
 /// (K, J, L, I) to the four loop slots and ask the completion procedure to
 /// find a legal child order. Returns (assignment, matrix) for the legal
 /// ones.
-fn enumerate_permutations(
-    p: &Program,
-) -> Vec<(Vec<usize>, inl::linalg::IMat)> {
+fn enumerate_permutations(p: &Program) -> Vec<(Vec<usize>, inl::linalg::IMat)> {
     let layout = InstanceLayout::new(p);
     let deps = analyze(p, &layout);
-    let positions: Vec<usize> = [
-        looop(p, "K"),
-        looop(p, "J"),
-        looop(p, "L"),
-        looop(p, "I"),
-    ]
-    .iter()
-    .map(|&l| layout.loop_position(l))
-    .collect();
+    let positions: Vec<usize> = [looop(p, "K"), looop(p, "J"), looop(p, "L"), looop(p, "I")]
+        .iter()
+        .map(|&l| layout.loop_position(l))
+        .collect();
     let n = layout.len();
     let mut legal = Vec::new();
     // all 24 orderings of the four source positions across the four slots

@@ -106,15 +106,24 @@ fn e4_transformation_matrices_act_as_printed() {
     // permutation (§4.1): S2's [I,1,0,J] -> [J,1,0,I]
     let perm = Transform::Interchange(i, j).matrix(&p, &layout);
     assert_eq!(
-        perm.mul_vec(&layout.instance_vector(s2, &[3, 8])).as_slice(),
+        perm.mul_vec(&layout.instance_vector(s2, &[3, 8]))
+            .as_slice(),
         &[8, 1, 0, 3]
     );
     // skewing (§4.1): S1 lands at outer 0
-    let skew = Transform::Skew { target: i, source: j, factor: -1 }.matrix(&p, &layout);
+    let skew = Transform::Skew {
+        target: i,
+        source: j,
+        factor: -1,
+    }
+    .matrix(&p, &layout);
     assert_eq!(skew.mul_vec(&layout.instance_vector(s1, &[6]))[0], 0);
     // statement reordering (§4.2) is the printed matrix
-    let reorder =
-        Transform::ReorderChildren { parent: Some(i), perm: vec![1, 0] }.matrix(&p, &layout);
+    let reorder = Transform::ReorderChildren {
+        parent: Some(i),
+        perm: vec![1, 0],
+    }
+    .matrix(&p, &layout);
     assert_eq!(
         reorder,
         IMat::from_rows(&[
@@ -125,7 +134,12 @@ fn e4_transformation_matrices_act_as_printed() {
         ])
     );
     // alignment (§4.3): S1's I entry shifts, S2 untouched
-    let align = Transform::Align { stmt: s1, looop: i, offset: 1 }.matrix(&p, &layout);
+    let align = Transform::Align {
+        stmt: s1,
+        looop: i,
+        offset: 1,
+    }
+    .matrix(&p, &layout);
     assert_eq!(align.mul_vec(&layout.instance_vector(s1, &[4]))[0], 5);
     let v2 = layout.instance_vector(s2, &[4, 6]);
     assert_eq!(align.mul_vec(&v2), v2);
@@ -163,9 +177,8 @@ fn e5_skew_codegen_executes_identically() {
     )
     .expect("codegen");
     for n in [1, 2, 4, 9] {
-        equivalent(&p, &result.program, &[n], &|_, _| 0.5).unwrap_or_else(|e| {
-            panic!("N={n}: {e}\n{}", result.program.to_pseudocode())
-        });
+        equivalent(&p, &result.program, &[n], &|_, _| 0.5)
+            .unwrap_or_else(|e| panic!("N={n}: {e}\n{}", result.program.to_pseudocode()));
     }
     // the augmented loop exists: S1 is nested two deep in the target
     let s1_new = result.stmt_map[stmt(&p, "S1").0];

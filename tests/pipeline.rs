@@ -28,12 +28,18 @@ fn multi_parameter_codegen() {
     let p = zoo::rect_wavefront();
     let i = looop(&p, "I");
     let j = looop(&p, "J");
-    let result = generate_seq(&p, &[Transform::Skew { target: i, source: j, factor: 1 }])
-        .expect("codegen");
+    let result = generate_seq(
+        &p,
+        &[Transform::Skew {
+            target: i,
+            source: j,
+            factor: 1,
+        }],
+    )
+    .expect("codegen");
     for (m, n) in [(1, 1), (1, 5), (5, 1), (3, 7), (7, 3), (6, 6)] {
-        equivalent(&p, &result.program, &[m, n], &wf_init).unwrap_or_else(|e| {
-            panic!("M={m} N={n}: {e}\n{}", result.program.to_pseudocode())
-        });
+        equivalent(&p, &result.program, &[m, n], &wf_init)
+            .unwrap_or_else(|e| panic!("M={m} N={n}: {e}\n{}", result.program.to_pseudocode()));
     }
 }
 
@@ -44,19 +50,28 @@ fn chained_transformation_through_codegen() {
     let p = zoo::wavefront();
     let i = looop(&p, "I");
     let j = looop(&p, "J");
-    let step1 = generate_seq(&p, &[Transform::Skew { target: i, source: j, factor: 1 }])
-        .expect("step 1");
+    let step1 = generate_seq(
+        &p,
+        &[Transform::Skew {
+            target: i,
+            source: j,
+            factor: 1,
+        }],
+    )
+    .expect("step 1");
     let q = &step1.program;
     // the generated program must itself be analyzable
     let layout = InstanceLayout::new(q);
     let deps = analyze(q, &layout);
-    assert!(!deps.deps.is_empty(), "skewed program still has dependences");
+    assert!(
+        !deps.deps.is_empty(),
+        "skewed program still has dependences"
+    );
     // its two loops (outer wavefront, inner) can be interchanged: skewed
     // deps are (1,0) and (1,1); interchanged they are (0,1) and (1,1) —
     // still lexicographically positive
     let loops: Vec<_> = q.loops().collect();
-    let step2 = generate_seq(q, &[Transform::Interchange(loops[0], loops[1])])
-        .expect("step 2");
+    let step2 = generate_seq(q, &[Transform::Interchange(loops[0], loops[1])]).expect("step 2");
     for n in [1, 2, 5, 9] {
         equivalent(&p, &step2.program, &[n], &wf_init).unwrap_or_else(|e| {
             panic!(
@@ -104,8 +119,15 @@ fn generated_programs_validate_and_print() {
     let p = zoo::rect_wavefront();
     let i = looop(&p, "I");
     let j = looop(&p, "J");
-    let result = generate_seq(&p, &[Transform::Skew { target: i, source: j, factor: 1 }])
-        .expect("codegen");
+    let result = generate_seq(
+        &p,
+        &[Transform::Skew {
+            target: i,
+            source: j,
+            factor: 1,
+        }],
+    )
+    .expect("codegen");
     assert!(result.program.validate().is_ok());
     let text = result.program.to_pseudocode();
     assert!(text.contains("do"), "{text}");
@@ -113,6 +135,10 @@ fn generated_programs_validate_and_print() {
     // instances, different order)
     let (_, t_src) = inl::exec::run_traced(&p, &[4, 6], &wf_init);
     let (_, t_dst) = inl::exec::run_traced(&result.program, &[4, 6], &wf_init);
-    assert_eq!(t_src.len(), t_dst.len(), "same number of executed instances");
+    assert_eq!(
+        t_src.len(),
+        t_dst.len(),
+        "same number of executed instances"
+    );
     let _ = run_fresh(&result.program, &[2, 2], &wf_init);
 }

@@ -23,11 +23,11 @@ use std::cmp::Ordering;
 /// interleave) and per-statement affine accesses with small offsets.
 fn arb_program() -> impl Strategy<Value = Program> {
     (
-        0..3usize,             // shape selector
-        -1..=1i64,             // read offset a
-        -1..=1i64,             // read offset b
-        prop::bool::ANY,       // inner loop triangular?
-        prop::bool::ANY,       // second statement reads x or y
+        0..3usize,       // shape selector
+        -1..=1i64,       // read offset a
+        -1..=1i64,       // read offset b
+        prop::bool::ANY, // inner loop triangular?
+        prop::bool::ANY, // second statement reads x or y
     )
         .prop_map(|(shape, oa, ob, triangular, cross)| {
             build_program(shape, oa as i128, ob as i128, triangular, cross)
@@ -55,7 +55,11 @@ fn build_program(shape: usize, oa: i128, ob: i128, triangular: bool, cross: bool
                 ),
             );
         }
-        let jlo = if triangular { Aff::var(i) } else { Aff::konst(1) };
+        let jlo = if triangular {
+            Aff::var(i)
+        } else {
+            Aff::konst(1)
+        };
         b.hloop("J", jlo, Aff::param(n), |b| {
             let i = b.loop_var("I");
             let j = b.loop_var("J");
@@ -65,10 +69,7 @@ fn build_program(shape: usize, oa: i128, ob: i128, triangular: bool, cross: bool
                 y,
                 vec![sh(Aff::var(i)), sh(Aff::var(j))],
                 Expr::add(
-                    Expr::read(
-                        src,
-                        vec![sh(Aff::var(i) + Aff::konst(ob)), sh(Aff::var(j))],
-                    ),
+                    Expr::read(src, vec![sh(Aff::var(i) + Aff::konst(ob)), sh(Aff::var(j))]),
                     Expr::index(Aff::var(i) + Aff::var(j)),
                 ),
             );
@@ -89,7 +90,13 @@ fn build_program(shape: usize, oa: i128, ob: i128, triangular: bool, cross: bool
 fn arb_transforms(p: &Program) -> impl Strategy<Value = Vec<Transform>> {
     let loops: Vec<_> = p.loops().collect();
     let stmts: Vec<_> = p.stmts().collect();
-    let single = (0..5usize, 0..loops.len(), 0..loops.len(), -2..=2i64, 0..stmts.len())
+    let single = (
+        0..5usize,
+        0..loops.len(),
+        0..loops.len(),
+        -2..=2i64,
+        0..stmts.len(),
+    )
         .prop_map(move |(kind, a, b, f, s)| match kind {
             0 => Transform::Interchange(loops[a], loops[b % loops.len().max(1)]),
             1 => Transform::Reverse(loops[a]),
@@ -98,8 +105,15 @@ fn arb_transforms(p: &Program) -> impl Strategy<Value = Vec<Transform>> {
                 source: loops[b % loops.len()],
                 factor: f as i128,
             },
-            3 => Transform::Scale { target: loops[a], factor: (f.unsigned_abs() as i128) + 1 },
-            _ => Transform::Align { stmt: stmts[s], looop: loops[a], offset: f as i128 },
+            3 => Transform::Scale {
+                target: loops[a],
+                factor: (f.unsigned_abs() as i128) + 1,
+            },
+            _ => Transform::Align {
+                stmt: stmts[s],
+                looop: loops[a],
+                offset: f as i128,
+            },
         });
     prop::collection::vec(single, 1..3)
 }

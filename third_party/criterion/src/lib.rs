@@ -1,0 +1,179 @@
+//! Offline drop-in subset of [criterion](https://docs.rs/criterion).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the API slice the workspace benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a plain
+//! min/mean wall-clock measurement instead of criterion's statistical
+//! machinery. Each benchmark prints one line:
+//!
+//! ```text
+//! bench group/id ... min 12.3µs  mean 13.1µs  (20 samples)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion's `BenchmarkId::new`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Times one closure over the configured sample count.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // one warmup iteration, then the measured samples
+        std::hint::black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        let mean = total / self.samples as u32;
+        println!(
+            "  min {min:.2?}  mean {mean:.2?}  ({} samples)",
+            self.samples
+        );
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Ignored (API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        print!("bench {}/{} ...", self.name, id.into().0);
+        f(&mut Bencher {
+            samples: self.samples,
+        });
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        print!("bench {}/{} ...", self.name, id.0);
+        f(
+            &mut Bencher {
+                samples: self.samples,
+            },
+            input,
+        );
+        self
+    }
+
+    /// Finish the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark a closure at the top level (10 samples).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        print!("bench {id} ...");
+        f(&mut Bencher { samples: 10 });
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _c: self,
+        }
+    }
+
+    /// No-op (API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Prevent the optimizer from eliding a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

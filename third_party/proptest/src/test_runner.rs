@@ -1,0 +1,129 @@
+//! Deterministic case runner and the error type test bodies return.
+
+use std::fmt;
+
+/// Mirrors `proptest::test_runner::Config` (exposed as `ProptestConfig`
+/// from the prelude). Only `cases` matters here; the other fields exist so
+/// `..Config::default()` struct update syntax from real-proptest users
+/// keeps compiling.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Accepted and ignored (no shrinking in this implementation).
+    pub max_shrink_iters: u32,
+    /// Upper bound on rejected cases (`prop_assume!` misses) per test.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejection: the case is discarded and retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (discarded) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic splitmix64 generator; one fresh stream per attempt so
+/// failures are reproducible by attempt number.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n = 0` yields 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Runs generated cases until `config.cases` pass, a case fails, or the
+/// reject budget is exhausted.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// A runner for the given configuration.
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Drive `f` until enough cases pass. Panics (failing the enclosing
+    /// `#[test]`) on the first `Fail` or when rejects exceed the budget.
+    pub fn run_cases(&mut self, mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let mut attempt: u64 = 0;
+        while passed < self.config.cases {
+            attempt += 1;
+            let mut rng = TestRng::new(attempt.wrapping_mul(0xA076_1D64_78BD_642F));
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest: exceeded {} rejected cases ({passed} passed)",
+                            self.config.max_global_rejects
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest: case {} (attempt {attempt}) failed: {msg}",
+                        passed + 1
+                    );
+                }
+            }
+        }
+    }
+}
