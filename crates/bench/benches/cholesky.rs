@@ -2,9 +2,12 @@
 //! result, but their performance, even on sequential machines, can be
 //! quite different" (§1).
 //!
-//! Two tiers:
+//! Three tiers:
 //! * every *legal* framework-derived loop order, executed through the
 //!   reference interpreter on the generated program;
+//! * the same variants through the `inl-vm` bytecode backend (compiled
+//!   once per variant, run per iteration) — the backend speedup the
+//!   report binary records in `BENCH_exec.json`;
 //! * hand-compiled kernels for the three canonical schedules (right-
 //!   looking, left-looking, KJLI), where cache behaviour dominates.
 
@@ -13,7 +16,7 @@ use inl_bench::{
     cholesky_variants, kernel_cholesky_kjli, kernel_cholesky_left, kernel_cholesky_right, spd_init,
 };
 use inl_codegen::generate;
-use inl_exec::{Interpreter, Machine};
+use inl_exec::{Interpreter, Machine, VmRunner};
 use std::hint::black_box;
 
 fn interpreter_variants(c: &mut Criterion) {
@@ -31,6 +34,30 @@ fn interpreter_variants(c: &mut Criterion) {
                 b.iter(|| {
                     let mut machine = Machine::new(prog, &[n], &spd_init);
                     Interpreter::new(prog).run(&mut machine);
+                    black_box(machine.array_by_name("A").unwrap()[3]);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn vm_variants(c: &mut Criterion) {
+    let (p, variants) = cholesky_variants();
+    let (layout, deps) = inl_bench::deps_of(&p);
+    let mut group = c.benchmark_group("cholesky_variants_vm");
+    group.sample_size(10);
+    let n: i128 = 60;
+    for (label, m) in &variants {
+        let result = generate(&p, &layout, &deps, m).expect("codegen");
+        let runner = VmRunner::new(&result.program); // compile once, run many
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &result.program,
+            |b, prog| {
+                b.iter(|| {
+                    let mut machine = Machine::new(prog, &[n], &spd_init);
+                    runner.run(&mut machine);
                     black_box(machine.array_by_name("A").unwrap()[3]);
                 })
             },
@@ -67,5 +94,5 @@ fn compiled_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, interpreter_variants, compiled_kernels);
+criterion_group!(benches, interpreter_variants, vm_variants, compiled_kernels);
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! E5/E6/E9 — end-to-end compilation costs: code generation for the
 //! paper's worked examples (the §5 skewing example with augmentation and
-//! the §6 left-looking completion), and the Fourier–Motzkin substrate.
+//! the §6 left-looking completion), the full pipeline down to executable
+//! `inl-vm` bytecode, and the Fourier–Motzkin substrate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use inl_bench::deps_of;
@@ -49,6 +50,14 @@ fn codegen_examples(c: &mut Criterion) {
         ]);
         group.bench_function("section6_left_looking", |b| {
             b.iter(|| black_box(generate(&p, &layout, &deps, &m).unwrap()))
+        });
+        // the whole pipeline: transformed source → generated program →
+        // flat bytecode ready to bind and run
+        group.bench_function("section6_left_looking_to_bytecode", |b| {
+            b.iter(|| {
+                let r = generate(&p, &layout, &deps, &m).unwrap();
+                black_box(inl_vm::compile(&r.program))
+            })
         });
     }
     group.finish();

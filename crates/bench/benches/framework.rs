@@ -1,7 +1,8 @@
 //! E1/E3/E9 — costs of the framework itself: instance-vector operations,
 //! dependence analysis, legality checking (abstract interval tier vs the
-//! exact polyhedral tier — the ablation DESIGN.md calls out), and the
-//! completion procedure, as the nest grows.
+//! exact polyhedral tier — the ablation DESIGN.md calls out), the
+//! completion procedure as the nest grows, and bytecode compilation
+//! (`inl-vm`) — the one-time cost the VM backend pays before its runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use inl_bench::{deep_nest, deps_of};
@@ -106,11 +107,33 @@ fn completion(c: &mut Criterion) {
     group.finish();
 }
 
+fn vm_compilation(c: &mut Criterion) {
+    // E9-companion: lowering IR to bytecode is cheap (microseconds) next
+    // to a single N=100 execution (milliseconds) — the "compile once,
+    // run per parameter binding" amortization argument
+    let mut group = c.benchmark_group("E9_vm_compile");
+    for (name, p) in [
+        ("simple_cholesky", zoo::simple_cholesky()),
+        ("cholesky_kij", zoo::cholesky_kij()),
+        ("matmul", zoo::matmul()),
+        ("deep_nest_6", deep_nest(6)),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(inl_vm::compile(&p))));
+        let cp = inl_vm::compile(&p);
+        let params: Vec<i128> = vec![32; p.nparams()];
+        group.bench_function(format!("{name}_bind"), |b| {
+            b.iter(|| black_box(cp.bind(&params)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     instance_vectors,
     dependence_analysis,
     legality_tiers,
-    completion
+    completion,
+    vm_compilation
 );
 criterion_main!(benches);

@@ -1,10 +1,15 @@
 //! E7-companion — the clean permutation case: matrix multiplication, where
 //! the framework proves all six loop orders legal and the machine shows
 //! why a compiler wants to choose among them (row-streaming `ikj` vs
-//! column-striding `jki` in row-major storage).
+//! column-striding `jki` in row-major storage). A third group runs the IR
+//! program through both execution backends (tree-walking interpreter vs
+//! `inl-vm` bytecode) to place the VM between the interpreter and the
+//! hand-compiled kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use inl_bench::{kernel_matmul_ijk, kernel_matmul_ikj, kernel_matmul_jki};
+use inl_exec::{Interpreter, Machine, VmRunner};
+use inl_ir::zoo;
 use std::hint::black_box;
 
 type Kernel = fn(&mut [f64], &[f64], &[f64], usize);
@@ -33,5 +38,29 @@ fn matmul_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, matmul_kernels);
+fn matmul_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_matmul_backends");
+    group.sample_size(10);
+    let p = zoo::matmul();
+    let runner = VmRunner::new(&p); // compile once, run many
+    let n: i128 = 64;
+    let init = |_: &str, idx: &[usize]| (idx[0] * 3 + idx[1]) as f64 * 0.25;
+    group.bench_function("interp", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&p, &[n], &init);
+            Interpreter::new(&p).run(&mut m);
+            black_box(m.array_by_name("C").unwrap()[1]);
+        })
+    });
+    group.bench_function("vm", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&p, &[n], &init);
+            runner.run(&mut m);
+            black_box(m.array_by_name("C").unwrap()[1]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, matmul_kernels, matmul_backends);
 criterion_main!(benches);

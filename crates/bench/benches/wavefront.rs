@@ -1,11 +1,12 @@
 //! E8 — parallelization via the framework (§7): the wavefront recurrence,
 //! sequential vs. the skewed schedule with a parallel inner loop, as
 //! hand-compiled kernels; plus the interpreter-level outer-parallel
-//! speedup on row-wise prefix sums.
+//! speedup on row-wise prefix sums (both the tree-walking and the
+//! `inl-vm` bytecode path), and interp-vs-VM on the sequential wavefront.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use inl_bench::{kernel_wavefront_sqrt_seq, kernel_wavefront_sqrt_skewed_parallel};
-use inl_exec::{Interpreter, Machine, ParallelExecutor};
+use inl_exec::{Interpreter, Machine, ParallelExecutor, VmRunner};
 use inl_ir::zoo;
 use std::hint::black_box;
 
@@ -76,9 +77,53 @@ fn outer_parallel_interpreter(c: &mut Criterion) {
                 black_box(m.array_by_name("B").unwrap()[5]);
             })
         });
+        group.bench_function(format!("parallel_vm_{threads}t"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(&qpar, &[n], &init);
+                ParallelExecutor::new(&qpar, threads).run_vm(&mut m);
+                black_box(m.array_by_name("B").unwrap()[5]);
+            })
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, wavefront_kernels, outer_parallel_interpreter);
+fn wavefront_backends(c: &mut Criterion) {
+    // the dependence-carrying wavefront itself through both sequential
+    // backends — the VM's win on a nest the parallel path can't split
+    let mut group = c.benchmark_group("E8_wavefront_backends");
+    group.sample_size(10);
+    let p = zoo::wavefront();
+    let runner = VmRunner::new(&p);
+    let n: i128 = 200;
+    let init = |_: &str, idx: &[usize]| {
+        if idx[0] == 0 || idx[1] == 0 {
+            1.0
+        } else {
+            0.0
+        }
+    };
+    group.bench_function("interp", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&p, &[n], &init);
+            Interpreter::new(&p).run(&mut m);
+            black_box(m.array_by_name("A").unwrap()[3]);
+        })
+    });
+    group.bench_function("vm", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&p, &[n], &init);
+            runner.run(&mut m);
+            black_box(m.array_by_name("A").unwrap()[3]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    wavefront_kernels,
+    outer_parallel_interpreter,
+    wavefront_backends
+);
 criterion_main!(benches);

@@ -2,10 +2,14 @@
 //! and emits the pipeline telemetry report (`inl-obs`) as a table plus JSON.
 //!
 //! ```sh
-//! cargo run --release -p inl-bench --bin report -- [--obs-json <path>]
+//! cargo run --release -p inl-bench --bin report -- \
+//!     [--obs-json <path>] [--bench-json <path>]
 //! ```
 //!
-//! The JSON lands at `target/inl-obs.json` unless `--obs-json` overrides it.
+//! The telemetry JSON lands at `target/inl-obs.json` unless `--obs-json`
+//! overrides it. The interpreter-vs-VM wall-time comparison additionally
+//! lands in `BENCH_exec.json` (override with `--bench-json`) so the
+//! executor's perf trajectory is tracked across PRs.
 
 use inl_bench::{
     cholesky_variants, kernel_cholesky_kjli, kernel_cholesky_left, kernel_cholesky_right,
@@ -15,7 +19,7 @@ use inl_codegen::generate;
 use inl_core::depend::analyze;
 use inl_core::instance::InstanceLayout;
 use inl_core::transform::Transform;
-use inl_exec::{run_fresh, run_traced, Interpreter, Machine, ParallelExecutor};
+use inl_exec::{run_fresh, run_traced, Interpreter, Machine, ParallelExecutor, VmRunner};
 use inl_ir::zoo;
 use inl_obs::{Json, PipelineReport};
 use std::time::{Duration, Instant};
@@ -34,18 +38,22 @@ fn timed<F: FnMut()>(name: &str, reps: usize, mut f: F) -> Duration {
     Duration::from_nanos(snap.spans[name].mean_ns())
 }
 
-fn obs_json_path() -> std::path::PathBuf {
+fn flag_path(flag: &str, default: &str) -> std::path::PathBuf {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--obs-json" {
-            return args.next().expect("--obs-json needs a path").into();
+        if a == flag {
+            return args
+                .next()
+                .unwrap_or_else(|| panic!("{flag} needs a path"))
+                .into();
         }
     }
-    "target/inl-obs.json".into()
+    default.into()
 }
 
 fn main() {
-    let json_path = obs_json_path();
+    let json_path = flag_path("--obs-json", "target/inl-obs.json");
+    let bench_path = flag_path("--bench-json", "BENCH_exec.json");
     inl_obs::set_enabled(true);
 
     println!("# inl experiment report\n");
@@ -65,25 +73,93 @@ fn main() {
     }
 
     // ------------------------------------------------- E7: variants
-    println!("## E7 — legal Cholesky loop orders (interpreted, N = 100)\n");
+    println!("## E7 — legal Cholesky loop orders (interpreter vs VM, N = 100)\n");
     let (p, variants) = cholesky_variants();
     let layout = InstanceLayout::new(&p);
     let deps = analyze(&p, &layout);
     let n: i128 = 100;
     let reference = run_fresh(&p, &[n], &spd_init);
-    println!("| order | time | verified |");
-    println!("|-------|------|----------|");
+    println!("| order | interp | vm | speedup | verified |");
+    println!("|-------|--------|----|---------|----------|");
     for (label, m) in &variants {
         let result = generate(&p, &layout, &deps, m).expect("codegen");
+        let runner = VmRunner::new(&result.program); // compile once per variant
         let mut machine = Machine::new(&result.program, &[n], &spd_init);
         Interpreter::new(&result.program).run(&mut machine);
-        let ok = reference.same_state(&machine).is_ok();
+        let mut vm_machine = Machine::new(&result.program, &[n], &spd_init);
+        runner.run(&mut vm_machine);
+        // verified = interpreter matches the reference AND the VM matches
+        // the interpreter, bitwise
+        let ok = reference.same_state(&machine).is_ok() && machine.same_state(&vm_machine).is_ok();
         let dt = timed(&format!("report.e7.variant/{label}"), 3, || {
             let mut m2 = Machine::new(&result.program, &[n], &spd_init);
             Interpreter::new(&result.program).run(&mut m2);
         });
-        println!("| {label} | {dt:.2?} | {} |", if ok { "yes" } else { "NO" });
+        let dtv = timed(&format!("report.e7.vm/{label}"), 3, || {
+            let mut m2 = Machine::new(&result.program, &[n], &spd_init);
+            runner.run(&mut m2);
+        });
+        println!(
+            "| {label} | {dt:.2?} | {dtv:.2?} | {:.2}x | {} |",
+            dt.as_secs_f64() / dtv.as_secs_f64(),
+            if ok { "yes" } else { "NO" }
+        );
     }
+
+    // --------------------------------- exec backends: interpreter vs VM
+    // Wall-clock comparison of the two backends per program, recorded in
+    // BENCH_exec.json so the executor's perf trajectory is tracked across
+    // PRs. cholesky_kij N=100 is the acceptance benchmark.
+    println!("\n## exec backends — interpreter vs bytecode VM\n");
+    println!("| program | interp | vm compile | vm run | speedup | bitwise |");
+    println!("|---------|--------|------------|--------|---------|---------|");
+    let mut bench_entries: Vec<Json> = Vec::new();
+    for (name, prog, params) in [
+        ("cholesky_kij", zoo::cholesky_kij(), vec![100i128]),
+        ("matmul", zoo::matmul(), vec![100]),
+        ("wavefront", zoo::wavefront(), vec![300]),
+        ("row_prefix_sums", zoo::row_prefix_sums(), vec![300]),
+    ] {
+        let t0 = Instant::now();
+        let runner = VmRunner::new(&prog);
+        let compile_ns = t0.elapsed();
+        let interp_m = run_fresh(&prog, &params, &spd_init);
+        let mut vm_m = Machine::new(&prog, &params, &spd_init);
+        runner.run(&mut vm_m);
+        let bitwise = interp_m.same_state(&vm_m).is_ok();
+        let dti = timed(&format!("report.backends.interp/{name}"), 3, || {
+            let mut m2 = Machine::new(&prog, &params, &spd_init);
+            Interpreter::new(&prog).run(&mut m2);
+        });
+        let dtv = timed(&format!("report.backends.vm/{name}"), 3, || {
+            let mut m2 = Machine::new(&prog, &params, &spd_init);
+            runner.run(&mut m2);
+        });
+        let speedup = dti.as_secs_f64() / dtv.as_secs_f64();
+        println!(
+            "| {name} N={} | {dti:.2?} | {compile_ns:.2?} | {dtv:.2?} | {speedup:.2}x | {} |",
+            params[0],
+            if bitwise { "yes" } else { "NO" }
+        );
+        let mut e = Json::object();
+        e.insert("name", Json::Str(name.to_string()));
+        e.insert(
+            "params",
+            Json::Array(params.iter().map(|&v| Json::Int(v as u64)).collect()),
+        );
+        e.insert("interp_ns", Json::Int(dti.as_nanos() as u64));
+        e.insert("vm_ns", Json::Int(dtv.as_nanos() as u64));
+        e.insert("vm_compile_ns", Json::Int(compile_ns.as_nanos() as u64));
+        e.insert("speedup", Json::Float(speedup));
+        e.insert("bitwise_identical", Json::Bool(bitwise));
+        bench_entries.push(e);
+    }
+    let mut bench_json = Json::object();
+    bench_json.insert("version", Json::Int(1));
+    bench_json.insert("reps", Json::Int(3));
+    bench_json.insert("programs", Json::Array(bench_entries.clone()));
+    std::fs::write(&bench_path, bench_json.to_pretty_string()).expect("write BENCH_exec.json");
+    println!("\nbackend comparison -> {}", bench_path.display());
 
     // ------------------------------------------------- E7: kernels
     println!("\n## E7 — compiled kernels (N = 768)\n");
@@ -224,6 +300,9 @@ fn main() {
     oh.insert("disabled_ns", Json::Int(off.as_nanos() as u64));
     oh.insert("overhead_pct", Json::Float(overhead_pct));
     report.attach("overhead", oh);
+    let mut vmj = Json::object();
+    vmj.insert("programs", Json::Array(bench_entries));
+    report.attach("vm", vmj);
 
     println!("\n## pipeline telemetry\n");
     println!("{}", report.to_table());

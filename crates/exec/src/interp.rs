@@ -19,6 +19,12 @@ pub struct Interpreter<'p> {
     /// Optional hook invoked before each executed statement instance with
     /// the current loop environment.
     pub on_instance: Option<InstanceHook<'p>>,
+    /// Scratch subscript buffer, reused across every array access (the hot
+    /// path allocates nothing).
+    scratch: Vec<usize>,
+    /// Executed instances not yet flushed to the `exec.instances` counter;
+    /// flushed per loop completion rather than per instance.
+    pending: u64,
 }
 
 impl<'p> Interpreter<'p> {
@@ -27,6 +33,8 @@ impl<'p> Interpreter<'p> {
         Interpreter {
             program,
             on_instance: None,
+            scratch: Vec::new(),
+            pending: 0,
         }
     }
 
@@ -36,6 +44,15 @@ impl<'p> Interpreter<'p> {
         let mut env: Vec<Option<Int>> = vec![None; self.program.loops().count()];
         let root: Vec<Node> = self.program.root().to_vec();
         self.run_nodes(&root, &mut env, m);
+        self.flush();
+    }
+
+    #[inline]
+    fn flush(&mut self) {
+        if self.pending > 0 {
+            inl_obs::counter_add!("exec.instances", self.pending);
+        }
+        self.pending = 0;
     }
 
     fn lookup<'e>(env: &'e [Option<Int>], params: &'e [Int]) -> impl Fn(VarKey) -> Int + 'e {
@@ -69,67 +86,70 @@ impl<'p> Interpreter<'p> {
             i += ld.step;
         }
         env[l.0] = None;
+        // Batch the instance counter: one flush per completed loop (for an
+        // innermost loop, that covers its whole trip) instead of one atomic
+        // add per instance.
+        self.flush();
     }
 
     fn run_stmt(&mut self, s: StmtId, env: &mut [Option<Int>], m: &mut Machine) {
         let sd = Program::stmt_decl(self.program, s);
-        {
-            let look = Self::lookup(env, m.params());
-            for g in &sd.guards {
-                let pass = match g {
-                    Guard::Ge(a) => a.eval(&look).signum() >= 0,
-                    Guard::Eq(a) => a.eval(&look).is_zero(),
-                    Guard::Div(a, k) => {
-                        let v = a.eval(&look);
-                        debug_assert!(v.is_integer());
-                        v.num() % *k == 0
-                    }
-                };
-                if !pass {
-                    return;
+        // One lookup closure per statement instance, shared by guards, the
+        // rhs, and the write subscripts (it used to be rebuilt per access).
+        let look = Self::lookup(env, m.params());
+        for g in &sd.guards {
+            let pass = match g {
+                Guard::Ge(a) => a.eval(&look).signum() >= 0,
+                Guard::Eq(a) => a.eval(&look).is_zero(),
+                Guard::Div(a, k) => {
+                    let v = a.eval(&look);
+                    debug_assert!(v.is_integer());
+                    v.num() % *k == 0
                 }
+            };
+            if !pass {
+                return;
             }
         }
-        inl_obs::counter_add!("exec.instances", 1);
+        self.pending += 1;
         if let Some(hook) = &mut self.on_instance {
             hook(s, env);
         }
-        let value = self.eval(&sd.rhs, env, m);
-        let idx = self.eval_subscripts(&sd.write.idxs, env, m);
-        m.array_mut(sd.write.array).set(&idx, value);
+        let value = self.eval(&sd.rhs, &look, m);
+        self.eval_subscripts_into(&sd.write.idxs, &look);
+        drop(look);
+        m.array_mut(sd.write.array).set(&self.scratch, value);
     }
 
-    fn eval_subscripts(&self, idxs: &[Aff], env: &[Option<Int>], m: &Machine) -> Vec<usize> {
-        let look = Self::lookup(env, m.params());
-        idxs.iter()
-            .map(|a| {
-                let v = a
-                    .eval_int(&look)
-                    .unwrap_or_else(|| panic!("subscript {a:?} not integral"));
-                assert!(v >= 0, "negative subscript {v}");
-                v as usize
-            })
-            .collect()
+    /// Evaluate subscripts into the reused scratch buffer (no allocation).
+    fn eval_subscripts_into(&mut self, idxs: &[Aff], look: &dyn Fn(VarKey) -> Int) {
+        self.scratch.clear();
+        for a in idxs {
+            let v = a
+                .eval_int(look)
+                .unwrap_or_else(|| panic!("subscript {a:?} not integral"));
+            assert!(v >= 0, "negative subscript {v}");
+            self.scratch.push(v as usize);
+        }
     }
 
-    fn eval(&self, e: &Expr, env: &[Option<Int>], m: &Machine) -> f64 {
+    fn eval(&mut self, e: &Expr, look: &dyn Fn(VarKey) -> Int, m: &Machine) -> f64 {
         match e {
             Expr::Const(v) => *v,
             Expr::Index(a) => {
-                let look = Self::lookup(env, m.params());
-                let r = a.eval(&look);
+                let r = a.eval(look);
                 r.num() as f64 / r.den() as f64
             }
             Expr::Read(acc) => {
-                let idx = self.eval_subscripts(&acc.idxs, env, m);
-                m.array(acc.array).get(&idx)
+                self.eval_subscripts_into(&acc.idxs, look);
+                m.array(acc.array).get(&self.scratch)
             }
-            Expr::Neg(x) => -self.eval(x, env, m),
-            Expr::Sqrt(x) => self.eval(x, env, m).sqrt(),
-            Expr::Add(a, b) => self.eval(a, env, m) + self.eval(b, env, m),
-            Expr::Sub(a, b) => self.eval(a, env, m) - self.eval(b, env, m),
-            Expr::Mul(a, b) => self.eval(a, env, m) * self.eval(b, env, m),
-            Expr::Div(a, b) => self.eval(a, env, m) / self.eval(b, env, m),
+            Expr::Neg(x) => -self.eval(x, look, m),
+            Expr::Sqrt(x) => self.eval(x, look, m).sqrt(),
+            Expr::Add(a, b) => self.eval(a, look, m) + self.eval(b, look, m),
+            Expr::Sub(a, b) => self.eval(a, look, m) - self.eval(b, look, m),
+            Expr::Mul(a, b) => self.eval(a, look, m) * self.eval(b, look, m),
+            Expr::Div(a, b) => self.eval(a, look, m) / self.eval(b, look, m),
         }
     }
 }

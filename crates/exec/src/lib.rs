@@ -22,11 +22,13 @@
 //! assert!(m.array_by_name("A").unwrap()[1] > 0.0);
 //! ```
 
+pub mod backend;
 pub mod interp;
 pub mod machine;
 pub mod par;
 pub mod trace;
 
+pub use backend::{run_fresh_with, Backend, VmRunner};
 pub use interp::Interpreter;
 pub use machine::{ArrayData, Machine};
 pub use par::ParallelExecutor;

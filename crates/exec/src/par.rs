@@ -14,9 +14,31 @@
 //! parallel is a data race. Array storage is shared across threads through
 //! raw pointers for exactly this reason.
 
+use crate::backend::{copy_in, copy_out};
 use crate::machine::Machine;
 use inl_ir::{Aff, ArrayId, Expr, Guard, LoopId, Node, Program, VarKey};
 use inl_linalg::Int;
+use inl_vm::bytecode::BoundProgram;
+use inl_vm::{exec_range, SharedBuf, VmState};
+
+/// Per-worker execution context: a reused subscript scratch buffer and the
+/// batched `exec.instances` tally (flushed per loop completion, and once
+/// more when the worker finishes).
+#[derive(Default)]
+struct ExecCtx {
+    scratch: Vec<usize>,
+    pending: u64,
+}
+
+impl ExecCtx {
+    #[inline]
+    fn flush(&mut self) {
+        if self.pending > 0 {
+            inl_obs::counter_add!("exec.instances", self.pending);
+        }
+        self.pending = 0;
+    }
+}
 
 /// Raw shared view of the machine's arrays.
 struct RawArray {
@@ -98,13 +120,126 @@ impl<'p> ParallelExecutor<'p> {
             params: &params,
         };
         let mut env: Vec<Option<Int>> = vec![None; self.program.loops().count()];
+        let mut ctx = ExecCtx::default();
         exec_nodes(
             self.program,
             self.program.root(),
             &mut env,
             &storage,
             self.nthreads,
+            &mut ctx,
         );
+        ctx.flush();
+    }
+
+    /// Execute on the machine through the bytecode VM: compile once, copy
+    /// the arrays into the VM's flat buffer, then run wavefronts by
+    /// dispatching parallel-loop *body* ranges across workers over shared
+    /// storage. Sequential subtrees with no parallel loop below them run
+    /// as straight bytecode.
+    pub fn run_vm(&self, m: &mut Machine) {
+        let _span = inl_obs::span("exec.parallel");
+        let compiled = inl_vm::compile(self.program);
+        let bp = compiled.bind(m.params());
+        let mut flat = copy_in(&bp, m);
+        let buf = SharedBuf::new(&mut flat);
+        let mut st = bp.new_state();
+        vm_nodes(
+            self.program,
+            &bp,
+            self.program.root(),
+            &mut st,
+            &buf,
+            self.nthreads,
+        );
+        copy_out(&bp, &flat, m);
+    }
+}
+
+/// True iff the subtree rooted at `l` contains a parallel loop.
+fn subtree_has_parallel(p: &Program, l: LoopId) -> bool {
+    let ld = p.loop_decl(l);
+    ld.parallel
+        || ld.children.iter().any(|&n| match n {
+            Node::Loop(inner) => subtree_has_parallel(p, inner),
+            Node::Stmt(_) => false,
+        })
+}
+
+fn vm_nodes(
+    p: &Program,
+    bp: &BoundProgram<'_>,
+    nodes: &[Node],
+    st: &mut VmState,
+    buf: &SharedBuf<'_>,
+    nthreads: usize,
+) {
+    for &n in nodes {
+        match n {
+            Node::Loop(l) => vm_loop(p, bp, l, st, buf, nthreads),
+            Node::Stmt(s) => {
+                let (start, end) = bp.cp.stmt_range(s).expect("detached stmt");
+                exec_range(bp, st, buf, start, end);
+            }
+        }
+    }
+}
+
+fn vm_loop(
+    p: &Program,
+    bp: &BoundProgram<'_>,
+    l: LoopId,
+    st: &mut VmState,
+    buf: &SharedBuf<'_>,
+    nthreads: usize,
+) {
+    let meta = *bp.cp.loop_meta(l).expect("detached loop");
+    // No parallelism below: hand the whole loop (header, body, latch) to
+    // the VM's dispatch loop.
+    if nthreads <= 1 || !subtree_has_parallel(p, l) {
+        exec_range(bp, st, buf, meta.header, meta.exit);
+        return;
+    }
+    let ld = p.loop_decl(l);
+    let (lo, hi) = bp.loop_bounds(l, &st.iregs);
+    if lo > hi {
+        return;
+    }
+    let iters: Vec<i64> = {
+        let mut v = Vec::new();
+        let mut i = lo;
+        while i <= hi {
+            v.push(i);
+            i += meta.step;
+        }
+        v
+    };
+    if ld.parallel && iters.len() > 1 {
+        inl_obs::counter_add!("exec.par.wavefronts", 1);
+        let chunk = iters.len().div_ceil(nthreads);
+        std::thread::scope(|scope| {
+            for ch in iters.chunks(chunk) {
+                let mut thread_st = st.clone();
+                scope.spawn(move || {
+                    let busy = std::time::Instant::now();
+                    for &i in ch {
+                        thread_st.iregs[meta.var as usize] = i;
+                        // inner parallel loops run sequentially inside a
+                        // worker, i.e. as plain bytecode
+                        vm_nodes(p, bp, &ld.children, &mut thread_st, buf, 1);
+                    }
+                    inl_obs::counter_add!(
+                        "exec.par.thread_busy_ns",
+                        busy.elapsed().as_nanos() as u64
+                    );
+                });
+            }
+        });
+    } else {
+        for &i in &iters {
+            st.iregs[meta.var as usize] = i;
+            vm_nodes(p, bp, &ld.children, st, buf, nthreads);
+        }
     }
 }
 
@@ -121,11 +256,12 @@ fn exec_nodes(
     env: &mut Vec<Option<Int>>,
     st: &RawStorage<'_>,
     nthreads: usize,
+    ctx: &mut ExecCtx,
 ) {
     for &n in nodes {
         match n {
-            Node::Loop(l) => exec_loop(p, l, env, st, nthreads),
-            Node::Stmt(s) => exec_stmt(p, s, env, st),
+            Node::Loop(l) => exec_loop(p, l, env, st, nthreads, ctx),
+            Node::Stmt(s) => exec_stmt(p, s, env, st, ctx),
         }
     }
 }
@@ -136,6 +272,7 @@ fn exec_loop(
     env: &mut Vec<Option<Int>>,
     st: &RawStorage<'_>,
     nthreads: usize,
+    ctx: &mut ExecCtx,
 ) {
     let ld = p.loop_decl(l);
     let (lo, hi) = {
@@ -162,12 +299,14 @@ fn exec_loop(
                 let mut thread_env = env.clone();
                 scope.spawn(move || {
                     let busy = std::time::Instant::now();
+                    let mut thread_ctx = ExecCtx::default();
                     for &i in ch {
                         thread_env[l.0] = Some(i);
                         // inner parallel loops run sequentially inside a
                         // worker (one level of parallelism is enough here)
-                        exec_nodes(p, &ld.children, &mut thread_env, st, 1);
+                        exec_nodes(p, &ld.children, &mut thread_env, st, 1, &mut thread_ctx);
                     }
+                    thread_ctx.flush();
                     inl_obs::counter_add!(
                         "exec.par.thread_busy_ns",
                         busy.elapsed().as_nanos() as u64
@@ -178,68 +317,80 @@ fn exec_loop(
     } else {
         for &i in &iters {
             env[l.0] = Some(i);
-            exec_nodes(p, &ld.children, env, st, nthreads);
+            exec_nodes(p, &ld.children, env, st, nthreads, ctx);
         }
     }
     env[l.0] = None;
+    // per-loop-completion counter flush (see ExecCtx)
+    ctx.flush();
 }
 
-fn exec_stmt(p: &Program, s: inl_ir::StmtId, env: &[Option<Int>], st: &RawStorage<'_>) {
+fn exec_stmt(
+    p: &Program,
+    s: inl_ir::StmtId,
+    env: &[Option<Int>],
+    st: &RawStorage<'_>,
+    ctx: &mut ExecCtx,
+) {
     let sd = p.stmt_decl(s);
-    {
-        let look = lookup(env, st.params);
-        for g in &sd.guards {
-            let pass = match g {
-                Guard::Ge(a) => a.eval(&look).signum() >= 0,
-                Guard::Eq(a) => a.eval(&look).is_zero(),
-                Guard::Div(a, k) => {
-                    let v = a.eval(&look);
-                    v.is_integer() && v.num() % *k == 0
-                }
-            };
-            if !pass {
-                return;
+    // one lookup closure per statement instance, shared by guards, rhs,
+    // and write subscripts
+    let look = lookup(env, st.params);
+    for g in &sd.guards {
+        let pass = match g {
+            Guard::Ge(a) => a.eval(&look).signum() >= 0,
+            Guard::Eq(a) => a.eval(&look).is_zero(),
+            Guard::Div(a, k) => {
+                let v = a.eval(&look);
+                v.is_integer() && v.num() % *k == 0
             }
+        };
+        if !pass {
+            return;
         }
     }
-    inl_obs::counter_add!("exec.instances", 1);
-    let value = eval(p, &sd.rhs, env, st);
-    let idx = eval_subscripts(&sd.write.idxs, env, st);
-    st.write(sd.write.array, &idx, value);
+    ctx.pending += 1;
+    let value = eval(p, &sd.rhs, &look, st, ctx);
+    eval_subscripts_into(&sd.write.idxs, &look, &mut ctx.scratch);
+    st.write(sd.write.array, &ctx.scratch, value);
 }
 
-fn eval_subscripts(idxs: &[Aff], env: &[Option<Int>], st: &RawStorage<'_>) -> Vec<usize> {
-    let look = lookup(env, st.params);
-    idxs.iter()
-        .map(|a| {
-            let v = a
-                .eval_int(&look)
-                .unwrap_or_else(|| panic!("subscript {a:?} not integral"));
-            assert!(v >= 0, "negative subscript {v}");
-            v as usize
-        })
-        .collect()
+/// Evaluate subscripts into a reused scratch buffer (no allocation).
+fn eval_subscripts_into(idxs: &[Aff], look: &dyn Fn(VarKey) -> Int, scratch: &mut Vec<usize>) {
+    scratch.clear();
+    for a in idxs {
+        let v = a
+            .eval_int(look)
+            .unwrap_or_else(|| panic!("subscript {a:?} not integral"));
+        assert!(v >= 0, "negative subscript {v}");
+        scratch.push(v as usize);
+    }
 }
 
 #[allow(clippy::only_used_in_recursion)] // keep the program in scope for future expression forms
-fn eval(p: &Program, e: &Expr, env: &[Option<Int>], st: &RawStorage<'_>) -> f64 {
+fn eval(
+    p: &Program,
+    e: &Expr,
+    look: &dyn Fn(VarKey) -> Int,
+    st: &RawStorage<'_>,
+    ctx: &mut ExecCtx,
+) -> f64 {
     match e {
         Expr::Const(v) => *v,
         Expr::Index(a) => {
-            let look = lookup(env, st.params);
-            let r = a.eval(&look);
+            let r = a.eval(look);
             r.num() as f64 / r.den() as f64
         }
         Expr::Read(acc) => {
-            let idx = eval_subscripts(&acc.idxs, env, st);
-            st.read(acc.array, &idx)
+            eval_subscripts_into(&acc.idxs, look, &mut ctx.scratch);
+            st.read(acc.array, &ctx.scratch)
         }
-        Expr::Neg(x) => -eval(p, x, env, st),
-        Expr::Sqrt(x) => eval(p, x, env, st).sqrt(),
-        Expr::Add(a, b) => eval(p, a, env, st) + eval(p, b, env, st),
-        Expr::Sub(a, b) => eval(p, a, env, st) - eval(p, b, env, st),
-        Expr::Mul(a, b) => eval(p, a, env, st) * eval(p, b, env, st),
-        Expr::Div(a, b) => eval(p, a, env, st) / eval(p, b, env, st),
+        Expr::Neg(x) => -eval(p, x, look, st, ctx),
+        Expr::Sqrt(x) => eval(p, x, look, st, ctx).sqrt(),
+        Expr::Add(a, b) => eval(p, a, look, st, ctx) + eval(p, b, look, st, ctx),
+        Expr::Sub(a, b) => eval(p, a, look, st, ctx) - eval(p, b, look, st, ctx),
+        Expr::Mul(a, b) => eval(p, a, look, st, ctx) * eval(p, b, look, st, ctx),
+        Expr::Div(a, b) => eval(p, a, look, st, ctx) / eval(p, b, look, st, ctx),
     }
 }
 
@@ -306,6 +457,38 @@ mod tests {
         Interpreter::new(&p).run(&mut seq);
         let mut par = Machine::new(&p, &[8], &init);
         ParallelExecutor::new(&p, 4).run(&mut par);
+        seq.same_state(&par).expect("identical");
+    }
+
+    #[test]
+    fn vm_path_matches_interpreter() {
+        let p = parallel_init_program();
+        let mut seq = Machine::new(&p, &[17], &|_, _| -1.0);
+        Interpreter::new(&p).run(&mut seq);
+        for threads in [1, 2, 4] {
+            let mut par = Machine::new(&p, &[17], &|_, _| -1.0);
+            ParallelExecutor::new(&p, threads).run_vm(&mut par);
+            seq.same_state(&par)
+                .unwrap_or_else(|e| panic!("vm, {threads} threads: {e}"));
+        }
+    }
+
+    #[test]
+    fn vm_path_sequential_fallback() {
+        // wavefront is NOT parallel: the VM path must run it as straight
+        // bytecode and agree bitwise
+        let p = zoo::wavefront();
+        let init = |_: &str, idx: &[usize]| {
+            if idx[0] == 0 || idx[1] == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let mut seq = Machine::new(&p, &[8], &init);
+        Interpreter::new(&p).run(&mut seq);
+        let mut par = Machine::new(&p, &[8], &init);
+        ParallelExecutor::new(&p, 4).run_vm(&mut par);
         seq.same_state(&par).expect("identical");
     }
 

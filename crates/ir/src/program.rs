@@ -212,6 +212,22 @@ impl Program {
         self.params.len()
     }
 
+    /// Number of loop declarations (compiler-facing: sizes the loop-variable
+    /// register file; includes loops detached from the tree by surgery).
+    pub fn nloops(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Number of statement declarations.
+    pub fn nstmts(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Number of array declarations.
+    pub fn narrays(&self) -> usize {
+        self.arrays.len()
+    }
+
     /// The loops surrounding a statement, outside-in.
     pub fn loops_surrounding(&self, s: StmtId) -> Vec<LoopId> {
         let mut path = Vec::new();

@@ -1,0 +1,635 @@
+//! The bytecode format: affine rows, instructions, and the two program
+//! stages (symbolic [`CompiledProgram`], parameter-bound [`BoundProgram`]).
+//!
+//! # Register files
+//!
+//! The VM has two register files:
+//!
+//! * **integer registers** — one `i64` per program variable, parameters
+//!   first (`0 .. nparams`), then loop variables (`nparams + LoopId.0`).
+//!   Parameters are loaded once at bind time and never change; loop
+//!   registers are driven by [`Instr::Loop`]/[`Instr::Next`].
+//! * **value registers** — a small `f64` file holding expression
+//!   temporaries, allocated stack-wise per statement at compile time.
+//!
+//! # Affine rows
+//!
+//! Every affine expression of the IR (bounds, guards, subscripts, index
+//! values) compiles to a [`Row`]: a sparse list of `(integer register,
+//! coefficient)` terms, a constant, and a positive divisor. Evaluating a
+//! row is one integer dot product — no rationals, no hashing, no
+//! allocation.
+//!
+//! # Array storage
+//!
+//! All arrays live in **one flat `f64` buffer**; binding assigns each
+//! array a base offset and row-major strides. An access whose subscripts
+//! all have divisor 1 collapses into a *single* row computing the flat
+//! buffer offset directly (strides and the array base folded into the
+//! coefficients); accesses with divisor subscripts (non-unimodular code
+//! generation) keep per-dimension rows with exact-divisibility checks.
+
+use inl_ir::{LoopId, Program, StmtId};
+use inl_linalg::Int;
+
+/// Index of an `f64` value register.
+pub type Reg = u16;
+/// Index of an `i64` integer register (parameters then loop variables).
+pub type IReg = u16;
+/// Index into a program's row arena.
+pub type RowId = u32;
+/// Instruction address.
+pub type Pc = u32;
+
+/// A contiguous run of rows in the arena: `(start, len)`. Loop bounds are
+/// `max`/`min` over such a run (one row per bound term).
+pub type RowRange = (RowId, u16);
+
+/// A sparse affine row `(Σ cᵢ·reg_i + konst) / div` over the integer
+/// register file, with `div ≥ 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// `(integer register, coefficient)` terms.
+    pub terms: Vec<(IReg, i64)>,
+    /// Constant term (numerator).
+    pub konst: i64,
+    /// Positive divisor.
+    pub div: i64,
+}
+
+impl Row {
+    /// Numerator value at the current register file (no division applied).
+    #[inline]
+    pub fn num(&self, iregs: &[i64]) -> i64 {
+        let mut acc = self.konst;
+        for &(r, c) in &self.terms {
+            acc += c * iregs[r as usize];
+        }
+        acc
+    }
+}
+
+/// Mathematical floor of `n / d` for `d > 0`.
+#[inline]
+pub fn floor_div(n: i64, d: i64) -> i64 {
+    n.div_euclid(d)
+}
+
+/// Mathematical ceiling of `n / d` for `d > 0`.
+#[inline]
+pub fn ceil_div(n: i64, d: i64) -> i64 {
+    -(-n).div_euclid(d)
+}
+
+/// A guard's comparison kind (the row's divisor is always 1 — the IR
+/// validator rejects guards with divisors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuardKind {
+    /// `row ≥ 0`.
+    Ge,
+    /// `row = 0`.
+    Eq,
+    /// `k` divides `row`.
+    Div(i64),
+}
+
+/// One VM instruction. The stream is flat; control flow is explicit
+/// through the `exit`/`back`/`skip` addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// Loop header: evaluate the lower bound (max of ceilings over `lo`)
+    /// into integer register `var` and the upper bound (min of floors over
+    /// `hi`) into the loop's bound slot; jump to `exit` when the range is
+    /// empty.
+    Loop {
+        /// Loop-variable register.
+        var: IReg,
+        /// Lower-bound rows.
+        lo: RowRange,
+        /// Upper-bound rows.
+        hi: RowRange,
+        /// Step (≥ 1).
+        step: i64,
+        /// First instruction after the loop.
+        exit: Pc,
+    },
+    /// Loop latch: `var += step`; jump to `back` (the first body
+    /// instruction) while `var` has not passed the stored upper bound.
+    Next {
+        /// Loop-variable register.
+        var: IReg,
+        /// Step (≥ 1).
+        step: i64,
+        /// First body instruction.
+        back: Pc,
+    },
+    /// Statement guard: jump to `skip` (past the statement) unless the
+    /// condition holds.
+    Guard {
+        /// Guard expression row (divisor 1).
+        row: RowId,
+        /// Comparison kind.
+        kind: GuardKind,
+        /// First instruction after the statement.
+        skip: Pc,
+    },
+    /// Load an `f64` literal (stored as bits for `Eq`/`Hash`).
+    Const {
+        /// Destination value register.
+        dst: Reg,
+        /// `f64::to_bits` of the literal.
+        bits: u64,
+    },
+    /// The value of an affine row as `f64` (`Expr::Index`): exact-rational
+    /// semantics matching the interpreter.
+    Idx {
+        /// Destination value register.
+        dst: Reg,
+        /// The affine row (may carry a divisor).
+        row: RowId,
+    },
+    /// Array read through a bound access into a value register.
+    Load {
+        /// Destination value register.
+        dst: Reg,
+        /// Index into the bound access table.
+        acc: u32,
+    },
+    /// Negation.
+    Neg {
+        /// Destination (also source) value register.
+        dst: Reg,
+        /// Source value register.
+        src: Reg,
+    },
+    /// Square root.
+    Sqrt {
+        /// Destination (also source) value register.
+        dst: Reg,
+        /// Source value register.
+        src: Reg,
+    },
+    /// Addition.
+    Add {
+        /// Destination value register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Subtraction.
+    Sub {
+        /// Destination value register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Multiplication.
+    Mul {
+        /// Destination value register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Division.
+    Div {
+        /// Destination value register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Array write; ends a statement instance (this is where
+    /// `vm.instances` counts).
+    Store {
+        /// Source value register.
+        src: Reg,
+        /// Index into the bound access table.
+        acc: u32,
+    },
+}
+
+/// A symbolic (pre-binding) array access: per-dimension subscript rows.
+#[derive(Clone, Debug)]
+pub struct AccessDesc {
+    /// The array (by `ArrayId.0`).
+    pub array: u32,
+    /// One row per dimension, in declaration order.
+    pub dims: Vec<RowId>,
+}
+
+/// A symbolic array declaration: extents as rows over the parameter
+/// registers only.
+#[derive(Clone, Debug)]
+pub struct ArrayDesc {
+    /// Source-level name.
+    pub name: String,
+    /// Extent rows (divisor 1, parameters only).
+    pub dims: Vec<RowId>,
+}
+
+/// Compile-time metadata for one loop: where its instructions live, so
+/// drivers (the parallel executor) can run bodies directly.
+#[derive(Clone, Copy, Debug)]
+pub struct LoopMeta {
+    /// The loop-variable integer register.
+    pub var: IReg,
+    /// Step (≥ 1).
+    pub step: i64,
+    /// Address of the [`Instr::Loop`] header.
+    pub header: Pc,
+    /// Body instruction range `[start, end)` (excludes header and latch).
+    pub body: (Pc, Pc),
+    /// First instruction after the loop (also the header's `exit`).
+    pub exit: Pc,
+    /// Lower-bound rows.
+    pub lo: RowRange,
+    /// Upper-bound rows.
+    pub hi: RowRange,
+}
+
+/// A program compiled to bytecode, still symbolic in the parameters.
+/// Bind parameters with [`CompiledProgram::bind`] to make it runnable.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// Source program name.
+    pub name: String,
+    /// Number of parameters (integer registers `0 .. nparams`).
+    pub nparams: usize,
+    /// Number of loop variables (integer registers `nparams ..`).
+    pub nloops: usize,
+    /// Size of the `f64` value register file.
+    pub nfregs: usize,
+    /// The instruction stream.
+    pub code: Vec<Instr>,
+    /// Row arena.
+    pub rows: Vec<Row>,
+    /// Symbolic accesses (lowered to [`FlatAcc`] at bind time).
+    pub accesses: Vec<AccessDesc>,
+    /// Array declarations.
+    pub arrays: Vec<ArrayDesc>,
+    /// Per-loop metadata (`None` for loops detached from the tree).
+    pub loops: Vec<Option<LoopMeta>>,
+    /// Per-statement instruction ranges `[start, end)`.
+    pub stmts: Vec<Option<(Pc, Pc)>>,
+}
+
+/// One array's slice of the flat execution buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayLayout {
+    /// Source-level name.
+    pub name: String,
+    /// Concrete extents.
+    pub dims: Vec<usize>,
+    /// Offset of the array's first cell in the flat buffer.
+    pub base: usize,
+    /// Total cell count (`Π dims`).
+    pub len: usize,
+}
+
+/// One dimension of a slow-path (divisor-carrying) access.
+#[derive(Clone, Debug)]
+pub struct DimAcc {
+    /// Subscript row.
+    pub row: RowId,
+    /// Row-major stride of this dimension.
+    pub stride: usize,
+    /// Extent (for the bounds check).
+    pub extent: usize,
+}
+
+/// A parameter-bound array access.
+#[derive(Clone, Debug)]
+pub enum FlatAcc {
+    /// Fast path: all subscripts had divisor 1, so strides and the array
+    /// base fold into one row computing the flat offset directly. The
+    /// offset is checked against the array's buffer segment.
+    Flat {
+        /// Merged `(integer register, coefficient)` terms.
+        terms: Vec<(IReg, i64)>,
+        /// Constant term (includes the array base).
+        konst: i64,
+        /// Segment start (the array base).
+        start: usize,
+        /// Segment end (exclusive).
+        end: usize,
+    },
+    /// Slow path: per-dimension rows with exact-divisibility and
+    /// per-dimension bounds checks (mirrors the interpreter).
+    Dims {
+        /// Per-dimension accesses.
+        dims: Vec<DimAcc>,
+        /// Array base offset.
+        base: usize,
+    },
+}
+
+/// A [`CompiledProgram`] with parameters bound: array layout computed,
+/// accesses lowered, ready to execute on a flat `f64` buffer.
+#[derive(Clone, Debug)]
+pub struct BoundProgram<'c> {
+    /// The underlying bytecode.
+    pub cp: &'c CompiledProgram,
+    /// Bound parameter values.
+    pub params: Vec<i64>,
+    /// Per-array buffer layout, in `ArrayId` order.
+    pub arrays: Vec<ArrayLayout>,
+    /// Lowered accesses, parallel to `cp.accesses`.
+    pub accs: Vec<FlatAcc>,
+    /// Total flat buffer length (`Σ arrays[i].len`).
+    pub total_len: usize,
+}
+
+impl CompiledProgram {
+    /// Bind parameter values: compute array layouts and lower every access
+    /// to its flat form.
+    ///
+    /// # Panics
+    /// On parameter arity mismatch, non-positive extents, or values that
+    /// do not fit the VM's `i64` registers.
+    pub fn bind(&self, params: &[Int]) -> BoundProgram<'_> {
+        assert_eq!(params.len(), self.nparams, "parameter arity mismatch");
+        let params: Vec<i64> = params
+            .iter()
+            .map(|&p| i64::try_from(p).expect("parameter out of i64 range"))
+            .collect();
+        // Extent rows reference parameter registers only (enforced at
+        // compile time), so a params-prefixed scratch file suffices.
+        let mut scratch = params.clone();
+        scratch.resize(self.nparams + self.nloops, 0);
+        let mut arrays = Vec::with_capacity(self.arrays.len());
+        let mut base = 0usize;
+        for a in &self.arrays {
+            let dims: Vec<usize> = a
+                .dims
+                .iter()
+                .map(|&r| {
+                    let row = &self.rows[r as usize];
+                    debug_assert_eq!(row.div, 1, "array extent with divisor");
+                    let ext = row.num(&scratch);
+                    assert!(ext > 0, "array {} has non-positive extent {ext}", a.name);
+                    ext as usize
+                })
+                .collect();
+            let len = dims.iter().product();
+            arrays.push(ArrayLayout {
+                name: a.name.clone(),
+                dims,
+                base,
+                len,
+            });
+            base += len;
+        }
+        let accs = self
+            .accesses
+            .iter()
+            .map(|acc| self.lower_access(acc, &arrays))
+            .collect();
+        BoundProgram {
+            cp: self,
+            params,
+            arrays,
+            accs,
+            total_len: base,
+        }
+    }
+
+    fn lower_access(&self, acc: &AccessDesc, arrays: &[ArrayLayout]) -> FlatAcc {
+        let layout = &arrays[acc.array as usize];
+        // row-major strides: stride_d = Π extents after d
+        let mut strides = vec![1usize; layout.dims.len()];
+        for d in (0..layout.dims.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * layout.dims[d + 1];
+        }
+        let fast = acc.dims.iter().all(|&r| self.rows[r as usize].div == 1);
+        if fast {
+            // merge stride_d · row_d into one flat-offset row
+            let mut terms: Vec<(IReg, i64)> = Vec::new();
+            let mut konst = layout.base as i64;
+            for (&r, &stride) in acc.dims.iter().zip(&strides) {
+                let row = &self.rows[r as usize];
+                konst += row.konst * stride as i64;
+                for &(reg, c) in &row.terms {
+                    match terms.iter_mut().find(|(tr, _)| *tr == reg) {
+                        Some((_, tc)) => *tc += c * stride as i64,
+                        None => terms.push((reg, c * stride as i64)),
+                    }
+                }
+            }
+            terms.retain(|&(_, c)| c != 0);
+            FlatAcc::Flat {
+                terms,
+                konst,
+                start: layout.base,
+                end: layout.base + layout.len,
+            }
+        } else {
+            FlatAcc::Dims {
+                dims: acc
+                    .dims
+                    .iter()
+                    .zip(&strides)
+                    .zip(&layout.dims)
+                    .map(|((&row, &stride), &extent)| DimAcc {
+                        row,
+                        stride,
+                        extent,
+                    })
+                    .collect(),
+                base: layout.base,
+            }
+        }
+    }
+
+    /// Metadata for a loop, if it is attached to the program tree.
+    pub fn loop_meta(&self, l: LoopId) -> Option<&LoopMeta> {
+        self.loops[l.0].as_ref()
+    }
+
+    /// Instruction range of a statement.
+    pub fn stmt_range(&self, s: StmtId) -> Option<(Pc, Pc)> {
+        self.stmts[s.0]
+    }
+
+    /// Total instruction count.
+    pub fn ninstrs(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Human-readable disassembly (one instruction per line), used in docs
+    /// and tests. Register names resolve through the source program.
+    pub fn disasm(&self, p: &Program) -> String {
+        use std::fmt::Write;
+        let ireg_name = |r: IReg| -> String {
+            let r = r as usize;
+            if r < self.nparams {
+                p.params()[r].clone()
+            } else {
+                p.loop_decl(LoopId(r - self.nparams)).name.clone()
+            }
+        };
+        let row_str = |id: RowId| -> String {
+            let row = &self.rows[id as usize];
+            let mut s = String::new();
+            for (i, &(r, c)) in row.terms.iter().enumerate() {
+                let name = ireg_name(r);
+                if i == 0 {
+                    match c {
+                        1 => write!(s, "{name}").unwrap(),
+                        -1 => write!(s, "-{name}").unwrap(),
+                        _ => write!(s, "{c}*{name}").unwrap(),
+                    }
+                } else if c >= 0 {
+                    write!(
+                        s,
+                        " + {}",
+                        if c == 1 { name } else { format!("{c}*{name}") }
+                    )
+                    .unwrap();
+                } else {
+                    let c = -c;
+                    write!(
+                        s,
+                        " - {}",
+                        if c == 1 { name } else { format!("{c}*{name}") }
+                    )
+                    .unwrap();
+                }
+            }
+            if row.terms.is_empty() {
+                write!(s, "{}", row.konst).unwrap();
+            } else if row.konst > 0 {
+                write!(s, " + {}", row.konst).unwrap();
+            } else if row.konst < 0 {
+                write!(s, " - {}", -row.konst).unwrap();
+            }
+            if row.div != 1 {
+                s = format!("({s})/{}", row.div);
+            }
+            s
+        };
+        let range_str = |(start, len): RowRange| -> String {
+            (start..start + len as u32)
+                .map(row_str)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let acc_str = |a: u32| -> String {
+            let acc = &self.accesses[a as usize];
+            format!(
+                "{}[{}]",
+                self.arrays[acc.array as usize].name,
+                acc.dims
+                    .iter()
+                    .map(|&r| row_str(r))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        let mut out = String::new();
+        for (pc, i) in self.code.iter().enumerate() {
+            let line = match *i {
+                Instr::Loop {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    exit,
+                } => format!(
+                    "loop {} = max({}) .. min({}) step {step} exit @{exit}",
+                    ireg_name(var),
+                    range_str(lo),
+                    range_str(hi)
+                ),
+                Instr::Next { var, step, back } => {
+                    format!("next {} += {step} back @{back}", ireg_name(var))
+                }
+                Instr::Guard { row, kind, skip } => {
+                    let cond = match kind {
+                        GuardKind::Ge => format!("{} >= 0", row_str(row)),
+                        GuardKind::Eq => format!("{} == 0", row_str(row)),
+                        GuardKind::Div(k) => format!("{k} | {}", row_str(row)),
+                    };
+                    format!("guard {cond} else @{skip}")
+                }
+                Instr::Const { dst, bits } => format!("r{dst} = {}", f64::from_bits(bits)),
+                Instr::Idx { dst, row } => format!("r{dst} = idx({})", row_str(row)),
+                Instr::Load { dst, acc } => format!("r{dst} = load {}", acc_str(acc)),
+                Instr::Neg { dst, src } => format!("r{dst} = -r{src}"),
+                Instr::Sqrt { dst, src } => format!("r{dst} = sqrt(r{src})"),
+                Instr::Add { dst, a, b } => format!("r{dst} = r{a} + r{b}"),
+                Instr::Sub { dst, a, b } => format!("r{dst} = r{a} - r{b}"),
+                Instr::Mul { dst, a, b } => format!("r{dst} = r{a} * r{b}"),
+                Instr::Div { dst, a, b } => format!("r{dst} = r{a} / r{b}"),
+                Instr::Store { src, acc } => format!("store r{src} -> {}", acc_str(acc)),
+            };
+            out.push_str(&format!("{pc:4}: {line}\n"));
+        }
+        out
+    }
+}
+
+impl BoundProgram<'_> {
+    /// Evaluate a loop's bounds at the current register file:
+    /// `(max of ceilings, min of floors)`.
+    pub fn loop_bounds(&self, l: LoopId, iregs: &[i64]) -> (i64, i64) {
+        let meta = self.cp.loop_meta(l).expect("detached loop");
+        (
+            eval_lo(&self.cp.rows, meta.lo, iregs),
+            eval_hi(&self.cp.rows, meta.hi, iregs),
+        )
+    }
+}
+
+/// Lower bound of a row range: max of ceilings.
+#[inline]
+pub(crate) fn eval_lo(rows: &[Row], (start, len): RowRange, iregs: &[i64]) -> i64 {
+    let mut best = i64::MIN;
+    for row in &rows[start as usize..start as usize + len as usize] {
+        let v = ceil_div(row.num(iregs), row.div);
+        best = best.max(v);
+    }
+    best
+}
+
+/// Upper bound of a row range: min of floors.
+#[inline]
+pub(crate) fn eval_hi(rows: &[Row], (start, len): RowRange, iregs: &[i64]) -> i64 {
+    let mut best = i64::MAX;
+    for row in &rows[start as usize..start as usize + len as usize] {
+        let v = floor_div(row.num(iregs), row.div);
+        best = best.min(v);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_ceil_division() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(8, 2), 4);
+        assert_eq!(floor_div(-8, 2), -4);
+    }
+
+    #[test]
+    fn row_eval() {
+        let row = Row {
+            terms: vec![(0, 2), (2, -1)],
+            konst: 5,
+            div: 1,
+        };
+        assert_eq!(row.num(&[3, 99, 4]), 2 * 3 - 4 + 5);
+    }
+}

@@ -1,0 +1,228 @@
+//! # inl-vm
+//!
+//! A compiling bytecode VM for executing transformed loop nests — the
+//! framework's second execution backend, next to the tree-walking
+//! interpreter in `inl-exec`.
+//!
+//! The interpreter pays, per statement instance: a closure-based variable
+//! lookup, exact-`Rational` affine evaluation, and a heap-allocated
+//! `Vec<usize>` per array access. That overhead drowns out the locality
+//! effects the paper's E7 experiment exists to measure. `inl-vm` pre-lowers
+//! all of it at compile time:
+//!
+//! * affine bounds, guards, and subscripts → integer **coefficient rows**
+//!   over a flat register file (parameters + loop variables);
+//! * multi-dimensional array accesses → a precomputed **flat-offset row**
+//!   (base + strides folded into the coefficients) into a single flat
+//!   `f64` buffer;
+//! * expressions → stack-free **three-address code** over `f64` value
+//!   registers;
+//! * loops → `Loop`/`Next` header/latch instructions with explicit jump
+//!   targets.
+//!
+//! The per-instance hot path is integer multiply-adds and indexed loads —
+//! zero allocation, zero hashing.
+//!
+//! ## Two-stage lowering
+//!
+//! [`compile`] produces a [`CompiledProgram`] that is still *symbolic* in
+//! the program parameters (array extents are affine in `N`).
+//! [`CompiledProgram::bind`] fixes parameter values: it lays the arrays
+//! out in one flat buffer (row-major, `ArrayId` order — the same order
+//! the `inl-exec` `Machine` allocates them) and lowers every access to a
+//! [`bytecode::FlatAcc`]. [`run`] then executes against a `&mut [f64]`.
+//!
+//! ```
+//! use inl_ir::zoo;
+//!
+//! let p = zoo::simple_cholesky();
+//! let cp = inl_vm::compile(&p);
+//! let bp = cp.bind(&[2]);           // N = 2
+//! let mut buf = vec![16.0; bp.total_len];
+//! inl_vm::run(&bp, &mut buf);
+//! let a = &bp.arrays[0];            // A, extent N+1
+//! assert_eq!(buf[a.base + 1], 4.0); // sqrt(16)
+//! assert_eq!(buf[a.base + 2], 2.0); // sqrt(16/4)
+//! ```
+//!
+//! ## Equivalence discipline
+//!
+//! The VM is **bitwise-identical** to the interpreter by construction:
+//! the same f64 operations in the same order, guards as integer sign
+//! tests on the same numerators, and [`bytecode::Instr::Idx`] replicating
+//! the interpreter's reduce-then-divide rational semantics. The
+//! differential tests in the workspace root assert this over every zoo
+//! program and randomly transformed variants.
+//!
+//! ## Parallel execution
+//!
+//! [`exec_range`] runs any `[start, end)` slice of the instruction
+//! stream, so a driver can evaluate a parallel loop's bounds via
+//! [`bytecode::BoundProgram::loop_bounds`], set the loop-variable
+//! register in a cloned [`VmState`], and execute the loop *body* range
+//! per iteration against a [`SharedBuf`] shared across workers. The
+//! `inl-exec` parallel wavefront executor does exactly this.
+//!
+//! ## Telemetry
+//!
+//! Compilation runs under an `inl-obs` `vm.compile` span; execution
+//! batches `vm.instrs` / `vm.instances` counters locally and flushes once
+//! per [`exec_range`] call.
+
+pub mod bytecode;
+pub mod compile;
+pub mod run;
+
+pub use bytecode::{BoundProgram, CompiledProgram, GuardKind, Instr, Row};
+pub use compile::compile;
+pub use run::{exec_range, run, SharedBuf, VmState};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inl_ir::{zoo, Aff, Expr, Guard, ProgramBuilder};
+
+    /// Fill a fresh flat buffer with `init(array_name, multi_index)`,
+    /// mirroring `Machine::new`'s initialisation contract.
+    fn init_buf(bp: &BoundProgram, init: &dyn Fn(&str, &[usize]) -> f64) -> Vec<f64> {
+        let mut buf = vec![0.0; bp.total_len];
+        for a in &bp.arrays {
+            let mut idx = vec![0usize; a.dims.len()];
+            for i in 0..a.len {
+                let mut rem = i;
+                for (d, &ext) in a.dims.iter().enumerate().rev() {
+                    idx[d] = rem % ext;
+                    rem /= ext;
+                }
+                buf[a.base + i] = init(&a.name, &idx);
+            }
+        }
+        buf
+    }
+
+    /// Read one cell of `name` at a multi-index.
+    fn cell(bp: &BoundProgram, buf: &[f64], name: &str, idx: &[usize]) -> f64 {
+        let a = bp.arrays.iter().find(|a| a.name == name).unwrap();
+        assert_eq!(idx.len(), a.dims.len());
+        let mut off = 0;
+        for (d, &i) in idx.iter().enumerate() {
+            assert!(i < a.dims[d]);
+            off = off * a.dims[d] + i;
+        }
+        buf[a.base + off]
+    }
+
+    #[test]
+    fn simple_cholesky_computes() {
+        let p = zoo::simple_cholesky();
+        let cp = compile(&p);
+        // N = 1: A(1) = sqrt(A(1)); no inner iterations
+        let bp = cp.bind(&[1]);
+        let mut buf = init_buf(&bp, &|_, _| 16.0);
+        run(&bp, &mut buf);
+        assert_eq!(cell(&bp, &buf, "A", &[1]), 4.0);
+        // N = 2: A(1)=sqrt(A(1)); A(2)=A(2)/A(1); A(2)=sqrt(A(2))
+        let bp = cp.bind(&[2]);
+        let mut buf = init_buf(&bp, &|_, _| 16.0);
+        run(&bp, &mut buf);
+        assert_eq!(cell(&bp, &buf, "A", &[1]), 4.0);
+        assert_eq!(cell(&bp, &buf, "A", &[2]), 2.0); // sqrt(16/4)
+    }
+
+    #[test]
+    fn wavefront_values() {
+        let p = zoo::wavefront();
+        let cp = compile(&p);
+        let bp = cp.bind(&[3]);
+        let mut buf = init_buf(&bp, &|_, idx| {
+            if idx[0] == 0 || idx[1] == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        run(&bp, &mut buf);
+        assert_eq!(cell(&bp, &buf, "A", &[1, 1]), 2.0);
+        assert_eq!(cell(&bp, &buf, "A", &[2, 1]), 3.0);
+        assert_eq!(cell(&bp, &buf, "A", &[2, 2]), 6.0);
+        assert_eq!(cell(&bp, &buf, "A", &[3, 3]), 20.0);
+    }
+
+    #[test]
+    fn guards_filter_instances() {
+        // do I = 1..N: if (I mod 2 == 0) X(I) = 1
+        let mut b = ProgramBuilder::new("guarded");
+        let n = b.param("N");
+        let x = b.array("X", &[Aff::param(n) + Aff::konst(1)]);
+        b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+            let i = b.loop_var("I");
+            b.stmt_guarded(
+                "S",
+                x,
+                vec![Aff::var(i)],
+                Expr::konst(1.0),
+                vec![Guard::Div(Aff::var(i), 2)],
+            );
+        });
+        let p = b.finish();
+        let cp = compile(&p);
+        let bp = cp.bind(&[5]);
+        let mut buf = init_buf(&bp, &|_, _| 0.0);
+        run(&bp, &mut buf);
+        let x = &bp.arrays[0];
+        assert_eq!(
+            &buf[x.base..x.base + x.len],
+            &[0.0, 0.0, 1.0, 0.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn empty_ranges_execute_nothing() {
+        let p = zoo::perfect_nest();
+        let cp = compile(&p);
+        // N = 1: inner loop J = 2..1 is empty
+        let bp = cp.bind(&[1]);
+        let mut buf = init_buf(&bp, &|_, _| 7.0);
+        run(&bp, &mut buf);
+        let a = &bp.arrays[0];
+        assert_eq!(&buf[a.base..a.base + a.len], &[7.0, 7.0]);
+    }
+
+    #[test]
+    fn instance_counters_match_instance_count() {
+        inl_obs::reset();
+        inl_obs::set_enabled(true);
+        let p = zoo::simple_cholesky();
+        let cp = compile(&p);
+        let bp = cp.bind(&[4]);
+        let mut buf = init_buf(&bp, &|_, _| 9.0);
+        run(&bp, &mut buf);
+        // N=4: S1 runs 4 times; S2 runs 3+2+1 = 6 times
+        assert_eq!(inl_obs::counter_value("vm.instances"), 10);
+        assert!(inl_obs::counter_value("vm.instrs") >= 10);
+        inl_obs::set_enabled(false);
+    }
+
+    #[test]
+    fn disasm_mentions_structure() {
+        let p = zoo::simple_cholesky();
+        let cp = compile(&p);
+        let d = cp.disasm(&p);
+        assert!(d.contains("loop I"));
+        assert!(d.contains("loop J"));
+        assert!(d.contains("store"));
+        assert!(d.contains("sqrt"));
+    }
+
+    #[test]
+    fn flat_accesses_merge_strides() {
+        // Every zoo access has divisor-1 subscripts → all lower to Flat.
+        let p = zoo::matmul();
+        let cp = compile(&p);
+        let bp = cp.bind(&[4]);
+        assert!(bp
+            .accs
+            .iter()
+            .all(|a| matches!(a, bytecode::FlatAcc::Flat { .. })));
+    }
+}

@@ -11,6 +11,7 @@
 //!   completion
 //! * [`codegen`] — code generation from transformation matrices
 //! * [`exec`] — interpreter, traces, equivalence checks, parallel executor
+//! * [`vm`] — compiling bytecode VM, the fast second execution backend
 //! * [`obs`] — pipeline observability: spans, counters, histograms, reports
 
 pub use inl_codegen as codegen;
@@ -20,6 +21,7 @@ pub use inl_ir as ir;
 pub use inl_linalg as linalg;
 pub use inl_obs as obs;
 pub use inl_poly as poly;
+pub use inl_vm as vm;
 
 /// Commonly used items, for `use inl::prelude::*`.
 pub mod prelude {

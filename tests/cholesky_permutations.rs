@@ -7,7 +7,7 @@ use inl::codegen::generate;
 use inl::core::complete::complete_transform;
 use inl::core::depend::analyze;
 use inl::core::instance::InstanceLayout;
-use inl::exec::equivalent;
+use inl::exec::{equivalent, run_fresh, Machine, VmRunner};
 use inl::ir::{zoo, LoopId, Program};
 use inl::linalg::IVec;
 
@@ -121,6 +121,35 @@ fn e7_all_six_cholesky_forms_are_legal_and_correct() {
             equivalent(&p, &result.program, &[n], &spd).unwrap_or_else(|e| {
                 panic!(
                     "variant {pm:?}, N={n}: {e}\n{}",
+                    result.program.to_pseudocode()
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn e7_vm_backend_bitwise_identical_on_every_legal_variant() {
+    // The bytecode VM is a drop-in second backend: on every framework-
+    // generated Cholesky permutation variant (both families, twelve slot
+    // assignments — a superset of the paper's six orders) it must produce
+    // the identical factorization, bit for bit.
+    let p = zoo::cholesky_kij();
+    let layout = InstanceLayout::new(&p);
+    let deps = analyze(&p, &layout);
+    let legal = enumerate_permutations(&p);
+    assert!(legal.len() >= 6);
+    for (pm, m) in &legal {
+        let result = generate(&p, &layout, &deps, m)
+            .unwrap_or_else(|e| panic!("codegen failed for {pm:?}: {e:?}"));
+        let runner = VmRunner::new(&result.program); // compile once per variant
+        for n in [1, 3, 6, 10] {
+            let interp = run_fresh(&result.program, &[n], &spd);
+            let mut vm = Machine::new(&result.program, &[n], &spd);
+            runner.run(&mut vm);
+            interp.same_state(&vm).unwrap_or_else(|e| {
+                panic!(
+                    "variant {pm:?}, N={n}: VM differs: {e}\n{}",
                     result.program.to_pseudocode()
                 )
             });

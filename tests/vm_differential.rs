@@ -1,0 +1,166 @@
+//! Differential property tests for the bytecode VM (`inl-vm`).
+//!
+//! The VM is a second backend and must be **bitwise identical** to the
+//! reference interpreter — same `f64` operations in the same order — on:
+//!
+//! * every zoo program,
+//! * random legal transformations of zoo programs (whatever `generate`
+//!   accepts, including non-unimodular results with `Div` guards and
+//!   divisor subscripts, which exercise the VM's slow access path),
+//! * random parameter bindings,
+//!
+//! under two initial-state regimes:
+//!
+//! * **fractional f64** — cells start at non-integer values, so rounding
+//!   of every arithmetic op matters;
+//! * **i64-wrapping integers** — cells start at (exactly representable)
+//!   integers produced by a wrapping-`i64` mixing function, the adversarial
+//!   case for sign/magnitude handling in subscript and index arithmetic.
+
+use inl::codegen::generate;
+use inl::core::depend::analyze;
+use inl::core::instance::InstanceLayout;
+use inl::core::transform::Transform;
+use inl::exec::{run_fresh_with, Backend};
+use inl::ir::{zoo, Program};
+use proptest::prelude::*;
+
+fn zoo_programs() -> Vec<Program> {
+    vec![
+        zoo::simple_cholesky(),
+        zoo::running_example(),
+        zoo::perfect_nest(),
+        zoo::augmentation_example(),
+        zoo::cholesky_kij(),
+        zoo::cholesky_left_looking(),
+        zoo::lu_kij(),
+        zoo::matmul(),
+        zoo::wavefront(),
+        zoo::rect_wavefront(),
+        zoo::row_prefix_sums(),
+        zoo::distributed_simple_cholesky(),
+        zoo::independent_pair(),
+    ]
+}
+
+fn arb_zoo() -> impl Strategy<Value = Program> {
+    let n = zoo_programs().len();
+    (0..n).prop_map(|i| zoo_programs().swap_remove(i))
+}
+
+/// A random transformation sequence over the program's loops/statements
+/// (same shape as the framework-level property tests).
+fn arb_transforms(p: &Program) -> impl Strategy<Value = Vec<Transform>> {
+    let loops: Vec<_> = p.loops().collect();
+    let stmts: Vec<_> = p.stmts().collect();
+    let single = (
+        0..5usize,
+        0..loops.len(),
+        0..loops.len(),
+        -2..=2i64,
+        0..stmts.len(),
+    )
+        .prop_map(move |(kind, a, b, f, s)| match kind {
+            0 => Transform::Interchange(loops[a], loops[b % loops.len().max(1)]),
+            1 => Transform::Reverse(loops[a]),
+            2 => Transform::Skew {
+                target: loops[a],
+                source: loops[b % loops.len()],
+                factor: f as i128,
+            },
+            3 => Transform::Scale {
+                target: loops[a],
+                factor: (f.unsigned_abs() as i128) + 1,
+            },
+            _ => Transform::Align {
+                stmt: stmts[s],
+                looop: loops[a],
+                offset: f as i128,
+            },
+        });
+    prop::collection::vec(single, 1..3)
+}
+
+/// Non-integer initial values: every arithmetic op's rounding matters.
+fn frac_init(_: &str, idx: &[usize]) -> f64 {
+    let mix: usize = idx
+        .iter()
+        .enumerate()
+        .map(|(d, &i)| (d + 2) * (i + 1))
+        .sum();
+    mix as f64 * 0.375 + 0.5
+}
+
+/// Integer initial values from a wrapping-`i64` mixing function; the
+/// `>> 40` keeps magnitudes ≲ 2²³ so every value (and products of a few)
+/// is exactly representable in f64.
+fn int_init(name: &str, idx: &[usize]) -> f64 {
+    let mut h: i64 = name.len() as i64;
+    for &i in idx {
+        h = h
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(i as i64)
+            .wrapping_add(1442695040888963407);
+    }
+    ((h >> 40) as f64).max(1.0) // keep pivots nonzero-ish for divisions
+}
+
+/// Assert VM ≡ interpreter, bitwise, on `p` under both init regimes.
+fn assert_vm_identical(p: &Program, params: &[i128], ctx: &str) -> Result<(), TestCaseError> {
+    for (regime, init) in [
+        ("frac", &frac_init as &dyn Fn(&str, &[usize]) -> f64),
+        ("i64-wrap", &int_init),
+    ] {
+        let a = run_fresh_with(Backend::Interp, p, params, init);
+        let b = run_fresh_with(Backend::Vm, p, params, init);
+        prop_assert!(
+            a.same_state(&b).is_ok(),
+            "{ctx}: VM differs from interpreter ({regime} init, params {params:?}): {}",
+            a.same_state(&b).unwrap_err()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// VM ≡ interpreter on zoo programs at random parameter bindings.
+    #[test]
+    fn vm_matches_interpreter_on_zoo(
+        (p, ns) in arb_zoo().prop_flat_map(|p| {
+            let ns = prop::collection::vec(1i64..8, p.nparams());
+            (Just(p), ns)
+        })
+    ) {
+        let params: Vec<i128> = ns.iter().map(|&n| n as i128).collect();
+        assert_vm_identical(&p, &params, p.name())?;
+    }
+
+    /// VM ≡ interpreter on framework-generated variants of zoo programs
+    /// under random transformation sequences (whenever the framework
+    /// accepts the transformation and generates code).
+    #[test]
+    fn vm_matches_interpreter_on_transformed_zoo(
+        (p, seq, ns) in arb_zoo().prop_flat_map(|p| {
+            let t = arb_transforms(&p);
+            let ns = prop::collection::vec(1i64..6, p.nparams());
+            (Just(p), t, ns)
+        })
+    ) {
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout);
+        let Ok(m) = Transform::compose(&p, &layout, &seq) else {
+            return Ok(()); // structurally invalid transform
+        };
+        let Ok(result) = generate(&p, &layout, &deps, &m) else {
+            return Ok(()); // rejected as illegal or unsupported: fine
+        };
+        let params: Vec<i128> = ns.iter().map(|&n| n as i128).collect();
+        assert_vm_identical(
+            &result.program,
+            &params,
+            &format!("{} under {seq:?}", p.name()),
+        )?;
+    }
+}
