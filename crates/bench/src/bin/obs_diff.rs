@@ -1,0 +1,79 @@
+//! `inl-obs-diff`: compare two telemetry or bench JSON files and fail on
+//! regression — the CI regression gate.
+//!
+//! ```sh
+//! cargo run -p inl-bench --bin inl-obs-diff -- \
+//!     <old.json> <new.json> [--threshold <rel>] [--floor-ns <ns>] [--strict]
+//! ```
+//!
+//! Both files must be the same kind: telemetry reports (`inl-obs.json`,
+//! detected by a `counters` object) or bench documents
+//! (`BENCH_exec.json`, detected by a `programs` array). Counters compare
+//! exactly (except `*_ns` timing counters), timings with the relative
+//! `--threshold` (default 0.5 = ±50 %) above the `--floor-ns` noise
+//! floor (default 1 ms); `--strict` turns one-sided keys from warnings
+//! into regressions.
+//!
+//! Exit status: 0 when clean, 1 on any regression, 2 on usage or parse
+//! errors.
+
+use inl_obs::diff::{diff_documents, DiffOptions};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: inl-obs-diff <old.json> <new.json> \
+         [--threshold <rel>] [--floor-ns <ns>] [--strict]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => opts.time_rel = v,
+                _ => return usage(),
+            },
+            "--floor-ns" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => opts.floor_ns = v,
+                None => return usage(),
+            },
+            "--strict" => opts.strict_keys = true,
+            _ if a.starts_with('-') => return usage(),
+            _ => paths.push(a),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let outcome = read(old_path)
+        .and_then(|old| read(new_path).map(|new| (old, new)))
+        .and_then(|(old, new)| diff_documents(&old, &new, &opts));
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("inl-obs-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "inl-obs-diff {old_path} -> {new_path} (threshold {:.0}%, floor {}ns{})",
+        opts.time_rel * 100.0,
+        opts.floor_ns,
+        if opts.strict_keys { ", strict" } else { "" }
+    );
+    print!("{}", outcome.to_table());
+    if outcome.regressions() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -54,7 +54,9 @@ fn flag_path(flag: &str, default: &str) -> std::path::PathBuf {
 fn main() {
     let json_path = flag_path("--obs-json", "target/inl-obs.json");
     let bench_path = flag_path("--bench-json", "BENCH_exec.json");
+    let trace_path = flag_path("--trace-json", "target/inl-trace.json");
     inl_obs::set_enabled(true);
+    inl_obs::set_timeline_enabled(true);
 
     println!("# inl experiment report\n");
 
@@ -161,6 +163,25 @@ fn main() {
     std::fs::write(&bench_path, bench_json.to_pretty_string()).expect("write BENCH_exec.json");
     println!("\nbackend comparison -> {}", bench_path.display());
 
+    // --------------------------------- VM opcode profile (hot opcodes)
+    // Re-run the acceptance benchmark under the VM's profiling mode and
+    // print where the instruction budget actually goes.
+    println!("\n## VM opcode profile (cholesky_kij, N = 100)\n");
+    let prof_prog = zoo::cholesky_kij();
+    let prof_runner = VmRunner::new(&prof_prog);
+    inl_vm::profile::reset();
+    inl_vm::profile::set_enabled(true);
+    {
+        let mut m2 = Machine::new(&prof_prog, &[n], &spd_init);
+        prof_runner.run(&mut m2);
+    }
+    inl_vm::profile::set_enabled(false);
+    print!(
+        "{}",
+        inl_vm::profile::render_tables(prof_runner.compiled(), Some(&prof_prog))
+    );
+    let vm_profile_json = inl_vm::profile::to_json(prof_runner.compiled(), Some(&prof_prog));
+
     // ------------------------------------------------- E7: kernels
     println!("\n## E7 — compiled kernels (N = 768)\n");
     let nk = 768usize;
@@ -262,8 +283,9 @@ fn main() {
 
     // ------------------------------------------------- overhead
     // Enabled-vs-disabled instrumentation cost on the interpreted Cholesky
-    // run. Uses plain `Instant` because half the measurement runs with the
-    // telemetry layer off.
+    // run, with BOTH layers (aggregate telemetry + timeline) toggled
+    // together. Uses plain `Instant` because half the measurement runs
+    // with the telemetry layer off.
     let reps = 7usize;
     let one_run = |prog: &inl_ir::Program| {
         let t0 = Instant::now();
@@ -278,11 +300,14 @@ fn main() {
     let (mut on, mut off) = (Duration::MAX, Duration::MAX);
     for _ in 0..reps {
         inl_obs::set_enabled(true);
+        inl_obs::set_timeline_enabled(true);
         on = on.min(one_run(&p));
         inl_obs::set_enabled(false);
+        inl_obs::set_timeline_enabled(false);
         off = off.min(one_run(&p));
     }
     inl_obs::set_enabled(true);
+    inl_obs::set_timeline_enabled(true);
     let overhead_pct = (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0;
     println!("\n## instrumentation overhead (interpreted Cholesky, N = {n}, {reps} reps)\n");
     println!("enabled {on:.2?}, disabled {off:.2?}: {overhead_pct:+.2}%");
@@ -303,6 +328,7 @@ fn main() {
     let mut vmj = Json::object();
     vmj.insert("programs", Json::Array(bench_entries));
     report.attach("vm", vmj);
+    report.attach("vm_profile", vm_profile_json);
 
     println!("\n## pipeline telemetry\n");
     println!("{}", report.to_table());
@@ -313,5 +339,13 @@ fn main() {
         report.histograms.len(),
         report.spans.len(),
         json_path.display()
+    );
+
+    // ------------------------------------------------- timeline trace
+    inl_obs::timeline::write_chrome_trace(&trace_path).expect("write trace JSON");
+    println!(
+        "timeline trace ({} dropped events) -> {} (open in Perfetto / chrome://tracing)",
+        inl_obs::timeline::dropped_total(),
+        trace_path.display()
     );
 }

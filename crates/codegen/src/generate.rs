@@ -56,6 +56,7 @@ pub fn generate(
     m: &IMat,
 ) -> Result<CodegenResult, CodegenError> {
     let _span = inl_obs::span("codegen.generate");
+    inl_obs::timeline::instant("stage.codegen");
     let report = check_legal(p, layout, deps, m);
     let ast = match &report.new_ast {
         Ok(a) => a.clone(),

@@ -286,6 +286,7 @@ fn count_exists(p: &Program, s: StmtId, loops: &[LoopId]) -> usize {
 /// §3: "performs this analysis for all pairs of reads and writes").
 pub fn analyze(p: &Program, layout: &InstanceLayout) -> DependenceMatrix {
     let _span = inl_obs::span("depend.analyze");
+    inl_obs::timeline::instant("stage.dependence");
     let mut deps = Vec::new();
     let stmts: Vec<StmtId> = p.stmts().collect();
     for &src in &stmts {

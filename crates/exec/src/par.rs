@@ -216,11 +216,19 @@ fn vm_loop(
     };
     if ld.parallel && iters.len() > 1 {
         inl_obs::counter_add!("exec.par.wavefronts", 1);
+        let _wf = inl_obs::timeline::scope_args(
+            "exec.par.wavefront",
+            &[("iters", iters.len() as i64), ("threads", nthreads as i64)],
+        );
         let chunk = iters.len().div_ceil(nthreads);
         std::thread::scope(|scope| {
             for ch in iters.chunks(chunk) {
                 let mut thread_st = st.clone();
                 scope.spawn(move || {
+                    let _slice = inl_obs::timeline::scope_args(
+                        "exec.par.chunk",
+                        &[("lo", ch[0]), ("hi", *ch.last().unwrap())],
+                    );
                     let busy = std::time::Instant::now();
                     for &i in ch {
                         thread_st.iregs[meta.var as usize] = i;
@@ -293,11 +301,19 @@ fn exec_loop(
     };
     if ld.parallel && nthreads > 1 && iters.len() > 1 {
         inl_obs::counter_add!("exec.par.wavefronts", 1);
+        let _wf = inl_obs::timeline::scope_args(
+            "exec.par.wavefront",
+            &[("iters", iters.len() as i64), ("threads", nthreads as i64)],
+        );
         let chunk = iters.len().div_ceil(nthreads);
         std::thread::scope(|scope| {
             for ch in iters.chunks(chunk) {
                 let mut thread_env = env.clone();
                 scope.spawn(move || {
+                    let _slice = inl_obs::timeline::scope_args(
+                        "exec.par.chunk",
+                        &[("lo", ch[0] as i64), ("hi", *ch.last().unwrap() as i64)],
+                    );
                     let busy = std::time::Instant::now();
                     let mut thread_ctx = ExecCtx::default();
                     for &i in ch {

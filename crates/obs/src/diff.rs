@@ -1,0 +1,543 @@
+//! Telemetry and benchmark diffing: compare two JSON documents produced
+//! by this workspace (a [`PipelineReport`] telemetry dump or the report
+//! binary's `BENCH_exec.json`) and classify every metric as OK,
+//! improved, warning, or **regressed** — the engine behind the
+//! `inl-obs-diff` binary and the CI regression gate.
+//!
+//! Comparison rules:
+//!
+//! * **Counters** are semantic event counts (instances executed, pairs
+//!   tested) and must match *exactly* — any drift means behaviour
+//!   changed, not just speed. Exception: counters named `*_ns` hold
+//!   accumulated wall time (e.g. `exec.par.thread_busy_ns`) and are
+//!   compared like timings.
+//! * **Timings** (span `mean_ns`, bench `*_ns` medians) are machine- and
+//!   load-dependent; they compare with a relative threshold
+//!   ([`DiffOptions::time_rel`]) and an absolute noise floor
+//!   ([`DiffOptions::floor_ns`]) below which changes never count.
+//!   Getting *faster* beyond the threshold reports as improved.
+//! * **Histograms** summarise distributions whose shape may shift
+//!   without a behaviour change; mismatches are warnings.
+//! * **One-sided keys** (present in only one file) are warnings by
+//!   default — span paths can embed machine-dependent details such as
+//!   worker-thread counts — and regressions under
+//!   [`DiffOptions::strict_keys`].
+//! * A bench program whose `bitwise_identical` flips to `false` is
+//!   always a regression: that is a correctness bit, not a timing.
+
+use std::fmt;
+
+use crate::json::Json;
+use crate::report::{fmt_ns, PipelineReport};
+
+/// Thresholds and strictness for a diff run.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Maximum allowed relative change for timing metrics before the
+    /// line regresses (0.5 = +50 %).
+    pub time_rel: f64,
+    /// Timings where both sides are below this many nanoseconds never
+    /// regress (measurement noise dominates down there).
+    pub floor_ns: u64,
+    /// Treat keys present on only one side as regressions instead of
+    /// warnings.
+    pub strict_keys: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            time_rel: 0.5,
+            floor_ns: 1_000_000,
+            strict_keys: false,
+        }
+    }
+}
+
+/// Verdict for one compared metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Status {
+    Ok,
+    Improved,
+    Warn,
+    Regressed,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Status::Ok => "ok",
+            Status::Improved => "improved",
+            Status::Warn => "WARN",
+            Status::Regressed => "REGRESSED",
+        })
+    }
+}
+
+/// One line of the verdict table.
+#[derive(Clone, Debug)]
+pub struct DiffLine {
+    pub status: Status,
+    pub name: String,
+    pub detail: String,
+}
+
+/// Full diff result.
+#[derive(Clone, Debug, Default)]
+pub struct DiffOutcome {
+    pub lines: Vec<DiffLine>,
+}
+
+impl DiffOutcome {
+    fn push(&mut self, status: Status, name: impl Into<String>, detail: impl Into<String>) {
+        self.lines.push(DiffLine {
+            status,
+            name: name.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Number of regressed lines.
+    pub fn regressions(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.status == Status::Regressed)
+            .count()
+    }
+
+    /// Number of warning lines.
+    pub fn warnings(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.status == Status::Warn)
+            .count()
+    }
+
+    /// Render the verdict table: regressions first, then warnings and
+    /// improvements, then a one-line summary. Unchanged (`Ok`) lines are
+    /// folded into the summary count to keep CI logs short.
+    pub fn to_table(&self) -> String {
+        let mut shown: Vec<&DiffLine> = self
+            .lines
+            .iter()
+            .filter(|l| l.status != Status::Ok)
+            .collect();
+        shown.sort_by(|a, b| b.status.cmp(&a.status).then(a.name.cmp(&b.name)));
+        let mut out = String::new();
+        let width = shown.iter().map(|l| l.name.len()).max().unwrap_or(0);
+        for line in shown {
+            out.push_str(&format!(
+                "{:<9}  {:<width$}  {}\n",
+                line.status, line.name, line.detail
+            ));
+        }
+        out.push_str(&format!(
+            "{} metrics compared: {} regressed, {} warnings, {} ok\n",
+            self.lines.len(),
+            self.regressions(),
+            self.warnings(),
+            self.lines.len()
+                - self.regressions()
+                - self.warnings()
+                - self
+                    .lines
+                    .iter()
+                    .filter(|l| l.status == Status::Improved)
+                    .count(),
+        ));
+        out
+    }
+}
+
+fn rel_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new - old) / old
+    }
+}
+
+fn diff_timing(out: &mut DiffOutcome, opts: &DiffOptions, name: &str, old_ns: f64, new_ns: f64) {
+    if old_ns < opts.floor_ns as f64 && new_ns < opts.floor_ns as f64 {
+        out.push(
+            Status::Ok,
+            name,
+            format!("both below {} noise floor", fmt_ns(opts.floor_ns)),
+        );
+        return;
+    }
+    let rel = rel_change(old_ns, new_ns);
+    let detail = format!(
+        "{} -> {} ({:+.1}%)",
+        fmt_ns(old_ns as u64),
+        fmt_ns(new_ns as u64),
+        rel * 100.0
+    );
+    if rel > opts.time_rel {
+        out.push(Status::Regressed, name, detail);
+    } else if rel < -opts.time_rel {
+        out.push(Status::Improved, name, detail);
+    } else {
+        out.push(Status::Ok, name, detail);
+    }
+}
+
+fn one_sided(out: &mut DiffOutcome, opts: &DiffOptions, name: &str, which: &str) {
+    let status = if opts.strict_keys {
+        Status::Regressed
+    } else {
+        Status::Warn
+    };
+    out.push(status, name, format!("only in {which} file"));
+}
+
+/// True iff this counter name holds accumulated nanoseconds rather than a
+/// semantic event count.
+fn is_timing_counter(name: &str) -> bool {
+    name.ends_with("_ns")
+}
+
+/// Diff two [`PipelineReport`]s.
+pub fn diff_reports(old: &PipelineReport, new: &PipelineReport, opts: &DiffOptions) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+
+    for (name, &old_v) in &old.counters {
+        let key = format!("counter:{name}");
+        match new.counters.get(name) {
+            None => one_sided(&mut out, opts, &key, "old"),
+            Some(&new_v) if is_timing_counter(name) => {
+                diff_timing(&mut out, opts, &key, old_v as f64, new_v as f64);
+            }
+            Some(&new_v) if new_v == old_v => {
+                out.push(Status::Ok, &key, format!("{old_v}"));
+            }
+            Some(&new_v) => {
+                out.push(
+                    Status::Regressed,
+                    &key,
+                    format!("{old_v} -> {new_v} (counters must match exactly)"),
+                );
+            }
+        }
+    }
+    for name in new.counters.keys() {
+        if !old.counters.contains_key(name) {
+            one_sided(&mut out, opts, &format!("counter:{name}"), "new");
+        }
+    }
+
+    for (name, old_h) in &old.histograms {
+        let key = format!("histogram:{name}");
+        match new.histograms.get(name) {
+            None => one_sided(&mut out, opts, &key, "old"),
+            Some(new_h) if new_h == old_h => {
+                out.push(Status::Ok, &key, format!("count={}", old_h.count));
+            }
+            Some(new_h) => {
+                out.push(
+                    Status::Warn,
+                    &key,
+                    format!(
+                        "distribution changed: count {} -> {}, p95 {} -> {}",
+                        old_h.count,
+                        new_h.count,
+                        old_h.p95(),
+                        new_h.p95()
+                    ),
+                );
+            }
+        }
+    }
+    for name in new.histograms.keys() {
+        if !old.histograms.contains_key(name) {
+            one_sided(&mut out, opts, &format!("histogram:{name}"), "new");
+        }
+    }
+
+    for (path, old_s) in &old.spans {
+        let key = format!("span:{path}");
+        match new.spans.get(path) {
+            None => one_sided(&mut out, opts, &key, "old"),
+            Some(new_s) => {
+                if new_s.count != old_s.count {
+                    out.push(
+                        Status::Warn,
+                        &key,
+                        format!("count {} -> {}", old_s.count, new_s.count),
+                    );
+                }
+                diff_timing(
+                    &mut out,
+                    opts,
+                    &key,
+                    old_s.mean_ns() as f64,
+                    new_s.mean_ns() as f64,
+                );
+            }
+        }
+    }
+    for path in new.spans.keys() {
+        if !old.spans.contains_key(path) {
+            one_sided(&mut out, opts, &format!("span:{path}"), "new");
+        }
+    }
+
+    out
+}
+
+fn num(value: Option<&Json>) -> Option<f64> {
+    match value {
+        Some(Json::Int(n)) => Some(*n as f64),
+        Some(Json::Float(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Diff two bench documents (the report binary's `BENCH_exec.json`):
+/// programs matched by name, `*_ns` fields thresholded like timings, a
+/// `bitwise_identical` flip to `false` always regresses.
+pub fn diff_bench(old: &Json, new: &Json, opts: &DiffOptions) -> Result<DiffOutcome, String> {
+    let programs = |doc: &Json| -> Result<Vec<(String, Json)>, String> {
+        match doc.get("programs") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(|p| {
+                    p.get("name")
+                        .and_then(Json::as_str)
+                        .map(|n| (n.to_string(), p.clone()))
+                        .ok_or_else(|| "bench program without 'name'".to_string())
+                })
+                .collect(),
+            _ => Err("missing 'programs' array".into()),
+        }
+    };
+    let old_programs = programs(old)?;
+    let new_programs = programs(new)?;
+    let mut out = DiffOutcome::default();
+
+    for (name, old_p) in &old_programs {
+        let Some((_, new_p)) = new_programs.iter().find(|(n, _)| n == name) else {
+            one_sided(&mut out, opts, &format!("bench:{name}"), "old");
+            continue;
+        };
+        if let Some(Json::Bool(new_ok)) = new_p.get("bitwise_identical") {
+            let key = format!("bench:{name}:bitwise_identical");
+            if *new_ok {
+                out.push(Status::Ok, &key, "true");
+            } else {
+                out.push(Status::Regressed, &key, "false (correctness, not timing)");
+            }
+        }
+        if let Json::Object(fields) = old_p {
+            for (field, old_v) in fields {
+                if !field.ends_with("_ns") {
+                    continue;
+                }
+                let key = format!("bench:{name}:{field}");
+                match (num(Some(old_v)), num(new_p.get(field))) {
+                    (Some(old_ns), Some(new_ns)) => {
+                        diff_timing(&mut out, opts, &key, old_ns, new_ns);
+                    }
+                    _ => one_sided(&mut out, opts, &key, "old"),
+                }
+            }
+        }
+    }
+    for (name, _) in &new_programs {
+        if !old_programs.iter().any(|(n, _)| n == name) {
+            one_sided(&mut out, opts, &format!("bench:{name}"), "new");
+        }
+    }
+    Ok(out)
+}
+
+/// Diff two documents, auto-detecting their kind: a `programs` array
+/// means a bench file, a `counters` object means a telemetry report.
+/// Both files must be of the same kind.
+pub fn diff_documents(
+    old_text: &str,
+    new_text: &str,
+    opts: &DiffOptions,
+) -> Result<DiffOutcome, String> {
+    let old_json = Json::parse(old_text).map_err(|e| format!("old file: {e}"))?;
+    let new_json = Json::parse(new_text).map_err(|e| format!("new file: {e}"))?;
+    let kind = |j: &Json| {
+        if j.get("programs").is_some() {
+            "bench"
+        } else if j.get("counters").is_some() {
+            "telemetry"
+        } else {
+            "unknown"
+        }
+    };
+    match (kind(&old_json), kind(&new_json)) {
+        ("bench", "bench") => diff_bench(&old_json, &new_json, opts),
+        ("telemetry", "telemetry") => {
+            let old =
+                PipelineReport::from_json_str(old_text).map_err(|e| format!("old file: {e}"))?;
+            let new =
+                PipelineReport::from_json_str(new_text).map_err(|e| format!("new file: {e}"))?;
+            Ok(diff_reports(&old, &new, opts))
+        }
+        (a, b) if a == b => {
+            Err("unrecognised document kind (need 'programs' or 'counters')".into())
+        }
+        (a, b) => Err(format!("cannot diff a {a} file against a {b} file")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{HistogramSnapshot, SpanSnapshot};
+
+    fn report() -> PipelineReport {
+        let mut r = PipelineReport {
+            enabled: true,
+            ..Default::default()
+        };
+        r.counters.insert("exec.instances".into(), 385);
+        r.counters
+            .insert("exec.par.thread_busy_ns".into(), 9_000_000);
+        r.histograms.insert(
+            "poly.fm.constraints".into(),
+            HistogramSnapshot {
+                count: 4,
+                sum: 31,
+                min: 2,
+                max: 17,
+                buckets: vec![(3, 1), (7, 2), (31, 1)],
+            },
+        );
+        r.spans.insert(
+            "exec.interpret".into(),
+            SpanSnapshot {
+                count: 10,
+                total_ns: 200_000_000,
+                min_ns: 1,
+                max_ns: 30_000_000,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let r = report();
+        let out = diff_reports(&r, &r, &DiffOptions::default());
+        assert_eq!(out.regressions(), 0);
+        assert_eq!(out.warnings(), 0);
+        assert!(!out.lines.is_empty());
+    }
+
+    #[test]
+    fn counter_drift_regresses_exactly() {
+        let old = report();
+        let mut new = report();
+        *new.counters.get_mut("exec.instances").unwrap() += 1;
+        let out = diff_reports(&old, &new, &DiffOptions::default());
+        assert_eq!(out.regressions(), 1);
+        assert!(out.to_table().contains("counter:exec.instances"));
+    }
+
+    #[test]
+    fn timing_counters_use_thresholds_not_exactness() {
+        let old = report();
+        let mut new = report();
+        // +11% busy time: within the 50% threshold, so OK.
+        *new.counters.get_mut("exec.par.thread_busy_ns").unwrap() = 10_000_000;
+        let out = diff_reports(&old, &new, &DiffOptions::default());
+        assert_eq!(out.regressions(), 0);
+        // +400%: beyond threshold → regression.
+        *new.counters.get_mut("exec.par.thread_busy_ns").unwrap() = 45_000_000;
+        let out = diff_reports(&old, &new, &DiffOptions::default());
+        assert_eq!(out.regressions(), 1);
+    }
+
+    #[test]
+    fn span_slowdown_respects_threshold_and_floor() {
+        let old = report();
+        let mut new = report();
+        new.spans.get_mut("exec.interpret").unwrap().total_ns = 400_000_000; // 2x mean
+        let out = diff_reports(&old, &new, &DiffOptions::default());
+        assert_eq!(out.regressions(), 1);
+        // Same ratio below the noise floor: fine.
+        let mut old_small = report();
+        let mut new_small = report();
+        old_small.spans.get_mut("exec.interpret").unwrap().total_ns = 4_000;
+        new_small.spans.get_mut("exec.interpret").unwrap().total_ns = 8_000;
+        let out = diff_reports(&old_small, &new_small, &DiffOptions::default());
+        assert_eq!(out.regressions(), 0);
+        // Big speedup reports as improved, not regressed.
+        new.spans.get_mut("exec.interpret").unwrap().total_ns = 20_000_000;
+        let out = diff_reports(&old, &new, &DiffOptions::default());
+        assert_eq!(out.regressions(), 0);
+        assert!(out.lines.iter().any(|l| l.status == Status::Improved));
+    }
+
+    #[test]
+    fn one_sided_keys_warn_or_regress_by_strictness() {
+        let old = report();
+        let mut new = report();
+        new.spans.insert(
+            "report.e8.kernel/skewed-8t".into(),
+            SpanSnapshot {
+                count: 1,
+                total_ns: 5,
+                min_ns: 5,
+                max_ns: 5,
+            },
+        );
+        let lax = diff_reports(&old, &new, &DiffOptions::default());
+        assert_eq!(lax.regressions(), 0);
+        assert_eq!(lax.warnings(), 1);
+        let strict = diff_reports(
+            &old,
+            &new,
+            &DiffOptions {
+                strict_keys: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(strict.regressions(), 1);
+    }
+
+    fn bench_doc(vm_ns: u64, bitwise: bool) -> String {
+        format!(
+            r#"{{"version": 1, "programs": [
+                {{"name": "cholesky-kij", "interp_ns": 90000000,
+                  "vm_ns": {vm_ns}, "vm_compile_ns": 200000,
+                  "speedup": 9.0, "bitwise_identical": {bitwise}}}
+            ]}}"#
+        )
+    }
+
+    #[test]
+    fn bench_diff_detects_regression_and_self_compares_clean() {
+        let opts = DiffOptions::default();
+        let base = bench_doc(10_000_000, true);
+        let out = diff_documents(&base, &base, &opts).unwrap();
+        assert_eq!(out.regressions(), 0);
+        // 3x slower VM: regression.
+        let slow = bench_doc(30_000_000, true);
+        let out = diff_documents(&base, &slow, &opts).unwrap();
+        assert_eq!(out.regressions(), 1);
+        // Bitwise mismatch: regression even with identical timings.
+        let wrong = bench_doc(10_000_000, false);
+        let out = diff_documents(&base, &wrong, &opts).unwrap();
+        assert_eq!(out.regressions(), 1);
+        assert!(out.to_table().contains("bitwise_identical"));
+    }
+
+    #[test]
+    fn mismatched_kinds_error() {
+        let bench = bench_doc(1, true);
+        let telemetry = report();
+        let text = crate::PipelineReport::to_json_string(&telemetry);
+        assert!(diff_documents(&bench, &text, &DiffOptions::default()).is_err());
+    }
+}

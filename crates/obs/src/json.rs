@@ -319,6 +319,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     if text.is_empty() {
         return Err(format!("expected value at byte {start}"));
     }
+    // JSON forbids a leading '+' even though Rust's number parsers accept it.
+    if text.starts_with('+') {
+        return Err(format!("invalid number '{text}'"));
+    }
     if !text.contains(['.', 'e', 'E']) {
         if let Ok(n) = text.parse::<u64>() {
             return Ok(Json::Int(n));

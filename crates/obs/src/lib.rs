@@ -18,7 +18,17 @@
 //!
 //! Telemetry is switched on by calling [`set_enabled`]`(true)` or by
 //! setting the `INL_OBS` environment variable to `1`/`true`/`on` before
-//! the first instrument fires.
+//! the first instrument fires. Setting `INL_OBS_JSON=<path>` additionally
+//! enables telemetry in *any* binary and dumps the [`PipelineReport`]
+//! JSON to `<path>` at process exit (no code changes required).
+//!
+//! A second, independent layer — the [`timeline`] — records timestamped
+//! events into bounded per-thread ring buffers and exports Chrome
+//! trace-event JSON (viewable in Perfetto / `chrome://tracing`). It is
+//! enabled by `INL_TRACE=1` / [`set_timeline_enabled`], and
+//! `INL_TRACE_JSON=<path>` dumps the trace at process exit. Both layers
+//! share one flag byte, so "everything disabled" still costs exactly one
+//! relaxed atomic load per instrument.
 //!
 //! Spans nest: a span opened while another span is open on the same
 //! thread is recorded under the path `outer/inner`, so solver time inside
@@ -26,41 +36,144 @@
 //! to that stage. There are no external dependencies — JSON is emitted
 //! and parsed by the [`json`] module.
 
+pub mod diff;
 pub mod json;
 pub mod report;
+pub mod timeline;
 
 pub use json::Json;
 pub use report::{HistogramSnapshot, PipelineReport, SpanSnapshot};
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 // ---------------------------------------------------------------- enabling
 
-fn flag() -> &'static std::sync::atomic::AtomicBool {
-    static FLAG: OnceLock<std::sync::atomic::AtomicBool> = OnceLock::new();
-    FLAG.get_or_init(|| {
-        let on = matches!(
-            std::env::var("INL_OBS").ok().as_deref(),
-            Some("1") | Some("true") | Some("on")
-        );
-        std::sync::atomic::AtomicBool::new(on)
+/// Flag bit: aggregate telemetry (spans/counters/histograms).
+pub(crate) const FLAG_OBS: u8 = 1;
+/// Flag bit: timeline event recording.
+pub(crate) const FLAG_TIMELINE: u8 = 2;
+
+/// JSON dump paths read from the environment at first-instrument time;
+/// written at process exit by the `atexit` hook.
+static EXIT_OBS_JSON: OnceLock<Option<PathBuf>> = OnceLock::new();
+static EXIT_TRACE_JSON: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+fn env_on(name: &str) -> bool {
+    matches!(
+        std::env::var(name).ok().as_deref(),
+        Some("1") | Some("true") | Some("on")
+    )
+}
+
+fn env_path(name: &str) -> Option<PathBuf> {
+    std::env::var_os(name)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Dump telemetry/trace JSON for `INL_OBS_JSON` / `INL_TRACE_JSON`.
+/// Runs via `atexit`, so it must never unwind.
+extern "C" fn exit_dump() {
+    let _ = std::panic::catch_unwind(|| {
+        if let Some(Some(path)) = EXIT_OBS_JSON.get() {
+            let _ = PipelineReport::capture().write_json(path);
+        }
+        if let Some(Some(path)) = EXIT_TRACE_JSON.get() {
+            let _ = timeline::write_chrome_trace(path);
+        }
+    });
+}
+
+#[cfg(unix)]
+fn register_exit_dump() {
+    extern "C" {
+        fn atexit(cb: extern "C" fn()) -> i32;
+    }
+    unsafe {
+        atexit(exit_dump);
+    }
+}
+
+#[cfg(not(unix))]
+fn register_exit_dump() {
+    // No portable exit hook without libc; the env-dump feature is inert.
+    let _ = exit_dump;
+}
+
+fn flags_cell() -> &'static AtomicU8 {
+    static FLAGS: OnceLock<AtomicU8> = OnceLock::new();
+    FLAGS.get_or_init(|| {
+        // Anchor the timeline epoch before any event can be recorded.
+        timeline::epoch();
+        let mut f = 0u8;
+        if env_on("INL_OBS") {
+            f |= FLAG_OBS;
+        }
+        if env_on("INL_TRACE") {
+            f |= FLAG_TIMELINE;
+        }
+        let obs_json = env_path("INL_OBS_JSON");
+        let trace_json = env_path("INL_TRACE_JSON");
+        // A dump path implies the matching layer: collecting nothing and
+        // then writing an empty file would be useless.
+        if obs_json.is_some() {
+            f |= FLAG_OBS;
+        }
+        if trace_json.is_some() {
+            f |= FLAG_TIMELINE;
+        }
+        let want_dump = obs_json.is_some() || trace_json.is_some();
+        let _ = EXIT_OBS_JSON.set(obs_json);
+        let _ = EXIT_TRACE_JSON.set(trace_json);
+        if want_dump {
+            register_exit_dump();
+        }
+        AtomicU8::new(f)
     })
+}
+
+/// Both layer flags in one relaxed load.
+#[inline]
+pub(crate) fn flags() -> u8 {
+    flags_cell().load(Ordering::Relaxed)
 }
 
 /// True iff telemetry collection is on. All instruments are no-ops when
 /// this is false; the check is a single relaxed atomic load.
 #[inline]
 pub fn enabled() -> bool {
-    flag().load(Ordering::Relaxed)
+    flags() & FLAG_OBS != 0
+}
+
+/// True iff timeline event recording is on (one relaxed atomic load).
+#[inline]
+pub fn timeline_enabled() -> bool {
+    flags() & FLAG_TIMELINE != 0
 }
 
 /// Turn telemetry collection on or off at runtime (overrides `INL_OBS`).
+/// The timeline flag is unaffected.
 pub fn set_enabled(on: bool) {
-    flag().store(on, Ordering::Relaxed);
+    if on {
+        flags_cell().fetch_or(FLAG_OBS, Ordering::Relaxed);
+    } else {
+        flags_cell().fetch_and(!FLAG_OBS, Ordering::Relaxed);
+    }
+}
+
+/// Turn timeline recording on or off at runtime (overrides `INL_TRACE`).
+/// The aggregate-telemetry flag is unaffected.
+pub fn set_timeline_enabled(on: bool) {
+    if on {
+        flags_cell().fetch_or(FLAG_TIMELINE, Ordering::Relaxed);
+    } else {
+        flags_cell().fetch_and(!FLAG_TIMELINE, Ordering::Relaxed);
+    }
 }
 
 // ---------------------------------------------------------------- registry
@@ -271,25 +384,37 @@ thread_local! {
 }
 
 /// RAII guard for a scoped span; created by [`span`]. Dropping it records
-/// the elapsed wall time under the thread's current nesting path.
+/// the elapsed wall time under the thread's current nesting path, and —
+/// when the timeline layer is on — a matching timeline slice.
 #[must_use = "a span measures the scope it is bound to; bind it to a variable"]
 pub struct SpanGuard {
     start: Option<Instant>,
     name: &'static str,
+    /// Which layers to record into on drop ([`FLAG_OBS`] | [`FLAG_TIMELINE`]).
+    record: u8,
 }
 
-/// Open a scoped span. While telemetry is disabled this is a no-op (the
-/// guard holds no timestamp). Nested spans on the same thread record
-/// under `outer/inner` paths.
+/// Open a scoped span. While both layers are disabled this is a no-op
+/// (the guard holds no timestamp). Nested spans on the same thread record
+/// under `outer/inner` paths; with the timeline enabled the span also
+/// becomes a Chrome-trace slice under its bare name.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !enabled() {
-        return SpanGuard { start: None, name };
+    let record = flags();
+    if record == 0 {
+        return SpanGuard {
+            start: None,
+            name,
+            record,
+        };
     }
-    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    if record & FLAG_OBS != 0 {
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    }
     SpanGuard {
         start: Some(Instant::now()),
         name,
+        record,
     }
 }
 
@@ -297,6 +422,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let ns = start.elapsed().as_nanos() as u64;
+        if self.record & FLAG_TIMELINE != 0 {
+            timeline::complete_from(self.name, start, ns);
+        }
+        if self.record & FLAG_OBS == 0 {
+            return;
+        }
         let path = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             let path = stack.join("/");

@@ -54,6 +54,40 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper bound on the `q`-th percentile (0 < `q` <= 100), or 0 when
+    /// empty. Resolution is the log₂ bucket width: the returned value is
+    /// the bucket upper bound containing the rank-`ceil(q/100·count)`
+    /// observation, clamped to the exact recorded `max`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(ub, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return ub.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound (see [`percentile`](Self::percentile)).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
 }
 
 /// Aggregate statistics for one span path.
@@ -298,8 +332,9 @@ impl PipelineReport {
         std::fs::write(path, self.to_json_string())
     }
 
-    /// Render a human-readable table (counters, then histograms, then
-    /// spans sorted by total time descending).
+    /// Render a human-readable table (counters, then histograms with
+    /// percentile summaries, then spans — every section in name order, so
+    /// output is byte-stable across runs with identical metrics).
     pub fn to_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -320,20 +355,24 @@ impl PipelineReport {
             let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
             for (name, h) in &self.histograms {
                 out.push_str(&format!(
-                    "  {name:<width$}  count={} sum={} min={} mean={:.1} max={}\n",
+                    "  {name:<width$}  count={} sum={} min={} mean={:.1} p50≤{} p95≤{} p99≤{} max={}\n",
                     h.count,
                     h.sum,
                     h.min,
                     h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                     h.max
                 ));
             }
         }
 
         if !self.spans.is_empty() {
-            out.push_str("\nspans (by total time)\n");
-            let mut rows: Vec<_> = self.spans.iter().collect();
-            rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+            // Sorted by path (not by total time) so the rendering is
+            // stable across runs and diffs cleanly, like the JSON.
+            out.push_str("\nspans\n");
+            let rows: Vec<_> = self.spans.iter().collect();
             let width = rows.iter().map(|(p, _)| p.len()).max().unwrap_or(0);
             for (path, s) in rows {
                 out.push_str(&format!(
@@ -439,6 +478,54 @@ mod tests {
         let report = PipelineReport::capture();
         assert_eq!(report.counters.get("obs.test.capture.fired"), Some(&2));
         assert!(!report.counters.contains_key("obs.test.capture.zero"));
+    }
+
+    #[test]
+    fn percentiles_walk_buckets() {
+        let h = HistogramSnapshot {
+            count: 100,
+            sum: 0,
+            min: 1,
+            max: 1000,
+            // 60 observations ≤ 7, 35 in (7, 127], 5 in (127, 1023]
+            buckets: vec![(7, 60), (127, 35), (1023, 5)],
+        };
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p95(), 127);
+        assert_eq!(h.p99(), 1000); // clamped from bucket ub 1023 to max
+        assert_eq!(h.percentile(100.0), 1000);
+        assert_eq!(HistogramSnapshot::default().p50(), 0);
+        // Single observation: every percentile is that value.
+        let one = HistogramSnapshot {
+            count: 1,
+            sum: 5,
+            min: 5,
+            max: 5,
+            buckets: vec![(7, 1)],
+        };
+        assert_eq!(one.p50(), 5);
+        assert_eq!(one.p99(), 5);
+    }
+
+    #[test]
+    fn table_is_deterministic_and_name_ordered() {
+        let mut report = sample_report();
+        // A second span with *larger* total time but later name must not
+        // move ahead of the first: ordering is by name, not by time.
+        report.spans.insert(
+            "exec.interpret".into(),
+            SpanSnapshot {
+                count: 1,
+                total_ns: 9_999_999_999,
+                min_ns: 1,
+                max_ns: 1,
+            },
+        );
+        let table = report.to_table();
+        assert_eq!(table, report.to_table());
+        let first = table.find("codegen.generate/poly.feasibility").unwrap();
+        let second = table.find("exec.interpret").unwrap();
+        assert!(first < second, "span rows must be in name order");
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! Timeline tracing: timestamped events in bounded per-thread ring
+//! buffers, exported as Chrome trace-event JSON (open the file in
+//! Perfetto or `chrome://tracing`).
+//!
+//! # Design
+//!
+//! * **Hot path is lock-free.** Each thread records into its own ring via
+//!   a thread-local — no atomics, no locks, no allocation past the ring's
+//!   capacity. While the layer is disabled every probe is one relaxed
+//!   atomic load (the flag byte shared with the aggregate layer).
+//! * **Bounded.** A ring holds at most [`capacity`] events (default
+//!   16384, `INL_TRACE_CAP` or [`set_capacity`] override). On overflow
+//!   the *oldest* event is dropped and counted — recording never blocks,
+//!   never reallocates, never panics.
+//! * **Rings retire on thread exit.** When a thread finishes (e.g. the
+//!   parallel executor's scoped workers), its ring moves into a global
+//!   retired list, and its timeline id returns to a pool so short-lived
+//!   workers reuse display rows instead of growing the trace unboundedly.
+//!   [`export`] sees every retired ring plus the calling thread's live
+//!   ring; live events on *other* still-running threads are not visible
+//!   until those threads exit. The retired list itself is bounded
+//!   ([`RETAIN_EVENT_BUDGET`]); beyond it whole oldest rings are dropped
+//!   and counted.
+//!
+//! Durations are recorded as Chrome "complete" events (`ph: "X"` — one
+//! ring slot per slice, immune to begin/end unpairing under overflow);
+//! point-in-time marks are "instant" events (`ph: "i"`). Pipeline stages
+//! record instants (`stage.dependence`, `stage.legality`,
+//! `stage.completion`, `stage.codegen`, `stage.vm-compile`), spans record
+//! slices automatically, and the parallel executor records one
+//! `exec.par.wavefront` slice per wavefront plus an `exec.par.chunk`
+//! slice per worker chunk.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Default per-thread ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 16_384;
+
+/// Total events kept across retired rings before whole oldest rings are
+/// dropped (bounds memory across many short-lived worker threads).
+pub const RETAIN_EVENT_BUDGET: usize = 1 << 20;
+
+/// Maximum args attached to one event.
+pub const MAX_ARGS: usize = 2;
+
+/// Chrome trace-event phase of a recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// A duration slice (`ph: "X"`, start timestamp + duration).
+    Complete,
+    /// A point-in-time mark (`ph: "i"`, thread scope).
+    Instant,
+}
+
+/// One recorded timeline event. Names and arg keys are `&'static str` so
+/// the recording hot path never allocates.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    pub name: &'static str,
+    pub phase: Phase,
+    /// Nanoseconds since the process [`epoch`].
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Up to [`MAX_ARGS`] integer arguments (e.g. a chunk's bounds).
+    pub args: [Option<(&'static str, i64)>; MAX_ARGS],
+}
+
+/// The monotonic zero point all event timestamps are relative to
+/// (initialized by the first instrument or flag access in the process).
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn instant_ns(at: Instant) -> u64 {
+    at.checked_duration_since(epoch())
+        .map_or(0, |d| d.as_nanos() as u64)
+}
+
+// ------------------------------------------------------------------ rings
+
+/// One thread's bounded event buffer.
+#[derive(Clone, Debug)]
+struct Ring {
+    tid: u32,
+    thread_name: String,
+    events: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+#[derive(Default)]
+struct Retired {
+    rings: VecDeque<Ring>,
+    /// Total events currently held across `rings`.
+    held: usize,
+    /// Events lost to ring overflow or retired-ring eviction, beyond what
+    /// surviving rings still report themselves.
+    evicted: u64,
+    /// Timeline ids of exited threads, free for reuse.
+    free_tids: Vec<u32>,
+}
+
+fn retired() -> MutexGuard<'static, Retired> {
+    static RETIRED: OnceLock<Mutex<Retired>> = OnceLock::new();
+    RETIRED
+        .get_or_init(|| Mutex::new(Retired::default()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn capacity_cell() -> &'static AtomicUsize {
+    static CAP: OnceLock<AtomicUsize> = OnceLock::new();
+    CAP.get_or_init(|| {
+        let cap = std::env::var("INL_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAPACITY);
+        AtomicUsize::new(cap)
+    })
+}
+
+/// Per-thread ring capacity currently applied to *newly created* rings.
+pub fn capacity() -> usize {
+    capacity_cell().load(Ordering::Relaxed)
+}
+
+/// Override the ring capacity for rings created after this call
+/// (existing rings keep their size). Zero is clamped to 1.
+pub fn set_capacity(cap: usize) {
+    capacity_cell().store(cap.max(1), Ordering::Relaxed);
+}
+
+fn next_tid() -> u32 {
+    if let Some(tid) = retired().free_tids.pop() {
+        return tid;
+    }
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Thread-local ring wrapper whose drop (at thread exit) retires the ring
+/// into the global list.
+struct LocalRing(Option<Ring>);
+
+impl Drop for LocalRing {
+    fn drop(&mut self) {
+        if let Some(ring) = self.0.take() {
+            retire(ring);
+        }
+    }
+}
+
+fn retire(ring: Ring) {
+    let mut r = retired();
+    r.free_tids.push(ring.tid);
+    if !ring.events.is_empty() {
+        r.held += ring.events.len();
+        r.rings.push_back(ring);
+        while r.held > RETAIN_EVENT_BUDGET {
+            let Some(old) = r.rings.pop_front() else {
+                break;
+            };
+            r.held -= old.events.len();
+            r.evicted += old.dropped + old.events.len() as u64;
+        }
+    } else {
+        r.evicted += ring.dropped;
+    }
+}
+
+thread_local! {
+    static RING: RefCell<LocalRing> = const { RefCell::new(LocalRing(None)) };
+}
+
+fn record(ev: Event) {
+    RING.with(|cell| {
+        let mut local = cell.borrow_mut();
+        let ring = local.0.get_or_insert_with(|| {
+            let tid = next_tid();
+            let thread_name = std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("worker-{tid}"));
+            let cap = capacity();
+            Ring {
+                tid,
+                thread_name,
+                events: VecDeque::with_capacity(cap.min(1024)),
+                cap,
+                dropped: 0,
+            }
+        });
+        ring.push(ev);
+    });
+}
+
+// ------------------------------------------------------------- public API
+
+const NO_ARGS: [Option<(&'static str, i64)>; MAX_ARGS] = [None, None];
+
+fn pack_args(args: &[(&'static str, i64)]) -> [Option<(&'static str, i64)>; MAX_ARGS] {
+    let mut packed = NO_ARGS;
+    for (slot, &arg) in packed.iter_mut().zip(args) {
+        *slot = Some(arg);
+    }
+    packed
+}
+
+/// Record an instant event (a point-in-time mark on the current thread's
+/// track). No-op while the timeline is disabled.
+#[inline]
+pub fn instant(name: &'static str) {
+    if crate::timeline_enabled() {
+        record(Event {
+            name,
+            phase: Phase::Instant,
+            ts_ns: now_ns(),
+            dur_ns: 0,
+            args: NO_ARGS,
+        });
+    }
+}
+
+/// [`instant`] with up to [`MAX_ARGS`] integer arguments (extra args are
+/// silently ignored).
+#[inline]
+pub fn instant_args(name: &'static str, args: &[(&'static str, i64)]) {
+    if crate::timeline_enabled() {
+        record(Event {
+            name,
+            phase: Phase::Instant,
+            ts_ns: now_ns(),
+            dur_ns: 0,
+            args: pack_args(args),
+        });
+    }
+}
+
+/// RAII guard recording a complete (duration) event for its scope.
+#[must_use = "a timeline scope measures the region it is bound to"]
+pub struct ScopeGuard {
+    start: Option<Instant>,
+    name: &'static str,
+    args: [Option<(&'static str, i64)>; MAX_ARGS],
+}
+
+/// Open a timeline slice covering the guard's lifetime. No-op (no
+/// timestamp taken) while the timeline is disabled.
+#[inline]
+pub fn scope(name: &'static str) -> ScopeGuard {
+    scope_args(name, &[])
+}
+
+/// [`scope`] with up to [`MAX_ARGS`] integer arguments.
+#[inline]
+pub fn scope_args(name: &'static str, args: &[(&'static str, i64)]) -> ScopeGuard {
+    if !crate::timeline_enabled() {
+        return ScopeGuard {
+            start: None,
+            name,
+            args: NO_ARGS,
+        };
+    }
+    ScopeGuard {
+        start: Some(Instant::now()),
+        name,
+        args: pack_args(args),
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let dur_ns = start.elapsed().as_nanos() as u64;
+            record(Event {
+                name: self.name,
+                phase: Phase::Complete,
+                ts_ns: instant_ns(start),
+                dur_ns,
+                args: self.args,
+            });
+        }
+    }
+}
+
+/// Record a complete event from an already-measured interval (used by
+/// [`crate::SpanGuard`] so spans double as timeline slices).
+pub(crate) fn complete_from(name: &'static str, start: Instant, dur_ns: u64) {
+    record(Event {
+        name,
+        phase: Phase::Complete,
+        ts_ns: instant_ns(start),
+        dur_ns,
+        args: NO_ARGS,
+    });
+}
+
+/// Drop every recorded event: retired rings, the calling thread's live
+/// ring, and the eviction tally. Rings on other live threads are cleared
+/// when those threads exit their next event is recorded into a fresh ring
+/// — for deterministic tests, reset from the only recording thread.
+pub fn reset() {
+    {
+        let mut r = retired();
+        r.rings.clear();
+        r.held = 0;
+        r.evicted = 0;
+    }
+    RING.with(|cell| {
+        if let Some(ring) = cell.borrow_mut().0.as_mut() {
+            ring.events.clear();
+            ring.dropped = 0;
+        }
+    });
+}
+
+/// Total events dropped so far (ring overflow on retired rings and the
+/// current thread, plus whole-ring evictions from the retired list).
+pub fn dropped_total() -> u64 {
+    let mut total = {
+        let r = retired();
+        r.evicted + r.rings.iter().map(|ring| ring.dropped).sum::<u64>()
+    };
+    RING.with(|cell| {
+        if let Some(ring) = cell.borrow().0.as_ref() {
+            total += ring.dropped;
+        }
+    });
+    total
+}
+
+// ---------------------------------------------------------------- export
+
+fn snapshot() -> (Vec<Ring>, u64) {
+    let (mut rings, evicted) = {
+        let r = retired();
+        (r.rings.iter().cloned().collect::<Vec<_>>(), r.evicted)
+    };
+    RING.with(|cell| {
+        if let Some(ring) = cell.borrow().0.as_ref() {
+            if !ring.events.is_empty() {
+                rings.push(ring.clone());
+            }
+        }
+    });
+    rings.sort_by_key(|r| r.tid);
+    (rings, evicted)
+}
+
+fn event_json(ev: &Event, tid: u32) -> Json {
+    let mut obj = Json::object();
+    obj.insert("name", Json::Str(ev.name.to_string()));
+    obj.insert("cat", Json::Str("inl".into()));
+    obj.insert("pid", Json::Int(1));
+    obj.insert("tid", Json::Int(tid as u64));
+    // Chrome trace timestamps are microseconds; keep sub-µs precision.
+    obj.insert("ts", Json::Float(ev.ts_ns as f64 / 1000.0));
+    match ev.phase {
+        Phase::Complete => {
+            obj.insert("ph", Json::Str("X".into()));
+            obj.insert("dur", Json::Float(ev.dur_ns as f64 / 1000.0));
+        }
+        Phase::Instant => {
+            obj.insert("ph", Json::Str("i".into()));
+            obj.insert("s", Json::Str("t".into()));
+        }
+    }
+    if ev.args.iter().any(Option::is_some) {
+        let mut args = Json::object();
+        for (key, value) in ev.args.iter().flatten() {
+            let v = *value;
+            if v >= 0 {
+                args.insert(*key, Json::Int(v as u64));
+            } else {
+                args.insert(*key, Json::Float(v as f64));
+            }
+        }
+        obj.insert("args", args);
+    }
+    obj
+}
+
+/// Export everything visible from the calling thread as a Chrome
+/// trace-event JSON object (`traceEvents` array plus thread-name metadata
+/// and drop statistics in `otherData`). Non-destructive: successive
+/// exports see accumulated events; use [`reset`] to start over.
+pub fn export_chrome_trace() -> Json {
+    let (rings, evicted) = snapshot();
+    let mut events = Vec::new();
+    let mut total_dropped = evicted;
+    let mut named: Vec<u32> = Vec::new();
+    for ring in &rings {
+        total_dropped += ring.dropped;
+        // Rings of reused tids share a display row; name it once.
+        if !named.contains(&ring.tid) {
+            named.push(ring.tid);
+            let mut meta = Json::object();
+            meta.insert("name", Json::Str("thread_name".into()));
+            meta.insert("ph", Json::Str("M".into()));
+            meta.insert("pid", Json::Int(1));
+            meta.insert("tid", Json::Int(ring.tid as u64));
+            let mut args = Json::object();
+            args.insert("name", Json::Str(ring.thread_name.clone()));
+            meta.insert("args", args);
+            events.push(meta);
+        }
+        for ev in &ring.events {
+            events.push(event_json(ev, ring.tid));
+        }
+    }
+    let mut root = Json::object();
+    root.insert("traceEvents", Json::Array(events));
+    root.insert("displayTimeUnit", Json::Str("ms".into()));
+    let mut other = Json::object();
+    other.insert("dropped_events", Json::Int(total_dropped));
+    other.insert("rings", Json::Int(rings.len() as u64));
+    root.insert("otherData", other);
+    root
+}
+
+/// Write the Chrome trace JSON to `path`, creating parent directories.
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, export_chrome_trace().to_pretty_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Timeline unit tests share the process-global flag byte and rings
+    // with the rest of the crate's tests; serialize on the same lock.
+    fn begin() -> std::sync::MutexGuard<'static, ()> {
+        let g = crate::tests::TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_timeline_enabled(true);
+        reset();
+        g
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = crate::tests::TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_timeline_enabled(false);
+        reset();
+        instant("tl.test.off");
+        let _s = scope("tl.test.off.scope");
+        drop(_s);
+        let trace = export_chrome_trace();
+        let Some(Json::Array(events)) = trace.get("traceEvents") else {
+            panic!("missing traceEvents")
+        };
+        assert!(events.is_empty(), "disabled timeline recorded events");
+    }
+
+    #[test]
+    fn scopes_and_instants_export_as_chrome_events() {
+        let _g = begin();
+        {
+            let _s = scope_args("tl.test.slice", &[("lo", 3), ("hi", 9)]);
+            instant("tl.test.mark");
+        }
+        let trace = export_chrome_trace();
+        let Some(Json::Array(events)) = trace.get("traceEvents") else {
+            panic!("missing traceEvents")
+        };
+        let phs: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert!(phs.contains(&"M"), "thread metadata missing: {phs:?}");
+        assert!(phs.contains(&"X"), "complete event missing: {phs:?}");
+        assert!(phs.contains(&"i"), "instant event missing: {phs:?}");
+        let slice = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("tl.test.slice"))
+            .expect("slice exported");
+        assert!(matches!(slice.get("ts"), Some(Json::Float(_))));
+        assert!(matches!(slice.get("dur"), Some(Json::Float(_))));
+        assert_eq!(
+            slice
+                .get("args")
+                .and_then(|a| a.get("lo"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        crate::set_timeline_enabled(false);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let _g = begin();
+        let old_cap = capacity();
+        set_capacity(8);
+        // Force a fresh ring at the new capacity on a scoped thread.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..30 {
+                    instant("tl.test.flood");
+                }
+            });
+        });
+        set_capacity(old_cap);
+        assert_eq!(dropped_total(), 30 - 8);
+        let trace = export_chrome_trace();
+        assert_eq!(
+            trace
+                .get("otherData")
+                .and_then(|o| o.get("dropped_events"))
+                .and_then(Json::as_u64),
+            Some(30 - 8)
+        );
+        let Some(Json::Array(events)) = trace.get("traceEvents") else {
+            panic!("missing traceEvents")
+        };
+        let flood = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("tl.test.flood"))
+            .count();
+        assert_eq!(flood, 8, "ring must retain exactly its capacity");
+        crate::set_timeline_enabled(false);
+    }
+
+    #[test]
+    fn worker_rings_retire_with_distinct_tids() {
+        let _g = begin();
+        instant("tl.test.main");
+        // Both workers record *before* either exits (tids are pooled on
+        // thread exit, so a fully-sequential pair could share one).
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    {
+                        let _sl = scope("tl.test.worker");
+                        std::hint::black_box(0);
+                    }
+                    barrier.wait();
+                });
+            }
+        });
+        let trace = export_chrome_trace();
+        let Some(Json::Array(events)) = trace.get("traceEvents") else {
+            panic!("missing traceEvents")
+        };
+        let mut tids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+            .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert!(tids.len() >= 3, "main + 2 workers expected: {tids:?}");
+        crate::set_timeline_enabled(false);
+    }
+}

@@ -1,0 +1,108 @@
+//! `INL_OBS_JSON` / `INL_TRACE_JSON` exit-dump integration test.
+//!
+//! The contract under test: pointing either env var at a path makes the
+//! process dump its telemetry report (resp. Chrome trace) there at exit,
+//! with no code changes in the binary beyond touching any inl-obs entry
+//! point. Verifying an atexit hook requires a real process exit, so this
+//! test re-executes its own test binary as a child with the env vars set
+//! and parses what the child left behind.
+
+use inl_obs::Json;
+use std::path::PathBuf;
+
+const CHILD_MARKER: &str = "INL_OBS_EXIT_DUMP_CHILD";
+
+fn target_tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("inl-obs-exit-dump-{}-{name}", std::process::id()));
+    p
+}
+
+/// In the child: behave like an instrumented binary. `enabled()` is the
+/// first inl-obs call — it must be what initializes the flags from the
+/// environment and registers the exit dump.
+fn run_as_child() {
+    assert!(
+        inl_obs::enabled(),
+        "INL_OBS_JSON implies telemetry is enabled"
+    );
+    assert!(
+        inl_obs::timeline_enabled(),
+        "INL_TRACE_JSON implies the timeline is enabled"
+    );
+    inl_obs::counter("exit_dump.child.events").add(7);
+    inl_obs::timeline::instant("exit_dump.child.marker");
+    {
+        let _s = inl_obs::span("exit_dump.child.work");
+        std::hint::black_box(0u64);
+    }
+    // Return normally; the atexit hook does the dumping.
+}
+
+#[test]
+fn env_dump_paths_produce_reports_at_process_exit() {
+    if std::env::var_os(CHILD_MARKER).is_some() {
+        run_as_child();
+        return;
+    }
+
+    let obs_path = target_tmp("report.json");
+    let trace_path = target_tmp("trace.json");
+    let _ = std::fs::remove_file(&obs_path);
+    let _ = std::fs::remove_file(&trace_path);
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(&exe)
+        .arg("env_dump_paths_produce_reports_at_process_exit")
+        .arg("--exact")
+        .env(CHILD_MARKER, "1")
+        .env("INL_OBS_JSON", &obs_path)
+        .env("INL_TRACE_JSON", &trace_path)
+        .env_remove("INL_OBS")
+        .env_remove("INL_TRACE")
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Telemetry report: valid JSON containing the child's counter.
+    let report_text = std::fs::read_to_string(&obs_path).expect("child dumped telemetry JSON");
+    let report = Json::parse(&report_text).expect("telemetry dump is well-formed JSON");
+    assert_eq!(
+        report
+            .get("counters")
+            .and_then(|c| c.get("exit_dump.child.events"))
+            .and_then(Json::as_u64),
+        Some(7),
+        "counter bumped in the child survives into the dump"
+    );
+    assert!(
+        report
+            .get("spans")
+            .and_then(|s| s.get("exit_dump.child.work"))
+            .is_some(),
+        "child span present in dump"
+    );
+
+    // Chrome trace: valid JSON whose events include the child's instant.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("child dumped trace JSON");
+    let trace = Json::parse(&trace_text).expect("trace dump is well-formed JSON");
+    let events = match trace.get("traceEvents") {
+        Some(Json::Array(items)) => items,
+        other => panic!("traceEvents array expected, got {other:?}"),
+    };
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("exit_dump.child.marker")
+                && e.get("ph").and_then(Json::as_str) == Some("i")
+        }),
+        "child instant present in trace dump"
+    );
+
+    let _ = std::fs::remove_file(&obs_path);
+    let _ = std::fs::remove_file(&trace_path);
+}

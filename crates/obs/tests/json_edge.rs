@@ -1,0 +1,117 @@
+//! JSON parser/serializer edge cases: escape sequences, deep nesting,
+//! and rejection of non-finite numbers.
+
+use inl_obs::Json;
+
+#[test]
+fn escape_sequences_round_trip() {
+    let s =
+        "quote \" backslash \\ slash / nl \n cr \r tab \t bs \u{8} ff \u{c} nul \u{0} bell \u{7}";
+    let mut obj = Json::object();
+    obj.insert(s, Json::Str(s.into()));
+    let text = obj.to_pretty_string();
+    assert_eq!(Json::parse(&text).unwrap(), obj);
+}
+
+#[test]
+fn unicode_escapes_parse() {
+    assert_eq!(Json::parse(r#""Aé世""#).unwrap(), Json::Str("Aé世".into()));
+    // Unpaired surrogate degrades to the replacement character rather
+    // than failing or producing invalid UTF-8.
+    assert_eq!(
+        Json::parse(r#""\ud800""#).unwrap(),
+        Json::Str("\u{fffd}".into())
+    );
+    assert!(Json::parse(r#""\u00g1""#).is_err());
+    assert!(Json::parse(r#""\u00""#).is_err());
+    assert!(Json::parse(r#""\x41""#).is_err());
+}
+
+#[test]
+fn raw_multibyte_strings_round_trip() {
+    let s = "héllo wörld — ∑ 世界 🦀";
+    let json = Json::Str(s.into());
+    assert_eq!(Json::parse(&json.to_pretty_string()).unwrap(), json);
+}
+
+#[test]
+fn deeply_nested_arrays_round_trip() {
+    let mut value = Json::Int(7);
+    for _ in 0..200 {
+        value = Json::Array(vec![value]);
+    }
+    let text = value.to_pretty_string();
+    let back = Json::parse(&text).unwrap();
+    assert_eq!(back, value);
+    // and unwrap all the way back down
+    let mut cur = &back;
+    for _ in 0..200 {
+        match cur {
+            Json::Array(items) => {
+                assert_eq!(items.len(), 1);
+                cur = &items[0];
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+    assert_eq!(cur, &Json::Int(7));
+}
+
+#[test]
+fn rejects_nan_and_infinity_literals() {
+    for bad in [
+        "NaN",
+        "nan",
+        "Infinity",
+        "-Infinity",
+        "inf",
+        "-inf",
+        "[1, NaN]",
+    ] {
+        assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+    }
+}
+
+#[test]
+fn non_finite_floats_serialize_as_null() {
+    let mut obj = Json::object();
+    obj.insert("nan", Json::Float(f64::NAN));
+    obj.insert("inf", Json::Float(f64::INFINITY));
+    obj.insert("ninf", Json::Float(f64::NEG_INFINITY));
+    let text = obj.to_pretty_string();
+    let back = Json::parse(&text).unwrap();
+    assert_eq!(back.get("nan"), Some(&Json::Null));
+    assert_eq!(back.get("inf"), Some(&Json::Null));
+    assert_eq!(back.get("ninf"), Some(&Json::Null));
+}
+
+#[test]
+fn number_edges() {
+    assert_eq!(
+        Json::parse(&u64::MAX.to_string()).unwrap(),
+        Json::Int(u64::MAX)
+    );
+    // Negative and fractional numbers fall back to floats.
+    assert_eq!(Json::parse("-3").unwrap(), Json::Float(-3.0));
+    assert_eq!(Json::parse("0.5e2").unwrap(), Json::Float(50.0));
+    assert!(Json::parse("1.2.3").is_err());
+    assert!(Json::parse("--1").is_err());
+    assert!(Json::parse("+1").is_err());
+}
+
+#[test]
+fn malformed_documents_error() {
+    for bad in [
+        "",
+        "{",
+        "[",
+        "\"unterminated",
+        "{\"a\" 1}",
+        "{\"a\": 1,}",
+        "[1 2]",
+        "tru",
+        "nulll",
+    ] {
+        assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+    }
+}

@@ -215,6 +215,84 @@ pub enum Instr {
     },
 }
 
+/// The operation kind of an [`Instr`], without operands — the unit the
+/// VM profiler aggregates over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Opcode {
+    Loop,
+    Next,
+    Guard,
+    Const,
+    Idx,
+    Load,
+    Neg,
+    Sqrt,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Store,
+}
+
+impl Opcode {
+    /// Every opcode, in declaration order.
+    pub const ALL: [Opcode; 13] = [
+        Opcode::Loop,
+        Opcode::Next,
+        Opcode::Guard,
+        Opcode::Const,
+        Opcode::Idx,
+        Opcode::Load,
+        Opcode::Neg,
+        Opcode::Sqrt,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Store,
+    ];
+
+    /// Mnemonic, matching the disassembly.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Loop => "loop",
+            Opcode::Next => "next",
+            Opcode::Guard => "guard",
+            Opcode::Const => "const",
+            Opcode::Idx => "idx",
+            Opcode::Load => "load",
+            Opcode::Neg => "neg",
+            Opcode::Sqrt => "sqrt",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Store => "store",
+        }
+    }
+}
+
+impl Instr {
+    /// This instruction's [`Opcode`].
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instr::Loop { .. } => Opcode::Loop,
+            Instr::Next { .. } => Opcode::Next,
+            Instr::Guard { .. } => Opcode::Guard,
+            Instr::Const { .. } => Opcode::Const,
+            Instr::Idx { .. } => Opcode::Idx,
+            Instr::Load { .. } => Opcode::Load,
+            Instr::Neg { .. } => Opcode::Neg,
+            Instr::Sqrt { .. } => Opcode::Sqrt,
+            Instr::Add { .. } => Opcode::Add,
+            Instr::Sub { .. } => Opcode::Sub,
+            Instr::Mul { .. } => Opcode::Mul,
+            Instr::Div { .. } => Opcode::Div,
+            Instr::Store { .. } => Opcode::Store,
+        }
+    }
+}
+
 /// A symbolic (pre-binding) array access: per-dimension subscript rows.
 #[derive(Clone, Debug)]
 pub struct AccessDesc {
@@ -258,6 +336,9 @@ pub struct LoopMeta {
 /// Bind parameters with [`CompiledProgram::bind`] to make it runnable.
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
+    /// Process-unique compilation id (assigned by [`crate::compile`]),
+    /// keying this program's profile samples in [`crate::profile`].
+    pub id: u64,
     /// Source program name.
     pub name: String,
     /// Number of parameters (integer registers `0 .. nparams`).

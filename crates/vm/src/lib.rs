@@ -67,13 +67,17 @@
 //!
 //! Compilation runs under an `inl-obs` `vm.compile` span; execution
 //! batches `vm.instrs` / `vm.instances` counters locally and flushes once
-//! per [`exec_range`] call.
+//! per [`exec_range`] call. The optional [`profile`] mode
+//! (`INL_VM_PROFILE=1`) additionally counts executions per instruction
+//! address with the same per-`exec_range` batching, from which hot
+//! opcode/statement/loop tables are derived.
 
 pub mod bytecode;
 pub mod compile;
+pub mod profile;
 pub mod run;
 
-pub use bytecode::{BoundProgram, CompiledProgram, GuardKind, Instr, Row};
+pub use bytecode::{BoundProgram, CompiledProgram, GuardKind, Instr, Opcode, Row};
 pub use compile::compile;
 pub use run::{exec_range, run, SharedBuf, VmState};
 

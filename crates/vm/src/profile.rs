@@ -1,0 +1,389 @@
+//! Optional VM opcode profiling: per-instruction-address execution
+//! counts, batched per [`crate::exec_range`] call.
+//!
+//! When enabled (`INL_VM_PROFILE=1` or [`set_enabled`]), the dispatch
+//! loop counts executions per program counter into a stack-local vector
+//! and [`flush`]es it into a global sink once per `exec_range` — the same
+//! batching discipline as the `vm.instrs` counter, so the per-instruction
+//! cost is one unconditional array increment in a monomorphised copy of
+//! the loop (the unprofiled copy is untouched; disabled cost is one
+//! relaxed atomic load per `exec_range`, not per instruction).
+//!
+//! Because bytecode is static, per-pc counts are a complete profile:
+//! opcode totals ([`opcode_totals`]), per-statement instance/instruction
+//! counts ([`hot_statements`] — a statement's `Store` count *is* its
+//! instance count), and per-loop-body iteration/instruction counts
+//! ([`loop_profiles`]) are all derived views. Each flush additionally
+//! records every loop's body-instruction total into the
+//! `vm.loop_body.instrs` obs histogram, giving a distribution of
+//! per-`exec_range` loop work alongside the exact tables.
+//!
+//! Profiles are keyed by [`CompiledProgram::id`], so many compiled
+//! programs can be profiled in one process without interference.
+
+use crate::bytecode::{CompiledProgram, Opcode};
+use inl_ir::{Program, StmtId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn enabled_cell() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| {
+        AtomicBool::new(matches!(
+            std::env::var("INL_VM_PROFILE").ok().as_deref(),
+            Some("1") | Some("true") | Some("on")
+        ))
+    })
+}
+
+/// True iff opcode profiling is on (one relaxed atomic load; checked once
+/// per `exec_range`, not per instruction).
+#[inline]
+pub fn enabled() -> bool {
+    enabled_cell().load(Ordering::Relaxed)
+}
+
+/// Turn profiling on or off at runtime (overrides `INL_VM_PROFILE`).
+pub fn set_enabled(on: bool) {
+    enabled_cell().store(on, Ordering::Relaxed);
+}
+
+/// Per-pc execution counts accumulated per [`CompiledProgram::id`].
+fn sink() -> MutexGuard<'static, HashMap<u64, Vec<u64>>> {
+    static SINK: OnceLock<Mutex<HashMap<u64, Vec<u64>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Merge one `exec_range`'s per-pc counts into the program's profile.
+/// Called by the dispatch loop; also usable directly by custom drivers.
+pub fn flush(id: u64, counts: &[u64]) {
+    if counts.iter().all(|&c| c == 0) {
+        return;
+    }
+    let mut map = sink();
+    let acc = map.entry(id).or_default();
+    if acc.len() < counts.len() {
+        acc.resize(counts.len(), 0);
+    }
+    for (a, &c) in acc.iter_mut().zip(counts) {
+        *a += c;
+    }
+}
+
+/// Record per-loop body-instruction totals for one flush into the
+/// `vm.loop_body.instrs` histogram (requires the compiled program, so the
+/// dispatch loop calls it next to [`flush`]).
+pub fn record_loop_bodies(cp: &CompiledProgram, counts: &[u64]) {
+    for meta in cp.loops.iter().flatten() {
+        let (s, e) = meta.body;
+        let body: u64 = counts
+            .get(s as usize..e as usize)
+            .map_or(0, |c| c.iter().sum());
+        if body > 0 {
+            inl_obs::hist_record!("vm.loop_body.instrs", body);
+        }
+    }
+}
+
+/// Drop every accumulated profile.
+pub fn reset() {
+    sink().clear();
+}
+
+/// The accumulated per-pc counts for a program, if it was ever executed
+/// under profiling. The vector is indexed by instruction address and has
+/// at most `cp.code.len()` entries.
+pub fn pc_counts(cp: &CompiledProgram) -> Option<Vec<u64>> {
+    sink().get(&cp.id).cloned()
+}
+
+/// Total executions of one opcode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpcodeTotal {
+    pub opcode: Opcode,
+    /// Times any instruction of this opcode executed.
+    pub executed: u64,
+    /// Distinct instruction addresses of this opcode that executed.
+    pub sites: u64,
+}
+
+/// Aggregate per-pc counts into per-opcode totals, hottest first
+/// (zero-count opcodes omitted).
+pub fn opcode_totals(cp: &CompiledProgram, counts: &[u64]) -> Vec<OpcodeTotal> {
+    let mut executed = [0u64; Opcode::ALL.len()];
+    let mut sites = [0u64; Opcode::ALL.len()];
+    for (instr, &c) in cp.code.iter().zip(counts) {
+        if c > 0 {
+            let op = instr.opcode() as usize;
+            executed[op] += c;
+            sites[op] += 1;
+        }
+    }
+    let mut out: Vec<OpcodeTotal> = Opcode::ALL
+        .iter()
+        .filter(|&&op| executed[op as usize] > 0)
+        .map(|&op| OpcodeTotal {
+            opcode: op,
+            executed: executed[op as usize],
+            sites: sites[op as usize],
+        })
+        .collect();
+    out.sort_by(|a, b| b.executed.cmp(&a.executed).then(a.opcode.cmp(&b.opcode)));
+    out
+}
+
+/// Execution profile of one statement's instruction range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StmtProfile {
+    /// Statement label (from the source program when given, else `S<id>`).
+    pub name: String,
+    /// Instances executed (= the statement's `Store` count).
+    pub instances: u64,
+    /// Instructions executed inside the statement's range, including
+    /// guards that rejected the instance.
+    pub instrs: u64,
+}
+
+/// Per-statement execution counts, hottest (most instructions) first.
+/// Statements that never executed are omitted.
+pub fn hot_statements(
+    cp: &CompiledProgram,
+    p: Option<&Program>,
+    counts: &[u64],
+) -> Vec<StmtProfile> {
+    let mut out = Vec::new();
+    for (idx, range) in cp.stmts.iter().enumerate() {
+        let Some((s, e)) = *range else { continue };
+        let range = counts.get(s as usize..e as usize).unwrap_or(&[]);
+        let instrs: u64 = range.iter().sum();
+        if instrs == 0 {
+            continue;
+        }
+        // The range ends with the statement's single Store.
+        let instances = range.last().copied().unwrap_or(0);
+        let name = match p {
+            Some(p) => p.stmt_decl(StmtId(idx)).name.clone(),
+            None => format!("S{idx}"),
+        };
+        out.push(StmtProfile {
+            name,
+            instances,
+            instrs,
+        });
+    }
+    out.sort_by(|a, b| b.instrs.cmp(&a.instrs).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Execution profile of one loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopProfile {
+    /// Loop-variable name (from the source program when given, else `L<id>`).
+    pub name: String,
+    /// Times the header ([`crate::bytecode::Instr::Loop`]) executed. Zero
+    /// when a driver ran the body directly (the parallel executor does).
+    pub header_execs: u64,
+    /// Body iterations (executions of the first body instruction).
+    pub iterations: u64,
+    /// Instructions executed inside the body range.
+    pub body_instrs: u64,
+}
+
+/// Per-loop execution counts, hottest body first. Loops whose body never
+/// executed are omitted.
+pub fn loop_profiles(
+    cp: &CompiledProgram,
+    p: Option<&Program>,
+    counts: &[u64],
+) -> Vec<LoopProfile> {
+    let mut out = Vec::new();
+    for (idx, meta) in cp.loops.iter().enumerate() {
+        let Some(meta) = meta else { continue };
+        let (s, e) = meta.body;
+        let body = counts.get(s as usize..e as usize).unwrap_or(&[]);
+        let body_instrs: u64 = body.iter().sum();
+        if body_instrs == 0 {
+            continue;
+        }
+        let name = match p {
+            Some(p) => p.loop_decl(inl_ir::LoopId(idx)).name.clone(),
+            None => format!("L{idx}"),
+        };
+        out.push(LoopProfile {
+            name,
+            header_execs: counts.get(meta.header as usize).copied().unwrap_or(0),
+            iterations: body.first().copied().unwrap_or(0),
+            body_instrs,
+        });
+    }
+    out.sort_by(|a, b| b.body_instrs.cmp(&a.body_instrs).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Render the "hot opcodes / hot statements / hot loops" tables for a
+/// profiled program (empty string when it has no samples).
+pub fn render_tables(cp: &CompiledProgram, p: Option<&Program>) -> String {
+    let Some(counts) = pc_counts(cp) else {
+        return String::new();
+    };
+    let mut out = String::new();
+    let ops = opcode_totals(cp, &counts);
+    let total: u64 = ops.iter().map(|o| o.executed).sum();
+    out.push_str(&format!(
+        "hot opcodes ({}, {} instructions executed)\n",
+        cp.name, total
+    ));
+    out.push_str("  opcode  executed      sites  share\n");
+    for o in &ops {
+        out.push_str(&format!(
+            "  {:<6}  {:>12}  {:>5}  {:>5.1}%\n",
+            o.opcode.name(),
+            o.executed,
+            o.sites,
+            o.executed as f64 / total.max(1) as f64 * 100.0
+        ));
+    }
+    let stmts = hot_statements(cp, p, &counts);
+    if !stmts.is_empty() {
+        out.push_str("hot statements\n");
+        out.push_str("  stmt      instances        instrs  instrs/instance\n");
+        for s in &stmts {
+            out.push_str(&format!(
+                "  {:<8}  {:>9}  {:>12}  {:>15.1}\n",
+                s.name,
+                s.instances,
+                s.instrs,
+                s.instrs as f64 / s.instances.max(1) as f64
+            ));
+        }
+    }
+    let loops = loop_profiles(cp, p, &counts);
+    if !loops.is_empty() {
+        out.push_str("hot loops\n");
+        out.push_str("  loop   headers  iterations   body instrs\n");
+        for l in &loops {
+            out.push_str(&format!(
+                "  {:<5}  {:>7}  {:>10}  {:>12}\n",
+                l.name, l.header_execs, l.iterations, l.body_instrs
+            ));
+        }
+    }
+    out
+}
+
+/// The profile as a JSON section for telemetry reports.
+pub fn to_json(cp: &CompiledProgram, p: Option<&Program>) -> inl_obs::Json {
+    use inl_obs::Json;
+    let mut root = Json::object();
+    root.insert("program", Json::Str(cp.name.clone()));
+    let counts = pc_counts(cp).unwrap_or_default();
+    let mut ops = Json::object();
+    for o in opcode_totals(cp, &counts) {
+        ops.insert(o.opcode.name(), Json::Int(o.executed));
+    }
+    root.insert("opcodes", ops);
+    let mut stmts = Json::object();
+    for s in hot_statements(cp, p, &counts) {
+        let mut obj = Json::object();
+        obj.insert("instances", Json::Int(s.instances));
+        obj.insert("instrs", Json::Int(s.instrs));
+        stmts.insert(s.name, obj);
+    }
+    root.insert("statements", stmts);
+    let mut loops = Json::object();
+    for l in loop_profiles(cp, p, &counts) {
+        let mut obj = Json::object();
+        obj.insert("headers", Json::Int(l.header_execs));
+        obj.insert("iterations", Json::Int(l.iterations));
+        obj.insert("body_instrs", Json::Int(l.body_instrs));
+        loops.insert(l.name, obj);
+    }
+    root.insert("loops", loops);
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, run};
+    use inl_ir::zoo;
+
+    // The profile flag and sink are process-global; serialize tests that
+    // toggle them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_profiling_collects_nothing() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        reset();
+        let p = zoo::simple_cholesky();
+        let cp = compile(&p);
+        let bp = cp.bind(&[4]);
+        let mut buf = vec![9.0; bp.total_len];
+        run(&bp, &mut buf);
+        assert!(pc_counts(&cp).is_none());
+    }
+
+    #[test]
+    fn profile_counts_match_known_cholesky_shape() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        reset();
+        let p = zoo::simple_cholesky();
+        let cp = compile(&p);
+        let bp = cp.bind(&[4]);
+        let mut buf = vec![9.0; bp.total_len];
+        run(&bp, &mut buf);
+        set_enabled(false);
+
+        let counts = pc_counts(&cp).expect("profiled run recorded");
+        // N=4: S1 (sqrt) runs 4 times; S2 (divide) runs 3+2+1 = 6 times.
+        let stmts = hot_statements(&cp, Some(&p), &counts);
+        let by_name = |n: &str| stmts.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("S1").instances, 4);
+        assert_eq!(by_name("S2").instances, 6);
+
+        let ops = opcode_totals(&cp, &counts);
+        let op = |o: Opcode| ops.iter().find(|t| t.opcode == o).map_or(0, |t| t.executed);
+        assert_eq!(op(Opcode::Store), 10);
+        assert_eq!(op(Opcode::Sqrt), 4);
+        assert_eq!(op(Opcode::Div), 6);
+        // Totals agree with the dispatch loop's own tally.
+        let executed: u64 = ops.iter().map(|t| t.executed).sum();
+        assert_eq!(executed, counts.iter().sum::<u64>());
+        assert!(ops.windows(2).all(|w| w[0].executed >= w[1].executed));
+
+        // Inner loop J: 6 iterations, driven through its header.
+        let loops = loop_profiles(&cp, Some(&p), &counts);
+        let j = loops.iter().find(|l| l.name == "J").unwrap();
+        assert_eq!(j.iterations, 6);
+        assert!(j.header_execs > 0);
+
+        let tables = render_tables(&cp, Some(&p));
+        assert!(tables.contains("hot opcodes"));
+        assert!(tables.contains("store"));
+        assert!(tables.contains("S2"));
+    }
+
+    #[test]
+    fn profiles_are_keyed_per_program() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        reset();
+        let p1 = zoo::simple_cholesky();
+        let p2 = zoo::matmul();
+        let cp1 = compile(&p1);
+        let cp2 = compile(&p2);
+        assert_ne!(cp1.id, cp2.id);
+        let bp = cp1.bind(&[3]);
+        let mut buf = vec![4.0; bp.total_len];
+        run(&bp, &mut buf);
+        set_enabled(false);
+        assert!(pc_counts(&cp1).is_some());
+        assert!(pc_counts(&cp2).is_none());
+    }
+}

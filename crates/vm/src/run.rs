@@ -138,8 +138,32 @@ fn addr(bp: &BoundProgram, acc: u32, iregs: &[i64]) -> usize {
 ///
 /// The `vm.instrs` / `vm.instances` counters are accumulated locally and
 /// flushed **once** on return (batched far coarser than per innermost
-/// trip), so telemetry costs nothing on the per-instance path.
+/// trip), so telemetry costs nothing on the per-instance path. When
+/// [`crate::profile`] is enabled (checked once per call), the dispatch
+/// loop additionally counts executions per instruction address into a
+/// local vector and flushes it to the profile sink on return — the same
+/// batching discipline.
 pub fn exec_range(bp: &BoundProgram, st: &mut VmState, buf: &SharedBuf<'_>, start: Pc, end: Pc) {
+    if crate::profile::enabled() {
+        let mut counts = vec![0u64; bp.cp.code.len()];
+        exec_range_impl::<true>(bp, st, buf, start, end, &mut counts);
+        crate::profile::record_loop_bodies(bp.cp, &counts);
+        crate::profile::flush(bp.cp.id, &counts);
+    } else {
+        exec_range_impl::<false>(bp, st, buf, start, end, &mut []);
+    }
+}
+
+/// The dispatch loop, monomorphised over profiling so the per-pc counting
+/// costs nothing when off.
+fn exec_range_impl<const PROFILE: bool>(
+    bp: &BoundProgram,
+    st: &mut VmState,
+    buf: &SharedBuf<'_>,
+    start: Pc,
+    end: Pc,
+    counts: &mut [u64],
+) {
     let code = &bp.cp.code;
     let rows = &bp.cp.rows;
     let mut instrs: u64 = 0;
@@ -147,6 +171,9 @@ pub fn exec_range(bp: &BoundProgram, st: &mut VmState, buf: &SharedBuf<'_>, star
     let mut pc = start;
     while pc < end {
         instrs += 1;
+        if PROFILE {
+            counts[pc as usize] += 1;
+        }
         match code[pc as usize] {
             Instr::Loop {
                 var,
@@ -237,6 +264,7 @@ pub fn exec_range(bp: &BoundProgram, st: &mut VmState, buf: &SharedBuf<'_>, star
     }
     if instrs > 0 {
         inl_obs::counter_add!("vm.instrs", instrs);
+        inl_obs::hist_record!("vm.exec_range.instrs", instrs);
     }
     if instances > 0 {
         inl_obs::counter_add!("vm.instances", instances);

@@ -1,0 +1,78 @@
+//! Profiling a run: timeline tracing + VM opcode profiling in one place.
+//!
+//! Turns on both observability layers, runs Cholesky twice — once through
+//! the bytecode VM with opcode profiling, once through the parallel
+//! executor so the trace shows per-thread wavefront slices — then prints
+//! the hot-opcode/statement/loop tables and writes a Chrome trace-event
+//! file you can open at <https://ui.perfetto.dev> or `chrome://tracing`.
+//!
+//! ```sh
+//! cargo run --release --example profile_run
+//! # then load target/inl-trace.json in Perfetto
+//! ```
+//!
+//! The same data is available with zero code changes via the environment:
+//! `INL_TRACE_JSON=trace.json INL_VM_PROFILE=1 ./your-binary`.
+
+use inl::exec::{run_fresh, Machine, ParallelExecutor, VmRunner};
+use inl::ir::zoo;
+
+fn spd(_: &str, idx: &[usize]) -> f64 {
+    if idx.len() == 2 && idx[0] == idx[1] {
+        (idx[0] + 10) as f64
+    } else {
+        1.0 / ((idx.iter().sum::<usize>() + 1) as f64)
+    }
+}
+
+fn main() {
+    // Both layers off by default; the disabled fast path is one relaxed
+    // atomic load. Turn everything on explicitly for the demo.
+    inl::obs::set_enabled(true);
+    inl::obs::set_timeline_enabled(true);
+    inl::vm::profile::set_enabled(true);
+
+    let n: i128 = 96;
+
+    // 1. VM run with opcode profiling: which opcodes and statements
+    //    dominate the instruction stream?
+    let p = zoo::cholesky_kij();
+    let runner = VmRunner::new(&p);
+    let mut m = Machine::new(&p, &[n], &spd);
+    runner.run(&mut m);
+    println!("== VM opcode profile (cholesky_kij, N = {n}) ==\n");
+    print!(
+        "{}",
+        inl::vm::profile::render_tables(runner.compiled(), Some(&p))
+    );
+
+    // 2. Parallel run: the trace gets one `exec.par.wavefront` slice per
+    //    wavefront on the main thread and `exec.par.chunk` slices on each
+    //    worker's own timeline row.
+    let mut par = zoo::simple_cholesky();
+    let j = par.loops().find(|&l| par.loop_decl(l).name == "J").unwrap();
+    par.set_loop_parallel(j, true);
+    let reference = run_fresh(&par, &[n], &spd);
+    let mut machine = Machine::new(&par, &[n], &spd);
+    ParallelExecutor::new(&par, 4).run(&mut machine);
+    reference
+        .same_state(&machine)
+        .expect("parallel run bitwise identical");
+
+    // 3. Export. Spans recorded by the pipeline double as trace slices,
+    //    so the file also shows where analysis/codegen time went.
+    let path = "target/inl-trace.json";
+    inl::obs::timeline::write_chrome_trace(path).expect("write trace");
+    println!(
+        "wrote {path} ({} events dropped) — open in https://ui.perfetto.dev",
+        inl::obs::timeline::dropped_total()
+    );
+
+    println!("\n== pipeline telemetry ==\n");
+    let mut report = inl::obs::PipelineReport::capture();
+    report.attach(
+        "vm_profile",
+        inl::vm::profile::to_json(runner.compiled(), Some(&p)),
+    );
+    print!("{}", report.to_table());
+}
