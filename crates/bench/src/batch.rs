@@ -1,0 +1,102 @@
+//! Parallel compile-side batch driver: run the full analysis + codegen
+//! pipeline over many transformation variants across a thread pool.
+//!
+//! Each job is self-contained — layout, dependence analysis, legality,
+//! code generation — so the driver parallelizes trivially; the poly query
+//! cache (`inl_poly::cache`) is what makes the repeated sub-systems cheap
+//! across jobs. Workers pull jobs from a shared atomic index (the same
+//! work-stealing-free queue idiom as `inl_exec::ParallelExecutor`) and
+//! every job records a `batch.compile` timeline slice tagged with its
+//! variant index, so a Chrome trace shows the per-variant schedule across
+//! worker threads.
+
+use inl_codegen::generate;
+use inl_core::depend::analyze;
+use inl_core::instance::InstanceLayout;
+use inl_ir::Program;
+use inl_linalg::IMat;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One compiled variant out of [`compile_batch`].
+#[derive(Clone, Debug)]
+pub struct CompiledVariant {
+    /// The variant's label (e.g. its loop order, `"KJLI"`).
+    pub label: String,
+    /// Pseudocode of the generated program — the batch drivers compare
+    /// this text across runs to assert bitwise-identical output.
+    pub pseudocode: String,
+    /// Wall time of this job alone (analysis through codegen).
+    pub wall_ns: u64,
+}
+
+/// Compile every `(label, matrix)` variant of `p` on `threads` worker
+/// threads (`0` = one per available core). Results come back in variant
+/// order regardless of which worker ran which job. Panics if any variant
+/// fails to generate — callers pass matrices already proven legal.
+pub fn compile_batch(
+    p: &Program,
+    variants: &[(String, IMat)],
+    threads: usize,
+) -> Vec<CompiledVariant> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<CompiledVariant>>> =
+        variants.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(variants.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= variants.len() {
+                    break;
+                }
+                let (label, m) = &variants[i];
+                let _slice =
+                    inl_obs::timeline::scope_args("batch.compile", &[("variant", i as i64)]);
+                let _span = inl_obs::span("batch.compile");
+                let t0 = Instant::now();
+                let layout = InstanceLayout::new(p);
+                let deps = analyze(p, &layout);
+                let result = generate(p, &layout, &deps, m)
+                    .unwrap_or_else(|e| panic!("batch compile of {label}: {e:?}"));
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                *results[i].lock().unwrap() = Some(CompiledVariant {
+                    label: label.clone(),
+                    pseudocode: result.program.to_pseudocode(),
+                    wall_ns,
+                });
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("batch job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky_variants;
+
+    #[test]
+    fn parallel_batch_matches_serial() {
+        let (p, variants) = cholesky_variants();
+        let serial = compile_batch(&p, &variants, 1);
+        let parallel = compile_batch(&p, &variants, 4);
+        assert_eq!(serial.len(), variants.len());
+        for (s, q) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, q.label);
+            assert_eq!(
+                s.pseudocode, q.pseudocode,
+                "variant {} generated different code in parallel",
+                s.label
+            );
+        }
+    }
+}

@@ -12,8 +12,9 @@
 //! executor's perf trajectory is tracked across PRs.
 
 use inl_bench::{
-    cholesky_variants, kernel_cholesky_kjli, kernel_cholesky_left, kernel_cholesky_right,
-    kernel_wavefront_sqrt_seq, kernel_wavefront_sqrt_skewed_parallel, spd_init,
+    cholesky_variants, compile_batch, kernel_cholesky_kjli, kernel_cholesky_left,
+    kernel_cholesky_right, kernel_wavefront_sqrt_seq, kernel_wavefront_sqrt_skewed_parallel,
+    spd_init,
 };
 use inl_codegen::generate;
 use inl_core::depend::analyze;
@@ -54,6 +55,7 @@ fn flag_path(flag: &str, default: &str) -> std::path::PathBuf {
 fn main() {
     let json_path = flag_path("--obs-json", "target/inl-obs.json");
     let bench_path = flag_path("--bench-json", "BENCH_exec.json");
+    let pipeline_path = flag_path("--pipeline-json", "BENCH_pipeline.json");
     let trace_path = flag_path("--trace-json", "target/inl-trace.json");
     inl_obs::set_enabled(true);
     inl_obs::set_timeline_enabled(true);
@@ -107,6 +109,99 @@ fn main() {
             if ok { "yes" } else { "NO" }
         );
     }
+
+    // ------------------------------------- pipeline compile batch driver
+    // Compile the full 12-variant sweep three ways: serially with the poly
+    // query cache disabled (the seed pipeline), serially with the cache
+    // enabled, and across a thread pool on the warm cache. The third run
+    // issuing only cache hits keeps the telemetry counters deterministic
+    // despite the parallelism. Generated code must be identical in all
+    // three, and the timings land in BENCH_pipeline.json for the CI diff
+    // gate.
+    println!("\n## pipeline compile batch — 12 Cholesky variants\n");
+    let batch_threads = std::thread::available_parallelism().map_or(2, |x| x.get());
+    inl_poly::cache::set_cache_enabled(false);
+    inl_poly::cache::clear();
+    let t0 = Instant::now();
+    let cold = compile_batch(&p, &variants, 1);
+    let serial_cold = t0.elapsed();
+    inl_poly::cache::set_cache_enabled(true);
+    inl_poly::cache::clear();
+    let pre_warm = inl_poly::cache::stats();
+    let t0 = Instant::now();
+    let warm = compile_batch(&p, &variants, 1);
+    let serial_warm = t0.elapsed();
+    let post_warm = inl_poly::cache::stats();
+    let t0 = Instant::now();
+    let par = compile_batch(&p, &variants, batch_threads);
+    let parallel = t0.elapsed();
+    let post_par = inl_poly::cache::stats();
+    let batch_bitwise = cold
+        .iter()
+        .zip(&warm)
+        .zip(&par)
+        .all(|((c, w), q)| c.pseudocode == w.pseudocode && c.pseudocode == q.pseudocode);
+    let warm_hit_rate = {
+        let (h, m) = (
+            post_warm.hits - pre_warm.hits,
+            post_warm.misses - pre_warm.misses,
+        );
+        h as f64 / (h + m).max(1) as f64
+    };
+    let par_hit_rate = {
+        let (h, m) = (
+            post_par.hits - post_warm.hits,
+            post_par.misses - post_warm.misses,
+        );
+        h as f64 / (h + m).max(1) as f64
+    };
+    println!("| variant | serial no-cache | serial cached | speedup |");
+    println!("|---------|-----------------|---------------|---------|");
+    let mut pipeline_entries: Vec<Json> = Vec::new();
+    for (c, w) in cold.iter().zip(&warm) {
+        println!(
+            "| {} | {:.2?} | {:.2?} | {:.2}x |",
+            c.label,
+            Duration::from_nanos(c.wall_ns),
+            Duration::from_nanos(w.wall_ns),
+            c.wall_ns as f64 / w.wall_ns.max(1) as f64
+        );
+        let mut e = Json::object();
+        e.insert("name", Json::Str(c.label.clone()));
+        e.insert("serial_cold_ns", Json::Int(c.wall_ns));
+        e.insert("serial_warm_ns", Json::Int(w.wall_ns));
+        pipeline_entries.push(e);
+    }
+    let batch_speedup = serial_cold.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+    println!(
+        "\ntotal: serial no-cache {serial_cold:.2?}, serial cached {serial_warm:.2?} \
+         (hit rate {:.1}%), parallel x{batch_threads} cached {parallel:.2?} \
+         (hit rate {:.1}%) — {batch_speedup:.2}x vs seed serial, generated code {}",
+        warm_hit_rate * 100.0,
+        par_hit_rate * 100.0,
+        if batch_bitwise {
+            "bitwise identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+    let mut total = Json::object();
+    total.insert("name", Json::Str("total".to_string()));
+    total.insert("serial_cold_ns", Json::Int(serial_cold.as_nanos() as u64));
+    total.insert("serial_warm_ns", Json::Int(serial_warm.as_nanos() as u64));
+    total.insert("parallel_ns", Json::Int(parallel.as_nanos() as u64));
+    total.insert("speedup", Json::Float(batch_speedup));
+    total.insert("cache_hit_rate", Json::Float(par_hit_rate));
+    total.insert("bitwise_identical", Json::Bool(batch_bitwise));
+    pipeline_entries.push(total);
+    let mut pipeline_json = Json::object();
+    pipeline_json.insert("version", Json::Int(1));
+    pipeline_json.insert("sweep", Json::Str("cholesky12".to_string()));
+    pipeline_json.insert("threads", Json::Int(batch_threads as u64));
+    pipeline_json.insert("programs", Json::Array(pipeline_entries));
+    std::fs::write(&pipeline_path, pipeline_json.to_pretty_string())
+        .expect("write BENCH_pipeline.json");
+    println!("pipeline batch -> {}", pipeline_path.display());
 
     // --------------------------------- exec backends: interpreter vs VM
     // Wall-clock comparison of the two backends per program, recorded in
@@ -329,6 +424,30 @@ fn main() {
     vmj.insert("programs", Json::Array(bench_entries));
     report.attach("vm", vmj);
     report.attach("vm_profile", vm_profile_json);
+    // Poly query-cache stats, cumulative over the whole report run. The
+    // keys render name-ordered (Json objects are BTreeMaps), matching the
+    // report's deterministic-output convention; evictions/entries let the
+    // diff gate watch for unbounded growth.
+    let cs = inl_poly::cache::stats();
+    let mut pc = Json::object();
+    pc.insert("enabled", Json::Bool(inl_poly::cache::cache_enabled()));
+    pc.insert("hits", Json::Int(cs.hits));
+    pc.insert("misses", Json::Int(cs.misses));
+    pc.insert("insertions", Json::Int(cs.insertions));
+    pc.insert("evictions", Json::Int(cs.evictions));
+    pc.insert("entries", Json::Int(cs.entries));
+    pc.insert("hit_rate", Json::Float(cs.hit_rate()));
+    println!("\n## poly query cache\n");
+    println!(
+        "hits {}, misses {}, insertions {}, evictions {}, resident entries {} (hit rate {:.1}%)",
+        cs.hits,
+        cs.misses,
+        cs.insertions,
+        cs.evictions,
+        cs.entries,
+        cs.hit_rate() * 100.0
+    );
+    report.attach("poly_cache", pc);
 
     println!("\n## pipeline telemetry\n");
     println!("{}", report.to_table());

@@ -15,6 +15,10 @@
 //!   (what a compiler's backend would emit), where cache behaviour makes
 //!   the paper's "performance can be quite different" visible.
 
+pub mod batch;
+
+pub use batch::{compile_batch, CompiledVariant};
+
 use inl_core::complete::complete_transform;
 use inl_core::depend::{analyze, DependenceMatrix};
 use inl_core::instance::InstanceLayout;

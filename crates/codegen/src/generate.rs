@@ -283,13 +283,20 @@ fn merge_side(
     if a.iter().all(|t| b.contains(t)) && b.iter().all(|t| a.contains(t)) {
         return Ok(a);
     }
+    // All globalized terms share one space; extend the assumptions into it
+    // once rather than per prove_le query.
+    let space = a
+        .first()
+        .or_else(|| b.first())
+        .map_or(assumptions.nvars(), |t| t.0.nvars());
+    let assumptions = assumptions.extend(space);
     // prove: max(a) <= max(b) (lower) or min(a) >= min(b) (upper) — then
     // keeping `a` is sound for the union; and vice versa.
-    let a_covers_b = side_dominates(&a, &b, lower, assumptions);
+    let a_covers_b = side_dominates(&a, &b, lower, &assumptions);
     if a_covers_b {
         return Ok(a);
     }
-    if side_dominates(&b, &a, lower, assumptions) {
+    if side_dominates(&b, &a, lower, &assumptions) {
         return Ok(b);
     }
     Err("incomparable bound sets".to_string())
@@ -320,9 +327,11 @@ fn side_dominates(
 
 /// Prove `a/da ≤ b/db` for all parameter values satisfying the
 /// assumptions (conservative: free variables universally quantified).
+/// `assumptions` must already live in the terms' variable space.
 fn prove_le(a: &(LinExpr, Int), b: &(LinExpr, Int), assumptions: &System) -> bool {
     let space = a.0.nvars();
-    let mut sys = assumptions.extend(space);
+    debug_assert_eq!(assumptions.nvars(), space, "prove_le: space mismatch");
+    let mut sys = assumptions.clone();
     // counterexample: a·db − b·da ≥ 1
     sys.add_ge(a.0.clone() * b.1 - b.0.clone() * a.1 - LinExpr::constant(space, 1));
     is_empty(&sys) == Feasibility::Empty

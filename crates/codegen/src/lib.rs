@@ -1,8 +1,8 @@
 //! # inl-codegen
 //!
 //! Code generation from legal transformation matrices (§5.4–5.5 of the
-//! paper): turn a source [`Program`], its dependence matrix, and a legal
-//! matrix `M` into a new executable [`Program`].
+//! paper): turn a source [`inl_ir::Program`], its dependence matrix, and a
+//! legal matrix `M` into a new executable [`inl_ir::Program`].
 //!
 //! The pipeline:
 //!

@@ -3,7 +3,7 @@
 //! Given a dependence matrix and a *partial* transformation — the desired
 //! rows for the first few loop slots — produce a complete legal
 //! transformation matrix. This generalizes the Li–Pingali completion for
-//! perfectly nested loops [10]:
+//! perfectly nested loops \[10\]:
 //!
 //! * loop slots are processed outside-in; each gets either the next
 //!   user-supplied row or a greedily chosen candidate (unit position
@@ -124,18 +124,23 @@ fn apply_row(layout: &InstanceLayout, nparams: usize, st: &DepState<'_>, row: &I
     if v.is_zero() {
         return RowEffect::NonNegative(false);
     }
+    // Both polyhedral questions below share the dependence system with the
+    // zero context pinned, and the candidate row as a LinExpr — build each
+    // once here instead of per query.
+    let ctx = context_system(layout, nparams, st);
+    let re = row_expr(layout, nparams, st.dep, row);
     if v.lo.is_some_and(|l| l >= 0) {
         // never negative; strictly positive unless it can be 0
-        return if can_be(layout, nparams, st, row, 0) {
+        return if can_be(&ctx, &re, 0) {
             RowEffect::NonNegative(true)
         } else {
             RowEffect::Satisfies
         };
     }
     // interval admits negative values: ask the polyhedron
-    if can_be_negative(layout, nparams, st, row) {
+    if can_be_negative(&ctx, &re) {
         RowEffect::Invalid
-    } else if can_be(layout, nparams, st, row, 0) {
+    } else if can_be(&ctx, &re, 0) {
         RowEffect::NonNegative(true)
     } else {
         RowEffect::Satisfies
@@ -150,23 +155,19 @@ fn context_system(layout: &InstanceLayout, nparams: usize, st: &DepState<'_>) ->
     sys
 }
 
-fn can_be_negative(layout: &InstanceLayout, nparams: usize, st: &DepState<'_>, row: &IVec) -> bool {
-    let mut sys = context_system(layout, nparams, st);
+/// Can `row_expr` go strictly negative over the context polyhedron?
+fn can_be_negative(ctx: &inl_poly::System, row_expr: &LinExpr) -> bool {
+    let mut sys = ctx.clone();
     let space = sys.nvars();
-    sys.add_ge(-row_expr(layout, nparams, st.dep, row) - LinExpr::constant(space, 1));
+    sys.add_ge(-row_expr.clone() - LinExpr::constant(space, 1));
     is_empty(&sys) != Feasibility::Empty
 }
 
-fn can_be(
-    layout: &InstanceLayout,
-    nparams: usize,
-    st: &DepState<'_>,
-    row: &IVec,
-    value: Int,
-) -> bool {
-    let mut sys = context_system(layout, nparams, st);
+/// Can `row_expr` take exactly `value` over the context polyhedron?
+fn can_be(ctx: &inl_poly::System, row_expr: &LinExpr, value: Int) -> bool {
+    let mut sys = ctx.clone();
     let space = sys.nvars();
-    sys.add_eq(row_expr(layout, nparams, st.dep, row) - LinExpr::constant(space, value));
+    sys.add_eq(row_expr.clone() - LinExpr::constant(space, value));
     is_empty(&sys) != Feasibility::Empty
 }
 

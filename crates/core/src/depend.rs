@@ -380,6 +380,15 @@ fn analyze_pair(
         base_sys.add_eq(es * id_.divisor() - ed * is_.divisor());
     }
 
+    // One feasibility test on the shared base system prunes every level at
+    // once: each level polyhedron only adds constraints to base_sys, so an
+    // empty base means an empty level system for all of them (disjoint
+    // access ranges, contradictory guards, unsatisfiable subscripts).
+    if is_empty(&base_sys) == Feasibility::Empty {
+        inl_obs::counter_add!("depend.base_infeasible", 1);
+        return Vec::new();
+    }
+
     // precedence levels over common loops
     let ncommon = src_loops
         .iter()

@@ -337,25 +337,24 @@ fn exact_check(
         }
         acc
     };
-    // violation at prefix q: rows 0..q zero, row q negative
-    for q in 0..common.len() {
-        let mut sys = d.system.clone();
-        for &r in &common[..q] {
-            sys.add_eq(row_expr(r));
-        }
-        sys.add_ge(-row_expr(common[q]) - LinExpr::constant(space, 1));
+    // violation at prefix q: rows 0..q zero, row q negative. The prefix
+    // system grows by one equality per step, so accumulate it once instead
+    // of rebuilding the q-row prefix from scratch for every q.
+    let mut prefix = d.system.clone();
+    for (q, &row) in common.iter().enumerate() {
+        let re = row_expr(row);
+        let mut sys = prefix.clone();
+        sys.add_ge(-re.clone() - LinExpr::constant(space, 1));
         if is_empty(&sys) != Feasibility::Empty {
             return DepStatus::Violated(format!(
                 "dependence instance with negative projected entry {q} exists"
             ));
         }
+        prefix.add_eq(re);
     }
-    // all-zero case feasible?
-    let mut sys = d.system.clone();
-    for &r in common {
-        sys.add_eq(row_expr(r));
-    }
-    if is_empty(&sys) != Feasibility::Empty {
+    // all-zero case feasible? `prefix` now carries every common row pinned
+    // to zero.
+    if is_empty(&prefix) != Feasibility::Empty {
         zero_case(ast, d)
     } else {
         DepStatus::Satisfied

@@ -38,6 +38,18 @@ impl Backend {
 
     /// Execute `p` on `m` with this backend. The VM path compiles on every
     /// call — to amortize compilation over many runs, hold a [`VmRunner`].
+    ///
+    /// ```
+    /// use inl_exec::{Backend, Machine};
+    ///
+    /// let p = inl_ir::zoo::simple_cholesky();
+    /// let mut a = Machine::new(&p, &[2], &|_, _| 16.0);
+    /// let mut b = Machine::new(&p, &[2], &|_, _| 16.0);
+    /// Backend::Interp.run(&p, &mut a);
+    /// Backend::Vm.run(&p, &mut b);
+    /// // Both backends are bitwise identical.
+    /// assert_eq!(a.arrays()[0].data, b.arrays()[0].data);
+    /// ```
     pub fn run(self, p: &Program, m: &mut Machine) {
         match self {
             Backend::Interp => Interpreter::new(p).run(m),

@@ -2,7 +2,7 @@
 //!
 //! Two uses in the framework:
 //!
-//! * **Non-unimodular code generation** (§5.5, following Li & Pingali [10]):
+//! * **Non-unimodular code generation** (§5.5, following Li & Pingali \[10\]):
 //!   when the non-singular per-statement transform `N_S` has `|det| > 1`,
 //!   the image of the iteration lattice is a proper sublattice; the column
 //!   HNF `N_S · U = H` (lower triangular) yields the loop *steps* (diagonal

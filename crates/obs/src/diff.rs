@@ -57,9 +57,13 @@ impl Default for DiffOptions {
 /// Verdict for one compared metric.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Status {
+    /// Within threshold of the baseline.
     Ok,
+    /// Meaningfully better than the baseline (faster / fewer).
     Improved,
+    /// Present in only one report, or a non-fatal anomaly.
     Warn,
+    /// Worse than the baseline beyond the threshold — fails the gate.
     Regressed,
 }
 
@@ -77,14 +81,18 @@ impl fmt::Display for Status {
 /// One line of the verdict table.
 #[derive(Clone, Debug)]
 pub struct DiffLine {
+    /// Verdict for this metric.
     pub status: Status,
+    /// Metric name (counter/span/histogram path, or bench field).
     pub name: String,
+    /// Human-readable explanation (values, percent change).
     pub detail: String,
 }
 
 /// Full diff result.
 #[derive(Clone, Debug, Default)]
 pub struct DiffOutcome {
+    /// One verdict line per compared metric.
     pub lines: Vec<DiffLine>,
 }
 

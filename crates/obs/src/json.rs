@@ -15,13 +15,19 @@ use std::fmt::Write as _;
 /// output is deterministic.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
     /// Non-negative integers (all inl-obs metrics are u64 counts/nanos).
     Int(u64),
+    /// Floating-point numbers (ratios, speedups).
     Float(f64),
+    /// A string.
     Str(String),
+    /// An array of values.
     Array(Vec<Json>),
+    /// An object; `BTreeMap` keeps serialized key order deterministic.
     Object(BTreeMap<String, Json>),
 }
 

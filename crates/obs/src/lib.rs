@@ -36,6 +36,8 @@
 //! to that stage. There are no external dependencies — JSON is emitted
 //! and parsed by the [`json`] module.
 
+#![warn(missing_docs)]
+
 pub mod diff;
 pub mod json;
 pub mod report;

@@ -36,10 +36,13 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// Aggregate statistics for one histogram.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
+    /// Number of recorded observations.
     pub count: u64,
+    /// Sum of all observations.
     pub sum: u64,
-    /// 0 when `count == 0`.
+    /// Smallest observation; 0 when `count == 0`.
     pub min: u64,
+    /// Largest observation.
     pub max: u64,
     /// `(upper_bound, count)` per non-empty log₂ bucket, ascending.
     pub buckets: Vec<(u64, u64)>,
@@ -93,9 +96,13 @@ impl HistogramSnapshot {
 /// Aggregate statistics for one span path.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SpanSnapshot {
+    /// Number of times the span closed.
     pub count: u64,
+    /// Total wall time across all closes, in nanoseconds.
     pub total_ns: u64,
+    /// Shortest single duration in nanoseconds.
     pub min_ns: u64,
+    /// Longest single duration in nanoseconds.
     pub max_ns: u64,
 }
 
@@ -112,8 +119,11 @@ impl SpanSnapshot {
 pub struct PipelineReport {
     /// Whether telemetry was enabled when the snapshot was taken.
     pub enabled: bool,
+    /// Counter values by name (zero-valued counters omitted).
     pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name (empty histograms omitted).
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span statistics by nesting path (`outer/inner`).
     pub spans: BTreeMap<String, SpanSnapshot>,
     /// Free-form JSON sections attached via [`PipelineReport::attach`].
     pub sections: BTreeMap<String, Json>,
@@ -121,6 +131,13 @@ pub struct PipelineReport {
 
 impl PipelineReport {
     /// Snapshot the global registry.
+    ///
+    /// ```
+    /// inl_obs::set_enabled(true);
+    /// inl_obs::counter_add!("doc.example.widgets", 3);
+    /// let report = inl_obs::PipelineReport::capture();
+    /// assert_eq!(report.counters["doc.example.widgets"], 3);
+    /// ```
     pub fn capture() -> Self {
         let reg = registry();
         let counters = reg

@@ -16,7 +16,7 @@
 //!   parallel executor's scoped workers), its ring moves into a global
 //!   retired list, and its timeline id returns to a pool so short-lived
 //!   workers reuse display rows instead of growing the trace unboundedly.
-//!   [`export`] sees every retired ring plus the calling thread's live
+//!   [`export_chrome_trace`] sees every retired ring plus the calling thread's live
 //!   ring; live events on *other* still-running threads are not visible
 //!   until those threads exit. The retired list itself is bounded
 //!   ([`RETAIN_EVENT_BUDGET`]); beyond it whole oldest rings are dropped
@@ -63,9 +63,11 @@ pub enum Phase {
 /// the recording hot path never allocates.
 #[derive(Clone, Copy, Debug)]
 pub struct Event {
+    /// Event name (shown as the slice label in trace viewers).
     pub name: &'static str,
+    /// Chrome trace-event phase of this record.
     pub phase: Phase,
-    /// Nanoseconds since the process [`epoch`].
+    /// Nanoseconds since the process epoch (first timeline use).
     pub ts_ns: u64,
     /// Duration in nanoseconds (0 for instants).
     pub dur_ns: u64,

@@ -97,6 +97,9 @@ fn quickstart_pipeline_fires_every_stage_family() {
     use inl_ir::zoo;
 
     let _g = begin();
+    // A warm poly query cache would answer everything without running FM,
+    // zeroing the counters this test pins — start from a cold cache.
+    inl_poly::cache::clear();
 
     let p = zoo::simple_cholesky();
     let layout = InstanceLayout::new(&p);

@@ -1,0 +1,282 @@
+//! Process-wide memoization of the expensive polyhedral queries.
+//!
+//! Fourier–Motzkin projection, integer feasibility, and variable-bounds
+//! queries ([`crate::fm`]) dominate the pipeline's compile-side time, and
+//! the same sub-systems recur constantly: every statement pair in
+//! dependence analysis shares bound constraints, every legality check
+//! re-tests prefixes of the same dependence polyhedron, and a variant
+//! sweep re-analyzes one source program twelve times. This module caches
+//! query answers keyed by the *canonical form* of the constraint system
+//! ([`crate::System::canonicalized`]) plus the query, so systems built
+//! along different paths still share work.
+//!
+//! Correctness by construction: canonicalization runs unconditionally
+//! inside the public `fm` entry points — with the cache on or off, every
+//! query is answered as a deterministic function of the canonical system,
+//! so disabling the cache (`INL_POLY_CACHE=0` or
+//! [`set_cache_enabled`]`(false)`) changes speed, never answers.
+//!
+//! The cache is a bounded map: when it reaches [`CACHE_CAP`] entries it is
+//! cleared in one deterministic generation flush (no LRU order to depend
+//! on timing), and the flushed entry count is reported as evictions.
+//! Telemetry: `poly.cache.hit` / `poly.cache.miss` /
+//! `poly.cache.insertions` / `poly.cache.evictions` counters via
+//! [`inl_obs`], plus always-on local [`CacheStats`] for callers that want
+//! hit rates without enabling observability.
+
+use crate::fm::Feasibility;
+use crate::System;
+use inl_linalg::Int;
+use inl_obs::counter_add;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Entry cap: one deterministic full flush ("generation" eviction) when
+/// reached. Generous enough that real pipelines never flush; the bound
+/// exists so pathological sweeps cannot grow without limit.
+pub const CACHE_CAP: usize = 32_768;
+
+/// A memoizable query against a canonicalized [`System`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) enum Query {
+    /// [`crate::fm::project`] onto these kept variables (sorted, deduped).
+    Project(Vec<usize>),
+    /// [`crate::fm::is_empty`] integer feasibility.
+    Feasibility,
+    /// [`crate::fm::var_bounds`] for one variable.
+    VarBounds(usize),
+}
+
+/// The memoized answer for a [`Query`].
+#[derive(Clone)]
+pub(crate) enum Answer {
+    Project(System, bool),
+    Feasibility(Feasibility),
+    VarBounds(Option<Int>, Option<Int>),
+}
+
+/// Monotonic counters describing cache behaviour since process start (or
+/// the last [`reset_stats`]). Tracked unconditionally — independent of
+/// `inl-obs` enablement — so benchmark drivers can compute hit rates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to compute (cache enabled but entry absent).
+    pub misses: u64,
+    /// Entries written into the map.
+    pub insertions: u64,
+    /// Entries dropped by generation flushes at [`CACHE_CAP`].
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all cache-enabled queries (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static INSERTIONS: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// 0 = uninitialized (read `INL_POLY_CACHE` on first use), 1 = on, 2 = off.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+fn map() -> &'static Mutex<HashMap<(System, Query), Answer>> {
+    static MAP: OnceLock<Mutex<HashMap<(System, Query), Answer>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// True iff memoization is active. Defaults to on; `INL_POLY_CACHE` set to
+/// `0`, `false`, or `off` disables it (canonicalization still runs, so
+/// answers are unaffected either way).
+pub fn cache_enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let off = std::env::var("INL_POLY_CACHE")
+                .map(|v| matches!(v.as_str(), "0" | "false" | "off"))
+                .unwrap_or(false);
+            ENABLED.store(if off { 2 } else { 1 }, Ordering::Relaxed);
+            !off
+        }
+    }
+}
+
+/// Programmatically enable or disable memoization, overriding
+/// `INL_POLY_CACHE`. Used by the benchmark driver and the differential
+/// tests to compare cached and uncached runs in one process.
+pub fn set_cache_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Drop every cached entry (stats are kept; see [`reset_stats`]).
+pub fn clear() {
+    map().lock().unwrap().clear();
+}
+
+/// Zero the [`CacheStats`] counters (the map itself is kept).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    INSERTIONS.store(0, Ordering::Relaxed);
+    EVICTIONS.store(0, Ordering::Relaxed);
+}
+
+/// Snapshot the cache counters.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        insertions: INSERTIONS.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
+        entries: map().lock().unwrap().len() as u64,
+    }
+}
+
+/// Insert with the generation-flush bound: when the map is full, clear it
+/// wholesale (deterministic, no recency ordering) and count the dropped
+/// entries as evictions. Returns the number of evicted entries.
+fn insert_bounded(
+    map: &mut HashMap<(System, Query), Answer>,
+    key: (System, Query),
+    answer: Answer,
+    cap: usize,
+) -> usize {
+    let mut evicted = 0;
+    if map.len() >= cap {
+        evicted = map.len();
+        map.clear();
+    }
+    map.insert(key, answer);
+    evicted
+}
+
+/// Answer `query` about the already-canonicalized system `canon`, consulting
+/// the memo cache when enabled. `compute` must be a pure function of its
+/// argument; it runs outside the cache lock, so two threads racing on the
+/// same cold key may both compute (both count as misses, last write wins —
+/// harmless because answers are equal).
+pub(crate) fn memo<F>(canon: System, query: Query, compute: F) -> Answer
+where
+    F: FnOnce(&System) -> Answer,
+{
+    if !cache_enabled() {
+        return compute(&canon);
+    }
+    let key = (canon, query);
+    if let Some(hit) = map().lock().unwrap().get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        counter_add!("poly.cache.hit", 1);
+        return hit.clone();
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    counter_add!("poly.cache.miss", 1);
+    let answer = compute(&key.0);
+    let evicted = insert_bounded(&mut map().lock().unwrap(), key, answer.clone(), CACHE_CAP);
+    INSERTIONS.fetch_add(1, Ordering::Relaxed);
+    counter_add!("poly.cache.insertions", 1);
+    if evicted > 0 {
+        EVICTIONS.fetch_add(evicted as u64, Ordering::Relaxed);
+        counter_add!("poly.cache.evictions", evicted as u64);
+    }
+    answer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_empty, var_bounds, LinExpr};
+    use std::sync::Mutex;
+
+    /// Cache state is process-global; tests that toggle or measure it must
+    /// not interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn interval(lo: Int, hi: Int) -> System {
+        let mut s = System::new(1);
+        s.add_ge(LinExpr::var(1, 0) - LinExpr::constant(1, lo));
+        s.add_ge(LinExpr::constant(1, hi) - LinExpr::var(1, 0));
+        s
+    }
+
+    #[test]
+    fn repeat_query_hits() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_cache_enabled(true);
+        clear();
+        reset_stats();
+        let s = interval(3, 17);
+        assert_eq!(var_bounds(&s, 0), (Some(3), Some(17)));
+        let before = stats();
+        assert_eq!(var_bounds(&s, 0), (Some(3), Some(17)));
+        let after = stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn differently_built_systems_share_entries() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_cache_enabled(true);
+        clear();
+        reset_stats();
+        // Same constraint set, different insertion order and a redundant row.
+        let mut a = System::new(1);
+        a.add_ge(LinExpr::var(1, 0) - LinExpr::constant(1, 2));
+        a.add_ge(LinExpr::constant(1, 9) - LinExpr::var(1, 0));
+        let mut b = System::new(1);
+        b.add_ge(LinExpr::constant(1, 9) - LinExpr::var(1, 0));
+        b.add_ge(LinExpr::var(1, 0) - LinExpr::constant(1, 2));
+        b.add_ge(LinExpr::var(1, 0)); // dominated by x >= 2
+        assert_eq!(is_empty(&a), is_empty(&b));
+        let s = stats();
+        assert_eq!(s.hits, 1, "second system must reuse the first's entry");
+    }
+
+    #[test]
+    fn disabled_cache_neither_hits_nor_inserts() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_cache_enabled(false);
+        clear();
+        reset_stats();
+        let s = interval(0, 5);
+        let uncached = var_bounds(&s, 0);
+        let again = var_bounds(&s, 0);
+        assert_eq!(uncached, again);
+        let st = stats();
+        assert_eq!((st.hits, st.misses, st.insertions), (0, 0, 0));
+        set_cache_enabled(true);
+    }
+
+    #[test]
+    fn generation_flush_counts_evictions() {
+        let mut m = HashMap::new();
+        let mk = |c: Int| (interval(0, c).canonicalized(), Query::Feasibility);
+        for i in 0..3 {
+            assert_eq!(
+                insert_bounded(&mut m, mk(i), Answer::Feasibility(Feasibility::NonEmpty), 3),
+                0
+            );
+        }
+        assert_eq!(m.len(), 3);
+        // Fourth insert hits the cap: whole generation flushed, then inserted.
+        assert_eq!(
+            insert_bounded(&mut m, mk(3), Answer::Feasibility(Feasibility::NonEmpty), 3),
+            3
+        );
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -14,7 +14,16 @@
 //! * [`is_empty`] additionally tracks the *dark shadow* (a subset of the
 //!   projection): a feasible dark shadow proves non-emptiness even when some
 //!   step was inexact.
+//!
+//! The three public queries — [`project`], [`is_empty`], [`var_bounds`] —
+//! first rewrite the input into its canonical form
+//! ([`System::canonicalized`]: sign-normalized rows, dominated
+//! inequalities pruned, rows sorted and deduplicated) and then answer as a
+//! pure function of that canonical system, memoized process-wide by
+//! [`crate::cache`]. Because canonicalization runs whether or not the
+//! cache is enabled, cached and uncached runs produce identical answers.
 
+use crate::cache::{self, Answer, Query};
 use crate::{LinExpr, System};
 use inl_linalg::Int;
 
@@ -152,7 +161,26 @@ fn pick_var(sys: &System, vars: &[usize]) -> usize {
 /// variable. The result lives in the *same* variable space (eliminated
 /// variables simply no longer appear); the boolean reports whether the whole
 /// chain was integer-exact.
+///
+/// The input is canonicalized first and the answer memoized (see
+/// [`crate::cache`]); repeated projections of equivalent systems are free.
 pub fn project(sys: &System, keep: &[usize]) -> (System, bool) {
+    let mut keep_key: Vec<usize> = keep.iter().copied().filter(|&v| v < sys.nvars()).collect();
+    keep_key.sort_unstable();
+    keep_key.dedup();
+    let canon = sys.canonicalized();
+    let keep_for_core = keep_key.clone();
+    match cache::memo(canon, Query::Project(keep_key), move |c| {
+        let (p, exact) = project_core(c, &keep_for_core);
+        Answer::Project(p, exact)
+    }) {
+        Answer::Project(p, exact) => (p, exact),
+        _ => unreachable!("project answered with a non-projection"),
+    }
+}
+
+/// Elimination loop on an already-canonicalized system.
+fn project_core(sys: &System, keep: &[usize]) -> (System, bool) {
     let keep_set: std::collections::HashSet<usize> = keep.iter().copied().collect();
     let mut vars: Vec<usize> = (0..sys.nvars()).filter(|v| !keep_set.contains(v)).collect();
     let mut cur = sys.clone();
@@ -171,6 +199,11 @@ pub fn project(sys: &System, keep: &[usize]) -> (System, bool) {
 }
 
 /// Integer feasibility of the system.
+///
+/// The input is canonicalized first and the verdict memoized (see
+/// [`crate::cache`]). The `poly.feasibility` span and constraint-count
+/// histogram fire on every call, hit or miss, so telemetry counts queries,
+/// not cache state.
 pub fn is_empty(sys: &System) -> Feasibility {
     let _span = inl_obs::span("poly.feasibility");
     inl_obs::hist_record!(
@@ -180,6 +213,17 @@ pub fn is_empty(sys: &System) -> Feasibility {
     if sys.is_trivially_empty() {
         return Feasibility::Empty;
     }
+    let canon = sys.canonicalized();
+    match cache::memo(canon, Query::Feasibility, |c| {
+        Answer::Feasibility(is_empty_core(c))
+    }) {
+        Answer::Feasibility(f) => f,
+        _ => unreachable!("feasibility answered with a non-verdict"),
+    }
+}
+
+/// Shadow-chasing feasibility on an already-canonicalized system.
+fn is_empty_core(sys: &System) -> Feasibility {
     let mut real = sys.clone();
     let mut dark = sys.clone();
     let mut exact = true;
@@ -218,7 +262,23 @@ pub fn is_empty(sys: &System) -> Feasibility {
 /// conservative). `None` means unbounded on that side. If the system is
 /// infeasible the interval may be contradictory (`lo > hi`) — callers that
 /// care should test [`is_empty`] first.
+///
+/// The input is canonicalized first and the interval memoized (see
+/// [`crate::cache`]); the inner projection goes through the cached
+/// [`project`], so a bounds query also warms the projection entry.
 pub fn var_bounds(sys: &System, var: usize) -> (Option<Int>, Option<Int>) {
+    let canon = sys.canonicalized();
+    match cache::memo(canon, Query::VarBounds(var), |c| {
+        let (lo, hi) = var_bounds_core(c, var);
+        Answer::VarBounds(lo, hi)
+    }) {
+        Answer::VarBounds(lo, hi) => (lo, hi),
+        _ => unreachable!("var_bounds answered with a non-interval"),
+    }
+}
+
+/// Bounds read-off on an already-canonicalized system.
+fn var_bounds_core(sys: &System, var: usize) -> (Option<Int>, Option<Int>) {
     let (proj, _) = project(sys, &[var]);
     if proj.is_trivially_empty() {
         return (Some(1), Some(0)); // canonical contradictory interval

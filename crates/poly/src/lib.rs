@@ -20,7 +20,10 @@
 //!   and an Omega-style feasibility test (real shadow + exactness tracking +
 //!   dark shadow);
 //! * [`bounds`] — extraction of loop bounds (`max`/`min` of affine forms
-//!   with ceiling/floor divisions) for code generation.
+//!   with ceiling/floor divisions) for code generation;
+//! * [`cache`] — process-wide memoization of projection, feasibility, and
+//!   bounds queries, keyed by [`System::canonicalized`] form (`INL_POLY_CACHE=0`
+//!   disables memoization; answers are identical either way).
 //!
 //! # Example: the paper's §3 dependence system
 //!
@@ -43,12 +46,16 @@
 //! assert_eq!(hi, None);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bounds;
+pub mod cache;
 pub mod expr;
 pub mod fm;
 pub mod system;
 
 pub use bounds::{scan_bounds, BoundTerm, VarBounds};
+pub use cache::{cache_enabled, set_cache_enabled, CacheStats};
 pub use expr::LinExpr;
 pub use fm::{eliminate, expr_bounds, is_empty, project, var_bounds, Feasibility};
 pub use system::System;

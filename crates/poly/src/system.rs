@@ -11,7 +11,7 @@ use std::fmt;
 /// their coefficients with the constant floored (integer tightening — sound
 /// because solutions are integral), equalities whose gcd does not divide the
 /// constant mark the system as trivially infeasible.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct System {
     nvars: usize,
     eqs: Vec<LinExpr>,
@@ -186,6 +186,76 @@ impl System {
             keep.push(e);
         }
         self.ineqs = keep;
+    }
+
+    /// The canonical form of this system: the same solution set, with a
+    /// representation that depends only on the *set* of constraints, not
+    /// on the order or redundancy with which they were added.
+    ///
+    /// * Equalities are sign-normalized (the first nonzero coefficient is
+    ///   made positive — sound because `e = 0 ⇔ -e = 0`), sorted, and
+    ///   deduplicated.
+    /// * Inequalities are pruned of same-direction dominated rows
+    ///   ([`System::prune_dominated`]), sorted, and deduplicated.
+    /// * A trivially empty system canonicalizes to the bare empty system
+    ///   (no rows, flag set) regardless of what it accumulated.
+    ///
+    /// This is the hashable key used by the query cache in [`crate::cache`]
+    /// and the preprocessing step of every cached query, so two systems
+    /// built along different paths share cached answers. The function is
+    /// idempotent.
+    pub fn canonicalized(&self) -> System {
+        if self.trivially_empty {
+            let mut s = System::new(self.nvars);
+            s.trivially_empty = true;
+            return s;
+        }
+        let row_cmp = |a: &LinExpr, b: &LinExpr| {
+            a.coeffs()
+                .cmp(b.coeffs())
+                .then(a.constant_term().cmp(&b.constant_term()))
+        };
+        let mut eqs: Vec<LinExpr> = self
+            .eqs
+            .iter()
+            .map(|e| match e.coeffs().iter().find(|&&c| c != 0) {
+                Some(&c) if c < 0 => -e.clone(),
+                _ => e.clone(),
+            })
+            .collect();
+        eqs.sort_by(row_cmp);
+        eqs.dedup();
+        let mut out = System {
+            nvars: self.nvars,
+            eqs,
+            ineqs: self.ineqs.clone(),
+            trivially_empty: false,
+        };
+        out.prune_dominated();
+        out.ineqs.sort_by(row_cmp);
+        out.ineqs.dedup();
+        out
+    }
+
+    /// Project onto the kept variables — convenience wrapper around
+    /// [`crate::fm::project`] (Fourier–Motzkin with integer tightening).
+    /// Returns the projection and whether it is exact over the integers.
+    ///
+    /// ```
+    /// use inl_poly::{LinExpr, System};
+    ///
+    /// // 1 <= x <= 5 && y = x + 2, projected onto y alone
+    /// let mut s = System::new(2);
+    /// s.add_ge(LinExpr::var(2, 0) - LinExpr::constant(2, 1));
+    /// s.add_ge(LinExpr::constant(2, 5) - LinExpr::var(2, 0));
+    /// s.add_eq(LinExpr::var(2, 1) - LinExpr::var(2, 0) - LinExpr::constant(2, 2));
+    /// let (proj, exact) = s.project(&[1]);
+    /// assert!(exact);
+    /// assert!(proj.contains(&[0, 3]) && proj.contains(&[0, 7]));
+    /// assert!(!proj.contains(&[0, 2]) && !proj.contains(&[0, 8]));
+    /// ```
+    pub fn project(&self, keep: &[usize]) -> (System, bool) {
+        crate::fm::project(self, keep)
     }
 
     /// Render with variable names supplied by `name`.

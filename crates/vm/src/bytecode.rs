@@ -336,7 +336,7 @@ pub struct LoopMeta {
 /// Bind parameters with [`CompiledProgram::bind`] to make it runnable.
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
-    /// Process-unique compilation id (assigned by [`crate::compile`]),
+    /// Process-unique compilation id (assigned by [`crate::compile()`]),
     /// keying this program's profile samples in [`crate::profile`].
     pub id: u64,
     /// Source program name.
@@ -430,6 +430,15 @@ pub struct BoundProgram<'c> {
 impl CompiledProgram {
     /// Bind parameter values: compute array layouts and lower every access
     /// to its flat form.
+    ///
+    /// ```
+    /// let p = inl_ir::zoo::simple_cholesky();
+    /// let cp = inl_vm::compile(&p);
+    /// let bp = cp.bind(&[3]); // N = 3
+    /// let mut buf = vec![9.0; bp.total_len];
+    /// inl_vm::run(&bp, &mut buf);
+    /// assert_eq!(buf[bp.arrays[0].base + 1], 3.0); // A[1] = sqrt(9)
+    /// ```
     ///
     /// # Panics
     /// On parameter arity mismatch, non-positive extents, or values that

@@ -31,6 +31,14 @@ fn c64(v: Int) -> i64 {
 /// Compile a program to bytecode. The result is symbolic in the
 /// parameters; bind them with [`CompiledProgram::bind`] to execute.
 ///
+/// ```
+/// let p = inl_ir::zoo::simple_cholesky();
+/// let cp = inl_vm::compile(&p);
+/// // Compiled once, bindable for any parameter value.
+/// assert_eq!(cp.nparams, 1);
+/// assert!(cp.bind(&[4]).total_len > cp.bind(&[2]).total_len);
+/// ```
+///
 /// # Panics
 /// If the program fails structural validation (dangling nodes, guards
 /// with divisors, …) — compile only validated programs.

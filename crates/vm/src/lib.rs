@@ -25,12 +25,12 @@
 //!
 //! ## Two-stage lowering
 //!
-//! [`compile`] produces a [`CompiledProgram`] that is still *symbolic* in
+//! [`compile()`](compile()) produces a [`CompiledProgram`] that is still *symbolic* in
 //! the program parameters (array extents are affine in `N`).
 //! [`CompiledProgram::bind`] fixes parameter values: it lays the arrays
 //! out in one flat buffer (row-major, `ArrayId` order — the same order
 //! the `inl-exec` `Machine` allocates them) and lowers every access to a
-//! [`bytecode::FlatAcc`]. [`run`] then executes against a `&mut [f64]`.
+//! [`bytecode::FlatAcc`]. [`run()`](run()) then executes against a `&mut [f64]`.
 //!
 //! ```
 //! use inl_ir::zoo;

@@ -1,0 +1,123 @@
+//! Differential test for the poly query cache: generated code must be
+//! bitwise identical with the cache disabled, cold, and fully warm.
+//!
+//! This is the end-to-end guarantee behind `INL_POLY_CACHE`: the cache
+//! memoizes a deterministic function of the *canonicalized* constraint
+//! system, so it can never change what the pipeline produces — only how
+//! fast it produces it. The twelve legal Cholesky loop-order variants
+//! exercise every cached query kind (projection, feasibility, variable
+//! bounds) through dependence analysis, legality, completion, and codegen.
+
+use inl_codegen::generate;
+use inl_core::complete::complete_transform;
+use inl_core::depend::analyze;
+use inl_core::instance::InstanceLayout;
+use inl_ir::{zoo, Program};
+use inl_linalg::{IMat, IVec};
+use std::sync::Mutex;
+
+/// The cache toggle is process-global; tests flipping it must serialize.
+static CACHE_TOGGLE: Mutex<()> = Mutex::new(());
+
+/// All legal Cholesky loop-order variants, enumerated the same way the
+/// bench sweep does: every permutation of the four loops, completed to a
+/// full transformation where legal.
+fn cholesky_variants() -> (Program, Vec<(String, IMat)>) {
+    let p = zoo::cholesky_kij();
+    let layout = InstanceLayout::new(&p);
+    let deps = analyze(&p, &layout);
+    let names = ["K", "J", "L", "I"];
+    let positions: Vec<usize> = names
+        .iter()
+        .map(|nm| {
+            let l = p.loops().find(|&l| p.loop_decl(l).name == *nm).unwrap();
+            layout.loop_position(l)
+        })
+        .collect();
+    let mut out = Vec::new();
+    for pm in permutations(&[0, 1, 2, 3]) {
+        let label: String = pm.iter().map(|&i| names[i]).collect::<Vec<_>>().join("");
+        let rows: Vec<IVec> = pm
+            .iter()
+            .map(|&i| IVec::unit(layout.len(), positions[i]))
+            .collect();
+        if let Ok(c) = complete_transform(&p, &layout, &deps, &rows) {
+            out.push((label, c.matrix));
+        }
+    }
+    (p, out)
+}
+
+fn permutations(v: &[usize]) -> Vec<Vec<usize>> {
+    if v.len() <= 1 {
+        return vec![v.to_vec()];
+    }
+    let mut out = Vec::new();
+    for i in 0..v.len() {
+        let mut rest = v.to_vec();
+        let x = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, x);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Run the full pipeline over every variant and return the generated
+/// pseudocode per variant, in variant order.
+fn compile_all(p: &Program, variants: &[(String, IMat)]) -> Vec<String> {
+    let layout = InstanceLayout::new(p);
+    let deps = analyze(p, &layout);
+    variants
+        .iter()
+        .map(|(label, m)| {
+            let r = generate(p, &layout, &deps, m)
+                .unwrap_or_else(|e| panic!("variant {label} failed to generate: {e:?}"));
+            r.program.to_pseudocode()
+        })
+        .collect()
+}
+
+#[test]
+fn all_cholesky_variants_identical_with_cache_on_and_off() {
+    let _l = CACHE_TOGGLE.lock().unwrap();
+    let (p, variants) = cholesky_variants();
+    assert_eq!(variants.len(), 12, "the legal Cholesky sweep has 12 orders");
+
+    // Ground truth: cache disabled entirely.
+    inl_poly::set_cache_enabled(false);
+    inl_poly::cache::clear();
+    let uncached = compile_all(&p, &variants);
+
+    // Cold cache: every query misses then populates.
+    inl_poly::set_cache_enabled(true);
+    inl_poly::cache::clear();
+    inl_poly::cache::reset_stats();
+    let cold = compile_all(&p, &variants);
+    let after_cold = inl_poly::cache::stats();
+    assert!(
+        after_cold.insertions > 0,
+        "the sweep must actually exercise the cache"
+    );
+
+    // Warm cache: repeated sub-systems across variants now hit.
+    let warm = compile_all(&p, &variants);
+    let after_warm = inl_poly::cache::stats();
+    assert!(
+        after_warm.hits > after_cold.hits,
+        "a second sweep over a warm cache must hit"
+    );
+
+    inl_poly::set_cache_enabled(true);
+    for (i, (label, _)) in variants.iter().enumerate() {
+        assert_eq!(
+            uncached[i], cold[i],
+            "variant {label}: cold cache changed generated code"
+        );
+        assert_eq!(
+            uncached[i], warm[i],
+            "variant {label}: warm cache changed generated code"
+        );
+    }
+}
