@@ -61,7 +61,8 @@ pub fn compile_batch(
                 let _span = inl_obs::span("batch.compile");
                 let t0 = Instant::now();
                 let layout = InstanceLayout::new(p);
-                let deps = analyze(p, &layout);
+                let deps =
+                    analyze(p, &layout).unwrap_or_else(|e| panic!("batch analyze of {label}: {e}"));
                 let result = generate(p, &layout, &deps, m)
                     .unwrap_or_else(|e| panic!("batch compile of {label}: {e:?}"));
                 let wall_ns = t0.elapsed().as_nanos() as u64;

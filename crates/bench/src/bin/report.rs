@@ -66,7 +66,7 @@ fn main() {
     println!("## E3 — dependence matrices\n");
     for p in [zoo::simple_cholesky(), zoo::cholesky_kij()] {
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         println!(
             "{} ({} positions, {} columns):\n{}",
             p.name(),
@@ -80,7 +80,7 @@ fn main() {
     println!("## E7 — legal Cholesky loop orders (interpreter vs VM, N = 100)\n");
     let (p, variants) = cholesky_variants();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let n: i128 = 100;
     let reference = run_fresh(&p, &[n], &spd_init);
     println!("| order | interp | vm | speedup | verified |");
@@ -339,7 +339,7 @@ fn main() {
     println!("\n## E8 — generated wavefront through ParallelExecutor (N = 200)\n");
     let wp = zoo::wavefront();
     let wlayout = InstanceLayout::new(&wp);
-    let wdeps = analyze(&wp, &wlayout);
+    let wdeps = analyze(&wp, &wlayout).expect("analysis");
     let wloops: Vec<_> = wp.loops().collect();
     let skew = Transform::Skew {
         target: wloops[0],

@@ -43,7 +43,7 @@ pub fn spd_init(_: &str, idx: &[usize]) -> f64 {
 pub fn cholesky_variants() -> (Program, Vec<(String, IMat)>) {
     let p = zoo::cholesky_kij();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let names = ["K", "J", "L", "I"];
     let positions: Vec<usize> = names
         .iter()
@@ -120,7 +120,7 @@ pub fn deep_nest(depth: usize) -> Program {
 /// Dependence matrix of a zoo program (helper for benches).
 pub fn deps_of(p: &Program) -> (InstanceLayout, DependenceMatrix) {
     let layout = InstanceLayout::new(p);
-    let deps = analyze(p, &layout);
+    let deps = analyze(p, &layout).expect("analysis");
     (layout, deps)
 }
 

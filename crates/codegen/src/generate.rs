@@ -6,7 +6,7 @@ use inl_core::legal::{check_legal, NewAst};
 use inl_core::perstmt::{schedule_all, ScheduleError, StmtSchedule};
 use inl_core::transform::Transform;
 use inl_ir::{Aff, Bound, Guard, LoopId, Node, Program, ProgramBuilder, StmtId, VarKey};
-use inl_linalg::{gauss, lcm, IMat, Int};
+use inl_linalg::{gauss, lcm, IMat, InlError, InlErrorKind, Int};
 use inl_poly::{fm, is_empty, scan_bounds, Feasibility, LinExpr, System, VarBounds};
 use std::collections::HashMap;
 
@@ -25,6 +25,15 @@ pub enum CodegenError {
     BoundMerge(String),
     /// A loop slot ended up with no bound on one side.
     Unbounded(String),
+    /// Exact arithmetic overflowed, a polyhedral budget was exhausted, or
+    /// the request was structurally malformed. Carries source context.
+    Inl(InlError),
+}
+
+impl From<InlError> for CodegenError {
+    fn from(e: InlError) -> Self {
+        CodegenError::Inl(e)
+    }
 }
 
 /// The generated program, with the mapping from source to target
@@ -57,7 +66,7 @@ pub fn generate(
 ) -> Result<CodegenResult, CodegenError> {
     let _span = inl_obs::span("codegen.generate");
     inl_obs::timeline::instant("stage.codegen");
-    let report = check_legal(p, layout, deps, m);
+    let report = check_legal(p, layout, deps, m)?;
     let ast = match &report.new_ast {
         Ok(a) => a.clone(),
         Err(e) => return Err(CodegenError::Illegal(e.clone())),
@@ -78,21 +87,21 @@ pub fn generate(
         let knew = sched.rows.nrows();
         let space = np + kold + knew;
         let mut sys = p.assumption_system(space);
-        add_domain(p, s, &old_loops, np, space, &mut sys);
+        add_domain(p, s, &old_loops, np, space, &mut sys)?;
         // v_r = rows_r · i + off_r
         for r in 0..knew {
             let mut e = LinExpr::var(space, np + kold + r);
             for (q, &c) in sched.rows.row_slice(r).iter().enumerate() {
-                e = e - LinExpr::var(space, np + q) * c;
+                e = e.checked_sub(&LinExpr::var(space, np + q).checked_scale(c)?)?;
             }
-            e = e - LinExpr::constant(space, sched.offsets[r]);
+            e = e.checked_sub(&LinExpr::constant(space, sched.offsets[r]))?;
             sys.add_eq(e);
         }
         // eliminate old iteration variables
         let keep: Vec<usize> = (0..np).chain(np + kold..space).collect();
-        let (projected, _exact) = fm::project(&sys, &keep);
+        let (projected, _exact) = fm::project(&sys, &keep)?;
         let order: Vec<usize> = (np + kold..space).collect();
-        let bounds = scan_bounds(&projected, &order);
+        let bounds = scan_bounds(&projected, &order)?;
         inl_obs::counter_add!("codegen.bounds_scanned", bounds.len());
         inl_obs::counter_add!("codegen.loops_augmented", sched.n_aug);
         plans.push(StmtPlan {
@@ -131,21 +140,21 @@ pub fn generate(
         // [params | slot positions...]: we translate LinExprs over local
         // spaces into (coeff per global slot, const, div) keyed by slot
         // position.
-        let canon = |pi: usize, r: usize, lower: bool| -> Vec<(LinExpr, Int)> {
+        let canon = |pi: usize, r: usize, lower: bool| -> Result<Vec<(LinExpr, Int)>, InlError> {
             let plan = &plans[pi];
             let vb = &plan.bounds[r];
             let terms = if lower { &vb.lowers } else { &vb.uppers };
             terms
                 .iter()
-                .map(|t| (globalize(&t.expr, plan, layout, np), t.div))
+                .map(|t| Ok((globalize(&t.expr, plan, layout, np)?, t.div)))
                 .collect()
         };
-        let mut lo = canon(members[0].0, members[0].1, true);
-        let mut hi = canon(members[0].0, members[0].1, false);
+        let mut lo = canon(members[0].0, members[0].1, true)?;
+        let mut hi = canon(members[0].0, members[0].1, false)?;
         for &(pi, r) in &members[1..] {
-            lo = merge_side(lo, canon(pi, r, true), true, &assumptions)
+            lo = merge_side(lo, canon(pi, r, true)?, true, &assumptions)
                 .map_err(|e| CodegenError::BoundMerge(format!("slot {qi} lower: {e}")))?;
-            hi = merge_side(hi, canon(pi, r, false), false, &assumptions)
+            hi = merge_side(hi, canon(pi, r, false)?, false, &assumptions)
                 .map_err(|e| CodegenError::BoundMerge(format!("slot {qi} upper: {e}")))?;
         }
         if lo.is_empty() || hi.is_empty() {
@@ -170,7 +179,7 @@ pub fn generate(
 /// Convenience: compose a transformation sequence, analyze, and generate.
 pub fn generate_seq(p: &Program, seq: &[Transform]) -> Result<CodegenResult, CodegenError> {
     let layout = InstanceLayout::new(p);
-    let deps = analyze(p, &layout);
+    let deps = analyze(p, &layout)?;
     let m =
         Transform::compose(p, &layout, seq).map_err(|e| CodegenError::Illegal(format!("{e:?}")))?;
     generate(p, &layout, &deps, &m)
@@ -185,38 +194,55 @@ fn add_domain(
     np: usize,
     space: usize,
     sys: &mut System,
-) {
-    let slot_of = |l: LoopId| -> usize {
-        np + old_loops
+) -> Result<(), InlError> {
+    let slot_of = |l: LoopId| -> Result<usize, InlError> {
+        old_loops
             .iter()
             .position(|&x| x == l)
-            .expect("surrounding loop")
+            .map(|i| np + i)
+            .ok_or_else(|| {
+                InlError::new(
+                    InlErrorKind::MalformedProgram,
+                    "bound or guard references a non-surrounding loop",
+                )
+            })
     };
-    let to_expr = |a: &Aff| -> LinExpr {
-        let mut coeffs = vec![0; space];
+    let to_expr = |a: &Aff| -> Result<LinExpr, InlError> {
+        let mut coeffs: Vec<Int> = vec![0; space];
         for &(v, c) in a.terms() {
-            match v {
-                VarKey::Param(pr) => coeffs[pr.0] += c,
-                VarKey::Loop(l) => coeffs[slot_of(l)] += c,
-            }
+            let slot = match v {
+                VarKey::Param(pr) => pr.0,
+                VarKey::Loop(l) => slot_of(l)?,
+            };
+            coeffs[slot] = coeffs[slot]
+                .checked_add(c)
+                .ok_or_else(|| InlError::overflow("domain coefficient"))?;
         }
-        LinExpr::from_parts(coeffs, a.constant())
+        Ok(LinExpr::from_parts(coeffs, a.constant()))
     };
     for (idx, &l) in old_loops.iter().enumerate() {
         let ld = p.loop_decl(l);
         let iv = LinExpr::var(space, np + idx);
         for t in &ld.lower.terms {
-            sys.add_ge(iv.clone() * t.divisor() - to_expr(&t.numerator()));
+            sys.add_ge(
+                iv.checked_scale(t.divisor())?
+                    .checked_sub(&to_expr(&t.numerator())?)?,
+            );
         }
         for t in &ld.upper.terms {
-            sys.add_ge(to_expr(&t.numerator()) - iv.clone() * t.divisor());
+            sys.add_ge(to_expr(&t.numerator())?.checked_sub(&iv.checked_scale(t.divisor())?)?);
         }
-        assert_eq!(ld.step, 1, "codegen source with non-unit steps unsupported");
+        if ld.step != 1 {
+            return Err(InlError::new(
+                InlErrorKind::Unsupported,
+                format!("loop {}: non-unit steps unsupported by codegen", ld.name),
+            ));
+        }
     }
     for g in &p.stmt_decl(s).guards {
         match g {
-            Guard::Ge(a) => sys.add_ge(to_expr(a)),
-            Guard::Eq(a) => sys.add_eq(to_expr(a)),
+            Guard::Ge(a) => sys.add_ge(to_expr(a)?),
+            Guard::Eq(a) => sys.add_eq(to_expr(a)?),
             Guard::Div(_, _) => {
                 // conservative: the guard shrinks the domain; omitting it
                 // from the polyhedron only widens loop bounds, and the
@@ -224,51 +250,71 @@ fn add_domain(
             }
         }
     }
+    Ok(())
 }
 
 /// Translate a bound LinExpr from a plan's local space into the shared
 /// space `[params | layout positions]`: coefficients keyed by parameter or
-/// by *slot position*. Panics if an augmented variable appears (augmented
+/// by *slot position*. Fails when an augmented variable appears (augmented
 /// loops are innermost and never feed shared-slot bounds); use
 /// [`globalize_tail`] for per-statement augmented-loop bounds.
-fn globalize(e: &LinExpr, plan: &StmtPlan, layout: &InstanceLayout, np: usize) -> LinExpr {
+fn globalize(
+    e: &LinExpr,
+    plan: &StmtPlan,
+    layout: &InstanceLayout,
+    np: usize,
+) -> Result<LinExpr, InlError> {
     let n = layout.len();
-    let out = globalize_tail(e, plan, layout, np);
+    let out = globalize_tail(e, plan, layout, np)?;
     for i in np + n..out.nvars() {
-        assert_eq!(
-            out.coeff(i),
-            0,
-            "shared-slot bound references an augmented variable"
-        );
+        if out.coeff(i) != 0 {
+            return Err(InlError::new(
+                InlErrorKind::IllFormed,
+                "shared-slot bound references an augmented variable",
+            ));
+        }
     }
-    LinExpr::from_parts(out.coeffs()[..np + n].to_vec(), out.constant_term())
+    Ok(LinExpr::from_parts(
+        out.coeffs()[..np + n].to_vec(),
+        out.constant_term(),
+    ))
 }
 
 /// Like [`globalize`], but keeps a per-statement tail for augmented
 /// variables: space `[params | layout positions | this statement's rows]`.
-fn globalize_tail(e: &LinExpr, plan: &StmtPlan, layout: &InstanceLayout, np: usize) -> LinExpr {
+fn globalize_tail(
+    e: &LinExpr,
+    plan: &StmtPlan,
+    layout: &InstanceLayout,
+    np: usize,
+) -> Result<LinExpr, InlError> {
     let n = layout.len();
     let shared = np + n + plan.sched.rows.nrows();
-    let mut coeffs = vec![0; shared];
+    let mut coeffs: Vec<Int> = vec![0; shared];
+    let oops = || InlError::overflow("globalized bound coefficient");
     for (i, &c) in e.coeffs().iter().enumerate() {
         if c == 0 {
             continue;
         }
         if i < np {
-            coeffs[i] += c;
+            coeffs[i] = coeffs[i].checked_add(c).ok_or_else(oops)?;
         } else if i < plan.np + plan.kold {
-            panic!("bound references an eliminated old iteration variable");
+            return Err(InlError::new(
+                InlErrorKind::IllFormed,
+                "bound references an eliminated old iteration variable",
+            ));
         } else {
             let r = i - plan.np - plan.kold;
             if r < plan.sched.slot_positions.len() {
-                coeffs[np + plan.sched.slot_positions[r]] += c;
+                let slot = np + plan.sched.slot_positions[r];
+                coeffs[slot] = coeffs[slot].checked_add(c).ok_or_else(oops)?;
             } else {
                 // augmented variable: keep in the per-statement tail
-                coeffs[np + n + r] += c;
+                coeffs[np + n + r] = coeffs[np + n + r].checked_add(c).ok_or_else(oops)?;
             }
         }
     }
-    LinExpr::from_parts(coeffs, e.constant_term())
+    Ok(LinExpr::from_parts(coeffs, e.constant_term()))
 }
 
 /// Merge bound-term lists from two statements on one side.
@@ -326,14 +372,22 @@ fn side_dominates(
 }
 
 /// Prove `a/da ≤ b/db` for all parameter values satisfying the
-/// assumptions (conservative: free variables universally quantified).
+/// assumptions (conservative: free variables universally quantified, and
+/// arithmetic overflow while forming the query counts as "not proven").
 /// `assumptions` must already live in the terms' variable space.
 fn prove_le(a: &(LinExpr, Int), b: &(LinExpr, Int), assumptions: &System) -> bool {
     let space = a.0.nvars();
     debug_assert_eq!(assumptions.nvars(), space, "prove_le: space mismatch");
-    let mut sys = assumptions.clone();
     // counterexample: a·db − b·da ≥ 1
-    sys.add_ge(a.0.clone() * b.1 - b.0.clone() * a.1 - LinExpr::constant(space, 1));
+    let counter =
+        a.0.checked_scale(b.1)
+            .and_then(|x| x.checked_sub(&b.0.checked_scale(a.1)?))
+            .and_then(|x| x.checked_sub(&LinExpr::constant(space, 1)));
+    let Ok(counter) = counter else {
+        return false;
+    };
+    let mut sys = assumptions.clone();
+    sys.add_ge(counter);
     is_empty(&sys) == Feasibility::Empty
 }
 
@@ -393,10 +447,16 @@ impl Builder<'_> {
                         .ok_or_else(|| CodegenError::Unbounded(format!("slot {qpos}")))?;
                     let name = self.slot_name(qpos);
                     let lower = Bound {
-                        terms: lo.iter().map(|t| self.to_aff(t, slot_loop, None)).collect(),
+                        terms: lo
+                            .iter()
+                            .map(|t| self.to_aff(t, slot_loop, None))
+                            .collect::<Result<_, _>>()?,
                     };
                     let upper = Bound {
-                        terms: hi.iter().map(|t| self.to_aff(t, slot_loop, None)).collect(),
+                        terms: hi
+                            .iter()
+                            .map(|t| self.to_aff(t, slot_loop, None))
+                            .collect::<Result<_, _>>()?,
                     };
                     let children = self.ast.program.loop_decl(l).children.clone();
                     let mut res: Result<(), CodegenError> = Ok(());
@@ -468,8 +528,9 @@ impl Builder<'_> {
         t: &(LinExpr, Int),
         slot_loop: &HashMap<usize, LoopId>,
         aug_ctx: Option<&HashMap<usize, LoopId>>,
-    ) -> Aff {
+    ) -> Result<Aff, InlError> {
         let n = self.layout.len();
+        let ill = |what: &str| InlError::new(InlErrorKind::IllFormed, what.to_string());
         let mut acc = Aff::konst(t.0.constant_term());
         for (i, &c) in t.0.coeffs().iter().enumerate() {
             if c == 0 {
@@ -479,14 +540,22 @@ impl Builder<'_> {
                 VarKey::Param(inl_ir::ParamId(i))
             } else if i < self.np + n {
                 let qpos = i - self.np;
-                VarKey::Loop(*slot_loop.get(&qpos).expect("outer slot loop open"))
+                VarKey::Loop(
+                    *slot_loop
+                        .get(&qpos)
+                        .ok_or_else(|| ill("bound references a loop slot that is not yet open"))?,
+                )
             } else {
                 let r = i - self.np - n;
                 VarKey::Loop(
                     *aug_ctx
-                        .expect("aug variable outside statement context")
+                        .ok_or_else(|| {
+                            ill("bound references an augmented variable outside its statement")
+                        })?
                         .get(&r)
-                        .expect("outer aug loop open"),
+                        .ok_or_else(|| {
+                            ill("bound references an augmented loop that is not yet open")
+                        })?,
                 )
             };
             acc = acc + Aff::var(v) * c;
@@ -494,7 +563,7 @@ impl Builder<'_> {
         if t.1 != 1 {
             acc = acc.exact_div(t.1);
         }
-        acc
+        Ok(acc)
     }
 
     fn emit_stmt(
@@ -547,23 +616,23 @@ impl Builder<'_> {
             .iter()
             .map(|t| {
                 self.to_aff(
-                    &(globalize_tail(&t.expr, plan, self.layout, self.np), t.div),
+                    &(globalize_tail(&t.expr, plan, self.layout, self.np)?, t.div),
                     slot_loop,
                     Some(aug_ctx),
                 )
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let hi: Vec<Aff> = vb
             .uppers
             .iter()
             .map(|t| {
                 self.to_aff(
-                    &(globalize_tail(&t.expr, plan, self.layout, self.np), t.div),
+                    &(globalize_tail(&t.expr, plan, self.layout, self.np)?, t.div),
                     slot_loop,
                     Some(aug_ctx),
                 )
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         if lo.is_empty() || hi.is_empty() {
             return Err(CodegenError::Unbounded(format!(
                 "augmented loop {r} of {}",
@@ -614,24 +683,35 @@ impl Builder<'_> {
         };
 
         // i = N_S⁻¹ · (v - off), one Aff per old loop dim
-        let inv = gauss::inverse_rational(&sched.n_s).expect("N_S nonsingular");
+        let inv = gauss::inverse_rational(&sched.n_s)?.ok_or_else(|| {
+            InlError::new(
+                InlErrorKind::RankDeficient,
+                "per-statement transform N_S is singular",
+            )
+        })?;
         let kq = sched.n_s.nrows();
         let mut old_exprs: Vec<Aff> = Vec::with_capacity(kq);
         for q in 0..kq {
             // common denominator of row q
             let den = inv.rows[q]
                 .iter()
-                .fold(1, |acc, x| lcm(acc, x.den()).max(1));
+                .try_fold(1, |acc, x| lcm(acc, x.den()).map(|l| l.max(1)))?;
             let mut acc = Aff::konst(0);
-            let mut constant = 0;
+            let mut constant: Int = 0;
             for (j, &coef) in inv.rows[q].iter().enumerate() {
                 if coef.is_zero() {
                     continue;
                 }
                 let r = sched.n_s_rows[j];
-                let c = coef.num() * (den / coef.den());
+                let c = coef
+                    .num()
+                    .checked_mul(den / coef.den())
+                    .ok_or_else(|| InlError::overflow("schedule coefficient"))?;
                 acc = acc + Aff::var(target_var(r)) * c;
-                constant -= c * sched.offsets[r];
+                constant = c
+                    .checked_mul(sched.offsets[r])
+                    .and_then(|t| constant.checked_sub(t))
+                    .ok_or_else(|| InlError::overflow("schedule offset"))?;
             }
             acc = acc + Aff::konst(constant);
             if den != 1 {
@@ -659,14 +739,19 @@ impl Builder<'_> {
         // (b) singular-row equalities: v_r - off_r = Σ m_j (v_kj - off_kj)
         for (r, sing) in sched.singular.iter().enumerate() {
             let Some(coeffs) = sing else { continue };
-            let den = coeffs.iter().fold(1, |acc, x| lcm(acc, x.den()).max(1));
+            let den = coeffs
+                .iter()
+                .try_fold(1, |acc, x| lcm(acc, x.den()).map(|l| l.max(1)))?;
             let mut e = (Aff::var(target_var(r)) - Aff::konst(sched.offsets[r])) * den;
             for (j, coef) in coeffs.iter().enumerate() {
                 if coef.is_zero() {
                     continue;
                 }
                 let rj = sched.n_s_rows[j];
-                let c = coef.num() * (den / coef.den());
+                let c = coef
+                    .num()
+                    .checked_mul(den / coef.den())
+                    .ok_or_else(|| InlError::overflow("singular-row coefficient"))?;
                 e = e - (Aff::var(target_var(rj)) - Aff::konst(sched.offsets[rj])) * c;
             }
             guards.push(Guard::Eq(e.numerator()));
@@ -726,16 +811,30 @@ fn simplify_guards(result: CodegenResult, _src: &Program) -> CodegenResult {
             .iter()
             .filter(|g| match g {
                 Guard::Ge(a) => {
-                    // keep unless ¬(a ≥ 0) is infeasible in context
+                    // keep unless ¬(a ≥ 0) is infeasible in context;
+                    // overflow while forming the query keeps the guard
+                    let Ok(e) = to_expr(a)
+                        .checked_neg()
+                        .and_then(|x| x.checked_sub(&LinExpr::constant(space, 1)))
+                    else {
+                        return true;
+                    };
                     let mut neg = sys.clone();
-                    neg.add_ge(-to_expr(a) - LinExpr::constant(space, 1));
+                    neg.add_ge(e);
                     is_empty(&neg) != Feasibility::Empty
                 }
                 Guard::Eq(a) => {
+                    let above = to_expr(a).checked_sub(&LinExpr::constant(space, 1));
+                    let below = to_expr(a)
+                        .checked_neg()
+                        .and_then(|x| x.checked_sub(&LinExpr::constant(space, 1)));
+                    let (Ok(above), Ok(below)) = (above, below) else {
+                        return true;
+                    };
                     let mut pos = sys.clone();
-                    pos.add_ge(to_expr(a) - LinExpr::constant(space, 1));
+                    pos.add_ge(above);
                     let mut negs = sys.clone();
-                    negs.add_ge(-to_expr(a) - LinExpr::constant(space, 1));
+                    negs.add_ge(below);
                     is_empty(&pos) != Feasibility::Empty || is_empty(&negs) != Feasibility::Empty
                 }
                 Guard::Div(_, _) => true,
@@ -762,4 +861,46 @@ fn context_without_guards(p: &Program, s: StmtId) -> System {
 fn set_guards(p: &mut Program, s: StmtId, guards: Vec<Guard>) {
     // Program fields are private to inl-ir; use the surgery-style accessor
     p.set_stmt_guards(s, guards);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inl_core::depend::analyze;
+    use inl_core::instance::InstanceLayout;
+    use inl_ir::zoo;
+
+    #[test]
+    fn bound_on_eliminated_old_var_is_typed_error() {
+        // A scan bound referencing an old (pre-transformation) iteration
+        // variable means projection broke off early; the globalizers must
+        // report IllFormed instead of panicking.
+        let p = zoo::wavefront();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout).expect("analysis");
+        let m = IMat::identity(layout.len());
+        let report = check_legal(&p, &layout, &deps, &m).expect("legality");
+        let ast = report.new_ast.as_ref().unwrap();
+        let schedules = schedule_all(&p, &layout, ast, &m, &deps, &report).expect("schedule");
+        let sched = schedules.into_iter().next().unwrap();
+        let np = p.nparams();
+        let kold = layout.stmt_loops(sched.stmt).len();
+        let plan = StmtPlan {
+            sched,
+            bounds: Vec::new(),
+            np,
+            kold,
+        };
+        let space = np + kold + plan.sched.rows.nrows();
+        let bad = LinExpr::var(space, np); // slot np = first old iteration var
+        let err = globalize_tail(&bad, &plan, &layout, np).unwrap_err();
+        assert_eq!(err.kind(), InlErrorKind::IllFormed);
+        assert!(
+            err.to_string()
+                .contains("eliminated old iteration variable"),
+            "{err}"
+        );
+        let err = globalize(&bad, &plan, &layout, np).unwrap_err();
+        assert_eq!(err.kind(), InlErrorKind::IllFormed);
+    }
 }

@@ -2,7 +2,7 @@
 //! final state compared bitwise against the source program's — the
 //! strongest check a legal transformation admits.
 
-use crate::generate::{generate, generate_seq};
+use crate::generate::{generate, generate_seq, CodegenError};
 use inl_core::depend::analyze;
 use inl_core::instance::InstanceLayout;
 use inl_core::transform::Transform;
@@ -20,7 +20,7 @@ fn stmt(p: &Program, name: &str) -> StmtId {
 /// Generate for a matrix and check execution equivalence at several sizes.
 fn check_matrix(p: &Program, m: &IMat, init: &dyn Fn(&str, &[usize]) -> f64) -> Program {
     let layout = InstanceLayout::new(p);
-    let deps = analyze(p, &layout);
+    let deps = analyze(p, &layout).expect("analysis");
     let result = generate(p, &layout, &deps, m).expect("codegen succeeds");
     for n in [1, 2, 3, 5, 8] {
         equivalent(p, &result.program, &[n], init).unwrap_or_else(|e| {
@@ -69,7 +69,7 @@ fn paper_section5_skew_example() {
         factor: -1,
     };
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let mat = m.matrix(&p, &layout);
     let result = generate(&p, &layout, &deps, &mat).expect("codegen");
     let t = &result.program;
@@ -212,7 +212,7 @@ fn scaling_generates_divisibility_guards() {
 fn illegal_matrix_rejected() {
     let p = zoo::simple_cholesky();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let rev = Transform::Reverse(looop(&p, "I")).matrix(&p, &layout);
     assert!(matches!(
         generate(&p, &layout, &deps, &rev),
@@ -232,7 +232,7 @@ fn alignment_codegen() {
     // legal direction on an independent program.
     let p = zoo::simple_cholesky();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let s1 = stmt(&p, "S1");
     let i = looop(&p, "I");
     let m = Transform::Align {
@@ -312,4 +312,45 @@ fn generated_pseudocode_matches_paper_shape() {
     let has_eq_guard =
         !t.stmt_decl(s1_new).guards.is_empty() || t.loops_surrounding(s1_new).len() > 1;
     assert!(has_eq_guard, "{code}");
+}
+
+#[test]
+fn infeasible_domain_degrades_to_typed_error() {
+    // A guard that contradicts the loop bounds (i >= 1 vs i <= 0) makes the
+    // statement's iteration polyhedron empty. A non-unimodular schedule
+    // (scaling) forces real Fourier-Motzkin combination, which detects the
+    // contradiction mid-projection. Codegen must surface a typed error --
+    // never a panic -- on this input-dependent path.
+    use inl_ir::{Aff, Expr, ProgramBuilder};
+    let mut b = ProgramBuilder::new("emptydom");
+    let n = b.param("N");
+    let x = b.array(
+        "X",
+        &[Aff::param(n) + Aff::konst(2), Aff::param(n) + Aff::konst(2)],
+    );
+    b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+        let i = b.loop_var("I");
+        b.hloop("J", Aff::konst(1), Aff::param(n), |b| {
+            let j = b.loop_var("J");
+            b.stmt_guarded(
+                "S1",
+                x,
+                vec![Aff::var(i), Aff::var(j)],
+                Expr::index(Aff::var(i)),
+                vec![inl_ir::Guard::Ge(Aff::konst(0) - Aff::var(i))],
+            );
+        });
+    });
+    let p = b.finish();
+    let layout = InstanceLayout::new(&p);
+    let deps = analyze(&p, &layout).expect("analysis");
+    let mut m = IMat::identity(layout.len());
+    m[(0, 0)] = 2;
+    m[(1, 1)] = 2;
+    match generate(&p, &layout, &deps, &m) {
+        Err(CodegenError::Unbounded(slot)) => {
+            assert!(slot.contains("loop slot"), "unexpected slot label: {slot}")
+        }
+        other => panic!("expected typed Unbounded error, got {other:?}"),
+    }
 }

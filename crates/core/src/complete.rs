@@ -25,7 +25,7 @@ use crate::depend::{DepEntry, Dependence, DependenceMatrix};
 use crate::instance::{InstanceLayout, Position};
 use crate::legal::{check_legal, LegalityReport};
 use inl_ir::{LoopId, Node, Program, StmtId};
-use inl_linalg::{IMat, IVec, Int};
+use inl_linalg::{IMat, IVec, InlError, Int};
 use inl_poly::{is_empty, Feasibility, LinExpr};
 use std::collections::HashMap;
 
@@ -35,6 +35,16 @@ pub enum CompletionError {
     /// A user-supplied row would make some dependence's projection
     /// negative.
     PartialRowIllegal(usize),
+    /// A user-supplied row's length does not match the instance-vector
+    /// length.
+    PartialRowBadLength {
+        /// Index of the offending row in `partial`.
+        row: usize,
+        /// Its actual length.
+        got: usize,
+        /// The instance-vector length it must have.
+        want: usize,
+    },
     /// More partial rows than loop slots.
     TooManyRows,
     /// No candidate row was valid for the given slot.
@@ -43,6 +53,15 @@ pub enum CompletionError {
     OrderingCycle,
     /// The assembled matrix failed the final legality check.
     FinalCheckFailed(String),
+    /// Exact arithmetic overflowed (or a polyhedral budget was exhausted)
+    /// while evaluating candidate rows.
+    Arithmetic(InlError),
+}
+
+impl From<InlError> for CompletionError {
+    fn from(e: InlError) -> Self {
+        CompletionError::Arithmetic(e)
+    }
 }
 
 /// A successful completion.
@@ -66,7 +85,8 @@ struct DepState<'a> {
     satisfied: bool,
 }
 
-/// Interval of `row · entries`.
+/// Interval of `row · entries`. Bounds that overflow widen to "unbounded"
+/// — sound, and inconclusive intervals fall through to the exact check.
 fn row_dot(row: &IVec, entries: &[DepEntry]) -> DepEntry {
     let mut acc = DepEntry::dist(0);
     for (j, &c) in row.iter().enumerate() {
@@ -76,33 +96,39 @@ fn row_dot(row: &IVec, entries: &[DepEntry]) -> DepEntry {
         let e = entries[j];
         let scaled = if c > 0 {
             DepEntry {
-                lo: e.lo.map(|x| x * c),
-                hi: e.hi.map(|x| x * c),
+                lo: e.lo.and_then(|x| x.checked_mul(c)),
+                hi: e.hi.and_then(|x| x.checked_mul(c)),
             }
         } else {
             DepEntry {
-                lo: e.hi.map(|x| x * c),
-                hi: e.lo.map(|x| x * c),
+                lo: e.hi.and_then(|x| x.checked_mul(c)),
+                hi: e.lo.and_then(|x| x.checked_mul(c)),
             }
         };
         acc = DepEntry {
-            lo: acc.lo.zip(scaled.lo).map(|(a, b)| a + b),
-            hi: acc.hi.zip(scaled.hi).map(|(a, b)| a + b),
+            lo: acc.lo.zip(scaled.lo).and_then(|(a, b)| a.checked_add(b)),
+            hi: acc.hi.zip(scaled.hi).and_then(|(a, b)| a.checked_add(b)),
         };
     }
     acc
 }
 
 /// `row · Δ` as a linear expression over the dependence polyhedron.
-fn row_expr(layout: &InstanceLayout, nparams: usize, d: &Dependence, row: &IVec) -> LinExpr {
+fn row_expr(
+    layout: &InstanceLayout,
+    nparams: usize,
+    d: &Dependence,
+    row: &IVec,
+) -> Result<LinExpr, InlError> {
     let space = d.system.nvars();
     let mut acc = LinExpr::zero(space);
     for (j, &c) in row.iter().enumerate() {
         if c != 0 {
-            acc = acc + d.delta_expr(layout, nparams, j) * c;
+            let term = d.checked_delta_expr(layout, nparams, j)?.checked_scale(c)?;
+            acc = acc.checked_add(&term)?;
         }
     }
-    acc
+    Ok(acc)
 }
 
 /// Outcome of applying a row to a dependence.
@@ -116,59 +142,72 @@ enum RowEffect {
     Invalid,
 }
 
-fn apply_row(layout: &InstanceLayout, nparams: usize, st: &DepState<'_>, row: &IVec) -> RowEffect {
+fn apply_row(
+    layout: &InstanceLayout,
+    nparams: usize,
+    st: &DepState<'_>,
+    row: &IVec,
+) -> Result<RowEffect, InlError> {
     let v = row_dot(row, &st.dep.entries);
     if v.is_positive() {
-        return RowEffect::Satisfies;
+        return Ok(RowEffect::Satisfies);
     }
     if v.is_zero() {
-        return RowEffect::NonNegative(false);
+        return Ok(RowEffect::NonNegative(false));
     }
     // Both polyhedral questions below share the dependence system with the
     // zero context pinned, and the candidate row as a LinExpr — build each
     // once here instead of per query.
-    let ctx = context_system(layout, nparams, st);
-    let re = row_expr(layout, nparams, st.dep, row);
+    let ctx = context_system(layout, nparams, st)?;
+    let re = row_expr(layout, nparams, st.dep, row)?;
     if v.lo.is_some_and(|l| l >= 0) {
         // never negative; strictly positive unless it can be 0
-        return if can_be(&ctx, &re, 0) {
+        return Ok(if can_be(&ctx, &re, 0)? {
             RowEffect::NonNegative(true)
         } else {
             RowEffect::Satisfies
-        };
+        });
     }
     // interval admits negative values: ask the polyhedron
-    if can_be_negative(&ctx, &re) {
+    Ok(if can_be_negative(&ctx, &re)? {
         RowEffect::Invalid
-    } else if can_be(&ctx, &re, 0) {
+    } else if can_be(&ctx, &re, 0)? {
         RowEffect::NonNegative(true)
     } else {
         RowEffect::Satisfies
-    }
+    })
 }
 
-fn context_system(layout: &InstanceLayout, nparams: usize, st: &DepState<'_>) -> inl_poly::System {
+fn context_system(
+    layout: &InstanceLayout,
+    nparams: usize,
+    st: &DepState<'_>,
+) -> Result<inl_poly::System, InlError> {
     let mut sys = st.dep.system.clone();
     for z in &st.zero_context {
-        sys.add_eq(row_expr(layout, nparams, st.dep, z));
+        sys.add_eq(row_expr(layout, nparams, st.dep, z)?);
     }
-    sys
+    Ok(sys)
 }
 
 /// Can `row_expr` go strictly negative over the context polyhedron?
-fn can_be_negative(ctx: &inl_poly::System, row_expr: &LinExpr) -> bool {
+fn can_be_negative(ctx: &inl_poly::System, row_expr: &LinExpr) -> Result<bool, InlError> {
     let mut sys = ctx.clone();
     let space = sys.nvars();
-    sys.add_ge(-row_expr.clone() - LinExpr::constant(space, 1));
-    is_empty(&sys) != Feasibility::Empty
+    sys.add_ge(
+        row_expr
+            .checked_neg()?
+            .checked_sub(&LinExpr::constant(space, 1))?,
+    );
+    Ok(is_empty(&sys) != Feasibility::Empty)
 }
 
 /// Can `row_expr` take exactly `value` over the context polyhedron?
-fn can_be(ctx: &inl_poly::System, row_expr: &LinExpr, value: Int) -> bool {
+fn can_be(ctx: &inl_poly::System, row_expr: &LinExpr, value: Int) -> Result<bool, InlError> {
     let mut sys = ctx.clone();
     let space = sys.nvars();
-    sys.add_eq(row_expr.clone() - LinExpr::constant(space, value));
-    is_empty(&sys) != Feasibility::Empty
+    sys.add_eq(row_expr.checked_sub(&LinExpr::constant(space, value))?);
+    Ok(is_empty(&sys) != Feasibility::Empty)
 }
 
 /// Complete a partial transformation into a full legal matrix.
@@ -223,19 +262,23 @@ pub fn complete_transform(
     for (slot_idx, &slot) in loop_slots.iter().enumerate() {
         // evaluate a candidate against all active deps whose common slots
         // include this slot
-        let evaluate = |row: &IVec, states: &Vec<DepState<'_>>| -> bool {
-            states.iter().all(|st| {
-                st.satisfied
-                    || !st.common.contains(&slot)
-                    || !matches!(apply_row(layout, nparams, st, row), RowEffect::Invalid)
-            })
+        let evaluate = |row: &IVec, states: &Vec<DepState<'_>>| -> Result<bool, InlError> {
+            for st in states.iter() {
+                if st.satisfied || !st.common.contains(&slot) {
+                    continue;
+                }
+                if matches!(apply_row(layout, nparams, st, row)?, RowEffect::Invalid) {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
         };
-        let commit = |row: &IVec, states: &mut Vec<DepState<'_>>| {
+        let commit = |row: &IVec, states: &mut Vec<DepState<'_>>| -> Result<(), InlError> {
             for st in states.iter_mut() {
                 if st.satisfied || !st.common.contains(&slot) {
                     continue;
                 }
-                match apply_row(layout, nparams, st, row) {
+                match apply_row(layout, nparams, st, row)? {
                     RowEffect::Invalid => unreachable!("validated"),
                     RowEffect::Satisfies => st.satisfied = true,
                     RowEffect::NonNegative(needs_ctx) => {
@@ -245,25 +288,32 @@ pub fn complete_transform(
                     }
                 }
             }
+            Ok(())
         };
 
-        let independent = |row: &IVec, chosen: &[(usize, IVec)]| -> bool {
+        let independent = |row: &IVec, chosen: &[(usize, IVec)]| -> Result<bool, InlError> {
             let mut m = IMat::zeros(0, 0);
             for (_, r) in chosen {
                 m.push_row(r);
             }
-            let before = if m.nrows() == 0 { 0 } else { m.rank() };
+            let before = if m.nrows() == 0 { 0 } else { m.checked_rank()? };
             m.push_row(row);
-            m.rank() > before
+            Ok(m.checked_rank()? > before)
         };
 
         if slot_idx < partial.len() {
             let row = partial[slot_idx].clone();
-            assert_eq!(row.len(), n, "partial row has wrong length");
-            if !evaluate(&row, &states) {
+            if row.len() != n {
+                return Err(CompletionError::PartialRowBadLength {
+                    row: slot_idx,
+                    got: row.len(),
+                    want: n,
+                });
+            }
+            if !evaluate(&row, &states)? {
                 return Err(CompletionError::PartialRowIllegal(slot_idx));
             }
-            commit(&row, &mut states);
+            commit(&row, &mut states)?;
             for (j, &v) in row.iter().enumerate() {
                 if v != 0 {
                     used_positions[j] = true;
@@ -301,7 +351,7 @@ pub fn complete_transform(
         let mut picked: Option<IVec> = None;
         for cand in &candidates {
             inl_obs::counter_add!("complete.candidates_tried", 1);
-            if independent(cand, &chosen_rows) && evaluate(cand, &states) {
+            if independent(cand, &chosen_rows)? && evaluate(cand, &states)? {
                 picked = Some(cand.clone());
                 break;
             }
@@ -309,7 +359,7 @@ pub fn complete_transform(
         let Some(row) = picked else {
             return Err(CompletionError::NoCandidate(slot_idx));
         };
-        commit(&row, &mut states);
+        commit(&row, &mut states)?;
         for (j, &v) in row.iter().enumerate() {
             if v != 0 {
                 used_positions[j] = true;
@@ -361,7 +411,7 @@ pub fn complete_transform(
         }
     }
 
-    let report = check_legal(p, layout, deps, &m);
+    let report = check_legal(p, layout, deps, &m)?;
     if !report.is_legal() {
         let why = report
             .new_ast
@@ -451,7 +501,7 @@ mod tests {
             zoo::wavefront(),
         ] {
             let layout = InstanceLayout::new(&p);
-            let deps = analyze(&p, &layout);
+            let deps = analyze(&p, &layout).expect("analysis");
             let c = complete_transform(&p, &layout, &deps, &[]).expect("completes");
             assert!(c.report.is_legal(), "{}", p.name());
         }
@@ -466,7 +516,7 @@ mod tests {
         // transform non-singular (no augmentation).
         let p = zoo::cholesky_kij();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         // "make the updated-column position outermost": the unit selector
         // of the L position (see EXPERIMENTS.md E6 for why this is the
         // corrected form of the paper's printed first row)
@@ -503,7 +553,7 @@ mod tests {
         // interchange legal.
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let j = looop(&p, "J");
         let partial = vec![IVec::unit(layout.len(), layout.loop_position(j))];
         let c = complete_transform(&p, &layout, &deps, &partial).expect("completes");
@@ -522,7 +572,7 @@ mod tests {
         // new outer = −I reverses every I-carried dependence
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let i = looop(&p, "I");
         let partial = vec![-&IVec::unit(layout.len(), layout.loop_position(i))];
         assert!(matches!(
@@ -535,7 +585,7 @@ mod tests {
     fn too_many_rows_rejected() {
         let p = zoo::perfect_nest();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let rows = vec![IVec::unit(2, 0), IVec::unit(2, 1), IVec::unit(2, 0)];
         assert!(matches!(
             complete_transform(&p, &layout, &deps, &rows),
@@ -547,7 +597,7 @@ mod tests {
     fn completion_is_deterministic() {
         let p = zoo::cholesky_kij();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let a = complete_transform(&p, &layout, &deps, &[]).unwrap();
         let b = complete_transform(&p, &layout, &deps, &[]).unwrap();
         assert_eq!(a.matrix, b.matrix);

@@ -18,7 +18,7 @@
 
 use crate::instance::InstanceLayout;
 use inl_ir::{Guard, LoopId, Program, StmtId};
-use inl_linalg::Int;
+use inl_linalg::{InlError, InlErrorKind, Int};
 use inl_poly::{expr_bounds, is_empty, Feasibility, LinExpr, System};
 use std::fmt;
 
@@ -154,19 +154,39 @@ impl Dependence {
 
     /// The instance-vector difference at position `i` as a [`LinExpr`] over
     /// the dependence polyhedron's variable space.
+    ///
+    /// # Panics
+    /// On coefficient overflow; fallible paths use
+    /// [`Dependence::checked_delta_expr`].
     pub fn delta_expr(&self, layout: &InstanceLayout, nparams: usize, i: usize) -> LinExpr {
+        self.checked_delta_expr(layout, nparams, i)
+            .expect("delta overflow: fallible paths use checked_delta_expr")
+    }
+
+    /// Overflow-checked [`Dependence::delta_expr`].
+    pub fn checked_delta_expr(
+        &self,
+        layout: &InstanceLayout,
+        nparams: usize,
+        i: usize,
+    ) -> Result<LinExpr, InlError> {
         let space = self.system.nvars();
         let (es, fs) = layout.embedding(self.src);
         let (et, ft) = layout.embedding(self.dst);
         let ks = self.src_loops.len();
-        let mut coeffs = vec![0; space];
+        let mut coeffs: Vec<Int> = vec![0; space];
+        let oops = || InlError::overflow("dependence delta coefficient");
         for j in 0..self.dst_loops.len() {
-            coeffs[nparams + ks + j] += et[(i, j)];
+            let slot = nparams + ks + j;
+            coeffs[slot] = coeffs[slot].checked_add(et[(i, j)]).ok_or_else(oops)?;
         }
         for j in 0..ks {
-            coeffs[nparams + j] -= es[(i, j)];
+            coeffs[nparams + j] = coeffs[nparams + j]
+                .checked_sub(es[(i, j)])
+                .ok_or_else(oops)?;
         }
-        LinExpr::from_parts(coeffs, ft[i] - fs[i])
+        let c = ft[i].checked_sub(fs[i]).ok_or_else(oops)?;
+        Ok(LinExpr::from_parts(coeffs, c))
     }
 }
 
@@ -218,7 +238,7 @@ fn add_stmt_constraints(
     sys: &mut System,
     base: usize,
     mut next_exist: usize,
-) -> usize {
+) -> Result<usize, InlError> {
     let space = sys.nvars();
     let slot_of = |l: LoopId| -> usize {
         base + loops
@@ -226,51 +246,60 @@ fn add_stmt_constraints(
             .position(|&x| x == l)
             .expect("loop not surrounding stmt")
     };
-    let to_expr = |a: &inl_ir::Aff| -> LinExpr {
+    let to_expr = |a: &inl_ir::Aff| -> Result<LinExpr, InlError> {
         // numerator form; divisor handled by the caller via scaling
-        let mut coeffs = vec![0; space];
+        let mut coeffs: Vec<Int> = vec![0; space];
         for &(v, c) in a.terms() {
-            match v {
-                inl_ir::VarKey::Param(pr) => coeffs[pr.0] += c,
-                inl_ir::VarKey::Loop(l) => coeffs[slot_of(l)] += c,
-            }
+            let slot = match v {
+                inl_ir::VarKey::Param(pr) => pr.0,
+                inl_ir::VarKey::Loop(l) => slot_of(l),
+            };
+            coeffs[slot] = coeffs[slot]
+                .checked_add(c)
+                .ok_or_else(|| InlError::overflow("bound coefficient"))?;
         }
-        LinExpr::from_parts(coeffs, a.constant())
+        Ok(LinExpr::from_parts(coeffs, a.constant()))
     };
     for (idx, &l) in loops.iter().enumerate() {
         let ld = p.loop_decl(l);
         let iv = LinExpr::var(space, base + idx);
         for t in &ld.lower.terms {
-            sys.add_ge(iv.clone() * t.divisor() - to_expr(t));
+            sys.add_ge(iv.checked_scale(t.divisor())?.checked_sub(&to_expr(t)?)?);
         }
         for t in &ld.upper.terms {
-            sys.add_ge(to_expr(t) - iv.clone() * t.divisor());
+            sys.add_ge(to_expr(t)?.checked_sub(&iv.checked_scale(t.divisor())?)?);
         }
         if ld.step != 1 {
-            assert_eq!(
-                ld.lower.terms.len(),
-                1,
-                "non-unit step with multi-term lower bound"
-            );
+            if ld.lower.terms.len() != 1 || ld.lower.terms[0].divisor() != 1 {
+                return Err(InlError::new(
+                    InlErrorKind::Unsupported,
+                    format!(
+                        "loop {}: non-unit step with a max/divided lower bound",
+                        ld.name
+                    ),
+                ));
+            }
             let lo = &ld.lower.terms[0];
-            assert_eq!(lo.divisor(), 1);
             let q = LinExpr::var(space, next_exist);
             next_exist += 1;
-            sys.add_eq(iv.clone() - to_expr(lo) - q * ld.step);
+            sys.add_eq(
+                iv.checked_sub(&to_expr(lo)?)?
+                    .checked_sub(&q.checked_scale(ld.step)?)?,
+            );
         }
     }
     for g in &p.stmt_decl(s).guards {
         match g {
-            Guard::Ge(a) => sys.add_ge(to_expr(a)),
-            Guard::Eq(a) => sys.add_eq(to_expr(a)),
+            Guard::Ge(a) => sys.add_ge(to_expr(a)?),
+            Guard::Eq(a) => sys.add_eq(to_expr(a)?),
             Guard::Div(a, m) => {
                 let q = LinExpr::var(space, next_exist);
                 next_exist += 1;
-                sys.add_eq(to_expr(a) - q * *m);
+                sys.add_eq(to_expr(a)?.checked_sub(&q.checked_scale(*m)?)?);
             }
         }
     }
-    next_exist
+    Ok(next_exist)
 }
 
 fn count_exists(p: &Program, s: StmtId, loops: &[LoopId]) -> usize {
@@ -284,7 +313,12 @@ fn count_exists(p: &Program, s: StmtId, loops: &[LoopId]) -> usize {
 
 /// Compute the dependence matrix of a program (the general procedure of
 /// §3: "performs this analysis for all pairs of reads and writes").
-pub fn analyze(p: &Program, layout: &InstanceLayout) -> DependenceMatrix {
+///
+/// Errors only when exact arithmetic on the program's constraints leaves
+/// the `i128` range (or a polyhedral budget is exhausted) — dependence
+/// *construction* cannot be soundly approximated, so overflow here is
+/// reported rather than degraded.
+pub fn analyze(p: &Program, layout: &InstanceLayout) -> Result<DependenceMatrix, InlError> {
     let _span = inl_obs::span("depend.analyze");
     inl_obs::timeline::instant("stage.dependence");
     let mut deps = Vec::new();
@@ -318,7 +352,7 @@ pub fn analyze(p: &Program, layout: &InstanceLayout) -> DependenceMatrix {
             }
 
             for (kind, asrc, adst) in pairs {
-                deps.extend(analyze_pair(p, layout, src, dst, kind, asrc, adst));
+                deps.extend(analyze_pair(p, layout, src, dst, kind, asrc, adst)?);
             }
         }
     }
@@ -333,10 +367,10 @@ pub fn analyze(p: &Program, layout: &InstanceLayout) -> DependenceMatrix {
             uniq.push(d);
         }
     }
-    DependenceMatrix {
+    Ok(DependenceMatrix {
         n: layout.len(),
         deps: uniq,
-    }
+    })
 }
 
 fn analyze_pair(
@@ -347,7 +381,7 @@ fn analyze_pair(
     kind: DepKind,
     asrc: &inl_ir::Access,
     adst: &inl_ir::Access,
-) -> Vec<Dependence> {
+) -> Result<Vec<Dependence>, InlError> {
     inl_obs::counter_add!("depend.pairs_tested", 1);
     let nparams = p.nparams();
     let src_loops = layout.stmt_loops(src).to_vec();
@@ -358,26 +392,32 @@ fn analyze_pair(
 
     let mut base_sys = p.assumption_system(space);
     let mut next_exist = nparams + ks + kd;
-    next_exist = add_stmt_constraints(p, src, &src_loops, &mut base_sys, nparams, next_exist);
-    let _ = add_stmt_constraints(p, dst, &dst_loops, &mut base_sys, nparams + ks, next_exist);
+    next_exist = add_stmt_constraints(p, src, &src_loops, &mut base_sys, nparams, next_exist)?;
+    let _ = add_stmt_constraints(p, dst, &dst_loops, &mut base_sys, nparams + ks, next_exist)?;
 
     // subscript equality, cross-multiplying divisors
     let src_slot = |l: LoopId| nparams + src_loops.iter().position(|&x| x == l).unwrap();
     let dst_slot = |l: LoopId| nparams + ks + dst_loops.iter().position(|&x| x == l).unwrap();
-    let to_expr = |a: &inl_ir::Aff, slot: &dyn Fn(LoopId) -> usize| -> LinExpr {
-        let mut coeffs = vec![0; space];
+    let to_expr = |a: &inl_ir::Aff, slot: &dyn Fn(LoopId) -> usize| -> Result<LinExpr, InlError> {
+        let mut coeffs: Vec<Int> = vec![0; space];
         for &(v, c) in a.terms() {
-            match v {
-                inl_ir::VarKey::Param(pr) => coeffs[pr.0] += c,
-                inl_ir::VarKey::Loop(l) => coeffs[slot(l)] += c,
-            }
+            let s = match v {
+                inl_ir::VarKey::Param(pr) => pr.0,
+                inl_ir::VarKey::Loop(l) => slot(l),
+            };
+            coeffs[s] = coeffs[s]
+                .checked_add(c)
+                .ok_or_else(|| InlError::overflow("subscript coefficient"))?;
         }
-        LinExpr::from_parts(coeffs, a.constant())
+        Ok(LinExpr::from_parts(coeffs, a.constant()))
     };
     for (is_, id_) in asrc.idxs.iter().zip(&adst.idxs) {
-        let es = to_expr(is_, &|l| src_slot(l));
-        let ed = to_expr(id_, &|l| dst_slot(l));
-        base_sys.add_eq(es * id_.divisor() - ed * is_.divisor());
+        let es = to_expr(is_, &|l| src_slot(l))?;
+        let ed = to_expr(id_, &|l| dst_slot(l))?;
+        base_sys.add_eq(
+            es.checked_scale(id_.divisor())?
+                .checked_sub(&ed.checked_scale(is_.divisor())?)?,
+        );
     }
 
     // One feasibility test on the shared base system prunes every level at
@@ -386,7 +426,7 @@ fn analyze_pair(
     // access ranges, contradictory guards, unsatisfiable subscripts).
     if is_empty(&base_sys) == Feasibility::Empty {
         inl_obs::counter_add!("depend.base_infeasible", 1);
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     // precedence levels over common loops
@@ -432,13 +472,13 @@ fn analyze_pair(
             certain: feas == Feasibility::NonEmpty,
         };
         for i in 0..layout.len() {
-            let expr = dep.delta_expr(layout, nparams, i);
-            let (lo, hi) = expr_bounds(&dep.system, &expr);
+            let expr = dep.checked_delta_expr(layout, nparams, i)?;
+            let (lo, hi) = expr_bounds(&dep.system, &expr)?;
             dep.entries.push(DepEntry { lo, hi });
         }
         out.push(dep);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -460,7 +500,7 @@ mod tests {
         // columns: three dependences (order may differ in our analysis).
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let dm = analyze(&p, &layout);
+        let dm = analyze(&p, &layout).expect("analysis");
         let col = |a: DepEntry, b: DepEntry, c: DepEntry, d: DepEntry| vec![a, b, c, d];
         use DepEntry as E;
         // flow S1 -> S2 through A(I): [0, 1, -1, +] — exactly the paper's
@@ -496,7 +536,7 @@ mod tests {
     fn flow_dep_is_certain_and_carries_system() {
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let dm = analyze(&p, &layout);
+        let dm = analyze(&p, &layout).expect("analysis");
         let s1 = stmt(&p, "S1");
         let s2 = stmt(&p, "S2");
         let flow = dm
@@ -514,7 +554,7 @@ mod tests {
     fn no_dependence_between_disjoint_arrays() {
         let p = zoo::independent_pair();
         let layout = InstanceLayout::new(&p);
-        let dm = analyze(&p, &layout);
+        let dm = analyze(&p, &layout).expect("analysis");
         // X and Y never conflict; each statement writes disjoint cells
         // (val(I) to X(I)): the only candidate is an output self-dep on the
         // same cell, infeasible at distinct iterations.
@@ -529,7 +569,7 @@ mod tests {
     fn wavefront_has_unit_distances() {
         let p = zoo::wavefront();
         let layout = InstanceLayout::new(&p);
-        let dm = analyze(&p, &layout);
+        let dm = analyze(&p, &layout).expect("analysis");
         // flow deps (1,0) and (0,1)
         use DepEntry as E;
         assert!(dm.has_column(&[E::dist(1), E::dist(0)]), "{}", dm.display());
@@ -550,7 +590,7 @@ mod tests {
         // the column [0 0 + 1 / 0 1 0 -1 / ...]ᵀ — spot-check two.
         let p = zoo::cholesky_kij();
         let layout = InstanceLayout::new(&p);
-        let dm = analyze(&p, &layout);
+        let dm = analyze(&p, &layout).expect("analysis");
         assert!(!dm.deps.is_empty());
         // every dependence is lexicographically non-negative as an
         // instance-vector difference (execution order!)
@@ -579,7 +619,7 @@ mod tests {
         // the (0,1) dep at level 1
         let p = zoo::wavefront();
         let layout = InstanceLayout::new(&p);
-        let dm = analyze(&p, &layout);
+        let dm = analyze(&p, &layout).expect("analysis");
         let d10 = dm
             .deps
             .iter()

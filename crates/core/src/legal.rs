@@ -21,7 +21,7 @@
 use crate::depend::{DepEntry, Dependence, DependenceMatrix};
 use crate::instance::InstanceLayout;
 use inl_ir::{LoopId, Program, StmtId};
-use inl_linalg::{IMat, Int};
+use inl_linalg::{IMat, InlError, Int};
 use inl_poly::{is_empty, Feasibility, LinExpr};
 use std::collections::HashMap;
 
@@ -91,8 +91,10 @@ pub fn recover_ast(p: &Program, layout: &InstanceLayout, m: &IMat) -> Result<New
             m.ncols()
         ));
     }
-    if m.det() == 0 {
-        return Err("matrix is singular".to_string());
+    match m.checked_det() {
+        Ok(0) => return Err("matrix is singular".to_string()),
+        Ok(_) => {}
+        Err(_) => return Err("determinant computation overflows".to_string()),
     }
     let mut perms: HashMap<Option<LoopId>, Vec<usize>> = HashMap::new();
     // visit the virtual root and every loop
@@ -181,12 +183,17 @@ pub fn recover_ast(p: &Program, layout: &InstanceLayout, m: &IMat) -> Result<New
     })
 }
 
-/// Interval arithmetic over dependence entries.
+/// Interval arithmetic over dependence entries. A bound whose product
+/// overflows is widened to "unbounded" — sound (the interval only grows)
+/// and inconclusive intervals fall through to the exact polyhedral check.
 fn scale_entry(e: DepEntry, k: Int) -> DepEntry {
     if k == 0 {
         return DepEntry::dist(0);
     }
-    let (lo, hi) = (e.lo.map(|x| x * k), e.hi.map(|x| x * k));
+    let (lo, hi) = (
+        e.lo.and_then(|x| x.checked_mul(k)),
+        e.hi.and_then(|x| x.checked_mul(k)),
+    );
     if k > 0 {
         DepEntry { lo, hi }
     } else {
@@ -196,8 +203,8 @@ fn scale_entry(e: DepEntry, k: Int) -> DepEntry {
 
 fn add_entry(a: DepEntry, b: DepEntry) -> DepEntry {
     DepEntry {
-        lo: a.lo.zip(b.lo).map(|(x, y)| x + y),
-        hi: a.hi.zip(b.hi).map(|(x, y)| x + y),
+        lo: a.lo.zip(b.lo).and_then(|(x, y)| x.checked_add(y)),
+        hi: a.hi.zip(b.hi).and_then(|(x, y)| x.checked_add(y)),
     }
 }
 
@@ -220,12 +227,15 @@ enum DepStatus {
 }
 
 /// Check legality of `m` (Definition 6).
+///
+/// Errors only when the exact polyhedral fallback overflows `i128`; the
+/// interval fast path degrades conservatively instead.
 pub fn check_legal(
     p: &Program,
     layout: &InstanceLayout,
     deps: &DependenceMatrix,
     m: &IMat,
-) -> LegalityReport {
+) -> Result<LegalityReport, InlError> {
     let _span = inl_obs::span("legal.check");
     inl_obs::timeline::instant("stage.legality");
     let new_ast = recover_ast(p, layout, m);
@@ -233,18 +243,18 @@ pub fn check_legal(
     let mut unsatisfied_self = Vec::new();
     if let Ok(ast) = &new_ast {
         for (idx, d) in deps.deps.iter().enumerate() {
-            match check_dep(p, layout, ast, m, d) {
+            match check_dep(p, layout, ast, m, d)? {
                 DepStatus::Satisfied => {}
                 DepStatus::UnsatisfiedSelf => unsatisfied_self.push(idx),
                 DepStatus::Violated(reason) => violations.push(Violation { dep: idx, reason }),
             }
         }
     }
-    LegalityReport {
+    Ok(LegalityReport {
         new_ast,
         violations,
         unsatisfied_self,
-    }
+    })
 }
 
 /// Positions (new-space, ascending = outside-in) of the loops common to the
@@ -269,7 +279,7 @@ fn check_dep(
     ast: &NewAst,
     m: &IMat,
     d: &Dependence,
-) -> DepStatus {
+) -> Result<DepStatus, InlError> {
     let common = common_new_positions(layout, ast, d);
     // fast path: interval arithmetic
     let mut need_exact = false;
@@ -293,11 +303,11 @@ fn check_dep(
     }
     if !need_exact {
         inl_obs::counter_add!("legal.fast_path_hits", 1);
-        return match decided {
+        return Ok(match decided {
             Some(s) => s,
             // all projected entries exactly zero
             None => zero_case(ast, d),
-        };
+        });
     }
     // exact fallback: per-prefix feasibility on the dependence polyhedron
     inl_obs::counter_add!("legal.exact_fallbacks", 1);
@@ -323,52 +333,59 @@ fn exact_check(
     m: &IMat,
     d: &Dependence,
     common: &[usize],
-) -> DepStatus {
+) -> Result<DepStatus, InlError> {
     let _span = inl_obs::span("legal.exact");
     let nparams = p.nparams();
     let space = d.system.nvars();
     // new-space row `row` of M·Δ as a LinExpr over the dependence polyhedron
-    let row_expr = |row: usize| -> LinExpr {
+    let row_expr = |row: usize| -> Result<LinExpr, InlError> {
         let mut acc = LinExpr::zero(space);
         for (j, &coef) in m.row_slice(row).iter().enumerate() {
             if coef != 0 {
-                acc = acc + d.delta_expr(layout, nparams, j) * coef;
+                let term = d
+                    .checked_delta_expr(layout, nparams, j)?
+                    .checked_scale(coef)?;
+                acc = acc.checked_add(&term)?;
             }
         }
-        acc
+        Ok(acc)
     };
     // violation at prefix q: rows 0..q zero, row q negative. The prefix
     // system grows by one equality per step, so accumulate it once instead
     // of rebuilding the q-row prefix from scratch for every q.
     let mut prefix = d.system.clone();
     for (q, &row) in common.iter().enumerate() {
-        let re = row_expr(row);
+        let re = row_expr(row)?;
         let mut sys = prefix.clone();
-        sys.add_ge(-re.clone() - LinExpr::constant(space, 1));
+        sys.add_ge(
+            re.checked_neg()?
+                .checked_sub(&LinExpr::constant(space, 1))?,
+        );
         if is_empty(&sys) != Feasibility::Empty {
-            return DepStatus::Violated(format!(
+            return Ok(DepStatus::Violated(format!(
                 "dependence instance with negative projected entry {q} exists"
-            ));
+            )));
         }
         prefix.add_eq(re);
     }
     // all-zero case feasible? `prefix` now carries every common row pinned
     // to zero.
-    if is_empty(&prefix) != Feasibility::Empty {
+    Ok(if is_empty(&prefix) != Feasibility::Empty {
         zero_case(ast, d)
     } else {
         DepStatus::Satisfied
-    }
+    })
 }
 
-/// Convenience: check legality of a transformation sequence.
+/// Convenience: check legality of a transformation sequence. An invalid
+/// transform in the sequence reports [`inl_linalg::InlErrorKind::InvalidTarget`].
 pub fn check_legal_seq(
     p: &Program,
     layout: &InstanceLayout,
     deps: &DependenceMatrix,
     seq: &[crate::transform::Transform],
-) -> LegalityReport {
-    let m = crate::transform::Transform::compose(p, layout, seq).expect("valid transforms");
+) -> Result<LegalityReport, InlError> {
+    let m = crate::transform::Transform::compose(p, layout, seq)?;
     check_legal(p, layout, deps, &m)
 }
 
@@ -403,9 +420,9 @@ mod tests {
     fn identity_is_legal() {
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let m = IMat::identity(layout.len());
-        let r = check_legal(&p, &layout, &deps, &m);
+        let r = check_legal(&p, &layout, &deps, &m).expect("legality");
         assert!(r.is_legal(), "{:?}", r.violations);
         assert!(r.unsatisfied_self.is_empty());
     }
@@ -417,11 +434,11 @@ mod tests {
         // S2@(i, v), but S2@(i, v) writes the A(v) that S1@v consumes.
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let i = looop(&p, "I");
         let j = looop(&p, "J");
         let inter = Transform::Interchange(i, j).matrix(&p, &layout);
-        let r = check_legal(&p, &layout, &deps, &inter);
+        let r = check_legal(&p, &layout, &deps, &inter).expect("legality");
         assert!(!r.is_legal(), "naked interchange must be illegal");
         // Interchange combined with moving the J loop before S1 (the
         // left-looking form: all updates of column v, then its sqrt) is
@@ -439,7 +456,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let r2 = check_legal(&p, &layout, &deps, &m);
+        let r2 = check_legal(&p, &layout, &deps, &m).expect("legality");
         assert!(r2.is_legal(), "{:?}", r2.violations);
         // and the recovered AST puts S2's loop first
         let ast = r2.new_ast.unwrap();
@@ -453,9 +470,9 @@ mod tests {
         // flow dependence from S1 to S2 in later iterations
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let m = Transform::Reverse(looop(&p, "I")).matrix(&p, &layout);
-        let r = check_legal(&p, &layout, &deps, &m);
+        let r = check_legal(&p, &layout, &deps, &m).expect("legality");
         assert!(!r.is_legal());
     }
 
@@ -463,13 +480,17 @@ mod tests {
     fn wavefront_interchange_legal_reversal_illegal() {
         let p = zoo::wavefront();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let i = looop(&p, "I");
         let j = looop(&p, "J");
         let inter = Transform::Interchange(i, j).matrix(&p, &layout);
-        assert!(check_legal(&p, &layout, &deps, &inter).is_legal());
+        assert!(check_legal(&p, &layout, &deps, &inter)
+            .expect("legality")
+            .is_legal());
         let rev = Transform::Reverse(i).matrix(&p, &layout);
-        assert!(!check_legal(&p, &layout, &deps, &rev).is_legal());
+        assert!(!check_legal(&p, &layout, &deps, &rev)
+            .expect("legality")
+            .is_legal());
         // skewing J by I keeps all dependences lexicographically positive
         let skew = Transform::Skew {
             target: j,
@@ -477,7 +498,9 @@ mod tests {
             factor: 1,
         }
         .matrix(&p, &layout);
-        assert!(check_legal(&p, &layout, &deps, &skew).is_legal());
+        assert!(check_legal(&p, &layout, &deps, &skew)
+            .expect("legality")
+            .is_legal());
     }
 
     #[test]
@@ -487,14 +510,14 @@ mod tests {
         // the added loop).
         let p = zoo::augmentation_example();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let m = Transform::Skew {
             target: looop(&p, "I"),
             source: looop(&p, "J"),
             factor: -1,
         }
         .matrix(&p, &layout);
-        let r = check_legal(&p, &layout, &deps, &m);
+        let r = check_legal(&p, &layout, &deps, &m).expect("legality");
         assert!(r.is_legal(), "{:?}", r.violations);
         let s1 = stmt(&p, "S1");
         let unsat = unsatisfied_by_stmt(&deps, &r);
@@ -511,14 +534,14 @@ mod tests {
         // equal I
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let i = looop(&p, "I");
         let m = Transform::ReorderChildren {
             parent: Some(i),
             perm: vec![1, 0],
         }
         .matrix(&p, &layout);
-        let r = check_legal(&p, &layout, &deps, &m);
+        let r = check_legal(&p, &layout, &deps, &m).expect("legality");
         assert!(!r.is_legal());
     }
 
@@ -567,7 +590,7 @@ mod tests {
         //   new J slot ← old J, new L slot ← old K, new I slot ← old I.
         let p = zoo::cholesky_kij();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let c = IMat::from_rows(&[
             &[0, 0, 0, 0, 0, 1, 0][..], // outer = old L position
             &[0, 0, 1, 0, 0, 0, 0],     // edge rows: children (S1, I, J)
@@ -577,7 +600,7 @@ mod tests {
             &[1, 0, 0, 0, 0, 0, 0], // L slot = old K
             &[0, 0, 0, 0, 0, 0, 1], // I slot = old I
         ]);
-        let r = check_legal(&p, &layout, &deps, &c);
+        let r = check_legal(&p, &layout, &deps, &c).expect("legality");
         assert!(r.is_legal(), "violations: {:?}", r.violations);
         assert!(
             r.unsatisfied_self.is_empty(),
@@ -603,7 +626,7 @@ mod tests {
         // must catch it.
         let p = zoo::cholesky_kij();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let c = IMat::from_rows(&[
             &[0, 0, 0, 0, 1, 0, 0][..],
             &[0, 0, 1, 0, 0, 0, 0],
@@ -613,7 +636,7 @@ mod tests {
             &[0, 0, 0, 0, 0, 1, 0],
             &[0, 0, 0, 0, 0, 0, 1],
         ]);
-        let r = check_legal(&p, &layout, &deps, &c);
+        let r = check_legal(&p, &layout, &deps, &c).expect("legality");
         assert!(!r.is_legal());
     }
 
@@ -624,7 +647,7 @@ mod tests {
         // the flow dependence is reversed.
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let s1 = stmt(&p, "S1");
         let i = looop(&p, "I");
         let fwd = Transform::Align {
@@ -633,7 +656,7 @@ mod tests {
             offset: 1,
         }
         .matrix(&p, &layout);
-        let r = check_legal(&p, &layout, &deps, &fwd);
+        let r = check_legal(&p, &layout, &deps, &fwd).expect("legality");
         assert!(!r.is_legal());
     }
 }

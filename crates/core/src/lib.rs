@@ -45,7 +45,7 @@
 //!
 //! let p = zoo::simple_cholesky();
 //! let layout = InstanceLayout::new(&p);
-//! let deps = analyze(&p, &layout);
+//! let deps = analyze(&p, &layout)?;
 //! let loops: Vec<_> = p.loops().collect();
 //! // §4.1's I↔J interchange, combined with statement reordering so the
 //! // column updates precede the pivot (the left-looking form):
@@ -53,8 +53,9 @@
 //!     Transform::ReorderChildren { parent: Some(loops[0]), perm: vec![1, 0] },
 //!     Transform::Interchange(loops[0], loops[1]),
 //! ]).unwrap();
-//! let report = check_legal(&p, &layout, &deps, &m);
+//! let report = check_legal(&p, &layout, &deps, &m)?;
 //! assert!(report.is_legal());
+//! # Ok::<(), inl_linalg::InlError>(())
 //! ```
 
 pub mod complete;

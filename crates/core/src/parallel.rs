@@ -20,7 +20,7 @@
 use crate::depend::DependenceMatrix;
 use crate::instance::{InstanceLayout, Position};
 use crate::legal::{common_new_positions, transformed_entry, NewAst};
-use inl_linalg::{gauss, IMat, IVec};
+use inl_linalg::{gauss, IMat, IVec, InlError};
 
 /// Integer basis of rows `r` with `r · d = 0` for every dependence `d`
 /// (outer-parallel candidate directions).
@@ -28,7 +28,10 @@ use inl_linalg::{gauss, IMat, IVec};
 /// Entries that are not exact distances (directions like `+`) cannot be
 /// multiplied by a nonzero coefficient and still give a guaranteed zero, so
 /// positions where any dependence is inexact are pinned to zero.
-pub fn parallel_rows(layout: &InstanceLayout, deps: &DependenceMatrix) -> Vec<IVec> {
+pub fn parallel_rows(
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+) -> Result<Vec<IVec>, InlError> {
     let n = layout.len();
     let mut constraint = IMat::zeros(0, 0);
     let mut inexact = vec![false; n];
@@ -49,15 +52,15 @@ pub fn parallel_rows(layout: &InstanceLayout, deps: &DependenceMatrix) -> Vec<IV
     }
     if constraint.nrows() == 0 {
         // no dependences at all: every loop position row qualifies
-        return layout
+        return Ok(layout
             .positions()
             .iter()
             .enumerate()
             .filter(|(_, p)| matches!(p, Position::Loop(_)))
             .map(|(i, _)| IVec::unit(n, i))
-            .collect();
+            .collect());
     }
-    gauss::nullspace_int(&constraint)
+    Ok(gauss::nullspace_int(&constraint)?
         .into_iter()
         // a useful parallel row must touch at least one loop position
         .filter(|v| {
@@ -67,19 +70,25 @@ pub fn parallel_rows(layout: &InstanceLayout, deps: &DependenceMatrix) -> Vec<IV
                 .enumerate()
                 .any(|(i, p)| matches!(p, Position::Loop(_)) && v[i] != 0)
         })
-        .collect()
+        .collect())
 }
 
 /// True iff `row · d = 0` for every dependence (using exact entries only).
+/// Conservative: an inexact entry — or a dot product that overflows —
+/// disqualifies the row.
 pub fn is_parallel_row(deps: &DependenceMatrix, row: &IVec) -> bool {
     deps.deps.iter().all(|d| {
-        let mut acc = 0;
+        let mut acc: inl_linalg::Int = 0;
         for (j, &c) in row.iter().enumerate() {
             if c == 0 {
                 continue;
             }
-            match d.entries[j].as_dist() {
-                Some(v) => acc += c * v,
+            match d.entries[j]
+                .as_dist()
+                .and_then(|v| c.checked_mul(v))
+                .and_then(|t| acc.checked_add(t))
+            {
+                Some(next) => acc = next,
                 None => return false,
             }
         }
@@ -148,8 +157,8 @@ mod tests {
         // exactly why the wavefront needs skewing.
         let p = zoo::wavefront();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
-        assert!(parallel_rows(&layout, &deps).is_empty());
+        let deps = analyze(&p, &layout).expect("analysis");
+        assert!(parallel_rows(&layout, &deps).expect("rows").is_empty());
         assert!(!is_parallel_row(&deps, &IVec::from(vec![1, -1])));
         assert!(!is_parallel_row(&deps, &IVec::from(vec![1, 1])));
     }
@@ -161,7 +170,7 @@ mod tests {
         // run DOALL — the classic wavefront schedule
         let p = zoo::wavefront();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let loops: Vec<_> = p.loops().collect();
         let m = Transform::Skew {
             target: loops[0],
@@ -169,14 +178,14 @@ mod tests {
             factor: 1,
         }
         .matrix(&p, &layout);
-        let report = check_legal(&p, &layout, &deps, &m);
+        let report = check_legal(&p, &layout, &deps, &m).expect("legality");
         assert!(report.is_legal());
         let ast = report.new_ast.as_ref().unwrap();
         let slots = parallel_slots(&layout, &deps, ast, &m);
         assert_eq!(slots, vec![1], "inner slot parallel, outer not");
         // without the skew, nothing is parallel
         let id = IMat::identity(2);
-        let rid = check_legal(&p, &layout, &deps, &id);
+        let rid = check_legal(&p, &layout, &deps, &id).expect("legality");
         let ast_id = rid.new_ast.as_ref().unwrap();
         assert!(parallel_slots(&layout, &deps, ast_id, &id).is_empty());
     }
@@ -185,12 +194,12 @@ mod tests {
     fn independent_statements_fully_parallel() {
         let p = zoo::independent_pair();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         assert!(deps.deps.is_empty());
-        let rows = parallel_rows(&layout, &deps);
+        let rows = parallel_rows(&layout, &deps).expect("rows");
         assert!(!rows.is_empty(), "dependence-free loop has parallel rows");
         let id = IMat::identity(layout.len());
-        let report = check_legal(&p, &layout, &deps, &id);
+        let report = check_legal(&p, &layout, &deps, &id).expect("legality");
         let ast = report.new_ast.as_ref().unwrap();
         let slots = parallel_slots(&layout, &deps, ast, &id);
         assert_eq!(slots.len(), 1, "the single loop slot is parallel");
@@ -200,13 +209,13 @@ mod tests {
     fn cholesky_outer_not_parallel() {
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let i_unit = IVec::unit(layout.len(), 0);
         assert!(!is_parallel_row(&deps, &i_unit));
         // under the identity schedule, the inner J loop IS parallel (the
         // divisions of one pivot step are independent)
         let id = IMat::identity(layout.len());
-        let report = check_legal(&p, &layout, &deps, &id);
+        let report = check_legal(&p, &layout, &deps, &id).expect("legality");
         let ast = report.new_ast.as_ref().unwrap();
         let slots = parallel_slots(&layout, &deps, ast, &id);
         let jpos = 3;
@@ -218,8 +227,8 @@ mod tests {
     fn parallel_rows_are_orthogonal_to_exact_deps() {
         for p in [zoo::augmentation_example(), zoo::independent_pair()] {
             let layout = InstanceLayout::new(&p);
-            let deps = analyze(&p, &layout);
-            for r in parallel_rows(&layout, &deps) {
+            let deps = analyze(&p, &layout).expect("analysis");
+            for r in parallel_rows(&layout, &deps).expect("rows") {
                 assert!(
                     is_parallel_row(&deps, &r),
                     "{}: row {r} not parallel",

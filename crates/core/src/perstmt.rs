@@ -20,7 +20,7 @@ use crate::depend::{DepEntry, DependenceMatrix};
 use crate::instance::InstanceLayout;
 use crate::legal::{LegalityReport, NewAst};
 use inl_ir::{Program, StmtId};
-use inl_linalg::{gauss, IMat, IVec, Rational};
+use inl_linalg::{gauss, IMat, IVec, InlError, Rational};
 
 /// The complete scheduling recipe for one statement under a legal matrix.
 #[derive(Clone, Debug)]
@@ -60,6 +60,14 @@ pub enum ScheduleError {
     /// Augmentation failed to reach rank `k` (should be impossible for
     /// non-singular `M`; reported rather than asserted).
     RankDeficient,
+    /// Exact arithmetic overflowed while ranking or expressing rows.
+    Arithmetic(InlError),
+}
+
+impl From<InlError> for ScheduleError {
+    fn from(e: InlError) -> Self {
+        ScheduleError::Arithmetic(e)
+    }
 }
 
 /// Compute `M_S` and `g_S` (the projection of `M·E_S` / `M·f_S` onto the
@@ -131,12 +139,14 @@ pub fn schedule_stmt(
     let mut n_aug = 0usize;
 
     // --- Procedure Complete (Fig. 7) ---
-    let mut rank = gauss::rank(&rows);
+    let mut rank = gauss::checked_rank(&rows)?;
     while rank < k && !pending.is_empty() {
         // Height: first dimension at which some pending vector is nonzero.
-        let h = (0..k)
-            .find(|&dim| pending.iter().any(|(_, v)| !v[dim].is_zero()))
-            .expect("pending vectors are nonzero");
+        // All-zero pending vectors cannot be carried by any unit row; the
+        // ambiguity error (rather than a panic) lets callers recover.
+        let Some(h) = (0..k).find(|&dim| pending.iter().any(|(_, v)| !v[dim].is_zero())) else {
+            return Err(ScheduleError::AmbiguousSelfDependence(pending[0].0));
+        };
         // Every pending vector with height h must have a provably positive
         // entry there (self-dependences are lexicographically positive).
         for (idx, v) in &pending {
@@ -149,19 +159,19 @@ pub fn schedule_stmt(
         offsets = offsets.concat(&IVec::zeros(1));
         n_aug += 1;
         pending.retain(|(_, v)| (0..k).find(|&dim| !v[dim].is_zero()) != Some(h));
-        rank = gauss::rank(&rows);
+        rank = gauss::checked_rank(&rows)?;
     }
     // Fill to rank k with nullspace rows (line 15 of Fig. 7).
     if rank < k {
-        for v in gauss::nullspace_int(&rows) {
-            if gauss::rank(&rows) == k {
+        for v in gauss::nullspace_int(&rows)? {
+            if gauss::checked_rank(&rows)? == k {
                 break;
             }
             rows.push_row(&v);
             offsets = offsets.concat(&IVec::zeros(1));
             n_aug += 1;
         }
-        rank = gauss::rank(&rows);
+        rank = gauss::checked_rank(&rows)?;
     }
     if rank != k {
         return Err(ScheduleError::RankDeficient);
@@ -173,7 +183,7 @@ pub fn schedule_stmt(
     let mut singular = Vec::with_capacity(rows.nrows());
     for r in 0..rows.nrows() {
         let row = rows.row(r);
-        match gauss::express_in_row_space(&kept, &row) {
+        match gauss::express_in_row_space(&kept, &row)? {
             Some(coeffs) => singular.push(Some(coeffs)),
             None => {
                 kept.push(row);
@@ -189,7 +199,7 @@ pub fn schedule_stmt(
             .collect::<Vec<_>>(),
     );
     debug_assert_eq!(n_s.nrows(), k);
-    debug_assert_ne!(n_s.det(), 0);
+    debug_assert!(n_s.checked_det().map(|d| d != 0).unwrap_or(true));
 
     Ok(StmtSchedule {
         stmt: s,
@@ -242,14 +252,14 @@ mod tests {
     ) {
         let p = zoo::augmentation_example();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let m = Transform::Skew {
             target: looop(&p, "I"),
             source: looop(&p, "J"),
             factor: -1,
         }
         .matrix(&p, &layout);
-        let report = check_legal(&p, &layout, &deps, &m);
+        let report = check_legal(&p, &layout, &deps, &m).expect("legality");
         assert!(report.is_legal());
         (p, layout, deps, m, report)
     }
@@ -305,7 +315,7 @@ mod tests {
         // necessary"
         let p = zoo::cholesky_kij();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let c = IMat::from_rows(&[
             &[0, 0, 0, 0, 0, 1, 0][..],
             &[0, 0, 1, 0, 0, 0, 0],
@@ -315,7 +325,7 @@ mod tests {
             &[1, 0, 0, 0, 0, 0, 0],
             &[0, 0, 0, 0, 0, 0, 1],
         ]);
-        let report = check_legal(&p, &layout, &deps, &c);
+        let report = check_legal(&p, &layout, &deps, &c).expect("legality");
         assert!(report.is_legal());
         let ast = report.new_ast.as_ref().unwrap();
         for s in p.stmts() {
@@ -343,9 +353,9 @@ mod tests {
     fn identity_schedules_are_identity() {
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let m = IMat::identity(layout.len());
-        let report = check_legal(&p, &layout, &deps, &m);
+        let report = check_legal(&p, &layout, &deps, &m).expect("legality");
         let ast = report.new_ast.as_ref().unwrap();
         for s in p.stmts() {
             let sched = schedule_stmt(&p, &layout, ast, &m, &deps, &report, s).unwrap();
@@ -362,7 +372,7 @@ mod tests {
         // legality aside, offsets must land in g_S)
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let s1 = stmt(&p, "S1");
         let i = looop(&p, "I");
         let m = Transform::Align {
@@ -371,7 +381,7 @@ mod tests {
             offset: -1,
         }
         .matrix(&p, &layout);
-        let report = check_legal(&p, &layout, &deps, &m);
+        let report = check_legal(&p, &layout, &deps, &m).expect("legality");
         let ast = report.new_ast.as_ref().unwrap();
         let (_, ms1, g1) = raw_per_stmt(&layout, ast, &m, s1);
         assert_eq!(ms1, IMat::from_rows(&[&[1][..]]));

@@ -14,6 +14,7 @@
 //!   motivation for transforming imperfect nests directly.
 
 use inl_ir::{Aff, Guard, LoopId, Node, Program, VarKey};
+use inl_linalg::InlError;
 use inl_poly::{is_empty, Feasibility, LinExpr, System};
 
 /// Why sinking is impossible or unsafe.
@@ -30,6 +31,15 @@ pub enum SinkError {
     ComplexBounds(String),
     /// Non-unit steps are not supported by this baseline.
     NonUnitStep(String),
+    /// The sink target was structurally malformed, or exact arithmetic
+    /// overflowed while reasoning about the inner range.
+    Invalid(InlError),
+}
+
+impl From<InlError> for SinkError {
+    fn from(e: InlError) -> Self {
+        SinkError::Invalid(e)
+    }
 }
 
 /// Sink every statement into the innermost loop, producing a perfect nest.
@@ -75,13 +85,15 @@ fn find_sinkable(p: &Program) -> Result<Option<LoopId>, SinkError> {
 fn sink_one(p: &Program, outer: LoopId) -> Result<Program, SinkError> {
     let mut out = p.clone();
     let children = p.loop_decl(outer).children.clone();
-    let inner = children
-        .iter()
-        .find_map(|&c| match c {
-            Node::Loop(l) => Some(l),
-            _ => None,
-        })
-        .expect("sinkable loop has a loop child");
+    let Some((loop_pos, inner)) = children.iter().enumerate().find_map(|(i, &c)| match c {
+        Node::Loop(l) => Some((i, l)),
+        _ => None,
+    }) else {
+        return Err(SinkError::Invalid(InlError::invalid_target(
+            format!("loop {}", p.loop_decl(outer).name),
+            "sink target has no loop child",
+        )));
+    };
     let inner_decl = p.loop_decl(inner).clone();
     let iname = inner_decl.name.clone();
     if inner_decl.step != 1 {
@@ -97,20 +109,22 @@ fn sink_one(p: &Program, outer: LoopId) -> Result<Program, SinkError> {
     }
 
     // The range must be provably non-empty in the outer context.
-    if range_may_be_empty(p, inner) {
+    if range_may_be_empty(p, inner)? {
         return Err(SinkError::PossiblyEmptyRange(iname));
     }
 
-    let loop_pos = children
-        .iter()
-        .position(|&c| c == Node::Loop(inner))
-        .expect("inner position");
+    let second_loop = || {
+        SinkError::Invalid(InlError::invalid_target(
+            format!("loop {}", p.loop_decl(outer).name),
+            "sink target has more than one loop child",
+        ))
+    };
     let ivar = Aff::var(VarKey::Loop(inner));
     let mut new_inner_children = Vec::new();
     // statements before the loop: guard "first iteration" (i == lo)
     for &c in &children[..loop_pos] {
         let Node::Stmt(s) = c else {
-            unreachable!("single loop child")
+            return Err(second_loop());
         };
         out.stmts_guard_push(s, Guard::Eq(ivar.clone() - lo.clone()));
         new_inner_children.push(c);
@@ -119,7 +133,7 @@ fn sink_one(p: &Program, outer: LoopId) -> Result<Program, SinkError> {
     // statements after the loop: guard "last iteration" (i == hi)
     for &c in &children[loop_pos + 1..] {
         let Node::Stmt(s) = c else {
-            unreachable!("single loop child")
+            return Err(second_loop());
         };
         out.stmts_guard_push(s, Guard::Eq(ivar.clone() - hi.clone()));
         new_inner_children.push(c);
@@ -130,30 +144,40 @@ fn sink_one(p: &Program, outer: LoopId) -> Result<Program, SinkError> {
 }
 
 /// Can the loop's range be empty for some feasible outer iteration?
-fn range_may_be_empty(p: &Program, l: LoopId) -> bool {
+fn range_may_be_empty(p: &Program, l: LoopId) -> Result<bool, InlError> {
     let space = p.space();
     let mut sys = p.assumption_system(space);
     // outer loops' bounds
     for &o in p.loops_surrounding_loop(l).iter() {
-        add_loop_bounds(p, o, space, &mut sys);
+        add_loop_bounds(p, o, space, &mut sys)?;
     }
     // emptiness: upper <= lower - 1 (single-term bounds checked by caller)
     let ld = p.loop_decl(l);
     let lo = p.to_linexpr(&ld.lower.terms[0], space);
     let hi = p.to_linexpr(&ld.upper.terms[0], space);
-    sys.add_ge(lo - hi - LinExpr::constant(space, 1));
-    is_empty(&sys) != Feasibility::Empty
+    sys.add_ge(
+        lo.checked_sub(&hi)?
+            .checked_sub(&LinExpr::constant(space, 1))?,
+    );
+    Ok(is_empty(&sys) != Feasibility::Empty)
 }
 
-fn add_loop_bounds(p: &Program, l: LoopId, space: usize, sys: &mut System) {
+fn add_loop_bounds(p: &Program, l: LoopId, space: usize, sys: &mut System) -> Result<(), InlError> {
     let ld = p.loop_decl(l);
     let iv = LinExpr::var(space, p.loop_var_index(l));
     for t in &ld.lower.terms {
-        sys.add_ge(iv.clone() * t.divisor() - p.to_linexpr(&t.numerator(), space));
+        sys.add_ge(
+            iv.checked_scale(t.divisor())?
+                .checked_sub(&p.to_linexpr(&t.numerator(), space))?,
+        );
     }
     for t in &ld.upper.terms {
-        sys.add_ge(p.to_linexpr(&t.numerator(), space) - iv.clone() * t.divisor());
+        sys.add_ge(
+            p.to_linexpr(&t.numerator(), space)
+                .checked_sub(&iv.checked_scale(t.divisor())?)?,
+        );
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -22,9 +22,106 @@
 use crate::depend::DependenceMatrix;
 use crate::instance::{InstanceLayout, Position};
 use crate::transform::node_contains;
-use inl_ir::{LoopId, Node, Program, StmtId};
-use inl_linalg::{IMat, Int};
+use inl_ir::{Aff, Bound, LoopId, Node, Program, StmtId, VarKey};
+use inl_linalg::{IMat, InlError, Int};
 use inl_poly::{is_empty, Feasibility, LinExpr};
+
+/// Human-readable path of a parent node, for [`InlError::invalid_target`].
+fn parent_path(p: &Program, parent: Option<LoopId>) -> String {
+    match parent {
+        None => "<root>".to_string(),
+        Some(q) => format!("loop {}", p.loop_decl(q).name),
+    }
+}
+
+/// The two jam targets must be adjacent sibling *loops* with identical
+/// bounds (after renaming the second's variable to the first's) and steps.
+/// Errors name the offending node path.
+fn jam_targets(
+    p: &Program,
+    parent: Option<LoopId>,
+    idx: usize,
+) -> Result<(LoopId, LoopId), InlError> {
+    let siblings: &[Node] = match parent {
+        None => p.root(),
+        Some(q) => &p.loop_decl(q).children,
+    };
+    if idx + 1 >= siblings.len() {
+        return Err(InlError::invalid_target(
+            parent_path(p, parent),
+            format!(
+                "jam needs children {idx} and {} but there are only {}",
+                idx + 1,
+                siblings.len()
+            ),
+        ));
+    }
+    let (Node::Loop(a), Node::Loop(b)) = (siblings[idx], siblings[idx + 1]) else {
+        return Err(InlError::invalid_target(
+            format!("{}, children {idx} and {}", parent_path(p, parent), idx + 1),
+            "jam targets must both be loops",
+        ));
+    };
+    let da = p.loop_decl(a);
+    let db = p.loop_decl(b);
+    let rename = |aff: &Aff| -> Aff {
+        aff.substitute_loops(&|id: LoopId| {
+            if id == b {
+                Aff::var(VarKey::Loop(a))
+            } else {
+                Aff::var(VarKey::Loop(id))
+            }
+        })
+    };
+    let rebound = |bd: &Bound| Bound {
+        terms: bd.terms.iter().map(&rename).collect(),
+    };
+    if rebound(&db.lower) != da.lower || rebound(&db.upper) != da.upper {
+        return Err(InlError::invalid_target(
+            format!("loops {} and {}", da.name, db.name),
+            "jam requires identical bounds",
+        ));
+    }
+    if da.step != db.step {
+        return Err(InlError::invalid_target(
+            format!("loops {} and {}", da.name, db.name),
+            "jam requires identical steps",
+        ));
+    }
+    Ok((a, b))
+}
+
+/// Distribution's split point must cut a loop with >= 2 children into two
+/// non-empty parts, and the loop must be attached to the program.
+fn distribute_target(
+    p: &Program,
+    l: LoopId,
+    split: usize,
+) -> Result<(Option<LoopId>, usize), InlError> {
+    let name = &p.loop_decl(l).name;
+    let nchildren = p.loop_decl(l).children.len();
+    if split == 0 || split >= nchildren {
+        return Err(InlError::invalid_target(
+            format!("loop {name}"),
+            format!("split {split} out of range for {nchildren} children"),
+        ));
+    }
+    let parent = p.loops_surrounding_loop(l).last().copied();
+    let old_siblings: &[Node] = match parent {
+        None => p.root(),
+        Some(q) => &p.loop_decl(q).children,
+    };
+    let t = old_siblings
+        .iter()
+        .position(|&x| x == Node::Loop(l))
+        .ok_or_else(|| {
+            InlError::invalid_target(
+                format!("loop {name}"),
+                "loop is not attached to the program",
+            )
+        })?;
+    Ok((parent, t))
+}
 
 /// The result of a structural transformation: the (generally non-square)
 /// matrix, the target program, and its layout.
@@ -46,29 +143,21 @@ pub fn apply_reorder(p: &Program, parent: Option<LoopId>, perm: &[usize]) -> Pro
 
 /// Distribute loop `l` at `split` and build the distribution matrix.
 ///
-/// # Panics
-/// If `l` has fewer than 2 children or `split` is out of range.
+/// Fails with [`InlErrorKind::InvalidTarget`](inl_linalg::InlErrorKind) when
+/// `split` does not cut `l`'s children into two non-empty parts or `l` is
+/// detached from the program.
 pub fn distribute(
     p: &Program,
     layout: &InstanceLayout,
     l: LoopId,
     split: usize,
-) -> StructuralResult {
+) -> Result<StructuralResult, InlError> {
+    let (parent, t) = distribute_target(p, l, split)?;
     let (target, new_loop) = p.distribute_loop(l, split);
     let target_layout = InstanceLayout::new(&target);
     let n_old = layout.len();
     let n_new = target_layout.len();
-    let parent = p.loops_surrounding_loop(l).last().copied();
     let old_children = p.loop_decl(l).children.len();
-    // old index of l among its siblings
-    let old_siblings: &[Node] = match parent {
-        None => p.root(),
-        Some(q) => &p.loop_decl(q).children,
-    };
-    let t = old_siblings
-        .iter()
-        .position(|&x| x == Node::Loop(l))
-        .expect("l under parent");
 
     let mut m = IMat::zeros(n_new, n_old);
     for (new_pos, slot) in target_layout.positions().iter().enumerate() {
@@ -116,15 +205,21 @@ pub fn distribute(
             }
         }
     }
-    StructuralResult {
+    Ok(StructuralResult {
         matrix: m,
         target,
         target_layout,
-    }
+    })
 }
 
 /// Is distributing loop `l` at `split` legal under `deps`?
-pub fn distribution_legal(p: &Program, deps: &DependenceMatrix, l: LoopId, split: usize) -> bool {
+pub fn distribution_legal(
+    p: &Program,
+    deps: &DependenceMatrix,
+    l: LoopId,
+    split: usize,
+) -> Result<bool, InlError> {
+    distribute_target(p, l, split)?;
     let depth = p.loops_surrounding_loop(l).len();
     let children = &p.loop_decl(l).children;
     let in_part = |s: StmtId, range: std::ops::Range<usize>| -> bool {
@@ -136,27 +231,25 @@ pub fn distribution_legal(p: &Program, deps: &DependenceMatrix, l: LoopId, split
         let src_second = in_part(d.src, split..children.len());
         let dst_first = in_part(d.dst, 0..split);
         if src_second && dst_first && d.level == depth {
-            return false;
+            return Ok(false);
         }
     }
-    true
+    Ok(true)
 }
 
 /// Jam (fuse) adjacent sibling loops — children `idx` and `idx + 1` of
 /// `parent` — and build the jamming matrix.
+///
+/// Fails with [`InlErrorKind::InvalidTarget`](inl_linalg::InlErrorKind) when
+/// the targets are not both loops, are not adjacent siblings of `parent`,
+/// or have mismatched bounds/steps.
 pub fn jam(
     p: &Program,
     layout: &InstanceLayout,
     parent: Option<LoopId>,
     idx: usize,
-) -> StructuralResult {
-    let siblings: &[Node] = match parent {
-        None => p.root(),
-        Some(q) => &p.loop_decl(q).children,
-    };
-    let (Node::Loop(a), Node::Loop(b)) = (siblings[idx], siblings[idx + 1]) else {
-        panic!("jam targets must both be loops");
-    };
+) -> Result<StructuralResult, InlError> {
+    let (a, b) = jam_targets(p, parent, idx)?;
     let ma = p.loop_decl(a).children.len();
     let target = p.jam_loops(parent, idx);
     let target_layout = InstanceLayout::new(&target);
@@ -226,11 +319,11 @@ pub fn jam(
             }
         }
     }
-    StructuralResult {
+    Ok(StructuralResult {
         matrix: m,
         target,
         target_layout,
-    }
+    })
 }
 
 /// Is jamming children `idx`, `idx+1` of `parent` legal under `deps`?
@@ -245,14 +338,8 @@ pub fn jamming_legal(
     deps: &DependenceMatrix,
     parent: Option<LoopId>,
     idx: usize,
-) -> bool {
-    let siblings: &[Node] = match parent {
-        None => p.root(),
-        Some(q) => &p.loop_decl(q).children,
-    };
-    let (Node::Loop(a), Node::Loop(b)) = (siblings[idx], siblings[idx + 1]) else {
-        panic!("jam targets must both be loops");
-    };
+) -> Result<bool, InlError> {
+    let (a, b) = jam_targets(p, parent, idx)?;
     let nparams = p.nparams();
     for d in &deps.deps {
         let src_in_a = node_contains(p, Node::Loop(a), Node::Stmt(d.src));
@@ -278,10 +365,10 @@ pub fn jamming_legal(
         // violation: i_b < i_a, i.e. i_a - i_b - 1 >= 0
         sys.add_ge(ia - ib - LinExpr::constant(space, 1));
         if is_empty(&sys) != Feasibility::Empty {
-            return false;
+            return Ok(false);
         }
     }
-    true
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -302,7 +389,7 @@ mod tests {
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
         let i = p.loops().next().unwrap();
-        let r = distribute(&p, &layout, i, 1);
+        let r = distribute(&p, &layout, i, 1).expect("distributes");
         assert_eq!(r.matrix.nrows(), 5);
         assert_eq!(r.matrix.ncols(), 4);
         let s1 = stmt(&p, "S1");
@@ -332,19 +419,19 @@ mod tests {
         // factorization codes"
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let i = p.loops().next().unwrap();
-        assert!(!distribution_legal(&p, &deps, i, 1));
+        assert!(!distribution_legal(&p, &deps, i, 1).expect("valid target"));
     }
 
     #[test]
     fn distribution_legal_for_independent_statements() {
         let p = zoo::independent_pair();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let i = p.loops().next().unwrap();
-        assert!(distribution_legal(&p, &deps, i, 1));
-        let r = distribute(&p, &layout, i, 1);
+        assert!(distribution_legal(&p, &deps, i, 1).expect("valid target"));
+        let r = distribute(&p, &layout, i, 1).expect("distributes");
         assert!(r.target.validate().is_ok());
         assert_eq!(r.target.root().len(), 2);
     }
@@ -355,7 +442,7 @@ mod tests {
         // original instance vectors.
         let p = zoo::distributed_simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let r = jam(&p, &layout, None, 0);
+        let r = jam(&p, &layout, None, 0).expect("jams");
         assert_eq!(r.matrix.nrows(), 4);
         assert_eq!(r.matrix.ncols(), 5);
         let s1 = stmt(&p, "S1");
@@ -384,8 +471,8 @@ mod tests {
         // would change the distributed program's (different!) semantics.
         let p = zoo::distributed_simple_cholesky();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
-        assert!(!jamming_legal(&p, &deps, None, 0));
+        let deps = analyze(&p, &layout).expect("analysis");
+        assert!(!jamming_legal(&p, &deps, None, 0).expect("valid target"));
     }
 
     #[test]
@@ -413,8 +500,8 @@ mod tests {
         });
         let p = b.finish();
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
-        assert!(!jamming_legal(&p, &deps, None, 0));
+        let deps = analyze(&p, &layout).expect("analysis");
+        assert!(!jamming_legal(&p, &deps, None, 0).expect("valid target"));
         // while the same shape reading X(I-1) is legal to fuse
         let mut b = ProgramBuilder::new("forward");
         let n = b.param("N");
@@ -435,8 +522,65 @@ mod tests {
         });
         let q = b.finish();
         let qlayout = InstanceLayout::new(&q);
-        let qdeps = analyze(&q, &qlayout);
-        assert!(jamming_legal(&q, &qdeps, None, 0));
+        let qdeps = analyze(&q, &qlayout).expect("analysis");
+        assert!(jamming_legal(&q, &qdeps, None, 0).expect("valid target"));
+    }
+
+    #[test]
+    fn jam_invalid_targets_report_node_path() {
+        use inl_linalg::InlErrorKind;
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let i = p.loops().next().unwrap();
+        // children of I are [S1, J-loop]: child 0 is not a loop
+        let e = jam(&p, &layout, Some(i), 0).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::InvalidTarget);
+        assert!(e.to_string().contains("loop I"), "{e}");
+        // the root has a single child: no adjacent sibling to jam
+        let e = jam(&p, &layout, None, 0).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::InvalidTarget);
+        // the legality query validates identically instead of panicking
+        let deps = analyze(&p, &layout).expect("analysis");
+        let e = jamming_legal(&p, &deps, Some(i), 0).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::InvalidTarget);
+    }
+
+    #[test]
+    fn jam_mismatched_bounds_rejected() {
+        use inl_ir::{Aff, Expr, ProgramBuilder};
+        use inl_linalg::InlErrorKind;
+        let mut b = ProgramBuilder::new("mismatched");
+        let n = b.param("N");
+        let x = b.array("X", &[Aff::param(n) + Aff::konst(2)]);
+        b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+            let i = b.loop_var("I");
+            b.stmt("S1", x, vec![Aff::var(i)], Expr::index(Aff::var(i)));
+        });
+        b.hloop("I2", Aff::konst(2), Aff::param(n), |b| {
+            let i = b.loop_var("I2");
+            b.stmt("S2", x, vec![Aff::var(i)], Expr::index(Aff::var(i)));
+        });
+        let p = b.finish();
+        let layout = InstanceLayout::new(&p);
+        let e = jam(&p, &layout, None, 0).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::InvalidTarget);
+        assert!(e.to_string().contains("identical bounds"), "{e}");
+    }
+
+    #[test]
+    fn distribute_invalid_split_rejected() {
+        use inl_linalg::InlErrorKind;
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout).expect("analysis");
+        let i = p.loops().next().unwrap();
+        // the I loop has exactly 2 children: only split = 1 is in range
+        for split in [0, 2, 99] {
+            let e = distribute(&p, &layout, i, split).unwrap_err();
+            assert_eq!(e.kind(), InlErrorKind::InvalidTarget, "split {split}");
+            let e = distribution_legal(&p, &deps, i, split).unwrap_err();
+            assert_eq!(e.kind(), InlErrorKind::InvalidTarget, "split {split}");
+        }
     }
 
     #[test]
@@ -448,8 +592,8 @@ mod tests {
         let p = zoo::simple_cholesky();
         let layout = InstanceLayout::new(&p);
         let i = p.loops().next().unwrap();
-        let d = distribute(&p, &layout, i, 1);
-        let j = jam(&d.target, &d.target_layout, None, 0);
+        let d = distribute(&p, &layout, i, 1).expect("distributes");
+        let j = jam(&d.target, &d.target_layout, None, 0).expect("jams");
         for s in p.stmts() {
             let k = layout.stmt_loops(s).len();
             let iter: Vec<inl_linalg::Int> = (0..k as inl_linalg::Int).map(|x| x + 2).collect();

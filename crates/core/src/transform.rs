@@ -13,7 +13,7 @@
 
 use crate::instance::InstanceLayout;
 use inl_ir::{LoopId, Node, Program, StmtId};
-use inl_linalg::{IMat, Int};
+use inl_linalg::{IMat, InlError, Int};
 
 /// A loop transformation expressible as a square matrix on instance vectors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,6 +76,23 @@ pub enum TransformError {
     LoopNotSurrounding,
     /// Scale factors must be ≥ 1.
     BadScaleFactor,
+}
+
+impl From<TransformError> for InlError {
+    #[track_caller]
+    fn from(e: TransformError) -> Self {
+        let reason = match e {
+            TransformError::BadPermutation => "permutation is not a bijection of the children",
+            TransformError::NoDistinguishingEdge => {
+                "no edge distinguishes the statement's subtree below the loop"
+            }
+            TransformError::LoopNotSurrounding => {
+                "the alignment loop does not surround the statement"
+            }
+            TransformError::BadScaleFactor => "scale factors must be >= 1",
+        };
+        InlError::invalid_target("transform", reason)
+    }
 }
 
 impl Transform {
@@ -223,8 +240,13 @@ fn reorder_matrix(
     let n = layout.len();
     let mut m = IMat::identity(n);
     for (j, &nj) in perm.iter().enumerate() {
-        // nchildren >= 2 whenever a non-trivial permutation exists, so the
-        // edge positions are present.
+        // Fixed points need no matrix change — and skipping them keeps the
+        // single-child identity permutation (which has no edge positions)
+        // from reaching the lookups below. Moved children imply
+        // nchildren >= 2, so their edge positions are present.
+        if j == nj {
+            continue;
+        }
         let from = layout.edge_position(parent, j).expect("edge position");
         let to = layout.edge_position(parent, nj).expect("edge position");
         m[(to, to)] = 0;

@@ -1,0 +1,300 @@
+//! # inl-fuzz
+//!
+//! Crash-hunting fuzz harness for the transformation pipeline. The
+//! contract under test is the panic-free guarantee: on *every*
+//! input-dependent path — arbitrary programs, arbitrary (often illegal or
+//! degenerate) transformation matrices, extreme coefficients — the
+//! pipeline must either succeed or return a typed error. A panic is a bug.
+//!
+//! The harness has three layers, mirroring the pipeline:
+//!
+//! 1. **No panic** (`compile`): random program × random matrix through
+//!    depend → legal → codegen; random partial rows through completion;
+//!    random targets through the structural operations and sinking.
+//! 2. **Differential agreement**: whatever compiles must execute bitwise
+//!    identically under the tree interpreter and the bytecode VM, and
+//!    match the source program whenever the legality checker accepted the
+//!    matrix with no unsatisfied dependences.
+//! 3. **Error, not crash**: the polyhedral and linear-algebra substrates
+//!    survive near-`i128`-extreme coefficients, reporting
+//!    [`inl_linalg::InlError`] instead of overflowing.
+//!
+//! Case counts come from the `INL_FUZZ_CASES` environment variable
+//! (see [`fuzz_cases`]); CI runs each property with 2000 cases, local
+//! `cargo test` defaults to a quick smoke run.
+//!
+//! Crashes found by the harness are minimized into committed regression
+//! tests in `tests/regressions.rs`.
+
+use inl_codegen::{generate, CodegenError, CodegenResult};
+use inl_core::depend::{analyze, DependenceMatrix};
+use inl_core::instance::InstanceLayout;
+use inl_core::legal::check_legal;
+use inl_ir::{Aff, Expr, Program, ProgramBuilder};
+use inl_linalg::{IMat, Int};
+use inl_poly::{LinExpr, System};
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+
+/// Number of cases per property: `INL_FUZZ_CASES` when set (CI uses
+/// 2000), else `local_default`.
+pub fn fuzz_cases(local_default: u32) -> u32 {
+    std::env::var("INL_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(local_default)
+}
+
+/// A proptest config honoring [`fuzz_cases`].
+pub fn fuzz_config(local_default: u32) -> Config {
+    Config {
+        cases: fuzz_cases(local_default),
+        ..Config::default()
+    }
+}
+
+/// Outcome of pushing one program × matrix through the whole pipeline.
+pub enum Compiled {
+    /// Codegen succeeded; carries the source and the result.
+    Ok(Box<CodegenResult>),
+    /// A stage rejected the input with a typed error (the expected
+    /// outcome for most random matrices).
+    Rejected(String),
+}
+
+/// Run depend → legal → codegen on `(p, m)`. Every failure mode must
+/// surface as `Rejected` — a panic anywhere in here is exactly the class
+/// of bug this crate hunts.
+pub fn compile(p: &Program, m: &IMat) -> Compiled {
+    let layout = InstanceLayout::new(p);
+    let deps = match analyze(p, &layout) {
+        Ok(d) => d,
+        Err(e) => return Compiled::Rejected(format!("analyze: {e}")),
+    };
+    match check_legal(p, &layout, &deps, m) {
+        Ok(report) if !report.is_legal() => {
+            return Compiled::Rejected(format!("illegal: {:?}", report.violations));
+        }
+        Ok(_) => {}
+        Err(e) => return Compiled::Rejected(format!("legality: {e}")),
+    }
+    match generate(p, &layout, &deps, m) {
+        Ok(r) => Compiled::Ok(Box::new(r)),
+        Err(e) => Compiled::Rejected(format!("codegen: {e:?}")),
+    }
+}
+
+/// Dependence analysis products for a program (helper for tests that need
+/// the layout and matrix separately).
+pub fn analyzed(p: &Program) -> Result<(InstanceLayout, DependenceMatrix), String> {
+    let layout = InstanceLayout::new(p);
+    let deps = analyze(p, &layout).map_err(|e| e.to_string())?;
+    Ok((layout, deps))
+}
+
+/// True when the codegen error is one of the typed, expected rejections —
+/// as opposed to something that suggests an internal inconsistency.
+pub fn is_typed_rejection(e: &CodegenError) -> bool {
+    matches!(
+        e,
+        CodegenError::Illegal(_)
+            | CodegenError::Schedule(_)
+            | CodegenError::BoundMerge(_)
+            | CodegenError::Unbounded(_)
+            | CodegenError::Inl(_)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// Parameters of a generated program; kept as a value so failures print a
+/// reproducible recipe.
+#[derive(Clone, Debug)]
+pub struct ProgramRecipe {
+    /// Shape selector: which statements surround the inner loop.
+    pub shape: usize,
+    /// Per-statement read offsets (±2).
+    pub oa: Int,
+    /// Second read offset.
+    pub ob: Int,
+    /// Inner loop lower bound is the outer variable (triangular).
+    pub triangular: bool,
+    /// Second statement reads the first statement's array.
+    pub cross: bool,
+    /// Guard selector: 0 = none, 1 = `i ≤ j`, 2 = `2 | i`, 3 = both.
+    pub guard: usize,
+    /// Add a second, sibling loop nest after the first.
+    pub sibling: bool,
+}
+
+/// Build the program described by a recipe. Extents leave slack so ±2
+/// offsets stay in range.
+pub fn build_program(r: &ProgramRecipe) -> Program {
+    let mut b = ProgramBuilder::new(format!(
+        "fuzz_{}_{}_{}_{}{}{}{}",
+        r.shape, r.oa, r.ob, r.triangular as u8, r.cross as u8, r.guard, r.sibling as u8
+    ));
+    let n = b.param("N");
+    let ext = Aff::param(n) + Aff::konst(6);
+    let x = b.array("X", &[ext.clone(), ext.clone()]);
+    let y = b.array("Y", &[ext.clone(), ext.clone()]);
+    let sh = |v: Aff| v + Aff::konst(3);
+    let recipe = r.clone();
+    b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+        let i = b.loop_var("I");
+        if recipe.shape != 1 {
+            b.stmt(
+                "S1",
+                x,
+                vec![sh(Aff::var(i)), sh(Aff::var(i))],
+                Expr::add(
+                    Expr::read(
+                        x,
+                        vec![sh(Aff::var(i) + Aff::konst(recipe.oa)), sh(Aff::var(i))],
+                    ),
+                    Expr::konst(1.0),
+                ),
+            );
+        }
+        let jlo = if recipe.triangular {
+            Aff::var(i)
+        } else {
+            Aff::konst(1)
+        };
+        b.hloop("J", jlo, Aff::param(n), |b| {
+            let i = b.loop_var("I");
+            let j = b.loop_var("J");
+            let src = if recipe.cross { x } else { y };
+            let mut guards = Vec::new();
+            if recipe.guard & 1 != 0 {
+                guards.push(inl_ir::Guard::Ge(Aff::var(j) - Aff::var(i)));
+            }
+            if recipe.guard & 2 != 0 {
+                guards.push(inl_ir::Guard::Div(Aff::var(i), 2));
+            }
+            b.stmt_guarded(
+                "S2",
+                y,
+                vec![sh(Aff::var(i)), sh(Aff::var(j))],
+                Expr::add(
+                    Expr::read(
+                        src,
+                        vec![sh(Aff::var(i) + Aff::konst(recipe.ob)), sh(Aff::var(j))],
+                    ),
+                    Expr::index(Aff::var(i) + Aff::var(j)),
+                ),
+                guards,
+            );
+        });
+        if recipe.shape == 2 {
+            b.stmt(
+                "S3",
+                x,
+                vec![sh(Aff::var(i)), sh(Aff::konst(0))],
+                Expr::read(y, vec![sh(Aff::var(i)), sh(Aff::konst(1))]),
+            );
+        }
+    });
+    if r.sibling {
+        b.hloop("K", Aff::konst(1), Aff::param(n), |b| {
+            let k = b.loop_var("K");
+            b.stmt(
+                "S4",
+                x,
+                vec![sh(Aff::var(k)), sh(Aff::konst(1))],
+                Expr::read(y, vec![sh(Aff::var(k)), sh(Aff::var(k))]),
+            );
+        });
+    }
+    b.finish()
+}
+
+/// Random imperfectly nested programs: shapes, triangular bounds, guards
+/// (including divisibility), sibling nests.
+pub fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        0..3usize,
+        -2..=2i64,
+        -2..=2i64,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        0..4usize,
+        prop::bool::ANY,
+    )
+        .prop_map(|(shape, oa, ob, triangular, cross, guard, sibling)| {
+            build_program(&ProgramRecipe {
+                shape,
+                oa: oa as Int,
+                ob: ob as Int,
+                triangular,
+                cross,
+                guard,
+                sibling,
+            })
+        })
+}
+
+/// A random square integer matrix with entries in `[-bound, bound]` —
+/// deliberately *not* restricted to legal or unimodular transformations,
+/// so singular, illegal, and structurally malformed matrices all flow
+/// through the checker and codegen.
+pub fn arb_matrix(n: usize, bound: i64) -> impl Strategy<Value = IMat> {
+    let span = (2 * bound + 1) as usize;
+    prop::collection::vec(0..span, n * n).prop_map(move |cells| {
+        let mut m = IMat::zeros(n, n);
+        for (k, c) in cells.iter().enumerate() {
+            m[(k / n, k % n)] = *c as Int - bound as Int;
+        }
+        m
+    })
+}
+
+/// A random constraint system over `nvars` variables. `magnitude` selects
+/// the coefficient range; pass something near `i128::MAX` to hunt
+/// overflow escalation bugs in Fourier–Motzkin and feasibility checks.
+pub fn arb_system(nvars: usize, rows: usize, magnitude: Int) -> impl Strategy<Value = System> {
+    let coeff = prop::collection::vec(0u64..7, nvars + 1);
+    prop::collection::vec((coeff, proptest::strategy::Just(())), 1..=rows).prop_map(move |picked| {
+        let mut s = System::new(nvars);
+        for (cells, ()) in picked {
+            let coeffs: Vec<Int> = cells[..nvars]
+                .iter()
+                .map(|&c| match c {
+                    0 => 0,
+                    1 => 1,
+                    2 => -1,
+                    3 => magnitude,
+                    4 => -magnitude,
+                    5 => magnitude / 2,
+                    _ => 2,
+                })
+                .collect();
+            let konst = match cells[nvars] {
+                0 | 1 => 0,
+                2 => 1,
+                3 => -1,
+                4 => magnitude,
+                _ => -magnitude,
+            };
+            let e = LinExpr::from_parts(coeffs, konst);
+            if cells[nvars] % 2 == 0 {
+                s.add_ge(e);
+            } else {
+                s.add_eq(e);
+            }
+        }
+        s
+    })
+}
+
+/// Initial array contents used by the differential tests: deterministic,
+/// index-dependent, never zero (so missed writes show up).
+pub fn fuzz_init(_: &str, idx: &[usize]) -> f64 {
+    let mut h: u64 = 0x9E37_79B9;
+    for &i in idx {
+        h = h.wrapping_mul(31).wrapping_add(i as u64 + 1);
+    }
+    ((h % 97) as f64 + 1.0) / 7.0
+}

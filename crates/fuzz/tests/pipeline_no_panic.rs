@@ -1,0 +1,101 @@
+//! The tentpole property: the whole pipeline — dependence analysis,
+//! legality, completion, structural operations, sinking, codegen — never
+//! panics on input-dependent paths. Every random input must produce
+//! either a result or a typed error.
+//!
+//! Case counts: `INL_FUZZ_CASES` (CI sets 2000 per property); local runs
+//! default to a fast smoke count.
+
+use inl_core::complete::complete_transform;
+use inl_core::sink::sink_statements;
+use inl_core::structural::{distribute, distribution_legal, jam, jamming_legal};
+use inl_exec::{equivalent, run_fresh, VmRunner};
+use inl_fuzz::{analyzed, arb_matrix, arb_program, compile, fuzz_config, fuzz_init, Compiled};
+use inl_linalg::IVec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(fuzz_config(64))]
+
+    /// Random program × random matrix: depend → legal → codegen returns,
+    /// with a typed rejection or a generated program — never a panic.
+    #[test]
+    fn pipeline_never_panics(
+        (p, m) in arb_program().prop_flat_map(|p| {
+            let n = inl_core::instance::InstanceLayout::new(&p).len();
+            (Just(p), arb_matrix(n, 2))
+        }),
+    ) {
+        match compile(&p, &m) {
+            Compiled::Ok(_) | Compiled::Rejected(_) => {}
+        }
+    }
+
+    /// Differential agreement: whatever compiles runs bitwise identically
+    /// under the tree interpreter and the bytecode VM, and — since the
+    /// legality gate passed — matches the source program.
+    #[test]
+    fn compiled_programs_agree(
+        (p, m, n) in arb_program().prop_flat_map(|p| {
+            let k = inl_core::instance::InstanceLayout::new(&p).len();
+            (Just(p), arb_matrix(k, 1), 1i64..5)
+        }),
+    ) {
+        if let Compiled::Ok(result) = compile(&p, &m) {
+            let params = [n as i128];
+            // source vs generated under the interpreter
+            prop_assert_eq!(
+                equivalent(&p, &result.program, &params, &fuzz_init).map_err(|e| format!("src vs gen: {e}")),
+                Ok(())
+            );
+            // interpreter vs VM on the generated program
+            let mi = run_fresh(&result.program, &params, &fuzz_init);
+            let mut mv = inl_exec::Machine::new(&result.program, &params, &fuzz_init);
+            VmRunner::new(&result.program).run(&mut mv);
+            prop_assert_eq!(
+                mi.same_state(&mv).map_err(|e| format!("interp vs vm: {e}")),
+                Ok(())
+            );
+        }
+    }
+
+    /// Completion: random partial rows either complete to a matrix the
+    /// checker accepts, or fail with a typed `CompletionError`.
+    #[test]
+    fn completion_never_panics(
+        (p, rows) in arb_program().prop_flat_map(|p| {
+            let n = inl_core::instance::InstanceLayout::new(&p).len();
+            let row = proptest::collection::vec(0..5usize, n)
+                .prop_map(|cs| IVec::from(cs.iter().map(|&c| c as i128 - 2).collect::<Vec<_>>()));
+            (Just(p), proptest::collection::vec(row, 1..3))
+        }),
+    ) {
+        let Ok((layout, deps)) = analyzed(&p) else { return Ok(()); };
+        if let Ok(c) = complete_transform(&p, &layout, &deps, &rows) {
+            let report = inl_core::legal::check_legal(&p, &layout, &deps, &c.matrix)
+                .map_err(|e| TestCaseError::fail(format!("legality after completion: {e}")))?;
+            prop_assert!(report.is_legal(), "completion returned an illegal matrix");
+        }
+    }
+
+    /// Structural operations: arbitrary (mostly invalid) distribute/jam
+    /// targets report typed `InlError`s, and sinking returns a typed
+    /// `SinkError` or a program — no panics, no asserts.
+    #[test]
+    fn structural_ops_never_panic(
+        (p, li, split, idx) in arb_program().prop_flat_map(|p| {
+            let nloops = p.loops().count();
+            (Just(p), 0..nloops.max(1), 0usize..4, 0usize..4)
+        }),
+    ) {
+        let Ok((layout, deps)) = analyzed(&p) else { return Ok(()); };
+        let loops: Vec<_> = p.loops().collect();
+        let l = loops[li.min(loops.len() - 1)];
+        let parent = p.loops_surrounding_loop(l).first().copied();
+        let _ = distribute(&p, &layout, l, split);
+        let _ = distribution_legal(&p, &deps, l, split);
+        let _ = jam(&p, &layout, parent, idx);
+        let _ = jamming_legal(&p, &deps, parent, idx);
+        let _ = sink_statements(&p);
+    }
+}

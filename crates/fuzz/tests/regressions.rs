@@ -1,0 +1,139 @@
+//! Minimized regression cases for crashes the fuzz harness (and the
+//! conversion work it validates) uncovered. Each test pins one formerly
+//! panicking input to its typed error — these must stay green forever.
+
+use inl_fuzz::{analyzed, build_program, compile, Compiled, ProgramRecipe};
+use inl_linalg::{IMat, Int, Rational};
+use inl_poly::{fm, LinExpr, System};
+
+/// Fourier–Motzkin on rows with near-`i128` coefficients used to overflow
+/// in the lower×upper combination (`l.scale(b) + u.scale(a)`); it must
+/// report a typed Overflow error (or succeed after gcd-normalization).
+#[test]
+fn fm_coefficient_growth_is_typed_overflow() {
+    let big = Int::MAX / 2;
+    let mut s = System::new(3);
+    s.add_ge(LinExpr::from_parts(vec![big, 1, 0], 0)); // big·x0 + x1 ≥ 0
+    s.add_ge(LinExpr::from_parts(vec![-big, 0, 1], -1)); // -big·x0 + x2 - 1 ≥ 0
+    s.add_ge(LinExpr::from_parts(vec![3, -big, 0], 5));
+    s.add_ge(LinExpr::from_parts(vec![0, big, -3], 7));
+    match fm::project(&s, &[2]) {
+        Ok(_) => {}
+        Err(e) => assert!(!e.to_string().is_empty(), "error must carry context"),
+    }
+}
+
+/// `Rational` comparison cross-multiplies; `MAX/1` vs `(MAX-1)/2` used to
+/// overflow the naive product. It must order correctly.
+#[test]
+fn rational_cmp_near_max_is_exact() {
+    let a = Rational::new(Int::MAX, 1);
+    let b = Rational::new(Int::MAX - 1, 2);
+    assert!(a > b);
+    let c = Rational::new(Int::MIN + 1, 3);
+    assert!(c < b);
+}
+
+/// A guard contradicting the loop bounds plus a scaling (non-unimodular)
+/// schedule drives Fourier–Motzkin trivially empty mid-projection; the
+/// pipeline used to panic in bound globalization, now it reports a typed
+/// codegen rejection.
+#[test]
+fn empty_domain_under_scaling_is_rejected() {
+    use inl_ir::{Aff, Expr, ProgramBuilder};
+    let mut b = ProgramBuilder::new("regress_empty");
+    let n = b.param("N");
+    let x = b.array("X", &[Aff::param(n) + Aff::konst(2)]);
+    b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+        let i = b.loop_var("I");
+        b.hloop("J", Aff::konst(1), Aff::param(n), |b| {
+            let j = b.loop_var("J");
+            b.stmt_guarded(
+                "S1",
+                x,
+                vec![Aff::var(j)],
+                Expr::index(Aff::var(i)),
+                vec![inl_ir::Guard::Ge(Aff::konst(0) - Aff::var(i))],
+            );
+        });
+    });
+    let p = b.finish();
+    let mut m = IMat::identity(2);
+    m[(0, 0)] = 2;
+    m[(1, 1)] = 2;
+    match compile(&p, &m) {
+        Compiled::Rejected(msg) => assert!(msg.starts_with("codegen:"), "{msg}"),
+        Compiled::Ok(_) => panic!("empty domain must not compile"),
+    }
+}
+
+/// Jamming two loops whose bounds differ used to trip an `assert!` inside
+/// the IR surgery; the structural layer must reject it first with a typed
+/// `InvalidTarget` error naming the parent node.
+#[test]
+fn jam_mismatched_bounds_is_invalid_target() {
+    use inl_ir::{Aff, Expr, ProgramBuilder};
+    let mut b = ProgramBuilder::new("regress_jam");
+    let n = b.param("N");
+    let x = b.array("X", &[Aff::param(n) + Aff::konst(2)]);
+    for (name, lo) in [("I", 1), ("J", 2)] {
+        b.hloop(name, Aff::konst(lo), Aff::param(n), |b| {
+            let v = b.loop_var(name);
+            b.stmt(
+                format!("S{name}"),
+                x,
+                vec![Aff::var(v)],
+                Expr::index(Aff::var(v)),
+            );
+        });
+    }
+    let p = b.finish();
+    let (layout, _) = analyzed(&p).expect("analysis");
+    let err = inl_core::structural::jam(&p, &layout, None, 0).unwrap_err();
+    assert_eq!(err.kind(), inl_linalg::InlErrorKind::InvalidTarget);
+    assert!(err.to_string().contains("identical bounds"), "{err}");
+}
+
+/// Sinking a nest whose candidate loop has sibling statements *after* the
+/// loop child used to hit an `expect` on the assumed node shape; it must
+/// return a typed `SinkError` (or succeed) on every program shape the
+/// generator produces.
+#[test]
+fn sink_handles_every_generated_shape() {
+    for shape in 0..3 {
+        for sibling in [false, true] {
+            let p = build_program(&ProgramRecipe {
+                shape,
+                oa: 0,
+                ob: 0,
+                triangular: true,
+                cross: false,
+                guard: 0,
+                sibling,
+            });
+            let _ = inl_core::sink::sink_statements(&p);
+        }
+    }
+}
+
+/// A rank-deficient (all-zero row) matrix flows through legality into
+/// per-statement scheduling; it must come back as a typed rejection,
+/// never a unwrap on the singular inverse.
+#[test]
+fn singular_matrix_is_rejected_not_unwrapped() {
+    let p = build_program(&ProgramRecipe {
+        shape: 0,
+        oa: 0,
+        ob: 0,
+        triangular: false,
+        cross: false,
+        guard: 0,
+        sibling: false,
+    });
+    let (layout, _) = analyzed(&p).expect("analysis");
+    let m = IMat::zeros(layout.len(), layout.len());
+    match compile(&p, &m) {
+        Compiled::Rejected(_) => {}
+        Compiled::Ok(_) => panic!("singular matrix must not compile"),
+    }
+}

@@ -1,0 +1,95 @@
+//! Error-not-crash properties for the arithmetic substrates: the
+//! polyhedral layer (Fourier–Motzkin, feasibility, bound scanning) and
+//! the exact linear algebra survive near-`i128`-extreme coefficients,
+//! returning typed [`inl_linalg::InlError`]s instead of overflowing or
+//! panicking.
+
+use inl_fuzz::{arb_system, fuzz_config};
+use inl_linalg::{ext_gcd, gcd, lcm, IMat, Int, Rational};
+use inl_poly::{fm, scan_bounds, Feasibility};
+use proptest::prelude::*;
+
+/// Interesting magnitudes: small, large, and within a factor of the
+/// overflow boundary.
+const MAGNITUDES: [Int; 4] = [3, 1 << 40, Int::MAX / 3, Int::MAX - 1];
+
+proptest! {
+    #![proptest_config(fuzz_config(64))]
+
+    /// Fourier–Motzkin projection and feasibility on systems with extreme
+    /// coefficients: `Ok`, a typed error, or `Feasibility::Unknown` — and
+    /// no panic on any path.
+    #[test]
+    fn poly_extreme_coefficients_never_panic(
+        (sys, keep_mask) in (0..4usize, 0..4usize).prop_flat_map(|(mi, rows)| {
+            (arb_system(4, rows + 1, MAGNITUDES[mi]), 0..16usize)
+        }),
+    ) {
+        let keep: Vec<usize> = (0..4).filter(|i| keep_mask & (1 << i) != 0).collect();
+        match fm::project(&sys, &keep) {
+            Ok((projected, _exact)) => {
+                // scanning the projection must also be panic-free
+                let _ = scan_bounds(&projected, &keep);
+            }
+            Err(e) => {
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+        match fm::is_empty(&sys) {
+            Feasibility::Empty | Feasibility::NonEmpty | Feasibility::Unknown => {}
+        }
+    }
+
+    /// gcd/lcm/ext_gcd and `Rational` comparison at the `i128` extremes:
+    /// typed overflow errors, never a wrapping panic.
+    #[test]
+    fn linalg_extremes_never_panic(
+        (ai, bi, ci) in (0..8usize, 0..8usize, 0..8usize),
+    ) {
+        let pool: [Int; 8] = [
+            0, 1, -1, Int::MAX, Int::MIN + 1, Int::MAX / 2, 1 << 62, -(1 << 62),
+        ];
+        let (a, b, c) = (pool[ai], pool[bi], pool[ci]);
+        let g = gcd(a, b);
+        prop_assert!(g >= 0);
+        let _ = lcm(a, b);
+        // Bezout identity on moderated inputs (the product stays in
+        // range there; full-extreme inputs only need the no-panic half).
+        let (a2, b2) = (a % (1 << 40), b % (1 << 40));
+        let (g2, x, y) = ext_gcd(a2, b2);
+        if g2 != 0 {
+            prop_assert_eq!(
+                a2.checked_mul(x)
+                    .and_then(|ax| b2.checked_mul(y).and_then(|by| ax.checked_add(by))),
+                Some(g2)
+            );
+        }
+        let _ = ext_gcd(a, b);
+        // Rational comparison cross-multiplies; it must escalate to
+        // wide arithmetic instead of overflowing.
+        if b != 0 && c != 0 {
+            let r1 = Rational::new(a, b);
+            let r2 = Rational::new(a.wrapping_sub(1).max(Int::MIN + 1), c);
+            let _ = r1.cmp(&r2);
+            let _ = r1 == r2;
+        }
+    }
+
+    /// Gaussian elimination over extreme integer matrices: rank,
+    /// nullspace, and rational inverse all return typed results.
+    #[test]
+    fn gauss_extremes_never_panic(
+        (cells, n) in (2..4usize).prop_flat_map(|n| {
+            (proptest::collection::vec(0..6usize, n * n), Just(n))
+        }),
+    ) {
+        let pool: [Int; 6] = [0, 1, -1, 2, Int::MAX / 5, -(Int::MAX / 7)];
+        let mut m = IMat::zeros(n, n);
+        for (k, &c) in cells.iter().enumerate() {
+            m[(k / n, k % n)] = pool[c];
+        }
+        let _ = m.checked_rank();
+        let _ = inl_linalg::gauss::nullspace_int(&m);
+        let _ = inl_linalg::gauss::inverse_rational(&m);
+    }
+}

@@ -7,8 +7,12 @@
 //! requires finding a row in the nullspace of the dependence matrix"), and
 //! `express_in_row_space` recovers the coefficients `m_1..m_l` that define the
 //! guard of a *singular loop* (§5.5).
+//!
+//! Every elimination here is overflow-checked: entry growth during exact
+//! elimination is input-dependent, so each public routine reports
+//! [`InlError`] rather than panicking when `i128` is exhausted.
 
-use crate::{IMat, IVec, Int, Rational};
+use crate::{IMat, IVec, InlError, Int, Rational};
 
 /// A matrix of rationals, used internally for elimination and returned where
 /// exact non-integer results are meaningful (e.g. `M⁻¹`).
@@ -38,14 +42,26 @@ impl QMat {
         self.rows.first().map_or(0, |r| r.len())
     }
 
-    /// Multiply by a rational vector.
+    /// Multiply by a rational vector; convenience wrapper over
+    /// [`QMat::checked_mul_vec`] for trusted (small-entry) inputs.
+    ///
+    /// # Panics
+    /// On overflow; fallible paths use [`QMat::checked_mul_vec`].
     pub fn mul_vec(&self, v: &[Rational]) -> Vec<Rational> {
+        self.checked_mul_vec(v)
+            .expect("rational mul_vec overflow: fallible paths use checked_mul_vec")
+    }
+
+    /// Overflow-checked multiplication by a rational vector.
+    pub fn checked_mul_vec(&self, v: &[Rational]) -> Result<Vec<Rational>, InlError> {
         self.rows
             .iter()
             .map(|r| {
-                r.iter()
-                    .zip(v)
-                    .fold(Rational::ZERO, |acc, (&a, &b)| acc + a * b)
+                let mut acc = Rational::ZERO;
+                for (&a, &b) in r.iter().zip(v) {
+                    acc = acc.checked_add(a.checked_mul(b)?)?;
+                }
+                Ok(acc)
             })
             .collect()
     }
@@ -63,7 +79,7 @@ impl QMat {
 }
 
 /// Reduced row echelon form in place; returns pivot column of each pivot row.
-fn rref(m: &mut QMat) -> Vec<usize> {
+fn rref(m: &mut QMat) -> Result<Vec<usize>, InlError> {
     let (nr, nc) = (m.nrows(), m.ncols());
     let mut pivots = Vec::new();
     let mut r = 0;
@@ -78,38 +94,56 @@ fn rref(m: &mut QMat) -> Vec<usize> {
         m.rows.swap(r, p);
         let inv = m.rows[r][c].recip();
         for x in m.rows[r].iter_mut() {
-            *x = *x * inv;
+            *x = x.checked_mul(inv)?;
         }
         for i in 0..nr {
             if i != r && !m.rows[i][c].is_zero() {
                 let f = m.rows[i][c];
                 for j in 0..nc {
-                    let sub = m.rows[r][j] * f;
-                    m.rows[i][j] = m.rows[i][j] - sub;
+                    let sub = m.rows[r][j].checked_mul(f)?;
+                    m.rows[i][j] = m.rows[i][j].checked_sub(sub)?;
                 }
             }
         }
         pivots.push(c);
         r += 1;
     }
-    pivots
+    Ok(pivots)
 }
 
-/// Rank of an integer matrix over the rationals.
-pub fn rank(m: &IMat) -> usize {
-    let mut q = QMat::from_imat(m);
-    rref(&mut q).len()
-}
-
-/// Determinant via fraction-free (Bareiss) elimination.
+/// Rank of an integer matrix over the rationals; convenience wrapper over
+/// [`checked_rank`] for trusted (small-entry) inputs.
 ///
 /// # Panics
-/// If `m` is not square.
+/// On overflow; fallible paths use [`checked_rank`].
+pub fn rank(m: &IMat) -> usize {
+    checked_rank(m).expect("rank overflow: fallible paths use checked_rank")
+}
+
+/// Overflow-checked rank of an integer matrix over the rationals.
+pub fn checked_rank(m: &IMat) -> Result<usize, InlError> {
+    let mut q = QMat::from_imat(m);
+    Ok(rref(&mut q)?.len())
+}
+
+/// Determinant via fraction-free (Bareiss) elimination; convenience wrapper
+/// over [`checked_det`] for trusted (small-entry) inputs.
+///
+/// # Panics
+/// If `m` is not square, or on overflow; fallible paths use [`checked_det`].
 pub fn det(m: &IMat) -> Int {
+    checked_det(m).expect("determinant overflow: fallible paths use checked_det")
+}
+
+/// Overflow-checked determinant via fraction-free (Bareiss) elimination.
+///
+/// # Panics
+/// If `m` is not square (a programming error, not an input condition).
+pub fn checked_det(m: &IMat) -> Result<Int, InlError> {
     assert!(m.is_square(), "det of non-square matrix");
     let n = m.nrows();
     if n == 0 {
-        return 1;
+        return Ok(1);
     }
     let mut a: Vec<Vec<Int>> = (0..n).map(|i| m.row_slice(i).to_vec()).collect();
     let mut sign: Int = 1;
@@ -117,7 +151,7 @@ pub fn det(m: &IMat) -> Int {
     for k in 0..n - 1 {
         if a[k][k] == 0 {
             let Some(p) = (k + 1..n).find(|&i| a[i][k] != 0) else {
-                return 0;
+                return Ok(0);
             };
             a.swap(k, p);
             sign = -sign;
@@ -128,19 +162,20 @@ pub fn det(m: &IMat) -> Int {
                     .checked_mul(a[i][j])
                     .and_then(|x| a[i][k].checked_mul(a[k][j]).map(|y| (x, y)))
                     .and_then(|(x, y)| x.checked_sub(y))
-                    .expect("bareiss overflow");
+                    .ok_or_else(|| InlError::overflow("bareiss elimination"))?;
                 a[i][j] = num / prev; // exact by Bareiss' theorem
             }
             a[i][k] = 0;
         }
         prev = a[k][k];
     }
-    sign * a[n - 1][n - 1]
+    Ok(sign * a[n - 1][n - 1])
 }
 
-/// Solve `A·x = b` over the rationals. Returns `None` if inconsistent;
-/// if underdetermined, returns one particular solution (free variables = 0).
-pub fn solve_rational(a: &IMat, b: &IVec) -> Option<Vec<Rational>> {
+/// Solve `A·x = b` over the rationals. `Ok(None)` if inconsistent; if
+/// underdetermined, returns one particular solution (free variables = 0).
+/// Fails with [`InlError`] only on arithmetic overflow.
+pub fn solve_rational(a: &IMat, b: &IVec) -> Result<Option<Vec<Rational>>, InlError> {
     assert_eq!(a.nrows(), b.len(), "solve: dimension mismatch");
     let (nr, nc) = (a.nrows(), a.ncols());
     let mut aug = QMat {
@@ -153,21 +188,21 @@ pub fn solve_rational(a: &IMat, b: &IVec) -> Option<Vec<Rational>> {
             })
             .collect(),
     };
-    let pivots = rref(&mut aug);
+    let pivots = rref(&mut aug)?;
     // inconsistent iff a pivot lands in the augmented column
     if pivots.last() == Some(&nc) {
-        return None;
+        return Ok(None);
     }
     let mut x = vec![Rational::ZERO; nc];
     for (r, &c) in pivots.iter().enumerate() {
         x[c] = aug.rows[r][nc];
     }
-    Some(x)
+    Ok(Some(x))
 }
 
 /// Exact inverse of a square integer matrix, as rationals.
-/// Returns `None` if singular.
-pub fn inverse_rational(m: &IMat) -> Option<QMat> {
+/// `Ok(None)` if singular; [`InlError`] on arithmetic overflow.
+pub fn inverse_rational(m: &IMat) -> Result<Option<QMat>, InlError> {
     assert!(m.is_square(), "inverse of non-square matrix");
     let n = m.nrows();
     let mut aug = QMat {
@@ -186,24 +221,24 @@ pub fn inverse_rational(m: &IMat) -> Option<QMat> {
             })
             .collect(),
     };
-    let pivots = rref(&mut aug);
+    let pivots = rref(&mut aug)?;
     // All n pivots must land in the left (coefficient) block; a singular
     // matrix pushes a pivot into the appended identity columns.
     if pivots.iter().filter(|&&c| c < n).count() != n {
-        return None;
+        return Ok(None);
     }
-    Some(QMat {
+    Ok(Some(QMat {
         rows: aug.rows.into_iter().map(|r| r[n..].to_vec()).collect(),
-    })
+    }))
 }
 
 /// An integer basis of the (right) nullspace of `m`: vectors `v` with
 /// `m·v = 0`. Each basis vector is primitive (content 1). Empty if the
-/// nullspace is trivial.
-pub fn nullspace_int(m: &IMat) -> Vec<IVec> {
+/// nullspace is trivial. Fails with [`InlError`] on arithmetic overflow.
+pub fn nullspace_int(m: &IMat) -> Result<Vec<IVec>, InlError> {
     let nc = m.ncols();
     let mut q = QMat::from_imat(m);
-    let pivots = rref(&mut q);
+    let pivots = rref(&mut q)?;
     let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
     let free: Vec<usize> = (0..nc).filter(|c| !pivot_set.contains(c)).collect();
     let mut basis = Vec::with_capacity(free.len());
@@ -212,22 +247,36 @@ pub fn nullspace_int(m: &IMat) -> Vec<IVec> {
         let mut x = vec![Rational::ZERO; nc];
         x[f] = Rational::ONE;
         for (r, &c) in pivots.iter().enumerate() {
-            x[c] = -q.rows[r][f];
+            x[c] = q.rows[r][f].checked_neg()?;
         }
         // clear denominators
-        let lcm = x.iter().fold(1, |acc, v| crate::lcm(acc, v.den()).max(1));
-        let iv: IVec = x.iter().map(|v| v.num() * (lcm / v.den())).collect();
+        let mut den: Int = 1;
+        for v in &x {
+            den = crate::lcm(den, v.den())?.max(1);
+        }
+        let iv: IVec = x
+            .iter()
+            .map(|v| {
+                v.num()
+                    .checked_mul(den / v.den())
+                    .ok_or_else(|| InlError::overflow("nullspace denominator clearing"))
+            })
+            .collect::<Result<Vec<Int>, InlError>>()?
+            .into();
         basis.push(iv.primitive());
     }
-    basis
+    Ok(basis)
 }
 
 /// If `target` lies in the row space of `rows`, return coefficients `m_j`
-/// with `target = Σ m_j · rows[j]`. Used to derive the guards of singular
-/// loops in §5.5.
-pub fn express_in_row_space(rows: &[IVec], target: &IVec) -> Option<Vec<Rational>> {
+/// with `target = Σ m_j · rows[j]` (`Ok(None)` if it does not). Used to
+/// derive the guards of singular loops in §5.5.
+pub fn express_in_row_space(
+    rows: &[IVec],
+    target: &IVec,
+) -> Result<Option<Vec<Rational>>, InlError> {
     if rows.is_empty() {
-        return if target.is_zero() { Some(vec![]) } else { None };
+        return Ok(if target.is_zero() { Some(vec![]) } else { None });
     }
     // Solve Rᵀ · m = target where Rᵀ has the rows as columns.
     let n = rows[0].len();
@@ -261,6 +310,16 @@ mod tests {
     }
 
     #[test]
+    fn det_overflow_is_typed() {
+        let big = Int::MAX / 2;
+        let a = m(&[&[big, big], &[big, -big]]);
+        assert_eq!(
+            checked_det(&a).unwrap_err().kind(),
+            crate::InlErrorKind::Overflow
+        );
+    }
+
+    #[test]
     fn rank_cases() {
         assert_eq!(rank(&IMat::identity(4)), 4);
         assert_eq!(rank(&m(&[&[1, 2], &[2, 4]])), 1);
@@ -273,20 +332,24 @@ mod tests {
     #[test]
     fn solve_consistent() {
         let a = m(&[&[1, 1], &[1, -1]]);
-        let x = solve_rational(&a, &IVec::from(vec![3, 1])).unwrap();
+        let x = solve_rational(&a, &IVec::from(vec![3, 1]))
+            .unwrap()
+            .unwrap();
         assert_eq!(x, vec![Rational::int(2), Rational::int(1)]);
     }
 
     #[test]
     fn solve_inconsistent() {
         let a = m(&[&[1, 1], &[2, 2]]);
-        assert!(solve_rational(&a, &IVec::from(vec![1, 3])).is_none());
+        assert!(solve_rational(&a, &IVec::from(vec![1, 3]))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn solve_underdetermined() {
         let a = m(&[&[1, 1, 0]]);
-        let x = solve_rational(&a, &IVec::from(vec![5])).unwrap();
+        let x = solve_rational(&a, &IVec::from(vec![5])).unwrap().unwrap();
         // particular solution must satisfy the equation
         assert_eq!(x[0] + x[1], Rational::int(5));
     }
@@ -294,47 +357,54 @@ mod tests {
     #[test]
     fn inverse_roundtrip() {
         let a = m(&[&[1, -1], &[0, 1]]); // skew
-        let inv = inverse_rational(&a).unwrap().to_imat().unwrap();
+        let inv = inverse_rational(&a).unwrap().unwrap().to_imat().unwrap();
         assert_eq!(a.mul(&inv), IMat::identity(2));
         // non-unimodular: inverse has fractions
         let s = m(&[&[2, 0], &[0, 1]]);
-        let sinv = inverse_rational(&s).unwrap();
+        let sinv = inverse_rational(&s).unwrap().unwrap();
         assert_eq!(sinv.rows[0][0], Rational::new(1, 2));
         assert!(sinv.to_imat().is_none());
-        assert!(inverse_rational(&m(&[&[1, 2], &[2, 4]])).is_none());
+        assert!(inverse_rational(&m(&[&[1, 2], &[2, 4]])).unwrap().is_none());
     }
 
     #[test]
     fn nullspace_simple() {
         // x + y = 0 has nullspace spanned by (1, -1)
-        let ns = nullspace_int(&m(&[&[1, 1]]));
+        let ns = nullspace_int(&m(&[&[1, 1]])).unwrap();
         assert_eq!(ns.len(), 1);
         let v = &ns[0];
         assert_eq!(v[0] + v[1], 0);
         assert_ne!(v[0], 0);
         // full-rank square matrix: trivial nullspace
-        assert!(nullspace_int(&IMat::identity(3)).is_empty());
+        assert!(nullspace_int(&IMat::identity(3)).unwrap().is_empty());
         // zero matrix: full nullspace
-        assert_eq!(nullspace_int(&m(&[&[0, 0, 0]])).len(), 3);
+        assert_eq!(nullspace_int(&m(&[&[0, 0, 0]])).unwrap().len(), 3);
     }
 
     #[test]
     fn nullspace_is_nullspace() {
         let a = m(&[&[1, 2, 3], &[0, 1, 1]]);
-        for v in nullspace_int(&a) {
+        for v in nullspace_int(&a).unwrap() {
             assert!(a.mul_vec(&v).is_zero(), "not in nullspace: {v}");
         }
-        assert_eq!(nullspace_int(&a).len(), 1);
+        assert_eq!(nullspace_int(&a).unwrap().len(), 1);
     }
 
     #[test]
     fn express_rows() {
         let rows = vec![IVec::from(vec![1, 0, 1]), IVec::from(vec![0, 1, 1])];
         let target = IVec::from(vec![2, 3, 5]);
-        let c = express_in_row_space(&rows, &target).unwrap();
+        let c = express_in_row_space(&rows, &target).unwrap().unwrap();
         assert_eq!(c, vec![Rational::int(2), Rational::int(3)]);
-        assert!(express_in_row_space(&rows, &IVec::from(vec![0, 0, 1])).is_none());
-        assert_eq!(express_in_row_space(&[], &IVec::zeros(3)), Some(vec![]));
-        assert!(express_in_row_space(&[], &IVec::from(vec![1, 0])).is_none());
+        assert!(express_in_row_space(&rows, &IVec::from(vec![0, 0, 1]))
+            .unwrap()
+            .is_none());
+        assert_eq!(
+            express_in_row_space(&[], &IVec::zeros(3)).unwrap(),
+            Some(vec![])
+        );
+        assert!(express_in_row_space(&[], &IVec::from(vec![1, 0]))
+            .unwrap()
+            .is_none());
     }
 }

@@ -11,7 +11,7 @@
 //!   linearly independent rows) to a full non-singular — preferably
 //!   unimodular — matrix.
 
-use crate::{ext_gcd, floor_div, gauss, IMat, IVec, Int};
+use crate::{ext_gcd, floor_div, gauss, IMat, IVec, InlError, InlErrorKind, Int};
 
 /// Result of [`column_hnf`]: `a * u == h` with `u` unimodular and `h` in
 /// column-style (lower-triangular) Hermite form.
@@ -30,8 +30,11 @@ pub struct HnfResult {
 /// Column-style Hermite normal form: find unimodular `U` such that
 /// `A · U = H` is lower triangular (in echelon sense) with positive pivots.
 ///
-/// Works for any `k × n` matrix, including rank-deficient ones.
-pub fn column_hnf(a: &IMat) -> HnfResult {
+/// Works for any `k × n` matrix, including rank-deficient ones. Entry
+/// growth during the gcd column operations is input-dependent, so the
+/// computation is overflow-checked and reports [`InlError`] rather than
+/// panicking.
+pub fn column_hnf(a: &IMat) -> Result<HnfResult, InlError> {
     let (k, n) = (a.nrows(), a.ncols());
     let mut h: Vec<Vec<Int>> = (0..k).map(|i| a.row_slice(i).to_vec()).collect();
     let mut u: Vec<Vec<Int>> = (0..n)
@@ -42,14 +45,28 @@ pub fn column_hnf(a: &IMat) -> HnfResult {
 
     // Apply the 2x2 unimodular column operation to columns c1, c2 of both
     // h and u: [c1, c2] := [a*c1 + b*c2, c*c1 + d*c2].
-    let combine =
-        |m: &mut Vec<Vec<Int>>, c1: usize, c2: usize, a2: Int, b2: Int, c2f: Int, d2: Int| {
-            for row in m.iter_mut() {
-                let (x, y) = (row[c1], row[c2]);
-                row[c1] = a2 * x + b2 * y;
-                row[c2] = c2f * x + d2 * y;
-            }
-        };
+    let combine = |m: &mut Vec<Vec<Int>>,
+                   c1: usize,
+                   c2: usize,
+                   a2: Int,
+                   b2: Int,
+                   c2f: Int,
+                   d2: Int|
+     -> Result<(), InlError> {
+        for row in m.iter_mut() {
+            let (x, y) = (row[c1], row[c2]);
+            let err = || InlError::overflow("hnf column operation");
+            row[c1] = a2
+                .checked_mul(x)
+                .and_then(|p| b2.checked_mul(y).and_then(|q| p.checked_add(q)))
+                .ok_or_else(err)?;
+            row[c2] = c2f
+                .checked_mul(x)
+                .and_then(|p| d2.checked_mul(y).and_then(|q| p.checked_add(q)))
+                .ok_or_else(err)?;
+        }
+        Ok(())
+    };
 
     for r in 0..k {
         if col >= n {
@@ -77,16 +94,18 @@ pub fn column_hnf(a: &IMat) -> HnfResult {
             // column op [c1', c2'] = [x·c1 + y·c2, -q·c1 + p·c2];
             // det = x·p + y·q = (x·a + y·b)/g = 1, so it is unimodular, and
             // the new row-r entries are (g, 0).
-            combine(&mut h, col, j, x, y, -q, p);
-            combine(&mut u, col, j, x, y, -q, p);
+            let nq = q
+                .checked_neg()
+                .ok_or_else(|| InlError::overflow("hnf column operation"))?;
+            combine(&mut h, col, j, x, y, nq, p)?;
+            combine(&mut u, col, j, x, y, nq, p)?;
         }
         // Make the pivot positive.
         if h[r][col] < 0 {
-            for row in h.iter_mut() {
-                row[col] = -row[col];
-            }
-            for row in u.iter_mut() {
-                row[col] = -row[col];
+            for row in h.iter_mut().chain(u.iter_mut()) {
+                row[col] = row[col]
+                    .checked_neg()
+                    .ok_or_else(|| InlError::overflow("hnf pivot negation"))?;
             }
         }
         // Reduce entries to the left of the pivot into [0, pivot).
@@ -94,13 +113,11 @@ pub fn column_hnf(a: &IMat) -> HnfResult {
         for j in 0..col {
             let q = floor_div(h[r][j], pivot);
             if q != 0 {
-                for row in h.iter_mut() {
-                    let sub = q * row[col];
-                    row[j] -= sub;
-                }
-                for row in u.iter_mut() {
-                    let sub = q * row[col];
-                    row[j] -= sub;
+                for row in h.iter_mut().chain(u.iter_mut()) {
+                    row[j] = q
+                        .checked_mul(row[col])
+                        .and_then(|sub| row[j].checked_sub(sub))
+                        .ok_or_else(|| InlError::overflow("hnf pivot reduction"))?;
                 }
             }
         }
@@ -108,11 +125,11 @@ pub fn column_hnf(a: &IMat) -> HnfResult {
         col += 1;
     }
 
-    HnfResult {
+    Ok(HnfResult {
         h: IMat::from_rows(&h),
         u: IMat::from_rows(&u),
         pivots,
-    }
+    })
 }
 
 /// Complete a set of linearly independent rows to a full `n × n`
@@ -120,12 +137,13 @@ pub fn column_hnf(a: &IMat) -> HnfResult {
 ///
 /// If the rows span a *primitive* lattice (their HNF pivots are all 1), the
 /// result is unimodular; otherwise `|det|` equals the product of the HNF
-/// pivots. Returns `None` if the rows are linearly dependent.
-pub fn complete_unimodular(rows: &[IVec], n: usize) -> Option<IMat> {
+/// pivots. Fails with [`InlErrorKind::RankDeficient`] if the rows are
+/// linearly dependent, [`InlErrorKind::Overflow`] on range exhaustion.
+pub fn complete_unimodular(rows: &[IVec], n: usize) -> Result<IMat, InlError> {
     let k = rows.len();
     assert!(k <= n, "more rows than dimensions");
     if k == 0 {
-        return Some(IMat::identity(n));
+        return Ok(IMat::identity(n));
     }
     let a = IMat::from_rows(
         &rows
@@ -134,16 +152,25 @@ pub fn complete_unimodular(rows: &[IVec], n: usize) -> Option<IMat> {
             .collect::<Vec<_>>(),
     );
     assert_eq!(a.ncols(), n, "row length mismatch");
-    if gauss::rank(&a) != k {
-        return None;
+    if gauss::checked_rank(&a)? != k {
+        return Err(InlError::new(
+            InlErrorKind::RankDeficient,
+            "completion rows are linearly dependent",
+        ));
     }
-    let hnf = column_hnf(&a);
+    let hnf = column_hnf(&a)?;
     // a * u = h  =>  a = h * u⁻¹. Build m = [h; 0 I] * u⁻¹ so that the first
     // k rows of m are exactly a, and det m = det(h_kxk) * det(u⁻¹) = ±Πpivots.
-    let uinv = gauss::inverse_rational(&hnf.u)
-        .expect("u is unimodular")
-        .to_imat()
-        .expect("unimodular inverse is integral");
+    // U is unimodular by construction, so the inverse exists and is
+    // integral; only overflow can fail here.
+    let uinv = gauss::inverse_rational(&hnf.u)?
+        .and_then(|q| q.to_imat())
+        .ok_or_else(|| {
+            InlError::new(
+                InlErrorKind::RankDeficient,
+                "hnf column-operation matrix lost unimodularity",
+            )
+        })?;
     let mut block = IMat::zeros(n, n);
     for i in 0..k {
         for j in 0..n {
@@ -153,7 +180,7 @@ pub fn complete_unimodular(rows: &[IVec], n: usize) -> Option<IMat> {
     for i in k..n {
         block[(i, i)] = 1;
     }
-    Some(block.mul(&uinv))
+    block.checked_mul(&uinv)
 }
 
 #[cfg(test)]
@@ -167,7 +194,7 @@ mod tests {
     #[test]
     fn hnf_identity() {
         let a = IMat::identity(3);
-        let r = column_hnf(&a);
+        let r = column_hnf(&a).unwrap();
         assert_eq!(r.h, a);
         assert!(r.u.is_unimodular());
     }
@@ -183,7 +210,7 @@ mod tests {
             im(&[&[0, 3, 0], &[1, 1, 1]]),
         ];
         for a in cases {
-            let r = column_hnf(&a);
+            let r = column_hnf(&a).unwrap();
             assert!(r.u.is_unimodular(), "u not unimodular for {a}");
             assert_eq!(a.mul(&r.u), r.h, "A*U != H for {a}");
             // echelon: each pivot's row is zero to the right of the pivot
@@ -202,7 +229,7 @@ mod tests {
     fn hnf_skew_is_unimodular_pivot() {
         // unimodular input => all pivots 1 after reduction of a triangular det ±1 matrix
         let a = im(&[&[1, -1], &[0, 1]]);
-        let r = column_hnf(&a);
+        let r = column_hnf(&a).unwrap();
         assert_eq!(r.h[(0, 0)], 1);
         assert_eq!(r.h[(1, 1)], 1);
     }
@@ -211,7 +238,7 @@ mod tests {
     fn hnf_nonunimodular_steps() {
         // scaling by 2: the image lattice has stride 2 in the first dimension
         let a = im(&[&[2, 0], &[0, 1]]);
-        let r = column_hnf(&a);
+        let r = column_hnf(&a).unwrap();
         assert_eq!(r.h[(0, 0)], 2);
         assert_eq!(r.h[(1, 1)], 1);
     }
@@ -241,7 +268,10 @@ mod tests {
     #[test]
     fn complete_dependent_rows_fails() {
         let rows = vec![IVec::from(vec![1, 2]), IVec::from(vec![2, 4])];
-        assert!(complete_unimodular(&rows, 2).is_none());
+        assert_eq!(
+            complete_unimodular(&rows, 2).unwrap_err().kind(),
+            InlErrorKind::RankDeficient
+        );
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //! error of 1 changes which iterations a loop executes. This crate therefore
 //! provides:
 //!
+//! * [`InlError`] — the structured, recoverable error type shared by the
+//!   whole pipeline; fallible operations report it rather than panicking;
 //! * [`Rational`] — exact rationals over `i128` (sufficient for the matrix
 //!   sizes that arise from loop nests; all operations are overflow-checked
-//!   and panic loudly rather than wrap);
+//!   and the fallible entry points report [`InlError`] rather than wrap);
 //! * [`IMat`] / [`IVec`] — dense integer matrices/vectors with exact
 //!   elimination: rank, determinant, rational inverse, solving, integer
 //!   nullspace bases;
@@ -38,6 +40,7 @@
 //! assert_eq!(m.mul_vec(&v).as_slice(), &[2, 0, 1, 2]);
 //! ```
 
+pub mod error;
 pub mod gauss;
 pub mod hnf;
 pub mod lex;
@@ -45,6 +48,7 @@ pub mod matrix;
 pub mod rational;
 pub mod vector;
 
+pub use error::{InlError, InlErrorKind};
 pub use gauss::{inverse_rational, nullspace_int, rank, solve_rational};
 pub use hnf::{column_hnf, complete_unimodular, HnfResult};
 pub use lex::{lex_cmp, LexSign};
@@ -60,35 +64,61 @@ pub use vector::IVec;
 pub type Int = i128;
 
 /// Greatest common divisor (always non-negative; `gcd(0, 0) == 0`).
+///
+/// Computed on unsigned magnitudes, so `Int::MIN` inputs are handled
+/// exactly: `gcd(Int::MIN, 1) == 1`, `gcd(Int::MIN, 2) == 2`. The single
+/// unrepresentable case — a mathematical gcd of `2^127`, reachable only
+/// from `{Int::MIN, 0}` and `{Int::MIN, Int::MIN}` — degrades to `1`
+/// (skipping normalization is always sound; dividing by a wrong gcd is
+/// not). Downstream products involving such magnitudes then hit checked
+/// arithmetic and report [`InlErrorKind::Overflow`] rather than silently
+/// mis-normalizing.
 #[inline]
 pub fn gcd(a: Int, b: Int) -> Int {
-    let (mut a, mut b) = (a.abs(), b.abs());
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
-    a
+    Int::try_from(a).unwrap_or(1)
 }
 
-/// Least common multiple (non-negative; `lcm(x, 0) == 0`).
+/// Least common multiple (non-negative; `lcm(x, 0) == Ok(0)`).
+///
+/// Fails with [`InlErrorKind::Overflow`] when the magnitude of the result
+/// exceeds `Int::MAX` — including `lcm(Int::MIN, 1)`, whose mathematical
+/// value `2^127` is one past the representable range.
 #[inline]
-pub fn lcm(a: Int, b: Int) -> Int {
+pub fn lcm(a: Int, b: Int) -> Result<Int, InlError> {
     if a == 0 || b == 0 {
-        0
-    } else {
-        (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+        return Ok(0);
     }
+    (a / gcd(a, b))
+        .checked_mul(b)
+        .and_then(Int::checked_abs)
+        .ok_or_else(|| InlError::overflow("lcm"))
 }
 
 /// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`,
 /// `g >= 0`.
+///
+/// `Int::MIN` inputs are handled whenever the gcd itself is representable
+/// (e.g. `ext_gcd(Int::MIN, 3)`); the unrepresentable gcd-of-`2^127`
+/// corner degrades like [`gcd`], returning `(1, 0, 0)` with no valid
+/// Bézout identity — callers that divide by the gcd skip the reduction.
 pub fn ext_gcd(a: Int, b: Int) -> (Int, Int, Int) {
     if b == 0 {
-        if a < 0 {
-            (-a, -1, 0)
-        } else {
-            (a, 1, 0)
+        match a.checked_abs() {
+            Some(g) => {
+                if a < 0 {
+                    (g, -1, 0)
+                } else {
+                    (g, 1, 0)
+                }
+            }
+            // a == Int::MIN: gcd 2^127 unrepresentable, same corner as `gcd`.
+            None => (1, 0, 0),
         }
     } else {
         let (g, x, y) = ext_gcd(b, a % b);
@@ -151,10 +181,54 @@ mod tests {
 
     #[test]
     fn lcm_basic() {
-        assert_eq!(lcm(4, 6), 12);
-        assert_eq!(lcm(-4, 6), 12);
-        assert_eq!(lcm(0, 6), 0);
-        assert_eq!(lcm(7, 7), 7);
+        assert_eq!(lcm(4, 6), Ok(12));
+        assert_eq!(lcm(-4, 6), Ok(12));
+        assert_eq!(lcm(0, 6), Ok(0));
+        assert_eq!(lcm(7, 7), Ok(7));
+    }
+
+    #[test]
+    fn gcd_min_edges() {
+        // |Int::MIN| is not representable, but every gcd against MIN with a
+        // representable result must be exact.
+        assert_eq!(gcd(Int::MIN, 1), 1);
+        assert_eq!(gcd(1, Int::MIN), 1);
+        assert_eq!(gcd(Int::MIN, 2), 2);
+        assert_eq!(gcd(Int::MIN, 3), 1);
+        assert_eq!(gcd(Int::MIN, Int::MAX), 1);
+        assert_eq!(gcd(Int::MIN, 1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn lcm_min_edges() {
+        // lcm(MIN, 1) = 2^127 is one past Int::MAX: typed overflow, not a
+        // wrapped `.abs()`.
+        assert_eq!(lcm(Int::MIN, 1).unwrap_err().kind(), InlErrorKind::Overflow);
+        assert_eq!(lcm(1, Int::MIN).unwrap_err().kind(), InlErrorKind::Overflow);
+        assert_eq!(
+            lcm(Int::MIN, Int::MIN).unwrap_err().kind(),
+            InlErrorKind::Overflow
+        );
+        assert_eq!(lcm(Int::MIN, 0), Ok(0));
+        assert_eq!(lcm(Int::MAX, Int::MAX), Ok(Int::MAX));
+        assert_eq!(lcm(Int::MIN / 2, 2), Ok(Int::MIN / -2));
+        assert_eq!(
+            lcm(Int::MIN / 2, 3).unwrap_err().kind(),
+            InlErrorKind::Overflow
+        );
+    }
+
+    #[test]
+    fn ext_gcd_min_edges() {
+        for b in [1, 2, 3, 5, Int::MAX] {
+            let (g, x, y) = ext_gcd(Int::MIN, b);
+            assert_eq!(g, gcd(Int::MIN, b), "gcd mismatch for (MIN,{b})");
+            assert_eq!(
+                Int::MIN.wrapping_mul(x).wrapping_add(b.wrapping_mul(y)),
+                g,
+                "bezout identity fails for (MIN,{b})"
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! all [`IMat`]s. Entries are [`Int`] (`i128`); elimination routines that
 //! need fractions live in [`crate::gauss`].
 
-use crate::{IVec, Int};
+use crate::{IVec, InlError, Int};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -130,20 +130,42 @@ impl IMat {
         self.rows += 1;
     }
 
-    /// Matrix × vector.
+    /// Matrix × vector; convenience wrapper over
+    /// [`IMat::checked_mul_vec`] for trusted (small-entry) inputs.
     ///
     /// # Panics
-    /// If `v.len() != ncols`.
+    /// If `v.len() != ncols` or the product overflows; fallible paths use
+    /// [`IMat::checked_mul_vec`].
     pub fn mul_vec(&self, v: &IVec) -> IVec {
-        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
-        (0..self.rows).map(|i| self.row(i).dot(v)).collect()
+        self.checked_mul_vec(v)
+            .expect("mul_vec overflow: fallible paths use checked_mul_vec")
     }
 
-    /// Matrix × matrix.
+    /// Overflow-checked matrix × vector.
     ///
     /// # Panics
-    /// If inner dimensions disagree.
+    /// If `v.len() != ncols` (an arity mismatch is a programming error).
+    pub fn checked_mul_vec(&self, v: &IVec) -> Result<IVec, InlError> {
+        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
+        (0..self.rows).map(|i| self.row(i).checked_dot(v)).collect()
+    }
+
+    /// Matrix × matrix; convenience wrapper over [`IMat::checked_mul`] for
+    /// trusted (small-entry) inputs.
+    ///
+    /// # Panics
+    /// If inner dimensions disagree or the product overflows; fallible
+    /// paths use [`IMat::checked_mul`].
     pub fn mul(&self, rhs: &IMat) -> IMat {
+        self.checked_mul(rhs)
+            .expect("matmul overflow: fallible paths use checked_mul")
+    }
+
+    /// Overflow-checked matrix × matrix.
+    ///
+    /// # Panics
+    /// If inner dimensions disagree (a programming error).
+    pub fn checked_mul(&self, rhs: &IMat) -> Result<IMat, InlError> {
         assert_eq!(self.cols, rhs.rows, "mul: dimension mismatch");
         let mut out = IMat::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
@@ -153,12 +175,14 @@ impl IMat {
                     continue;
                 }
                 for j in 0..rhs.cols {
-                    let prod = a.checked_mul(rhs[(k, j)]).expect("matmul overflow");
-                    out[(i, j)] = out[(i, j)].checked_add(prod).expect("matmul overflow");
+                    out[(i, j)] = a
+                        .checked_mul(rhs[(k, j)])
+                        .and_then(|prod| out[(i, j)].checked_add(prod))
+                        .ok_or_else(|| InlError::overflow("matrix multiply"))?;
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Transpose.
@@ -171,22 +195,46 @@ impl IMat {
         IMat::from_fn(rows.len(), cols.len(), |i, j| self[(rows[i], cols[j])])
     }
 
-    /// Determinant via fraction-free (Bareiss) elimination.
+    /// Determinant via fraction-free (Bareiss) elimination; convenience
+    /// wrapper over [`IMat::checked_det`] for trusted (small-entry) inputs.
     ///
     /// # Panics
-    /// If the matrix is not square.
+    /// If the matrix is not square, or on overflow; fallible paths use
+    /// [`IMat::checked_det`].
     pub fn det(&self) -> Int {
-        crate::gauss::det(self)
+        self.checked_det()
+            .expect("determinant overflow: fallible paths use checked_det")
     }
 
-    /// Rank over the rationals.
+    /// Overflow-checked determinant.
+    ///
+    /// # Panics
+    /// If the matrix is not square (a programming error).
+    pub fn checked_det(&self) -> Result<Int, InlError> {
+        crate::gauss::checked_det(self)
+    }
+
+    /// Rank over the rationals; convenience wrapper over
+    /// [`IMat::checked_rank`] for trusted (small-entry) inputs.
+    ///
+    /// # Panics
+    /// On overflow; fallible paths use [`IMat::checked_rank`].
     pub fn rank(&self) -> usize {
-        crate::gauss::rank(self)
+        self.checked_rank()
+            .expect("rank overflow: fallible paths use checked_rank")
+    }
+
+    /// Overflow-checked rank over the rationals.
+    pub fn checked_rank(&self) -> Result<usize, InlError> {
+        crate::gauss::checked_rank(self)
     }
 
     /// True iff square with determinant ±1.
+    ///
+    /// Panic-free: a determinant whose computation overflows cannot be
+    /// proven unimodular, so the answer is conservatively `false`.
     pub fn is_unimodular(&self) -> bool {
-        self.is_square() && self.det().abs() == 1
+        self.is_square() && matches!(self.checked_det(), Ok(1) | Ok(-1))
     }
 
     /// True iff this is a permutation matrix.

@@ -5,7 +5,7 @@
 //! pivoting, and the per-statement transformation algebra. The denominator is
 //! kept positive and the fraction fully reduced, so equality is structural.
 
-use crate::{gcd, Int};
+use crate::{gcd, InlError, InlErrorKind, Int};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
@@ -97,18 +97,89 @@ impl Rational {
     }
 
     /// Absolute value.
+    ///
+    /// # Panics
+    /// In debug builds if the numerator is `Int::MIN` (magnitude `2^127`
+    /// unrepresentable); boundary validation keeps such values out of the
+    /// pipeline. Use [`Ord`] for magnitude comparisons instead — it never
+    /// overflows.
     pub fn abs(&self) -> Self {
+        debug_assert!(self.num != Int::MIN, "rational abs overflow");
         Rational {
-            num: self.num.abs(),
+            num: self.num.wrapping_abs(),
             den: self.den,
         }
     }
 
-    fn checked(num: Option<Int>, den: Option<Int>) -> Self {
-        Rational::new(
-            num.expect("rational numerator overflow"),
-            den.expect("rational denominator overflow"),
-        )
+    /// Construct `num / den` like [`Rational::new`], but report a typed
+    /// [`InlErrorKind::IllFormed`] error on a zero denominator instead of
+    /// panicking.
+    pub fn checked_new(num: Int, den: Int) -> Result<Self, InlError> {
+        if den == 0 {
+            return Err(InlError::new(
+                InlErrorKind::IllFormed,
+                "rational with zero denominator",
+            ));
+        }
+        Ok(Rational::new(num, den))
+    }
+
+    /// Overflow-checked addition; the fallible counterpart of `+`.
+    pub fn checked_add(self, rhs: Rational) -> Result<Rational, InlError> {
+        let num = self
+            .num
+            .checked_mul(rhs.den)
+            .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .ok_or_else(|| InlError::overflow("rational add"))?;
+        let den = self
+            .den
+            .checked_mul(rhs.den)
+            .ok_or_else(|| InlError::overflow("rational add"))?;
+        Ok(Rational::new(num, den))
+    }
+
+    /// Overflow-checked subtraction; the fallible counterpart of `-`.
+    pub fn checked_sub(self, rhs: Rational) -> Result<Rational, InlError> {
+        self.checked_add(rhs.checked_neg()?)
+    }
+
+    /// Overflow-checked multiplication; the fallible counterpart of `*`.
+    pub fn checked_mul(self, rhs: Rational) -> Result<Rational, InlError> {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .ok_or_else(|| InlError::overflow("rational mul"))?;
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .ok_or_else(|| InlError::overflow("rational mul"))?;
+        Ok(Rational::new(num, den))
+    }
+
+    /// Overflow-checked division. Fails with [`InlErrorKind::IllFormed`] on
+    /// division by zero, [`InlErrorKind::Overflow`] on range exhaustion.
+    pub fn checked_div(self, rhs: Rational) -> Result<Rational, InlError> {
+        if rhs.num == 0 {
+            return Err(InlError::new(
+                InlErrorKind::IllFormed,
+                "rational division by zero",
+            ));
+        }
+        if rhs.num == Int::MIN {
+            // recip would need den = |MIN|.
+            return Err(InlError::overflow("rational div"));
+        }
+        self.checked_mul(rhs.recip())
+    }
+
+    /// Overflow-checked negation (fails only on a numerator of `Int::MIN`).
+    pub fn checked_neg(self) -> Result<Rational, InlError> {
+        let num = self
+            .num
+            .checked_neg()
+            .ok_or_else(|| InlError::overflow("rational neg"))?;
+        Ok(Rational { num, den: self.den })
     }
 }
 
@@ -127,11 +198,8 @@ impl From<Int> for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Rational) -> Rational {
-        let num = self
-            .num
-            .checked_mul(rhs.den)
-            .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)));
-        Rational::checked(num, self.den.checked_mul(rhs.den))
+        self.checked_add(rhs)
+            .expect("rational add overflow: fallible paths use checked_add")
     }
 }
 
@@ -151,13 +219,8 @@ impl Sub for Rational {
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
-        // Cross-reduce first to keep intermediates small.
-        let g1 = gcd(self.num, rhs.den).max(1);
-        let g2 = gcd(rhs.num, self.den).max(1);
-        Rational::checked(
-            (self.num / g1).checked_mul(rhs.num / g2),
-            (self.den / g2).checked_mul(rhs.den / g1),
-        )
+        self.checked_mul(rhs)
+            .expect("rational mul overflow: fallible paths use checked_mul")
     }
 }
 
@@ -172,10 +235,8 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational {
-            num: -self.num,
-            den: self.den,
-        }
+        self.checked_neg()
+            .expect("rational neg overflow: fallible paths use checked_neg")
     }
 }
 
@@ -186,17 +247,52 @@ impl PartialOrd for Rational {
 }
 
 impl Ord for Rational {
+    /// Total order, overflow-immune for every representable pair.
+    ///
+    /// Naive cross-multiplication `num·den'` exceeds `i128` for large but
+    /// perfectly comparable values, so magnitudes are compared by
+    /// continued-fraction descent instead: compare integer parts, and when
+    /// they tie, compare the reciprocal remainder fractions with the order
+    /// flipped (Euclid's algorithm on the two fractions in lock-step). No
+    /// intermediate ever exceeds the inputs.
     fn cmp(&self, other: &Self) -> Ordering {
-        // Denominators are positive, so cross-multiplication preserves order.
-        let lhs = self
-            .num
-            .checked_mul(other.den)
-            .expect("rational cmp overflow");
-        let rhs = other
-            .num
-            .checked_mul(self.den)
-            .expect("rational cmp overflow");
-        lhs.cmp(&rhs)
+        let (ls, rs) = (self.num.signum(), other.num.signum());
+        if ls != rs {
+            return ls.cmp(&rs);
+        }
+        if ls == 0 {
+            return Ordering::Equal;
+        }
+        let mag = cmp_pos_frac(
+            self.num.unsigned_abs(),
+            self.den.unsigned_abs(),
+            other.num.unsigned_abs(),
+            other.den.unsigned_abs(),
+        );
+        if ls > 0 {
+            mag
+        } else {
+            mag.reverse()
+        }
+    }
+}
+
+/// Compare `a/b` with `c/d` for positive `a, b, c, d` without widening.
+fn cmp_pos_frac(mut a: u128, mut b: u128, mut c: u128, mut d: u128) -> Ordering {
+    loop {
+        let (q1, r1) = (a / b, a % b);
+        let (q2, r2) = (c / d, c % d);
+        if q1 != q2 {
+            return q1.cmp(&q2);
+        }
+        match (r1 == 0, r2 == 0) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            // a/b = q + r1/b and c/d = q + r2/d: the comparison reduces to
+            // r1/b vs r2/d, i.e. d/r2 vs b/r1 with the order flipped.
+            (false, false) => (a, b, c, d) = (d, r2, b, r1),
+        }
     }
 }
 
@@ -250,6 +346,87 @@ mod tests {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
         assert!(Rational::new(2, 4) == Rational::new(1, 2));
+    }
+
+    #[test]
+    fn cmp_large_values_no_overflow() {
+        // Cross-multiplication of these overflows i128; the
+        // continued-fraction comparison must still order them correctly.
+        let a = Rational::new(Int::MAX, 2);
+        let b = Rational::new(Int::MAX - 1, 2);
+        assert!(b < a);
+        assert!(a > b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+
+        let c = Rational::new(Int::MAX, 3);
+        assert!(c < a, "MAX/3 < MAX/2");
+
+        let d = Rational::new(-(Int::MAX), 2);
+        let e = Rational::new(-(Int::MAX - 1), 2);
+        assert!(d < e, "more negative is smaller");
+
+        // Mixed signs and zero never even reach magnitude comparison.
+        assert!(d < Rational::ZERO);
+        assert!(Rational::ZERO < a);
+        assert!(d < c);
+
+        // Huge numerators against huge denominators.
+        let f = Rational::new(Int::MAX, Int::MAX - 2);
+        let g = Rational::new(Int::MAX - 1, Int::MAX - 2);
+        assert!(g < f);
+        assert!(f > Rational::ONE && g > Rational::ONE);
+
+        // MIN numerator (reduced) participates safely.
+        let h = Rational::new(Int::MIN, 2);
+        let i = Rational::new(Int::MIN / 2 + 1, 1);
+        assert!(h < i);
+    }
+
+    #[test]
+    fn cmp_agrees_with_cross_multiplication_when_small() {
+        let vals: Vec<Rational> = [-7, -3, -1, 0, 1, 2, 5]
+            .iter()
+            .flat_map(|&n| [1, 2, 3, 7].iter().map(move |&d| Rational::new(n, d)))
+            .collect();
+        for x in &vals {
+            for y in &vals {
+                let expect = (x.num() * y.den()).cmp(&(y.num() * x.den()));
+                assert_eq!(x.cmp(y), expect, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn checked_arithmetic_reports_overflow() {
+        let big = Rational::new(Int::MAX, 1);
+        assert_eq!(
+            big.checked_add(big).unwrap_err().kind(),
+            crate::InlErrorKind::Overflow
+        );
+        assert_eq!(
+            big.checked_mul(big).unwrap_err().kind(),
+            crate::InlErrorKind::Overflow
+        );
+        assert_eq!(
+            Rational::new(Int::MIN, 1).checked_neg().unwrap_err().kind(),
+            crate::InlErrorKind::Overflow
+        );
+        assert_eq!(
+            Rational::ONE
+                .checked_div(Rational::ZERO)
+                .unwrap_err()
+                .kind(),
+            crate::InlErrorKind::IllFormed
+        );
+        assert_eq!(
+            Rational::checked_new(1, 0).unwrap_err().kind(),
+            crate::InlErrorKind::IllFormed
+        );
+        assert_eq!(Rational::checked_new(6, -4), Ok(Rational::new(-3, 2)));
+        assert_eq!(
+            Rational::new(1, 2).checked_sub(Rational::new(1, 3)),
+            Ok(Rational::new(1, 6))
+        );
     }
 
     #[test]

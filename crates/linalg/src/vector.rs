@@ -2,7 +2,7 @@
 //!
 //! Instance vectors, dependence vectors and matrix rows are all [`IVec`]s.
 
-use crate::{gcd, Int};
+use crate::{gcd, InlError, Int};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
@@ -58,17 +58,32 @@ impl IVec {
         self.0.iter().all(|&x| x == 0)
     }
 
-    /// Dot product.
+    /// Dot product; convenience wrapper over [`IVec::checked_dot`] for
+    /// trusted (small-entry) inputs.
     ///
     /// # Panics
-    /// If lengths differ.
+    /// If lengths differ or the product overflows; fallible paths use
+    /// [`IVec::checked_dot`].
     pub fn dot(&self, other: &IVec) -> Int {
+        self.checked_dot(other)
+            .expect("dot overflow: fallible paths use checked_dot")
+    }
+
+    /// Overflow-checked dot product.
+    ///
+    /// # Panics
+    /// If lengths differ (an arity mismatch is a programming error, not an
+    /// input condition).
+    pub fn checked_dot(&self, other: &IVec) -> Result<Int, InlError> {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
-        self.0
-            .iter()
-            .zip(&other.0)
-            .map(|(&a, &b)| a.checked_mul(b).expect("dot overflow"))
-            .fold(0, |acc, x| acc.checked_add(x).expect("dot overflow"))
+        let mut acc: Int = 0;
+        for (&a, &b) in self.0.iter().zip(&other.0) {
+            acc = a
+                .checked_mul(b)
+                .and_then(|x| acc.checked_add(x))
+                .ok_or_else(|| InlError::overflow("dot product"))?;
+        }
+        Ok(acc)
     }
 
     /// Index of the first non-zero entry ("height" in the paper's
@@ -105,14 +120,26 @@ impl IVec {
         IVec(v)
     }
 
-    /// Scale by a constant.
+    /// Scale by a constant; convenience wrapper over
+    /// [`IVec::checked_scale`] for trusted (small-entry) inputs.
+    ///
+    /// # Panics
+    /// On overflow; fallible paths use [`IVec::checked_scale`].
     pub fn scale(&self, k: Int) -> IVec {
-        IVec(
-            self.0
-                .iter()
-                .map(|&x| x.checked_mul(k).expect("scale overflow"))
-                .collect(),
-        )
+        self.checked_scale(k)
+            .expect("scale overflow: fallible paths use checked_scale")
+    }
+
+    /// Overflow-checked scaling by a constant.
+    pub fn checked_scale(&self, k: Int) -> Result<IVec, InlError> {
+        self.0
+            .iter()
+            .map(|&x| {
+                x.checked_mul(k)
+                    .ok_or_else(|| InlError::overflow("vector scale"))
+            })
+            .collect::<Result<Vec<Int>, InlError>>()
+            .map(IVec)
     }
 }
 

@@ -103,7 +103,7 @@ fn quickstart_pipeline_fires_every_stage_family() {
 
     let p = zoo::simple_cholesky();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let loops: Vec<_> = p.loops().collect();
     let m = Transform::compose(
         &p,
@@ -117,7 +117,9 @@ fn quickstart_pipeline_fires_every_stage_family() {
         ],
     )
     .unwrap();
-    assert!(check_legal(&p, &layout, &deps, &m).is_legal());
+    assert!(check_legal(&p, &layout, &deps, &m)
+        .expect("legality")
+        .is_legal());
     let result = generate(&p, &layout, &deps, &m).expect("codegen");
     let mut machine = Machine::new(&result.program, &[8], &|_, _| 4.0);
     Interpreter::new(&result.program).run(&mut machine);

@@ -7,7 +7,7 @@
 //! forms), in the manner of Ancourt & Irigoin's polyhedron scanning.
 
 use crate::{fm, LinExpr, System};
-use inl_linalg::Int;
+use inl_linalg::{InlError, Int};
 
 /// One bound term: the affine expression `expr` (over the full variable
 /// space, but only mentioning variables legal at this loop level) divided by
@@ -34,19 +34,45 @@ impl VarBounds {
     /// Evaluate the lower bound at a point (entries for outer vars/params
     /// must be filled in; the rest are ignored by construction).
     /// `None` if unbounded below.
+    ///
+    /// # Panics
+    /// On evaluation overflow; fallible paths use
+    /// [`VarBounds::checked_eval_lower`].
     pub fn eval_lower(&self, point: &[Int]) -> Option<Int> {
-        self.lowers
-            .iter()
-            .map(|b| inl_linalg::ceil_div(b.expr.eval(point), b.div))
-            .max()
+        self.checked_eval_lower(point)
+            .expect("bound eval overflow: fallible paths use checked_eval_lower")
+    }
+
+    /// Overflow-checked lower-bound evaluation; `Ok(None)` if unbounded
+    /// below.
+    pub fn checked_eval_lower(&self, point: &[Int]) -> Result<Option<Int>, InlError> {
+        let mut best: Option<Int> = None;
+        for b in &self.lowers {
+            let v = inl_linalg::ceil_div(b.expr.checked_eval(point)?, b.div);
+            best = Some(best.map_or(v, |x| x.max(v)));
+        }
+        Ok(best)
     }
 
     /// Evaluate the upper bound at a point. `None` if unbounded above.
+    ///
+    /// # Panics
+    /// On evaluation overflow; fallible paths use
+    /// [`VarBounds::checked_eval_upper`].
     pub fn eval_upper(&self, point: &[Int]) -> Option<Int> {
-        self.uppers
-            .iter()
-            .map(|b| inl_linalg::floor_div(b.expr.eval(point), b.div))
-            .min()
+        self.checked_eval_upper(point)
+            .expect("bound eval overflow: fallible paths use checked_eval_upper")
+    }
+
+    /// Overflow-checked upper-bound evaluation; `Ok(None)` if unbounded
+    /// above.
+    pub fn checked_eval_upper(&self, point: &[Int]) -> Result<Option<Int>, InlError> {
+        let mut best: Option<Int> = None;
+        for b in &self.uppers {
+            let v = inl_linalg::floor_div(b.expr.checked_eval(point)?, b.div);
+            best = Some(best.map_or(v, |x| x.min(v)));
+        }
+        Ok(best)
     }
 }
 
@@ -64,14 +90,14 @@ impl VarBounds {
 /// statements still need their membership guards unless the elimination was
 /// exact — which it is for the unimodular transforms that dominate in
 /// practice.
-pub fn scan_bounds(sys: &System, order: &[usize]) -> Vec<VarBounds> {
+pub fn scan_bounds(sys: &System, order: &[usize]) -> Result<Vec<VarBounds>, InlError> {
     let mut cur = sys.clone();
     let mut out: Vec<VarBounds> = vec![VarBounds::default(); order.len()];
     for k in (0..order.len()).rev() {
         let var = order[k];
         let inner: std::collections::HashSet<usize> = order[k + 1..].iter().copied().collect();
         let mut vb = VarBounds::default();
-        for e in cur.to_ineqs() {
+        for e in cur.checked_to_ineqs()? {
             let a = e.coeff(var);
             if a == 0 {
                 continue;
@@ -86,24 +112,26 @@ pub fn scan_bounds(sys: &System, order: &[usize]) -> Vec<VarBounds> {
             if a > 0 {
                 // x ≥ ceil(-rest / a)
                 vb.lowers.push(BoundTerm {
-                    expr: -rest,
+                    expr: rest.checked_neg()?,
                     div: a,
                 });
             } else {
                 // x ≤ floor(rest / -a)
                 vb.uppers.push(BoundTerm {
                     expr: rest,
-                    div: -a,
+                    div: a
+                        .checked_neg()
+                        .ok_or_else(|| InlError::overflow("bound divisor"))?,
                 });
             }
         }
         dedup_terms(&mut vb.lowers);
         dedup_terms(&mut vb.uppers);
         out[k] = vb;
-        let (next, _exact) = fm::eliminate(&cur, var);
+        let (next, _exact) = fm::eliminate(&cur, var)?;
         cur = next;
     }
-    out
+    Ok(out)
 }
 
 fn dedup_terms(terms: &mut Vec<BoundTerm>) {
@@ -126,6 +154,9 @@ mod tests {
     fn k(n: usize, c: Int) -> LinExpr {
         LinExpr::constant(n, c)
     }
+    fn scan_bounds_ok(sys: &System, order: &[usize]) -> Vec<VarBounds> {
+        scan_bounds(sys, order).expect("small systems cannot overflow")
+    }
 
     #[test]
     fn rectangular() {
@@ -136,7 +167,7 @@ mod tests {
         s.add_ge(v(n, 0) - v(n, 1));
         s.add_ge(v(n, 2) - k(n, 1));
         s.add_ge(v(n, 0) - v(n, 2));
-        let b = scan_bounds(&s, &[1, 2]);
+        let b = scan_bounds_ok(&s, &[1, 2]);
         // i: 1 <= i <= N
         assert_eq!(b[0].eval_lower(&[10, 0, 0]), Some(1));
         assert_eq!(b[0].eval_upper(&[10, 0, 0]), Some(10));
@@ -154,7 +185,7 @@ mod tests {
         s.add_ge(v(n, 0) - v(n, 1));
         s.add_ge(v(n, 2) - v(n, 1) - k(n, 1));
         s.add_ge(v(n, 0) - v(n, 2));
-        let b = scan_bounds(&s, &[1, 2]);
+        let b = scan_bounds_ok(&s, &[1, 2]);
         // outer i: 1 <= i <= N - 1 (from i + 1 <= j <= N after elimination)
         assert_eq!(b[0].eval_lower(&[10, 0, 0]), Some(1));
         assert_eq!(b[0].eval_upper(&[10, 0, 0]), Some(9));
@@ -172,7 +203,7 @@ mod tests {
         s.add_ge(v(n, 0) - v(n, 1));
         s.add_ge(v(n, 2) - v(n, 1) - k(n, 1));
         s.add_ge(v(n, 0) - v(n, 2));
-        let b = scan_bounds(&s, &[2, 1]);
+        let b = scan_bounds_ok(&s, &[2, 1]);
         assert_eq!(b[0].eval_lower(&[10, 0, 0]), Some(2));
         assert_eq!(b[0].eval_upper(&[10, 0, 0]), Some(10));
         // at j = 7: 1 <= i <= 6
@@ -187,7 +218,7 @@ mod tests {
         let mut s = System::new(n);
         s.add_ge(v(n, 1) * 2);
         s.add_ge(v(n, 0) - v(n, 1) * 2);
-        let b = scan_bounds(&s, &[1]);
+        let b = scan_bounds_ok(&s, &[1]);
         assert_eq!(b[0].eval_lower(&[7, 0]), Some(0));
         assert_eq!(b[0].eval_upper(&[7, 0]), Some(3));
         // note: add_ge tightening already divides 2i >= 0 by 2, but the
@@ -205,7 +236,7 @@ mod tests {
         s.add_ge(v(n, 0) - v(n, 1));
         s.add_ge(v(n, 2) - v(n, 1) - k(n, 1));
         s.add_ge(v(n, 0) - v(n, 2));
-        let b = scan_bounds(&s, &[1, 2]);
+        let b = scan_bounds_ok(&s, &[1, 2]);
         let nval = 6;
         let mut scanned = Vec::new();
         let mut pt = [nval, 0, 0];

@@ -26,7 +26,7 @@
 
 use crate::fm::Feasibility;
 use crate::System;
-use inl_linalg::Int;
+use inl_linalg::{InlError, Int};
 use inl_obs::counter_add;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -48,12 +48,15 @@ pub(crate) enum Query {
     VarBounds(usize),
 }
 
-/// The memoized answer for a [`Query`].
+/// The memoized answer for a [`Query`]. Fallible queries cache the whole
+/// `Result`: an overflow or budget error is a deterministic function of
+/// the canonical system, so re-asking must re-fail identically (and
+/// cheaply).
 #[derive(Clone)]
 pub(crate) enum Answer {
-    Project(System, bool),
+    Project(Result<(System, bool), InlError>),
     Feasibility(Feasibility),
-    VarBounds(Option<Int>, Option<Int>),
+    VarBounds(Result<(Option<Int>, Option<Int>), InlError>),
 }
 
 /// Monotonic counters describing cache behaviour since process start (or
@@ -219,9 +222,9 @@ mod tests {
         clear();
         reset_stats();
         let s = interval(3, 17);
-        assert_eq!(var_bounds(&s, 0), (Some(3), Some(17)));
+        assert_eq!(var_bounds(&s, 0), Ok((Some(3), Some(17))));
         let before = stats();
-        assert_eq!(var_bounds(&s, 0), (Some(3), Some(17)));
+        assert_eq!(var_bounds(&s, 0), Ok((Some(3), Some(17))));
         let after = stats();
         assert_eq!(after.hits, before.hits + 1);
         assert_eq!(after.misses, before.misses);

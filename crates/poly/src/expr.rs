@@ -1,6 +1,6 @@
 //! Linear expressions over indexed variables.
 
-use inl_linalg::{gcd, IVec, Int};
+use inl_linalg::{gcd, IVec, InlError, Int};
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
@@ -101,21 +101,51 @@ impl LinExpr {
         self.coeffs.iter().fold(0, |acc, &c| gcd(acc, c))
     }
 
-    /// Evaluate at a point (must supply all variables).
+    /// Evaluate at a point (must supply all variables); convenience wrapper
+    /// over [`LinExpr::checked_eval`] for trusted (small-entry) inputs.
+    ///
+    /// # Panics
+    /// On overflow; fallible paths use [`LinExpr::checked_eval`].
     pub fn eval(&self, point: &[Int]) -> Int {
-        assert_eq!(point.len(), self.coeffs.len(), "eval: wrong arity");
-        self.coeffs
-            .iter()
-            .zip(point)
-            .map(|(&c, &x)| c.checked_mul(x).expect("eval overflow"))
-            .fold(self.constant, |acc, t| {
-                acc.checked_add(t).expect("eval overflow")
-            })
+        self.checked_eval(point)
+            .expect("eval overflow: fallible paths use checked_eval")
     }
 
-    /// Substitute variable `i` with expression `e` (which must live in the
-    /// same variable space and have zero coefficient on `i` itself).
+    /// Overflow-checked evaluation at a point.
+    ///
+    /// # Panics
+    /// If `point` does not supply all variables (an arity mismatch is a
+    /// programming error, not an input condition).
+    pub fn checked_eval(&self, point: &[Int]) -> Result<Int, InlError> {
+        assert_eq!(point.len(), self.coeffs.len(), "eval: wrong arity");
+        let mut acc = self.constant;
+        for (&c, &x) in self.coeffs.iter().zip(point) {
+            acc = c
+                .checked_mul(x)
+                .and_then(|t| acc.checked_add(t))
+                .ok_or_else(|| InlError::overflow("linear expression evaluation"))?;
+        }
+        Ok(acc)
+    }
+
+    /// Substitute variable `i` with expression `e`; convenience wrapper
+    /// over [`LinExpr::checked_substitute`] for trusted inputs.
+    ///
+    /// # Panics
+    /// On overflow; fallible paths use [`LinExpr::checked_substitute`].
     pub fn substitute(&self, i: usize, e: &LinExpr) -> LinExpr {
+        self.checked_substitute(i, e)
+            .expect("substitute overflow: fallible paths use checked_substitute")
+    }
+
+    /// Overflow-checked substitution of variable `i` with expression `e`
+    /// (which must live in the same variable space and have zero
+    /// coefficient on `i` itself).
+    ///
+    /// # Panics
+    /// On arity mismatch or a self-referential replacement (programming
+    /// errors, not input conditions).
+    pub fn checked_substitute(&self, i: usize, e: &LinExpr) -> Result<LinExpr, InlError> {
         assert_eq!(self.nvars(), e.nvars(), "substitute: arity mismatch");
         assert_eq!(
             e.coeff(i),
@@ -124,15 +154,78 @@ impl LinExpr {
         );
         let c = self.coeffs[i];
         if c == 0 {
-            return self.clone();
+            return Ok(self.clone());
         }
+        let err = || InlError::overflow("substitution");
         let mut out = self.clone();
         out.coeffs[i] = 0;
         for j in 0..out.coeffs.len() {
-            out.coeffs[j] += c * e.coeffs[j];
+            out.coeffs[j] = c
+                .checked_mul(e.coeffs[j])
+                .and_then(|t| out.coeffs[j].checked_add(t))
+                .ok_or_else(err)?;
         }
-        out.constant += c * e.constant;
-        out
+        out.constant = c
+            .checked_mul(e.constant)
+            .and_then(|t| out.constant.checked_add(t))
+            .ok_or_else(err)?;
+        Ok(out)
+    }
+
+    /// Overflow-checked addition.
+    pub fn checked_add(&self, rhs: &LinExpr) -> Result<LinExpr, InlError> {
+        assert_eq!(self.nvars(), rhs.nvars(), "add: arity mismatch");
+        let err = || InlError::overflow("linear expression addition");
+        Ok(LinExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| a.checked_add(b).ok_or_else(err))
+                .collect::<Result<_, _>>()?,
+            constant: self.constant.checked_add(rhs.constant).ok_or_else(err)?,
+        })
+    }
+
+    /// Overflow-checked subtraction.
+    pub fn checked_sub(&self, rhs: &LinExpr) -> Result<LinExpr, InlError> {
+        assert_eq!(self.nvars(), rhs.nvars(), "sub: arity mismatch");
+        let err = || InlError::overflow("linear expression subtraction");
+        Ok(LinExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| a.checked_sub(b).ok_or_else(err))
+                .collect::<Result<_, _>>()?,
+            constant: self.constant.checked_sub(rhs.constant).ok_or_else(err)?,
+        })
+    }
+
+    /// Overflow-checked negation.
+    pub fn checked_neg(&self) -> Result<LinExpr, InlError> {
+        let err = || InlError::overflow("linear expression negation");
+        Ok(LinExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| a.checked_neg().ok_or_else(err))
+                .collect::<Result<_, _>>()?,
+            constant: self.constant.checked_neg().ok_or_else(err)?,
+        })
+    }
+
+    /// Overflow-checked scaling by a constant.
+    pub fn checked_scale(&self, k: Int) -> Result<LinExpr, InlError> {
+        let err = || InlError::overflow("linear expression scaling");
+        Ok(LinExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| a.checked_mul(k).ok_or_else(err))
+                .collect::<Result<_, _>>()?,
+            constant: self.constant.checked_mul(k).ok_or_else(err)?,
+        })
     }
 
     /// Extend the variable space to `n` variables (new variables have
@@ -241,52 +334,32 @@ impl fmt::Debug for LinExpr {
 impl Add for LinExpr {
     type Output = LinExpr;
     fn add(self, rhs: LinExpr) -> LinExpr {
-        assert_eq!(self.nvars(), rhs.nvars(), "add: arity mismatch");
-        LinExpr {
-            coeffs: self
-                .coeffs
-                .iter()
-                .zip(&rhs.coeffs)
-                .map(|(&a, &b)| a + b)
-                .collect(),
-            constant: self.constant + rhs.constant,
-        }
+        self.checked_add(&rhs)
+            .expect("add overflow: fallible paths use checked_add")
     }
 }
 
 impl Sub for LinExpr {
     type Output = LinExpr;
     fn sub(self, rhs: LinExpr) -> LinExpr {
-        assert_eq!(self.nvars(), rhs.nvars(), "sub: arity mismatch");
-        LinExpr {
-            coeffs: self
-                .coeffs
-                .iter()
-                .zip(&rhs.coeffs)
-                .map(|(&a, &b)| a - b)
-                .collect(),
-            constant: self.constant - rhs.constant,
-        }
+        self.checked_sub(&rhs)
+            .expect("sub overflow: fallible paths use checked_sub")
     }
 }
 
 impl Neg for LinExpr {
     type Output = LinExpr;
     fn neg(self) -> LinExpr {
-        LinExpr {
-            coeffs: self.coeffs.iter().map(|&a| -a).collect(),
-            constant: -self.constant,
-        }
+        self.checked_neg()
+            .expect("neg overflow: fallible paths use checked_neg")
     }
 }
 
 impl Mul<Int> for LinExpr {
     type Output = LinExpr;
     fn mul(self, k: Int) -> LinExpr {
-        LinExpr {
-            coeffs: self.coeffs.iter().map(|&a| a * k).collect(),
-            constant: self.constant * k,
-        }
+        self.checked_scale(k)
+            .expect("mul overflow: fallible paths use checked_scale")
     }
 }
 

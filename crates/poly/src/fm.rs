@@ -25,7 +25,7 @@
 
 use crate::cache::{self, Answer, Query};
 use crate::{LinExpr, System};
-use inl_linalg::Int;
+use inl_linalg::{gcd, InlError, InlErrorKind, Int};
 
 /// Outcome of the integer feasibility test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,43 +41,46 @@ pub enum Feasibility {
 }
 
 /// Safety valve: beyond this many inequalities, elimination bails out
-/// (treated as `Unknown` by feasibility, and as a panic by projection,
-/// since loop nests never get near it).
+/// (treated as `Unknown` by feasibility, and as a typed
+/// [`InlErrorKind::Budget`] error by projection, since loop nests never
+/// get near it).
 const MAX_INEQS: usize = 20_000;
 
 /// Eliminate variable `var` by Fourier–Motzkin. Returns the resulting
 /// system (same variable space, `var` unconstrained/unused) and whether the
-/// elimination was exact over the integers.
-pub fn eliminate(sys: &System, var: usize) -> (System, bool) {
+/// elimination was exact over the integers. Fails with a typed
+/// [`InlError`] on coefficient overflow or inequality-budget exhaustion
+/// instead of panicking.
+pub fn eliminate(sys: &System, var: usize) -> Result<(System, bool), InlError> {
     eliminate_one(sys, var, false)
 }
 
 /// Core single-system elimination. `dark` selects the dark-shadow variant
 /// (each lower/upper combination is strengthened by `(a-1)(b-1)`).
-fn eliminate_one(sys: &System, var: usize, dark: bool) -> (System, bool) {
+fn eliminate_one(sys: &System, var: usize, dark: bool) -> Result<(System, bool), InlError> {
     inl_obs::counter_add!("poly.fm.eliminations", 1);
     let n = sys.nvars();
     let mut out = System::new(n);
     if sys.is_trivially_empty() {
         out.add_ge(LinExpr::constant(n, -1));
-        return (out, true);
+        return Ok((out, true));
     }
 
     // First try an exact substitution using an equality with a ±1
     // coefficient on `var` (always integer-exact).
     for eq in sys.eqs() {
         let c = eq.coeff(var);
-        if c.abs() == 1 {
+        if c == 1 || c == -1 {
             // c·var + rest = 0  =>  var = -rest/c = -c·rest (c = ±1)
             let mut rest = eq.clone();
             rest.set_coeff(var, 0);
-            let replacement = -(rest * c); // -rest when c=1, rest when c=-1
-            return (sys.substitute(var, &replacement), true);
+            let replacement = rest.checked_scale(-c)?; // -rest when c=1, rest when c=-1
+            return Ok((sys.checked_substitute(var, &replacement)?, true));
         }
     }
 
     let mut exact = true;
-    let ineqs = sys.to_ineqs(); // remaining (non-unit) equalities become two ineqs
+    let ineqs = sys.checked_to_ineqs()?; // remaining (non-unit) equalities become two ineqs
     if !ineqs.iter().any(|e| e.coeff(var) != 0) {
         // var unconstrained: drop nothing
         for eq in sys.eqs() {
@@ -86,7 +89,7 @@ fn eliminate_one(sys: &System, var: usize, dark: bool) -> (System, bool) {
         for e in sys.ineqs() {
             out.add_ge(e.clone());
         }
-        return (out, true);
+        return Ok((out, true));
     }
     // Non-unit equalities being split means exactness is lost unless their
     // coefficient on var is 0 (handled above) — track it.
@@ -104,7 +107,12 @@ fn eliminate_one(sys: &System, var: usize, dark: bool) -> (System, bool) {
     for e in &ineqs {
         match e.coeff(var).signum() {
             0 => {
-                if !sys.eqs().contains(e) && !sys.eqs().iter().any(|q| &-q.clone() == e) {
+                let is_split_eq = sys.eqs().contains(e)
+                    || sys
+                        .eqs()
+                        .iter()
+                        .any(|q| q.checked_neg().is_ok_and(|nq| &nq == e));
+                if !is_split_eq {
                     out.add_ge(e.clone());
                 }
             }
@@ -116,39 +124,66 @@ fn eliminate_one(sys: &System, var: usize, dark: bool) -> (System, bool) {
     for l in &lowers {
         let a = l.coeff(var);
         for u in &uppers {
-            let b = -u.coeff(var); // b > 0
+            let b = u
+                .coeff(var)
+                .checked_neg()
+                .ok_or_else(|| InlError::overflow("fm upper coefficient"))?; // b > 0
             if a != 1 && b != 1 {
                 exact = false;
             }
-            // b·l + a·u eliminates var
-            let mut comb = l.clone() * b + u.clone() * a;
+            let comb = if dark {
+                // Dark shadow keeps the *original* multipliers — the
+                // strengthened row (b·l + a·u) - (a-1)(b-1) is not
+                // gcd-reducible without changing its meaning.
+                let mut c = l.checked_scale(b)?.checked_add(&u.checked_scale(a)?)?;
+                let slack = (a - 1)
+                    .checked_mul(b - 1)
+                    .and_then(|s| c.constant_term().checked_sub(s))
+                    .ok_or_else(|| InlError::overflow("fm dark-shadow slack"))?;
+                c.set_constant(slack);
+                c
+            } else {
+                // Real shadow: gcd-reduce the multipliers. Every entry of
+                // (b·l + a·u) is divisible by g = gcd(a, b), so
+                // (b/g)·l + (a/g)·u equals the combination divided by g
+                // exactly — same row after `add_ge` content-normalization,
+                // with g² less intermediate coefficient growth.
+                let g = gcd(a, b); // a, b > 0 ⇒ g ≥ 1
+                l.checked_scale(b / g)?
+                    .checked_add(&u.checked_scale(a / g)?)?
+            };
             debug_assert_eq!(comb.coeff(var), 0);
-            if dark {
-                // dark shadow: strengthen by (a-1)(b-1)
-                comb.set_constant(comb.constant_term() - (a - 1) * (b - 1));
-            }
             out.add_ge(comb);
             if out.ineqs().len() > MAX_INEQS {
-                panic!("fourier-motzkin blow-up: more than {MAX_INEQS} inequalities");
+                return Err(InlError::new(
+                    InlErrorKind::Budget,
+                    format!("fourier-motzkin blow-up: more than {MAX_INEQS} inequalities"),
+                ));
             }
         }
     }
     out.prune_dominated();
-    (out, exact)
+    Ok((out, exact))
 }
 
 /// Pick the next variable to eliminate from `vars`: fewest lower×upper
-/// products (greedy minimum-fill heuristic).
+/// products (greedy minimum-fill heuristic). Counts signs directly off the
+/// equalities and inequalities (an equality contributes one lower and one
+/// upper), so no row negation — and hence no overflow — is involved.
 fn pick_var(sys: &System, vars: &[usize]) -> usize {
-    let ineqs = sys.to_ineqs();
     let mut best = (usize::MAX, 0usize);
     for (idx, &v) in vars.iter().enumerate() {
         // An exact equality substitution is always the cheapest move.
-        if sys.eqs().iter().any(|e| e.coeff(v).abs() == 1) {
+        if sys
+            .eqs()
+            .iter()
+            .any(|e| e.coeff(v) == 1 || e.coeff(v) == -1)
+        {
             return idx;
         }
-        let lo = ineqs.iter().filter(|e| e.coeff(v) > 0).count();
-        let hi = ineqs.iter().filter(|e| e.coeff(v) < 0).count();
+        let eq_nz = sys.eqs().iter().filter(|e| e.coeff(v) != 0).count();
+        let lo = sys.ineqs().iter().filter(|e| e.coeff(v) > 0).count() + eq_nz;
+        let hi = sys.ineqs().iter().filter(|e| e.coeff(v) < 0).count() + eq_nz;
         let cost = lo * hi;
         if cost < best.0 {
             best = (cost, idx);
@@ -160,27 +195,28 @@ fn pick_var(sys: &System, vars: &[usize]) -> usize {
 /// Project the system onto the variables in `keep`: eliminate every other
 /// variable. The result lives in the *same* variable space (eliminated
 /// variables simply no longer appear); the boolean reports whether the whole
-/// chain was integer-exact.
+/// chain was integer-exact. Errors (overflow, inequality budget) are
+/// deterministic functions of the canonical input, so they memoize exactly
+/// like successful answers.
 ///
 /// The input is canonicalized first and the answer memoized (see
 /// [`crate::cache`]); repeated projections of equivalent systems are free.
-pub fn project(sys: &System, keep: &[usize]) -> (System, bool) {
+pub fn project(sys: &System, keep: &[usize]) -> Result<(System, bool), InlError> {
     let mut keep_key: Vec<usize> = keep.iter().copied().filter(|&v| v < sys.nvars()).collect();
     keep_key.sort_unstable();
     keep_key.dedup();
     let canon = sys.canonicalized();
     let keep_for_core = keep_key.clone();
     match cache::memo(canon, Query::Project(keep_key), move |c| {
-        let (p, exact) = project_core(c, &keep_for_core);
-        Answer::Project(p, exact)
+        Answer::Project(project_core(c, &keep_for_core))
     }) {
-        Answer::Project(p, exact) => (p, exact),
+        Answer::Project(r) => r,
         _ => unreachable!("project answered with a non-projection"),
     }
 }
 
 /// Elimination loop on an already-canonicalized system.
-fn project_core(sys: &System, keep: &[usize]) -> (System, bool) {
+fn project_core(sys: &System, keep: &[usize]) -> Result<(System, bool), InlError> {
     let keep_set: std::collections::HashSet<usize> = keep.iter().copied().collect();
     let mut vars: Vec<usize> = (0..sys.nvars()).filter(|v| !keep_set.contains(v)).collect();
     let mut cur = sys.clone();
@@ -191,11 +227,11 @@ fn project_core(sys: &System, keep: &[usize]) -> (System, bool) {
         }
         let idx = pick_var(&cur, &vars);
         let v = vars.swap_remove(idx);
-        let (next, ex) = eliminate(&cur, v);
+        let (next, ex) = eliminate(&cur, v)?;
         exact &= ex;
         cur = next;
     }
-    (cur, exact)
+    Ok((cur, exact))
 }
 
 /// Integer feasibility of the system.
@@ -223,9 +259,16 @@ pub fn is_empty(sys: &System) -> Feasibility {
 }
 
 /// Shadow-chasing feasibility on an already-canonicalized system.
+///
+/// An overflow or budget failure in either shadow degrades the verdict
+/// instead of failing the query: a dead dark shadow merely loses the
+/// non-emptiness witness, a dead real shadow yields `Unknown` ("may be
+/// non-empty"), which is the conservative answer for dependence analysis.
 fn is_empty_core(sys: &System) -> Feasibility {
     let mut real = sys.clone();
-    let mut dark = sys.clone();
+    // `None` once the dark-shadow chain failed (overflow/budget): the
+    // witness is abandoned, never the verdict.
+    let mut dark = Some(sys.clone());
     let mut exact = true;
     let mut vars: Vec<usize> = (0..sys.nvars()).collect();
     while !vars.is_empty() {
@@ -234,18 +277,23 @@ fn is_empty_core(sys: &System) -> Feasibility {
         }
         let idx = pick_var(&real, &vars);
         let v = vars.swap_remove(idx);
-        let (r, ex) = eliminate_one(&real, v, false);
-        let (d, _) = eliminate_one(&dark, v, true);
+        let (r, ex) = match eliminate_one(&real, v, false) {
+            Ok(res) => res,
+            Err(_) => {
+                inl_obs::counter_add!("poly.feasibility.aborted", 1);
+                return Feasibility::Unknown;
+            }
+        };
+        dark = dark.and_then(|d| eliminate_one(&d, v, true).map(|(d2, _)| d2).ok());
         exact &= ex;
         real = r;
-        dark = d;
     }
     if real.is_trivially_empty() {
         Feasibility::Empty
     } else if exact {
         inl_obs::counter_add!("poly.feasibility.exact_hits", 1);
         Feasibility::NonEmpty
-    } else if !dark.is_trivially_empty() {
+    } else if dark.as_ref().is_some_and(|d| !d.is_trivially_empty()) {
         inl_obs::counter_add!("poly.fm.dark_shadow_fallbacks", 1);
         Feasibility::NonEmpty
     } else {
@@ -266,22 +314,21 @@ fn is_empty_core(sys: &System) -> Feasibility {
 /// The input is canonicalized first and the interval memoized (see
 /// [`crate::cache`]); the inner projection goes through the cached
 /// [`project`], so a bounds query also warms the projection entry.
-pub fn var_bounds(sys: &System, var: usize) -> (Option<Int>, Option<Int>) {
+pub fn var_bounds(sys: &System, var: usize) -> Result<(Option<Int>, Option<Int>), InlError> {
     let canon = sys.canonicalized();
     match cache::memo(canon, Query::VarBounds(var), |c| {
-        let (lo, hi) = var_bounds_core(c, var);
-        Answer::VarBounds(lo, hi)
+        Answer::VarBounds(var_bounds_core(c, var))
     }) {
-        Answer::VarBounds(lo, hi) => (lo, hi),
+        Answer::VarBounds(r) => r,
         _ => unreachable!("var_bounds answered with a non-interval"),
     }
 }
 
 /// Bounds read-off on an already-canonicalized system.
-fn var_bounds_core(sys: &System, var: usize) -> (Option<Int>, Option<Int>) {
-    let (proj, _) = project(sys, &[var]);
+fn var_bounds_core(sys: &System, var: usize) -> Result<(Option<Int>, Option<Int>), InlError> {
+    let (proj, _) = project(sys, &[var])?;
     if proj.is_trivially_empty() {
-        return (Some(1), Some(0)); // canonical contradictory interval
+        return Ok((Some(1), Some(0))); // canonical contradictory interval
     }
     let mut lo: Option<Int> = None;
     let mut hi: Option<Int> = None;
@@ -291,26 +338,37 @@ fn var_bounds_core(sys: &System, var: usize) -> (Option<Int>, Option<Int>) {
     let tighten_hi = |hi: &mut Option<Int>, v: Int| {
         *hi = Some(hi.map_or(v, |x| x.min(v)));
     };
-    for e in proj.to_ineqs() {
+    let err = || InlError::overflow("bounds read-off");
+    for e in proj.checked_to_ineqs()? {
         let a = e.coeff(var);
         let c = e.constant_term();
         match a.signum() {
             0 => {}
-            1.. => tighten_lo(&mut lo, inl_linalg::ceil_div(-c, a)),
-            _ => tighten_hi(&mut hi, inl_linalg::floor_div(c, -a)),
+            1.. => tighten_lo(
+                &mut lo,
+                inl_linalg::ceil_div(c.checked_neg().ok_or_else(err)?, a),
+            ),
+            _ => tighten_hi(
+                &mut hi,
+                inl_linalg::floor_div(c, a.checked_neg().ok_or_else(err)?),
+            ),
         }
     }
-    (lo, hi)
+    Ok((lo, hi))
 }
 
 /// Integer bounds of an arbitrary linear expression over the system:
 /// introduces a fresh variable `t = expr` and computes [`var_bounds`] on it.
-pub fn expr_bounds(sys: &System, expr: &LinExpr) -> (Option<Int>, Option<Int>) {
+///
+/// # Panics
+/// If `expr` is not over the system's variable space (a programming
+/// error, not an input condition).
+pub fn expr_bounds(sys: &System, expr: &LinExpr) -> Result<(Option<Int>, Option<Int>), InlError> {
     let n = sys.nvars();
     assert_eq!(expr.nvars(), n, "expr_bounds: arity mismatch");
     let mut ext = sys.extend(n + 1);
     let t = LinExpr::var(n + 1, n);
-    ext.add_eq(t - expr.extend(n + 1));
+    ext.add_eq(t.checked_sub(&expr.extend(n + 1))?);
     var_bounds(&ext, n)
 }
 
@@ -338,7 +396,7 @@ mod tests {
 
     #[test]
     fn eliminate_basic() {
-        let (res, exact) = eliminate(&triangle(), 1);
+        let (res, exact) = eliminate(&triangle(), 1).unwrap();
         assert!(exact);
         // y gone; x constraints survive: 1 <= x <= 10 (x >= 1 also from x >= y >= 1)
         assert!(res.contains(&[1, 999]));
@@ -350,8 +408,8 @@ mod tests {
     #[test]
     fn var_bounds_triangle() {
         let s = triangle();
-        assert_eq!(var_bounds(&s, 0), (Some(1), Some(10)));
-        assert_eq!(var_bounds(&s, 1), (Some(1), Some(10)));
+        assert_eq!(var_bounds(&s, 0), Ok((Some(1), Some(10))));
+        assert_eq!(var_bounds(&s, 1), Ok((Some(1), Some(10))));
     }
 
     #[test]
@@ -359,9 +417,15 @@ mod tests {
         let n = 2;
         let s = triangle();
         // x - y ranges over 0..=9
-        assert_eq!(expr_bounds(&s, &(v(n, 0) - v(n, 1))), (Some(0), Some(9)));
+        assert_eq!(
+            expr_bounds(&s, &(v(n, 0) - v(n, 1))),
+            Ok((Some(0), Some(9)))
+        );
         // x + y ranges over 2..=20
-        assert_eq!(expr_bounds(&s, &(v(n, 0) + v(n, 1))), (Some(2), Some(20)));
+        assert_eq!(
+            expr_bounds(&s, &(v(n, 0) + v(n, 1))),
+            Ok((Some(2), Some(20)))
+        );
     }
 
     #[test]
@@ -369,9 +433,9 @@ mod tests {
         let n = 1;
         let mut s = System::new(n);
         s.add_ge(v(n, 0) - k(n, 3)); // x >= 3
-        assert_eq!(var_bounds(&s, 0), (Some(3), None));
+        assert_eq!(var_bounds(&s, 0), Ok((Some(3), None)));
         let empty_constraints = System::new(n);
-        assert_eq!(var_bounds(&empty_constraints, 0), (None, None));
+        assert_eq!(var_bounds(&empty_constraints, 0), Ok((None, None)));
     }
 
     #[test]
@@ -421,7 +485,7 @@ mod tests {
         s.add_ge(k(n, 2) - v(n, 0));
         s.add_ge(v(n, 1));
         s.add_ge(k(n, 2) - v(n, 1));
-        let (p, exact) = project(&s, &[0, 2]);
+        let (p, exact) = project(&s, &[0, 2]).unwrap();
         assert!(exact);
         // x <= z <= x + 2 must hold in the projection
         assert!(p.contains(&[1, 0, 2]));
@@ -446,9 +510,12 @@ mod tests {
         s.add_eq(v(n, 2) - v(n, 1)); // same location: Ir = Iw
         assert_eq!(is_empty(&s), Feasibility::NonEmpty);
         // Δ1 = Ir - Iw = 0 exactly
-        assert_eq!(expr_bounds(&s, &(v(n, 2) - v(n, 1))), (Some(0), Some(0)));
+        assert_eq!(
+            expr_bounds(&s, &(v(n, 2) - v(n, 1))),
+            Ok((Some(0), Some(0)))
+        );
         // Δ2 = Jr - Iw >= 1, unbounded above: direction "+"
-        assert_eq!(expr_bounds(&s, &(v(n, 3) - v(n, 1))), (Some(1), None));
+        assert_eq!(expr_bounds(&s, &(v(n, 3) - v(n, 1))), Ok((Some(1), None)));
     }
 
     #[test]
@@ -457,7 +524,7 @@ mod tests {
         let mut s = System::new(n);
         s.add_ge(v(n, 0) - k(n, 5));
         s.add_ge(k(n, 3) - v(n, 0));
-        let (lo, hi) = var_bounds(&s, 0);
+        let (lo, hi) = var_bounds(&s, 0).unwrap();
         assert!(lo.unwrap() > hi.unwrap());
     }
 
@@ -481,7 +548,7 @@ mod tests {
         s.add_ge(v(n, 0) - k(n, 5));
         s.add_ge(k(n, 3) - v(n, 0));
         s.add_eq(v(n, 1) - v(n, 0));
-        let (p, _) = project(&s, &[1]);
+        let (p, _) = project(&s, &[1]).unwrap();
         assert!(
             p.is_trivially_empty() || is_empty(&p) == Feasibility::Empty,
             "projection of empty set should be empty"

@@ -41,7 +41,7 @@
 //! sys.add_eq(LinExpr::var(4, 2) - LinExpr::var(4, 1));             // same location: Ir = Iw
 //! // Δ2 = Jr - Iw has lower bound 1 and no upper bound: direction "+"
 //! let delta2 = LinExpr::var(4, 3) - LinExpr::var(4, 1);
-//! let (lo, hi) = inl_poly::fm::expr_bounds(&sys, &delta2);
+//! let (lo, hi) = inl_poly::fm::expr_bounds(&sys, &delta2).unwrap();
 //! assert_eq!(lo, Some(1));
 //! assert_eq!(hi, None);
 //! ```
@@ -60,4 +60,4 @@ pub use expr::LinExpr;
 pub use fm::{eliminate, expr_bounds, is_empty, project, var_bounds, Feasibility};
 pub use system::System;
 
-pub use inl_linalg::Int;
+pub use inl_linalg::{InlError, InlErrorKind, Int};

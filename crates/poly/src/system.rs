@@ -1,7 +1,7 @@
 //! Conjunctions of affine constraints.
 
 use crate::LinExpr;
-use inl_linalg::{floor_div, Int};
+use inl_linalg::{floor_div, InlError, Int};
 use std::fmt;
 
 /// A conjunction of affine constraints over a fixed variable space:
@@ -96,14 +96,33 @@ impl System {
     }
 
     /// Add `a ≤ b`, i.e. `b - a ≥ 0`.
+    ///
+    /// # Panics
+    /// On overflow; fallible paths use [`System::checked_add_le`].
     pub fn add_le(&mut self, a: LinExpr, b: LinExpr) {
         self.add_ge(b - a);
     }
 
+    /// Overflow-checked [`System::add_le`].
+    pub fn checked_add_le(&mut self, a: &LinExpr, b: &LinExpr) -> Result<(), InlError> {
+        self.add_ge(b.checked_sub(a)?);
+        Ok(())
+    }
+
     /// Add `a < b` over the integers, i.e. `b - a - 1 ≥ 0`.
+    ///
+    /// # Panics
+    /// On overflow; fallible paths use [`System::checked_add_lt`].
     pub fn add_lt(&mut self, a: LinExpr, b: LinExpr) {
         let n = self.nvars;
         self.add_ge(b - a - LinExpr::constant(n, 1));
+    }
+
+    /// Overflow-checked [`System::add_lt`].
+    pub fn checked_add_lt(&mut self, a: &LinExpr, b: &LinExpr) -> Result<(), InlError> {
+        let n = self.nvars;
+        self.add_ge(b.checked_sub(a)?.checked_sub(&LinExpr::constant(n, 1))?);
+        Ok(())
     }
 
     /// Conjoin all constraints of `other` (same variable space).
@@ -128,35 +147,80 @@ impl System {
         }
     }
 
-    /// Substitute variable `i` with expression `r` everywhere.
+    /// Substitute variable `i` with expression `r` everywhere; convenience
+    /// wrapper over [`System::checked_substitute`] for trusted inputs.
+    ///
+    /// # Panics
+    /// On overflow; fallible paths use [`System::checked_substitute`].
     pub fn substitute(&self, i: usize, r: &LinExpr) -> System {
+        self.checked_substitute(i, r)
+            .expect("substitute overflow: fallible paths use checked_substitute")
+    }
+
+    /// Overflow-checked substitution of variable `i` with expression `r`
+    /// everywhere.
+    pub fn checked_substitute(&self, i: usize, r: &LinExpr) -> Result<System, InlError> {
         let mut out = System::new(self.nvars);
         out.trivially_empty = self.trivially_empty;
         for e in &self.eqs {
-            out.add_eq(e.substitute(i, r));
+            out.add_eq(e.checked_substitute(i, r)?);
         }
         for e in &self.ineqs {
-            out.add_ge(e.substitute(i, r));
+            out.add_ge(e.checked_substitute(i, r)?);
         }
-        out
+        Ok(out)
     }
 
-    /// True iff the integer point satisfies every constraint.
+    /// True iff the integer point satisfies every constraint; convenience
+    /// wrapper over [`System::checked_contains`] for trusted inputs.
+    ///
+    /// # Panics
+    /// On evaluation overflow; fallible paths use
+    /// [`System::checked_contains`].
     pub fn contains(&self, point: &[Int]) -> bool {
-        !self.trivially_empty
-            && self.eqs.iter().all(|e| e.eval(point) == 0)
-            && self.ineqs.iter().all(|e| e.eval(point) >= 0)
+        self.checked_contains(point)
+            .expect("contains overflow: fallible paths use checked_contains")
+    }
+
+    /// Overflow-checked point membership test.
+    pub fn checked_contains(&self, point: &[Int]) -> Result<bool, InlError> {
+        if self.trivially_empty {
+            return Ok(false);
+        }
+        for e in &self.eqs {
+            if e.checked_eval(point)? != 0 {
+                return Ok(false);
+            }
+        }
+        for e in &self.ineqs {
+            if e.checked_eval(point)? < 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// All constraints as inequalities (each equality contributing two),
-    /// for use by elimination.
+    /// for use by elimination; convenience wrapper over
+    /// [`System::checked_to_ineqs`] for trusted inputs.
+    ///
+    /// # Panics
+    /// On negation overflow; fallible paths use
+    /// [`System::checked_to_ineqs`].
     pub fn to_ineqs(&self) -> Vec<LinExpr> {
+        self.checked_to_ineqs()
+            .expect("to_ineqs overflow: fallible paths use checked_to_ineqs")
+    }
+
+    /// Overflow-checked conversion to an all-inequality representation
+    /// (negating each equality can overflow on an `Int::MIN` coefficient).
+    pub fn checked_to_ineqs(&self) -> Result<Vec<LinExpr>, InlError> {
         let mut out = self.ineqs.clone();
         for e in &self.eqs {
             out.push(e.clone());
-            out.push(-e.clone());
+            out.push(e.checked_neg()?);
         }
-        out
+        Ok(out)
     }
 
     /// Rebuild from inequalities only.
@@ -219,7 +283,10 @@ impl System {
             .eqs
             .iter()
             .map(|e| match e.coeffs().iter().find(|&&c| c != 0) {
-                Some(&c) if c < 0 => -e.clone(),
+                // An `Int::MIN` coefficient cannot be negated; keeping the
+                // row unnormalized is sound (e = 0 ⇔ -e = 0 — it only costs
+                // cache sharing for that pathological key).
+                Some(&c) if c < 0 => e.checked_neg().unwrap_or_else(|_| e.clone()),
                 _ => e.clone(),
             })
             .collect();
@@ -249,12 +316,12 @@ impl System {
     /// s.add_ge(LinExpr::var(2, 0) - LinExpr::constant(2, 1));
     /// s.add_ge(LinExpr::constant(2, 5) - LinExpr::var(2, 0));
     /// s.add_eq(LinExpr::var(2, 1) - LinExpr::var(2, 0) - LinExpr::constant(2, 2));
-    /// let (proj, exact) = s.project(&[1]);
+    /// let (proj, exact) = s.project(&[1]).unwrap();
     /// assert!(exact);
     /// assert!(proj.contains(&[0, 3]) && proj.contains(&[0, 7]));
     /// assert!(!proj.contains(&[0, 2]) && !proj.contains(&[0, 8]));
     /// ```
-    pub fn project(&self, keep: &[usize]) -> (System, bool) {
+    pub fn project(&self, keep: &[usize]) -> Result<(System, bool), InlError> {
         crate::fm::project(self, keep)
     }
 

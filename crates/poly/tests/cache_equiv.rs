@@ -4,7 +4,7 @@
 //! paths canonicalize unconditionally, so the comparison is exact
 //! equality, not just equivalence up to row order.
 
-use inl_linalg::Int;
+use inl_linalg::{InlError, Int};
 use inl_poly::{cache, is_empty, project, var_bounds, LinExpr, System};
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -46,15 +46,12 @@ fn small_system() -> impl Strategy<Value = System> {
 }
 
 /// All three public queries against `s`, in one bundle for comparison.
-#[allow(clippy::type_complexity)]
-fn query_all(
-    s: &System,
-    keep: &[usize],
-) -> (
-    (System, bool),
-    inl_poly::Feasibility,
-    Vec<(Option<Int>, Option<Int>)>,
-) {
+/// `Result`s are compared as-is: a cached error must equal the uncached
+/// one.
+type ProjectAnswer = Result<(System, bool), InlError>;
+type BoundsAnswer = Vec<Result<(Option<Int>, Option<Int>), InlError>>;
+
+fn query_all(s: &System, keep: &[usize]) -> (ProjectAnswer, inl_poly::Feasibility, BoundsAnswer) {
     (
         project(s, keep),
         is_empty(s),

@@ -52,7 +52,7 @@ proptest! {
     /// Eliminating a variable keeps every point's projection.
     #[test]
     fn elimination_preserves_points(s in small_system(), var in 0usize..NVARS) {
-        let (proj, _) = fm::eliminate(&s, var);
+        let (proj, _) = fm::eliminate(&s, var).expect("small systems cannot overflow");
         for pt in enumerate(&s, 8) {
             prop_assert!(
                 proj.contains(&pt),
@@ -77,7 +77,7 @@ proptest! {
     fn expr_bounds_cover(s in small_system(), e in small_constraint()) {
         let pts = enumerate(&s, 8);
         prop_assume!(!pts.is_empty());
-        let (lo, hi) = expr_bounds(&s, &e);
+        let (lo, hi) = expr_bounds(&s, &e).expect("small systems cannot overflow");
         for pt in pts {
             let v = e.eval(&pt);
             if let Some(l) = lo {
@@ -92,7 +92,7 @@ proptest! {
     /// Projection keeps every point's kept coordinates.
     #[test]
     fn projection_preserves_points(s in small_system(), keep in 0usize..NVARS) {
-        let (proj, _) = fm::project(&s, &[keep]);
+        let (proj, _) = fm::project(&s, &[keep]).expect("small systems cannot overflow");
         for pt in enumerate(&s, 8) {
             prop_assert!(proj.contains(&pt), "projected point {pt:?} lost");
         }
@@ -106,7 +106,7 @@ proptest! {
         let pts = enumerate(&s, 8);
         prop_assume!(!pts.is_empty());
         let order = [0usize, 1, 2];
-        let bounds = scan_bounds(&s, &order);
+        let bounds = scan_bounds(&s, &order).expect("small systems cannot overflow");
         let mut scanned = Vec::new();
         let mut pt = [0 as Int; NVARS];
         let (Some(l0), Some(h0)) = (bounds[0].eval_lower(&pt), bounds[0].eval_upper(&pt)) else {

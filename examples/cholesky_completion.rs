@@ -21,7 +21,7 @@ fn main() {
     println!("== right-looking Cholesky (KIJ) ==\n{}", p.to_pseudocode());
 
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     println!(
         "instance vectors are {}-dimensional; {} dependence columns:\n{}",
         layout.len(),

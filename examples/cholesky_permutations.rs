@@ -39,7 +39,7 @@ fn permutations(v: &[usize]) -> Vec<Vec<usize>> {
 fn main() {
     let p = zoo::cholesky_kij();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let names = ["K", "J", "L", "I"];
     let positions: Vec<usize> = names
         .iter()

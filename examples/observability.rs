@@ -26,7 +26,7 @@ fn main() {
     // The quickstart pipeline: analyze, transform, generate, execute.
     let p = zoo::simple_cholesky();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
 
     let loops: Vec<_> = p.loops().collect();
     let m = Transform::compose(
@@ -41,7 +41,7 @@ fn main() {
         ],
     )
     .unwrap();
-    let verdict = inl::core::legal::check_legal(&p, &layout, &deps, &m);
+    let verdict = inl::core::legal::check_legal(&p, &layout, &deps, &m).expect("legality");
     println!("left-looking transform legal? {}", verdict.is_legal());
 
     let result = generate(&p, &layout, &deps, &m).expect("codegen");

@@ -29,7 +29,7 @@ fn main() {
 
     // 3. Dependence analysis (§3): distance/direction vectors over instance
     //    vectors, computed by integer linear programming.
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     println!(
         "\n== dependence matrix ({} columns) ==\n{}",
         deps.deps.len(),
@@ -42,7 +42,7 @@ fn main() {
     //    left-looking form.
     let loops: Vec<_> = p.loops().collect();
     let naked = Transform::Interchange(loops[0], loops[1]).matrix(&p, &layout);
-    let verdict = inl::core::legal::check_legal(&p, &layout, &deps, &naked);
+    let verdict = inl::core::legal::check_legal(&p, &layout, &deps, &naked).expect("legality");
     println!("naked interchange legal? {}", verdict.is_legal());
 
     let m = Transform::compose(
@@ -57,7 +57,7 @@ fn main() {
         ],
     )
     .unwrap();
-    let verdict = inl::core::legal::check_legal(&p, &layout, &deps, &m);
+    let verdict = inl::core::legal::check_legal(&p, &layout, &deps, &m).expect("legality");
     println!("reorder + interchange legal? {}", verdict.is_legal());
 
     // 5. Code generation (§5).

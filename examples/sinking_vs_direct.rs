@@ -55,7 +55,7 @@ fn main() {
         other => println!("unexpected: {other:?}"),
     }
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let l = p.loops().find(|&l| p.loop_decl(l).name == "L").unwrap();
     let partial = vec![IVec::unit(layout.len(), layout.loop_position(l))];
     let c = complete_transform(&p, &layout, &deps, &partial).expect("direct framework succeeds");

@@ -23,12 +23,12 @@ fn main() {
     println!("== wavefront recurrence ==\n{}", p.to_pseudocode());
 
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     println!("dependence matrix:\n{}", deps.display());
 
     // §7: "parallelizing a loop requires finding a row in the nullspace of
     // the dependence matrix" — here the nullspace is trivial:
-    let rows = parallel_rows(&layout, &deps);
+    let rows = parallel_rows(&layout, &deps).expect("parallel rows");
     println!(
         "outer-parallel directions: {} (nullspace is trivial)",
         rows.len()
@@ -42,7 +42,7 @@ fn main() {
         factor: 1,
     }
     .matrix(&p, &layout);
-    let report = check_legal(&p, &layout, &deps, &m);
+    let report = check_legal(&p, &layout, &deps, &m).expect("legality");
     assert!(report.is_legal());
     let ast = report.new_ast.as_ref().unwrap();
     let par = parallel_slots(&layout, &deps, ast, &m);
@@ -89,8 +89,8 @@ fn main() {
     // nullspace of the dependence matrix contains the outer direction.
     let q = zoo::row_prefix_sums();
     let qlayout = InstanceLayout::new(&q);
-    let qdeps = analyze(&q, &qlayout);
-    let rows = parallel_rows(&qlayout, &qdeps);
+    let qdeps = analyze(&q, &qlayout).expect("analysis");
+    let rows = parallel_rows(&qlayout, &qdeps).expect("parallel rows");
     println!(
         "\n== row_prefix_sums ==\ndependences:\n{}outer-parallel directions: {:?}",
         qdeps.display(),

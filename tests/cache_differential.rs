@@ -25,7 +25,7 @@ static CACHE_TOGGLE: Mutex<()> = Mutex::new(());
 fn cholesky_variants() -> (Program, Vec<(String, IMat)>) {
     let p = zoo::cholesky_kij();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let names = ["K", "J", "L", "I"];
     let positions: Vec<usize> = names
         .iter()
@@ -68,7 +68,7 @@ fn permutations(v: &[usize]) -> Vec<Vec<usize>> {
 /// pseudocode per variant, in variant order.
 fn compile_all(p: &Program, variants: &[(String, IMat)]) -> Vec<String> {
     let layout = InstanceLayout::new(p);
-    let deps = analyze(p, &layout);
+    let deps = analyze(p, &layout).expect("analysis");
     variants
         .iter()
         .map(|(label, m)| {

@@ -30,7 +30,7 @@ fn e6_completion_produces_left_looking_cholesky() {
     // factorization
     let p = zoo::cholesky_kij();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let l = looop(&p, "L");
     let partial = vec![IVec::unit(layout.len(), layout.loop_position(l))];
     let completion = complete_transform(&p, &layout, &deps, &partial).expect("completes");
@@ -53,7 +53,7 @@ fn e6_completion_produces_left_looking_cholesky() {
 /// ones.
 fn enumerate_permutations(p: &Program) -> Vec<(Vec<usize>, inl::linalg::IMat)> {
     let layout = InstanceLayout::new(p);
-    let deps = analyze(p, &layout);
+    let deps = analyze(p, &layout).expect("analysis");
     let positions: Vec<usize> = [looop(p, "K"), looop(p, "J"), looop(p, "L"), looop(p, "I")]
         .iter()
         .map(|&l| layout.loop_position(l))
@@ -97,7 +97,7 @@ fn e7_all_six_cholesky_forms_are_legal_and_correct() {
     // legal one must generate code that executes bitwise identically.
     let p = zoo::cholesky_kij();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let legal = enumerate_permutations(&p);
     assert!(
         legal.len() >= 6,
@@ -136,7 +136,7 @@ fn e7_vm_backend_bitwise_identical_on_every_legal_variant() {
     // the identical factorization, bit for bit.
     let p = zoo::cholesky_kij();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let legal = enumerate_permutations(&p);
     assert!(legal.len() >= 6);
     for (pm, m) in &legal {
@@ -168,7 +168,7 @@ fn e7_exactly_two_families_are_expressible() {
     // ordering cycle rather than generate wrong code.
     let p = zoo::cholesky_kij();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let legal = enumerate_permutations(&p);
     assert_eq!(legal.len(), 12, "two families of six orders each");
     for (pm, _) in &legal {
@@ -199,7 +199,7 @@ fn e7_illegal_orders_are_rejected() {
     // statements; with reversal rows thrown in, rejection must occur
     let p = zoo::cholesky_kij();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let k = looop(&p, "K");
     let n = layout.len();
     // reversed outer K can never be completed legally

@@ -38,7 +38,7 @@ fn all_six_matmul_permutations_legal_and_identical() {
     let p = zoo::matmul();
     let layout = InstanceLayout::new(&p);
     assert_eq!(layout.len(), 3, "perfect nest: iteration vectors");
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let mut legal_count = 0;
     for pm in permutations3() {
         // rows: slot r takes old position pm[r]
@@ -62,9 +62,9 @@ fn matmul_parallel_dimensions() {
     // carried only by K)
     let p = zoo::matmul();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let id = IMat::identity(3);
-    let report = check_legal(&p, &layout, &deps, &id);
+    let report = check_legal(&p, &layout, &deps, &id).expect("legality");
     assert!(report.is_legal());
     let ast = report.new_ast.as_ref().unwrap();
     let slots = parallel_slots(&layout, &deps, ast, &id);
@@ -83,11 +83,11 @@ fn matmul_reversals_all_legal() {
     // reversing K must be rejected.
     let p = zoo::matmul();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     for (slot, expect_legal) in [(0usize, true), (1, true), (2, false)] {
         let mut m = IMat::identity(3);
         m[(slot, slot)] = -1;
-        let r = check_legal(&p, &layout, &deps, &m);
+        let r = check_legal(&p, &layout, &deps, &m).expect("legality");
         assert_eq!(
             r.is_legal(),
             expect_legal,

@@ -78,7 +78,7 @@ fn e3_dependence_matrix_of_simplified_cholesky() {
     // §3: the flow dependence from S1 to S2 is [0, 1, -1, +]'.
     let p = zoo::simple_cholesky();
     let layout = InstanceLayout::new(&p);
-    let dm = analyze(&p, &layout);
+    let dm = analyze(&p, &layout).expect("analysis");
     assert!(dm.has_column(&[
         DepEntry::dist(0),
         DepEntry::dist(1),
@@ -151,14 +151,14 @@ fn e4_distribution_and_jamming_matrices() {
     let p = zoo::simple_cholesky();
     let layout = InstanceLayout::new(&p);
     let i = looop(&p, "I");
-    let d = inl::core::structural::distribute(&p, &layout, i, 1);
+    let d = inl::core::structural::distribute(&p, &layout, i, 1).expect("distribute");
     assert_eq!((d.matrix.nrows(), d.matrix.ncols()), (5, 4));
-    let j = inl::core::structural::jam(&d.target, &d.target_layout, None, 0);
+    let j = inl::core::structural::jam(&d.target, &d.target_layout, None, 0).expect("jam");
     assert_eq!((j.matrix.nrows(), j.matrix.ncols()), (4, 5));
     // and the legality verdicts match the paper: distribution illegal for
     // Cholesky
-    let deps = analyze(&p, &layout);
-    assert!(!inl::core::structural::distribution_legal(&p, &deps, i, 1));
+    let deps = analyze(&p, &layout).expect("analysis");
+    assert!(!inl::core::structural::distribution_legal(&p, &deps, i, 1).expect("legality"));
 }
 
 // ---------------------------------------------------------------- E5 (§5)
@@ -189,14 +189,14 @@ fn e5_skew_codegen_executes_identically() {
 fn e5_legality_report_flags_unsatisfied_self_deps() {
     let p = zoo::augmentation_example();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let m = Transform::Skew {
         target: looop(&p, "I"),
         source: looop(&p, "J"),
         factor: -1,
     }
     .matrix(&p, &layout);
-    let report = check_legal(&p, &layout, &deps, &m);
+    let report = check_legal(&p, &layout, &deps, &m).expect("legality");
     assert!(report.is_legal());
     assert!(!report.unsatisfied_self.is_empty());
 }

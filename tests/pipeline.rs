@@ -62,7 +62,7 @@ fn chained_transformation_through_codegen() {
     let q = &step1.program;
     // the generated program must itself be analyzable
     let layout = InstanceLayout::new(q);
-    let deps = analyze(q, &layout);
+    let deps = analyze(q, &layout).expect("analysis");
     assert!(
         !deps.deps.is_empty(),
         "skewed program still has dependences"
@@ -95,7 +95,7 @@ fn sinking_baseline_agrees_where_it_applies() {
     // its perfect 2-nest admits an interchange only if dependences allow;
     // S1 -> S2 is loop-independent (same (I,J)), S3's guards ride along
     let layout = InstanceLayout::new(&q);
-    let deps = analyze(&q, &layout);
+    let deps = analyze(&q, &layout).expect("analysis");
     assert!(!deps.deps.is_empty());
 }
 

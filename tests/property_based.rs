@@ -146,7 +146,7 @@ proptest! {
         })
     ) {
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let Ok(m) = Transform::compose(&p, &layout, &seq) else {
             return Ok(()); // structurally invalid transform (e.g. alignment without edge)
         };
@@ -174,7 +174,7 @@ proptest! {
     #[test]
     fn dependences_are_lex_nonnegative(p in arb_program()) {
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         for d in &deps.deps {
             let lead = d.entries.iter().find(|e| !e.is_zero());
             if let Some(e) = lead {

@@ -35,9 +35,9 @@ fn parallel_cholesky_trace_loads_as_chrome_json_with_worker_tids() {
     // step are independent) — mark it DOALL on that basis, not by fiat.
     let mut p = zoo::simple_cholesky();
     let layout = InstanceLayout::new(&p);
-    let deps = analyze(&p, &layout);
+    let deps = analyze(&p, &layout).expect("analysis");
     let id = IMat::identity(layout.len());
-    let report = check_legal(&p, &layout, &deps, &id);
+    let report = check_legal(&p, &layout, &deps, &id).expect("legality");
     let ast = report.new_ast.as_ref().expect("identity schedule is legal");
     let slots = parallel_slots(&layout, &deps, ast, &id);
     let j = p.loops().find(|&l| p.loop_decl(l).name == "J").unwrap();

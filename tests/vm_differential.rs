@@ -149,7 +149,7 @@ proptest! {
         })
     ) {
         let layout = InstanceLayout::new(&p);
-        let deps = analyze(&p, &layout);
+        let deps = analyze(&p, &layout).expect("analysis");
         let Ok(m) = Transform::compose(&p, &layout, &seq) else {
             return Ok(()); // structurally invalid transform
         };
