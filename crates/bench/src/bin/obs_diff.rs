@@ -3,7 +3,8 @@
 //!
 //! ```sh
 //! cargo run -p inl-bench --bin inl-obs-diff -- \
-//!     <old.json> <new.json> [--threshold <rel>] [--floor-ns <ns>] [--strict]
+//!     <old.json> <new.json> \
+//!     [--threshold <rel>] [--floor-ns <ns>] [--strict] [--top <n>]
 //! ```
 //!
 //! Both files must be the same kind: telemetry reports (`inl-obs.json`,
@@ -12,7 +13,10 @@
 //! exactly (except `*_ns` timing counters), timings with the relative
 //! `--threshold` (default 0.5 = ±50 %) above the `--floor-ns` noise
 //! floor (default 1 ms); `--strict` turns one-sided keys from warnings
-//! into regressions.
+//! into regressions. On failure the gate lists the `--top <n>` (default
+//! 10) largest regressions by relative delta before the full table, so
+//! the most damaging change leads the CI log rather than the
+//! alphabetically first failing key.
 //!
 //! Exit status: 0 when clean, 1 on any regression, 2 on usage or parse
 //! errors.
@@ -23,7 +27,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: inl-obs-diff <old.json> <new.json> \
-         [--threshold <rel>] [--floor-ns <ns>] [--strict]"
+         [--threshold <rel>] [--floor-ns <ns>] [--strict] [--top <n>]"
     );
     ExitCode::from(2)
 }
@@ -31,9 +35,14 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut opts = DiffOptions::default();
+    let mut top = 10usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--top" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v > 0 => top = v,
+                _ => return usage(),
+            },
             "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) if v >= 0.0 => opts.time_rel = v,
                 _ => return usage(),
@@ -70,8 +79,21 @@ fn main() -> ExitCode {
         opts.floor_ns,
         if opts.strict_keys { ", strict" } else { "" }
     );
+    let regressions = outcome.regressions();
+    if regressions > 0 {
+        let worst = outcome.top_regressions(top);
+        println!(
+            "top {} of {} regression(s) by relative delta:",
+            worst.len(),
+            regressions
+        );
+        for line in worst {
+            println!("  {:<9}  {}  {}", line.status, line.name, line.detail);
+        }
+        println!();
+    }
     print!("{}", outcome.to_table());
-    if outcome.regressions() > 0 {
+    if regressions > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

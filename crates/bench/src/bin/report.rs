@@ -3,16 +3,20 @@
 //!
 //! ```sh
 //! cargo run --release -p inl-bench --bin report -- \
-//!     [--obs-json <path>] [--bench-json <path>]
+//!     [--obs-json <path>] [--bench-json <path>] [--explain-json <path>]
 //! ```
 //!
 //! The telemetry JSON lands at `target/inl-obs.json` unless `--obs-json`
 //! overrides it. The interpreter-vs-VM wall-time comparison additionally
 //! lands in `BENCH_exec.json` (override with `--bench-json`) so the
-//! executor's perf trajectory is tracked across PRs.
+//! executor's perf trajectory is tracked across PRs. The report runs with
+//! the decision-provenance layer on: an `## explain` section summarizes
+//! why each of the 24 Cholesky loop orders was accepted or rejected, and
+//! the full record store lands at `target/inl-explain.json` (override with
+//! `--explain-json`) for the `inl-explain` query tool.
 
 use inl_bench::{
-    cholesky_variants, compile_batch, kernel_cholesky_kjli, kernel_cholesky_left,
+    cholesky_variants, compile_batch, explain_section, kernel_cholesky_kjli, kernel_cholesky_left,
     kernel_cholesky_right, kernel_wavefront_sqrt_seq, kernel_wavefront_sqrt_skewed_parallel,
     spd_init,
 };
@@ -57,8 +61,10 @@ fn main() {
     let bench_path = flag_path("--bench-json", "BENCH_exec.json");
     let pipeline_path = flag_path("--pipeline-json", "BENCH_pipeline.json");
     let trace_path = flag_path("--trace-json", "target/inl-trace.json");
+    let explain_path = flag_path("--explain-json", "target/inl-explain.json");
     inl_obs::set_enabled(true);
     inl_obs::set_timeline_enabled(true);
+    inl_obs::set_explain_enabled(true);
 
     println!("# inl experiment report\n");
 
@@ -76,9 +82,17 @@ fn main() {
         );
     }
 
-    // ------------------------------------------------- E7: variants
-    println!("## E7 — legal Cholesky loop orders (interpreter vs VM, N = 100)\n");
+    // ----------------------------------- explain: decision provenance
+    // The 24-permutation sweep records one explain session per order;
+    // render the why-legal/why-rejected summary before later phases add
+    // their own sessions.
     let (p, variants) = cholesky_variants();
+    println!("## explain — decision provenance (24 Cholesky orders)\n");
+    print!("{}", explain_section());
+
+    // ------------------------------------------------- E7: variants
+    println!("\n## E7 — legal Cholesky loop orders (interpreter vs VM, N = 100)\n");
+    inl_obs::explain::begin_session("report/e7-codegen");
     let layout = InstanceLayout::new(&p);
     let deps = analyze(&p, &layout).expect("analysis");
     let n: i128 = 100;
@@ -119,6 +133,7 @@ fn main() {
     // three, and the timings land in BENCH_pipeline.json for the CI diff
     // gate.
     println!("\n## pipeline compile batch — 12 Cholesky variants\n");
+    inl_obs::explain::begin_session("report/pipeline-batch");
     let batch_threads = std::thread::available_parallelism().map_or(2, |x| x.get());
     inl_poly::cache::set_cache_enabled(false);
     inl_poly::cache::clear();
@@ -207,6 +222,7 @@ fn main() {
     // Wall-clock comparison of the two backends per program, recorded in
     // BENCH_exec.json so the executor's perf trajectory is tracked across
     // PRs. cholesky_kij N=100 is the acceptance benchmark.
+    inl_obs::explain::begin_session("report/exec-backends");
     println!("\n## exec backends — interpreter vs bytecode VM\n");
     println!("| program | interp | vm compile | vm run | speedup | bitwise |");
     println!("|---------|--------|------------|--------|---------|---------|");
@@ -337,6 +353,7 @@ fn main() {
     // the exec.par.* telemetry reflects a real generated schedule, not just
     // the hand kernels above.
     println!("\n## E8 — generated wavefront through ParallelExecutor (N = 200)\n");
+    inl_obs::explain::begin_session("report/e8-wavefront");
     let wp = zoo::wavefront();
     let wlayout = InstanceLayout::new(&wp);
     let wdeps = analyze(&wp, &wlayout).expect("analysis");
@@ -396,13 +413,16 @@ fn main() {
     for _ in 0..reps {
         inl_obs::set_enabled(true);
         inl_obs::set_timeline_enabled(true);
+        inl_obs::set_explain_enabled(true);
         on = on.min(one_run(&p));
         inl_obs::set_enabled(false);
         inl_obs::set_timeline_enabled(false);
+        inl_obs::set_explain_enabled(false);
         off = off.min(one_run(&p));
     }
     inl_obs::set_enabled(true);
     inl_obs::set_timeline_enabled(true);
+    inl_obs::set_explain_enabled(true);
     let overhead_pct = (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0;
     println!("\n## instrumentation overhead (interpreted Cholesky, N = {n}, {reps} reps)\n");
     println!("enabled {on:.2?}, disabled {off:.2?}: {overhead_pct:+.2}%");
@@ -458,6 +478,16 @@ fn main() {
         report.histograms.len(),
         report.spans.len(),
         json_path.display()
+    );
+
+    // ------------------------------------------------- explain artifact
+    inl_obs::explain::write_json(&explain_path).expect("write explain JSON");
+    println!(
+        "explain provenance: {} record(s), {} session(s), {} dropped -> {}",
+        inl_obs::explain::len(),
+        inl_obs::explain::sessions().len(),
+        inl_obs::explain::dropped_total(),
+        explain_path.display()
     );
 
     // ------------------------------------------------- timeline trace

@@ -55,6 +55,9 @@ pub fn cholesky_variants() -> (Program, Vec<(String, IMat)>) {
     let mut out = Vec::new();
     for pm in permutations(&[0usize, 1, 2, 3]) {
         let label: String = pm.iter().map(|&i| names[i]).collect::<Vec<_>>().join("");
+        if inl_obs::explain_enabled() {
+            inl_obs::explain::begin_session(&format!("cholesky/{label}"));
+        }
         let rows: Vec<IVec> = pm
             .iter()
             .map(|&i| IVec::unit(layout.len(), positions[i]))
@@ -64,6 +67,40 @@ pub fn cholesky_variants() -> (Program, Vec<(String, IMat)>) {
         }
     }
     (p, out)
+}
+
+/// Render the report binary's `## explain` section from the current
+/// decision-provenance store: one line per `cholesky/<ORDER>` session,
+/// naming the verdict and its evidence — the proving legality check for
+/// legal orders, the killing dependence (with its row) for rejected ones.
+pub fn explain_section() -> String {
+    use inl_obs::explain::Verdict;
+    use std::fmt::Write as _;
+    let records = inl_obs::explain::snapshot();
+    let mut out = String::new();
+    for (id, label) in inl_obs::explain::sessions() {
+        let Some(order) = label.strip_prefix("cholesky/") else {
+            continue;
+        };
+        let recs: Vec<_> = records.iter().filter(|r| r.session == id).collect();
+        let legal_accept = recs
+            .iter()
+            .find(|r| r.stage == "legal" && r.verdict == Verdict::Accept);
+        let line = if let Some(acc) = legal_accept {
+            format!("legal     {}", acc.reason)
+        } else if let Some(rej) = recs.iter().find(|r| r.verdict == Verdict::Reject) {
+            let row = rej
+                .details
+                .get("dep_row")
+                .map(|r| format!(" with row {r}"))
+                .unwrap_or_default();
+            format!("rejected  {}{row}", rej.reason)
+        } else {
+            "no decision recorded".to_string()
+        };
+        writeln!(out, "{order}  {line}").expect("string write");
+    }
+    out
 }
 
 /// All permutations of a small slice.
@@ -375,12 +412,60 @@ pub fn kernel_wavefront_skewed_parallel(a: &mut [f64], n: usize, threads: usize)
 mod tests {
     use super::*;
 
+    /// The explain flag is process-global: serialize the tests that sweep
+    /// Cholesky orders so one test's sessions don't interleave another's.
+    static EXPLAIN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn variants_include_both_families() {
+        let _guard = EXPLAIN_LOCK.lock().unwrap();
         let (_p, variants) = cholesky_variants();
         assert_eq!(variants.len(), 12);
         assert!(variants.iter().any(|(l, _)| l == "KJLI"));
         assert!(variants.iter().any(|(l, _)| l.starts_with('L')));
+    }
+
+    #[test]
+    fn explain_section_covers_all_24_orders() {
+        let _guard = EXPLAIN_LOCK.lock().unwrap();
+        inl_obs::set_explain_enabled(true);
+        inl_obs::explain::reset();
+        let (_p, variants) = cholesky_variants();
+        let section = explain_section();
+        inl_obs::set_explain_enabled(false);
+        inl_obs::explain::reset();
+
+        assert_eq!(
+            section.lines().count(),
+            24,
+            "one line per order:\n{section}"
+        );
+        let legal: std::collections::BTreeSet<&str> =
+            variants.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(legal.len(), 12);
+        let names = ["K", "J", "L", "I"];
+        for pm in permutations(&[0usize, 1, 2, 3]) {
+            let order: String = pm.iter().map(|&i| names[i]).collect::<Vec<_>>().join("");
+            let line = section
+                .lines()
+                .find(|l| l.starts_with(&format!("{order}  ")))
+                .unwrap_or_else(|| panic!("no line for {order}:\n{section}"));
+            if legal.contains(order.as_str()) {
+                assert!(
+                    line.starts_with(&format!("{order}  legal")),
+                    "{order} should be legal: {line}"
+                );
+            } else {
+                assert!(
+                    line.starts_with(&format!("{order}  rejected")),
+                    "{order} should reject: {line}"
+                );
+                assert!(
+                    line.contains("dep "),
+                    "{order} rejection must name the killing dependence: {line}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -80,6 +80,8 @@ pub fn generate(
     // --- per-statement polyhedra and scan bounds ---
     let np = p.nparams();
     let mut plans: Vec<StmtPlan> = Vec::with_capacity(schedules.len());
+    let mut bounds_scanned = 0i64;
+    let mut loops_augmented = 0i64;
     for sched in schedules {
         let s = sched.stmt;
         let old_loops = layout.stmt_loops(s).to_vec();
@@ -104,6 +106,8 @@ pub fn generate(
         let bounds = scan_bounds(&projected, &order)?;
         inl_obs::counter_add!("codegen.bounds_scanned", bounds.len());
         inl_obs::counter_add!("codegen.loops_augmented", sched.n_aug);
+        bounds_scanned += bounds.len() as i64;
+        loops_augmented += sched.n_aug as i64;
         plans.push(StmtPlan {
             sched,
             bounds,
@@ -173,7 +177,112 @@ pub fn generate(
         np,
     };
     let result = builder.build()?;
-    Ok(simplify_guards(result, p))
+    let result = simplify_guards(result, p);
+    if inl_obs::explain_enabled() {
+        record_cost_features(
+            p,
+            layout,
+            deps,
+            m,
+            &ast,
+            &result,
+            bounds_scanned,
+            loops_augmented,
+        );
+    }
+    Ok(result)
+}
+
+/// Attach per-variant cost features to the explain stream (stage
+/// `codegen`): dependence-matrix summary, parallel/wavefront shape under
+/// this transformation, write-access strides, and generation work counts.
+#[allow(clippy::too_many_arguments)]
+fn record_cost_features(
+    p: &Program,
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    m: &IMat,
+    ast: &NewAst,
+    out: &CodegenResult,
+    bounds_scanned: i64,
+    loops_augmented: i64,
+) {
+    use inl_core::depend::DepKind;
+    use inl_core::provenance;
+    let (mut flow, mut anti, mut output, mut certain) = (0i64, 0i64, 0i64, 0i64);
+    for d in &deps.deps {
+        match d.kind {
+            DepKind::Flow => flow += 1,
+            DepKind::Anti => anti += 1,
+            DepKind::Output => output += 1,
+        }
+        if d.certain {
+            certain += 1;
+        }
+    }
+    // parallel shape under m: certified DOALL slots, and whether the
+    // parallelism is inner-only (a wavefront schedule)
+    let slots = inl_core::parallel::parallel_slots(layout, deps, ast, m);
+    let first_loop_slot = layout
+        .positions()
+        .iter()
+        .position(|pos| matches!(pos, Position::Loop(_)));
+    let wavefront = match (slots.first(), first_loop_slot) {
+        (Some(&s), Some(f)) => (s > f) as i64,
+        _ => 0,
+    };
+    // write-access strides in the generated program: the largest |coeff|
+    // of a loop variable in any target write subscript
+    let mut max_write_stride = 0i64;
+    for s in out.program.stmts() {
+        for a in &out.program.stmt_decl(s).write.idxs {
+            for &(v, c) in a.terms() {
+                if matches!(v, inl_ir::VarKey::Loop(_)) {
+                    let mag = c.unsigned_abs().min(i64::MAX as u128) as i64;
+                    max_write_stride = max_write_stride.max(mag);
+                }
+            }
+        }
+    }
+    let guards: i64 = out
+        .program
+        .stmts()
+        .map(|s| out.program.stmt_decl(s).guards.len() as i64)
+        .sum();
+    let rec = inl_obs::explain::note(
+        "codegen",
+        format!("program {} under {}", p.name(), provenance::matrix_text(m)),
+        format!(
+            "generated {} statements over {} loop slot(s); {} DOALL slot(s)",
+            out.stmt_map.len(),
+            layout
+                .positions()
+                .iter()
+                .filter(|pos| matches!(pos, Position::Loop(_)))
+                .count(),
+            slots.len()
+        ),
+    )
+    .detail(
+        "dep_summary",
+        format!(
+            "{} deps ({flow} flow, {anti} anti, {output} output; {certain} certain)",
+            deps.deps.len()
+        ),
+    )
+    .feature("deps", deps.deps.len() as i64)
+    .feature("deps_certain", certain)
+    .feature("stmts", out.stmt_map.len() as i64)
+    .feature("bounds_scanned", bounds_scanned)
+    .feature("loops_augmented", loops_augmented)
+    .feature("guards_emitted", guards)
+    .feature("parallel_slots", slots.len() as i64)
+    .feature("wavefront", wavefront)
+    .feature("max_write_stride", max_write_stride);
+    if !slots.is_empty() {
+        let listed: Vec<String> = slots.iter().map(|q| q.to_string()).collect();
+        rec.detail("doall_slots", listed.join(" "));
+    }
 }
 
 /// Convenience: compose a transformation sequence, analyze, and generate.

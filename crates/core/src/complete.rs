@@ -76,6 +76,8 @@ pub struct Completion {
 
 /// Per-dependence completion state.
 struct DepState<'a> {
+    /// Index into `deps.deps` (names the dependence in explain records).
+    idx: usize,
     dep: &'a Dependence,
     /// Common loop positions (ascending) of src/dst.
     common: Vec<usize>,
@@ -247,8 +249,8 @@ pub fn complete_transform(
                 .map(|&l| layout.loop_position(l))
                 .collect();
             common.sort_unstable();
-            let _ = idx;
             DepState {
+                idx,
                 dep: d,
                 common,
                 zero_context: Vec::new(),
@@ -261,18 +263,19 @@ pub fn complete_transform(
     let mut used_positions: Vec<bool> = vec![false; n];
     for (slot_idx, &slot) in loop_slots.iter().enumerate() {
         // evaluate a candidate against all active deps whose common slots
-        // include this slot
-        let evaluate = |row: &IVec, states: &Vec<DepState<'_>>| -> Result<bool, InlError> {
-            for st in states.iter() {
-                if st.satisfied || !st.common.contains(&slot) {
-                    continue;
+        // include this slot; returns the first violated dependence's index
+        let evaluate =
+            |row: &IVec, states: &Vec<DepState<'_>>| -> Result<Option<usize>, InlError> {
+                for st in states.iter() {
+                    if st.satisfied || !st.common.contains(&slot) {
+                        continue;
+                    }
+                    if matches!(apply_row(layout, nparams, st, row)?, RowEffect::Invalid) {
+                        return Ok(Some(st.idx));
+                    }
                 }
-                if matches!(apply_row(layout, nparams, st, row)?, RowEffect::Invalid) {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        };
+                Ok(None)
+            };
         let commit = |row: &IVec, states: &mut Vec<DepState<'_>>| -> Result<(), InlError> {
             for st in states.iter_mut() {
                 if st.satisfied || !st.common.contains(&slot) {
@@ -310,8 +313,36 @@ pub fn complete_transform(
                     want: n,
                 });
             }
-            if !evaluate(&row, &states)? {
+            if let Some(dep_idx) = evaluate(&row, &states)? {
+                if inl_obs::explain_enabled() {
+                    let d = &deps.deps[dep_idx];
+                    inl_obs::explain::reject(
+                        "complete",
+                        format!(
+                            "partial row {slot_idx} {}",
+                            crate::provenance::row_text(&row)
+                        ),
+                        format!(
+                            "{}: projection of row would go negative",
+                            crate::provenance::dep_label(p, dep_idx, d)
+                        ),
+                    )
+                    .detail("dep_row", crate::provenance::dep_row(d))
+                    .feature("slot", slot as i64)
+                    .feature("deps", deps.deps.len() as i64);
+                }
                 return Err(CompletionError::PartialRowIllegal(slot_idx));
+            }
+            if inl_obs::explain_enabled() {
+                inl_obs::explain::accept(
+                    "complete",
+                    format!(
+                        "partial row {slot_idx} {}",
+                        crate::provenance::row_text(&row)
+                    ),
+                    "row keeps every active dependence non-negative",
+                )
+                .feature("slot", slot as i64);
             }
             commit(&row, &mut states)?;
             for (j, &v) in row.iter().enumerate() {
@@ -349,16 +380,39 @@ pub fn complete_transform(
             }
         }
         let mut picked: Option<IVec> = None;
+        let mut tried = 0i64;
         for cand in &candidates {
             inl_obs::counter_add!("complete.candidates_tried", 1);
-            if independent(cand, &chosen_rows)? && evaluate(cand, &states)? {
+            tried += 1;
+            if independent(cand, &chosen_rows)? && evaluate(cand, &states)?.is_none() {
                 picked = Some(cand.clone());
                 break;
             }
         }
         let Some(row) = picked else {
+            if inl_obs::explain_enabled() {
+                inl_obs::explain::reject(
+                    "complete",
+                    format!("loop slot {slot}"),
+                    format!("no legal, linearly independent candidate row among {tried} tried"),
+                )
+                .feature("slot", slot as i64)
+                .feature("candidates_tried", tried);
+            }
             return Err(CompletionError::NoCandidate(slot_idx));
         };
+        if inl_obs::explain_enabled() {
+            inl_obs::explain::note(
+                "complete",
+                format!("loop slot {slot}"),
+                format!(
+                    "chose row {} after {tried} candidates",
+                    crate::provenance::row_text(&row)
+                ),
+            )
+            .feature("slot", slot as i64)
+            .feature("candidates_tried", tried);
+        }
         commit(&row, &mut states)?;
         for (j, &v) in row.iter().enumerate() {
             if v != 0 {
@@ -371,6 +425,7 @@ pub fn complete_transform(
     // syntactic ordering constraints from deps still active between
     // different statements
     let mut constraints: HashMap<Option<LoopId>, Vec<(usize, usize)>> = HashMap::new();
+    let mut constraint_deps: HashMap<Option<LoopId>, Vec<usize>> = HashMap::new();
     for st in &states {
         if st.satisfied || st.dep.src == st.dep.dst {
             continue;
@@ -378,6 +433,7 @@ pub fn complete_transform(
         let (node, ca, cb) = divergence(p, st.dep.src, st.dep.dst);
         if ca != cb {
             constraints.entry(node).or_default().push((ca, cb));
+            constraint_deps.entry(node).or_default().push(st.idx);
         }
     }
     // topological sort of each constrained node's children
@@ -387,7 +443,33 @@ pub fn complete_transform(
             None => p.root().len(),
             Some(l) => p.loop_decl(*l).children.len(),
         };
-        let order = topo_order(c, edges).ok_or(CompletionError::OrderingCycle)?;
+        let node_name = || match node {
+            None => "<root>".to_string(),
+            Some(l) => format!("loop {}", p.loop_decl(*l).name),
+        };
+        let Some(order) = topo_order(c, edges) else {
+            if inl_obs::explain_enabled() {
+                let evidence: Vec<String> = constraint_deps[node]
+                    .iter()
+                    .zip(edges)
+                    .map(|(&idx, &(ca, cb))| {
+                        format!(
+                            "{} (row {}) needs child {ca} before child {cb}",
+                            crate::provenance::dep_label(p, idx, &deps.deps[idx]),
+                            crate::provenance::dep_row(&deps.deps[idx])
+                        )
+                    })
+                    .collect();
+                inl_obs::explain::reject(
+                    "complete",
+                    format!("child ordering at {}", node_name()),
+                    "all-zero cross-statement dependences impose a cyclic child order",
+                )
+                .detail("constraints", evidence.join("; "))
+                .feature("constraints", edges.len() as i64);
+            }
+            return Err(CompletionError::OrderingCycle);
+        };
         // order[i] = old child at new index i  =>  perm[old] = new
         let mut perm = vec![0usize; c];
         for (newi, &old) in order.iter().enumerate() {
@@ -419,7 +501,31 @@ pub fn complete_transform(
             .err()
             .cloned()
             .unwrap_or_else(|| format!("{:?}", report.violations));
+        if inl_obs::explain_enabled() {
+            // check_legal above already recorded the violating dependence
+            // row; this record ties the failure to the completion attempt.
+            inl_obs::explain::reject(
+                "complete",
+                format!("assembled matrix {}", crate::provenance::matrix_text(&m)),
+                format!("final legality check failed: {why}"),
+            )
+            .feature("partial_rows", partial.len() as i64);
+        }
         return Err(CompletionError::FinalCheckFailed(why));
+    }
+    if inl_obs::explain_enabled() {
+        inl_obs::explain::accept(
+            "complete",
+            format!("assembled matrix {}", crate::provenance::matrix_text(&m)),
+            format!(
+                "completed {} partial rows to a legal transformation ({} self-dependences to augmentation)",
+                partial.len(),
+                report.unsatisfied_self.len()
+            ),
+        )
+        .feature("partial_rows", partial.len() as i64)
+        .feature("unsatisfied_self", report.unsatisfied_self.len() as i64)
+        .feature("deps", deps.deps.len() as i64);
     }
     Ok(Completion { matrix: m, report })
 }

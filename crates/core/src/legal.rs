@@ -250,11 +250,105 @@ pub fn check_legal(
             }
         }
     }
+    if inl_obs::explain_enabled() {
+        record_verdict(p, layout, deps, m, &new_ast, &violations, &unsatisfied_self);
+    }
     Ok(LegalityReport {
         new_ast,
         violations,
         unsatisfied_self,
     })
+}
+
+/// Feed the decision-provenance layer: one record per [`check_legal`]
+/// call, carrying the violating dependence row (Def. 6 failure) or the
+/// proving projections `M·d` on success. Only called with the explain
+/// layer enabled.
+fn record_verdict(
+    p: &Program,
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    m: &IMat,
+    new_ast: &Result<NewAst, String>,
+    violations: &[Violation],
+    unsatisfied_self: &[usize],
+) {
+    use crate::provenance::{dep_label, dep_row, matrix_text};
+    let subject = format!("transformation {}", matrix_text(m));
+    let ast = match new_ast {
+        Err(e) => {
+            inl_obs::explain::reject("legal", subject, format!("no Fig. 5 block structure: {e}"))
+                .feature("deps", deps.deps.len() as i64);
+            return;
+        }
+        Ok(ast) => ast,
+    };
+    let projected = |d: &Dependence| -> String {
+        let proj: Vec<String> = common_new_positions(layout, ast, d)
+            .iter()
+            .map(|&row| transformed_entry(m, d, row).to_string())
+            .collect();
+        format!("[{}]", proj.join(" "))
+    };
+    if let Some(v) = violations.first() {
+        let d = &deps.deps[v.dep];
+        let mut rec = inl_obs::explain::reject(
+            "legal",
+            subject,
+            format!("{}: {}", dep_label(p, v.dep, d), v.reason),
+        )
+        .detail("dep_row", dep_row(d))
+        .detail("projected_row", projected(d))
+        .feature("deps", deps.deps.len() as i64)
+        .feature("violations", violations.len() as i64);
+        if violations.len() > 1 {
+            let others: Vec<String> = violations[1..]
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{}: {} (row {})",
+                        dep_label(p, v.dep, &deps.deps[v.dep]),
+                        v.reason,
+                        dep_row(&deps.deps[v.dep])
+                    )
+                })
+                .collect();
+            rec = rec.detail("other_violations", others.join("; "));
+        }
+        drop(rec);
+        return;
+    }
+    let proof: Vec<String> = deps
+        .deps
+        .iter()
+        .enumerate()
+        .map(|(idx, d)| {
+            let tag = if unsatisfied_self.contains(&idx) {
+                " (self, left to augmentation)"
+            } else {
+                ""
+            };
+            format!(
+                "{}: row {} projects to {}{}",
+                dep_label(p, idx, d),
+                dep_row(d),
+                projected(d),
+                tag
+            )
+        })
+        .collect();
+    inl_obs::explain::accept(
+        "legal",
+        subject,
+        format!(
+            "all {} dependences lexicographically satisfied, {} self-dependences to augmentation",
+            deps.deps.len(),
+            unsatisfied_self.len()
+        ),
+    )
+    .detail("proof", proof.join("; "))
+    .feature("deps", deps.deps.len() as i64)
+    .feature("unsatisfied_self", unsatisfied_self.len() as i64);
 }
 
 /// Positions (new-space, ascending = outside-in) of the loops common to the

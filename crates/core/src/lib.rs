@@ -64,6 +64,7 @@ pub mod instance;
 pub mod legal;
 pub mod parallel;
 pub mod perstmt;
+pub mod provenance;
 pub mod sink;
 pub mod structural;
 pub mod transform;

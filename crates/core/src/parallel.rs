@@ -52,15 +52,17 @@ pub fn parallel_rows(
     }
     if constraint.nrows() == 0 {
         // no dependences at all: every loop position row qualifies
-        return Ok(layout
+        let rows: Vec<IVec> = layout
             .positions()
             .iter()
             .enumerate()
             .filter(|(_, p)| matches!(p, Position::Loop(_)))
             .map(|(i, _)| IVec::unit(n, i))
-            .collect());
+            .collect();
+        record_outer_rows(&rows, 0);
+        return Ok(rows);
     }
-    Ok(gauss::nullspace_int(&constraint)?
+    let rows: Vec<IVec> = gauss::nullspace_int(&constraint)?
         .into_iter()
         // a useful parallel row must touch at least one loop position
         .filter(|v| {
@@ -70,7 +72,41 @@ pub fn parallel_rows(
                 .enumerate()
                 .any(|(i, p)| matches!(p, Position::Loop(_)) && v[i] != 0)
         })
-        .collect())
+        .collect();
+    record_outer_rows(&rows, deps.deps.len());
+    Ok(rows)
+}
+
+/// Explain-record the outcome of the outer-DOALL nullspace search.
+fn record_outer_rows(rows: &[IVec], ndeps: usize) {
+    if !inl_obs::explain_enabled() {
+        return;
+    }
+    if rows.is_empty() {
+        inl_obs::explain::reject(
+            "parallel",
+            "outer DOALL search",
+            format!(
+                "the {ndeps}-dependence matrix has a trivial nullspace over the loop \
+                 positions: no outer loop direction is dependence-free (wavefront candidate)"
+            ),
+        )
+        .feature("deps", ndeps as i64)
+        .feature("basis_rows", 0);
+    } else {
+        let basis: Vec<String> = rows.iter().map(crate::provenance::row_text).collect();
+        inl_obs::explain::accept(
+            "parallel",
+            "outer DOALL search",
+            format!(
+                "{} nullspace direction(s) orthogonal to all {ndeps} dependences",
+                rows.len()
+            ),
+        )
+        .detail("basis", basis.join("; "))
+        .feature("deps", ndeps as i64)
+        .feature("basis_rows", rows.len() as i64);
+    }
 }
 
 /// True iff `row · d = 0` for every dependence (using exact entries only).
@@ -108,21 +144,23 @@ pub fn parallel_slots(
     ast: &NewAst,
     m: &IMat,
 ) -> Vec<usize> {
+    let explain = inl_obs::explain_enabled();
     let mut out = Vec::new();
     'slots: for (q, pos) in layout.positions().iter().enumerate() {
         if !matches!(pos, Position::Loop(_)) {
             continue;
         }
-        for d in &deps.deps {
+        let mut evidence: Vec<String> = Vec::new();
+        for (di, d) in deps.deps.iter().enumerate() {
             let common = common_new_positions(layout, ast, d);
             if !common.contains(&q) {
                 continue;
             }
-            let mut carried = false;
+            let mut carried_at = None;
             for &row in common.iter().take_while(|&&r| r < q) {
                 let e = transformed_entry(m, d, row);
                 if e.is_positive() {
-                    carried = true;
+                    carried_at = Some(row);
                     break;
                 }
                 if !e.is_zero() {
@@ -130,11 +168,51 @@ pub fn parallel_slots(
                     break;
                 }
             }
-            if carried {
+            if let Some(r) = carried_at {
+                if explain {
+                    evidence.push(format!(
+                        "{} carried strictly positive at earlier slot {r}",
+                        crate::provenance::dep_label_short(di, d)
+                    ));
+                }
                 continue;
             }
             if !transformed_entry(m, d, q).is_zero() {
+                if explain {
+                    inl_obs::explain::reject(
+                        "parallel",
+                        format!("new loop slot {q}"),
+                        format!(
+                            "{} has nonzero entry {} at this slot and no earlier slot \
+                             provably carries it",
+                            crate::provenance::dep_label_short(di, d),
+                            transformed_entry(m, d, q)
+                        ),
+                    )
+                    .detail("dep_row", crate::provenance::dep_row(d))
+                    .feature("slot", q as i64)
+                    .feature("deps", deps.deps.len() as i64);
+                }
                 continue 'slots;
+            }
+            if explain {
+                evidence.push(format!(
+                    "{} is exactly zero at this slot",
+                    crate::provenance::dep_label_short(di, d)
+                ));
+            }
+        }
+        if explain {
+            let rec = inl_obs::explain::accept(
+                "parallel",
+                format!("new loop slot {q}"),
+                "DOALL: every dependence sharing this slot is carried strictly \
+                 positive earlier or exactly zero here",
+            )
+            .feature("slot", q as i64)
+            .feature("deps", deps.deps.len() as i64);
+            if !evidence.is_empty() {
+                rec.detail("evidence", evidence.join("; "));
             }
         }
         out.push(q);

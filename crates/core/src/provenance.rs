@@ -1,0 +1,86 @@
+//! Rendering helpers feeding the [`inl_obs::explain`] decision-provenance
+//! layer: dependences, rows, and matrices as the compact strings the
+//! explain records carry (the store must not hold `inl-core` types).
+//!
+//! Call sites gate on [`inl_obs::explain_enabled`] before building these
+//! strings, so the disabled path pays only one relaxed atomic load.
+
+use crate::depend::{DepKind, Dependence};
+use inl_ir::Program;
+use inl_linalg::{IMat, IVec};
+
+/// Lower-case dependence-kind name.
+pub fn kind_str(k: DepKind) -> &'static str {
+    match k {
+        DepKind::Flow => "flow",
+        DepKind::Anti => "anti",
+        DepKind::Output => "output",
+    }
+}
+
+/// `dep 3 (flow S2->S1, level 1)`: names one column of the dependence
+/// matrix by its index, kind, endpoint statements, and carrying level.
+pub fn dep_label(p: &Program, idx: usize, d: &Dependence) -> String {
+    format!(
+        "dep {idx} ({} {}->{}, level {})",
+        kind_str(d.kind),
+        p.stmt_decl(d.src).name,
+        p.stmt_decl(d.dst).name,
+        d.level
+    )
+}
+
+/// `dep 3 (flow, level 1)`: like [`dep_label`] but without statement
+/// names, for call sites that hold no [`Program`].
+pub fn dep_label_short(idx: usize, d: &Dependence) -> String {
+    format!("dep {idx} ({}, level {})", kind_str(d.kind), d.level)
+}
+
+/// One dependence-matrix column in the paper's interval notation,
+/// e.g. `[+ 0 *]`.
+pub fn dep_row(d: &Dependence) -> String {
+    let entries: Vec<String> = d.entries.iter().map(|e| e.to_string()).collect();
+    format!("[{}]", entries.join(" "))
+}
+
+/// An integer row vector, e.g. `[0 1 0 -1]`.
+pub fn row_text(row: &IVec) -> String {
+    let entries: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", entries.join(" "))
+}
+
+/// A whole matrix as bracketed rows, e.g. `[[1 0] [0 1]]`.
+pub fn matrix_text(m: &IMat) -> String {
+    let rows: Vec<String> = (0..m.nrows())
+        .map(|i| {
+            let entries: Vec<String> = m.row_slice(i).iter().map(|v| v.to_string()).collect();
+            format!("[{}]", entries.join(" "))
+        })
+        .collect();
+    format!("[{}]", rows.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depend::analyze;
+    use crate::instance::InstanceLayout;
+    use inl_ir::zoo;
+
+    #[test]
+    fn labels_and_rows_render_compactly() {
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout).expect("analysis");
+        let d = &deps.deps[0];
+        let label = dep_label(&p, 0, d);
+        assert!(label.starts_with("dep 0 ("), "{label}");
+        assert!(label.contains("->"), "{label}");
+        let row = dep_row(d);
+        assert!(row.starts_with('[') && row.ends_with(']'), "{row}");
+        assert_eq!(row.matches(' ').count(), d.entries.len() - 1, "{row}");
+        let m = IMat::identity(2);
+        assert_eq!(matrix_text(&m), "[[1 0] [0 1]]");
+        assert_eq!(row_text(&IVec::from(vec![0, 1, -1])), "[0 1 -1]");
+    }
+}

@@ -42,16 +42,76 @@ impl From<InlError> for SinkError {
     }
 }
 
+/// Human-readable reason for a [`SinkError`], fed to explain records.
+fn sink_reason(e: &SinkError) -> String {
+    match e {
+        SinkError::Branching(l) => {
+            format!("loop {l} has two or more loop children: no perfect nest without distribution")
+        }
+        SinkError::PossiblyEmptyRange(l) => {
+            format!("inner loop {l} may have an empty range: a sunk statement could be skipped")
+        }
+        SinkError::ComplexBounds(l) => {
+            format!("loop {l} has multi-term bounds: no single affine first/last-iteration guard")
+        }
+        SinkError::NonUnitStep(l) => format!("loop {l} has a non-unit step"),
+        SinkError::Invalid(err) => format!("invalid sink target: {err}"),
+    }
+}
+
 /// Sink every statement into the innermost loop, producing a perfect nest.
 ///
 /// Returns the transformed program or the reason the strategy breaks down.
 pub fn sink_statements(p: &Program) -> Result<Program, SinkError> {
     let mut cur = p.clone();
+    let mut sunk = 0i64;
     loop {
-        let Some(target) = find_sinkable(&cur)? else {
-            return Ok(cur);
+        let target = match find_sinkable(&cur) {
+            Ok(Some(t)) => t,
+            Ok(None) => {
+                if inl_obs::explain_enabled() {
+                    inl_obs::explain::accept(
+                        "sink",
+                        format!("program {}", p.name()),
+                        format!("perfect nest reached after {sunk} sink steps"),
+                    )
+                    .feature("sink_steps", sunk);
+                }
+                return Ok(cur);
+            }
+            Err(e) => {
+                if inl_obs::explain_enabled() {
+                    inl_obs::explain::reject(
+                        "sink",
+                        format!("program {}", p.name()),
+                        sink_reason(&e),
+                    )
+                    .feature("sink_steps", sunk);
+                }
+                return Err(e);
+            }
         };
-        cur = sink_one(&cur, target)?;
+        let outer_name = cur.loop_decl(target).name.clone();
+        match sink_one(&cur, target) {
+            Ok(next) => {
+                if inl_obs::explain_enabled() {
+                    inl_obs::explain::note(
+                        "sink",
+                        format!("loop {outer_name}"),
+                        "sank statement children into the single loop child under first/last-iteration guards",
+                    );
+                }
+                sunk += 1;
+                cur = next;
+            }
+            Err(e) => {
+                if inl_obs::explain_enabled() {
+                    inl_obs::explain::reject("sink", format!("loop {outer_name}"), sink_reason(&e))
+                        .feature("sink_steps", sunk);
+                }
+                return Err(e);
+            }
+        }
     }
 }
 

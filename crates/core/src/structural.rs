@@ -222,17 +222,45 @@ pub fn distribution_legal(
     distribute_target(p, l, split)?;
     let depth = p.loops_surrounding_loop(l).len();
     let children = &p.loop_decl(l).children;
+    let subject = || format!("distribute loop {} at split {split}", p.loop_decl(l).name);
     let in_part = |s: StmtId, range: std::ops::Range<usize>| -> bool {
         children[range.clone()]
             .iter()
             .any(|&c| node_contains(p, c, Node::Stmt(s)))
     };
-    for d in &deps.deps {
+    for (di, d) in deps.deps.iter().enumerate() {
         let src_second = in_part(d.src, split..children.len());
         let dst_first = in_part(d.dst, 0..split);
         if src_second && dst_first && d.level == depth {
+            if inl_obs::explain_enabled() {
+                inl_obs::explain::reject(
+                    "structural",
+                    subject(),
+                    format!(
+                        "{} runs from the second part back to the first and is carried \
+                         by the distributed loop itself (level {depth})",
+                        crate::provenance::dep_label(p, di, d)
+                    ),
+                )
+                .detail("dep_row", crate::provenance::dep_row(d))
+                .feature("deps", deps.deps.len() as i64)
+                .feature("split", split as i64);
+            }
             return Ok(false);
         }
+    }
+    if inl_obs::explain_enabled() {
+        inl_obs::explain::accept(
+            "structural",
+            subject(),
+            format!(
+                "none of the {} dependences runs from the second part to the first \
+                 at the distributed level {depth}",
+                deps.deps.len()
+            ),
+        )
+        .feature("deps", deps.deps.len() as i64)
+        .feature("split", split as i64);
     }
     Ok(true)
 }
@@ -341,12 +369,21 @@ pub fn jamming_legal(
 ) -> Result<bool, InlError> {
     let (a, b) = jam_targets(p, parent, idx)?;
     let nparams = p.nparams();
-    for d in &deps.deps {
+    let subject = || {
+        format!(
+            "jam loops {} and {}",
+            p.loop_decl(a).name,
+            p.loop_decl(b).name
+        )
+    };
+    let mut crossing = 0i64;
+    for (di, d) in deps.deps.iter().enumerate() {
         let src_in_a = node_contains(p, Node::Loop(a), Node::Stmt(d.src));
         let dst_in_b = node_contains(p, Node::Loop(b), Node::Stmt(d.dst));
         if !(src_in_a && dst_in_b) {
             continue;
         }
+        crossing += 1;
         // slots of a (in src loops) and b (in dst loops)
         let sa = d
             .src_loops
@@ -365,8 +402,34 @@ pub fn jamming_legal(
         // violation: i_b < i_a, i.e. i_a - i_b - 1 >= 0
         sys.add_ge(ia - ib - LinExpr::constant(space, 1));
         if is_empty(&sys) != Feasibility::Empty {
+            if inl_obs::explain_enabled() {
+                inl_obs::explain::reject(
+                    "structural",
+                    subject(),
+                    format!(
+                        "{} admits an instance with target iteration below the source: \
+                         the fused order would reverse it",
+                        crate::provenance::dep_label(p, di, d)
+                    ),
+                )
+                .detail("dep_row", crate::provenance::dep_row(d))
+                .feature("deps", deps.deps.len() as i64)
+                .feature("crossing_deps", crossing);
+            }
             return Ok(false);
         }
+    }
+    if inl_obs::explain_enabled() {
+        inl_obs::explain::accept(
+            "structural",
+            subject(),
+            format!(
+                "{crossing} dependences cross from the first loop into the second; \
+                 none admits a fused-iteration reversal"
+            ),
+        )
+        .feature("deps", deps.deps.len() as i64)
+        .feature("crossing_deps", crossing);
     }
     Ok(true)
 }

@@ -156,6 +156,25 @@ impl<'p> ParallelExecutor<'p> {
     }
 }
 
+/// Explain-record one wavefront dispatch of a `parallel`-marked loop
+/// (stage `exec`): the wavefront width, worker count, and chunking.
+fn record_wavefront(name: &str, width: usize, nthreads: usize, chunk: usize, backend: &str) {
+    if !inl_obs::explain_enabled() {
+        return;
+    }
+    inl_obs::explain::note(
+        "exec",
+        format!("loop {name}"),
+        format!(
+            "dispatched a {width}-iteration wavefront across {nthreads} worker(s), \
+             chunk size {chunk} ({backend} backend)"
+        ),
+    )
+    .feature("wavefront_width", width as i64)
+    .feature("threads", nthreads as i64)
+    .feature("chunk", chunk as i64);
+}
+
 /// True iff the subtree rooted at `l` contains a parallel loop.
 fn subtree_has_parallel(p: &Program, l: LoopId) -> bool {
     let ld = p.loop_decl(l);
@@ -221,6 +240,7 @@ fn vm_loop(
             &[("iters", iters.len() as i64), ("threads", nthreads as i64)],
         );
         let chunk = iters.len().div_ceil(nthreads);
+        record_wavefront(&ld.name, iters.len(), nthreads, chunk, "vm");
         std::thread::scope(|scope| {
             for ch in iters.chunks(chunk) {
                 let mut thread_st = st.clone();
@@ -306,6 +326,7 @@ fn exec_loop(
             &[("iters", iters.len() as i64), ("threads", nthreads as i64)],
         );
         let chunk = iters.len().div_ceil(nthreads);
+        record_wavefront(&ld.name, iters.len(), nthreads, chunk, "tree");
         std::thread::scope(|scope| {
             for ch in iters.chunks(chunk) {
                 let mut thread_env = env.clone();

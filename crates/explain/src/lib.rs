@@ -1,0 +1,438 @@
+//! # inl-explain
+//!
+//! Reader, renderer, and differ for the decision-provenance artifacts the
+//! [`inl_obs::explain`] layer writes (`INL_EXPLAIN_JSON`, or the report
+//! binary's `target/inl-explain.json`). The artifact answers *why* every
+//! candidate transformation was accepted or rejected — which dependence
+//! row killed it, which projected rows prove it legal — plus the cost
+//! features codegen attached to each variant.
+//!
+//! The library half parses the versioned JSON schema into [`Artifact`]
+//! and renders human-readable "why" reports; the `inl-explain` binary
+//! (`src/main.rs`) wraps it with `render`, `query`, and `diff`
+//! subcommands.
+
+use inl_obs::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One decision record, decoded from the artifact.
+#[derive(Clone, Debug)]
+pub struct Rec {
+    /// Compile-session id (0 = before any session began).
+    pub session: u64,
+    /// Process-wide sequence number (stable order).
+    pub seq: u64,
+    /// Verdict point (`legal`, `complete`, `sink`, `structural`,
+    /// `parallel`, `codegen`, `exec`).
+    pub stage: String,
+    /// What was judged.
+    pub subject: String,
+    /// `accept`, `reject`, or `info`.
+    pub verdict: String,
+    /// The evidence: violating dependence row, proving projection, ...
+    pub reason: String,
+    /// String evidence keyed by name.
+    pub details: BTreeMap<String, String>,
+    /// Integer cost features keyed by name (rendered to preserve sign).
+    pub features: BTreeMap<String, i64>,
+}
+
+/// A parsed explain artifact.
+#[derive(Clone, Debug, Default)]
+pub struct Artifact {
+    /// Schema version (`1`).
+    pub version: u64,
+    /// Records dropped to the capacity bound before the dump.
+    pub dropped: u64,
+    /// `(id, label)` of every compile session, in begin order.
+    pub sessions: Vec<(u64, String)>,
+    /// All records, oldest first.
+    pub records: Vec<Rec>,
+}
+
+impl Artifact {
+    /// The label of a session id, or the id itself as text.
+    pub fn session_label(&self, id: u64) -> String {
+        self.sessions
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, label)| label.clone())
+            .unwrap_or_else(|| format!("session {id}"))
+    }
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("record missing string field {key:?}"))
+}
+
+fn int_field(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("record missing integer field {key:?}"))
+}
+
+/// Parse the artifact text (see `inl_obs::explain` for the schema).
+pub fn parse(text: &str) -> Result<Artifact, String> {
+    let root = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = int_field(&root, "version")?;
+    if version != inl_obs::explain::SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported artifact version {version} (expected {})",
+            inl_obs::explain::SCHEMA_VERSION
+        ));
+    }
+    let dropped = int_field(&root, "dropped")?;
+    let mut sessions = Vec::new();
+    if let Some(Json::Array(items)) = root.get("sessions") {
+        for s in items {
+            sessions.push((int_field(s, "id")?, str_field(s, "label")?));
+        }
+    }
+    let mut records = Vec::new();
+    let Some(Json::Array(items)) = root.get("records") else {
+        return Err("artifact has no records array".to_string());
+    };
+    for r in items {
+        let mut details = BTreeMap::new();
+        if let Some(Json::Object(map)) = r.get("details") {
+            for (k, v) in map {
+                details.insert(
+                    k.clone(),
+                    v.as_str().map(str::to_string).unwrap_or_default(),
+                );
+            }
+        }
+        let mut features = BTreeMap::new();
+        if let Some(Json::Object(map)) = r.get("features") {
+            for (k, v) in map {
+                let val = match v {
+                    Json::Int(n) => *n as i64,
+                    Json::Float(f) => *f as i64,
+                    _ => 0,
+                };
+                features.insert(k.clone(), val);
+            }
+        }
+        records.push(Rec {
+            session: int_field(r, "session")?,
+            seq: int_field(r, "seq")?,
+            stage: str_field(r, "stage")?,
+            subject: str_field(r, "subject")?,
+            verdict: str_field(r, "verdict")?,
+            reason: str_field(r, "reason")?,
+            details,
+            features,
+        });
+    }
+    Ok(Artifact {
+        version,
+        dropped,
+        sessions,
+        records,
+    })
+}
+
+/// Read and parse an artifact file.
+pub fn load(path: impl AsRef<Path>) -> Result<Artifact, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+/// Record filter for `render`/`query`: every set field must match
+/// (stage/verdict exactly, subject by substring, session by id or by
+/// label substring).
+#[derive(Clone, Debug, Default)]
+pub struct Filter {
+    /// Exact stage name.
+    pub stage: Option<String>,
+    /// Substring of the subject.
+    pub subject: Option<String>,
+    /// Exact verdict (`accept`/`reject`/`info`).
+    pub verdict: Option<String>,
+    /// Session id (numeric) or label substring.
+    pub session: Option<String>,
+}
+
+impl Filter {
+    /// True when no field is set (render everything).
+    pub fn is_empty(&self) -> bool {
+        self.stage.is_none()
+            && self.subject.is_none()
+            && self.verdict.is_none()
+            && self.session.is_none()
+    }
+
+    /// Does `rec` pass every set field?
+    pub fn matches(&self, artifact: &Artifact, rec: &Rec) -> bool {
+        if let Some(stage) = &self.stage {
+            if rec.stage != *stage {
+                return false;
+            }
+        }
+        if let Some(sub) = &self.subject {
+            if !rec.subject.contains(sub.as_str()) {
+                return false;
+            }
+        }
+        if let Some(v) = &self.verdict {
+            if rec.verdict != *v {
+                return false;
+            }
+        }
+        if let Some(sess) = &self.session {
+            let by_id = sess.parse::<u64>().is_ok_and(|id| rec.session == id);
+            let by_label = artifact.session_label(rec.session).contains(sess.as_str());
+            if !by_id && !by_label {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn verdict_tag(v: &str) -> &'static str {
+    match v {
+        "accept" => "ACCEPT",
+        "reject" => "REJECT",
+        _ => "info  ",
+    }
+}
+
+/// Render the matching records as a human-readable "why" report, grouped
+/// by compile session.
+pub fn render(artifact: &Artifact, filter: &Filter) -> String {
+    let matched: Vec<&Rec> = artifact
+        .records
+        .iter()
+        .filter(|r| filter.matches(artifact, r))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "explain artifact v{}: {} record(s), {} matched, {} dropped to capacity",
+        artifact.version,
+        artifact.records.len(),
+        matched.len(),
+        artifact.dropped
+    );
+    let mut current: Option<u64> = None;
+    for r in matched {
+        if current != Some(r.session) {
+            current = Some(r.session);
+            let _ = writeln!(out, "\n== {} ==", artifact.session_label(r.session));
+        }
+        let _ = writeln!(
+            out,
+            "  [{}] {}: {}",
+            verdict_tag(&r.verdict),
+            r.stage,
+            r.subject
+        );
+        let _ = writeln!(out, "      {}", r.reason);
+        for (k, v) in &r.details {
+            let _ = writeln!(out, "      {k}: {v}");
+        }
+        if !r.features.is_empty() {
+            let feats: Vec<String> = r.features.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "      features: {}", feats.join(" "));
+        }
+    }
+    out
+}
+
+/// Verdict-set key for diffing: records are matched across artifacts by
+/// session *label* (ids may differ between runs), stage, and subject.
+fn verdict_map(a: &Artifact) -> BTreeMap<(String, String, String), Vec<String>> {
+    let mut map: BTreeMap<(String, String, String), Vec<String>> = BTreeMap::new();
+    for r in &a.records {
+        map.entry((
+            a.session_label(r.session),
+            r.stage.clone(),
+            r.subject.clone(),
+        ))
+        .or_default()
+        .push(r.verdict.clone());
+    }
+    for v in map.values_mut() {
+        v.sort();
+    }
+    map
+}
+
+/// Diff two artifacts by (session label, stage, subject): reports keys
+/// whose verdict sets changed, appeared, or disappeared. Returns the
+/// rendered report and the number of differences.
+pub fn diff(old: &Artifact, new: &Artifact) -> (String, usize) {
+    let a = verdict_map(old);
+    let b = verdict_map(new);
+    let mut out = String::new();
+    let mut ndiff = 0usize;
+    for (key, averdicts) in &a {
+        match b.get(key) {
+            None => {
+                ndiff += 1;
+                let _ = writeln!(
+                    out,
+                    "- [{}] {}: {} (only in old: {})",
+                    key.0,
+                    key.1,
+                    key.2,
+                    averdicts.join(",")
+                );
+            }
+            Some(bverdicts) if bverdicts != averdicts => {
+                ndiff += 1;
+                let _ = writeln!(
+                    out,
+                    "~ [{}] {}: {} ({} -> {})",
+                    key.0,
+                    key.1,
+                    key.2,
+                    averdicts.join(","),
+                    bverdicts.join(",")
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    for (key, bverdicts) in &b {
+        if !a.contains_key(key) {
+            ndiff += 1;
+            let _ = writeln!(
+                out,
+                "+ [{}] {}: {} (only in new: {})",
+                key.0,
+                key.1,
+                key.2,
+                bverdicts.join(",")
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} decision key(s) compared, {ndiff} difference(s)",
+        a.len().max(b.len())
+    );
+    (out, ndiff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        parse(
+            r#"{
+  "version": 1,
+  "dropped": 2,
+  "sessions": [ { "id": 1, "label": "cholesky/KJLI" }, { "id": 2, "label": "cholesky/JKLI" } ],
+  "records": [
+    { "session": 1, "seq": 0, "stage": "legal", "subject": "transformation [[1 0] [0 1]]",
+      "verdict": "accept", "reason": "all 3 dependences satisfied",
+      "details": { "proof": "dep 0: row [+ 0] projects to [+ 0]" },
+      "features": { "deps": 3 } },
+    { "session": 2, "seq": 1, "stage": "complete", "subject": "partial row 0 [0 1 0 0]",
+      "verdict": "reject", "reason": "dep 1 (flow S2->S1, level 0): projection of row would go negative",
+      "details": { "dep_row": "[- + *]" }, "features": { "slot": 0, "deps": 3 } }
+  ]
+}"#,
+        )
+        .expect("sample parses")
+    }
+
+    #[test]
+    fn parses_schema_and_fields() {
+        let a = sample();
+        assert_eq!(a.version, 1);
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.sessions.len(), 2);
+        assert_eq!(a.records.len(), 2);
+        assert_eq!(a.records[1].verdict, "reject");
+        assert_eq!(a.records[1].details["dep_row"], "[- + *]");
+        assert_eq!(a.records[0].features["deps"], 3);
+        assert_eq!(a.session_label(2), "cholesky/JKLI");
+    }
+
+    #[test]
+    fn filters_select_records() {
+        let a = sample();
+        let all = Filter::default();
+        assert!(all.is_empty());
+        assert_eq!(a.records.iter().filter(|r| all.matches(&a, r)).count(), 2);
+        let rejects = Filter {
+            verdict: Some("reject".to_string()),
+            ..Filter::default()
+        };
+        assert_eq!(
+            a.records.iter().filter(|r| rejects.matches(&a, r)).count(),
+            1
+        );
+        let by_label = Filter {
+            session: Some("KJLI".to_string()),
+            ..Filter::default()
+        };
+        // substring "KJLI" appears in both labels ("JKLI" does not match)
+        assert_eq!(
+            a.records.iter().filter(|r| by_label.matches(&a, r)).count(),
+            1
+        );
+        let by_stage = Filter {
+            stage: Some("complete".to_string()),
+            subject: Some("partial row".to_string()),
+            ..Filter::default()
+        };
+        assert_eq!(
+            a.records.iter().filter(|r| by_stage.matches(&a, r)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn render_groups_by_session_and_names_evidence() {
+        let a = sample();
+        let text = render(&a, &Filter::default());
+        assert!(text.contains("== cholesky/KJLI =="), "{text}");
+        assert!(text.contains("[ACCEPT] legal"), "{text}");
+        assert!(text.contains("[REJECT] complete"), "{text}");
+        assert!(text.contains("dep_row: [- + *]"), "{text}");
+        assert!(text.contains("features: deps=3"), "{text}");
+        assert!(text.contains("2 dropped to capacity"), "{text}");
+    }
+
+    #[test]
+    fn diff_reports_verdict_changes_and_missing_keys() {
+        let a = sample();
+        let (text, n) = diff(&a, &a);
+        assert_eq!(n, 0, "{text}");
+        let mut b = sample();
+        b.records[1].verdict = "accept".to_string();
+        b.records.push(Rec {
+            session: 1,
+            seq: 9,
+            stage: "parallel".to_string(),
+            subject: "new loop slot 3".to_string(),
+            verdict: "accept".to_string(),
+            reason: "DOALL".to_string(),
+            details: BTreeMap::new(),
+            features: BTreeMap::new(),
+        });
+        let (text, n) = diff(&a, &b);
+        assert_eq!(n, 2, "{text}");
+        assert!(text.contains("reject -> accept"), "{text}");
+        assert!(text.contains("only in new"), "{text}");
+    }
+
+    #[test]
+    fn rejects_bad_artifacts() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"version": 99, "dropped": 0, "records": []}"#).is_err());
+        assert!(parse(r#"{"version": 1, "dropped": 0}"#).is_err());
+    }
+}

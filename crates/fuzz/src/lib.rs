@@ -37,12 +37,12 @@ use proptest::prelude::*;
 use proptest::test_runner::Config;
 
 /// Number of cases per property: `INL_FUZZ_CASES` when set (CI uses
-/// 2000), else `local_default`.
+/// 2000), else `local_default`. Malformed values warn once to stderr
+/// and fall back to the default (via [`inl_obs::env_usize`]).
 pub fn fuzz_cases(local_default: u32) -> u32 {
-    std::env::var("INL_FUZZ_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(local_default)
+    inl_obs::env_usize("INL_FUZZ_CASES", local_default as usize)
+        .try_into()
+        .unwrap_or(u32::MAX)
 }
 
 /// A proptest config honoring [`fuzz_cases`].

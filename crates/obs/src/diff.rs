@@ -87,6 +87,11 @@ pub struct DiffLine {
     pub name: String,
     /// Human-readable explanation (values, percent change).
     pub detail: String,
+    /// Signed relative change `(new - old) / old` where the metric is
+    /// numeric; `f64::INFINITY` for growth from zero and for correctness
+    /// flips (always the worst), `0.0` where no delta applies (one-sided
+    /// keys, histogram shape warnings).
+    pub rel: f64,
 }
 
 /// Full diff result.
@@ -98,10 +103,21 @@ pub struct DiffOutcome {
 
 impl DiffOutcome {
     fn push(&mut self, status: Status, name: impl Into<String>, detail: impl Into<String>) {
+        self.push_rel(status, name, detail, 0.0);
+    }
+
+    fn push_rel(
+        &mut self,
+        status: Status,
+        name: impl Into<String>,
+        detail: impl Into<String>,
+        rel: f64,
+    ) {
         self.lines.push(DiffLine {
             status,
             name: name.into(),
             detail: detail.into(),
+            rel,
         });
     }
 
@@ -111,6 +127,22 @@ impl DiffOutcome {
             .iter()
             .filter(|l| l.status == Status::Regressed)
             .count()
+    }
+
+    /// The `n` worst regressions, sorted by relative delta descending
+    /// (correctness flips and growth-from-zero sort first as infinite;
+    /// one-sided keys, which have no delta, sort last). CI gates print
+    /// this so the most damaging change leads the log instead of the
+    /// alphabetically first failing key.
+    pub fn top_regressions(&self, n: usize) -> Vec<&DiffLine> {
+        let mut worst: Vec<&DiffLine> = self
+            .lines
+            .iter()
+            .filter(|l| l.status == Status::Regressed)
+            .collect();
+        worst.sort_by(|a, b| b.rel.total_cmp(&a.rel).then_with(|| a.name.cmp(&b.name)));
+        worst.truncate(n);
+        worst
     }
 
     /// Number of warning lines.
@@ -186,11 +218,11 @@ fn diff_timing(out: &mut DiffOutcome, opts: &DiffOptions, name: &str, old_ns: f6
         rel * 100.0
     );
     if rel > opts.time_rel {
-        out.push(Status::Regressed, name, detail);
+        out.push_rel(Status::Regressed, name, detail, rel);
     } else if rel < -opts.time_rel {
-        out.push(Status::Improved, name, detail);
+        out.push_rel(Status::Improved, name, detail, rel);
     } else {
-        out.push(Status::Ok, name, detail);
+        out.push_rel(Status::Ok, name, detail, rel);
     }
 }
 
@@ -224,10 +256,11 @@ pub fn diff_reports(old: &PipelineReport, new: &PipelineReport, opts: &DiffOptio
                 out.push(Status::Ok, &key, format!("{old_v}"));
             }
             Some(&new_v) => {
-                out.push(
+                out.push_rel(
                     Status::Regressed,
                     &key,
                     format!("{old_v} -> {new_v} (counters must match exactly)"),
+                    rel_change(old_v as f64, new_v as f64).abs(),
                 );
             }
         }
@@ -337,7 +370,12 @@ pub fn diff_bench(old: &Json, new: &Json, opts: &DiffOptions) -> Result<DiffOutc
             if *new_ok {
                 out.push(Status::Ok, &key, "true");
             } else {
-                out.push(Status::Regressed, &key, "false (correctness, not timing)");
+                out.push_rel(
+                    Status::Regressed,
+                    &key,
+                    "false (correctness, not timing)",
+                    f64::INFINITY,
+                );
             }
         }
         if let Json::Object(fields) = old_p {
@@ -485,6 +523,43 @@ mod tests {
         let out = diff_reports(&old, &new, &DiffOptions::default());
         assert_eq!(out.regressions(), 0);
         assert!(out.lines.iter().any(|l| l.status == Status::Improved));
+    }
+
+    #[test]
+    fn top_regressions_sort_by_relative_delta_and_truncate() {
+        let old = report();
+        let mut new = report();
+        // Three regressions of different severity: a 2x span slowdown
+        // (+100%), a 5x timing-counter blowup (+400%), and an exact-match
+        // counter drift (+~0.3%). Largest relative delta must lead.
+        new.spans.get_mut("exec.interpret").unwrap().total_ns = 400_000_000;
+        *new.counters.get_mut("exec.par.thread_busy_ns").unwrap() = 45_000_000;
+        *new.counters.get_mut("exec.instances").unwrap() += 1;
+        let out = diff_reports(&old, &new, &DiffOptions::default());
+        assert_eq!(out.regressions(), 3);
+        let top = out.top_regressions(10);
+        let names: Vec<&str> = top.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "counter:exec.par.thread_busy_ns",
+                "span:exec.interpret",
+                "counter:exec.instances"
+            ],
+            "sorted by relative delta descending"
+        );
+        assert!(top[0].rel > top[1].rel && top[1].rel > top[2].rel);
+        // truncation keeps only the worst
+        let top1 = out.top_regressions(1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].name, "counter:exec.par.thread_busy_ns");
+        // a correctness flip outranks any timing delta
+        let base = bench_doc(10_000_000, true);
+        let wrong = bench_doc(90_000_000, false);
+        let out = diff_documents(&base, &wrong, &DiffOptions::default()).unwrap();
+        let top = out.top_regressions(10);
+        assert_eq!(top[0].name, "bench:cholesky-kij:bitwise_identical");
+        assert!(top[0].rel.is_infinite());
     }
 
     #[test]

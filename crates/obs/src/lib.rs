@@ -26,9 +26,15 @@
 //! events into bounded per-thread ring buffers and exports Chrome
 //! trace-event JSON (viewable in Perfetto / `chrome://tracing`). It is
 //! enabled by `INL_TRACE=1` / [`set_timeline_enabled`], and
-//! `INL_TRACE_JSON=<path>` dumps the trace at process exit. Both layers
-//! share one flag byte, so "everything disabled" still costs exactly one
-//! relaxed atomic load per instrument.
+//! `INL_TRACE_JSON=<path>` dumps the trace at process exit.
+//!
+//! A third layer — [`explain`] — records *decision provenance*: why each
+//! candidate transformation was legal or rejected, with the dependence
+//! evidence and cost features behind every verdict. It is enabled by
+//! `INL_EXPLAIN=1` / [`set_explain_enabled`], and
+//! `INL_EXPLAIN_JSON=<path>` dumps the record store at process exit. All
+//! three layers share one flag byte, so "everything disabled" still
+//! costs exactly one relaxed atomic load per instrument.
 //!
 //! Spans nest: a span opened while another span is open on the same
 //! thread is recorded under the path `outer/inner`, so solver time inside
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod explain;
 pub mod json;
 pub mod report;
 pub mod timeline;
@@ -59,11 +66,14 @@ use std::time::Instant;
 pub(crate) const FLAG_OBS: u8 = 1;
 /// Flag bit: timeline event recording.
 pub(crate) const FLAG_TIMELINE: u8 = 2;
+/// Flag bit: decision-provenance (explain) recording.
+pub(crate) const FLAG_EXPLAIN: u8 = 4;
 
 /// JSON dump paths read from the environment at first-instrument time;
 /// written at process exit by the `atexit` hook.
 static EXIT_OBS_JSON: OnceLock<Option<PathBuf>> = OnceLock::new();
 static EXIT_TRACE_JSON: OnceLock<Option<PathBuf>> = OnceLock::new();
+static EXIT_EXPLAIN_JSON: OnceLock<Option<PathBuf>> = OnceLock::new();
 
 fn env_on(name: &str) -> bool {
     matches!(
@@ -78,6 +88,41 @@ fn env_path(name: &str) -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
+/// Parse a numeric environment variable, warning **once per variable** to
+/// stderr when the value is set but malformed (previously such values
+/// were silently ignored). Unset variables and valid values never warn;
+/// malformed or zero values fall back to `default`.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    let Ok(raw) = std::env::var(name) else {
+        return default;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(v) if v > 0 => v,
+        _ => {
+            warn_once(name, &raw, default);
+            default
+        }
+    }
+}
+
+/// Emit the malformed-env warning at most once per variable name per
+/// process, even if the variable is parsed from several call sites.
+fn warn_once(name: &str, raw: &str, default: usize) {
+    static WARNED: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if warned.iter().any(|n| n == name) {
+        return;
+    }
+    warned.push(name.to_string());
+    eprintln!(
+        "inl-obs: ignoring malformed {name}={raw:?} (expected a positive integer); \
+         using default {default}"
+    );
+}
+
 /// Dump telemetry/trace JSON for `INL_OBS_JSON` / `INL_TRACE_JSON`.
 /// Runs via `atexit`, so it must never unwind.
 extern "C" fn exit_dump() {
@@ -87,6 +132,9 @@ extern "C" fn exit_dump() {
         }
         if let Some(Some(path)) = EXIT_TRACE_JSON.get() {
             let _ = timeline::write_chrome_trace(path);
+        }
+        if let Some(Some(path)) = EXIT_EXPLAIN_JSON.get() {
+            let _ = explain::write_json(path);
         }
     });
 }
@@ -119,8 +167,12 @@ fn flags_cell() -> &'static AtomicU8 {
         if env_on("INL_TRACE") {
             f |= FLAG_TIMELINE;
         }
+        if env_on("INL_EXPLAIN") {
+            f |= FLAG_EXPLAIN;
+        }
         let obs_json = env_path("INL_OBS_JSON");
         let trace_json = env_path("INL_TRACE_JSON");
+        let explain_json = env_path("INL_EXPLAIN_JSON");
         // A dump path implies the matching layer: collecting nothing and
         // then writing an empty file would be useless.
         if obs_json.is_some() {
@@ -129,9 +181,13 @@ fn flags_cell() -> &'static AtomicU8 {
         if trace_json.is_some() {
             f |= FLAG_TIMELINE;
         }
-        let want_dump = obs_json.is_some() || trace_json.is_some();
+        if explain_json.is_some() {
+            f |= FLAG_EXPLAIN;
+        }
+        let want_dump = obs_json.is_some() || trace_json.is_some() || explain_json.is_some();
         let _ = EXIT_OBS_JSON.set(obs_json);
         let _ = EXIT_TRACE_JSON.set(trace_json);
+        let _ = EXIT_EXPLAIN_JSON.set(explain_json);
         if want_dump {
             register_exit_dump();
         }
@@ -158,6 +214,14 @@ pub fn timeline_enabled() -> bool {
     flags() & FLAG_TIMELINE != 0
 }
 
+/// True iff decision-provenance (explain) recording is on (one relaxed
+/// atomic load). Call sites should gate evidence-string construction on
+/// this so the disabled path stays free.
+#[inline]
+pub fn explain_enabled() -> bool {
+    flags() & FLAG_EXPLAIN != 0
+}
+
 /// Turn telemetry collection on or off at runtime (overrides `INL_OBS`).
 /// The timeline flag is unaffected.
 pub fn set_enabled(on: bool) {
@@ -175,6 +239,16 @@ pub fn set_timeline_enabled(on: bool) {
         flags_cell().fetch_or(FLAG_TIMELINE, Ordering::Relaxed);
     } else {
         flags_cell().fetch_and(!FLAG_TIMELINE, Ordering::Relaxed);
+    }
+}
+
+/// Turn decision-provenance recording on or off at runtime (overrides
+/// `INL_EXPLAIN`). The other two layer flags are unaffected.
+pub fn set_explain_enabled(on: bool) {
+    if on {
+        flags_cell().fetch_or(FLAG_EXPLAIN, Ordering::Relaxed);
+    } else {
+        flags_cell().fetch_and(!FLAG_EXPLAIN, Ordering::Relaxed);
     }
 }
 

@@ -135,14 +135,7 @@ fn retired() -> MutexGuard<'static, Retired> {
 
 fn capacity_cell() -> &'static AtomicUsize {
     static CAP: OnceLock<AtomicUsize> = OnceLock::new();
-    CAP.get_or_init(|| {
-        let cap = std::env::var("INL_TRACE_CAP")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&c| c > 0)
-            .unwrap_or(DEFAULT_CAPACITY);
-        AtomicUsize::new(cap)
-    })
+    CAP.get_or_init(|| AtomicUsize::new(crate::env_usize("INL_TRACE_CAP", DEFAULT_CAPACITY)))
 }
 
 /// Per-thread ring capacity currently applied to *newly created* rings.

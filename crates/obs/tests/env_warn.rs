@@ -1,0 +1,68 @@
+//! Malformed numeric env vars (`INL_TRACE_CAP`, `INL_EXPLAIN_CAP`) must
+//! warn once to stderr and fall back to the default capacity instead of
+//! being silently ignored. The warning fires during lazy capacity
+//! initialization, so this test re-executes its own binary as a child
+//! with bad values set and inspects the child's stderr.
+
+const CHILD_MARKER: &str = "INL_OBS_ENV_WARN_CHILD";
+
+/// In the child: the first capacity queries parse the malformed values,
+/// warn once each, and fall back to the defaults.
+fn run_as_child() {
+    assert_eq!(
+        inl_obs::timeline::capacity(),
+        inl_obs::timeline::DEFAULT_CAPACITY,
+        "malformed INL_TRACE_CAP falls back to the default"
+    );
+    assert_eq!(
+        inl_obs::explain::capacity(),
+        inl_obs::explain::DEFAULT_CAPACITY,
+        "malformed INL_EXPLAIN_CAP falls back to the default"
+    );
+    // Re-parsing the same variable later must not warn a second time.
+    assert_eq!(inl_obs::env_usize("INL_TRACE_CAP", 77), 77);
+}
+
+#[test]
+fn malformed_numeric_env_vars_warn_once_and_fall_back() {
+    if std::env::var_os(CHILD_MARKER).is_some() {
+        run_as_child();
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(&exe)
+        .arg("malformed_numeric_env_vars_warn_once_and_fall_back")
+        .arg("--exact")
+        // the child harness must not swallow the warning we assert on
+        .arg("--nocapture")
+        .env(CHILD_MARKER, "1")
+        .env("INL_TRACE_CAP", "banana")
+        .env("INL_EXPLAIN_CAP", "-3")
+        .env_remove("INL_OBS")
+        .env_remove("INL_TRACE")
+        .env_remove("INL_EXPLAIN")
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr.matches("ignoring malformed INL_TRACE_CAP").count(),
+        1,
+        "exactly one warning per variable:\n{stderr}"
+    );
+    assert_eq!(
+        stderr.matches("ignoring malformed INL_EXPLAIN_CAP").count(),
+        1,
+        "exactly one warning per variable:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("using default"),
+        "warning names the fallback:\n{stderr}"
+    );
+}

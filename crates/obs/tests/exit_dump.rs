@@ -1,7 +1,9 @@
-//! `INL_OBS_JSON` / `INL_TRACE_JSON` exit-dump integration test.
+//! `INL_OBS_JSON` / `INL_TRACE_JSON` / `INL_EXPLAIN_JSON` exit-dump
+//! integration test.
 //!
-//! The contract under test: pointing either env var at a path makes the
-//! process dump its telemetry report (resp. Chrome trace) there at exit,
+//! The contract under test: pointing any of the env vars at a path makes
+//! the process dump its telemetry report (resp. Chrome trace, resp.
+//! decision-provenance artifact) there at exit,
 //! with no code changes in the binary beyond touching any inl-obs entry
 //! point. Verifying an atexit hook requires a real process exit, so this
 //! test re-executes its own test binary as a child with the env vars set
@@ -30,12 +32,24 @@ fn run_as_child() {
         inl_obs::timeline_enabled(),
         "INL_TRACE_JSON implies the timeline is enabled"
     );
+    assert!(
+        inl_obs::explain_enabled(),
+        "INL_EXPLAIN_JSON implies the explain layer is enabled"
+    );
     inl_obs::counter("exit_dump.child.events").add(7);
     inl_obs::timeline::instant("exit_dump.child.marker");
     {
         let _s = inl_obs::span("exit_dump.child.work");
         std::hint::black_box(0u64);
     }
+    inl_obs::explain::begin_session("exit_dump/child");
+    inl_obs::explain::reject(
+        "test",
+        "child decision",
+        "recorded only to survive into the exit dump",
+    )
+    .detail("dep_row", "[+ 0 *]")
+    .feature("deps", 1);
     // Return normally; the atexit hook does the dumping.
 }
 
@@ -48,8 +62,10 @@ fn env_dump_paths_produce_reports_at_process_exit() {
 
     let obs_path = target_tmp("report.json");
     let trace_path = target_tmp("trace.json");
+    let explain_path = target_tmp("explain.json");
     let _ = std::fs::remove_file(&obs_path);
     let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&explain_path);
 
     let exe = std::env::current_exe().expect("test binary path");
     let out = std::process::Command::new(&exe)
@@ -58,8 +74,10 @@ fn env_dump_paths_produce_reports_at_process_exit() {
         .env(CHILD_MARKER, "1")
         .env("INL_OBS_JSON", &obs_path)
         .env("INL_TRACE_JSON", &trace_path)
+        .env("INL_EXPLAIN_JSON", &explain_path)
         .env_remove("INL_OBS")
         .env_remove("INL_TRACE")
+        .env_remove("INL_EXPLAIN")
         .output()
         .expect("spawn child test process");
     assert!(
@@ -103,6 +121,43 @@ fn env_dump_paths_produce_reports_at_process_exit() {
         "child instant present in trace dump"
     );
 
+    // Explain artifact: versioned JSON whose records include the child's
+    // rejection with its evidence.
+    let explain_text = std::fs::read_to_string(&explain_path).expect("child dumped explain JSON");
+    let explain = Json::parse(&explain_text).expect("explain dump is well-formed JSON");
+    assert_eq!(
+        explain.get("version").and_then(Json::as_u64),
+        Some(inl_obs::explain::SCHEMA_VERSION),
+        "explain artifact carries its schema version"
+    );
+    let records = match explain.get("records") {
+        Some(Json::Array(items)) => items,
+        other => panic!("records array expected, got {other:?}"),
+    };
+    let rec = records
+        .iter()
+        .find(|r| r.get("subject").and_then(Json::as_str) == Some("child decision"))
+        .expect("child record present in explain dump");
+    assert_eq!(rec.get("verdict").and_then(Json::as_str), Some("reject"));
+    assert_eq!(
+        rec.get("details")
+            .and_then(|d| d.get("dep_row"))
+            .and_then(Json::as_str),
+        Some("[+ 0 *]"),
+        "evidence details survive the dump"
+    );
+    let sessions = match explain.get("sessions") {
+        Some(Json::Array(items)) => items,
+        other => panic!("sessions array expected, got {other:?}"),
+    };
+    assert!(
+        sessions
+            .iter()
+            .any(|s| s.get("label").and_then(Json::as_str) == Some("exit_dump/child")),
+        "child session label present in explain dump"
+    );
+
     let _ = std::fs::remove_file(&obs_path);
     let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&explain_path);
 }
