@@ -449,14 +449,7 @@ fn main() {
     // report's deterministic-output convention; evictions/entries let the
     // diff gate watch for unbounded growth.
     let cs = inl_poly::cache::stats();
-    let mut pc = Json::object();
-    pc.insert("enabled", Json::Bool(inl_poly::cache::cache_enabled()));
-    pc.insert("hits", Json::Int(cs.hits));
-    pc.insert("misses", Json::Int(cs.misses));
-    pc.insert("insertions", Json::Int(cs.insertions));
-    pc.insert("evictions", Json::Int(cs.evictions));
-    pc.insert("entries", Json::Int(cs.entries));
-    pc.insert("hit_rate", Json::Float(cs.hit_rate()));
+    let pc = inl_poly::cache::stats_json();
     println!("\n## poly query cache\n");
     println!(
         "hits {}, misses {}, insertions {}, evictions {}, resident entries {} (hit rate {:.1}%)",

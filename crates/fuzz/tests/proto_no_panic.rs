@@ -1,0 +1,140 @@
+//! Wire-protocol fuzzing: the `inl-proto` decoder faces untrusted bytes
+//! from the network, so its contract is stricter than the pipeline's —
+//! *any* byte sequence must produce a typed error or a valid message,
+//! never a panic, never an unbounded allocation.
+//!
+//! Three attack surfaces:
+//!
+//! 1. raw garbage into [`inl_proto::decode_request`] /
+//!    [`inl_proto::decode_response`] (JSON parser, schema checks);
+//! 2. raw garbage and truncations into [`inl_proto::read_frame`]
+//!    (length-prefix handling);
+//! 3. well-formed messages round-tripped (decode ∘ encode = id), so the
+//!    defensive checks don't reject legitimate traffic.
+
+use inl_fuzz::fuzz_config;
+use inl_proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    BackendChoice, FrameLimits, Request,
+};
+use proptest::prelude::*;
+
+fn small_limits() -> FrameLimits {
+    FrameLimits {
+        max_frame: 4096,
+        max_json_depth: 16,
+    }
+}
+
+/// Byte alphabet for the JSON-soup generator: the punctuation and digit
+/// bytes a JSON parser actually branches on.
+const SOUP: &[u8] = b"{}[]\":,09-.etfn \\x";
+
+proptest! {
+    #![proptest_config(fuzz_config(64))]
+
+    /// Arbitrary bytes through both message decoders: typed error or
+    /// valid message, never a panic.
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let limits = FrameLimits::default();
+        let _ = decode_request(&bytes, &limits);
+        let _ = decode_response(&bytes, &limits);
+        let tight = small_limits();
+        let _ = decode_request(&bytes, &tight);
+        let _ = decode_response(&bytes, &tight);
+    }
+
+    /// JSON-shaped garbage (punctuation soup) exercises the parser deeper
+    /// than uniform bytes; still must not panic.
+    #[test]
+    fn decoders_never_panic_on_json_soup(
+        picks in prop::collection::vec(0usize..SOUP.len(), 0..256)
+    ) {
+        let soup: Vec<u8> = picks.iter().map(|&i| SOUP[i]).collect();
+        let _ = decode_request(&soup, &small_limits());
+        let _ = decode_response(&soup, &small_limits());
+    }
+
+    /// Arbitrary bytes through the frame reader: every outcome is a
+    /// clean EOF, a payload, or a typed error.
+    #[test]
+    fn read_frame_never_panics_on_garbage(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+        let mut r = &bytes[..];
+        // Drain frames until EOF or error; must terminate (each Ok(Some)
+        // consumes ≥ 4 bytes).
+        while let Ok(Some(_)) = read_frame(&mut r, &small_limits()) {}
+    }
+
+    /// A valid frame truncated at any point is Malformed (or clean EOF
+    /// when cut exactly at the boundary before the first byte).
+    #[test]
+    fn truncated_frames_are_typed_errors(
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        cut_pct in 0u64..=100,
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let cut = (wire.len() * cut_pct as usize) / 100;
+        let mut r = &wire[..cut];
+        match read_frame(&mut r, &FrameLimits::default()) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at the boundary"),
+            Ok(Some(p)) => prop_assert_eq!(p, payload, "complete frame only when nothing was cut"),
+            Err(inl_proto::FrameError::Malformed(_)) => prop_assert!(cut < wire.len()),
+            Err(inl_proto::FrameError::Io(e)) => prop_assert!(false, "in-memory read failed: {e}"),
+        }
+    }
+
+    /// decode ∘ encode = id over the request space the clients generate,
+    /// including non-ASCII program names and boundary parameter values.
+    #[test]
+    fn requests_round_trip(
+        name_ix in 0usize..6,
+        with_order in prop::bool::ANY,
+        order_ix in 0usize..4,
+        params in prop::collection::vec(0u32..=4_294_967_295, 0..4),
+        which in 0usize..5,
+        vm in prop::bool::ANY,
+    ) {
+        let program = ["matmul", "cholesky_kij", "", "x", "πρόγραμμα", "a b\nc\"d\\e"][name_ix]
+            .to_string();
+        let order = with_order
+            .then(|| ["KJLI", "IKJL", "", "K\u{1F600}"][order_ix].to_string());
+        let req = match which {
+            0 => Request::Compile { program, order },
+            1 => Request::Run {
+                program,
+                params,
+                order,
+                backend: if vm { BackendChoice::Vm } else { BackendChoice::Interp },
+            },
+            2 => Request::Explain { program, order },
+            3 => Request::Stats,
+            _ => Request::Shutdown,
+        };
+        let text = encode_request(&req);
+        let back = decode_request(text.as_bytes(), &FrameLimits::default());
+        prop_assert_eq!(back.as_ref(), Ok(&req), "through {}", text);
+        // And framed: write → read must hand back the same payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, text.as_bytes()).unwrap();
+        let payload = read_frame(&mut &wire[..], &FrameLimits::default())
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(payload, text.into_bytes());
+    }
+
+    /// Every decoded response re-encodes to the same bytes (stability of
+    /// the deterministic encoding the bitwise comparisons rely on).
+    #[test]
+    fn decoded_responses_reencode_identically(
+        picks in prop::collection::vec(0usize..SOUP.len(), 0..256)
+    ) {
+        let soup: Vec<u8> = picks.iter().map(|&i| SOUP[i]).collect();
+        if let Ok(resp) = decode_response(&soup, &FrameLimits::default()) {
+            let text = encode_response(&resp);
+            let again = decode_response(text.as_bytes(), &FrameLimits::default()).unwrap();
+            prop_assert_eq!(encode_response(&again), text);
+        }
+    }
+}

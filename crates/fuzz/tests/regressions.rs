@@ -137,3 +137,60 @@ fn singular_matrix_is_rejected_not_unwrapped() {
         Compiled::Ok(_) => panic!("singular matrix must not compile"),
     }
 }
+
+// ---------------------------------------------------------------------
+// Wire-protocol decoder seeds (inl-proto). These pin the hostile inputs
+// the protocol fuzz properties are built around: each is the minimized
+// representative of an attack class that must stay a typed error.
+// ---------------------------------------------------------------------
+
+/// Seed 1 — allocation bomb: a 4-byte header claiming a 4 GiB payload
+/// followed by nothing. Must be rejected on the length check *before*
+/// the payload buffer is allocated; an OOM abort here counts as a crash.
+#[test]
+fn proto_seed_oversized_length_prefix() {
+    use inl_proto::{read_frame, FrameError, FrameLimits};
+    let wire: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+    match read_frame(&mut &wire[..], &FrameLimits::default()) {
+        Err(FrameError::Malformed(e)) => {
+            assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed);
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+/// Seed 2 — recursion bomb: ten thousand open brackets. The JSON depth
+/// limit must turn this into a typed Budget error instead of letting the
+/// recursive-descent parser blow the stack.
+#[test]
+fn proto_seed_deep_nesting_bomb() {
+    use inl_proto::{decode_request, FrameLimits};
+    let payload = "[".repeat(10_000);
+    let e = decode_request(payload.as_bytes(), &FrameLimits::default()).unwrap_err();
+    assert_eq!(e.kind(), inl_linalg::InlErrorKind::Budget);
+}
+
+/// Seed 3 — overflow probe: a `params` entry one past `u32::MAX` and a
+/// 39-digit integer (past `u64`). Both must be typed IllFormed errors,
+/// not wrap-arounds into accepted values.
+#[test]
+fn proto_seed_integer_overflow_params() {
+    use inl_proto::{decode_request, FrameLimits};
+    let just_past_u32 = br#"{"type": "run", "program": "matmul", "params": [4294967296]}"#;
+    let e = decode_request(just_past_u32, &FrameLimits::default()).unwrap_err();
+    assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed);
+    let past_u64 = br#"{"type": "run", "program": "matmul", "params": [340282366920938463463374607431768211456]}"#;
+    let e = decode_request(past_u64, &FrameLimits::default()).unwrap_err();
+    assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed);
+}
+
+/// Seed 4 — truncated UTF-8 multibyte sequence straddling the payload
+/// boundary (the first byte of a 4-byte emoji, then EOF). Typed error,
+/// not a slicing panic inside the parser.
+#[test]
+fn proto_seed_truncated_utf8() {
+    use inl_proto::{decode_request, FrameLimits};
+    let wire: &[u8] = &[b'{', b'"', 0xF0, 0x9F];
+    let e = decode_request(wire, &FrameLimits::default()).unwrap_err();
+    assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed);
+}

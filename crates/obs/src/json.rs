@@ -9,7 +9,74 @@
 //! telemetry files.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Resource limits for [`Json::parse_with_limits`].
+///
+/// The parser is recursive-descent, so adversarial input — a megabyte of
+/// `[[[[…` from an untrusted socket — could otherwise exhaust the stack
+/// or force a huge allocation. Both limits report a typed [`JsonError`]
+/// instead of crashing. [`Json::parse`] uses [`ParseLimits::default`],
+/// which is generous enough for every artifact this workspace writes;
+/// wire-facing callers (the `inl-proto` decoder) pass tighter ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input length in bytes; longer documents fail upfront with
+    /// [`JsonError::TooLong`] before any parsing work.
+    pub max_len: usize,
+    /// Maximum container nesting depth (arrays + objects); exceeding it
+    /// fails with [`JsonError::TooDeep`] instead of deep recursion.
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_len: usize::MAX,
+            max_depth: 512,
+        }
+    }
+}
+
+/// Typed JSON parse failure; see [`Json::parse_with_limits`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonError {
+    /// The document exceeds [`ParseLimits::max_len`] bytes.
+    TooLong {
+        /// Actual input length.
+        len: usize,
+        /// The configured limit.
+        max: usize,
+    },
+    /// Container nesting exceeds [`ParseLimits::max_depth`].
+    TooDeep {
+        /// The configured limit.
+        max: usize,
+    },
+    /// Any other syntax error, with a byte-position message.
+    Syntax(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::TooLong { len, max } => {
+                write!(f, "input of {len} bytes exceeds the {max}-byte limit")
+            }
+            JsonError::TooDeep { max } => {
+                write!(f, "nesting exceeds the depth limit of {max}")
+            }
+            JsonError::Syntax(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn syn(msg: impl Into<String>) -> JsonError {
+    JsonError::Syntax(msg.into())
+}
 
 /// A JSON value. Object keys are ordered (`BTreeMap`) so serialized
 /// output is deterministic.
@@ -144,13 +211,28 @@ impl Json {
 
     /// Parse a JSON document. Supports the subset this crate emits
     /// (which is all of JSON except exotic number forms beyond f64).
+    /// Uses [`ParseLimits::default`]; errors flatten to strings.
     pub fn parse(text: &str) -> Result<Json, String> {
+        Json::parse_with_limits(text, &ParseLimits::default()).map_err(|e| e.to_string())
+    }
+
+    /// Parse a JSON document under explicit resource limits, reporting a
+    /// typed [`JsonError`]. This is the entry point for *untrusted* input
+    /// (the wire decoder): over-length documents and over-deep nesting
+    /// fail deterministically instead of exhausting memory or stack.
+    pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
+        if bytes.len() > limits.max_len {
+            return Err(JsonError::TooLong {
+                len: bytes.len(),
+                max: limits.max_len,
+            });
+        }
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0, limits)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
+            return Err(syn(format!("trailing data at byte {pos}")));
         }
         Ok(value)
     }
@@ -186,24 +268,34 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
     if bytes.get(*pos) == Some(&byte) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected '{}' at byte {}", byte as char, *pos))
+        Err(syn(format!("expected '{}' at byte {}", byte as char, *pos)))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+    limits: &ParseLimits,
+) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
+        None => Err(syn("unexpected end of input")),
         Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
         Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b'[') => {
+            if depth >= limits.max_depth {
+                return Err(JsonError::TooDeep {
+                    max: limits.max_depth,
+                });
+            }
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(bytes, pos);
@@ -212,7 +304,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Array(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1, limits)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -220,11 +312,16 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Array(items));
                     }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    _ => return Err(syn(format!("expected ',' or ']' at byte {}", *pos))),
                 }
             }
         }
         Some(b'{') => {
+            if depth >= limits.max_depth {
+                return Err(JsonError::TooDeep {
+                    max: limits.max_depth,
+                });
+            }
             *pos += 1;
             let mut map = BTreeMap::new();
             skip_ws(bytes, pos);
@@ -237,7 +334,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1, limits)?;
                 map.insert(key, value);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -246,7 +343,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Object(map));
                     }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    _ => return Err(syn(format!("expected ',' or '}}' at byte {}", *pos))),
                 }
             }
         }
@@ -254,21 +351,26 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
     if bytes[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {}", *pos))
+        Err(syn(format!("invalid literal at byte {}", *pos)))
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".into()),
+            None => return Err(syn("unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -287,22 +389,22 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'u') => {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                            .ok_or_else(|| syn("truncated \\u escape"))?;
                         let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            std::str::from_utf8(hex).map_err(|_| syn("bad \\u escape"))?,
                             16,
                         )
-                        .map_err(|_| "bad \\u escape")?;
+                        .map_err(|_| syn("bad \\u escape"))?;
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                    _ => return Err(syn(format!("bad escape at byte {}", *pos))),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one UTF-8 character (input is a valid &str).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid utf-8")?;
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| syn("invalid utf-8"))?;
                 let c = rest.chars().next().unwrap();
                 out.push(c);
                 *pos += c.len_utf8();
@@ -311,7 +413,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -321,13 +423,13 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid number")?;
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| syn("invalid number"))?;
     if text.is_empty() {
-        return Err(format!("expected value at byte {start}"));
+        return Err(syn(format!("expected value at byte {start}")));
     }
     // JSON forbids a leading '+' even though Rust's number parsers accept it.
     if text.starts_with('+') {
-        return Err(format!("invalid number '{text}'"));
+        return Err(syn(format!("invalid number '{text}'")));
     }
     if !text.contains(['.', 'e', 'E']) {
         if let Ok(n) = text.parse::<u64>() {
@@ -336,7 +438,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
     text.parse::<f64>()
         .map(Json::Float)
-        .map_err(|_| format!("invalid number '{text}'"))
+        .map_err(|_| syn(format!("invalid number '{text}'")))
 }
 
 #[cfg(test)]
@@ -377,5 +479,64 @@ mod tests {
     fn rejects_trailing_garbage() {
         assert!(Json::parse("{} x").is_err());
         assert!(Json::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn length_limit_is_a_typed_error() {
+        let limits = ParseLimits {
+            max_len: 8,
+            max_depth: 512,
+        };
+        let doc = r#"{"key": 123456789}"#;
+        assert_eq!(
+            Json::parse_with_limits(doc, &limits),
+            Err(JsonError::TooLong {
+                len: doc.len(),
+                max: 8
+            })
+        );
+        // At or under the limit, the same limits parse fine.
+        assert_eq!(
+            Json::parse_with_limits("12345678", &limits),
+            Ok(Json::Int(12345678))
+        );
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error_not_a_stack_overflow() {
+        let limits = ParseLimits {
+            max_len: usize::MAX,
+            max_depth: 16,
+        };
+        // Exactly at the limit: 16 nested arrays parse.
+        let ok = format!("{}7{}", "[".repeat(16), "]".repeat(16));
+        assert!(Json::parse_with_limits(&ok, &limits).is_ok());
+        // One deeper: typed error.
+        let deep = format!("{}7{}", "[".repeat(17), "]".repeat(17));
+        assert_eq!(
+            Json::parse_with_limits(&deep, &limits),
+            Err(JsonError::TooDeep { max: 16 })
+        );
+        // Objects count toward the same depth budget, and a *massively*
+        // over-deep document (which would overflow the stack with no
+        // limit) still errors cleanly.
+        let mixed = format!("{}{}", r#"{"a": "#.repeat(17), "1");
+        assert_eq!(
+            Json::parse_with_limits(&mixed, &limits),
+            Err(JsonError::TooDeep { max: 16 })
+        );
+        let hostile = "[".repeat(10_000_000);
+        assert_eq!(
+            Json::parse_with_limits(&hostile, &limits),
+            Err(JsonError::TooDeep { max: 16 })
+        );
+    }
+
+    #[test]
+    fn json_error_display_is_descriptive() {
+        let e = JsonError::TooLong { len: 10, max: 4 };
+        assert!(e.to_string().contains("10 bytes"), "{e}");
+        let e = JsonError::TooDeep { max: 4 };
+        assert!(e.to_string().contains("depth limit of 4"), "{e}");
     }
 }

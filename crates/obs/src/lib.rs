@@ -50,7 +50,7 @@ pub mod json;
 pub mod report;
 pub mod timeline;
 
-pub use json::Json;
+pub use json::{Json, JsonError, ParseLimits};
 pub use report::{HistogramSnapshot, PipelineReport, SpanSnapshot};
 
 use std::cell::RefCell;

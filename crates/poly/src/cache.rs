@@ -86,6 +86,21 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Render as a JSON object — the shape shared by the report binary's
+    /// `poly_cache` section and `inl-serve`'s `stats` response, so both
+    /// views of the process-wide cache stay comparable.
+    pub fn to_json(&self) -> inl_obs::Json {
+        let mut o = inl_obs::Json::object();
+        o.insert("enabled", inl_obs::Json::Bool(cache_enabled()));
+        o.insert("hits", inl_obs::Json::Int(self.hits));
+        o.insert("misses", inl_obs::Json::Int(self.misses));
+        o.insert("insertions", inl_obs::Json::Int(self.insertions));
+        o.insert("evictions", inl_obs::Json::Int(self.evictions));
+        o.insert("entries", inl_obs::Json::Int(self.entries));
+        o.insert("hit_rate", inl_obs::Json::Float(self.hit_rate()));
+        o
+    }
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
@@ -136,6 +151,11 @@ pub fn reset_stats() {
     MISSES.store(0, Ordering::Relaxed);
     INSERTIONS.store(0, Ordering::Relaxed);
     EVICTIONS.store(0, Ordering::Relaxed);
+}
+
+/// Snapshot the cache counters as JSON (see [`CacheStats::to_json`]).
+pub fn stats_json() -> inl_obs::Json {
+    stats().to_json()
 }
 
 /// Snapshot the cache counters.
@@ -262,6 +282,35 @@ mod tests {
         let st = stats();
         assert_eq!((st.hits, st.misses, st.insertions), (0, 0, 0));
         set_cache_enabled(true);
+    }
+
+    #[test]
+    fn stats_json_snapshot_has_the_report_shape() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_cache_enabled(true);
+        clear();
+        reset_stats();
+        let s = interval(0, 9);
+        let _ = var_bounds(&s, 0); // miss + insert
+        let _ = var_bounds(&s, 0); // hit
+        let j = stats_json();
+        assert_eq!(j.get("enabled"), Some(&inl_obs::Json::Bool(true)));
+        // Counters are process-global and sibling tests also query the
+        // cache, so assert monotone facts, not exact counts: the cold call
+        // must miss, the identical warm call must hit.
+        let hits = j.get("hits").and_then(inl_obs::Json::as_u64).unwrap();
+        let misses = j.get("misses").and_then(inl_obs::Json::as_u64).unwrap();
+        assert!(hits >= 1, "warm call must hit");
+        assert!(misses >= 1, "cold call must miss");
+        let rate = match j.get("hit_rate") {
+            Some(inl_obs::Json::Float(f)) => *f,
+            other => panic!("hit_rate should be a float, got {other:?}"),
+        };
+        assert!(rate > 0.0 && rate <= 1.0, "rate {rate}");
+        // Every key the report binary's poly_cache section publishes.
+        for key in ["insertions", "evictions", "entries"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Length-prefixed framing over any byte stream.
+//!
+//! A frame is a 4-byte big-endian length `n` followed by `n` bytes of
+//! payload. The reader distinguishes a *clean* end of stream (EOF at a
+//! frame boundary — the peer hung up politely) from a *truncated* frame
+//! (EOF mid-header or mid-payload — a protocol violation reported as a
+//! typed error).
+
+use inl_linalg::{InlError, InlErrorKind};
+use std::io::{ErrorKind, Read, Write};
+
+/// Default cap on a single frame's payload: 1 MiB. Generous for every
+/// message this protocol defines (the largest are pseudocode listings a
+/// few KiB long) while keeping a hostile length prefix from forcing a
+/// 4 GiB allocation.
+pub const MAX_FRAME_DEFAULT: usize = 1 << 20;
+
+/// Decode limits applied to every inbound frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameLimits {
+    /// Maximum payload length in bytes; a length prefix above this is
+    /// rejected before any allocation.
+    pub max_frame: usize,
+    /// Maximum JSON nesting depth for the payload (see
+    /// [`inl_obs::ParseLimits`]).
+    pub max_json_depth: usize,
+}
+
+impl Default for FrameLimits {
+    fn default() -> Self {
+        FrameLimits {
+            max_frame: MAX_FRAME_DEFAULT,
+            max_json_depth: 64,
+        }
+    }
+}
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+///
+/// Fails with a typed error if `payload` exceeds `u32::MAX` bytes (it
+/// could not be represented in the header); I/O errors pass through.
+///
+/// ```
+/// let mut wire = Vec::new();
+/// inl_proto::write_frame(&mut wire, b"{}").unwrap();
+/// assert_eq!(wire, [0, 0, 0, 2, b'{', b'}']);
+/// ```
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds u32", payload.len()),
+        )
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// What [`read_frame`] can report besides a payload.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The transport failed (socket reset, interrupted read, …).
+    Io(std::io::Error),
+    /// The peer violated the protocol: truncated frame or a length
+    /// prefix beyond [`FrameLimits::max_frame`].
+    Malformed(InlError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport: {e}"),
+            FrameError::Malformed(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Read one frame under `limits`.
+///
+/// Returns `Ok(None)` on a clean EOF before the first header byte (the
+/// peer closed the connection between frames). EOF anywhere *inside* a
+/// frame is [`FrameError::Malformed`], as is a length prefix above
+/// [`FrameLimits::max_frame`] — checked before the payload buffer is
+/// allocated, so a hostile header cannot balloon memory.
+pub fn read_frame(r: &mut impl Read, limits: &FrameLimits) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    // First byte by hand to tell clean EOF from truncation.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    header[0] = first[0];
+    read_exact_or_truncated(r, &mut header[1..], "length header")?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > limits.max_frame {
+        return Err(FrameError::Malformed(InlError::new(
+            InlErrorKind::IllFormed,
+            format!(
+                "frame length {len} exceeds the {}-byte limit",
+                limits.max_frame
+            ),
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_truncated(r, &mut payload, "payload")?;
+    Ok(Some(payload))
+}
+
+fn read_exact_or_truncated(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    what: &str,
+) -> Result<(), FrameError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => Err(FrameError::Malformed(
+            InlError::new(InlErrorKind::IllFormed, format!("truncated frame {what}")),
+        )),
+        Err(e) => Err(FrameError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"world!").unwrap();
+        let mut r = &wire[..];
+        let limits = FrameLimits::default();
+        assert_eq!(read_frame(&mut r, &limits).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, &limits).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r, &limits).unwrap().unwrap(), b"world!");
+        assert!(read_frame(&mut r, &limits).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        // Header claims u32::MAX bytes; only 2 follow. Must error on the
+        // length check, not attempt a 4 GiB allocation.
+        let wire = [0xFF, 0xFF, 0xFF, 0xFF, 1, 2];
+        let err = read_frame(&mut &wire[..], &FrameLimits::default()).unwrap_err();
+        match err {
+            FrameError::Malformed(e) => {
+                assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed);
+                assert!(e.message().contains("exceeds"), "{e}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_malformed_not_clean_eof() {
+        // Truncated header.
+        let wire = [0u8, 0];
+        assert!(matches!(
+            read_frame(&mut &wire[..], &FrameLimits::default()),
+            Err(FrameError::Malformed(_))
+        ));
+        // Truncated payload: header says 5 bytes, only 3 arrive.
+        let wire = [0u8, 0, 0, 5, b'a', b'b', b'c'];
+        assert!(matches!(
+            read_frame(&mut &wire[..], &FrameLimits::default()),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

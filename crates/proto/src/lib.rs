@@ -1,0 +1,39 @@
+//! # inl-proto
+//!
+//! The wire protocol spoken between `inl-serve` and its clients: a
+//! std-only layer of **length-prefixed frames** carrying **hand-rolled
+//! JSON** messages (the [`inl_obs::Json`] writer/parser — the build
+//! environment has no serde), with typed request/response enums on top.
+//!
+//! Design rules, in order:
+//!
+//! 1. **Never panic on wire input.** Every decode path — truncated
+//!    frames, oversized length prefixes, garbage bytes, over-deep JSON,
+//!    unknown message types, missing fields — returns a typed
+//!    [`InlError`](inl_linalg::InlError); the `inl-fuzz` harness feeds
+//!    random garbage through [`decode_request`]/[`decode_response`] to
+//!    enforce this.
+//! 2. **Strict limits before allocation.** A frame's length prefix is
+//!    validated against [`FrameLimits::max_frame`] *before* the payload
+//!    buffer is allocated, and the JSON parser runs under
+//!    [`inl_obs::ParseLimits`] so nesting depth is bounded.
+//! 3. **Deterministic encoding.** Messages serialize through
+//!    [`inl_obs::Json::to_pretty_string`] with object keys in `BTreeMap` order, so
+//!    an identical request always produces byte-identical wire text —
+//!    this is what lets the load generator assert server responses are
+//!    bitwise-identical to in-process results.
+//!
+//! Frame format: a 4-byte big-endian payload length, then exactly that
+//! many bytes of UTF-8 JSON. See [`frame`] for the framing primitives
+//! and [`msg`] for the message schema.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod msg;
+
+pub use frame::{read_frame, write_frame, FrameError, FrameLimits, MAX_FRAME_DEFAULT};
+pub use msg::{
+    decode_request, decode_response, encode_request, encode_response, BackendChoice,
+    CompileOutcome, Request, Response,
+};

@@ -1,0 +1,528 @@
+//! The typed message schema: what flows inside the frames.
+//!
+//! Every message is a JSON object with a `"type"` discriminator. The
+//! request side mirrors the pipeline's operations (compile / run /
+//! explain), plus `stats` and `shutdown` for service control; the
+//! response side carries either the operation's result or a typed
+//! `error` object — a malformed request gets an error *response*, never
+//! a dropped connection.
+
+use inl_linalg::{InlError, InlErrorKind};
+use inl_obs::{Json, JsonError, ParseLimits};
+
+use crate::frame::FrameLimits;
+
+/// Which execution backend a `run` request wants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The reference tree-walking interpreter.
+    Interp,
+    /// The compiling bytecode VM (the service default — both backends
+    /// are bitwise-identical, the VM is just faster).
+    #[default]
+    Vm,
+}
+
+impl BackendChoice {
+    /// Wire name (`"interp"` / `"vm"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendChoice::Interp => "interp",
+            BackendChoice::Vm => "vm",
+        }
+    }
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Push a program through analyze → (complete) → codegen and return
+    /// the generated pseudocode. `order` names a loop order (e.g.
+    /// `"KJLI"`): a permutation of the program's loop names, completed
+    /// to a full transformation; `None` compiles the identity schedule.
+    Compile {
+        /// Zoo program name (e.g. `"cholesky_kij"`).
+        program: String,
+        /// Optional loop-order permutation, one character per loop.
+        order: Option<String>,
+    },
+    /// Compile (as above) and execute, returning a digest of the final
+    /// array state for bitwise comparison.
+    Run {
+        /// Zoo program name.
+        program: String,
+        /// Symbolic parameter values (e.g. the problem size `N`).
+        params: Vec<u32>,
+        /// Optional loop-order permutation.
+        order: Option<String>,
+        /// Which backend executes the program.
+        backend: BackendChoice,
+    },
+    /// Ask *why* a loop order is legal or rejected for a program.
+    Explain {
+        /// Zoo program name.
+        program: String,
+        /// Optional loop-order permutation.
+        order: Option<String>,
+    },
+    /// Snapshot service counters and the process-wide poly-cache stats.
+    Stats,
+    /// Graceful shutdown: the server acknowledges, stops accepting new
+    /// connections, drains in-flight sessions, and exits.
+    Shutdown,
+}
+
+/// Result of a `compile` request: rejection is a first-class outcome
+/// (an illegal loop order is an *answer*, not an error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileOutcome {
+    /// The schedule is legal; here is the generated program.
+    Legal {
+        /// Pseudocode of the generated program.
+        pseudocode: String,
+    },
+    /// The schedule was rejected by legality/completion.
+    Rejected {
+        /// The typed rejection, rendered (deterministic per input).
+        reason: String,
+    },
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Compile`].
+    Compile(CompileOutcome),
+    /// Answer to [`Request::Run`].
+    Run {
+        /// FNV-1a 64 digest over every array's `f64` bit patterns, as
+        /// 16 lowercase hex digits — equal digests mean bitwise-equal
+        /// final states.
+        digest: String,
+        /// Number of arrays digested.
+        arrays: u64,
+        /// Total `f64` cells digested.
+        cells: u64,
+    },
+    /// Answer to [`Request::Explain`].
+    Explain {
+        /// `"legal"` or `"rejected"`.
+        verdict: String,
+        /// The evidence line (proof or killing dependence).
+        reason: String,
+    },
+    /// Answer to [`Request::Stats`]: a free-form JSON object (poly-cache
+    /// counters, serve counters).
+    Stats {
+        /// The stats object.
+        stats: Json,
+    },
+    /// Acknowledges [`Request::Shutdown`]; sent before the drain begins.
+    Shutdown,
+    /// A typed failure: unknown program, malformed request, execution
+    /// error. Carries the [`InlErrorKind`] name so clients can match.
+    Error {
+        /// The error kind (an [`InlErrorKind`] rendered, e.g.
+        /// `"invalid target"`).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Build an error response from a typed error.
+    pub fn from_error(e: &InlError) -> Response {
+        Response::Error {
+            kind: e.kind().to_string(),
+            message: e.message().to_string(),
+        }
+    }
+}
+
+// ------------------------------------------------------------- encoding
+
+fn obj(kind: &str) -> Json {
+    let mut o = Json::object();
+    o.insert("type", Json::Str(kind.to_string()));
+    o
+}
+
+/// Encode a request as canonical JSON text (deterministic: object keys
+/// serialize in sorted order).
+pub fn encode_request(req: &Request) -> String {
+    let json = match req {
+        Request::Compile { program, order } => {
+            let mut o = obj("compile");
+            o.insert("program", Json::Str(program.clone()));
+            if let Some(ord) = order {
+                o.insert("order", Json::Str(ord.clone()));
+            }
+            o
+        }
+        Request::Run {
+            program,
+            params,
+            order,
+            backend,
+        } => {
+            let mut o = obj("run");
+            o.insert("program", Json::Str(program.clone()));
+            o.insert(
+                "params",
+                Json::Array(params.iter().map(|&p| Json::Int(p as u64)).collect()),
+            );
+            if let Some(ord) = order {
+                o.insert("order", Json::Str(ord.clone()));
+            }
+            o.insert("backend", Json::Str(backend.as_str().to_string()));
+            o
+        }
+        Request::Explain { program, order } => {
+            let mut o = obj("explain");
+            o.insert("program", Json::Str(program.clone()));
+            if let Some(ord) = order {
+                o.insert("order", Json::Str(ord.clone()));
+            }
+            o
+        }
+        Request::Stats => obj("stats"),
+        Request::Shutdown => obj("shutdown"),
+    };
+    json.to_pretty_string()
+}
+
+/// Encode a response as canonical JSON text.
+pub fn encode_response(resp: &Response) -> String {
+    let json = match resp {
+        Response::Compile(outcome) => {
+            let mut o = obj("compile");
+            match outcome {
+                CompileOutcome::Legal { pseudocode } => {
+                    o.insert("legal", Json::Bool(true));
+                    o.insert("pseudocode", Json::Str(pseudocode.clone()));
+                }
+                CompileOutcome::Rejected { reason } => {
+                    o.insert("legal", Json::Bool(false));
+                    o.insert("reason", Json::Str(reason.clone()));
+                }
+            }
+            o
+        }
+        Response::Run {
+            digest,
+            arrays,
+            cells,
+        } => {
+            let mut o = obj("run");
+            o.insert("digest", Json::Str(digest.clone()));
+            o.insert("arrays", Json::Int(*arrays));
+            o.insert("cells", Json::Int(*cells));
+            o
+        }
+        Response::Explain { verdict, reason } => {
+            let mut o = obj("explain");
+            o.insert("verdict", Json::Str(verdict.clone()));
+            o.insert("reason", Json::Str(reason.clone()));
+            o
+        }
+        Response::Stats { stats } => {
+            let mut o = obj("stats");
+            o.insert("stats", stats.clone());
+            o
+        }
+        Response::Shutdown => obj("shutdown"),
+        Response::Error { kind, message } => {
+            let mut o = obj("error");
+            o.insert("kind", Json::Str(kind.clone()));
+            o.insert("message", Json::Str(message.clone()));
+            o
+        }
+    };
+    json.to_pretty_string()
+}
+
+// ------------------------------------------------------------- decoding
+
+fn decode_json(payload: &[u8], limits: &FrameLimits) -> Result<Json, InlError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| InlError::new(InlErrorKind::IllFormed, format!("payload not UTF-8: {e}")))?;
+    let parse_limits = ParseLimits {
+        max_len: limits.max_frame,
+        max_depth: limits.max_json_depth,
+    };
+    Json::parse_with_limits(text, &parse_limits).map_err(|e| match e {
+        JsonError::TooLong { .. } | JsonError::TooDeep { .. } => {
+            InlError::new(InlErrorKind::Budget, e.to_string())
+        }
+        JsonError::Syntax(msg) => InlError::new(InlErrorKind::IllFormed, msg),
+    })
+}
+
+fn msg_type(json: &Json) -> Result<&str, InlError> {
+    json.get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| InlError::new(InlErrorKind::IllFormed, "message has no 'type' field"))
+}
+
+fn str_field(json: &Json, field: &str) -> Result<String, InlError> {
+    json.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| {
+            InlError::new(
+                InlErrorKind::IllFormed,
+                format!("missing or non-string '{field}' field"),
+            )
+        })
+}
+
+fn opt_str_field(json: &Json, field: &str) -> Result<Option<String>, InlError> {
+    match json.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(InlError::new(
+            InlErrorKind::IllFormed,
+            format!("'{field}' must be a string"),
+        )),
+    }
+}
+
+fn u64_field(json: &Json, field: &str) -> Result<u64, InlError> {
+    json.get(field).and_then(Json::as_u64).ok_or_else(|| {
+        InlError::new(
+            InlErrorKind::IllFormed,
+            format!("missing or non-integer '{field}' field"),
+        )
+    })
+}
+
+/// Decode a request payload. All failure modes — bad UTF-8, bad JSON,
+/// over-deep nesting, unknown `type`, missing or mistyped fields,
+/// out-of-range parameters — are typed errors.
+pub fn decode_request(payload: &[u8], limits: &FrameLimits) -> Result<Request, InlError> {
+    let json = decode_json(payload, limits)?;
+    match msg_type(&json)? {
+        "compile" => Ok(Request::Compile {
+            program: str_field(&json, "program")?,
+            order: opt_str_field(&json, "order")?,
+        }),
+        "run" => {
+            let params = match json.get("params") {
+                Some(Json::Array(items)) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| {
+                                InlError::new(
+                                    InlErrorKind::IllFormed,
+                                    "'params' entries must be integers in u32 range",
+                                )
+                            })
+                    })
+                    .collect::<Result<Vec<u32>, InlError>>()?,
+                _ => {
+                    return Err(InlError::new(
+                        InlErrorKind::IllFormed,
+                        "missing or non-array 'params' field",
+                    ))
+                }
+            };
+            let backend = match opt_str_field(&json, "backend")?.as_deref() {
+                None | Some("vm") => BackendChoice::Vm,
+                Some("interp") => BackendChoice::Interp,
+                Some(other) => {
+                    return Err(InlError::new(
+                        InlErrorKind::Unsupported,
+                        format!("unknown backend '{other}' (expected 'vm' or 'interp')"),
+                    ))
+                }
+            };
+            Ok(Request::Run {
+                program: str_field(&json, "program")?,
+                params,
+                order: opt_str_field(&json, "order")?,
+                backend,
+            })
+        }
+        "explain" => Ok(Request::Explain {
+            program: str_field(&json, "program")?,
+            order: opt_str_field(&json, "order")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(InlError::new(
+            InlErrorKind::Unsupported,
+            format!("unknown request type '{other}'"),
+        )),
+    }
+}
+
+/// Decode a response payload (the client side of [`decode_request`]).
+pub fn decode_response(payload: &[u8], limits: &FrameLimits) -> Result<Response, InlError> {
+    let json = decode_json(payload, limits)?;
+    match msg_type(&json)? {
+        "compile" => match json.get("legal") {
+            Some(Json::Bool(true)) => Ok(Response::Compile(CompileOutcome::Legal {
+                pseudocode: str_field(&json, "pseudocode")?,
+            })),
+            Some(Json::Bool(false)) => Ok(Response::Compile(CompileOutcome::Rejected {
+                reason: str_field(&json, "reason")?,
+            })),
+            _ => Err(InlError::new(
+                InlErrorKind::IllFormed,
+                "compile response has no boolean 'legal' field",
+            )),
+        },
+        "run" => Ok(Response::Run {
+            digest: str_field(&json, "digest")?,
+            arrays: u64_field(&json, "arrays")?,
+            cells: u64_field(&json, "cells")?,
+        }),
+        "explain" => Ok(Response::Explain {
+            verdict: str_field(&json, "verdict")?,
+            reason: str_field(&json, "reason")?,
+        }),
+        "stats" => Ok(Response::Stats {
+            stats: json
+                .get("stats")
+                .cloned()
+                .ok_or_else(|| InlError::new(InlErrorKind::IllFormed, "missing 'stats' field"))?,
+        }),
+        "shutdown" => Ok(Response::Shutdown),
+        "error" => Ok(Response::Error {
+            kind: str_field(&json, "kind")?,
+            message: str_field(&json, "message")?,
+        }),
+        other => Err(InlError::new(
+            InlErrorKind::Unsupported,
+            format!("unknown response type '{other}'"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> FrameLimits {
+        FrameLimits::default()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Compile {
+                program: "cholesky_kij".into(),
+                order: Some("KJLI".into()),
+            },
+            Request::Compile {
+                program: "matmul".into(),
+                order: None,
+            },
+            Request::Run {
+                program: "wavefront".into(),
+                params: vec![12],
+                order: None,
+                backend: BackendChoice::Vm,
+            },
+            Request::Run {
+                program: "rect_wavefront".into(),
+                params: vec![5, 9],
+                order: None,
+                backend: BackendChoice::Interp,
+            },
+            Request::Explain {
+                program: "cholesky_kij".into(),
+                order: Some("IKJL".into()),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let text = encode_request(&req);
+            let back = decode_request(text.as_bytes(), &limits()).unwrap();
+            assert_eq!(back, req, "through {text}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut stats = Json::object();
+        stats.insert("hits", Json::Int(42));
+        let resps = [
+            Response::Compile(CompileOutcome::Legal {
+                pseudocode: "for K = 1 to N".into(),
+            }),
+            Response::Compile(CompileOutcome::Rejected {
+                reason: "PartialRowIllegal(2)".into(),
+            }),
+            Response::Run {
+                digest: "00ff00ff00ff00ff".into(),
+                arrays: 2,
+                cells: 128,
+            },
+            Response::Explain {
+                verdict: "legal".into(),
+                reason: "completed".into(),
+            },
+            Response::Stats { stats },
+            Response::Shutdown,
+            Response::Error {
+                kind: "invalid target".into(),
+                message: "unknown program 'nope'".into(),
+            },
+        ];
+        for resp in resps {
+            let text = encode_response(&resp);
+            let back = decode_response(text.as_bytes(), &limits()).unwrap();
+            assert_eq!(back, resp, "through {text}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_with_typed_errors() {
+        use inl_linalg::InlErrorKind;
+        // Not UTF-8.
+        let e = decode_request(&[0xFF, 0xFE, 0x80], &limits()).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::IllFormed);
+        // Not JSON.
+        let e = decode_request(b"{{{{", &limits()).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::IllFormed);
+        // JSON but no type.
+        let e = decode_request(b"{\"a\": 1}", &limits()).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::IllFormed);
+        // Unknown type.
+        let e = decode_request(b"{\"type\": \"fly\"}", &limits()).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::Unsupported);
+        // Missing field.
+        let e = decode_request(b"{\"type\": \"compile\"}", &limits()).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::IllFormed);
+        // Param out of u32 range.
+        let e = decode_request(
+            b"{\"type\": \"run\", \"program\": \"matmul\", \"params\": [99999999999]}",
+            &limits(),
+        )
+        .unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::IllFormed);
+    }
+
+    #[test]
+    fn over_deep_json_is_a_budget_error() {
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        let e = decode_request(deep.as_bytes(), &limits()).unwrap_err();
+        assert_eq!(e.kind(), inl_linalg::InlErrorKind::Budget);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let req = Request::Run {
+            program: "matmul".into(),
+            params: vec![8],
+            order: None,
+            backend: BackendChoice::Vm,
+        };
+        assert_eq!(encode_request(&req), encode_request(&req.clone()));
+    }
+}

@@ -1,0 +1,138 @@
+//! `inl-client` — one-shot requests against a running `inl-serve`.
+//!
+//! ```sh
+//! inl-client [--addr HOST:PORT] [--json] <command> [args]
+//!
+//! inl-client compile <program> [order]      # pseudocode or rejection
+//! inl-client run <program> <N> [M ...] [--order ORD] [--backend vm|interp]
+//! inl-client explain <program> <order>      # why legal / why rejected
+//! inl-client stats                          # cache + transport counters
+//! inl-client shutdown                       # graceful stop
+//! ```
+//!
+//! Default output is human-readable; `--json` prints the raw response
+//! JSON exactly as it came off the wire. Exit code 0 on any well-formed
+//! response that is not an `error`, 2 on a typed error response, 1 on
+//! transport failure or bad usage.
+
+use inl_serve::{BackendChoice, Client, CompileOutcome, Request, Response};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: inl-client [--addr HOST:PORT] [--json] \
+         (compile <prog> [order] | run <prog> <N>.. [--order ORD] [--backend vm|interp] | \
+         explain <prog> <order> | stats | shutdown)"
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut json_output = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut order: Option<String> = None;
+    let mut backend = BackendChoice::Vm;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--json" => json_output = true,
+            "--order" => order = Some(args.next().unwrap_or_else(|| usage())),
+            "--backend" => {
+                backend = match args.next().as_deref() {
+                    Some("vm") => BackendChoice::Vm,
+                    Some("interp") => BackendChoice::Interp,
+                    _ => usage(),
+                }
+            }
+            _ => positional.push(a),
+        }
+    }
+    let Some(command) = positional.first().cloned() else {
+        usage()
+    };
+    let rest = &positional[1..];
+
+    let request = match command.as_str() {
+        "compile" => match rest {
+            [prog] => Request::Compile {
+                program: prog.clone(),
+                order: order.clone(),
+            },
+            [prog, ord] => Request::Compile {
+                program: prog.clone(),
+                order: Some(ord.clone()),
+            },
+            _ => usage(),
+        },
+        "run" => {
+            let [prog, params @ ..] = rest else { usage() };
+            let parsed: Option<Vec<u32>> = params.iter().map(|p| p.parse().ok()).collect();
+            let Some(params) = parsed else { usage() };
+            if params.is_empty() {
+                usage();
+            }
+            Request::Run {
+                program: prog.clone(),
+                params,
+                order: order.clone(),
+                backend,
+            }
+        }
+        "explain" => match rest {
+            [prog, ord] => Request::Explain {
+                program: prog.clone(),
+                order: Some(ord.clone()),
+            },
+            [prog] => Request::Explain {
+                program: prog.clone(),
+                order: order.clone(),
+            },
+            _ => usage(),
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        _ => usage(),
+    };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("inl-client: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let response = match client.request(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("inl-client: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if json_output {
+        println!("{}", inl_proto::encode_response(&response));
+    } else {
+        match &response {
+            Response::Compile(CompileOutcome::Legal { pseudocode }) => {
+                println!("legal\n{pseudocode}")
+            }
+            Response::Compile(CompileOutcome::Rejected { reason }) => {
+                println!("rejected: {reason}")
+            }
+            Response::Run {
+                digest,
+                arrays,
+                cells,
+            } => println!("digest {digest} ({arrays} array(s), {cells} cell(s))"),
+            Response::Explain { verdict, reason } => println!("{verdict}: {reason}"),
+            Response::Stats { stats } => println!("{}", stats.to_pretty_string()),
+            Response::Shutdown => println!("server draining"),
+            Response::Error { kind, message } => eprintln!("error [{kind}]: {message}"),
+        }
+    }
+    if matches!(response, Response::Error { .. }) {
+        std::process::exit(2);
+    }
+}

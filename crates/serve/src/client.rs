@@ -1,0 +1,84 @@
+//! A minimal blocking client: one TCP connection, any number of
+//! request/response exchanges. Used by the `inl-client` CLI, the
+//! `inl-load` generator, and the integration tests.
+
+use inl_linalg::{InlError, InlErrorKind};
+use inl_proto::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, FrameLimits, Request,
+    Response,
+};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: either the transport broke or the peer violated
+/// the protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server's bytes did not decode as a well-formed response.
+    Protocol(InlError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to an `inl-serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    limits: FrameLimits,
+}
+
+impl Client {
+    /// Connect with default [`FrameLimits`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with(addr, FrameLimits::default())
+    }
+
+    /// Connect with explicit decode limits for inbound responses.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        limits: FrameLimits,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            limits,
+        })
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let text = encode_request(req);
+        write_frame(&mut self.writer, text.as_bytes())?;
+        match read_frame(&mut self.reader, &self.limits) {
+            Ok(Some(payload)) => {
+                decode_response(&payload, &self.limits).map_err(ClientError::Protocol)
+            }
+            Ok(None) => Err(ClientError::Protocol(InlError::new(
+                InlErrorKind::IllFormed,
+                "server closed the connection before responding",
+            ))),
+            Err(FrameError::Io(e)) => Err(ClientError::Io(e)),
+            Err(FrameError::Malformed(e)) => Err(ClientError::Protocol(e)),
+        }
+    }
+}

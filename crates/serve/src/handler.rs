@@ -1,0 +1,422 @@
+//! The pure request handler: one [`Request`] in, one [`Response`] out.
+//!
+//! This is the same code path whether a request arrives over TCP or is
+//! invoked in-process — the integration tests and the load generator
+//! exploit that to assert the server's answers are bitwise-identical to
+//! local computation. The handler never panics and never returns a
+//! transport-level failure: every pipeline error becomes a typed
+//! [`Response::Error`], and an *illegal loop order* is not an error at
+//! all but a structured [`CompileOutcome::Rejected`].
+
+use inl_codegen::generate;
+use inl_core::complete::complete_transform;
+use inl_core::depend::{analyze, DependenceMatrix};
+use inl_core::instance::InstanceLayout;
+use inl_ir::{zoo, Program};
+use inl_linalg::{IMat, IVec, InlError, InlErrorKind};
+use inl_proto::{BackendChoice, CompileOutcome, Request, Response};
+
+/// Largest accepted value for a `run` parameter. Service-side cap: a
+/// request names a problem size, and an unbounded size would let one
+/// client monopolize a worker (cholesky at N=512 is already ~10⁸ flops).
+pub const MAX_PARAM: u32 = 512;
+
+/// A zoo entry: the wire name clients use, and the program constructor.
+pub type ZooEntry = (&'static str, fn() -> Program);
+
+/// Every program a request may name, with its constructor. The list is
+/// the `inl_ir::zoo` — the service exposes exactly the programs the test
+/// suite and benchmarks use, nothing dynamic.
+pub const ZOO: &[ZooEntry] = &[
+    ("simple_cholesky", zoo::simple_cholesky),
+    ("running_example", zoo::running_example),
+    ("perfect_nest", zoo::perfect_nest),
+    ("augmentation_example", zoo::augmentation_example),
+    ("cholesky_kij", zoo::cholesky_kij),
+    ("cholesky_left_looking", zoo::cholesky_left_looking),
+    ("lu_kij", zoo::lu_kij),
+    ("wavefront", zoo::wavefront),
+    ("matmul", zoo::matmul),
+    ("rect_wavefront", zoo::rect_wavefront),
+    ("row_prefix_sums", zoo::row_prefix_sums),
+    (
+        "distributed_simple_cholesky",
+        zoo::distributed_simple_cholesky,
+    ),
+    ("independent_pair", zoo::independent_pair),
+];
+
+fn zoo_program(name: &str) -> Result<Program, InlError> {
+    ZOO.iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| f())
+        .ok_or_else(|| {
+            InlError::new(
+                InlErrorKind::InvalidTarget,
+                format!("unknown program '{name}' (see the zoo listing)"),
+            )
+        })
+}
+
+/// Resolve an order string like `"KJLI"` into unit partial rows for
+/// [`complete_transform`]: one character per loop, each naming a loop of
+/// the program by its (single-character) index-variable name, outermost
+/// slot first.
+fn order_rows(p: &Program, layout: &InstanceLayout, order: &str) -> Result<Vec<IVec>, InlError> {
+    let loops: Vec<_> = p.loops().collect();
+    let nloops = loops.len();
+    if order.chars().count() != nloops {
+        return Err(InlError::new(
+            InlErrorKind::InvalidTarget,
+            format!(
+                "order '{order}' names {} loop(s); program '{}' has {nloops}",
+                order.chars().count(),
+                p.name()
+            ),
+        ));
+    }
+    let mut used = vec![false; nloops];
+    let mut rows = Vec::with_capacity(nloops);
+    for ch in order.chars() {
+        let want = ch.to_string();
+        let Some(slot) = loops.iter().position(|&l| p.loop_decl(l).name == want) else {
+            return Err(InlError::new(
+                InlErrorKind::InvalidTarget,
+                format!("order '{order}': program '{}' has no loop '{ch}'", p.name()),
+            ));
+        };
+        if used[slot] {
+            return Err(InlError::new(
+                InlErrorKind::InvalidTarget,
+                format!("order '{order}' names loop '{ch}' twice"),
+            ));
+        }
+        used[slot] = true;
+        rows.push(IVec::unit(layout.len(), layout.loop_position(loops[slot])));
+    }
+    Ok(rows)
+}
+
+fn analyzed(p: &Program) -> Result<(InstanceLayout, DependenceMatrix), InlError> {
+    let layout = InstanceLayout::new(p);
+    let deps = analyze(p, &layout)?;
+    Ok((layout, deps))
+}
+
+/// Run compile-with-order and classify: `Ok(Ok(program))` compiled,
+/// `Ok(Err(reason))` legality rejected the order (a structured outcome),
+/// `Err(e)` the request itself was bad.
+fn compile_inner(program: &str, order: Option<&str>) -> Result<Result<Program, String>, InlError> {
+    let _span = inl_obs::span("serve.compile");
+    let p = zoo_program(program)?;
+    let (layout, deps) = analyzed(&p)?;
+    let matrix: IMat = match order {
+        None => IMat::identity(layout.len()),
+        Some(ord) => match complete_transform(&p, &layout, &deps, &order_rows(&p, &layout, ord)?) {
+            Ok(c) => c.matrix,
+            // Deterministic per input: derive formatting of the typed
+            // completion error, same text for the same rejection.
+            Err(e) => return Ok(Err(format!("completion rejected the order: {e:?}"))),
+        },
+    };
+    match generate(&p, &layout, &deps, &matrix) {
+        Ok(r) => Ok(Ok(r.program)),
+        Err(e) => Ok(Err(format!("codegen rejected the schedule: {e:?}"))),
+    }
+}
+
+/// FNV-1a 64 over every array's name and `f64` bit patterns; returns the
+/// digest plus (array count, total cell count). Equal digests across two
+/// runs mean the final machine states are bitwise identical.
+fn digest_machine(m: &inl_exec::Machine) -> (String, u64, u64) {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut step = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(PRIME);
+    };
+    let mut cells = 0u64;
+    for a in m.arrays() {
+        for b in a.name.bytes() {
+            step(b);
+        }
+        for v in &a.data {
+            for b in v.to_bits().to_le_bytes() {
+                step(b);
+            }
+            cells += 1;
+        }
+    }
+    (format!("{h:016x}"), m.arrays().len() as u64, cells)
+}
+
+fn handle_compile(program: &str, order: Option<&str>) -> Result<Response, InlError> {
+    Ok(match compile_inner(program, order)? {
+        Ok(generated) => Response::Compile(CompileOutcome::Legal {
+            pseudocode: generated.to_pseudocode(),
+        }),
+        Err(reason) => Response::Compile(CompileOutcome::Rejected { reason }),
+    })
+}
+
+fn handle_run(
+    program: &str,
+    params: &[u32],
+    order: Option<&str>,
+    backend: BackendChoice,
+) -> Result<Response, InlError> {
+    let p = zoo_program(program)?; // cheap; re-validates nparams first
+    if params.len() != p.nparams() {
+        return Err(InlError::new(
+            InlErrorKind::InvalidTarget,
+            format!(
+                "program '{program}' takes {} parameter(s), got {}",
+                p.nparams(),
+                params.len()
+            ),
+        ));
+    }
+    for &v in params {
+        if v == 0 || v > MAX_PARAM {
+            return Err(InlError::new(
+                InlErrorKind::Budget,
+                format!("parameter {v} outside the service range 1..={MAX_PARAM}"),
+            ));
+        }
+    }
+    let generated = match compile_inner(program, order)? {
+        Ok(g) => g,
+        Err(reason) => {
+            return Err(InlError::new(
+                InlErrorKind::Infeasible,
+                format!("cannot run a rejected order: {reason}"),
+            ))
+        }
+    };
+    let ints: Vec<inl_linalg::Int> = params.iter().map(|&v| v as inl_linalg::Int).collect();
+    let be = match backend {
+        BackendChoice::Interp => inl_exec::Backend::Interp,
+        BackendChoice::Vm => inl_exec::Backend::Vm,
+    };
+    let machine = {
+        let _span = inl_obs::span("serve.exec");
+        inl_exec::run_fresh_with(be, &generated, &ints, &inl_bench::spd_init)
+    };
+    let (digest, arrays, cells) = digest_machine(&machine);
+    Ok(Response::Run {
+        digest,
+        arrays,
+        cells,
+    })
+}
+
+fn handle_explain(program: &str, order: Option<&str>) -> Result<Response, InlError> {
+    Ok(match compile_inner(program, order)? {
+        Ok(_) => Response::Explain {
+            verdict: "legal".to_string(),
+            reason: match order {
+                Some(ord) => format!(
+                    "order {ord} completes to a full legal transformation \
+                     (every dependence projection stays lexicographically positive)"
+                ),
+                None => "identity schedule; source order is legal by construction".to_string(),
+            },
+        },
+        Err(reason) => Response::Explain {
+            verdict: "rejected".to_string(),
+            reason,
+        },
+    })
+}
+
+/// Handle one request. Infallible by design: anything that can go wrong
+/// becomes a [`Response::Error`]. [`Request::Stats`] answers with the
+/// process-wide poly-cache snapshot (the server layer adds its own
+/// transport counters on top); [`Request::Shutdown`] is acknowledged here
+/// and *acted on* by the server layer.
+pub fn handle_request(req: &Request) -> Response {
+    let result = match req {
+        Request::Compile { program, order } => handle_compile(program, order.as_deref()),
+        Request::Run {
+            program,
+            params,
+            order,
+            backend,
+        } => handle_run(program, params, order.as_deref(), *backend),
+        Request::Explain { program, order } => handle_explain(program, order.as_deref()),
+        Request::Stats => {
+            let mut stats = inl_obs::Json::object();
+            stats.insert("poly_cache", inl_poly::cache::stats_json());
+            Ok(Response::Stats { stats })
+        }
+        Request::Shutdown => Ok(Response::Shutdown),
+    };
+    result.unwrap_or_else(|e| Response::from_error(&e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_legal_and_rejected_orders() {
+        let legal = handle_request(&Request::Compile {
+            program: "cholesky_kij".into(),
+            order: Some("KJLI".into()),
+        });
+        match legal {
+            Response::Compile(CompileOutcome::Legal { pseudocode }) => {
+                assert!(pseudocode.contains("do"), "{pseudocode}");
+            }
+            other => panic!("KJLI should be legal, got {other:?}"),
+        }
+        let rejected = handle_request(&Request::Compile {
+            program: "cholesky_kij".into(),
+            order: Some("IKJL".into()),
+        });
+        assert!(
+            matches!(rejected, Response::Compile(CompileOutcome::Rejected { .. })),
+            "IKJL should reject, got {rejected:?}"
+        );
+    }
+
+    #[test]
+    fn identity_compile_works_for_every_zoo_program() {
+        for (name, _) in ZOO {
+            let resp = handle_request(&Request::Compile {
+                program: (*name).into(),
+                order: None,
+            });
+            assert!(
+                matches!(resp, Response::Compile(CompileOutcome::Legal { .. })),
+                "{name}: {resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_digest_matches_backends_and_is_deterministic() {
+        let req = |backend| Request::Run {
+            program: "cholesky_kij".into(),
+            params: vec![24],
+            order: None,
+            backend,
+        };
+        let interp = handle_request(&req(BackendChoice::Interp));
+        let vm = handle_request(&req(BackendChoice::Vm));
+        assert_eq!(interp, vm, "backends must be bitwise identical");
+        assert_eq!(interp, handle_request(&req(BackendChoice::Interp)));
+        match interp {
+            Response::Run {
+                digest,
+                arrays,
+                cells,
+            } => {
+                assert_eq!(digest.len(), 16);
+                assert_eq!(arrays, 1);
+                assert_eq!(cells, 25 * 25);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transformed_run_differs_in_schedule_not_result() {
+        // KJLI reorders the update loops; final state must be bitwise
+        // equal to the source order (pure interchange within the family).
+        let source = handle_request(&Request::Run {
+            program: "cholesky_kij".into(),
+            params: vec![16],
+            order: None,
+            backend: BackendChoice::Vm,
+        });
+        let kjli = handle_request(&Request::Run {
+            program: "cholesky_kij".into(),
+            params: vec![16],
+            order: Some("KJLI".into()),
+            backend: BackendChoice::Vm,
+        });
+        assert_eq!(source, kjli);
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors() {
+        let unknown = handle_request(&Request::Compile {
+            program: "nonesuch".into(),
+            order: None,
+        });
+        assert!(
+            matches!(unknown, Response::Error { ref kind, .. } if kind.contains("target")),
+            "{unknown:?}"
+        );
+        let bad_order = handle_request(&Request::Compile {
+            program: "cholesky_kij".into(),
+            order: Some("KKKK".into()),
+        });
+        assert!(matches!(bad_order, Response::Error { .. }), "{bad_order:?}");
+        let bad_arity = handle_request(&Request::Run {
+            program: "matmul".into(),
+            params: vec![8, 8],
+            order: None,
+            backend: BackendChoice::Vm,
+        });
+        assert!(matches!(bad_arity, Response::Error { .. }), "{bad_arity:?}");
+        let oversize = handle_request(&Request::Run {
+            program: "matmul".into(),
+            params: vec![100_000],
+            order: None,
+            backend: BackendChoice::Vm,
+        });
+        assert!(
+            matches!(oversize, Response::Error { ref kind, .. } if kind.contains("budget")),
+            "{oversize:?}"
+        );
+        let illegal_run = handle_request(&Request::Run {
+            program: "cholesky_kij".into(),
+            params: vec![8],
+            order: Some("IKJL".into()),
+            backend: BackendChoice::Vm,
+        });
+        assert!(
+            matches!(illegal_run, Response::Error { ref kind, .. } if kind.contains("infeasible")),
+            "{illegal_run:?}"
+        );
+    }
+
+    #[test]
+    fn explain_names_the_verdict() {
+        let legal = handle_request(&Request::Explain {
+            program: "cholesky_kij".into(),
+            order: Some("KJLI".into()),
+        });
+        assert!(
+            matches!(legal, Response::Explain { ref verdict, .. } if verdict == "legal"),
+            "{legal:?}"
+        );
+        let rejected = handle_request(&Request::Explain {
+            program: "cholesky_kij".into(),
+            order: Some("IKJL".into()),
+        });
+        match rejected {
+            Response::Explain { verdict, reason } => {
+                assert_eq!(verdict, "rejected");
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected Explain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_carries_the_poly_cache_snapshot() {
+        let resp = handle_request(&Request::Stats);
+        match resp {
+            Response::Stats { stats } => {
+                let pc = stats.get("poly_cache").expect("poly_cache section");
+                assert!(pc.get("hits").is_some());
+                assert!(pc.get("hit_rate").is_some());
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # inl-serve
+//!
+//! The compile pipeline as a long-lived concurrent TCP service. Three
+//! layers, each independently testable:
+//!
+//! * [`handler`] — the pure request handler: [`Request`] in,
+//!   [`Response`] out, no I/O. The integration tests and the `inl-load`
+//!   generator call it in-process to assert the server's answers are
+//!   **bitwise-identical** to local computation (responses encode
+//!   deterministically, so equality is byte equality on the wire).
+//! * [`server`] — listener thread + worker pool over a shared connection
+//!   queue (the same atomic-queue idiom as `inl_bench::compile_batch`),
+//!   per-request `serve.*` spans/counters, typed error responses for
+//!   malformed input, and graceful drain on `shutdown`.
+//! * [`client`] — a minimal blocking client used by the `inl-client`
+//!   CLI, the `inl-load` generator, and the tests.
+//!
+//! All sessions share the process-wide `inl_poly` query cache: a warm
+//! server answers repeated completions mostly from memo, which the
+//! `stats` request exposes (hits/misses/hit-rate) alongside transport
+//! counters.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod handler;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use handler::{handle_request, MAX_PARAM, ZOO};
+pub use server::{serve, ServeStats, ServerConfig, ServerHandle};
+
+// Re-exported so binaries and tests need only this crate.
+pub use inl_proto::{BackendChoice, CompileOutcome, FrameLimits, Request, Response};

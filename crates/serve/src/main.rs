@@ -1,0 +1,65 @@
+//! `inl-serve` — run the compile service.
+//!
+//! ```sh
+//! inl-serve [--addr 127.0.0.1:7878] [--workers N] [--quiet]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7878`), prints the bound address on the
+//! first stdout line (`listening on <addr>` — scripts wait for it), and
+//! serves until a `shutdown` request arrives. Telemetry and timeline
+//! layers are enabled so every request contributes `serve.*` spans and
+//! counters; `INL_SERVE_WORKERS` is an env alternative to `--workers`.
+
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let addr = flag_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let workers = flag_value("--workers")
+        .or_else(|| std::env::var("INL_SERVE_WORKERS").ok())
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let quiet = std::env::args().any(|a| a == "--quiet");
+
+    inl_obs::set_enabled(true);
+    inl_obs::set_timeline_enabled(true);
+
+    let config = inl_serve::ServerConfig {
+        addr,
+        workers,
+        limits: inl_serve::FrameLimits::default(),
+    };
+    let handle = match inl_serve::serve(&config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("inl-serve: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.local_addr());
+    if !quiet {
+        eprintln!(
+            "inl-serve: {} worker(s), frame limit {} bytes; send a 'shutdown' request to stop",
+            if config.workers == 0 {
+                std::thread::available_parallelism().map_or(2, |x| x.get())
+            } else {
+                config.workers
+            },
+            config.limits.max_frame
+        );
+    }
+    let stats = handle.join();
+    if !quiet {
+        eprintln!(
+            "inl-serve: drained, final stats {}",
+            stats.to_pretty_string()
+        );
+    }
+}
