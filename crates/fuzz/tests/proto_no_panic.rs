@@ -15,7 +15,7 @@
 use inl_fuzz::fuzz_config;
 use inl_proto::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    BackendChoice, FrameLimits, Request,
+    BackendChoice, CompileOutcome, FrameLimits, Request, Response,
 };
 use proptest::prelude::*;
 
@@ -93,23 +93,26 @@ proptest! {
         with_order in prop::bool::ANY,
         order_ix in 0usize..4,
         params in prop::collection::vec(0u32..=4_294_967_295, 0..4),
-        which in 0usize..5,
+        which in 0usize..6,
         vm in prop::bool::ANY,
+        telemetry in prop::bool::ANY,
     ) {
         let program = ["matmul", "cholesky_kij", "", "x", "πρόγραμμα", "a b\nc\"d\\e"][name_ix]
             .to_string();
         let order = with_order
             .then(|| ["KJLI", "IKJL", "", "K\u{1F600}"][order_ix].to_string());
         let req = match which {
-            0 => Request::Compile { program, order },
+            0 => Request::Compile { program, order, telemetry },
             1 => Request::Run {
                 program,
                 params,
                 order,
                 backend: if vm { BackendChoice::Vm } else { BackendChoice::Interp },
+                telemetry,
             },
-            2 => Request::Explain { program, order },
+            2 => Request::Explain { program, order, telemetry },
             3 => Request::Stats,
+            4 => Request::Metrics,
             _ => Request::Shutdown,
         };
         let text = encode_request(&req);
@@ -122,6 +125,60 @@ proptest! {
             .unwrap()
             .unwrap();
         prop_assert_eq!(payload, text.into_bytes());
+    }
+
+    /// Telemetry-bearing responses and `metrics` replies round-trip
+    /// exactly, and stripping telemetry reproduces the telemetry-off
+    /// wire bytes — the byte-identity the load generator relies on.
+    #[test]
+    fn telemetry_responses_round_trip(
+        which in 0usize..4,
+        with_section in prop::bool::ANY,
+        version in 0u64..4,
+        count in 0u64..1000,
+    ) {
+        let section = with_section.then(|| {
+            let mut stages = inl_obs::Json::object();
+            let mut stage = inl_obs::Json::object();
+            stage.insert("count", inl_obs::Json::Int(count));
+            stages.insert("serve.compile", stage);
+            let mut o = inl_obs::Json::object();
+            o.insert("version", inl_obs::Json::Int(version));
+            o.insert("stages", stages);
+            o
+        });
+        let resp = match which {
+            0 => Response::Compile {
+                outcome: CompileOutcome::Legal { pseudocode: "do I = 1, N".into() },
+                telemetry: section,
+            },
+            1 => Response::Run {
+                digest: "0123456789abcdef".into(),
+                arrays: 1,
+                cells: count,
+                telemetry: section,
+            },
+            2 => Response::Explain {
+                verdict: "legal".into(),
+                reason: "interchange".into(),
+                telemetry: section,
+            },
+            _ => {
+                let mut metrics = inl_obs::Json::object();
+                metrics.insert("count", inl_obs::Json::Int(count));
+                Response::Metrics { metrics }
+            }
+        };
+        let text = encode_response(&resp);
+        let back = decode_response(text.as_bytes(), &FrameLimits::default());
+        prop_assert_eq!(back.as_ref(), Ok(&resp), "through {}", text);
+        // Stripping telemetry yields exactly the bytes a telemetry-off
+        // request would have gotten.
+        let stripped = encode_response(&resp.strip_telemetry());
+        prop_assert!(!stripped.contains("\"telemetry\""));
+        if resp.telemetry().is_none() && !matches!(resp, Response::Metrics { .. }) {
+            prop_assert_eq!(&stripped, &text);
+        }
     }
 
     /// Every decoded response re-encodes to the same bytes (stability of

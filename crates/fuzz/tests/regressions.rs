@@ -194,3 +194,54 @@ fn proto_seed_truncated_utf8() {
     let e = decode_request(wire, &FrameLimits::default()).unwrap_err();
     assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed);
 }
+
+/// Seed 5 — type-confused telemetry flag: `"telemetry"` as a string, a
+/// number, and a deeply nested array. The opt-in flag is strictly a
+/// boolean (absent/null meaning off); anything else must be a typed
+/// IllFormed error, never a silently-enabled capture and never a parser
+/// panic on the nesting.
+#[test]
+fn proto_seed_type_confused_telemetry_flag() {
+    use inl_proto::{decode_request, FrameLimits};
+    for bad in [
+        br#"{"type": "compile", "program": "matmul", "telemetry": "yes"}"#.as_slice(),
+        br#"{"type": "compile", "program": "matmul", "telemetry": 1}"#.as_slice(),
+        br#"{"type": "explain", "program": "matmul", "telemetry": [[[[[true]]]]]}"#.as_slice(),
+    ] {
+        let e = decode_request(bad, &FrameLimits::default()).unwrap_err();
+        assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed, "{bad:?}");
+    }
+    // Absent and null both mean "off" — legitimate old-client traffic.
+    for ok in [
+        br#"{"type": "compile", "program": "matmul"}"#.as_slice(),
+        br#"{"type": "compile", "program": "matmul", "telemetry": null}"#.as_slice(),
+    ] {
+        let req = decode_request(ok, &FrameLimits::default()).unwrap();
+        assert!(!req.wants_telemetry(), "{ok:?}");
+    }
+}
+
+/// Seed 6 — telemetry-section nesting bomb in a *response*: a `compile`
+/// reply whose telemetry section is thousands of nested arrays. The
+/// depth limit must answer with a typed Budget error before the
+/// recursive-descent parser blows the stack, and a `metrics` reply whose
+/// payload is not an object must be IllFormed, not a downstream unwrap.
+#[test]
+fn proto_seed_telemetry_section_nesting_bomb() {
+    use inl_proto::{decode_response, FrameLimits};
+    let bomb = format!(
+        r#"{{"type": "compile", "status": "legal", "pseudocode": "x", "telemetry": {}{}"#,
+        "[".repeat(5_000),
+        "]".repeat(5_000)
+    ) + "}";
+    let e = decode_response(bomb.as_bytes(), &FrameLimits::default()).unwrap_err();
+    assert_eq!(e.kind(), inl_linalg::InlErrorKind::Budget);
+    // Well-nested but non-object telemetry: typed IllFormed.
+    let non_object =
+        br#"{"type": "compile", "status": "legal", "pseudocode": "x", "telemetry": [1, 2]}"#;
+    let e = decode_response(non_object, &FrameLimits::default()).unwrap_err();
+    assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed);
+    let bad_metrics = br#"{"type": "metrics", "metrics": 7}"#;
+    let e = decode_response(bad_metrics, &FrameLimits::default()).unwrap_err();
+    assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed);
+}

@@ -1,0 +1,520 @@
+//! Request-scoped telemetry capture: a thread-local delta of counters,
+//! span durations, and explain verdicts attributable to **one logical
+//! operation** (one compile-service request, one batch item), on top of
+//! the process-global sinks.
+//!
+//! The global registry answers "how much work has this *process* done";
+//! a [`Capture`] answers "how much work did *this request* cost" — the
+//! per-request cost record the compile service streams back to clients
+//! and the auto-scheduler will consume as its calibrated signal.
+//!
+//! # Design
+//!
+//! * **Thread-local.** A capture collects the instruments fired *on the
+//!   capturing thread* between [`with`]'s entry and exit. The compile
+//!   service handles one request per worker thread, so this attributes
+//!   exactly the request's own pipeline work; instruments fired on other
+//!   threads (e.g. parallel-executor workers) stay global-only.
+//! * **Disabled stays one relaxed load.** Capture shares the process
+//!   flag byte with the other layers (`FLAG_OBS` & friends):
+//!   while no capture is active anywhere, every instrument still checks
+//!   a single relaxed atomic and is otherwise untouched. While at least
+//!   one capture runs, counter bumps and span exits additionally consult
+//!   one thread-local cell (a `None` check on non-capturing threads).
+//! * **Independent of the global layer.** A capture records even while
+//!   aggregate telemetry ([`crate::enabled`]) is off — the capture bit
+//!   alone arms the instruments — and the global registry is only
+//!   written when the obs bit is also up, so enabling per-request
+//!   telemetry does not silently turn on process-global collection.
+//! * **Nesting suspends.** A capture opened inside another capture
+//!   records alone; the outer capture resumes (and misses the inner
+//!   scope's work) when the inner one finishes. The compile service
+//!   never nests captures; the rule exists so reentrancy is defined.
+//!
+//! # Determinism
+//!
+//! A capture mixes deterministic evidence (which pipeline stages ran and
+//! how often, semantic counter deltas) with machine- and state-dependent
+//! measurements (nanosecond durations, poly-cache hit/miss splits that
+//! depend on what earlier requests warmed). [`deterministic_projection`]
+//! extracts the former — it strips every `*_ns` value and every
+//! `poly.`-prefixed name — so two captures of the same request in
+//! different processes can be compared **bitwise** on their canonical
+//! JSON. `inl-load --telemetry` and the serve integration tests do
+//! exactly that.
+
+use crate::json::Json;
+use crate::{flags_cell, FLAG_CAPTURE};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+/// Schema version of [`Capture::to_json`] (the wire `telemetry` section).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Aggregate for one span path inside a capture window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageStat {
+    /// Number of times the span closed during the capture.
+    pub count: u64,
+    /// Total wall time across those closes, in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single duration in nanoseconds.
+    pub min_ns: u64,
+    /// Longest single duration in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Explain-record tallies inside a capture window (populated only while
+/// the explain layer is enabled — see [`crate::explain_enabled`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExplainSummary {
+    /// `accept` records committed during the capture.
+    pub accepts: u64,
+    /// `reject` records committed during the capture.
+    pub rejects: u64,
+    /// `info` records committed during the capture.
+    pub notes: u64,
+}
+
+/// Everything one capture window collected. Maps are `BTreeMap`s so the
+/// JSON rendering is canonical (sorted keys) and byte-comparable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Capture {
+    /// Counter deltas by name, for counters bumped on this thread during
+    /// the window (zero-delta counters never appear).
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Span statistics by nesting path (`outer/inner`), for spans closed
+    /// on this thread during the window. Paths are **relative to the
+    /// capture**: spans already open when the capture began (e.g. the
+    /// server's `serve.request` envelope) do not prefix them, so the
+    /// same request captured under different envelopes yields the same
+    /// stage paths.
+    pub stages: BTreeMap<String, StageStat>,
+    /// Explain verdict tallies (all zero while the explain layer is off).
+    pub explain: ExplainSummary,
+    /// Span-stack depth on this thread when the capture began; enclosing
+    /// path segments up to this depth are stripped from `stages` keys.
+    base_depth: usize,
+}
+
+impl Capture {
+    /// Render as the versioned `telemetry` JSON section:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "stages":  { "serve.compile": { "count": 1, "total_ns": 812345,
+    ///                                   "min_ns": 812345, "max_ns": 812345 } },
+    ///   "counters": { "exec.instances": 385, "poly.cache.hit": 12 },
+    ///   "poly_cache": { "hits": 12, "misses": 0, "insertions": 0, "evictions": 0 },
+    ///   "explain":  { "accepts": 0, "rejects": 0, "notes": 0 }
+    /// }
+    /// ```
+    ///
+    /// `poly_cache` is derived from the `poly.cache.*` counter deltas for
+    /// convenience (the keys mirror `inl_poly::cache::CacheStats`).
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.insert("version", Json::Int(SCHEMA_VERSION));
+
+        let mut stages = Json::object();
+        for (path, s) in &self.stages {
+            let mut obj = Json::object();
+            obj.insert("count", Json::Int(s.count));
+            obj.insert("total_ns", Json::Int(s.total_ns));
+            obj.insert("min_ns", Json::Int(s.min_ns));
+            obj.insert("max_ns", Json::Int(s.max_ns));
+            stages.insert(path.clone(), obj);
+        }
+        root.insert("stages", stages);
+
+        let mut counters = Json::object();
+        for (&name, &v) in &self.counters {
+            counters.insert(name, Json::Int(v));
+        }
+        root.insert("counters", counters);
+
+        let delta = |name: &str| self.counters.get(name).copied().unwrap_or(0);
+        let mut cache = Json::object();
+        cache.insert("hits", Json::Int(delta("poly.cache.hit")));
+        cache.insert("misses", Json::Int(delta("poly.cache.miss")));
+        cache.insert("insertions", Json::Int(delta("poly.cache.insertions")));
+        cache.insert("evictions", Json::Int(delta("poly.cache.evictions")));
+        root.insert("poly_cache", cache);
+
+        let mut explain = Json::object();
+        explain.insert("accepts", Json::Int(self.explain.accepts));
+        explain.insert("rejects", Json::Int(self.explain.rejects));
+        explain.insert("notes", Json::Int(self.explain.notes));
+        root.insert("explain", explain);
+        root
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Capture>> = const { RefCell::new(None) };
+}
+
+/// Count of live captures process-wide; guards the [`FLAG_CAPTURE`] bit
+/// transitions so the bit is up exactly while any capture is active.
+fn active_count() -> &'static Mutex<usize> {
+    static COUNT: Mutex<usize> = Mutex::new(0);
+    &COUNT
+}
+
+fn raise_capture_flag() {
+    let mut n = active_count().lock().unwrap_or_else(|e| e.into_inner());
+    *n += 1;
+    if *n == 1 {
+        flags_cell().fetch_or(FLAG_CAPTURE, Ordering::Relaxed);
+    }
+}
+
+fn lower_capture_flag() {
+    let mut n = active_count().lock().unwrap_or_else(|e| e.into_inner());
+    *n = n.saturating_sub(1);
+    if *n == 0 {
+        flags_cell().fetch_and(!FLAG_CAPTURE, Ordering::Relaxed);
+    }
+}
+
+/// Restores the previous thread-local capture and lowers the process
+/// flag even if the captured closure unwinds.
+struct Scope {
+    prev: Option<Capture>,
+    done: bool,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if !self.done {
+            // Unwound: discard the partial capture, restore the outer one.
+            CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+            lower_capture_flag();
+        }
+    }
+}
+
+/// Run `f` under a fresh capture on this thread; return its result and
+/// everything the thread's instruments recorded while it ran.
+///
+/// ```
+/// let (sum, capture) = inl_obs::capture::with(|| {
+///     inl_obs::counter_add!("doc.capture.widgets", 3);
+///     1 + 2
+/// });
+/// assert_eq!(sum, 3);
+/// assert_eq!(capture.counters.get("doc.capture.widgets"), Some(&3));
+/// ```
+pub fn with<T>(f: impl FnOnce() -> T) -> (T, Capture) {
+    let fresh = Capture {
+        base_depth: crate::span_stack_depth(),
+        ..Capture::default()
+    };
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(fresh));
+    raise_capture_flag();
+    let mut scope = Scope { prev, done: false };
+    let out = f();
+    scope.done = true;
+    let capture = CURRENT.with(|c| {
+        let mut cell = c.borrow_mut();
+        let capture = cell.take().unwrap_or_default();
+        *cell = scope.prev.take();
+        capture
+    });
+    lower_capture_flag();
+    (out, capture)
+}
+
+/// True iff a capture is active **on this thread**.
+pub fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Record a counter bump into this thread's capture, if one is active.
+/// Called from [`crate::counter_add!`]; harmless to call directly.
+#[inline]
+pub fn record_counter(name: &'static str, n: u64) {
+    CURRENT.with(|c| {
+        if let Some(cap) = c.borrow_mut().as_mut() {
+            *cap.counters.entry(name).or_insert(0) += n;
+        }
+    });
+}
+
+/// Record a span close into this thread's capture, if one is active.
+/// The leading `base_depth` segments (spans that were already open when
+/// the capture began) are stripped; a span fully outside the capture's
+/// own nesting is ignored.
+#[inline]
+pub(crate) fn record_span(path: &str, ns: u64) {
+    CURRENT.with(|c| {
+        if let Some(cap) = c.borrow_mut().as_mut() {
+            let mut rel = path;
+            for _ in 0..cap.base_depth {
+                match rel.split_once('/') {
+                    Some((_, rest)) => rel = rest,
+                    None => return, // opened before the capture began
+                }
+            }
+            let s = cap.stages.entry(rel.to_string()).or_insert(StageStat {
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+            s.count += 1;
+            s.total_ns += ns;
+            s.min_ns = s.min_ns.min(ns);
+            s.max_ns = s.max_ns.max(ns);
+        }
+    });
+}
+
+/// Record one committed explain record into this thread's capture, if
+/// one is active.
+#[inline]
+pub(crate) fn record_explain(verdict: crate::explain::Verdict) {
+    CURRENT.with(|c| {
+        if let Some(cap) = c.borrow_mut().as_mut() {
+            match verdict {
+                crate::explain::Verdict::Accept => cap.explain.accepts += 1,
+                crate::explain::Verdict::Reject => cap.explain.rejects += 1,
+                crate::explain::Verdict::Info => cap.explain.notes += 1,
+            }
+        }
+    });
+}
+
+/// True iff every `/`-separated segment of a span path is outside the
+/// cache-dependent `poly.` namespace.
+fn path_is_deterministic(path: &str) -> bool {
+    path.split('/').all(|seg| !seg.starts_with("poly."))
+}
+
+/// The machine-independent projection of a `telemetry` JSON section
+/// (as produced by [`Capture::to_json`]): stage **counts** without any
+/// nanosecond field, counter deltas without the warmth-dependent
+/// `poly.*` family or `*_ns` accumulators, and the explain summary.
+/// Two captures of the same request — taken in different processes, at
+/// different cache temperatures — project to byte-identical canonical
+/// JSON; `inl-load --telemetry` compares exactly this.
+pub fn deterministic_projection(telemetry: &Json) -> Json {
+    let mut root = Json::object();
+    if let Some(v) = telemetry.get("version") {
+        root.insert("version", v.clone());
+    }
+    let mut stages = Json::object();
+    if let Some(Json::Object(map)) = telemetry.get("stages") {
+        for (path, stat) in map {
+            if !path_is_deterministic(path) {
+                continue;
+            }
+            if let Some(count) = stat.get("count") {
+                stages.insert(path.clone(), count.clone());
+            }
+        }
+    }
+    root.insert("stages", stages);
+    let mut counters = Json::object();
+    if let Some(Json::Object(map)) = telemetry.get("counters") {
+        for (name, v) in map {
+            if name.starts_with("poly.") || name.ends_with("_ns") {
+                continue;
+            }
+            counters.insert(name.clone(), v.clone());
+        }
+    }
+    root.insert("counters", counters);
+    if let Some(e) = telemetry.get("explain") {
+        root.insert("explain", e.clone());
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::TEST_LOCK;
+
+    #[test]
+    fn capture_collects_counters_and_spans_without_global_obs() {
+        let _l = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        crate::reset();
+        let ((), cap) = with(|| {
+            let _s = crate::span("obs.test.capture.stage");
+            crate::counter_add!("obs.test.capture.counter", 7);
+        });
+        assert_eq!(cap.counters.get("obs.test.capture.counter"), Some(&7));
+        let stage = cap.stages.get("obs.test.capture.stage").expect("stage");
+        assert_eq!(stage.count, 1);
+        assert!(stage.max_ns >= stage.min_ns);
+        // Global layer stayed off: nothing leaked into the registry.
+        assert_eq!(crate::counter_value("obs.test.capture.counter"), 0);
+        assert!(!crate::registry()
+            .spans
+            .lock()
+            .unwrap()
+            .contains_key("obs.test.capture.stage"));
+    }
+
+    #[test]
+    fn capture_and_global_layer_record_together_when_both_on() {
+        let _l = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        crate::reset();
+        let ((), cap) = with(|| {
+            crate::counter_add!("obs.test.capture.both", 2);
+        });
+        crate::counter_add!("obs.test.capture.both", 5); // outside the window
+        assert_eq!(cap.counters.get("obs.test.capture.both"), Some(&2));
+        assert_eq!(crate::counter_value("obs.test.capture.both"), 7);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn nested_capture_suspends_the_outer_one() {
+        let _l = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        let ((), outer) = with(|| {
+            crate::counter_add!("obs.test.capture.outer", 1);
+            let ((), inner) = with(|| {
+                crate::counter_add!("obs.test.capture.inner", 1);
+            });
+            assert_eq!(inner.counters.get("obs.test.capture.inner"), Some(&1));
+            assert!(!inner.counters.contains_key("obs.test.capture.outer"));
+        });
+        assert_eq!(outer.counters.get("obs.test.capture.outer"), Some(&1));
+        assert!(!outer.counters.contains_key("obs.test.capture.inner"));
+        assert!(!active());
+    }
+
+    #[test]
+    fn stage_paths_are_relative_to_the_capture_envelope() {
+        let _l = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        crate::reset();
+        // Bare capture: path is the bare stage name.
+        let ((), bare) = with(|| {
+            let _s = crate::span("obs.test.capture.rel");
+        });
+        // Same work under an already-open envelope span (the server's
+        // `serve.request` shape): the envelope must not prefix the path,
+        // and its own close (outside the capture) must not be recorded.
+        let (cap, _env_json) = {
+            let _env = crate::span("obs.test.capture.envelope");
+            let ((), cap) = with(|| {
+                let _s = crate::span("obs.test.capture.rel");
+            });
+            (cap, ())
+        };
+        assert_eq!(
+            bare.stages.keys().collect::<Vec<_>>(),
+            cap.stages.keys().collect::<Vec<_>>()
+        );
+        assert!(cap.stages.contains_key("obs.test.capture.rel"), "{cap:?}");
+        assert!(
+            !cap.stages.keys().any(|k| k.contains("envelope")),
+            "{cap:?}"
+        );
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn captures_are_thread_local() {
+        let _l = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        let ((), cap) = with(|| {
+            // A sibling thread's instruments must not land in this capture.
+            std::thread::spawn(|| {
+                crate::counter_add!("obs.test.capture.sibling", 9);
+            })
+            .join()
+            .unwrap();
+            crate::counter_add!("obs.test.capture.mine", 1);
+        });
+        assert_eq!(cap.counters.get("obs.test.capture.mine"), Some(&1));
+        assert!(!cap.counters.contains_key("obs.test.capture.sibling"));
+    }
+
+    #[test]
+    fn capture_json_is_versioned_and_derives_poly_cache() {
+        let mut cap = Capture::default();
+        cap.counters.insert("poly.cache.hit", 4);
+        cap.counters.insert("poly.cache.miss", 1);
+        cap.counters.insert("exec.instances", 99);
+        cap.stages.insert(
+            "serve.compile".into(),
+            StageStat {
+                count: 1,
+                total_ns: 1000,
+                min_ns: 1000,
+                max_ns: 1000,
+            },
+        );
+        let j = cap.to_json();
+        assert_eq!(j.get("version").and_then(Json::as_u64), Some(1));
+        let pc = j.get("poly_cache").unwrap();
+        assert_eq!(pc.get("hits").and_then(Json::as_u64), Some(4));
+        assert_eq!(pc.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(pc.get("evictions").and_then(Json::as_u64), Some(0));
+        let stage = j.get("stages").unwrap().get("serve.compile").unwrap();
+        assert_eq!(stage.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn projection_strips_nondeterministic_evidence() {
+        let mut cap = Capture::default();
+        cap.counters.insert("poly.cache.hit", 4);
+        cap.counters.insert("exec.instances", 99);
+        cap.counters.insert("exec.par.thread_busy_ns", 123_456);
+        cap.stages.insert(
+            "serve.compile".into(),
+            StageStat {
+                count: 1,
+                total_ns: 7777,
+                min_ns: 7777,
+                max_ns: 7777,
+            },
+        );
+        cap.stages.insert(
+            "serve.compile/poly.feasibility".into(),
+            StageStat {
+                count: 3,
+                total_ns: 10,
+                min_ns: 1,
+                max_ns: 8,
+            },
+        );
+        let proj = deterministic_projection(&cap.to_json());
+        let text = proj.to_pretty_string();
+        assert!(!text.contains("_ns"), "{text}");
+        assert!(!text.contains("poly."), "{text}");
+        assert_eq!(
+            proj.get("counters")
+                .unwrap()
+                .get("exec.instances")
+                .and_then(Json::as_u64),
+            Some(99)
+        );
+        assert_eq!(
+            proj.get("stages")
+                .unwrap()
+                .get("serve.compile")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // Identical captures at different cache temperatures project equal.
+        let mut warm = cap.clone();
+        warm.counters.insert("poly.cache.hit", 400);
+        warm.stages.get_mut("serve.compile").unwrap().total_ns = 999;
+        warm.stages.remove("serve.compile/poly.feasibility");
+        assert_eq!(
+            deterministic_projection(&warm.to_json()).to_pretty_string(),
+            text
+        );
+    }
+}

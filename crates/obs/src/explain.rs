@@ -254,6 +254,10 @@ impl Drop for RecordBuilder {
         let Some(mut rec) = self.inner.take() else {
             return;
         };
+        // A request-scoped capture tallies committed verdicts; records
+        // exist only while the explain layer is on, so a capture's
+        // explain summary is empty unless both are enabled.
+        crate::capture::record_explain(rec.verdict);
         let cap = capacity();
         let mut s = store();
         rec.seq = s.next_seq;

@@ -32,9 +32,15 @@
 //! candidate transformation was legal or rejected, with the dependence
 //! evidence and cost features behind every verdict. It is enabled by
 //! `INL_EXPLAIN=1` / [`set_explain_enabled`], and
-//! `INL_EXPLAIN_JSON=<path>` dumps the record store at process exit. All
-//! three layers share one flag byte, so "everything disabled" still
-//! costs exactly one relaxed atomic load per instrument.
+//! `INL_EXPLAIN_JSON=<path>` dumps the record store at process exit.
+//!
+//! A fourth concern — request-scoped [`capture`] — reuses the same
+//! instruments to attribute counters, span durations, and explain
+//! verdicts to *one request* (the compile service streams the result
+//! back to clients), and the [`window`] module aggregates per-request
+//! latencies into a sliding window of live percentiles. All layers share
+//! one flag byte, so "everything disabled" still costs exactly one
+//! relaxed atomic load per instrument.
 //!
 //! Spans nest: a span opened while another span is open on the same
 //! thread is recorded under the path `outer/inner`, so solver time inside
@@ -44,11 +50,13 @@
 
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod diff;
 pub mod explain;
 pub mod json;
 pub mod report;
 pub mod timeline;
+pub mod window;
 
 pub use json::{Json, JsonError, ParseLimits};
 pub use report::{HistogramSnapshot, PipelineReport, SpanSnapshot};
@@ -68,6 +76,9 @@ pub(crate) const FLAG_OBS: u8 = 1;
 pub(crate) const FLAG_TIMELINE: u8 = 2;
 /// Flag bit: decision-provenance (explain) recording.
 pub(crate) const FLAG_EXPLAIN: u8 = 4;
+/// Flag bit: at least one request-scoped [`capture`] is active somewhere
+/// in the process (raised/lowered by `capture::with`, never by env).
+pub(crate) const FLAG_CAPTURE: u8 = 8;
 
 /// JSON dump paths read from the environment at first-instrument time;
 /// written at process exit by the `atexit` hook.
@@ -376,6 +387,27 @@ impl Counter {
     }
 }
 
+/// The subset of the flag byte that arms counter/span instruments:
+/// aggregate telemetry and request-scoped capture. One relaxed load.
+#[doc(hidden)]
+#[inline]
+pub fn instrument_flags() -> u8 {
+    flags() & (FLAG_OBS | FLAG_CAPTURE)
+}
+
+/// Route one counter bump to the layers named in `flags` (the global
+/// registry and/or the thread's active [`capture`]). Support for the
+/// [`counter_add!`] expansion — not part of the public API surface.
+#[doc(hidden)]
+pub fn dispatch_counter(flags: u8, cell: &'static OnceLock<Counter>, name: &'static str, n: u64) {
+    if flags & FLAG_OBS != 0 {
+        cell.get_or_init(|| counter(name)).add(n);
+    }
+    if flags & FLAG_CAPTURE != 0 {
+        capture::record_counter(name, n);
+    }
+}
+
 /// Look up (or create) the counter `name`. Call sites on hot paths should
 /// cache the handle — the [`counter_add!`] macro does this with a
 /// function-local `OnceLock`.
@@ -398,19 +430,21 @@ pub fn counter_value(name: &'static str) -> u64 {
         .map_or(0, |c| c.load(Ordering::Relaxed))
 }
 
-/// Bump counter `$name` by `$n` iff telemetry is enabled. The handle is
-/// resolved once per call site and cached in a local `OnceLock`.
+/// Bump counter `$name` by `$n` iff aggregate telemetry is enabled or a
+/// request-scoped [`capture`] is active (one relaxed load when both are
+/// off). The registry handle is resolved once per call site and cached
+/// in a local `OnceLock`; the bump additionally lands in this thread's
+/// capture while one is open.
 #[macro_export]
 macro_rules! counter_add {
-    ($name:literal, $n:expr) => {
-        if $crate::enabled() {
+    ($name:literal, $n:expr) => {{
+        let __obs_flags = $crate::instrument_flags();
+        if __obs_flags != 0 {
             static __OBS_COUNTER: ::std::sync::OnceLock<$crate::Counter> =
                 ::std::sync::OnceLock::new();
-            __OBS_COUNTER
-                .get_or_init(|| $crate::counter($name))
-                .add($n as u64);
+            $crate::dispatch_counter(__obs_flags, &__OBS_COUNTER, $name, $n as u64);
         }
-    };
+    }};
 }
 
 // -------------------------------------------------------------- histograms
@@ -459,6 +493,12 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
+/// How many spans are open on this thread right now (capture uses this
+/// to make its stage paths envelope-relative).
+pub(crate) fn span_stack_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
 /// RAII guard for a scoped span; created by [`span`]. Dropping it records
 /// the elapsed wall time under the thread's current nesting path, and —
 /// when the timeline layer is on — a matching timeline slice.
@@ -466,14 +506,17 @@ thread_local! {
 pub struct SpanGuard {
     start: Option<Instant>,
     name: &'static str,
-    /// Which layers to record into on drop ([`FLAG_OBS`] | [`FLAG_TIMELINE`]).
+    /// Which layers to record into on drop ([`FLAG_OBS`] |
+    /// [`FLAG_TIMELINE`] | [`FLAG_CAPTURE`], as sampled at open).
     record: u8,
 }
 
-/// Open a scoped span. While both layers are disabled this is a no-op
+/// Open a scoped span. While every layer is disabled this is a no-op
 /// (the guard holds no timestamp). Nested spans on the same thread record
-/// under `outer/inner` paths; with the timeline enabled the span also
-/// becomes a Chrome-trace slice under its bare name.
+/// under `outer/inner` paths — into the global registry when aggregate
+/// telemetry is on, into the thread's [`capture`] when one is open — and
+/// with the timeline enabled the span also becomes a Chrome-trace slice
+/// under its bare name.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
     let record = flags();
@@ -484,7 +527,7 @@ pub fn span(name: &'static str) -> SpanGuard {
             record,
         };
     }
-    if record & FLAG_OBS != 0 {
+    if record & (FLAG_OBS | FLAG_CAPTURE) != 0 {
         SPAN_STACK.with(|s| s.borrow_mut().push(name));
     }
     SpanGuard {
@@ -501,7 +544,7 @@ impl Drop for SpanGuard {
         if self.record & FLAG_TIMELINE != 0 {
             timeline::complete_from(self.name, start, ns);
         }
-        if self.record & FLAG_OBS == 0 {
+        if self.record & (FLAG_OBS | FLAG_CAPTURE) == 0 {
             return;
         }
         let path = SPAN_STACK.with(|s| {
@@ -515,6 +558,12 @@ impl Drop for SpanGuard {
             }
             path
         });
+        if self.record & FLAG_CAPTURE != 0 {
+            capture::record_span(&path, ns);
+        }
+        if self.record & FLAG_OBS == 0 {
+            return;
+        }
         let mut spans = registry().spans.lock().unwrap();
         let st = spans.entry(path).or_insert(SpanStats {
             count: 0,

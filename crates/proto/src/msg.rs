@@ -2,10 +2,24 @@
 //!
 //! Every message is a JSON object with a `"type"` discriminator. The
 //! request side mirrors the pipeline's operations (compile / run /
-//! explain), plus `stats` and `shutdown` for service control; the
-//! response side carries either the operation's result or a typed
+//! explain), plus `stats` / `metrics` / `shutdown` for service control;
+//! the response side carries either the operation's result or a typed
 //! `error` object — a malformed request gets an error *response*, never
 //! a dropped connection.
+//!
+//! # Telemetry
+//!
+//! `compile` / `run` / `explain` requests accept an opt-in boolean
+//! `telemetry` flag. When it is `true`, the matching response carries a
+//! versioned `telemetry` JSON object (per-stage span durations, counter
+//! deltas including poly-cache hits/misses, explain verdict summary —
+//! the schema is owned by `inl_obs::capture`). Both the flag and the
+//! section are **encoded only when present**, so a telemetry-off
+//! exchange is byte-identical to the pre-telemetry protocol; `metrics`
+//! returns the server's sliding-window percentiles (schema owned by
+//! `inl_obs::window`). Everything stays canonical JSON, so bitwise
+//! response comparison still holds once the telemetry section is
+//! stripped ([`Response::strip_telemetry`]).
 
 use inl_linalg::{InlError, InlErrorKind};
 use inl_obs::{Json, JsonError, ParseLimits};
@@ -45,6 +59,9 @@ pub enum Request {
         program: String,
         /// Optional loop-order permutation, one character per loop.
         order: Option<String>,
+        /// Ask the server to attach a per-request `telemetry` section to
+        /// the response (encoded on the wire only when `true`).
+        telemetry: bool,
     },
     /// Compile (as above) and execute, returning a digest of the final
     /// array state for bitwise comparison.
@@ -57,6 +74,8 @@ pub enum Request {
         order: Option<String>,
         /// Which backend executes the program.
         backend: BackendChoice,
+        /// Ask for a per-request `telemetry` section (see module docs).
+        telemetry: bool,
     },
     /// Ask *why* a loop order is legal or rejected for a program.
     Explain {
@@ -64,12 +83,42 @@ pub enum Request {
         program: String,
         /// Optional loop-order permutation.
         order: Option<String>,
+        /// Ask for a per-request `telemetry` section (see module docs).
+        telemetry: bool,
     },
     /// Snapshot service counters and the process-wide poly-cache stats.
     Stats,
+    /// Snapshot the server's sliding-window live metrics (latency
+    /// percentiles, request rate, error rate over the last N seconds).
+    Metrics,
     /// Graceful shutdown: the server acknowledges, stops accepting new
     /// connections, drains in-flight sessions, and exits.
     Shutdown,
+}
+
+impl Request {
+    /// True iff this request opts into a per-request `telemetry` section.
+    pub fn wants_telemetry(&self) -> bool {
+        match self {
+            Request::Compile { telemetry, .. }
+            | Request::Run { telemetry, .. }
+            | Request::Explain { telemetry, .. } => *telemetry,
+            Request::Stats | Request::Metrics | Request::Shutdown => false,
+        }
+    }
+
+    /// The wire discriminator (`"compile"`, `"run"`, ... ) — also the
+    /// per-request-kind key the server's sliding window tallies under.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Compile { .. } => "compile",
+            Request::Run { .. } => "run",
+            Request::Explain { .. } => "explain",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// Result of a `compile` request: rejection is a first-class outcome
@@ -92,7 +141,13 @@ pub enum CompileOutcome {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// Answer to [`Request::Compile`].
-    Compile(CompileOutcome),
+    Compile {
+        /// The compile result (legal pseudocode or typed rejection).
+        outcome: CompileOutcome,
+        /// Per-request telemetry section, present iff the request set
+        /// `telemetry: true` (must be a JSON object when present).
+        telemetry: Option<Json>,
+    },
     /// Answer to [`Request::Run`].
     Run {
         /// FNV-1a 64 digest over every array's `f64` bit patterns, as
@@ -103,6 +158,8 @@ pub enum Response {
         arrays: u64,
         /// Total `f64` cells digested.
         cells: u64,
+        /// Per-request telemetry section (see [`Response::Compile`]).
+        telemetry: Option<Json>,
     },
     /// Answer to [`Request::Explain`].
     Explain {
@@ -110,12 +167,20 @@ pub enum Response {
         verdict: String,
         /// The evidence line (proof or killing dependence).
         reason: String,
+        /// Per-request telemetry section (see [`Response::Compile`]).
+        telemetry: Option<Json>,
     },
     /// Answer to [`Request::Stats`]: a free-form JSON object (poly-cache
-    /// counters, serve counters).
+    /// counters, serve counters, uptime/session gauges).
     Stats {
         /// The stats object.
         stats: Json,
+    },
+    /// Answer to [`Request::Metrics`]: the sliding-window snapshot
+    /// (schema owned by `inl_obs::window`).
+    Metrics {
+        /// The windowed-metrics object.
+        metrics: Json,
     },
     /// Acknowledges [`Request::Shutdown`]; sent before the drain begins.
     Shutdown,
@@ -138,6 +203,43 @@ impl Response {
             message: e.message().to_string(),
         }
     }
+
+    /// The telemetry section, if this response carries one.
+    pub fn telemetry(&self) -> Option<&Json> {
+        match self {
+            Response::Compile { telemetry, .. }
+            | Response::Run { telemetry, .. }
+            | Response::Explain { telemetry, .. } => telemetry.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Attach a telemetry section to a telemetry-capable response;
+    /// returns every other variant unchanged.
+    pub fn with_telemetry(mut self, section: Json) -> Response {
+        match &mut self {
+            Response::Compile { telemetry, .. }
+            | Response::Run { telemetry, .. }
+            | Response::Explain { telemetry, .. } => *telemetry = Some(section),
+            _ => {}
+        }
+        self
+    }
+
+    /// A copy with any telemetry section removed — the *core* response.
+    /// Stripped responses from a telemetry-on exchange encode to exactly
+    /// the bytes a telemetry-off exchange would have produced, which is
+    /// what `inl-load` byte-compares against in-process handling.
+    pub fn strip_telemetry(&self) -> Response {
+        let mut core = self.clone();
+        match &mut core {
+            Response::Compile { telemetry, .. }
+            | Response::Run { telemetry, .. }
+            | Response::Explain { telemetry, .. } => *telemetry = None,
+            _ => {}
+        }
+        core
+    }
 }
 
 // ------------------------------------------------------------- encoding
@@ -151,13 +253,25 @@ fn obj(kind: &str) -> Json {
 /// Encode a request as canonical JSON text (deterministic: object keys
 /// serialize in sorted order).
 pub fn encode_request(req: &Request) -> String {
+    // The `telemetry` flag is encoded only when set, so a telemetry-off
+    // request is byte-identical to the pre-telemetry wire format.
+    let telemetry_flag = |o: &mut Json, on: bool| {
+        if on {
+            o.insert("telemetry", Json::Bool(true));
+        }
+    };
     let json = match req {
-        Request::Compile { program, order } => {
+        Request::Compile {
+            program,
+            order,
+            telemetry,
+        } => {
             let mut o = obj("compile");
             o.insert("program", Json::Str(program.clone()));
             if let Some(ord) = order {
                 o.insert("order", Json::Str(ord.clone()));
             }
+            telemetry_flag(&mut o, *telemetry);
             o
         }
         Request::Run {
@@ -165,6 +279,7 @@ pub fn encode_request(req: &Request) -> String {
             params,
             order,
             backend,
+            telemetry,
         } => {
             let mut o = obj("run");
             o.insert("program", Json::Str(program.clone()));
@@ -176,17 +291,24 @@ pub fn encode_request(req: &Request) -> String {
                 o.insert("order", Json::Str(ord.clone()));
             }
             o.insert("backend", Json::Str(backend.as_str().to_string()));
+            telemetry_flag(&mut o, *telemetry);
             o
         }
-        Request::Explain { program, order } => {
+        Request::Explain {
+            program,
+            order,
+            telemetry,
+        } => {
             let mut o = obj("explain");
             o.insert("program", Json::Str(program.clone()));
             if let Some(ord) = order {
                 o.insert("order", Json::Str(ord.clone()));
             }
+            telemetry_flag(&mut o, *telemetry);
             o
         }
         Request::Stats => obj("stats"),
+        Request::Metrics => obj("metrics"),
         Request::Shutdown => obj("shutdown"),
     };
     json.to_pretty_string()
@@ -194,8 +316,15 @@ pub fn encode_request(req: &Request) -> String {
 
 /// Encode a response as canonical JSON text.
 pub fn encode_response(resp: &Response) -> String {
+    // Like the request flag: the `telemetry` section is encoded only
+    // when present, keeping telemetry-off responses byte-stable.
+    let telemetry_section = |o: &mut Json, t: &Option<Json>| {
+        if let Some(section) = t {
+            o.insert("telemetry", section.clone());
+        }
+    };
     let json = match resp {
-        Response::Compile(outcome) => {
+        Response::Compile { outcome, telemetry } => {
             let mut o = obj("compile");
             match outcome {
                 CompileOutcome::Legal { pseudocode } => {
@@ -207,28 +336,41 @@ pub fn encode_response(resp: &Response) -> String {
                     o.insert("reason", Json::Str(reason.clone()));
                 }
             }
+            telemetry_section(&mut o, telemetry);
             o
         }
         Response::Run {
             digest,
             arrays,
             cells,
+            telemetry,
         } => {
             let mut o = obj("run");
             o.insert("digest", Json::Str(digest.clone()));
             o.insert("arrays", Json::Int(*arrays));
             o.insert("cells", Json::Int(*cells));
+            telemetry_section(&mut o, telemetry);
             o
         }
-        Response::Explain { verdict, reason } => {
+        Response::Explain {
+            verdict,
+            reason,
+            telemetry,
+        } => {
             let mut o = obj("explain");
             o.insert("verdict", Json::Str(verdict.clone()));
             o.insert("reason", Json::Str(reason.clone()));
+            telemetry_section(&mut o, telemetry);
             o
         }
         Response::Stats { stats } => {
             let mut o = obj("stats");
             o.insert("stats", stats.clone());
+            o
+        }
+        Response::Metrics { metrics } => {
+            let mut o = obj("metrics");
+            o.insert("metrics", metrics.clone());
             o
         }
         Response::Shutdown => obj("shutdown"),
@@ -288,6 +430,42 @@ fn opt_str_field(json: &Json, field: &str) -> Result<Option<String>, InlError> {
     }
 }
 
+/// An optional boolean field; absent (or `null`) means `false`, any
+/// non-boolean value is a typed error.
+fn opt_bool_field(json: &Json, field: &str) -> Result<bool, InlError> {
+    match json.get(field) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(InlError::new(
+            InlErrorKind::IllFormed,
+            format!("'{field}' must be a boolean"),
+        )),
+    }
+}
+
+/// An optional JSON-object field (the `telemetry` section); absent (or
+/// `null`) means none, any non-object value is a typed error.
+fn opt_object_field(json: &Json, field: &str) -> Result<Option<Json>, InlError> {
+    match json.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(section @ Json::Object(_)) => Ok(Some(section.clone())),
+        Some(_) => Err(InlError::new(
+            InlErrorKind::IllFormed,
+            format!("'{field}' must be an object"),
+        )),
+    }
+}
+
+/// A required JSON-object field (`stats` / `metrics` payloads).
+fn object_field(json: &Json, field: &str) -> Result<Json, InlError> {
+    opt_object_field(json, field)?.ok_or_else(|| {
+        InlError::new(
+            InlErrorKind::IllFormed,
+            format!("missing object '{field}' field"),
+        )
+    })
+}
+
 fn u64_field(json: &Json, field: &str) -> Result<u64, InlError> {
     json.get(field).and_then(Json::as_u64).ok_or_else(|| {
         InlError::new(
@@ -306,6 +484,7 @@ pub fn decode_request(payload: &[u8], limits: &FrameLimits) -> Result<Request, I
         "compile" => Ok(Request::Compile {
             program: str_field(&json, "program")?,
             order: opt_str_field(&json, "order")?,
+            telemetry: opt_bool_field(&json, "telemetry")?,
         }),
         "run" => {
             let params = match json.get("params") {
@@ -344,13 +523,16 @@ pub fn decode_request(payload: &[u8], limits: &FrameLimits) -> Result<Request, I
                 params,
                 order: opt_str_field(&json, "order")?,
                 backend,
+                telemetry: opt_bool_field(&json, "telemetry")?,
             })
         }
         "explain" => Ok(Request::Explain {
             program: str_field(&json, "program")?,
             order: opt_str_field(&json, "order")?,
+            telemetry: opt_bool_field(&json, "telemetry")?,
         }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(InlError::new(
             InlErrorKind::Unsupported,
@@ -363,32 +545,45 @@ pub fn decode_request(payload: &[u8], limits: &FrameLimits) -> Result<Request, I
 pub fn decode_response(payload: &[u8], limits: &FrameLimits) -> Result<Response, InlError> {
     let json = decode_json(payload, limits)?;
     match msg_type(&json)? {
-        "compile" => match json.get("legal") {
-            Some(Json::Bool(true)) => Ok(Response::Compile(CompileOutcome::Legal {
-                pseudocode: str_field(&json, "pseudocode")?,
-            })),
-            Some(Json::Bool(false)) => Ok(Response::Compile(CompileOutcome::Rejected {
-                reason: str_field(&json, "reason")?,
-            })),
-            _ => Err(InlError::new(
-                InlErrorKind::IllFormed,
-                "compile response has no boolean 'legal' field",
-            )),
-        },
+        "compile" => {
+            let outcome = match json.get("legal") {
+                Some(Json::Bool(true)) => CompileOutcome::Legal {
+                    pseudocode: str_field(&json, "pseudocode")?,
+                },
+                Some(Json::Bool(false)) => CompileOutcome::Rejected {
+                    reason: str_field(&json, "reason")?,
+                },
+                _ => {
+                    return Err(InlError::new(
+                        InlErrorKind::IllFormed,
+                        "compile response has no boolean 'legal' field",
+                    ))
+                }
+            };
+            Ok(Response::Compile {
+                outcome,
+                telemetry: opt_object_field(&json, "telemetry")?,
+            })
+        }
         "run" => Ok(Response::Run {
             digest: str_field(&json, "digest")?,
             arrays: u64_field(&json, "arrays")?,
             cells: u64_field(&json, "cells")?,
+            telemetry: opt_object_field(&json, "telemetry")?,
         }),
         "explain" => Ok(Response::Explain {
             verdict: str_field(&json, "verdict")?,
             reason: str_field(&json, "reason")?,
+            telemetry: opt_object_field(&json, "telemetry")?,
         }),
         "stats" => Ok(Response::Stats {
             stats: json
                 .get("stats")
                 .cloned()
                 .ok_or_else(|| InlError::new(InlErrorKind::IllFormed, "missing 'stats' field"))?,
+        }),
+        "metrics" => Ok(Response::Metrics {
+            metrics: object_field(&json, "metrics")?,
         }),
         "shutdown" => Ok(Response::Shutdown),
         "error" => Ok(Response::Error {
@@ -416,28 +611,34 @@ mod tests {
             Request::Compile {
                 program: "cholesky_kij".into(),
                 order: Some("KJLI".into()),
+                telemetry: false,
             },
             Request::Compile {
                 program: "matmul".into(),
                 order: None,
+                telemetry: true,
             },
             Request::Run {
                 program: "wavefront".into(),
                 params: vec![12],
                 order: None,
                 backend: BackendChoice::Vm,
+                telemetry: true,
             },
             Request::Run {
                 program: "rect_wavefront".into(),
                 params: vec![5, 9],
                 order: None,
                 backend: BackendChoice::Interp,
+                telemetry: false,
             },
             Request::Explain {
                 program: "cholesky_kij".into(),
                 order: Some("IKJL".into()),
+                telemetry: true,
             },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -448,26 +649,107 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_off_wire_bytes_have_no_telemetry_key() {
+        // The opt-in flag and the response section are invisible when
+        // unused: telemetry-off traffic is byte-identical to the
+        // pre-telemetry protocol.
+        let req = Request::Compile {
+            program: "matmul".into(),
+            order: None,
+            telemetry: false,
+        };
+        assert!(!encode_request(&req).contains("telemetry"));
+        let resp = Response::Compile {
+            outcome: CompileOutcome::Legal {
+                pseudocode: "for K".into(),
+            },
+            telemetry: None,
+        };
+        assert!(!encode_response(&resp).contains("telemetry"));
+        // And with the flag on, the key appears in both directions.
+        let req_on = Request::Compile {
+            program: "matmul".into(),
+            order: None,
+            telemetry: true,
+        };
+        assert!(encode_request(&req_on).contains("\"telemetry\": true"));
+        assert!(req_on.wants_telemetry());
+        let resp_on = resp.with_telemetry(Json::object());
+        assert!(encode_response(&resp_on).contains("\"telemetry\""));
+        // strip_telemetry recovers the exact telemetry-off bytes.
+        let stripped = resp_on.strip_telemetry();
+        assert!(!encode_response(&stripped).contains("telemetry"));
+    }
+
+    #[test]
+    fn telemetry_fields_must_be_well_typed() {
+        use inl_linalg::InlErrorKind;
+        // Request flag must be a boolean.
+        let e = decode_request(
+            b"{\"type\": \"compile\", \"program\": \"m\", \"telemetry\": 1}",
+            &limits(),
+        )
+        .unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::IllFormed);
+        // null means absent, matching the optional-string convention.
+        let req = decode_request(
+            b"{\"type\": \"compile\", \"program\": \"m\", \"telemetry\": null}",
+            &limits(),
+        )
+        .unwrap();
+        assert!(!req.wants_telemetry());
+        // Response section must be an object.
+        let e = decode_response(
+            b"{\"type\": \"run\", \"digest\": \"00\", \"arrays\": 1, \"cells\": 1, \
+              \"telemetry\": [1, 2]}",
+            &limits(),
+        )
+        .unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::IllFormed);
+        // Metrics payload must be an object.
+        let e = decode_response(b"{\"type\": \"metrics\", \"metrics\": 7}", &limits()).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::IllFormed);
+        let e = decode_response(b"{\"type\": \"metrics\"}", &limits()).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::IllFormed);
+    }
+
+    #[test]
     fn responses_round_trip() {
         let mut stats = Json::object();
         stats.insert("hits", Json::Int(42));
+        let mut telemetry = Json::object();
+        telemetry.insert("version", Json::Int(1));
+        let mut counters = Json::object();
+        counters.insert("poly.cache.hit", Json::Int(3));
+        telemetry.insert("counters", counters);
+        let mut metrics = Json::object();
+        metrics.insert("count", Json::Int(12));
         let resps = [
-            Response::Compile(CompileOutcome::Legal {
-                pseudocode: "for K = 1 to N".into(),
-            }),
-            Response::Compile(CompileOutcome::Rejected {
-                reason: "PartialRowIllegal(2)".into(),
-            }),
+            Response::Compile {
+                outcome: CompileOutcome::Legal {
+                    pseudocode: "for K = 1 to N".into(),
+                },
+                telemetry: Some(telemetry.clone()),
+            },
+            Response::Compile {
+                outcome: CompileOutcome::Rejected {
+                    reason: "PartialRowIllegal(2)".into(),
+                },
+                telemetry: None,
+            },
             Response::Run {
                 digest: "00ff00ff00ff00ff".into(),
                 arrays: 2,
                 cells: 128,
+                telemetry: Some(telemetry.clone()),
             },
             Response::Explain {
                 verdict: "legal".into(),
                 reason: "completed".into(),
+                telemetry: Some(telemetry),
             },
             Response::Stats { stats },
+            Response::Metrics { metrics },
             Response::Shutdown,
             Response::Error {
                 kind: "invalid target".into(),
@@ -522,6 +804,7 @@ mod tests {
             params: vec![8],
             order: None,
             backend: BackendChoice::Vm,
+            telemetry: false,
         };
         assert_eq!(encode_request(&req), encode_request(&req.clone()));
     }

@@ -1,27 +1,30 @@
 //! `inl-client` — one-shot requests against a running `inl-serve`.
 //!
 //! ```sh
-//! inl-client [--addr HOST:PORT] [--json] <command> [args]
+//! inl-client [--addr HOST:PORT] [--json] [--telemetry] <command> [args]
 //!
 //! inl-client compile <program> [order]      # pseudocode or rejection
-//! inl-client run <program> <N> [M ...] [--order ORD] [--backend vm|interp]
+//! inl-client run <prog> <N> [M ...] [--order ORD] [--backend vm|interp]
 //! inl-client explain <program> <order>      # why legal / why rejected
 //! inl-client stats                          # cache + transport counters
+//! inl-client metrics                        # sliding-window latency/rates
 //! inl-client shutdown                       # graceful stop
 //! ```
 //!
 //! Default output is human-readable; `--json` prints the raw response
-//! JSON exactly as it came off the wire. Exit code 0 on any well-formed
-//! response that is not an `error`, 2 on a typed error response, 1 on
-//! transport failure or bad usage.
+//! JSON exactly as it came off the wire. `--telemetry` asks the server
+//! for the per-request capture section on compile/run/explain and
+//! prints it after the answer. Exit code 0 on any well-formed response
+//! that is not an `error`, 2 on a typed error response, 1 on transport
+//! failure or bad usage.
 
 use inl_serve::{BackendChoice, Client, CompileOutcome, Request, Response};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: inl-client [--addr HOST:PORT] [--json] \
+        "usage: inl-client [--addr HOST:PORT] [--json] [--telemetry] \
          (compile <prog> [order] | run <prog> <N>.. [--order ORD] [--backend vm|interp] | \
-         explain <prog> <order> | stats | shutdown)"
+         explain <prog> <order> | stats | metrics | shutdown)"
     );
     std::process::exit(1);
 }
@@ -29,6 +32,7 @@ fn usage() -> ! {
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut json_output = false;
+    let mut telemetry = false;
     let mut positional: Vec<String> = Vec::new();
     let mut order: Option<String> = None;
     let mut backend = BackendChoice::Vm;
@@ -38,6 +42,7 @@ fn main() {
         match a.as_str() {
             "--addr" => addr = args.next().unwrap_or_else(|| usage()),
             "--json" => json_output = true,
+            "--telemetry" => telemetry = true,
             "--order" => order = Some(args.next().unwrap_or_else(|| usage())),
             "--backend" => {
                 backend = match args.next().as_deref() {
@@ -59,10 +64,12 @@ fn main() {
             [prog] => Request::Compile {
                 program: prog.clone(),
                 order: order.clone(),
+                telemetry,
             },
             [prog, ord] => Request::Compile {
                 program: prog.clone(),
                 order: Some(ord.clone()),
+                telemetry,
             },
             _ => usage(),
         },
@@ -78,20 +85,24 @@ fn main() {
                 params,
                 order: order.clone(),
                 backend,
+                telemetry,
             }
         }
         "explain" => match rest {
             [prog, ord] => Request::Explain {
                 program: prog.clone(),
                 order: Some(ord.clone()),
+                telemetry,
             },
             [prog] => Request::Explain {
                 program: prog.clone(),
                 order: order.clone(),
+                telemetry,
             },
             _ => usage(),
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         _ => usage(),
     };
@@ -115,21 +126,30 @@ fn main() {
         println!("{}", inl_proto::encode_response(&response));
     } else {
         match &response {
-            Response::Compile(CompileOutcome::Legal { pseudocode }) => {
-                println!("legal\n{pseudocode}")
-            }
-            Response::Compile(CompileOutcome::Rejected { reason }) => {
-                println!("rejected: {reason}")
-            }
+            Response::Compile {
+                outcome: CompileOutcome::Legal { pseudocode },
+                ..
+            } => println!("legal\n{pseudocode}"),
+            Response::Compile {
+                outcome: CompileOutcome::Rejected { reason },
+                ..
+            } => println!("rejected: {reason}"),
             Response::Run {
                 digest,
                 arrays,
                 cells,
+                ..
             } => println!("digest {digest} ({arrays} array(s), {cells} cell(s))"),
-            Response::Explain { verdict, reason } => println!("{verdict}: {reason}"),
+            Response::Explain {
+                verdict, reason, ..
+            } => println!("{verdict}: {reason}"),
             Response::Stats { stats } => println!("{}", stats.to_pretty_string()),
+            Response::Metrics { metrics } => println!("{}", metrics.to_pretty_string()),
             Response::Shutdown => println!("server draining"),
             Response::Error { kind, message } => eprintln!("error [{kind}]: {message}"),
+        }
+        if let Some(section) = response.telemetry() {
+            println!("telemetry:\n{}", section.to_pretty_string());
         }
     }
     if matches!(response, Response::Error { .. }) {

@@ -152,11 +152,15 @@ fn digest_machine(m: &inl_exec::Machine) -> (String, u64, u64) {
 }
 
 fn handle_compile(program: &str, order: Option<&str>) -> Result<Response, InlError> {
-    Ok(match compile_inner(program, order)? {
-        Ok(generated) => Response::Compile(CompileOutcome::Legal {
+    let outcome = match compile_inner(program, order)? {
+        Ok(generated) => CompileOutcome::Legal {
             pseudocode: generated.to_pseudocode(),
-        }),
-        Err(reason) => Response::Compile(CompileOutcome::Rejected { reason }),
+        },
+        Err(reason) => CompileOutcome::Rejected { reason },
+    };
+    Ok(Response::Compile {
+        outcome,
+        telemetry: None,
     })
 }
 
@@ -208,6 +212,7 @@ fn handle_run(
         digest,
         arrays,
         cells,
+        telemetry: None,
     })
 }
 
@@ -222,61 +227,95 @@ fn handle_explain(program: &str, order: Option<&str>) -> Result<Response, InlErr
                 ),
                 None => "identity schedule; source order is legal by construction".to_string(),
             },
+            telemetry: None,
         },
         Err(reason) => Response::Explain {
             verdict: "rejected".to_string(),
             reason,
+            telemetry: None,
         },
     })
 }
 
-/// Handle one request. Infallible by design: anything that can go wrong
-/// becomes a [`Response::Error`]. [`Request::Stats`] answers with the
-/// process-wide poly-cache snapshot (the server layer adds its own
-/// transport counters on top); [`Request::Shutdown`] is acknowledged here
-/// and *acted on* by the server layer.
-pub fn handle_request(req: &Request) -> Response {
+/// The dispatch core, without telemetry capture.
+fn handle_core(req: &Request) -> Response {
     let result = match req {
-        Request::Compile { program, order } => handle_compile(program, order.as_deref()),
+        Request::Compile { program, order, .. } => handle_compile(program, order.as_deref()),
         Request::Run {
             program,
             params,
             order,
             backend,
+            ..
         } => handle_run(program, params, order.as_deref(), *backend),
-        Request::Explain { program, order } => handle_explain(program, order.as_deref()),
+        Request::Explain { program, order, .. } => handle_explain(program, order.as_deref()),
         Request::Stats => {
             let mut stats = inl_obs::Json::object();
             stats.insert("poly_cache", inl_poly::cache::stats_json());
             Ok(Response::Stats { stats })
         }
+        Request::Metrics => Ok(Response::Metrics {
+            metrics: crate::request_window().snapshot().to_json(),
+        }),
         Request::Shutdown => Ok(Response::Shutdown),
     };
     result.unwrap_or_else(|e| Response::from_error(&e))
+}
+
+/// Handle one request. Infallible by design: anything that can go wrong
+/// becomes a [`Response::Error`]. [`Request::Stats`] answers with the
+/// process-wide poly-cache snapshot (the server layer adds its own
+/// transport counters on top); [`Request::Metrics`] snapshots the
+/// process-wide [sliding window](crate::request_window) (empty unless a
+/// server in this process has been feeding it); [`Request::Shutdown`] is
+/// acknowledged here and *acted on* by the server layer.
+///
+/// A request with `telemetry: true` is handled inside an
+/// `inl_obs::capture` window and its response carries the capture as a
+/// versioned `telemetry` section — counters, per-stage durations, and
+/// poly-cache deltas attributable to exactly this request. Error
+/// responses have no telemetry slot and are returned bare.
+pub fn handle_request(req: &Request) -> Response {
+    if !req.wants_telemetry() {
+        return handle_core(req);
+    }
+    let (resp, capture) = inl_obs::capture::with(|| handle_core(req));
+    resp.with_telemetry(capture.to_json())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn compile_req(program: &str, order: Option<&str>) -> Request {
+        Request::Compile {
+            program: program.into(),
+            order: order.map(str::to_string),
+            telemetry: false,
+        }
+    }
+
     #[test]
     fn compile_legal_and_rejected_orders() {
-        let legal = handle_request(&Request::Compile {
-            program: "cholesky_kij".into(),
-            order: Some("KJLI".into()),
-        });
+        let legal = handle_request(&compile_req("cholesky_kij", Some("KJLI")));
         match legal {
-            Response::Compile(CompileOutcome::Legal { pseudocode }) => {
+            Response::Compile {
+                outcome: CompileOutcome::Legal { pseudocode },
+                ..
+            } => {
                 assert!(pseudocode.contains("do"), "{pseudocode}");
             }
             other => panic!("KJLI should be legal, got {other:?}"),
         }
-        let rejected = handle_request(&Request::Compile {
-            program: "cholesky_kij".into(),
-            order: Some("IKJL".into()),
-        });
+        let rejected = handle_request(&compile_req("cholesky_kij", Some("IKJL")));
         assert!(
-            matches!(rejected, Response::Compile(CompileOutcome::Rejected { .. })),
+            matches!(
+                rejected,
+                Response::Compile {
+                    outcome: CompileOutcome::Rejected { .. },
+                    ..
+                }
+            ),
             "IKJL should reject, got {rejected:?}"
         );
     }
@@ -284,12 +323,15 @@ mod tests {
     #[test]
     fn identity_compile_works_for_every_zoo_program() {
         for (name, _) in ZOO {
-            let resp = handle_request(&Request::Compile {
-                program: (*name).into(),
-                order: None,
-            });
+            let resp = handle_request(&compile_req(name, None));
             assert!(
-                matches!(resp, Response::Compile(CompileOutcome::Legal { .. })),
+                matches!(
+                    resp,
+                    Response::Compile {
+                        outcome: CompileOutcome::Legal { .. },
+                        ..
+                    }
+                ),
                 "{name}: {resp:?}"
             );
         }
@@ -302,6 +344,7 @@ mod tests {
             params: vec![24],
             order: None,
             backend,
+            telemetry: false,
         };
         let interp = handle_request(&req(BackendChoice::Interp));
         let vm = handle_request(&req(BackendChoice::Vm));
@@ -312,6 +355,7 @@ mod tests {
                 digest,
                 arrays,
                 cells,
+                ..
             } => {
                 assert_eq!(digest.len(), 16);
                 assert_eq!(arrays, 1);
@@ -330,36 +374,33 @@ mod tests {
             params: vec![16],
             order: None,
             backend: BackendChoice::Vm,
+            telemetry: false,
         });
         let kjli = handle_request(&Request::Run {
             program: "cholesky_kij".into(),
             params: vec![16],
             order: Some("KJLI".into()),
             backend: BackendChoice::Vm,
+            telemetry: false,
         });
         assert_eq!(source, kjli);
     }
 
     #[test]
     fn bad_requests_get_typed_errors() {
-        let unknown = handle_request(&Request::Compile {
-            program: "nonesuch".into(),
-            order: None,
-        });
+        let unknown = handle_request(&compile_req("nonesuch", None));
         assert!(
             matches!(unknown, Response::Error { ref kind, .. } if kind.contains("target")),
             "{unknown:?}"
         );
-        let bad_order = handle_request(&Request::Compile {
-            program: "cholesky_kij".into(),
-            order: Some("KKKK".into()),
-        });
+        let bad_order = handle_request(&compile_req("cholesky_kij", Some("KKKK")));
         assert!(matches!(bad_order, Response::Error { .. }), "{bad_order:?}");
         let bad_arity = handle_request(&Request::Run {
             program: "matmul".into(),
             params: vec![8, 8],
             order: None,
             backend: BackendChoice::Vm,
+            telemetry: false,
         });
         assert!(matches!(bad_arity, Response::Error { .. }), "{bad_arity:?}");
         let oversize = handle_request(&Request::Run {
@@ -367,6 +408,7 @@ mod tests {
             params: vec![100_000],
             order: None,
             backend: BackendChoice::Vm,
+            telemetry: false,
         });
         assert!(
             matches!(oversize, Response::Error { ref kind, .. } if kind.contains("budget")),
@@ -377,6 +419,7 @@ mod tests {
             params: vec![8],
             order: Some("IKJL".into()),
             backend: BackendChoice::Vm,
+            telemetry: false,
         });
         assert!(
             matches!(illegal_run, Response::Error { ref kind, .. } if kind.contains("infeasible")),
@@ -389,6 +432,7 @@ mod tests {
         let legal = handle_request(&Request::Explain {
             program: "cholesky_kij".into(),
             order: Some("KJLI".into()),
+            telemetry: false,
         });
         assert!(
             matches!(legal, Response::Explain { ref verdict, .. } if verdict == "legal"),
@@ -397,9 +441,12 @@ mod tests {
         let rejected = handle_request(&Request::Explain {
             program: "cholesky_kij".into(),
             order: Some("IKJL".into()),
+            telemetry: false,
         });
         match rejected {
-            Response::Explain { verdict, reason } => {
+            Response::Explain {
+                verdict, reason, ..
+            } => {
                 assert_eq!(verdict, "rejected");
                 assert!(!reason.is_empty());
             }
@@ -417,6 +464,67 @@ mod tests {
                 assert!(pc.get("hit_rate").is_some());
             }
             other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_request_gets_a_versioned_section() {
+        let mut req = compile_req("cholesky_kij", Some("KJLI"));
+        if let Request::Compile { telemetry, .. } = &mut req {
+            *telemetry = true;
+        }
+        let resp = handle_request(&req);
+        let section = resp.telemetry().expect("telemetry section");
+        assert_eq!(
+            section.get("version").and_then(inl_obs::Json::as_u64),
+            Some(inl_obs::capture::SCHEMA_VERSION)
+        );
+        let stages = section.get("stages").expect("stages");
+        let compile = stages.get("serve.compile").expect("serve.compile stage");
+        assert_eq!(
+            compile.get("count").and_then(inl_obs::Json::as_u64),
+            Some(1)
+        );
+        assert!(section.get("poly_cache").is_some());
+        assert!(section.get("explain").is_some());
+        // The core answer (telemetry stripped) is byte-identical to the
+        // telemetry-off answer for the same request.
+        let off = handle_request(&compile_req("cholesky_kij", Some("KJLI")));
+        assert_eq!(
+            inl_proto::encode_response(&resp.strip_telemetry()),
+            inl_proto::encode_response(&off)
+        );
+        // Error responses carry no telemetry slot and come back bare.
+        let mut bad = compile_req("nonesuch", None);
+        if let Request::Compile { telemetry, .. } = &mut bad {
+            *telemetry = true;
+        }
+        let err = handle_request(&bad);
+        assert!(matches!(err, Response::Error { .. }), "{err:?}");
+        assert!(err.telemetry().is_none());
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_window_feed() {
+        let resp = handle_request(&Request::Metrics);
+        let before = match &resp {
+            Response::Metrics { metrics } => metrics
+                .get("count")
+                .and_then(inl_obs::Json::as_u64)
+                .unwrap(),
+            other => panic!("expected Metrics, got {other:?}"),
+        };
+        crate::request_window().record("compile", 1_000, false);
+        let resp = handle_request(&Request::Metrics);
+        match resp {
+            Response::Metrics { metrics } => {
+                let after = metrics
+                    .get("count")
+                    .and_then(inl_obs::Json::as_u64)
+                    .unwrap();
+                assert!(after > before, "window feed not visible: {metrics:?}");
+            }
+            other => panic!("expected Metrics, got {other:?}"),
         }
     }
 }

@@ -19,6 +19,18 @@
 //! server answers repeated completions mostly from memo, which the
 //! `stats` request exposes (hits/misses/hit-rate) alongside transport
 //! counters.
+//!
+//! ## Telemetry
+//!
+//! Requests that set `telemetry: true` are evaluated inside an
+//! [`inl_obs::capture`] scope; the response carries a versioned
+//! `telemetry` section with per-stage span durations, counter deltas,
+//! the poly-cache delta, and the explain tally for that one request.
+//! Every served request additionally feeds [`request_window`], the
+//! process-wide sliding window behind the `metrics` request (live
+//! req/s, error rate, and latency percentiles over the last minute).
+//! The `inl-top` binary polls `metrics`/`stats` into a terminal
+//! dashboard.
 
 #![warn(missing_docs)]
 
@@ -31,4 +43,16 @@ pub use handler::{handle_request, MAX_PARAM, ZOO};
 pub use server::{serve, ServeStats, ServerConfig, ServerHandle};
 
 // Re-exported so binaries and tests need only this crate.
+pub use inl_obs::window::{SlidingWindow, WindowSnapshot};
 pub use inl_proto::{BackendChoice, CompileOutcome, FrameLimits, Request, Response};
+
+/// The process-wide sliding window of served-request latencies.
+///
+/// Server sessions record every request they answer here (keyed by
+/// request kind, errors flagged); the `metrics` request is answered
+/// from its snapshot. In-process callers that never ran a server see
+/// an empty window.
+pub fn request_window() -> &'static SlidingWindow {
+    static WINDOW: std::sync::OnceLock<SlidingWindow> = std::sync::OnceLock::new();
+    WINDOW.get_or_init(SlidingWindow::default)
+}

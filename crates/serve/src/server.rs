@@ -24,13 +24,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Transport counters, updated unconditionally (independent of `inl-obs`
 /// enablement) so the `stats` response is always truthful. The same
 /// values are mirrored into `inl-obs` counters (`serve.requests`,
 /// `serve.errors`, `serve.bytes_in`, `serve.bytes_out`) when telemetry
 /// is on.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeStats {
     /// Requests decoded and dispatched (including ones answered with a
     /// typed error response).
@@ -41,8 +42,30 @@ pub struct ServeStats {
     pub bytes_in: AtomicU64,
     /// Payload bytes sent (frame headers excluded).
     pub bytes_out: AtomicU64,
-    /// Connections accepted.
+    /// Connections accepted (each is one session).
     pub connections: AtomicU64,
+    /// Requests currently being handled.
+    pub in_flight: AtomicU64,
+    /// High-water mark of [`ServeStats::in_flight`] over the server's
+    /// lifetime.
+    pub in_flight_hwm: AtomicU64,
+    /// When these counters started accumulating (server start).
+    pub started: Instant,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            in_flight_hwm: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
 }
 
 impl ServeStats {
@@ -54,7 +77,25 @@ impl ServeStats {
         o.insert("bytes_in", get(&self.bytes_in));
         o.insert("bytes_out", get(&self.bytes_out));
         o.insert("connections", get(&self.connections));
+        o.insert("sessions", get(&self.connections));
+        o.insert("in_flight", get(&self.in_flight));
+        o.insert("in_flight_hwm", get(&self.in_flight_hwm));
+        o.insert(
+            "uptime_ms",
+            inl_obs::Json::Int(self.started.elapsed().as_millis() as u64),
+        );
         o
+    }
+
+    /// Enter a request: bump the in-flight gauge and fold the new value
+    /// into the high-water mark.
+    fn enter_request(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.in_flight_hwm.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn leave_request(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -250,10 +291,12 @@ fn session(shared: &Shared, stream: TcpStream, addr: SocketAddr) {
             Err(inl_proto::frame::FrameError::Io(_)) => return,
         };
         let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let req_start = Instant::now();
         let _req_span = inl_obs::span("serve.request");
         let _scope =
             inl_obs::timeline::scope_args("serve.request", &[("request_id", request_id as i64)]);
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        shared.stats.enter_request();
         shared
             .stats
             .bytes_in
@@ -264,6 +307,10 @@ fn session(shared: &Shared, stream: TcpStream, addr: SocketAddr) {
         let decoded = {
             let _span = inl_obs::span("serve.decode");
             inl_proto::decode_request(&payload, &shared.limits)
+        };
+        let kind = match &decoded {
+            Ok(req) => req.kind_name(),
+            Err(_) => "error",
         };
         let (response, stop_after) = match decoded {
             Ok(Request::Shutdown) => (Response::Shutdown, true),
@@ -278,10 +325,16 @@ fn session(shared: &Shared, stream: TcpStream, addr: SocketAddr) {
             Ok(req) => (handle_request(&req), false),
             Err(e) => (Response::from_error(&e), false),
         };
-        if matches!(response, Response::Error { .. }) {
+        let is_error = matches!(response, Response::Error { .. });
+        if is_error {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
             inl_obs::counter_add!("serve.errors", 1);
         }
+        // Feed the live metrics window before writing the reply so a
+        // `metrics` probe on another connection never misses a finished
+        // request.
+        crate::request_window().record(kind, req_start.elapsed().as_nanos() as u64, is_error);
+        shared.stats.leave_request();
         if respond(shared, &mut writer, &response).is_err() {
             return;
         }

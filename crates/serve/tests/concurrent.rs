@@ -22,10 +22,12 @@ fn requests_for(thread: usize) -> Vec<Request> {
         Request::Compile {
             program: "cholesky_kij".into(),
             order: Some(orders[thread % orders.len()].into()),
+            telemetry: false,
         },
         Request::Compile {
             program: "matmul".into(),
             order: None,
+            telemetry: false,
         },
         Request::Run {
             program: "cholesky_kij".into(),
@@ -36,16 +38,19 @@ fn requests_for(thread: usize) -> Vec<Request> {
             } else {
                 BackendChoice::Interp
             },
+            telemetry: false,
         },
         Request::Explain {
             program: "cholesky_kij".into(),
             order: Some(orders[(thread + 1) % orders.len()].into()),
+            telemetry: false,
         },
         Request::Run {
             program: "wavefront".into(),
             params: vec![20],
             order: None,
             backend: BackendChoice::Vm,
+            telemetry: false,
         },
     ]
 }
@@ -115,6 +120,7 @@ fn stats_request_reports_transport_and_cache_counters() {
         .request(&Request::Compile {
             program: "matmul".into(),
             order: None,
+            telemetry: false,
         })
         .expect("compile");
     let resp = client.request(&Request::Stats).expect("stats");
@@ -184,8 +190,9 @@ fn shutdown_request_drains_and_stops() {
             match client.request(&Request::Compile {
                 program: "cholesky_kij".into(),
                 order: Some("KJLI".into()),
+                telemetry: false,
             }) {
-                Ok(Response::Compile(_)) => answered += 1,
+                Ok(Response::Compile { .. }) => answered += 1,
                 Ok(other) => panic!("unexpected {other:?}"),
                 // The session was accepted before shutdown, so it drains
                 // fully; errors here would mean dropped in-flight work.
