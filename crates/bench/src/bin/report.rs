@@ -3,7 +3,8 @@
 //!
 //! ```sh
 //! cargo run --release -p inl-bench --bin report -- \
-//!     [--obs-json <path>] [--bench-json <path>] [--explain-json <path>]
+//!     [--obs-json <path>] [--bench-json <path>] [--explain-json <path>] \
+//!     [--sched-json <path>]
 //! ```
 //!
 //! The telemetry JSON lands at `target/inl-obs.json` unless `--obs-json`
@@ -13,7 +14,9 @@
 //! the decision-provenance layer on: an `## explain` section summarizes
 //! why each of the 24 Cholesky loop orders was accepted or rejected, and
 //! the full record store lands at `target/inl-explain.json` (override with
-//! `--explain-json`) for the `inl-explain` query tool.
+//! `--explain-json`) for the `inl-explain` query tool. The `## schedule`
+//! section sweeps the auto-scheduler over the zoo and writes its gated
+//! counters to `BENCH_sched.json` (override with `--sched-json`).
 
 use inl_bench::{
     cholesky_variants, compile_batch, explain_section, kernel_cholesky_kjli, kernel_cholesky_left,
@@ -62,6 +65,7 @@ fn main() {
     let pipeline_path = flag_path("--pipeline-json", "BENCH_pipeline.json");
     let trace_path = flag_path("--trace-json", "target/inl-trace.json");
     let explain_path = flag_path("--explain-json", "target/inl-explain.json");
+    let sched_path = flag_path("--sched-json", "BENCH_sched.json");
     inl_obs::set_enabled(true);
     inl_obs::set_timeline_enabled(true);
     inl_obs::set_explain_enabled(true);
@@ -388,6 +392,49 @@ fn main() {
             if ok { "bitwise identical" } else { "MISMATCH" }
         );
     }
+
+    // ------------------------------------------------- auto-scheduler
+    // Schedule every zoo program, measure every legal variant, and compare
+    // the cost model's choice against the measured best/worst. The search
+    // counters land in BENCH_sched.json for the CI diff gate; the sweep's
+    // explain sessions (sched/<program>) join the record store written at
+    // the end of the report. Single compile thread + fixed config so the
+    // counters match the committed baseline byte-for-byte.
+    println!("\n## schedule — cost-driven search over the zoo\n");
+    let sched_cfg = inl_sched::SchedConfig {
+        threads: 1,
+        ..inl_sched::SchedConfig::default()
+    };
+    let sweep = inl_sched::sweep::sweep_zoo(&sched_cfg).expect("schedule sweep");
+    print!("{}", inl_sched::sweep::render_table(&sweep));
+    let (mut in_tier, mut agree_sum) = (0usize, 0u64);
+    let (mut visited_sum, mut exhaustive_sum) = (0u64, 0u64);
+    let mut worst_spread = (0u64, "");
+    for e in &sweep {
+        in_tier += e.within_tier as usize;
+        agree_sum += e.rank_agreement_pct();
+        visited_sum += e.stats.nodes_visited;
+        exhaustive_sum += e.stats.nodes_exhaustive;
+        // chosen-vs-worst: how much the search saved over the worst legal
+        // order, tracked on the program with the widest spread
+        let spread = (e.worst_ns * 100).checked_div(e.chosen_ns).unwrap_or(0);
+        if spread > worst_spread.0 {
+            worst_spread = (spread, &e.name);
+        }
+    }
+    println!(
+        "\nvisited {visited_sum}/{exhaustive_sum} tree nodes over {} programs \
+         ({} within the measured-best tier), mean cost-vs-measured rank agreement \
+         {}%, widest chosen-vs-worst spread {}% ({})",
+        sweep.len(),
+        in_tier,
+        agree_sum / sweep.len() as u64,
+        worst_spread.0,
+        worst_spread.1
+    );
+    let sweep_json = inl_sched::sweep::bench_json(&sweep, &sched_cfg);
+    std::fs::write(&sched_path, sweep_json.to_pretty_string()).expect("write BENCH_sched.json");
+    println!("schedule sweep -> {}", sched_path.display());
 
     // ------------------------------------------------- trace summary
     let (_, trace) = run_traced(&p, &[20], &spd_init);

@@ -15,9 +15,10 @@
 //!   (what a compiler's backend would emit), where cache behaviour makes
 //!   the paper's "performance can be quite different" visible.
 
-pub mod batch;
-
-pub use batch::{compile_batch, CompiledVariant};
+// The parallel batch driver moved to `inl_codegen::batch` (the
+// auto-scheduler drives it without depending on this crate); re-exported
+// here so the report binary and older callers keep their import paths.
+pub use inl_codegen::batch::{compile_batch, CompiledVariant};
 
 use inl_core::complete::complete_transform;
 use inl_core::depend::{analyze, DependenceMatrix};
@@ -415,6 +416,23 @@ mod tests {
     /// The explain flag is process-global: serialize the tests that sweep
     /// Cholesky orders so one test's sessions don't interleave another's.
     static EXPLAIN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn parallel_batch_matches_serial() {
+        let _guard = EXPLAIN_LOCK.lock().unwrap();
+        let (p, variants) = cholesky_variants();
+        let serial = compile_batch(&p, &variants, 1);
+        let parallel = compile_batch(&p, &variants, 4);
+        assert_eq!(serial.len(), variants.len());
+        for (s, q) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, q.label);
+            assert_eq!(
+                s.pseudocode, q.pseudocode,
+                "variant {} generated different code in parallel",
+                s.label
+            );
+        }
+    }
 
     #[test]
     fn variants_include_both_families() {

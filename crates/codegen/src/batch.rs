@@ -9,8 +9,13 @@
 //! every job records a `batch.compile` timeline slice tagged with its
 //! variant index, so a Chrome trace shows the per-variant schedule across
 //! worker threads.
+//!
+//! This lives in `inl-codegen` (moved here from `inl-bench`) so the
+//! auto-scheduler can drive its cache-warm candidate sweep without
+//! depending on the benchmark harness; `inl_bench` re-exports it.
 
-use inl_codegen::generate;
+use crate::cost::CostFeatures;
+use crate::generate::generate;
 use inl_core::depend::analyze;
 use inl_core::instance::InstanceLayout;
 use inl_ir::Program;
@@ -27,6 +32,11 @@ pub struct CompiledVariant {
     /// Pseudocode of the generated program — the batch drivers compare
     /// this text across runs to assert bitwise-identical output.
     pub pseudocode: String,
+    /// The generated program itself (runnable through `inl-exec`).
+    pub program: Program,
+    /// Static cost features of the variant (the scheduler's ranking
+    /// signal), as computed by [`crate::cost::cost_features`].
+    pub features: CostFeatures,
     /// Wall time of this job alone (analysis through codegen).
     pub wall_ns: u64,
 }
@@ -69,6 +79,8 @@ pub fn compile_batch(
                 *results[i].lock().unwrap() = Some(CompiledVariant {
                     label: label.clone(),
                     pseudocode: result.program.to_pseudocode(),
+                    program: result.program,
+                    features: result.features,
                     wall_ns,
                 });
             });
@@ -83,21 +95,37 @@ pub fn compile_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cholesky_variants;
+    use inl_core::complete::complete_transform;
+    use inl_ir::zoo;
+    use inl_linalg::IVec;
 
     #[test]
-    fn parallel_batch_matches_serial() {
-        let (p, variants) = cholesky_variants();
-        let serial = compile_batch(&p, &variants, 1);
-        let parallel = compile_batch(&p, &variants, 4);
-        assert_eq!(serial.len(), variants.len());
-        for (s, q) in serial.iter().zip(&parallel) {
-            assert_eq!(s.label, q.label);
-            assert_eq!(
-                s.pseudocode, q.pseudocode,
-                "variant {} generated different code in parallel",
-                s.label
-            );
+    fn batch_returns_program_and_features() {
+        // two legal variants of simple Cholesky: identity completion and
+        // the J-outer interchange; the batch result must carry a runnable
+        // program whose pseudocode matches, and non-default features.
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout).expect("analysis");
+        let j = p.loops().find(|&l| p.loop_decl(l).name == "J").unwrap();
+        let variants: Vec<(String, IMat)> = [
+            ("IJ".to_string(), vec![]),
+            (
+                "JI".to_string(),
+                vec![IVec::unit(layout.len(), layout.loop_position(j))],
+            ),
+        ]
+        .into_iter()
+        .map(|(label, partial)| {
+            let c = complete_transform(&p, &layout, &deps, &partial).expect("completes");
+            (label, c.matrix)
+        })
+        .collect();
+        let out = compile_batch(&p, &variants, 2);
+        assert_eq!(out.len(), 2);
+        for v in &out {
+            assert_eq!(v.pseudocode, v.program.to_pseudocode());
+            assert!(v.features.deps > 0, "{}: features populated", v.label);
         }
     }
 }

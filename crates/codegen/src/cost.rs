@@ -1,0 +1,258 @@
+//! Static cost features of a generated variant.
+//!
+//! The auto-scheduler (`inl-sched`) ranks legal variants *without running
+//! them*, using integer features computed from the dependence matrix, the
+//! transformation, and the generated program. Everything here is exact
+//! integer arithmetic over structures the pipeline already built — no
+//! timing, no floating point — so ranking is deterministic and
+//! reproducible across machines, and the same numbers double as explain
+//! evidence (`inl_obs::explain` features on the `codegen` stage).
+//!
+//! Feature definitions (see DESIGN.md → "The auto-scheduler" for the
+//! formulas and rationale):
+//!
+//! * **`reuse_penalty`** — locality proxy. For every statement of the
+//!   *generated* program and every access (the write plus all reads),
+//!   look at the innermost surrounding loop variable `v`:
+//!   - `v` appears in no subscript → 0 (the access is invariant in the
+//!     innermost loop: temporal reuse);
+//!   - `v` appears only in the **last** subscript with |coeff| = 1 → 1
+//!     (unit stride through the row-major minor dimension);
+//!   - `v` appears only in the last subscript with |coeff| > 1 → 8
+//!     (strided within the minor dimension);
+//!   - `v` appears in any **non-last** subscript → 64 (row jumps: each
+//!     iteration moves a whole minor-dimension stride).
+//!
+//!   Each statement's access penalties are weighted by
+//!   `4096^depth` (depth = number of surrounding loops in the generated
+//!   program), so penalties in deeper — more frequently executed — code
+//!   dominate penalties in setup code, whatever the parameter values.
+//! * **`max_write_stride`** — the largest |coefficient| of any loop
+//!   variable in any write subscript of the generated program.
+//! * **`parallel_slots` / `wavefront`** — how many loop slots the
+//!   dependence projections certify as DOALL under this transformation,
+//!   and whether the outermost parallelism sits strictly inside the nest
+//!   (a wavefront schedule: synchronization per outer iteration).
+//! * **`guards`** — guards surviving guard simplification; each is a
+//!   per-instance branch in the inner loops.
+//! * **`bounds_scanned` / `loops_augmented`** — generation work counts,
+//!   kept for explain parity (they describe compile cost, not run cost).
+
+use inl_core::depend::{DepKind, DependenceMatrix};
+use inl_core::instance::{InstanceLayout, Position};
+use inl_core::legal::NewAst;
+use inl_ir::{Aff, Program, VarKey};
+use inl_linalg::IMat;
+
+/// Weight base for statement depth in [`CostFeatures::reuse_penalty`]:
+/// any single access at depth `d+1` outweighs every access at depth `d`.
+const DEPTH_WEIGHT: i64 = 4096;
+
+/// Per-access penalty for a non-unit stride in the minor dimension.
+const STRIDED_PENALTY: i64 = 8;
+
+/// Per-access penalty for an innermost variable in a major dimension.
+const ROW_JUMP_PENALTY: i64 = 64;
+
+/// Integer cost features of one generated variant (see the module docs
+/// for definitions). Lower is better for every field except
+/// `parallel_slots`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostFeatures {
+    /// Number of dependences in the source program's dependence matrix.
+    pub deps: i64,
+    /// How many of those are certain (distance known exactly).
+    pub deps_certain: i64,
+    /// Statements in the generated program.
+    pub stmts: i64,
+    /// Scan bounds computed during generation (compile cost).
+    pub bounds_scanned: i64,
+    /// Loops added by augmentation (§5.4) during generation.
+    pub loops_augmented: i64,
+    /// Guards surviving simplification, summed over statements.
+    pub guards: i64,
+    /// Loop slots certified DOALL under this transformation.
+    pub doall: Vec<usize>,
+    /// `true` when the outermost DOALL slot is strictly inside the nest
+    /// (inner parallelism only — a wavefront schedule).
+    pub wavefront: bool,
+    /// Largest |coefficient| of a loop variable in any write subscript.
+    pub max_write_stride: i64,
+    /// Depth-weighted locality penalty over all accesses (module docs).
+    pub reuse_penalty: i64,
+}
+
+impl CostFeatures {
+    /// Number of certified DOALL slots (`doall.len()` as a feature value).
+    pub fn parallel_slots(&self) -> i64 {
+        self.doall.len() as i64
+    }
+}
+
+/// Penalty of one access with respect to loop variable `innermost`.
+fn access_penalty(idxs: &[Aff], innermost: VarKey) -> i64 {
+    let mut penalty = 0i64;
+    for (k, a) in idxs.iter().enumerate() {
+        let coeff = a
+            .terms()
+            .iter()
+            .find(|(v, _)| *v == innermost)
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
+        if coeff == 0 {
+            continue;
+        }
+        let last = k + 1 == idxs.len();
+        penalty = penalty.max(if !last {
+            ROW_JUMP_PENALTY
+        } else if coeff.unsigned_abs() == 1 {
+            1
+        } else {
+            STRIDED_PENALTY
+        });
+    }
+    penalty
+}
+
+/// Compute the cost features of a generated variant.
+///
+/// `out` is the *generated* program (after guard simplification); the
+/// remaining arguments describe the source program's dependence structure
+/// and the transformation, exactly as they reached code generation.
+pub fn cost_features(
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    m: &IMat,
+    ast: &NewAst,
+    out: &Program,
+    bounds_scanned: i64,
+    loops_augmented: i64,
+) -> CostFeatures {
+    let deps_certain = deps.deps.iter().filter(|d| d.certain).count() as i64;
+    let doall = inl_core::parallel::parallel_slots(layout, deps, ast, m);
+    let first_loop_slot = layout
+        .positions()
+        .iter()
+        .position(|pos| matches!(pos, Position::Loop(_)));
+    let wavefront = match (doall.first(), first_loop_slot) {
+        (Some(&s), Some(f)) => s > f,
+        _ => false,
+    };
+
+    let mut max_write_stride = 0i64;
+    let mut guards = 0i64;
+    let mut reuse_penalty = 0i64;
+    for s in out.stmts() {
+        let sd = out.stmt_decl(s);
+        for a in &sd.write.idxs {
+            for &(v, c) in a.terms() {
+                if matches!(v, VarKey::Loop(_)) {
+                    let mag = c.unsigned_abs().min(i64::MAX as u128) as i64;
+                    max_write_stride = max_write_stride.max(mag);
+                }
+            }
+        }
+        guards += sd.guards.len() as i64;
+
+        let surrounding = out.loops_surrounding(s);
+        let depth = surrounding.len() as u32;
+        if let Some(&inner) = surrounding.last() {
+            let innermost = VarKey::Loop(inner);
+            let weight = DEPTH_WEIGHT.saturating_pow(depth);
+            let mut accesses: Vec<&[Aff]> = vec![&sd.write.idxs];
+            let mut reads = Vec::new();
+            sd.rhs.collect_reads(&mut reads);
+            for r in &reads {
+                accesses.push(&r.idxs);
+            }
+            for idxs in accesses {
+                reuse_penalty = reuse_penalty
+                    .saturating_add(access_penalty(idxs, innermost).saturating_mul(weight));
+            }
+        }
+    }
+
+    CostFeatures {
+        deps: deps.deps.len() as i64,
+        deps_certain,
+        stmts: out.stmts().count() as i64,
+        bounds_scanned,
+        loops_augmented,
+        guards,
+        doall,
+        wavefront,
+        max_write_stride,
+        reuse_penalty,
+    }
+}
+
+/// Kind counts of a dependence matrix, for explain details.
+pub(crate) fn dep_kind_counts(deps: &DependenceMatrix) -> (i64, i64, i64) {
+    let (mut flow, mut anti, mut output) = (0i64, 0i64, 0i64);
+    for d in &deps.deps {
+        match d.kind {
+            DepKind::Flow => flow += 1,
+            DepKind::Anti => anti += 1,
+            DepKind::Output => output += 1,
+        }
+    }
+    (flow, anti, output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inl_core::depend::analyze;
+    use inl_ir::zoo;
+
+    #[test]
+    fn identity_matmul_features() {
+        // matmul C(i,j) += A(i,k)·B(k,j) under identity (i,j,k): C is
+        // invariant in k (0), A walks its last subscript k unit-stride
+        // (1), B's k sits in the first subscript (row jump, 64).
+        let p = zoo::matmul();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout).expect("analysis");
+        let m = IMat::identity(layout.len());
+        let r = crate::generate(&p, &layout, &deps, &m).expect("generates");
+        let f = &r.features;
+        assert_eq!(f.stmts, 1);
+        let weight = DEPTH_WEIGHT.pow(3);
+        // write C(i,j): 0 · two reads of C: 0 each · A(i,k): 1 · B(k,j): 64
+        assert_eq!(f.reuse_penalty, (1 + ROW_JUMP_PENALTY) * weight);
+        assert_eq!(f.max_write_stride, 1);
+        assert_eq!(f.deps, deps.deps.len() as i64);
+    }
+
+    #[test]
+    fn access_penalty_classes() {
+        use inl_ir::ProgramBuilder;
+        // build a tiny program just to obtain loop VarKeys
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let x = b.array("X", &[Aff::param(n), Aff::param(n)]);
+        b.hloop("I", Aff::konst(0), Aff::param(n), |b| {
+            let i = b.loop_var("I");
+            b.stmt(
+                "S",
+                x,
+                vec![Aff::var(i), Aff::var(i)],
+                inl_ir::Expr::konst(0.0),
+            );
+        });
+        let p = b.finish();
+        let i = VarKey::Loop(p.loops().next().unwrap());
+        let n0 = Aff::konst(0);
+        let unit = Aff::var(i);
+        let strided = Aff::var(i) * 3;
+        assert_eq!(access_penalty(&[n0.clone(), n0.clone()], i), 0);
+        assert_eq!(access_penalty(&[n0.clone(), unit.clone()], i), 1);
+        assert_eq!(
+            access_penalty(&[n0.clone(), strided.clone()], i),
+            STRIDED_PENALTY
+        );
+        assert_eq!(access_penalty(&[unit.clone(), n0], i), ROW_JUMP_PENALTY);
+        // worst class wins when both subscripts use the variable
+        assert_eq!(access_penalty(&[unit.clone(), unit], i), ROW_JUMP_PENALTY);
+    }
+}

@@ -37,13 +37,17 @@ impl From<InlError> for CodegenError {
 }
 
 /// The generated program, with the mapping from source to target
-/// statements.
+/// statements and the variant's static cost features.
 #[derive(Clone, Debug)]
 pub struct CodegenResult {
     /// The transformed program.
     pub program: Program,
     /// `stmt_map[source.0]` = target statement id.
     pub stmt_map: Vec<StmtId>,
+    /// Static cost features of the variant (see [`crate::cost`]) — the
+    /// ranking signal of the auto-scheduler, computed on every
+    /// generation so callers never re-derive them.
+    pub features: crate::cost::CostFeatures,
 }
 
 /// Everything known about one statement during generation.
@@ -177,18 +181,18 @@ pub fn generate(
         np,
     };
     let result = builder.build()?;
-    let result = simplify_guards(result, p);
+    let mut result = simplify_guards(result, p);
+    result.features = crate::cost::cost_features(
+        layout,
+        deps,
+        m,
+        &ast,
+        &result.program,
+        bounds_scanned,
+        loops_augmented,
+    );
     if inl_obs::explain_enabled() {
-        record_cost_features(
-            p,
-            layout,
-            deps,
-            m,
-            &ast,
-            &result,
-            bounds_scanned,
-            loops_augmented,
-        );
+        record_cost_features(p, layout, deps, m, &result);
     }
     Ok(result)
 }
@@ -196,59 +200,16 @@ pub fn generate(
 /// Attach per-variant cost features to the explain stream (stage
 /// `codegen`): dependence-matrix summary, parallel/wavefront shape under
 /// this transformation, write-access strides, and generation work counts.
-#[allow(clippy::too_many_arguments)]
 fn record_cost_features(
     p: &Program,
     layout: &InstanceLayout,
     deps: &DependenceMatrix,
     m: &IMat,
-    ast: &NewAst,
     out: &CodegenResult,
-    bounds_scanned: i64,
-    loops_augmented: i64,
 ) {
-    use inl_core::depend::DepKind;
     use inl_core::provenance;
-    let (mut flow, mut anti, mut output, mut certain) = (0i64, 0i64, 0i64, 0i64);
-    for d in &deps.deps {
-        match d.kind {
-            DepKind::Flow => flow += 1,
-            DepKind::Anti => anti += 1,
-            DepKind::Output => output += 1,
-        }
-        if d.certain {
-            certain += 1;
-        }
-    }
-    // parallel shape under m: certified DOALL slots, and whether the
-    // parallelism is inner-only (a wavefront schedule)
-    let slots = inl_core::parallel::parallel_slots(layout, deps, ast, m);
-    let first_loop_slot = layout
-        .positions()
-        .iter()
-        .position(|pos| matches!(pos, Position::Loop(_)));
-    let wavefront = match (slots.first(), first_loop_slot) {
-        (Some(&s), Some(f)) => (s > f) as i64,
-        _ => 0,
-    };
-    // write-access strides in the generated program: the largest |coeff|
-    // of a loop variable in any target write subscript
-    let mut max_write_stride = 0i64;
-    for s in out.program.stmts() {
-        for a in &out.program.stmt_decl(s).write.idxs {
-            for &(v, c) in a.terms() {
-                if matches!(v, inl_ir::VarKey::Loop(_)) {
-                    let mag = c.unsigned_abs().min(i64::MAX as u128) as i64;
-                    max_write_stride = max_write_stride.max(mag);
-                }
-            }
-        }
-    }
-    let guards: i64 = out
-        .program
-        .stmts()
-        .map(|s| out.program.stmt_decl(s).guards.len() as i64)
-        .sum();
+    let f = &out.features;
+    let (flow, anti, output) = crate::cost::dep_kind_counts(deps);
     let rec = inl_obs::explain::note(
         "codegen",
         format!("program {} under {}", p.name(), provenance::matrix_text(m)),
@@ -260,27 +221,28 @@ fn record_cost_features(
                 .iter()
                 .filter(|pos| matches!(pos, Position::Loop(_)))
                 .count(),
-            slots.len()
+            f.doall.len()
         ),
     )
     .detail(
         "dep_summary",
         format!(
-            "{} deps ({flow} flow, {anti} anti, {output} output; {certain} certain)",
-            deps.deps.len()
+            "{} deps ({flow} flow, {anti} anti, {output} output; {} certain)",
+            f.deps, f.deps_certain
         ),
     )
-    .feature("deps", deps.deps.len() as i64)
-    .feature("deps_certain", certain)
+    .feature("deps", f.deps)
+    .feature("deps_certain", f.deps_certain)
     .feature("stmts", out.stmt_map.len() as i64)
-    .feature("bounds_scanned", bounds_scanned)
-    .feature("loops_augmented", loops_augmented)
-    .feature("guards_emitted", guards)
-    .feature("parallel_slots", slots.len() as i64)
-    .feature("wavefront", wavefront)
-    .feature("max_write_stride", max_write_stride);
-    if !slots.is_empty() {
-        let listed: Vec<String> = slots.iter().map(|q| q.to_string()).collect();
+    .feature("bounds_scanned", f.bounds_scanned)
+    .feature("loops_augmented", f.loops_augmented)
+    .feature("guards_emitted", f.guards)
+    .feature("parallel_slots", f.parallel_slots())
+    .feature("wavefront", f.wavefront as i64)
+    .feature("max_write_stride", f.max_write_stride)
+    .feature("reuse_penalty", f.reuse_penalty);
+    if !f.doall.is_empty() {
+        let listed: Vec<String> = f.doall.iter().map(|q| q.to_string()).collect();
         rec.detail("doall_slots", listed.join(" "));
     }
 }
@@ -535,7 +497,11 @@ impl Builder<'_> {
                 "generated program invalid: {e}"
             )));
         }
-        Ok(CodegenResult { program, stmt_map })
+        Ok(CodegenResult {
+            program,
+            stmt_map,
+            features: crate::cost::CostFeatures::default(),
+        })
     }
 
     fn emit_nodes(
@@ -956,6 +922,7 @@ fn simplify_guards(result: CodegenResult, _src: &Program) -> CodegenResult {
     CodegenResult {
         program,
         stmt_map: result.stmt_map,
+        features: result.features,
     }
 }
 

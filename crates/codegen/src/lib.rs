@@ -30,9 +30,13 @@
 //! The result executes **bitwise identically** to the source program — the
 //! `inl-exec` interpreter enforces this throughout the test-suite.
 
+pub mod batch;
+pub mod cost;
 pub mod generate;
 
 #[cfg(test)]
 mod tests;
 
+pub use batch::{compile_batch, CompiledVariant};
+pub use cost::{cost_features, CostFeatures};
 pub use generate::{generate, generate_seq, CodegenError, CodegenResult};

@@ -212,34 +212,20 @@ fn can_be(ctx: &inl_poly::System, row_expr: &LinExpr, value: Int) -> Result<bool
     Ok(is_empty(&sys) != Feasibility::Empty)
 }
 
-/// Complete a partial transformation into a full legal matrix.
-///
-/// `partial` supplies desired rows (over source vector positions) for the
-/// outermost loop slots, in order; it may be empty.
-pub fn complete_transform(
-    p: &Program,
-    layout: &InstanceLayout,
-    deps: &DependenceMatrix,
-    partial: &[IVec],
-) -> Result<Completion, CompletionError> {
-    let _span = inl_obs::span("complete.transform");
-    inl_obs::timeline::instant("stage.completion");
-    let n = layout.len();
-    let nparams = p.nparams();
-    let loop_slots: Vec<usize> = layout
+/// Loop-slot positions of the layout, outside-in.
+fn loop_slot_positions(layout: &InstanceLayout) -> Vec<usize> {
+    layout
         .positions()
         .iter()
         .enumerate()
         .filter(|(_, pos)| matches!(pos, Position::Loop(_)))
         .map(|(i, _)| i)
-        .collect();
-    if partial.len() > loop_slots.len() {
-        return Err(CompletionError::TooManyRows);
-    }
+        .collect()
+}
 
-    // dependency state
-    let mut states: Vec<DepState<'_>> = deps
-        .deps
+/// Fresh per-dependence completion state for every dependence.
+fn build_states<'a>(layout: &InstanceLayout, deps: &'a DependenceMatrix) -> Vec<DepState<'a>> {
+    deps.deps
         .iter()
         .enumerate()
         .map(|(idx, d)| {
@@ -257,7 +243,139 @@ pub fn complete_transform(
                 satisfied: false,
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Evaluate a candidate row at `slot` against all active dependences whose
+/// common slots include this slot; returns the first violated dependence's
+/// index (into `deps.deps`), or `None` if the row is legal here.
+fn evaluate_at(
+    layout: &InstanceLayout,
+    nparams: usize,
+    slot: usize,
+    row: &IVec,
+    states: &[DepState<'_>],
+) -> Result<Option<usize>, InlError> {
+    for st in states.iter() {
+        if st.satisfied || !st.common.contains(&slot) {
+            continue;
+        }
+        if matches!(apply_row(layout, nparams, st, row)?, RowEffect::Invalid) {
+            return Ok(Some(st.idx));
+        }
+    }
+    Ok(None)
+}
+
+/// Commit a validated row at `slot`: mark newly satisfied dependences and
+/// extend zero contexts where the row may be zero on some instances.
+fn commit_at(
+    layout: &InstanceLayout,
+    nparams: usize,
+    slot: usize,
+    row: &IVec,
+    states: &mut [DepState<'_>],
+) -> Result<(), InlError> {
+    for st in states.iter_mut() {
+        if st.satisfied || !st.common.contains(&slot) {
+            continue;
+        }
+        match apply_row(layout, nparams, st, row)? {
+            RowEffect::Invalid => unreachable!("validated"),
+            RowEffect::Satisfies => st.satisfied = true,
+            RowEffect::NonNegative(needs_ctx) => {
+                if needs_ctx {
+                    st.zero_context.push(row.clone());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of [`check_prefix`]: either every supplied row keeps every
+/// dependence projection non-negative, or the check names the first row and
+/// dependence that clash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrefixCheck {
+    /// The prefix is extendable: no dependence projection goes negative
+    /// under the supplied rows.
+    Legal,
+    /// Row `row` (index into `partial`) drives dependence `dep` (index
+    /// into [`DependenceMatrix::deps`]) negative — every completion of
+    /// this prefix is illegal, so a search can prune the whole subtree.
+    Violation {
+        /// Index of the offending row in `partial`.
+        row: usize,
+        /// Index of the violated dependence in the dependence matrix.
+        dep: usize,
+    },
+}
+
+/// Check whether a *prefix* of transformation rows can be extended to a
+/// legal matrix, without running the completion itself.
+///
+/// This is the pruning predicate of the auto-scheduler (`inl-sched`): a
+/// search over outer-row choices calls this at every tree node, and a
+/// [`PrefixCheck::Violation`] kills the entire subtree below the node — the
+/// dimension-matching idea from Acharya–Bondhugula applied to the paper's
+/// dependence projections. The check is sound and complete for prefix
+/// legality (it is exactly the validation pass [`complete_transform`] runs
+/// over user-supplied rows), but deliberately emits **no** explain records:
+/// callers running thousands of probes record their own decisions.
+pub fn check_prefix(
+    p: &Program,
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    partial: &[IVec],
+) -> Result<PrefixCheck, CompletionError> {
+    let _span = inl_obs::span("complete.prefix");
+    inl_obs::counter_add!("complete.prefix_checks", 1);
+    let n = layout.len();
+    let nparams = p.nparams();
+    let loop_slots = loop_slot_positions(layout);
+    if partial.len() > loop_slots.len() {
+        return Err(CompletionError::TooManyRows);
+    }
+    let mut states = build_states(layout, deps);
+    for (slot_idx, &slot) in loop_slots.iter().take(partial.len()).enumerate() {
+        let row = &partial[slot_idx];
+        if row.len() != n {
+            return Err(CompletionError::PartialRowBadLength {
+                row: slot_idx,
+                got: row.len(),
+                want: n,
+            });
+        }
+        if let Some(dep) = evaluate_at(layout, nparams, slot, row, &states)? {
+            return Ok(PrefixCheck::Violation { row: slot_idx, dep });
+        }
+        commit_at(layout, nparams, slot, row, &mut states)?;
+    }
+    Ok(PrefixCheck::Legal)
+}
+
+/// Complete a partial transformation into a full legal matrix.
+///
+/// `partial` supplies desired rows (over source vector positions) for the
+/// outermost loop slots, in order; it may be empty.
+pub fn complete_transform(
+    p: &Program,
+    layout: &InstanceLayout,
+    deps: &DependenceMatrix,
+    partial: &[IVec],
+) -> Result<Completion, CompletionError> {
+    let _span = inl_obs::span("complete.transform");
+    inl_obs::timeline::instant("stage.completion");
+    let n = layout.len();
+    let nparams = p.nparams();
+    let loop_slots = loop_slot_positions(layout);
+    if partial.len() > loop_slots.len() {
+        return Err(CompletionError::TooManyRows);
+    }
+
+    // dependency state
+    let mut states: Vec<DepState<'_>> = build_states(layout, deps);
 
     let mut chosen_rows: Vec<(usize, IVec)> = Vec::new(); // (slot, row)
     let mut used_positions: Vec<bool> = vec![false; n];
@@ -266,32 +384,10 @@ pub fn complete_transform(
         // include this slot; returns the first violated dependence's index
         let evaluate =
             |row: &IVec, states: &Vec<DepState<'_>>| -> Result<Option<usize>, InlError> {
-                for st in states.iter() {
-                    if st.satisfied || !st.common.contains(&slot) {
-                        continue;
-                    }
-                    if matches!(apply_row(layout, nparams, st, row)?, RowEffect::Invalid) {
-                        return Ok(Some(st.idx));
-                    }
-                }
-                Ok(None)
+                evaluate_at(layout, nparams, slot, row, states)
             };
         let commit = |row: &IVec, states: &mut Vec<DepState<'_>>| -> Result<(), InlError> {
-            for st in states.iter_mut() {
-                if st.satisfied || !st.common.contains(&slot) {
-                    continue;
-                }
-                match apply_row(layout, nparams, st, row)? {
-                    RowEffect::Invalid => unreachable!("validated"),
-                    RowEffect::Satisfies => st.satisfied = true,
-                    RowEffect::NonNegative(needs_ctx) => {
-                        if needs_ctx {
-                            st.zero_context.push(row.clone());
-                        }
-                    }
-                }
-            }
-            Ok(())
+            commit_at(layout, nparams, slot, row, states)
         };
 
         let independent = |row: &IVec, chosen: &[(usize, IVec)]| -> Result<bool, InlError> {
@@ -695,6 +791,52 @@ mod tests {
         let rows = vec![IVec::unit(2, 0), IVec::unit(2, 1), IVec::unit(2, 0)];
         assert!(matches!(
             complete_transform(&p, &layout, &deps, &rows),
+            Err(CompletionError::TooManyRows)
+        ));
+    }
+
+    #[test]
+    fn prefix_check_agrees_with_completion() {
+        // check_prefix is exactly the validation pass complete_transform
+        // runs over partial rows: a Violation must imply
+        // PartialRowIllegal, and Legal prefixes of unit rows must complete.
+        let p = zoo::simple_cholesky();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout).expect("analysis");
+        let i = looop(&p, "I");
+        let j = looop(&p, "J");
+        let pos = |l| layout.loop_position(l);
+        let ok = vec![IVec::unit(layout.len(), pos(j))];
+        assert_eq!(
+            check_prefix(&p, &layout, &deps, &ok).unwrap(),
+            PrefixCheck::Legal
+        );
+        assert!(complete_transform(&p, &layout, &deps, &ok).is_ok());
+        let bad = vec![-&IVec::unit(layout.len(), pos(i))];
+        let PrefixCheck::Violation { row, dep } = check_prefix(&p, &layout, &deps, &bad).unwrap()
+        else {
+            panic!("reversed I must violate a dependence");
+        };
+        assert_eq!(row, 0);
+        assert!(dep < deps.deps.len());
+        assert!(matches!(
+            complete_transform(&p, &layout, &deps, &bad),
+            Err(CompletionError::PartialRowIllegal(0))
+        ));
+    }
+
+    #[test]
+    fn prefix_check_validates_shape() {
+        let p = zoo::perfect_nest();
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout).expect("analysis");
+        assert!(matches!(
+            check_prefix(&p, &layout, &deps, &[IVec::unit(3, 0)]),
+            Err(CompletionError::PartialRowBadLength { .. })
+        ));
+        let rows = vec![IVec::unit(2, 0), IVec::unit(2, 1), IVec::unit(2, 0)];
+        assert!(matches!(
+            check_prefix(&p, &layout, &deps, &rows),
             Err(CompletionError::TooManyRows)
         ));
     }

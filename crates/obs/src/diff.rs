@@ -380,13 +380,33 @@ pub fn diff_bench(old: &Json, new: &Json, opts: &DiffOptions) -> Result<DiffOutc
         }
         if let Json::Object(fields) = old_p {
             for (field, old_v) in fields {
-                if !field.ends_with("_ns") {
+                let key = format!("bench:{name}:{field}");
+                if field.ends_with("_ns") {
+                    match (num(Some(old_v)), num(new_p.get(field))) {
+                        (Some(old_ns), Some(new_ns)) => {
+                            diff_timing(&mut out, opts, &key, old_ns, new_ns);
+                        }
+                        _ => one_sided(&mut out, opts, &key, "old"),
+                    }
                     continue;
                 }
-                let key = format!("bench:{name}:{field}");
-                match (num(Some(old_v)), num(new_p.get(field))) {
-                    (Some(old_ns), Some(new_ns)) => {
-                        diff_timing(&mut out, opts, &key, old_ns, new_ns);
+                // non-timing integers are semantic counters (work done,
+                // variants found, error tallies): exact match required,
+                // same contract as telemetry counters. Strings, floats,
+                // and bools other than `bitwise_identical` stay untyped
+                // metadata and are not diffed.
+                let Json::Int(old_n) = old_v else { continue };
+                match new_p.get(field) {
+                    Some(Json::Int(new_n)) if new_n == old_n => {
+                        out.push(Status::Ok, &key, format!("{old_n}"));
+                    }
+                    Some(Json::Int(new_n)) => {
+                        out.push_rel(
+                            Status::Regressed,
+                            &key,
+                            format!("{old_n} -> {new_n} (counters must match exactly)"),
+                            rel_change(*old_n as f64, *new_n as f64).abs(),
+                        );
                     }
                     _ => one_sided(&mut out, opts, &key, "old"),
                 }
@@ -614,6 +634,29 @@ mod tests {
         let out = diff_documents(&base, &wrong, &opts).unwrap();
         assert_eq!(out.regressions(), 1);
         assert!(out.to_table().contains("bitwise_identical"));
+    }
+
+    #[test]
+    fn bench_diff_gates_semantic_integers_exactly() {
+        let opts = DiffOptions::default();
+        let doc = |visited: u64| {
+            format!(
+                r#"{{"version": 1, "programs": [
+                    {{"name": "matmul", "nodes_visited": {visited},
+                      "chosen": "IKJ", "speedup": 9.0,
+                      "search_ns": 1000000}}
+                ]}}"#
+            )
+        };
+        let base = doc(58);
+        let out = diff_documents(&base, &base, &opts).unwrap();
+        assert_eq!(out.regressions(), 0);
+        // a drifted search counter is a regression no matter how small,
+        // while strings ("chosen") and floats ("speedup") are metadata
+        let drifted = doc(59);
+        let out = diff_documents(&base, &drifted, &opts).unwrap();
+        assert_eq!(out.regressions(), 1);
+        assert!(out.to_table().contains("bench:matmul:nodes_visited"));
     }
 
     #[test]

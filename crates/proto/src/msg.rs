@@ -86,6 +86,15 @@ pub enum Request {
         /// Ask for a per-request `telemetry` section (see module docs).
         telemetry: bool,
     },
+    /// Auto-schedule: search the legal transformation space of a zoo
+    /// program and return the cost-minimal variant plus the search
+    /// counters (`inl-sched` as a service operation).
+    Schedule {
+        /// Zoo program name.
+        program: String,
+        /// Ask for a per-request `telemetry` section (see module docs).
+        telemetry: bool,
+    },
     /// Snapshot service counters and the process-wide poly-cache stats.
     Stats,
     /// Snapshot the server's sliding-window live metrics (latency
@@ -102,7 +111,8 @@ impl Request {
         match self {
             Request::Compile { telemetry, .. }
             | Request::Run { telemetry, .. }
-            | Request::Explain { telemetry, .. } => *telemetry,
+            | Request::Explain { telemetry, .. }
+            | Request::Schedule { telemetry, .. } => *telemetry,
             Request::Stats | Request::Metrics | Request::Shutdown => false,
         }
     }
@@ -114,6 +124,7 @@ impl Request {
             Request::Compile { .. } => "compile",
             Request::Run { .. } => "run",
             Request::Explain { .. } => "explain",
+            Request::Schedule { .. } => "schedule",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
@@ -170,6 +181,26 @@ pub enum Response {
         /// Per-request telemetry section (see [`Response::Compile`]).
         telemetry: Option<Json>,
     },
+    /// Answer to [`Request::Schedule`]: the chosen variant and the
+    /// deterministic search counters. Carries no timings — responses
+    /// must stay byte-stable so `inl-load` can bitwise-compare them
+    /// against in-process scheduling.
+    Schedule {
+        /// Label of the chosen variant (e.g. `"IKJ"`, `"dist(I@1)/I_2.I"`).
+        chosen: String,
+        /// Pseudocode of the chosen variant's generated program.
+        pseudocode: String,
+        /// Search-tree nodes actually visited.
+        nodes_visited: u64,
+        /// Nodes a brute-force enumeration would have visited.
+        nodes_exhaustive: u64,
+        /// Prefixes whose dependence violation killed a whole subtree.
+        pruned_subtrees: u64,
+        /// Legal variants found (the chosen one is the cost-minimal).
+        legal_variants: u64,
+        /// Per-request telemetry section (see [`Response::Compile`]).
+        telemetry: Option<Json>,
+    },
     /// Answer to [`Request::Stats`]: a free-form JSON object (poly-cache
     /// counters, serve counters, uptime/session gauges).
     Stats {
@@ -209,7 +240,8 @@ impl Response {
         match self {
             Response::Compile { telemetry, .. }
             | Response::Run { telemetry, .. }
-            | Response::Explain { telemetry, .. } => telemetry.as_ref(),
+            | Response::Explain { telemetry, .. }
+            | Response::Schedule { telemetry, .. } => telemetry.as_ref(),
             _ => None,
         }
     }
@@ -220,7 +252,8 @@ impl Response {
         match &mut self {
             Response::Compile { telemetry, .. }
             | Response::Run { telemetry, .. }
-            | Response::Explain { telemetry, .. } => *telemetry = Some(section),
+            | Response::Explain { telemetry, .. }
+            | Response::Schedule { telemetry, .. } => *telemetry = Some(section),
             _ => {}
         }
         self
@@ -235,7 +268,8 @@ impl Response {
         match &mut core {
             Response::Compile { telemetry, .. }
             | Response::Run { telemetry, .. }
-            | Response::Explain { telemetry, .. } => *telemetry = None,
+            | Response::Explain { telemetry, .. }
+            | Response::Schedule { telemetry, .. } => *telemetry = None,
             _ => {}
         }
         core
@@ -307,6 +341,12 @@ pub fn encode_request(req: &Request) -> String {
             telemetry_flag(&mut o, *telemetry);
             o
         }
+        Request::Schedule { program, telemetry } => {
+            let mut o = obj("schedule");
+            o.insert("program", Json::Str(program.clone()));
+            telemetry_flag(&mut o, *telemetry);
+            o
+        }
         Request::Stats => obj("stats"),
         Request::Metrics => obj("metrics"),
         Request::Shutdown => obj("shutdown"),
@@ -360,6 +400,25 @@ pub fn encode_response(resp: &Response) -> String {
             let mut o = obj("explain");
             o.insert("verdict", Json::Str(verdict.clone()));
             o.insert("reason", Json::Str(reason.clone()));
+            telemetry_section(&mut o, telemetry);
+            o
+        }
+        Response::Schedule {
+            chosen,
+            pseudocode,
+            nodes_visited,
+            nodes_exhaustive,
+            pruned_subtrees,
+            legal_variants,
+            telemetry,
+        } => {
+            let mut o = obj("schedule");
+            o.insert("chosen", Json::Str(chosen.clone()));
+            o.insert("pseudocode", Json::Str(pseudocode.clone()));
+            o.insert("nodes_visited", Json::Int(*nodes_visited));
+            o.insert("nodes_exhaustive", Json::Int(*nodes_exhaustive));
+            o.insert("pruned_subtrees", Json::Int(*pruned_subtrees));
+            o.insert("legal_variants", Json::Int(*legal_variants));
             telemetry_section(&mut o, telemetry);
             o
         }
@@ -531,6 +590,10 @@ pub fn decode_request(payload: &[u8], limits: &FrameLimits) -> Result<Request, I
             order: opt_str_field(&json, "order")?,
             telemetry: opt_bool_field(&json, "telemetry")?,
         }),
+        "schedule" => Ok(Request::Schedule {
+            program: str_field(&json, "program")?,
+            telemetry: opt_bool_field(&json, "telemetry")?,
+        }),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
@@ -574,6 +637,15 @@ pub fn decode_response(payload: &[u8], limits: &FrameLimits) -> Result<Response,
         "explain" => Ok(Response::Explain {
             verdict: str_field(&json, "verdict")?,
             reason: str_field(&json, "reason")?,
+            telemetry: opt_object_field(&json, "telemetry")?,
+        }),
+        "schedule" => Ok(Response::Schedule {
+            chosen: str_field(&json, "chosen")?,
+            pseudocode: str_field(&json, "pseudocode")?,
+            nodes_visited: u64_field(&json, "nodes_visited")?,
+            nodes_exhaustive: u64_field(&json, "nodes_exhaustive")?,
+            pruned_subtrees: u64_field(&json, "pruned_subtrees")?,
+            legal_variants: u64_field(&json, "legal_variants")?,
             telemetry: opt_object_field(&json, "telemetry")?,
         }),
         "stats" => Ok(Response::Stats {
@@ -635,6 +707,14 @@ mod tests {
             Request::Explain {
                 program: "cholesky_kij".into(),
                 order: Some("IKJL".into()),
+                telemetry: true,
+            },
+            Request::Schedule {
+                program: "cholesky_kij".into(),
+                telemetry: false,
+            },
+            Request::Schedule {
+                program: "matmul".into(),
                 telemetry: true,
             },
             Request::Stats,
@@ -746,6 +826,15 @@ mod tests {
             Response::Explain {
                 verdict: "legal".into(),
                 reason: "completed".into(),
+                telemetry: Some(telemetry.clone()),
+            },
+            Response::Schedule {
+                chosen: "dist(I@1)/I_2.I".into(),
+                pseudocode: "do I = 1..N".into(),
+                nodes_visited: 14,
+                nodes_exhaustive: 14,
+                pruned_subtrees: 0,
+                legal_variants: 10,
                 telemetry: Some(telemetry),
             },
             Response::Stats { stats },

@@ -1,0 +1,128 @@
+//! `inl-sched` — run the auto-scheduler over the zoo (or one program)
+//! and print what it chose and why it was cheap to find.
+//!
+//! ```text
+//! inl-sched                                # sweep the whole zoo, print the table
+//! inl-sched --program matmul --show       # one program, with chosen pseudocode
+//! inl-sched --json target/BENCH_sched.json # also write the CI baseline document
+//! inl-sched --explain-json target/sched-explain.json  # decision provenance
+//! ```
+//!
+//! Search knobs come from `SchedConfig::from_env` (`INL_SCHED_BUDGET`,
+//! `INL_SCHED_REVERSAL`, `INL_SCHED_ALIGN`, `INL_SCHED_SHAPES`,
+//! `INL_SCHED_THREADS`, `INL_SCHED_REPS`) with `--budget`/`--reps`
+//! overriding the environment. Exits 1 if any chosen variant fails the
+//! bitwise-equivalence check against its source program.
+
+use inl_sched::sweep::{bench_json, render_table, sweep_program, SWEEP_ZOO};
+use inl_sched::SchedConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = SchedConfig::from_env();
+    let mut json_path: Option<String> = None;
+    let mut explain_path: Option<String> = None;
+    let mut program: Option<String> = None;
+    let mut show = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = args.next(),
+            "--explain-json" => explain_path = args.next(),
+            "--program" => program = args.next(),
+            "--show" => show = true,
+            "--budget" => {
+                cfg.budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.budget)
+            }
+            "--reps" => {
+                cfg.measure_reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.measure_reps)
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: inl-sched [--program NAME] [--json PATH] \
+                     [--explain-json PATH] [--budget N] [--reps N] [--show]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if explain_path.is_some() {
+        inl_obs::set_explain_enabled(true);
+    }
+
+    let targets: Vec<_> = match &program {
+        None => SWEEP_ZOO.to_vec(),
+        Some(name) => {
+            let Some(t) = SWEEP_ZOO.iter().find(|(n, _, _)| n == name) else {
+                eprintln!("unknown program '{name}'; the zoo:");
+                for (n, _, _) in SWEEP_ZOO {
+                    eprintln!("  {n}");
+                }
+                return ExitCode::FAILURE;
+            };
+            vec![*t]
+        }
+    };
+
+    let mut entries = Vec::with_capacity(targets.len());
+    for (name, ctor, params) in &targets {
+        match sweep_program(name, &ctor(), params, &cfg) {
+            Ok(e) => entries.push(e),
+            Err(err) => {
+                eprintln!("{name}: scheduling failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    print!("{}", render_table(&entries));
+    if show {
+        for ((name, ctor, params), e) in targets.iter().zip(&entries) {
+            let r = inl_sched::schedule_with(&ctor(), &cfg).expect("re-schedule");
+            println!("\n{name} (params {params:?}): chosen {}", e.chosen);
+            println!("{}", r.chosen().pseudocode);
+            println!("variants by cost:");
+            for m in &e.measured {
+                println!("  {:<28} {:>10} ns  [{}]", m.label, m.ns, m.cost);
+            }
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let doc = bench_json(&entries, &cfg);
+        if let Err(e) = std::fs::write(path, doc.to_pretty_string()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &explain_path {
+        if let Err(e) = inl_obs::explain::write_json(path) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    let broken: Vec<_> = entries
+        .iter()
+        .filter(|e| !e.bitwise_identical)
+        .map(|e| e.name.as_str())
+        .collect();
+    if !broken.is_empty() {
+        eprintln!("BITWISE FAILURE: chosen variant diverged for {broken:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,83 @@
+//! The variant-ranking key.
+//!
+//! [`Cost`] projects [`inl_codegen::CostFeatures`] onto an ordered tuple;
+//! variants compare lexicographically, field by field, smaller is better:
+//!
+//! 1. `reuse_penalty` — depth-weighted locality penalty (dominant term:
+//!    it separates unit-stride inner loops from row-jumping ones, the
+//!    effect the paper's "performance can be quite different" remark is
+//!    about);
+//! 2. `max_write_stride` — prefer dense, unit-stride stores;
+//! 3. `guards` — each surviving guard is a per-instance branch;
+//! 4. `neg_parallel_slots` — with everything else equal, prefer the
+//!    variant certifying more DOALL loop slots (stored negated so that
+//!    "more parallelism" sorts first under `<`).
+//!
+//! Ties after all four fields are broken on the variant label, making the
+//! chosen variant deterministic for a given program and configuration.
+
+use inl_codegen::CostFeatures;
+use std::fmt;
+
+/// Lexicographic ranking key of one variant (see the module docs; field
+/// order is the comparison order).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Cost {
+    /// Depth-weighted locality penalty ([`CostFeatures::reuse_penalty`]).
+    pub reuse_penalty: i64,
+    /// Largest write-subscript loop coefficient.
+    pub max_write_stride: i64,
+    /// Guards surviving simplification.
+    pub guards: i64,
+    /// Negated count of certified DOALL slots.
+    pub neg_parallel_slots: i64,
+}
+
+impl Cost {
+    /// Project the features onto the ranking key.
+    pub fn of(f: &CostFeatures) -> Cost {
+        Cost {
+            reuse_penalty: f.reuse_penalty,
+            max_write_stride: f.max_write_stride,
+            guards: f.guards,
+            neg_parallel_slots: -f.parallel_slots(),
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reuse={} stride={} guards={} doall={}",
+            self.reuse_penalty, self.max_write_stride, self.guards, -self.neg_parallel_slots
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let base = Cost {
+            reuse_penalty: 10,
+            max_write_stride: 1,
+            guards: 0,
+            neg_parallel_slots: 0,
+        };
+        let worse_locality = Cost {
+            reuse_penalty: 11,
+            max_write_stride: 0,
+            guards: 0,
+            neg_parallel_slots: -3,
+        };
+        assert!(base < worse_locality, "locality dominates everything");
+        let more_parallel = Cost {
+            neg_parallel_slots: -1,
+            ..base.clone()
+        };
+        assert!(more_parallel < base, "parallelism breaks exact ties");
+    }
+}

@@ -1,0 +1,491 @@
+//! # inl-sched
+//!
+//! The auto-scheduler: given a program, *search* the legal transformation
+//! space and *choose* a variant — the step the paper's framework stops
+//! short of. Where `inl-core` can prove that a transformation is legal,
+//! this crate decides which legal transformation to use.
+//!
+//! The search space is the product of four axes (ROADMAP item 1):
+//!
+//! * **shape** — legal one-level loop distributions and fusions (§4.2),
+//!   each producing a structurally different program;
+//! * **permutation** — the order in which loop selector rows fill the
+//!   outer slots of the transformation matrix;
+//! * **reversal** — each selector row may enter negated (§4.1);
+//! * **alignment** — statement-alignment offsets (§4.3) refined onto the
+//!   front-running variant;
+//!
+//! with statement reordering (the edge rows) supplied by the completion
+//! procedure's topological sort, so it never has to be searched.
+//!
+//! Illegal *prefixes* are pruned with
+//! [`inl_core::complete::check_prefix`]: the first dependence whose
+//! projection goes lexicographically negative kills the entire subtree,
+//! which is what keeps the tree far below the `Σ_d P(L,d)·2^d` exhaustive
+//! node count (see [`SearchStats::prune_rate_pct`]). Surviving variants
+//! are compiled through [`inl_codegen::compile_batch`] — a cache-warm
+//! batched sweep, not N cold compiles — and ranked by the static
+//! [`Cost`] key computed from each variant's
+//! [`inl_codegen::CostFeatures`]. Every decision (pruned subtree,
+//! dominated variant, chosen variant) is recorded as `inl_obs::explain`
+//! evidence under a `sched/<program>` session, so `inl-explain query` can
+//! answer *why this order*.
+//!
+//! ```
+//! use inl_ir::zoo;
+//!
+//! let result = inl_sched::schedule(&zoo::simple_cholesky()).expect("schedules");
+//! // pruning beat brute force, and something legal was chosen
+//! assert!(result.stats.nodes_visited < result.stats.nodes_exhaustive);
+//! assert!(result.stats.pruned_subtrees > 0);
+//! assert!(result.legal.contains(&result.chosen().label));
+//! println!("chosen: {}", result.chosen().label);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cost;
+mod search;
+pub mod sweep;
+
+pub use cost::Cost;
+pub use search::SearchStats;
+
+use inl_codegen::{compile_batch, generate, CostFeatures};
+use inl_core::complete::CompletionError;
+use inl_core::depend::analyze;
+use inl_core::instance::InstanceLayout;
+use inl_core::transform::Transform;
+use inl_ir::Program;
+use inl_linalg::{IMat, InlError};
+use std::fmt;
+
+/// Why scheduling failed.
+#[derive(Clone, Debug)]
+pub enum SchedError {
+    /// Dependence analysis or a structural transformation failed.
+    Analysis(InlError),
+    /// A prefix-legality probe failed (arithmetic overflow or a
+    /// polyhedral budget, not an illegal prefix — those are pruned).
+    Prefix(CompletionError),
+    /// The search found no legal variant (the identity shape's identity
+    /// order is always legal for well-formed programs, so this signals a
+    /// malformed input or an exhausted budget).
+    NoLegalVariant,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            SchedError::Prefix(e) => write!(f, "prefix check failed: {e:?}"),
+            SchedError::NoLegalVariant => write!(f, "no legal variant found"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Tuning knobs of the search, all overridable from the environment (see
+/// [`SchedConfig::from_env`] and the README operations reference).
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// Maximum search-tree nodes to visit across all shapes
+    /// (`INL_SCHED_BUDGET`, default 10 000). The search stops early —
+    /// keeping what it found — when the budget is exhausted.
+    pub budget: u64,
+    /// Include reversed loop selectors (`INL_SCHED_REVERSAL`, default on;
+    /// `0` disables).
+    pub reversal: bool,
+    /// Refine the front-runner with statement-alignment offsets
+    /// (`INL_SCHED_ALIGN`, default on; `0` disables).
+    pub align: bool,
+    /// Enumerate jam/distribute shapes (`INL_SCHED_SHAPES`, default on;
+    /// `0` disables).
+    pub shapes: bool,
+    /// Worker threads for the candidate compile sweep
+    /// (`INL_SCHED_THREADS`, default 0 = one per core).
+    pub threads: usize,
+    /// Repetitions per variant when the sweep *measures* execution
+    /// (`INL_SCHED_REPS`, default 3; the minimum is kept).
+    pub measure_reps: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            budget: 10_000,
+            reversal: true,
+            align: true,
+            shapes: true,
+            threads: 0,
+            measure_reps: 3,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Read the configuration from `INL_SCHED_*` environment variables,
+    /// falling back to the defaults.
+    pub fn from_env() -> SchedConfig {
+        let mut cfg = SchedConfig::default();
+        let flag = |name: &str, default: bool| -> bool {
+            match std::env::var(name) {
+                Ok(v) => v != "0" && !v.is_empty(),
+                Err(_) => default,
+            }
+        };
+        if let Ok(v) = std::env::var("INL_SCHED_BUDGET") {
+            if let Ok(n) = v.parse::<u64>() {
+                cfg.budget = n;
+            }
+        }
+        cfg.reversal = flag("INL_SCHED_REVERSAL", cfg.reversal);
+        cfg.align = flag("INL_SCHED_ALIGN", cfg.align);
+        cfg.shapes = flag("INL_SCHED_SHAPES", cfg.shapes);
+        if let Ok(v) = std::env::var("INL_SCHED_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                cfg.threads = n;
+            }
+        }
+        if let Ok(v) = std::env::var("INL_SCHED_REPS") {
+            if let Ok(n) = v.parse::<usize>() {
+                cfg.measure_reps = n.max(1);
+            }
+        }
+        cfg
+    }
+}
+
+/// One legal variant the search produced, fully compiled.
+#[derive(Clone, Debug)]
+pub struct ScheduledVariant {
+    /// Display label: optional shape prefix, loop order with `'` marking
+    /// reversed loops, optional `+align(..)` suffix — e.g.
+    /// `"dist(K@1)/KJ'LI"`.
+    pub label: String,
+    /// The shape this variant lives in (`""` = identity shape).
+    pub shape: String,
+    /// The completed transformation matrix over the shape's program.
+    pub matrix: IMat,
+    /// The generated program (runnable through `inl-exec`).
+    pub program: Program,
+    /// Pseudocode of the generated program.
+    pub pseudocode: String,
+    /// The variant's static cost features.
+    pub features: CostFeatures,
+    /// Its ranking key.
+    pub cost: Cost,
+}
+
+/// The outcome of a [`schedule`] run.
+#[derive(Clone, Debug)]
+pub struct ScheduleResult {
+    /// Every legal variant, sorted by cost (best first — `variants[0]`
+    /// is the chosen one).
+    pub variants: Vec<ScheduledVariant>,
+    /// Search counters (deterministic; CI-gated).
+    pub stats: SearchStats,
+    /// Labels of all legal variants in cost order (convenience mirror of
+    /// `variants`).
+    pub legal: Vec<String>,
+}
+
+impl ScheduleResult {
+    /// The chosen (cost-minimal) variant.
+    pub fn chosen(&self) -> &ScheduledVariant {
+        &self.variants[0]
+    }
+}
+
+/// Search the transformation space of `p` with the default
+/// (environment-supplied) configuration and return every legal variant,
+/// best first. See the crate docs for the search structure.
+pub fn schedule(p: &Program) -> Result<ScheduleResult, SchedError> {
+    schedule_with(p, &SchedConfig::from_env())
+}
+
+/// [`schedule`] with an explicit configuration.
+pub fn schedule_with(p: &Program, cfg: &SchedConfig) -> Result<ScheduleResult, SchedError> {
+    let _span = inl_obs::span("sched.schedule");
+    inl_obs::counter_add!("sched.programs", 1);
+    let explain = inl_obs::explain_enabled();
+    if explain {
+        inl_obs::explain::begin_session(&format!("sched/{}", p.name()));
+    }
+
+    let mut stats = SearchStats::default();
+    let shapes = search::enumerate_shapes(p, cfg)?;
+    stats.shapes = shapes.len() as u64;
+
+    let mut variants: Vec<ScheduledVariant> = Vec::new();
+    for shape in &shapes {
+        let found = search::search_shape(&shape.label, &shape.program, cfg, &mut stats)?;
+        if found.is_empty() {
+            continue;
+        }
+        let compiled = compile_batch(&shape.program, &found, cfg.threads);
+        for (cv, (_, matrix)) in compiled.into_iter().zip(found) {
+            let label = format!("{}{}", search::shape_prefix(&shape.label), cv.label);
+            let cost = Cost::of(&cv.features);
+            variants.push(ScheduledVariant {
+                label,
+                shape: shape.label.clone(),
+                matrix,
+                program: cv.program,
+                pseudocode: cv.pseudocode,
+                features: cv.features,
+                cost,
+            });
+        }
+    }
+    if variants.is_empty() {
+        return Err(SchedError::NoLegalVariant);
+    }
+    // ties: prefer fewer reversed loops (a reversal buys nothing when the
+    // cost is identical), then the lexicographically first label
+    variants.sort_by(|a, b| {
+        a.cost
+            .cmp(&b.cost)
+            .then_with(|| {
+                a.label
+                    .matches('\'')
+                    .count()
+                    .cmp(&b.label.matches('\'').count())
+            })
+            .then_with(|| a.label.cmp(&b.label))
+    });
+
+    if cfg.align {
+        let shape_program = shapes
+            .iter()
+            .find(|s| s.label == variants[0].shape)
+            .map(|s| s.program.clone())
+            .expect("chosen variant's shape");
+        refine_alignment(&shape_program, &mut variants[0], cfg, &mut stats)?;
+    }
+
+    if explain {
+        let chosen = &variants[0];
+        inl_obs::explain::accept(
+            "sched",
+            format!("variant {} of {}", chosen.label, p.name()),
+            format!(
+                "chosen: minimal cost ({}) among {} legal variants, {} of {} tree nodes visited",
+                chosen.cost,
+                variants.len(),
+                stats.nodes_visited,
+                stats.nodes_exhaustive
+            ),
+        )
+        .feature("legal_variants", variants.len() as i64)
+        .feature("nodes_visited", stats.nodes_visited as i64)
+        .feature("nodes_pruned", stats.pruned_nodes as i64)
+        .feature("reuse_penalty", chosen.features.reuse_penalty);
+        for v in variants.iter().skip(1) {
+            inl_obs::explain::note(
+                "sched",
+                format!("variant {} of {}", v.label, p.name()),
+                format!(
+                    "legal but dominated: cost ({}) vs chosen ({})",
+                    v.cost, variants[0].cost
+                ),
+            )
+            .feature("reuse_penalty", v.features.reuse_penalty)
+            .feature("guards", v.features.guards);
+        }
+    }
+
+    let legal = variants.iter().map(|v| v.label.clone()).collect();
+    Ok(ScheduleResult {
+        variants,
+        stats,
+        legal,
+    })
+}
+
+/// Try statement-alignment offsets (§4.3) on the front-runner: compose
+/// `Align(stmt, loop, ±1)` with the chosen matrix and adopt the result
+/// only when it generates legally *and* strictly improves the cost.
+fn refine_alignment(
+    shape_p: &Program,
+    chosen: &mut ScheduledVariant,
+    _cfg: &SchedConfig,
+    stats: &mut SearchStats,
+) -> Result<(), SchedError> {
+    let _span = inl_obs::span("sched.align");
+    let layout = InstanceLayout::new(shape_p);
+    let deps = analyze(shape_p, &layout).map_err(SchedError::Analysis)?;
+    let explain = inl_obs::explain_enabled();
+    for s in shape_p.stmts() {
+        for &l in &shape_p.loops_surrounding(s) {
+            for offset in [1i128, -1] {
+                let t = Transform::Align {
+                    stmt: s,
+                    looop: l,
+                    offset,
+                };
+                // statements without a distinguishing edge can't be aligned
+                let Ok(am) = t.try_matrix(shape_p, &layout) else {
+                    continue;
+                };
+                let Ok(m2) = am.checked_mul(&chosen.matrix) else {
+                    continue;
+                };
+                stats.align_tried += 1;
+                let Ok(r) = generate(shape_p, &layout, &deps, &m2) else {
+                    continue; // illegal alignment: not an improvement
+                };
+                let cost = Cost::of(&r.features);
+                if cost < chosen.cost {
+                    stats.align_adopted += 1;
+                    let suffix = format!(
+                        "+align({},{},{offset:+})",
+                        shape_p.stmt_decl(s).name,
+                        shape_p.loop_decl(l).name
+                    );
+                    if explain {
+                        inl_obs::explain::note(
+                            "sched",
+                            format!("alignment {} of {}", suffix, shape_p.name()),
+                            format!("adopted: improves cost ({}) -> ({})", chosen.cost, cost),
+                        );
+                    }
+                    chosen.label.push_str(&suffix);
+                    chosen.pseudocode = r.program.to_pseudocode();
+                    chosen.program = r.program;
+                    chosen.features = r.features;
+                    chosen.matrix = m2;
+                    chosen.cost = cost;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inl_ir::zoo;
+
+    fn quiet_cfg() -> SchedConfig {
+        SchedConfig {
+            threads: 1,
+            ..SchedConfig::default()
+        }
+    }
+
+    #[test]
+    fn cholesky_search_is_pinned_and_pruned() {
+        // the end-to-end pin: full Cholesky with the default axes visits
+        // exactly this many nodes (deterministic DFS), prunes most of the
+        // exhaustive tree, and finds the 12 hand-enumerated legal orders
+        // among its unreversed variants.
+        let r = schedule_with(&zoo::cholesky_kij(), &quiet_cfg()).expect("schedules");
+        assert!(
+            r.stats.nodes_visited <= 260,
+            "search widened: {} nodes (was pinned <= 260)",
+            r.stats.nodes_visited
+        );
+        assert!(r.stats.nodes_visited < r.stats.nodes_exhaustive);
+        assert!(r.stats.pruned_subtrees > 0);
+        assert!(r.stats.pruned_nodes > 0);
+        let unreversed = r
+            .variants
+            .iter()
+            .filter(|v| v.shape.is_empty() && !v.label.contains('\''))
+            .count();
+        assert_eq!(unreversed, 12, "the 12 legal Cholesky orders");
+    }
+
+    #[test]
+    fn every_variant_is_legal_and_equivalent() {
+        // every returned variant must execute bitwise-identically to the
+        // source program — across shapes, reversals, and alignment.
+        let p = zoo::simple_cholesky();
+        let r = schedule_with(&p, &quiet_cfg()).expect("schedules");
+        let init = crate::sweep::measurement_init;
+        for v in &r.variants {
+            let src = inl_exec::run_fresh(&p, &[8], &init);
+            let got = inl_exec::run_fresh(&v.program, &[8], &init);
+            src.same_state(&got)
+                .unwrap_or_else(|e| panic!("variant {} diverged: {e}", v.label));
+        }
+    }
+
+    #[test]
+    fn reversal_axis_off_shrinks_tree() {
+        let mut cfg = quiet_cfg();
+        cfg.reversal = false;
+        let with = schedule_with(&zoo::matmul(), &quiet_cfg()).expect("schedules");
+        let without = schedule_with(&zoo::matmul(), &cfg).expect("schedules");
+        assert!(without.stats.nodes_exhaustive < with.stats.nodes_exhaustive);
+        assert!(without.variants.len() <= with.variants.len());
+    }
+
+    #[test]
+    fn matmul_chooses_unit_stride_inner() {
+        // the canonical cost-model sanity check: of the 6 matmul loop
+        // orders, the chosen one must walk B and C unit-stride in the
+        // innermost loop (J innermost, K middle or outer — the `ikj`
+        // family), not the row-jumping `ijk`/`jik` family.
+        let r = schedule_with(&zoo::matmul(), &quiet_cfg()).expect("schedules");
+        let inner = r
+            .chosen()
+            .label
+            .trim_end_matches('\'')
+            .chars()
+            .last()
+            .unwrap();
+        assert_eq!(inner, 'J', "chosen {}", r.chosen().label);
+    }
+
+    #[test]
+    fn budget_stops_search_gracefully() {
+        let mut cfg = quiet_cfg();
+        cfg.budget = 3;
+        cfg.align = false;
+        match schedule_with(&zoo::cholesky_kij(), &cfg) {
+            Ok(r) => {
+                assert!(r.stats.budget_exhausted);
+                assert!(r.stats.nodes_visited <= 3 + 1);
+            }
+            Err(SchedError::NoLegalVariant) => {} // budget too small to reach a leaf
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn explain_records_pruned_subtrees() {
+        // serialize against other explain-sweeping tests via the store
+        // itself: reset, run, inspect
+        let _guard = EXPLAIN_LOCK.lock().unwrap();
+        inl_obs::set_explain_enabled(true);
+        inl_obs::explain::reset();
+        let r = schedule_with(&zoo::simple_cholesky(), &quiet_cfg()).expect("schedules");
+        let records = inl_obs::explain::snapshot();
+        inl_obs::set_explain_enabled(false);
+        inl_obs::explain::reset();
+        let rejects: Vec<_> = records
+            .iter()
+            .filter(|rec| rec.stage == "sched" && rec.verdict == inl_obs::explain::Verdict::Reject)
+            .collect();
+        assert_eq!(
+            rejects.len() as u64,
+            r.stats.pruned_subtrees + r.stats.completion_failures + 1,
+            "one reject per pruned subtree / failed completion, plus the illegal distribution"
+        );
+        assert!(
+            rejects
+                .iter()
+                .any(|rec| rec.reason.contains("dep ") && rec.details.contains_key("dep_row")),
+            "at least one pruning decision names the killing dependence"
+        );
+        assert!(records.iter().any(|rec| rec.stage == "sched"
+            && rec.verdict == inl_obs::explain::Verdict::Accept
+            && rec.subject.contains(&r.chosen().label)));
+    }
+
+    pub(crate) static EXPLAIN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

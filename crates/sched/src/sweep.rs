@@ -1,0 +1,376 @@
+//! Zoo-wide scheduling sweep: run [`crate::schedule`] over every zoo
+//! program, *measure* every legal variant on the VM backend, and compare
+//! the cost model's choice against reality.
+//!
+//! This is the machinery behind the `inl-sched` CLI, the report binary's
+//! `## schedule` section, and the committed `baselines/BENCH_sched.json`
+//! CI gate: the search counters in each [`SweepEntry`] are deterministic
+//! and diffed exactly, the `*_ns` timings are thresholded.
+
+use crate::{schedule_with, Cost, SchedConfig, SchedError, SearchStats};
+use inl_exec::{run_fresh, Machine, VmRunner};
+use inl_ir::{zoo, Program};
+use inl_linalg::Int;
+use inl_obs::Json;
+use std::time::Instant;
+
+/// Deterministic array initializer used for measurement and the bitwise
+/// equivalence check. This is a *deliberate duplicate* of
+/// `inl_bench::spd_init` — `inl-bench` depends on this crate (its report
+/// prints the schedule sweep), so the init cannot be imported from there
+/// without a cycle. Symmetric positive-definite-ish for 2-D arrays so
+/// Cholesky-family programs stay numerically stable.
+pub fn measurement_init(_: &str, idx: &[usize]) -> f64 {
+    if idx.len() == 2 {
+        if idx[0] == idx[1] {
+            (idx[0] + 10) as f64
+        } else {
+            1.0 / ((idx[0] + idx[1] + 2) as f64)
+        }
+    } else {
+        2.0 + idx[0] as f64
+    }
+}
+
+/// Problem size used by the sweep: large enough that loop-order locality
+/// effects are visible on the VM, small enough that measuring every legal
+/// variant of every zoo program stays in CI budget.
+pub const SWEEP_N: Int = 56;
+
+/// One sweep target: wire name, constructor, measurement parameters.
+pub type SweepTarget = (&'static str, fn() -> Program, &'static [Int]);
+
+/// The programs the sweep schedules — the same list `inl-serve` exposes
+/// (mirrored here because the dependency points the other way: the
+/// service calls into this crate).
+pub const SWEEP_ZOO: &[SweepTarget] = &[
+    ("simple_cholesky", zoo::simple_cholesky, &[SWEEP_N]),
+    ("running_example", zoo::running_example, &[SWEEP_N]),
+    ("perfect_nest", zoo::perfect_nest, &[SWEEP_N]),
+    (
+        "augmentation_example",
+        zoo::augmentation_example,
+        &[SWEEP_N],
+    ),
+    ("cholesky_kij", zoo::cholesky_kij, &[SWEEP_N]),
+    (
+        "cholesky_left_looking",
+        zoo::cholesky_left_looking,
+        &[SWEEP_N],
+    ),
+    ("lu_kij", zoo::lu_kij, &[SWEEP_N]),
+    ("wavefront", zoo::wavefront, &[SWEEP_N]),
+    ("matmul", zoo::matmul, &[28]),
+    ("rect_wavefront", zoo::rect_wavefront, &[28, 36]),
+    ("row_prefix_sums", zoo::row_prefix_sums, &[SWEEP_N]),
+    (
+        "distributed_simple_cholesky",
+        zoo::distributed_simple_cholesky,
+        &[SWEEP_N],
+    ),
+    ("independent_pair", zoo::independent_pair, &[SWEEP_N]),
+];
+
+/// One measured variant: cost-rank order is the `Vec` order in
+/// [`SweepEntry::measured`].
+#[derive(Clone, Debug)]
+pub struct MeasuredVariant {
+    /// The variant's display label.
+    pub label: String,
+    /// Its static ranking key.
+    pub cost: Cost,
+    /// Minimum wall time over the configured repetitions, nanoseconds.
+    pub ns: u64,
+}
+
+/// The sweep's verdict on one program.
+#[derive(Clone, Debug)]
+pub struct SweepEntry {
+    /// Program name (zoo wire name).
+    pub name: String,
+    /// Search counters (deterministic, gated exactly).
+    pub stats: SearchStats,
+    /// Label of the chosen (cost-minimal) variant.
+    pub chosen: String,
+    /// Every legal variant in cost order, with its measured runtime.
+    pub measured: Vec<MeasuredVariant>,
+    /// Measured runtime of the chosen variant, nanoseconds.
+    pub chosen_ns: u64,
+    /// Fastest measured variant, nanoseconds.
+    pub best_ns: u64,
+    /// Label of the fastest measured variant.
+    pub best_label: String,
+    /// Slowest measured variant, nanoseconds.
+    pub worst_ns: u64,
+    /// `true` when the chosen variant lands within the noise tier of the
+    /// measured best: `chosen_ns ≤ best_ns + max(best_ns/2, 250µs)`. The
+    /// absolute slack floor keeps the bit deterministic for zoo programs
+    /// whose whole run is a few microseconds, where any relative
+    /// comparison would gate on scheduler jitter.
+    pub within_tier: bool,
+    /// `true` when the chosen variant's final machine state is bitwise
+    /// identical to the source program's.
+    pub bitwise_identical: bool,
+    /// Wall time of the search itself (schedule call), nanoseconds.
+    pub search_ns: u64,
+    /// Wall time of measuring all variants, nanoseconds.
+    pub measure_ns: u64,
+    /// Variant pairs where cost order and measured order agree.
+    pub concordant: u64,
+    /// Variant pairs where they disagree.
+    pub discordant: u64,
+}
+
+impl SweepEntry {
+    /// Chosen-vs-best slowdown in percent (`0` = chosen is the measured
+    /// best).
+    pub fn chosen_vs_best_pct(&self) -> u64 {
+        if self.best_ns == 0 {
+            return 0;
+        }
+        (self.chosen_ns.saturating_sub(self.best_ns)) * 100 / self.best_ns
+    }
+
+    /// Rank agreement between the cost model and measurement, in percent
+    /// of variant pairs (`100` = perfectly concordant).
+    pub fn rank_agreement_pct(&self) -> u64 {
+        let pairs = self.concordant + self.discordant;
+        if pairs == 0 {
+            return 100;
+        }
+        self.concordant * 100 / pairs
+    }
+}
+
+/// Schedule one program and measure every legal variant.
+pub fn sweep_program(
+    name: &str,
+    p: &Program,
+    params: &[Int],
+    cfg: &SchedConfig,
+) -> Result<SweepEntry, SchedError> {
+    let _span = inl_obs::span("sched.sweep");
+    let t0 = Instant::now();
+    let result = schedule_with(p, cfg)?;
+    let search_ns = t0.elapsed().as_nanos() as u64;
+
+    let t1 = Instant::now();
+    // compile every variant once, then one untimed warmup run each: the
+    // first execution pays cold caches and page faults that would
+    // otherwise skew min-of-reps
+    let runners: Vec<VmRunner> = result
+        .variants
+        .iter()
+        .map(|v| VmRunner::new(&v.program))
+        .collect();
+    for (v, runner) in result.variants.iter().zip(&runners) {
+        let mut warm = Machine::new(&v.program, params, &measurement_init);
+        runner.run(&mut warm);
+    }
+    // interleave the timed reps across variants (rep-major, not
+    // variant-major): back-to-back timing of one variant confounds its
+    // runtime with drift — frequency ramp-up, cache state — and the
+    // drift always lands on whichever variant runs first (the chosen
+    // one, since variants are measured in cost order)
+    let mut best_ns_per: Vec<u64> = vec![u64::MAX; result.variants.len()];
+    for _ in 0..cfg.measure_reps.max(1) {
+        for ((v, runner), best) in result.variants.iter().zip(&runners).zip(&mut best_ns_per) {
+            let mut m = Machine::new(&v.program, params, &measurement_init);
+            let t = Instant::now();
+            runner.run(&mut m);
+            *best = (*best).min(t.elapsed().as_nanos() as u64);
+        }
+    }
+    let measured: Vec<MeasuredVariant> = result
+        .variants
+        .iter()
+        .zip(best_ns_per)
+        .map(|(v, ns)| MeasuredVariant {
+            label: v.label.clone(),
+            cost: v.cost.clone(),
+            ns,
+        })
+        .collect();
+    let measure_ns = t1.elapsed().as_nanos() as u64;
+
+    let chosen_ns = measured[0].ns;
+    let best = measured
+        .iter()
+        .min_by_key(|m| m.ns)
+        .expect("at least one variant");
+    let best_ns = best.ns;
+    let best_label = best.label.clone();
+    let worst_ns = measured.iter().map(|m| m.ns).max().unwrap();
+    let within_tier = chosen_ns <= best_ns.saturating_add((best_ns / 2).max(250_000));
+
+    // cost order vs measured order: count concordant pairs, treating
+    // equal-cost pairs as concordant (the tie-break label order carries
+    // no performance claim)
+    let mut concordant = 0u64;
+    let mut discordant = 0u64;
+    for i in 0..measured.len() {
+        for j in (i + 1)..measured.len() {
+            if measured[i].cost == measured[j].cost || measured[i].ns <= measured[j].ns {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+
+    let source = run_fresh(p, params, &measurement_init);
+    let transformed = run_fresh(&result.chosen().program, params, &measurement_init);
+    let bitwise_identical = source.same_state(&transformed).is_ok();
+
+    let chosen = result.chosen().label.clone();
+    Ok(SweepEntry {
+        name: name.to_string(),
+        stats: result.stats,
+        chosen,
+        measured,
+        chosen_ns,
+        best_ns,
+        best_label,
+        worst_ns,
+        within_tier,
+        bitwise_identical,
+        search_ns,
+        measure_ns,
+        concordant,
+        discordant,
+    })
+}
+
+/// Run [`sweep_program`] over the whole [`SWEEP_ZOO`].
+pub fn sweep_zoo(cfg: &SchedConfig) -> Result<Vec<SweepEntry>, SchedError> {
+    let mut entries = Vec::with_capacity(SWEEP_ZOO.len());
+    for (name, ctor, params) in SWEEP_ZOO {
+        entries.push(sweep_program(name, &ctor(), params, cfg)?);
+    }
+    Ok(entries)
+}
+
+/// Render the sweep as the markdown table shared by the `inl-sched` CLI
+/// and the report binary's `## schedule` section.
+pub fn render_table(entries: &[SweepEntry]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| program | visited | exhaustive | prune% | legal | chosen | vs best | rank agree | bitwise |\n",
+    );
+    out.push_str(
+        "|---------|---------|------------|--------|-------|--------|---------|------------|--------|\n",
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "| {} | {} | {} | {}% | {} | {} | +{}% | {}% | {} |\n",
+            e.name,
+            e.stats.nodes_visited,
+            e.stats.nodes_exhaustive,
+            e.stats.prune_rate_pct(),
+            e.measured.len(),
+            e.chosen,
+            e.chosen_vs_best_pct(),
+            e.rank_agreement_pct(),
+            if e.bitwise_identical { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+/// Serialize the sweep in the bench-baseline format
+/// (`{"version": 1, "programs": [...]}`) consumed by `inl-obs-diff`:
+/// integer counters are compared exactly, `*_ns` fields against the
+/// threshold, `bitwise_identical` must never flip to `false`. The
+/// nondeterministic rank-concordance pairs are deliberately *excluded* —
+/// they depend on measurement noise and belong in the printed table only.
+pub fn bench_json(entries: &[SweepEntry], cfg: &SchedConfig) -> Json {
+    let mut programs = Vec::with_capacity(entries.len());
+    for e in entries {
+        let mut o = Json::object();
+        o.insert("name", Json::Str(e.name.clone()));
+        o.insert("nodes_visited", Json::Int(e.stats.nodes_visited));
+        o.insert("nodes_exhaustive", Json::Int(e.stats.nodes_exhaustive));
+        o.insert("pruned_subtrees", Json::Int(e.stats.pruned_subtrees));
+        o.insert("pruned_nodes", Json::Int(e.stats.pruned_nodes));
+        o.insert("legal_variants", Json::Int(e.stats.legal_variants));
+        o.insert("shapes", Json::Int(e.stats.shapes));
+        o.insert(
+            "completion_failures",
+            Json::Int(e.stats.completion_failures),
+        );
+        o.insert("within_tier", Json::Int(e.within_tier as u64));
+        o.insert("bitwise_identical", Json::Bool(e.bitwise_identical));
+        o.insert("chosen", Json::Str(e.chosen.clone()));
+        o.insert("search_ns", Json::Int(e.search_ns));
+        o.insert("measure_ns", Json::Int(e.measure_ns));
+        o.insert("chosen_ns", Json::Int(e.chosen_ns));
+        o.insert("best_ns", Json::Int(e.best_ns));
+        o.insert("worst_ns", Json::Int(e.worst_ns));
+        programs.push(o);
+    }
+    let mut doc = Json::object();
+    doc.insert("version", Json::Int(1));
+    doc.insert("reps", Json::Int(cfg.measure_reps as u64));
+    doc.insert("programs", Json::Array(programs));
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg() -> SchedConfig {
+        SchedConfig {
+            threads: 1,
+            measure_reps: 1,
+            ..SchedConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_entry_is_bitwise_and_in_tier() {
+        let e = sweep_program(
+            "simple_cholesky",
+            &zoo::simple_cholesky(),
+            &[12],
+            &quiet_cfg(),
+        )
+        .expect("sweeps");
+        assert!(e.bitwise_identical, "chosen variant diverged");
+        assert!(e.stats.pruned_subtrees > 0);
+        assert!(!e.measured.is_empty());
+        assert_eq!(e.chosen, e.measured[0].label);
+        assert!(e.worst_ns >= e.best_ns);
+    }
+
+    #[test]
+    fn bench_json_has_gated_counters() {
+        let e = sweep_program("matmul", &zoo::matmul(), &[6], &quiet_cfg()).expect("sweeps");
+        let doc = bench_json(&[e], &quiet_cfg());
+        let s = doc.to_pretty_string();
+        let parsed = Json::parse(&s).expect("round-trips");
+        let progs = match parsed.get("programs") {
+            Some(Json::Array(a)) => a,
+            _ => panic!("programs array"),
+        };
+        assert_eq!(progs.len(), 1);
+        for key in [
+            "nodes_visited",
+            "nodes_exhaustive",
+            "pruned_subtrees",
+            "legal_variants",
+            "within_tier",
+            "chosen_ns",
+        ] {
+            assert!(progs[0].get(key).is_some(), "missing gated field {key}");
+        }
+    }
+
+    #[test]
+    fn table_renders_every_program() {
+        let e = sweep_program("wavefront", &zoo::wavefront(), &[10], &quiet_cfg()).expect("sweeps");
+        let table = render_table(&[e]);
+        assert!(table.contains("| wavefront |"));
+        assert!(table.contains("rank agree"));
+    }
+}

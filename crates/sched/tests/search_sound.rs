@@ -1,0 +1,205 @@
+//! Soundness and completeness of the pruned search, checked differentially
+//! against a brute-force enumerator that never prunes.
+//!
+//! The brute force visits every full-depth permutation×reversal leaf of
+//! the identity shape's tree and decides legality directly on the full
+//! row set (`check_prefix` on all rows, then `complete_transform`). The
+//! pruned search must return *exactly* the same set of legal variant
+//! labels: missing one means a `check_prefix` violation killed a subtree
+//! that still contained a legal leaf (unsound pruning); an extra one
+//! means the search fabricated a variant the full-row check rejects.
+//! On top of the label differential, every returned variant must be
+//! observationally equivalent to the source program.
+
+use inl_core::complete::{check_prefix, complete_transform, PrefixCheck};
+use inl_core::depend::analyze;
+use inl_core::instance::{InstanceLayout, Position};
+use inl_exec::run_fresh;
+use inl_ir::{zoo, LoopId, Program};
+use inl_linalg::IVec;
+use inl_sched::sweep::measurement_init;
+use inl_sched::{schedule_with, SchedConfig};
+use proptest::prelude::*;
+
+/// One differential target: constructor + tiny parameters for the
+/// bitwise equivalence check.
+type SmallTarget = (fn() -> Program, &'static [i128]);
+
+/// Programs small enough that the exhaustive tree stays a few hundred
+/// nodes (≤ 4 loops).
+const SMALL_ZOO: &[SmallTarget] = &[
+    (zoo::simple_cholesky, &[8]),
+    (zoo::running_example, &[8]),
+    (zoo::perfect_nest, &[8]),
+    (zoo::cholesky_kij, &[8]),
+    (zoo::wavefront, &[8]),
+    (zoo::matmul, &[5]),
+    (zoo::row_prefix_sums, &[8]),
+    (zoo::independent_pair, &[8]),
+];
+
+/// Every legal full-depth variant label of `p`'s identity shape, found by
+/// brute force: enumerate all loop permutations × sign patterns, check the
+/// *complete* row set once, and attempt completion. No prefix pruning.
+fn brute_force_legal(p: &Program, reversal: bool) -> Vec<String> {
+    let layout = InstanceLayout::new(p);
+    let deps = analyze(p, &layout).expect("analysis");
+    let loops: Vec<LoopId> = p
+        .loops()
+        .filter(|&l| layout.positions().contains(&Position::Loop(l)))
+        .collect();
+    let signs: &[i64] = if reversal { &[1, -1] } else { &[1] };
+
+    let mut legal = Vec::new();
+    let mut perm: Vec<(usize, i64)> = Vec::new();
+    let mut used = vec![false; loops.len()];
+    enumerate(
+        p, &layout, &deps, &loops, signs, &mut perm, &mut used, &mut legal,
+    );
+    legal.sort();
+    legal
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    p: &Program,
+    layout: &InstanceLayout,
+    deps: &inl_core::depend::DependenceMatrix,
+    loops: &[LoopId],
+    signs: &[i64],
+    perm: &mut Vec<(usize, i64)>,
+    used: &mut [bool],
+    legal: &mut Vec<String>,
+) {
+    if perm.len() == loops.len() {
+        let rows: Vec<IVec> = perm
+            .iter()
+            .map(|&(i, sign)| {
+                let unit = IVec::unit(layout.len(), layout.loop_position(loops[i]));
+                if sign >= 0 {
+                    unit
+                } else {
+                    -&unit
+                }
+            })
+            .collect();
+        // legality decided on the full row set in one shot — the pruned
+        // search must agree without ever looking at most of these leaves
+        if !matches!(
+            check_prefix(p, layout, deps, &rows).expect("check"),
+            PrefixCheck::Legal
+        ) {
+            return;
+        }
+        if complete_transform(p, layout, deps, &rows).is_err() {
+            return;
+        }
+        let names: Vec<String> = perm
+            .iter()
+            .map(|&(i, sign)| {
+                format!(
+                    "{}{}",
+                    p.loop_decl(loops[i]).name,
+                    if sign < 0 { "'" } else { "" }
+                )
+            })
+            .collect();
+        legal.push(
+            if names.iter().all(|s| s.trim_end_matches('\'').len() == 1) {
+                names.concat()
+            } else {
+                names.join(".")
+            },
+        );
+        return;
+    }
+    for i in 0..loops.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        for &sign in signs {
+            perm.push((i, sign));
+            enumerate(p, layout, deps, loops, signs, perm, used, legal);
+            perm.pop();
+        }
+        used[i] = false;
+    }
+}
+
+/// Identity-shape search config (the differential is per-tree; the shape
+/// axis is exercised separately below).
+fn tree_cfg(reversal: bool) -> SchedConfig {
+    SchedConfig {
+        reversal,
+        shapes: false,
+        align: false,
+        threads: 1,
+        measure_reps: 1,
+        ..SchedConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The pruned search finds exactly the brute-force legal set — no
+    /// legal variant lost to pruning, no illegal variant returned.
+    #[test]
+    fn pruned_search_matches_brute_force(
+        which in 0usize..SMALL_ZOO.len(),
+        reversal in prop::bool::ANY,
+    ) {
+        let (ctor, _) = SMALL_ZOO[which];
+        let p = ctor();
+        let expected = brute_force_legal(&p, reversal);
+        let result = schedule_with(&p, &tree_cfg(reversal)).expect("search");
+        let mut found = result.legal.clone();
+        found.sort();
+        prop_assert_eq!(
+            &found, &expected,
+            "legal-set mismatch for {} (reversal={})", p.name(), reversal
+        );
+        // and the search genuinely skipped work whenever anything was pruned
+        prop_assert!(result.stats.nodes_visited <= result.stats.nodes_exhaustive);
+        if result.stats.pruned_subtrees > 0 {
+            prop_assert!(result.stats.nodes_visited < result.stats.nodes_exhaustive);
+        }
+    }
+
+    /// Every variant the full search (shapes + alignment on) returns is
+    /// observationally equivalent to the source program.
+    #[test]
+    fn search_never_returns_illegal(which in 0usize..SMALL_ZOO.len()) {
+        let (ctor, params) = SMALL_ZOO[which];
+        let p = ctor();
+        let cfg = SchedConfig { threads: 1, ..SchedConfig::default() };
+        let result = schedule_with(&p, &cfg).expect("search");
+        let reference = run_fresh(&p, params, &measurement_init);
+        for v in &result.variants {
+            let m = run_fresh(&v.program, params, &measurement_init);
+            prop_assert!(
+                reference.same_state(&m).is_ok(),
+                "variant {} of {} diverged from the source program",
+                v.label, p.name()
+            );
+        }
+    }
+}
+
+/// Deterministic spot-check that the differential actually bites: the
+/// Cholesky tree must prune at least one subtree while agreeing with
+/// brute force (proves the prefix test fires on interior nodes, not just
+/// at leaves).
+#[test]
+fn cholesky_differential_prunes_interior_nodes() {
+    let p = zoo::simple_cholesky();
+    let expected = brute_force_legal(&p, true);
+    assert!(!expected.is_empty());
+    let result = schedule_with(&p, &tree_cfg(true)).expect("search");
+    let mut found = result.legal.clone();
+    found.sort();
+    assert_eq!(found, expected);
+    assert!(result.stats.pruned_subtrees > 0, "nothing was pruned");
+    assert!(result.stats.nodes_visited < result.stats.nodes_exhaustive);
+}

@@ -6,6 +6,7 @@
 //! inl-client compile <program> [order]      # pseudocode or rejection
 //! inl-client run <prog> <N> [M ...] [--order ORD] [--backend vm|interp]
 //! inl-client explain <program> <order>      # why legal / why rejected
+//! inl-client schedule <program>             # auto-schedule: chosen variant
 //! inl-client stats                          # cache + transport counters
 //! inl-client metrics                        # sliding-window latency/rates
 //! inl-client shutdown                       # graceful stop
@@ -24,7 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: inl-client [--addr HOST:PORT] [--json] [--telemetry] \
          (compile <prog> [order] | run <prog> <N>.. [--order ORD] [--backend vm|interp] | \
-         explain <prog> <order> | stats | metrics | shutdown)"
+         explain <prog> <order> | schedule <prog> | stats | metrics | shutdown)"
     );
     std::process::exit(1);
 }
@@ -101,6 +102,13 @@ fn main() {
             },
             _ => usage(),
         },
+        "schedule" => match rest {
+            [prog] => Request::Schedule {
+                program: prog.clone(),
+                telemetry,
+            },
+            _ => usage(),
+        },
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
@@ -143,6 +151,19 @@ fn main() {
             Response::Explain {
                 verdict, reason, ..
             } => println!("{verdict}: {reason}"),
+            Response::Schedule {
+                chosen,
+                pseudocode,
+                nodes_visited,
+                nodes_exhaustive,
+                pruned_subtrees,
+                legal_variants,
+                ..
+            } => println!(
+                "chosen {chosen} ({legal_variants} legal variant(s); visited \
+                 {nodes_visited}/{nodes_exhaustive} nodes, {pruned_subtrees} subtree(s) pruned)\n\
+                 {pseudocode}"
+            ),
             Response::Stats { stats } => println!("{}", stats.to_pretty_string()),
             Response::Metrics { metrics } => println!("{}", metrics.to_pretty_string()),
             Response::Shutdown => println!("server draining"),

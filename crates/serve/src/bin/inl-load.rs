@@ -8,6 +8,7 @@
 //!
 //! The workload cycles a fixed schedule — identity compiles and runs for
 //! every zoo program, compile + explain for all 24 Cholesky loop orders,
+//! auto-schedule probes for three programs,
 //! a `stats`/`metrics` probe every 50th request — split round-robin
 //! across `C` connections. Every response except `stats`/`metrics` is
 //! compared **bytewise** against the in-process
@@ -82,6 +83,16 @@ fn base_schedule(telemetry: bool) -> Vec<Request> {
         reqs.push(Request::Explain {
             program: "cholesky_kij".to_string(),
             order: Some(order),
+            telemetry,
+        });
+    }
+    // auto-schedule probes: like every other non-stats request these are
+    // byte-compared against in-process scheduling, proving the server's
+    // search visits the same tree and chooses the same variant. Small
+    // search trees keep one cycle fast; matmul exercises the shape axis.
+    for prog in ["simple_cholesky", "matmul", "wavefront"] {
+        reqs.push(Request::Schedule {
+            program: prog.to_string(),
             telemetry,
         });
     }

@@ -237,6 +237,30 @@ fn handle_explain(program: &str, order: Option<&str>) -> Result<Response, InlErr
     })
 }
 
+fn handle_schedule(program: &str) -> Result<Response, InlError> {
+    let _span = inl_obs::span("serve.schedule");
+    let p = zoo_program(program)?;
+    // fixed configuration, single-threaded compile sweep: the response
+    // must be byte-identical whether the search runs in the server or
+    // in-process in a client (inl-load bitwise-compares the two), so
+    // nothing environment- or thread-order-dependent may leak in
+    let cfg = inl_sched::SchedConfig {
+        threads: 1,
+        ..inl_sched::SchedConfig::default()
+    };
+    let r = inl_sched::schedule_with(&p, &cfg)
+        .map_err(|e| InlError::new(InlErrorKind::Infeasible, format!("scheduling failed: {e}")))?;
+    Ok(Response::Schedule {
+        chosen: r.chosen().label.clone(),
+        pseudocode: r.chosen().pseudocode.clone(),
+        nodes_visited: r.stats.nodes_visited,
+        nodes_exhaustive: r.stats.nodes_exhaustive,
+        pruned_subtrees: r.stats.pruned_subtrees,
+        legal_variants: r.stats.legal_variants,
+        telemetry: None,
+    })
+}
+
 /// The dispatch core, without telemetry capture.
 fn handle_core(req: &Request) -> Response {
     let result = match req {
@@ -249,6 +273,7 @@ fn handle_core(req: &Request) -> Response {
             ..
         } => handle_run(program, params, order.as_deref(), *backend),
         Request::Explain { program, order, .. } => handle_explain(program, order.as_deref()),
+        Request::Schedule { program, .. } => handle_schedule(program),
         Request::Stats => {
             let mut stats = inl_obs::Json::object();
             stats.insert("poly_cache", inl_poly::cache::stats_json());
@@ -384,6 +409,43 @@ mod tests {
             telemetry: false,
         });
         assert_eq!(source, kjli);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_prunes() {
+        let req = Request::Schedule {
+            program: "cholesky_kij".into(),
+            telemetry: false,
+        };
+        let first = handle_request(&req);
+        // byte-stability is what inl-load's bitwise gate relies on
+        assert_eq!(
+            inl_proto::encode_response(&first),
+            inl_proto::encode_response(&handle_request(&req))
+        );
+        match first {
+            Response::Schedule {
+                chosen,
+                pseudocode,
+                nodes_visited,
+                nodes_exhaustive,
+                pruned_subtrees,
+                legal_variants,
+                ..
+            } => {
+                assert!(!chosen.is_empty());
+                assert!(pseudocode.contains("do"), "{pseudocode}");
+                assert!(nodes_visited < nodes_exhaustive);
+                assert!(pruned_subtrees > 0);
+                assert!(legal_variants > 0);
+            }
+            other => panic!("expected Schedule, got {other:?}"),
+        }
+        let unknown = handle_request(&Request::Schedule {
+            program: "nonesuch".into(),
+            telemetry: false,
+        });
+        assert!(matches!(unknown, Response::Error { .. }), "{unknown:?}");
     }
 
     #[test]
