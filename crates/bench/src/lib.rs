@@ -234,13 +234,77 @@ pub fn kernel_matmul_ijk(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
 /// `ikj` order: innermost loop streams rows of `B` and `C` (cache-friendly
 /// row-major).
 pub fn kernel_matmul_ikj(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
-    let w = n + 1;
     for i in 1..=n {
-        for k in 1..=n {
-            let aik = a[i * w + k];
-            for j in 1..=n {
-                c[i * w + j] += aik * b[k * w + j];
-            }
+        matmul_k_range(c, a, b, n, i, 1, n);
+    }
+}
+
+/// The shared inner K×J sweep of the `ikj`-family kernels: accumulate
+/// `C[i,·] += Σ_{k=klo..=khi} A[i,k]·B[k,·]`.
+///
+/// K is unrolled by 4 with *sequential* per-element adds, so every
+/// `C[i,j]` still accumulates in ascending-K order — the unroll (and any
+/// SIMD the compiler applies across the independent `j` lanes) changes no
+/// floating-point association, keeping results bitwise identical to the
+/// scalar loop. Rows are sliced up front so the J sweep is
+/// bounds-check-free and vectorizable; both the untiled and the tiled
+/// kernel route through this helper, so they differ only in B locality.
+fn matmul_k_range(c: &mut [f64], a: &[f64], b: &[f64], n: usize, i: usize, klo: usize, khi: usize) {
+    let w = n + 1;
+    let crow = &mut c[i * w + 1..i * w + 1 + n];
+    let mut k = klo;
+    while k + 3 <= khi {
+        let ak = [
+            a[i * w + k],
+            a[i * w + k + 1],
+            a[i * w + k + 2],
+            a[i * w + k + 3],
+        ];
+        let b0 = &b[k * w + 1..k * w + 1 + n];
+        let b1 = &b[(k + 1) * w + 1..(k + 1) * w + 1 + n];
+        let b2 = &b[(k + 2) * w + 1..(k + 2) * w + 1 + n];
+        let b3 = &b[(k + 3) * w + 1..(k + 3) * w + 1 + n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let mut v = *cv;
+            v += ak[0] * b0[j];
+            v += ak[1] * b1[j];
+            v += ak[2] * b2[j];
+            v += ak[3] * b3[j];
+            *cv = v;
+        }
+        k += 4;
+    }
+    while k <= khi {
+        let aik = a[i * w + k];
+        let brow = &b[k * w + 1..k * w + 1 + n];
+        for (cv, bv) in crow.iter_mut().zip(brow) {
+            *cv += aik * *bv;
+        }
+        k += 1;
+    }
+}
+
+/// Strip-mined `ikj`: the `tile(K@T)/Ko.I.K.J` schedule family the
+/// auto-scheduler derives by splitting the reuse-carrying K loop (see
+/// `inl_core::tiling`). A slab of `T` rows of `B` is reused across the
+/// whole I sweep instead of the full matrix, so past the cache cliff the
+/// slab stays resident while untiled `ikj` re-streams all of `B` per row
+/// of `C`. Per-cell accumulation order over K is unchanged (each (I,J)
+/// cell still sees K ascending: the tiles partition K in order), so the
+/// result is bitwise identical to the untiled kernels.
+pub fn kernel_matmul_tiled(c: &mut [f64], a: &[f64], b: &[f64], n: usize, t: usize) {
+    assert!(t >= 2, "tile size {t} must be at least 2");
+    for ko in 1 / t..=n / t {
+        let kbase = ko * t;
+        // clamp pair the split introduces: T·Ko ≤ K ≤ T·Ko + T − 1,
+        // intersected with the original 1..=N range (the tail guard)
+        let klo = kbase.max(1);
+        let khi = (kbase + t - 1).min(n);
+        if klo > khi {
+            continue;
+        }
+        for i in 1..=n {
+            matmul_k_range(c, a, b, n, i, klo, khi);
         }
     }
 }
@@ -530,6 +594,39 @@ mod tests {
         // and against the interpreted zoo program
         let p = zoo::matmul();
         let m = inl_exec::run_fresh(&p, &[n as i128], &|name, idx| match name {
+            "A" => a[idx[0] * w + idx[1]],
+            "B" => b[idx[0] * w + idx[1]],
+            _ => 0.0,
+        });
+        let interp_c = m.array_by_name("C").unwrap();
+        for (x, y) in ref_c.iter().zip(interp_c) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_kernel_agrees_bitwise() {
+        // n deliberately not a multiple of any tile size: the min-guard
+        // tail tile must cover exactly the leftover K range
+        let n = 50usize;
+        let w = n + 1;
+        let a: Vec<f64> = (0..w * w).map(|x| (x % 17) as f64 * 0.25).collect();
+        let b: Vec<f64> = (0..w * w).map(|x| (x % 13) as f64 * 0.5).collect();
+        let mut ref_c = vec![0.0; w * w];
+        kernel_matmul_ijk(&mut ref_c, &a, &b, n);
+        for t in [2usize, 16, 32, 64] {
+            let mut ct = vec![0.0; w * w];
+            kernel_matmul_tiled(&mut ct, &a, &b, n, t);
+            for (x, y) in ref_c.iter().zip(&ct) {
+                assert_eq!(x.to_bits(), y.to_bits(), "tile {t} diverges");
+            }
+        }
+        // and against the interpreted split program (the transformation
+        // the kernel hand-compiles)
+        let p = zoo::matmul();
+        let l = inl_core::tiling::innermost_reuse_loop(&p).expect("reuse loop");
+        let r = inl_core::tiling::split(&p, l, 16).expect("split");
+        let m = inl_exec::run_fresh(&r.program, &[n as i128], &|name, idx| match name {
             "A" => a[idx[0] * w + idx[1]],
             "B" => b[idx[0] * w + idx[1]],
             _ => 0.0,

@@ -13,7 +13,15 @@
 //!
 //! * **`reuse_penalty`** — locality proxy. For every statement of the
 //!   *generated* program and every access (the write plus all reads),
-//!   look at the innermost surrounding loop variable `v`:
+//!   look at the innermost surrounding loop variable `v` — skipping
+//!   loops that provably run **at most one trip** per surrounding
+//!   iteration (a lower/upper term pair whose difference is a constant
+//!   below 1, e.g. the `⌈(e−T+1)/T⌉..⌊e/T⌋` pair a permutation leaves
+//!   when it sinks a split's tile-number loop inside its tile loop).
+//!   Such a loop contributes no locality: every access is trivially
+//!   "invariant" across its single iteration, and without the skip a
+//!   degenerate tiled order would zero out its deepest statement's
+//!   penalty and game the ranking:
 //!   - `v` appears in no subscript → 0 (the access is invariant in the
 //!     innermost loop: temporal reuse);
 //!   - `v` appears only in the **last** subscript with |coeff| = 1 → 1
@@ -37,6 +45,18 @@
 //!   per-instance branch in the inner loops.
 //! * **`bounds_scanned` / `loops_augmented`** — generation work counts,
 //!   kept for explain parity (they describe compile cost, not run cost).
+//! * **`tile_reuse`** — how many accesses a split (strip-mine) genuinely
+//!   blocks. A loop `v` is *tile-confined* when its generated bounds
+//!   carry the clamp pair `T·vo ≤ v ≤ T·vo + T − 1` left by
+//!   `Program::split_loop` (coefficient `T ≥ 2` on an outer loop `vo`).
+//!   An access counts when it mentions a tile-confined `v` in a
+//!   **non-last** subscript (the row-jump class, whose working set is a
+//!   whole slab) *and* is invariant in some other loop nested inside
+//!   `vo` — then each sweep of that invariant loop re-touches only the
+//!   tile-sized slab instead of the full extent, which is exactly the
+//!   reuse-distance reduction tiling buys. `reuse_penalty` alone cannot
+//!   see this (the extra outer loop deepens the nest, so the
+//!   depth-weighted penalty *grows* under a split).
 
 use inl_core::depend::{DepKind, DependenceMatrix};
 use inl_core::instance::{InstanceLayout, Position};
@@ -80,6 +100,10 @@ pub struct CostFeatures {
     pub max_write_stride: i64,
     /// Depth-weighted locality penalty over all accesses (module docs).
     pub reuse_penalty: i64,
+    /// Accesses whose row-jump slab a strip-mine confines to one tile
+    /// that is re-swept by an inner invariant loop (module docs). Higher
+    /// is better; 0 for every untiled variant.
+    pub tile_reuse: i64,
 }
 
 impl CostFeatures {
@@ -87,6 +111,84 @@ impl CostFeatures {
     pub fn parallel_slots(&self) -> i64 {
         self.doall.len() as i64
     }
+}
+
+/// Does loop `l` provably run at most one trip per surrounding
+/// iteration? True when some lower term `lt` and upper term `ut` differ
+/// by a variable-free constant below 1: the trip count
+/// `⌊ut⌋ − ⌈lt⌉ + 1` is then at most 1 for every surrounding iteration.
+fn single_trip(out: &Program, l: inl_ir::LoopId) -> bool {
+    let ld = out.loop_decl(l);
+    ld.lower.terms.iter().any(|lt| {
+        ld.upper.terms.iter().any(|ut| {
+            let diff = ut.clone() - lt.clone();
+            diff.terms().is_empty() && diff.constant() < diff.divisor()
+        })
+    })
+}
+
+/// The outer (tile-number) loop confining `v`, if `v`'s bounds carry a
+/// split's clamp pair `T·vo ≤ v ≤ T·vo + T − 1` with `T ≥ 2`.
+fn tile_confinement(out: &Program, v: inl_ir::LoopId) -> Option<VarKey> {
+    let ld = out.loop_decl(v);
+    let single_loop_term = |a: &Aff| -> Option<(VarKey, i128)> {
+        if a.divisor() != 1 || a.terms().len() != 1 {
+            return None;
+        }
+        let &(vo, t) = &a.terms()[0];
+        matches!(vo, VarKey::Loop(_)).then_some((vo, t))
+    };
+    for lo in &ld.lower.terms {
+        if lo.constant() != 0 {
+            continue;
+        }
+        let Some((vo, t)) = single_loop_term(lo) else {
+            continue;
+        };
+        if t < 2 {
+            continue;
+        }
+        let clamped = ld.upper.terms.iter().any(|up| {
+            up.constant() == t - 1
+                && single_loop_term(&(up.clone() - Aff::konst(t - 1)))
+                    .is_some_and(|(vu, tu)| vu == vo && tu == t)
+        });
+        if clamped {
+            return Some(vo);
+        }
+    }
+    None
+}
+
+/// Does strip-mining pay off for this access? See the module docs'
+/// `tile_reuse` definition. `surrounding` are the loops around the
+/// statement in the generated program, outermost first.
+fn access_tile_reuse(out: &Program, surrounding: &[inl_ir::LoopId], idxs: &[Aff]) -> bool {
+    for (k, a) in idxs.iter().enumerate() {
+        if k + 1 == idxs.len() {
+            continue; // last subscript: minor-dimension, not a slab jump
+        }
+        for &(v, c) in a.terms() {
+            let (VarKey::Loop(vl), true) = (v, c != 0) else {
+                continue;
+            };
+            let Some(vo) = tile_confinement(out, vl) else {
+                continue;
+            };
+            let reused = surrounding.iter().any(|&m| {
+                m != vl
+                    && out
+                        .loops_surrounding_loop(m)
+                        .iter()
+                        .any(|&q| VarKey::Loop(q) == vo)
+                    && idxs.iter().all(|ix| ix.coeff(VarKey::Loop(m)) == 0)
+            });
+            if reused {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Penalty of one access with respect to loop variable `innermost`.
@@ -142,6 +244,7 @@ pub fn cost_features(
     let mut max_write_stride = 0i64;
     let mut guards = 0i64;
     let mut reuse_penalty = 0i64;
+    let mut tile_reuse = 0i64;
     for s in out.stmts() {
         let sd = out.stmt_decl(s);
         for a in &sd.write.idxs {
@@ -156,7 +259,14 @@ pub fn cost_features(
 
         let surrounding = out.loops_surrounding(s);
         let depth = surrounding.len() as u32;
-        if let Some(&inner) = surrounding.last() {
+        // locality is decided by the innermost loop that actually
+        // iterates; single-trip loops are transparent
+        let effective_inner = surrounding
+            .iter()
+            .rev()
+            .find(|&&m| !single_trip(out, m))
+            .copied();
+        if let Some(inner) = effective_inner {
             let innermost = VarKey::Loop(inner);
             let weight = DEPTH_WEIGHT.saturating_pow(depth);
             let mut accesses: Vec<&[Aff]> = vec![&sd.write.idxs];
@@ -168,6 +278,9 @@ pub fn cost_features(
             for idxs in accesses {
                 reuse_penalty = reuse_penalty
                     .saturating_add(access_penalty(idxs, innermost).saturating_mul(weight));
+                if access_tile_reuse(out, &surrounding, idxs) {
+                    tile_reuse += 1;
+                }
             }
         }
     }
@@ -183,6 +296,7 @@ pub fn cost_features(
         wavefront,
         max_write_stride,
         reuse_penalty,
+        tile_reuse,
     }
 }
 
@@ -222,6 +336,70 @@ mod tests {
         assert_eq!(f.reuse_penalty, (1 + ROW_JUMP_PENALTY) * weight);
         assert_eq!(f.max_write_stride, 1);
         assert_eq!(f.deps, deps.deps.len() as i64);
+        // no loop is tile-confined in an unsplit program
+        assert_eq!(f.tile_reuse, 0);
+    }
+
+    #[test]
+    fn tile_reuse_counts_confined_slab_accesses() {
+        use inl_ir::{Bound, Expr, ProgramBuilder};
+        // hand-build the good tiled matmul order (Ko, I, K, J): K is
+        // confined to [16·Ko, 16·Ko + 15] and B(k,j)'s slab is re-swept
+        // by the invariant loop I inside Ko
+        let mut b = ProgramBuilder::new("tiled_matmul");
+        let n = b.param("N");
+        let dims = [Aff::param(n) + Aff::konst(1), Aff::param(n) + Aff::konst(1)];
+        let c = b.array("C", &dims);
+        let a = b.array("A", &dims);
+        let bb = b.array("B", &dims);
+        b.hloop(
+            "Ko",
+            (Aff::konst(1) + Aff::konst(1 - 16)).exact_div(16),
+            Aff::param(n).exact_div(16),
+            |b| {
+                let ko = b.loop_var("Ko");
+                b.hloop("I", Aff::konst(1), Aff::param(n), |b| {
+                    b.loop_full(
+                        "K",
+                        Bound {
+                            terms: vec![Aff::konst(1), Aff::var(ko) * 16],
+                        },
+                        Bound {
+                            terms: vec![Aff::param(n), Aff::var(ko) * 16 + Aff::konst(15)],
+                        },
+                        1,
+                        false,
+                        |b| {
+                            b.hloop("J", Aff::konst(1), Aff::param(n), |b| {
+                                let (i, j, k) = (b.loop_var("I"), b.loop_var("J"), b.loop_var("K"));
+                                b.stmt(
+                                    "S1",
+                                    c,
+                                    vec![Aff::var(i), Aff::var(j)],
+                                    Expr::add(
+                                        Expr::read(c, vec![Aff::var(i), Aff::var(j)]),
+                                        Expr::mul(
+                                            Expr::read(a, vec![Aff::var(i), Aff::var(k)]),
+                                            Expr::read(bb, vec![Aff::var(k), Aff::var(j)]),
+                                        ),
+                                    ),
+                                );
+                            });
+                        },
+                    );
+                });
+            },
+        );
+        let p = b.finish();
+        assert!(p.validate().is_ok(), "{:?}", p.validate());
+        let layout = InstanceLayout::new(&p);
+        let deps = analyze(&p, &layout).expect("analysis");
+        let m = IMat::identity(layout.len());
+        let r = crate::generate(&p, &layout, &deps, &m).expect("generates");
+        // only B(k,j) counts: K in a non-last subscript, confined by Ko,
+        // and B is invariant in I (inside Ko); A(i,k) has K in the last
+        // subscript, C(i,j) mentions no confined loop
+        assert_eq!(r.features.tile_reuse, 1);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   scaling, statement reordering and alignment;
 //! * [`structural`] (§4.2) — the non-square matrices for loop distribution
 //!   and jamming, together with the corresponding AST surgery;
+//! * [`tiling`] — loop splitting (strip-mining), a structural pre-pass
+//!   *outside* the paper's matrix framework, proved legal through the
+//!   same dependence-projection machinery;
 //! * [`legal`] (§5.1–5.3) — block-structure validation, recovery of the
 //!   transformed AST (Fig. 6), and the legality test of Definition 6 (fast
 //!   interval arithmetic over direction entries, with an exact polyhedral
@@ -67,6 +70,7 @@ pub mod perstmt;
 pub mod provenance;
 pub mod sink;
 pub mod structural;
+pub mod tiling;
 pub mod transform;
 
 pub use depend::{analyze, DepEntry, DepKind, Dependence, DependenceMatrix};

@@ -1,0 +1,237 @@
+//! Loop splitting (strip-mining) and its legality proof.
+//!
+//! Tiling sits *outside* the paper's matrix framework: a split is not a
+//! linear map on instance vectors (the tile number is `floor(i/T)`), so
+//! it cannot be expressed as one of §4's matrices. Instead it is a
+//! structural pre-pass, like distribution and jamming in
+//! [`crate::structural`]: `inl-ir` surgery builds the split program (one
+//! index becomes an outer×tile pair whose reconstruction `i = i` is
+//! enforced by clamp bounds, see [`Program::split_loop`]), and legality
+//! is proved through the ordinary dependence-projection machinery — a
+//! split is legal iff the dependence projections of the *reconstructed*
+//! (split) program stay lexicographically non-negative under the
+//! identity transformation. Because the inner loop keeps the original
+//! index's absolute value, strip-mining preserves execution order
+//! exactly and the proof always succeeds on a valid program; running it
+//! through [`check_legal`] keeps the evidence honest (explain records
+//! under the `tile` stage carry the projection counts) and guards
+//! against surgery bugs.
+//!
+//! The scheduler (`inl-sched`) picks *where* to split with
+//! [`innermost_reuse_loop`]: the deepest loop in which some access of a
+//! statement it surrounds is invariant. Such a loop carries temporal
+//! reuse — the invariant access's working set is re-touched every
+//! iteration — so confining it to a tile is what shrinks the reuse
+//! distance past the cache cliff.
+
+use crate::depend::analyze;
+use crate::instance::InstanceLayout;
+use crate::legal::{check_legal, LegalityReport};
+use inl_ir::{Access, LoopId, Program, VarKey};
+use inl_linalg::{IMat, InlError, Int};
+
+/// A split program with the bookkeeping the scheduler needs.
+#[derive(Clone, Debug)]
+pub struct SplitResult {
+    /// The split program (statement ids preserved; the original loop id
+    /// survives as the tile-confined inner loop).
+    pub program: Program,
+    /// The fresh outer (tile-number) loop.
+    pub outer: LoopId,
+    /// The tile size.
+    pub tile: Int,
+    /// Layout of the split program.
+    pub layout: InstanceLayout,
+}
+
+/// The deepest loop that carries temporal reuse: some array access (write
+/// or read) of a statement nested inside it mentions the loop's variable
+/// in **no** subscript, so every iteration of that loop re-touches the
+/// access's working set. Returns `None` when every access varies with
+/// every surrounding loop (splitting cannot create reuse) — ties on depth
+/// go to the earliest-declared loop for determinism. Stepped loops are
+/// never candidates (surgery cannot split them).
+pub fn innermost_reuse_loop(p: &Program) -> Option<LoopId> {
+    let mut best: Option<(usize, LoopId)> = None;
+    for s in p.stmts() {
+        let sd = p.stmt_decl(s);
+        let mut accesses: Vec<Access> = vec![sd.write.clone()];
+        sd.rhs.collect_reads(&mut accesses);
+        for &l in &p.loops_surrounding(s) {
+            if p.loop_decl(l).step != 1 {
+                continue;
+            }
+            let v = VarKey::Loop(l);
+            let carries = accesses
+                .iter()
+                .any(|a| a.idxs.iter().all(|idx| idx.coeff(v) == 0));
+            if !carries {
+                continue;
+            }
+            let depth = p.loops_surrounding_loop(l).len();
+            let better = match best {
+                None => true,
+                Some((bd, bl)) => depth > bd || (depth == bd && l.0 < bl.0),
+            };
+            if better {
+                best = Some((depth, l));
+            }
+        }
+    }
+    best.map(|(_, l)| l)
+}
+
+/// Split loop `l` by `tile` and build the split program's layout.
+///
+/// Fails with [`InlErrorKind::InvalidTarget`](inl_linalg::InlErrorKind)
+/// when `tile < 2`, `l` is a stepped loop, or `l` is detached from the
+/// program — the same conditions `Program::split_loop` would panic on.
+pub fn split(p: &Program, l: LoopId, tile: Int) -> Result<SplitResult, InlError> {
+    let name = &p.loop_decl(l).name;
+    if tile < 2 {
+        return Err(InlError::invalid_target(
+            format!("loop {name}"),
+            format!("tile size {tile} must be at least 2"),
+        ));
+    }
+    if p.loop_decl(l).step != 1 {
+        return Err(InlError::invalid_target(
+            format!("loop {name}"),
+            "cannot split a stepped loop",
+        ));
+    }
+    let parent = p.loops_surrounding_loop(l).last().copied();
+    let siblings = match parent {
+        None => p.root(),
+        Some(q) => &p.loop_decl(q).children,
+    };
+    if !siblings.contains(&inl_ir::Node::Loop(l)) {
+        return Err(InlError::invalid_target(
+            format!("loop {name}"),
+            "loop is not attached to the program",
+        ));
+    }
+    let (program, outer) = p.split_loop(l, tile);
+    let layout = InstanceLayout::new(&program);
+    Ok(SplitResult {
+        program,
+        outer,
+        tile,
+        layout,
+    })
+}
+
+/// Prove the split legal: analyze the split program's dependences and
+/// check that every projection stays lexicographically non-negative under
+/// the identity transformation — i.e. the reconstructed (outer×tile)
+/// order is still the source order. Emits explain records under the
+/// `tile` stage.
+pub fn split_legal(r: &SplitResult) -> Result<LegalityReport, InlError> {
+    let deps = analyze(&r.program, &r.layout)?;
+    let m = IMat::identity(r.layout.len());
+    let report = check_legal(&r.program, &r.layout, &deps, &m)?;
+    if inl_obs::explain_enabled() {
+        let inner = r
+            .program
+            .loop_decl(r.outer)
+            .children
+            .first()
+            .and_then(|&n| match n {
+                inl_ir::Node::Loop(x) => Some(r.program.loop_decl(x).name.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        let subject = format!("split loop {inner} by {}", r.tile);
+        if report.is_legal() {
+            inl_obs::explain::accept(
+                "tile",
+                subject,
+                format!(
+                    "all {} reconstructed dependence projections stay lexicographically \
+                     non-negative under the outer×tile order",
+                    deps.deps.len()
+                ),
+            )
+            .feature("deps", deps.deps.len() as i64)
+            .feature("tile", r.tile as i64);
+        } else {
+            inl_obs::explain::reject(
+                "tile",
+                subject,
+                format!(
+                    "{} reconstructed dependence projections go lexicographically \
+                     negative under the outer×tile order",
+                    report.violations.len()
+                ),
+            )
+            .feature("deps", deps.deps.len() as i64)
+            .feature("violations", report.violations.len() as i64)
+            .feature("tile", r.tile as i64);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inl_ir::zoo;
+    use inl_linalg::InlErrorKind;
+
+    fn loop_named(p: &Program, name: &str) -> LoopId {
+        p.loops().find(|&l| p.loop_decl(l).name == name).unwrap()
+    }
+
+    #[test]
+    fn reuse_loop_is_the_deepest_invariant_carrier() {
+        // matmul: C(i,j) is invariant in K, the deepest loop
+        let p = zoo::matmul();
+        assert_eq!(innermost_reuse_loop(&p), Some(loop_named(&p, "K")));
+        // cholesky_kij: A(j,k) is invariant in L (depth 2, under K and J)
+        let p = zoo::cholesky_kij();
+        assert_eq!(innermost_reuse_loop(&p), Some(loop_named(&p, "L")));
+        // simple_cholesky: A(i) is invariant in J
+        let p = zoo::simple_cholesky();
+        assert_eq!(innermost_reuse_loop(&p), Some(loop_named(&p, "J")));
+        // wavefront: every access varies with both loops — nothing to tile
+        assert_eq!(innermost_reuse_loop(&zoo::wavefront()), None);
+    }
+
+    #[test]
+    fn split_is_always_legal_across_the_zoo() {
+        // strip-mining preserves execution order, so the reconstructed
+        // projections must stay lex-non-negative for every zoo program
+        // that has a reuse-carrying loop
+        for ctor in [
+            zoo::simple_cholesky,
+            zoo::perfect_nest,
+            zoo::cholesky_kij,
+            zoo::cholesky_left_looking,
+            zoo::lu_kij,
+            zoo::matmul,
+        ] {
+            let p = ctor();
+            let l = innermost_reuse_loop(&p).expect("reuse loop");
+            for tile in [2, 16, 64] {
+                let r = split(&p, l, tile).expect("split");
+                assert!(r.program.validate().is_ok(), "{:?}", r.program.validate());
+                let report = split_legal(&r).expect("analysis");
+                assert!(
+                    report.is_legal(),
+                    "{} tile {tile}: {:?}",
+                    p.name(),
+                    report.violations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_rejects_bad_targets_typed() {
+        let p = zoo::matmul();
+        let k = loop_named(&p, "K");
+        let e = split(&p, k, 1).unwrap_err();
+        assert_eq!(e.kind(), InlErrorKind::InvalidTarget);
+        assert!(e.to_string().contains("tile size"), "{e}");
+    }
+}

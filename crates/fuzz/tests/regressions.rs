@@ -245,3 +245,18 @@ fn proto_seed_telemetry_section_nesting_bomb() {
     let e = decode_response(bad_metrics, &FrameLimits::default()).unwrap_err();
     assert_eq!(e.kind(), inl_linalg::InlErrorKind::IllFormed);
 }
+
+/// Seed 7 — ranking an empty measured-variant list: `sweep_program` used
+/// to `expect("at least one variant")` / `.max().unwrap()` when asked to
+/// rank extremes over zero measurements. The extremes helper must return
+/// a typed InvalidTarget error naming the sweep, never panic.
+#[test]
+fn sched_seed_empty_variant_list_is_typed_error() {
+    let err = inl_sched::sweep::measured_extremes("phantom", &[])
+        .expect_err("zero measurements cannot be ranked");
+    let inl_sched::SchedError::Analysis(inner) = &err else {
+        panic!("expected an analysis error, got {err}");
+    };
+    assert_eq!(inner.kind(), inl_linalg::InlErrorKind::InvalidTarget);
+    assert!(err.to_string().contains("no measured variants"), "{err}");
+}

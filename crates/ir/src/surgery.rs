@@ -1,13 +1,16 @@
 //! Structural AST surgery: child reordering, loop distribution, loop
-//! jamming (fusion).
+//! jamming (fusion), loop splitting (strip-mining).
 //!
 //! These build the *target programs* of the paper's §4.2 AST
-//! transformations. Legality is the caller's business (`inl-core`); the
-//! operations here are purely structural and keep statement ids stable so
-//! instance mappings can be tracked across the surgery.
+//! transformations — plus strip-mining, which sits outside the paper's
+//! matrix framework (see DESIGN.md → "Tiling"). Legality is the caller's
+//! business (`inl-core`); the operations here are purely structural and
+//! keep statement ids stable so instance mappings can be tracked across
+//! the surgery.
 
 use crate::aff::{Aff, VarKey};
 use crate::program::{Bound, LoopDecl, LoopId, Node, Program};
+use inl_linalg::Int;
 
 impl Program {
     /// A copy with the children of `parent` (`None` = virtual root)
@@ -143,6 +146,76 @@ impl Program {
         out.name = format!("{}_jammed", self.name);
         out
     }
+
+    /// Split (strip-mine) loop `l` into an outer×tile pair: a fresh outer
+    /// loop `{name}o` ranges over tile numbers and the original loop is
+    /// nested inside it, confined to one tile. The original index keeps
+    /// its **absolute** value — index reconstruction is the identity
+    /// `l = l` with the tile relation `tile·o ≤ l ≤ tile·o + tile − 1`
+    /// enforced by the inner bounds — so no subscript, guard, or rhs
+    /// rewriting happens and every dependence distance on `l` is
+    /// preserved exactly. Returns the program and the outer loop's id.
+    ///
+    /// Bound construction (divisor arithmetic on [`Aff`], consumed by the
+    /// usual max-of-ceilings / min-of-floors [`Bound`] semantics):
+    ///
+    /// * outer lower: each original lower term `t` becomes
+    ///   `(t + 1 − tile) / tile` — its ceiling is `floor(lower/tile)`,
+    ///   the first tile with any point;
+    /// * outer upper: each original upper term `t` becomes `t / tile` —
+    ///   its floor is `floor(upper/tile)`, the last tile with any point;
+    /// * inner: the original terms stay and two clamp terms are pushed,
+    ///   lower `tile·o` and upper `tile·o + tile − 1`. The multi-term
+    ///   `Bound` min/max natively expresses the partial last tile, so no
+    ///   explicit min-guard statement is needed.
+    ///
+    /// # Panics
+    /// If `tile < 2`, `l` has a non-unit step, or `l` is detached.
+    pub fn split_loop(&self, l: LoopId, tile: Int) -> (Program, LoopId) {
+        assert!(tile >= 2, "tile size {tile} must be at least 2");
+        assert_eq!(self.loops[l.0].step, 1, "cannot split a stepped loop");
+        let mut out = self.clone();
+        let outer = LoopId(out.loops.len());
+        let old = &out.loops[l.0];
+        let lower = Bound {
+            terms: old
+                .lower
+                .terms
+                .iter()
+                .map(|t| (t.clone() + Aff::konst(1 - tile)).exact_div(tile))
+                .collect(),
+        };
+        let upper = Bound {
+            terms: old.upper.terms.iter().map(|t| t.exact_div(tile)).collect(),
+        };
+        out.loops.push(LoopDecl {
+            name: format!("{}o", old.name),
+            lower,
+            upper,
+            step: 1,
+            children: vec![Node::Loop(l)],
+            parallel: false,
+        });
+        let clamp = Aff::var(VarKey::Loop(outer)) * tile;
+        out.loops[l.0].lower.terms.push(clamp.clone());
+        out.loops[l.0]
+            .upper
+            .terms
+            .push(clamp + Aff::konst(tile - 1));
+        // the outer loop takes the original's place in its parent
+        let parent = self.loops_surrounding_loop(l).last().copied();
+        let siblings = match parent {
+            None => &mut out.root,
+            Some(q) => &mut out.loops[q.0].children,
+        };
+        let idx = siblings
+            .iter()
+            .position(|&n| n == Node::Loop(l))
+            .expect("split target must be attached");
+        siblings[idx] = Node::Loop(outer);
+        out.name = format!("{}_split", self.name);
+        (out, outer)
+    }
 }
 
 /// Rewrite every affine expression in the subtree (nested loop bounds,
@@ -223,6 +296,85 @@ mod tests {
         assert!(r.validate().is_ok(), "{:?}", r.validate());
         // pseudo-code equals the original's
         assert_eq!(r.to_pseudocode(), p.to_pseudocode());
+    }
+
+    #[test]
+    fn split_matmul_k_structure() {
+        let p = zoo::matmul();
+        let k = p.loops().nth(2).unwrap();
+        let (q, outer) = p.split_loop(k, 16);
+        assert!(q.validate().is_ok(), "{:?}", q.validate());
+        assert_eq!(q.loop_decl(outer).name, "Ko");
+        // outer replaced K in J's children; K is the outer's only child
+        assert_eq!(q.loop_decl(outer).children, vec![Node::Loop(k)]);
+        let j = p.loops().nth(1).unwrap();
+        assert!(q.loop_decl(j).children.contains(&Node::Loop(outer)));
+        assert!(!q.loop_decl(j).children.contains(&Node::Loop(k)));
+        // K ∈ [1, N] ⇒ Ko lower ceil((1+1−16)/16) = floor(1/16) = 0,
+        // upper floor(N/16); inner K gains the 16·Ko clamp pair
+        assert_eq!(q.loop_decl(outer).lower.terms[0].eval(&|_| 0).ceil(), 0);
+        assert_eq!(q.loop_decl(k).lower.terms.len(), 2);
+        assert_eq!(q.loop_decl(k).upper.terms.len(), 2);
+        assert_eq!(q.loop_decl(k).lower.terms[1].coeff(VarKey::Loop(outer)), 16);
+        assert_eq!(q.loop_decl(k).upper.terms[1].constant(), 16 - 1);
+    }
+
+    #[test]
+    fn split_covers_exactly_the_original_range() {
+        // enumerate the split ranges concretely for lo=1, hi=21, tile=8:
+        // tiles 0..=2, union of clamped inner ranges must be 1..=21 exactly
+        let p = zoo::matmul();
+        let k = p.loops().nth(2).unwrap();
+        let (q, outer) = p.split_loop(k, 8);
+        let n = 21i128;
+        let kd = q.loop_decl(k);
+        let od = q.loop_decl(outer);
+        let mut seen = Vec::new();
+        let base = |v: VarKey| match v {
+            VarKey::Param(_) => n,
+            _ => 0,
+        };
+        let olo = od.lower.eval_lower(&base);
+        let ohi = od.upper.eval_upper(&base);
+        assert_eq!((olo, ohi), (0, 2));
+        for o in olo..=ohi {
+            let env = move |v: VarKey| match v {
+                VarKey::Param(_) => n,
+                VarKey::Loop(id) if id == outer => o,
+                _ => 0,
+            };
+            let lo = kd.lower.eval_lower(&env);
+            let hi = kd.upper.eval_upper(&env);
+            seen.extend(lo..=hi);
+        }
+        assert_eq!(seen, (1..=n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_triangular_loop_validates() {
+        // cholesky_kij's L loop has bounds referencing two outer loops
+        let p = zoo::cholesky_kij();
+        let l = p
+            .loops()
+            .find(|&l| p.loop_decl(l).name == "L")
+            .expect("L loop");
+        let (q, outer) = p.split_loop(l, 32);
+        assert!(q.validate().is_ok(), "{:?}", q.validate());
+        // the outer's bounds carry divisor-32 terms
+        assert!(q
+            .loop_decl(outer)
+            .lower
+            .terms
+            .iter()
+            .all(|t| t.divisor() == 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size 1 must be at least 2")]
+    fn split_rejects_degenerate_tile() {
+        let p = zoo::matmul();
+        let k = p.loops().nth(2).unwrap();
+        let _ = p.split_loop(k, 1);
     }
 
     #[test]

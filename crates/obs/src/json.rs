@@ -403,11 +403,20 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character (input is a valid &str).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| syn("invalid utf-8"))?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run up to the next quote or escape in
+                // one slice: validating per-character re-scanned the entire
+                // remaining input each time, which made parsing large
+                // artifacts (multi-MB explain files) quadratic.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run =
+                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| syn("invalid utf-8"))?;
+                out.push_str(run);
             }
         }
     }

@@ -10,11 +10,14 @@
 //!
 //! Search knobs come from `SchedConfig::from_env` (`INL_SCHED_BUDGET`,
 //! `INL_SCHED_REVERSAL`, `INL_SCHED_ALIGN`, `INL_SCHED_SHAPES`,
-//! `INL_SCHED_THREADS`, `INL_SCHED_REPS`) with `--budget`/`--reps`
-//! overriding the environment. Exits 1 if any chosen variant fails the
-//! bitwise-equivalence check against its source program.
+//! `INL_SCHED_THREADS`, `INL_SCHED_REPS`, `INL_SCHED_TILE`,
+//! `INL_SCHED_TILE_SIZES`) with `--budget`/`--reps` overriding the
+//! environment. A program whose sweep fails is skipped — the table and
+//! JSON cover the rest, with the failure recorded as an `errors` row —
+//! and the run exits 1 at the end, as it does when any chosen variant
+//! fails the bitwise-equivalence check against its source program.
 
-use inl_sched::sweep::{bench_json, render_table, sweep_program, SWEEP_ZOO};
+use inl_sched::sweep::{bench_json_with_errors, render_table, sweep_program, SWEEP_ZOO};
 use inl_sched::SchedConfig;
 use std::process::ExitCode;
 
@@ -75,23 +78,40 @@ fn main() -> ExitCode {
         }
     };
 
+    // A failing program is recorded and skipped, never fatal mid-sweep:
+    // the remaining targets still get scheduled, the table and JSON carry
+    // whatever succeeded, and the failures surface as error rows plus a
+    // non-zero exit at the end.
     let mut entries = Vec::with_capacity(targets.len());
+    let mut failures: Vec<(String, String)> = Vec::new();
     for (name, ctor, params) in &targets {
         match sweep_program(name, &ctor(), params, &cfg) {
             Ok(e) => entries.push(e),
             Err(err) => {
                 eprintln!("{name}: scheduling failed: {err}");
-                return ExitCode::FAILURE;
+                failures.push((name.to_string(), err.to_string()));
             }
         }
     }
 
     print!("{}", render_table(&entries));
     if show {
-        for ((name, ctor, params), e) in targets.iter().zip(&entries) {
-            let r = inl_sched::schedule_with(&ctor(), &cfg).expect("re-schedule");
-            println!("\n{name} (params {params:?}): chosen {}", e.chosen);
-            println!("{}", r.chosen().pseudocode);
+        for (name, ctor, params) in &targets {
+            // pair by name, not by position: a failed target has no entry
+            let Some(e) = entries.iter().find(|e| &e.name == name) else {
+                continue;
+            };
+            match inl_sched::schedule_with(&ctor(), &cfg) {
+                Ok(r) => {
+                    println!("\n{name} (params {params:?}): chosen {}", e.chosen);
+                    println!("{}", r.chosen().pseudocode);
+                }
+                Err(err) => {
+                    eprintln!("{name}: re-schedule for --show failed: {err}");
+                    failures.push((name.to_string(), err.to_string()));
+                    continue;
+                }
+            }
             println!("variants by cost:");
             for m in &e.measured {
                 println!("  {:<28} {:>10} ns  [{}]", m.label, m.ns, m.cost);
@@ -100,7 +120,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &json_path {
-        let doc = bench_json(&entries, &cfg);
+        let doc = bench_json_with_errors(&entries, &failures, &cfg);
         if let Err(e) = std::fs::write(path, doc.to_pretty_string()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -122,6 +142,14 @@ fn main() -> ExitCode {
         .collect();
     if !broken.is_empty() {
         eprintln!("BITWISE FAILURE: chosen variant diverged for {broken:?}");
+        return ExitCode::FAILURE;
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "{} of {} programs failed to schedule (see error rows above)",
+            failures.len(),
+            targets.len()
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -3,17 +3,23 @@
 //! [`Cost`] projects [`inl_codegen::CostFeatures`] onto an ordered tuple;
 //! variants compare lexicographically, field by field, smaller is better:
 //!
-//! 1. `reuse_penalty` — depth-weighted locality penalty (dominant term:
-//!    it separates unit-stride inner loops from row-jumping ones, the
-//!    effect the paper's "performance can be quite different" remark is
-//!    about);
-//! 2. `max_write_stride` — prefer dense, unit-stride stores;
-//! 3. `guards` — each surviving guard is a per-instance branch;
-//! 4. `neg_parallel_slots` — with everything else equal, prefer the
-//!    variant certifying more DOALL loop slots (stored negated so that
-//!    "more parallelism" sorts first under `<`).
+//! 1. `neg_tile_reuse` — blocked-reuse credit (stored negated so more
+//!    confined slabs sort first). This must lead: a split deepens the
+//!    nest, so the depth-weighted `reuse_penalty` *grows* under tiling
+//!    even when the tile confines a row-jumped slab to cache — the one
+//!    effect tiling exists for. Every untiled variant scores 0 here, so
+//!    their relative order is decided by the remaining fields exactly as
+//!    before;
+//! 2. `reuse_penalty` — depth-weighted locality penalty (dominant among
+//!    untiled variants: it separates unit-stride inner loops from
+//!    row-jumping ones, the effect the paper's "performance can be quite
+//!    different" remark is about);
+//! 3. `max_write_stride` — prefer dense, unit-stride stores;
+//! 4. `guards` — each surviving guard is a per-instance branch;
+//! 5. `neg_parallel_slots` — with everything else equal, prefer the
+//!    variant certifying more DOALL loop slots.
 //!
-//! Ties after all four fields are broken on the variant label, making the
+//! Ties after all five fields are broken on the variant label, making the
 //! chosen variant deterministic for a given program and configuration.
 
 use inl_codegen::CostFeatures;
@@ -23,6 +29,8 @@ use std::fmt;
 /// order is the comparison order).
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Cost {
+    /// Negated blocked-reuse credit ([`CostFeatures::tile_reuse`]).
+    pub neg_tile_reuse: i64,
     /// Depth-weighted locality penalty ([`CostFeatures::reuse_penalty`]).
     pub reuse_penalty: i64,
     /// Largest write-subscript loop coefficient.
@@ -37,6 +45,7 @@ impl Cost {
     /// Project the features onto the ranking key.
     pub fn of(f: &CostFeatures) -> Cost {
         Cost {
+            neg_tile_reuse: -f.tile_reuse,
             reuse_penalty: f.reuse_penalty,
             max_write_stride: f.max_write_stride,
             guards: f.guards,
@@ -49,8 +58,12 @@ impl fmt::Display for Cost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reuse={} stride={} guards={} doall={}",
-            self.reuse_penalty, self.max_write_stride, self.guards, -self.neg_parallel_slots
+            "tile={} reuse={} stride={} guards={} doall={}",
+            -self.neg_tile_reuse,
+            self.reuse_penalty,
+            self.max_write_stride,
+            self.guards,
+            -self.neg_parallel_slots
         )
     }
 }
@@ -62,12 +75,14 @@ mod tests {
     #[test]
     fn ordering_is_lexicographic() {
         let base = Cost {
+            neg_tile_reuse: 0,
             reuse_penalty: 10,
             max_write_stride: 1,
             guards: 0,
             neg_parallel_slots: 0,
         };
         let worse_locality = Cost {
+            neg_tile_reuse: 0,
             reuse_penalty: 11,
             max_write_stride: 0,
             guards: 0,
@@ -79,5 +94,13 @@ mod tests {
             ..base.clone()
         };
         assert!(more_parallel < base, "parallelism breaks exact ties");
+        // blocked reuse outranks even a much smaller locality penalty:
+        // the deeper tiled nest necessarily inflates reuse_penalty
+        let tiled = Cost {
+            neg_tile_reuse: -1,
+            reuse_penalty: 1_000_000,
+            ..base.clone()
+        };
+        assert!(tiled < base, "tile reuse dominates the ranking");
     }
 }

@@ -105,12 +105,15 @@ pub(crate) fn enumerate_shapes(p: &Program, cfg: &SchedConfig) -> Result<Vec<Sha
         label: String::new(),
         program: p.clone(),
     }];
+    let explain = inl_obs::explain_enabled();
+    if cfg.tile {
+        enumerate_tiles(p, cfg, explain, &mut shapes)?;
+    }
     if !cfg.shapes {
         return Ok(shapes);
     }
     let layout = InstanceLayout::new(p);
     let deps = analyze(p, &layout).map_err(SchedError::Analysis)?;
-    let explain = inl_obs::explain_enabled();
 
     // one-level distributions: split any loop with >= 2 children
     for l in p.loops() {
@@ -175,6 +178,43 @@ pub(crate) fn enumerate_shapes(p: &Program, cfg: &SchedConfig) -> Result<Vec<Sha
         }
     }
     Ok(shapes)
+}
+
+/// The tile axis: strip-mine the innermost reuse-carrying loop by each
+/// candidate size. Each admitted split becomes a shape whose own
+/// permutation×reversal tree is prefix-pruned like every other shape's.
+/// `inl_core::tiling::split_legal` records the per-split accept/reject
+/// explain evidence under the `tile` stage; the no-candidate case is
+/// rejected here.
+fn enumerate_tiles(
+    p: &Program,
+    cfg: &SchedConfig,
+    explain: bool,
+    shapes: &mut Vec<Shape>,
+) -> Result<(), SchedError> {
+    let Some(l) = inl_core::tiling::innermost_reuse_loop(p) else {
+        if explain {
+            inl_obs::explain::reject(
+                "tile",
+                format!("tiling of {}", p.name()),
+                "no loop carries temporal reuse: every access varies with every \
+                 surrounding loop, so strip-mining cannot shrink any reuse distance",
+            );
+        }
+        return Ok(());
+    };
+    for &t in &cfg.tile_sizes {
+        let label = format!("tile({}@{t})", p.loop_decl(l).name);
+        let r = inl_core::tiling::split(p, l, t).map_err(SchedError::Analysis)?;
+        let report = inl_core::tiling::split_legal(&r).map_err(SchedError::Analysis)?;
+        if report.is_legal() {
+            shapes.push(Shape {
+                label,
+                program: r.program,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// A legal full-depth variant of one shape: display label (loop order,

@@ -10,7 +10,7 @@
 use crate::{schedule_with, Cost, SchedConfig, SchedError, SearchStats};
 use inl_exec::{run_fresh, Machine, VmRunner};
 use inl_ir::{zoo, Program};
-use inl_linalg::Int;
+use inl_linalg::{InlError, Int};
 use inl_obs::Json;
 use std::time::Instant;
 
@@ -193,14 +193,7 @@ pub fn sweep_program(
         .collect();
     let measure_ns = t1.elapsed().as_nanos() as u64;
 
-    let chosen_ns = measured[0].ns;
-    let best = measured
-        .iter()
-        .min_by_key(|m| m.ns)
-        .expect("at least one variant");
-    let best_ns = best.ns;
-    let best_label = best.label.clone();
-    let worst_ns = measured.iter().map(|m| m.ns).max().unwrap();
+    let (chosen_ns, best_ns, best_label, worst_ns) = measured_extremes(name, &measured)?;
     let within_tier = chosen_ns <= best_ns.saturating_add((best_ns / 2).max(250_000));
 
     // cost order vs measured order: count concordant pairs, treating
@@ -239,6 +232,28 @@ pub fn sweep_program(
         concordant,
         discordant,
     })
+}
+
+/// Chosen/best/worst summary of a measured-variant list, as
+/// `(chosen_ns, best_ns, best_label, worst_ns)`.
+///
+/// An empty list is a typed error, not a panic: `schedule_with`
+/// guarantees at least one variant today, but the panic-free policy
+/// (PR 5) applies to this path too — a future caller handing in an
+/// empty measurement sweep must get an [`InlError`] it can report, not
+/// an abort of the whole zoo sweep.
+pub fn measured_extremes(
+    name: &str,
+    measured: &[MeasuredVariant],
+) -> Result<(u64, u64, String, u64), SchedError> {
+    let (Some(first), Some(best)) = (measured.first(), measured.iter().min_by_key(|m| m.ns)) else {
+        return Err(SchedError::Analysis(InlError::invalid_target(
+            format!("sweep of {name}"),
+            "no measured variants: the schedule produced an empty variant list",
+        )));
+    };
+    let worst_ns = measured.iter().map(|m| m.ns).max().unwrap_or(best.ns);
+    Ok((first.ns, best.ns, best.label.clone(), worst_ns))
 }
 
 /// Run [`sweep_program`] over the whole [`SWEEP_ZOO`].
@@ -284,6 +299,18 @@ pub fn render_table(entries: &[SweepEntry]) -> String {
 /// nondeterministic rank-concordance pairs are deliberately *excluded* —
 /// they depend on measurement noise and belong in the printed table only.
 pub fn bench_json(entries: &[SweepEntry], cfg: &SchedConfig) -> Json {
+    bench_json_with_errors(entries, &[], cfg)
+}
+
+/// [`bench_json`] plus an `errors` array recording programs whose sweep
+/// failed (one `{name, error}` row each). A partial sweep still produces
+/// a document: CI gates on the successful rows and the caller signals the
+/// failures through its exit code.
+pub fn bench_json_with_errors(
+    entries: &[SweepEntry],
+    errors: &[(String, String)],
+    cfg: &SchedConfig,
+) -> Json {
     let mut programs = Vec::with_capacity(entries.len());
     for e in entries {
         let mut o = Json::object();
@@ -312,6 +339,16 @@ pub fn bench_json(entries: &[SweepEntry], cfg: &SchedConfig) -> Json {
     doc.insert("version", Json::Int(1));
     doc.insert("reps", Json::Int(cfg.measure_reps as u64));
     doc.insert("programs", Json::Array(programs));
+    let rows = errors
+        .iter()
+        .map(|(name, error)| {
+            let mut o = Json::object();
+            o.insert("name", Json::Str(name.clone()));
+            o.insert("error", Json::Str(error.clone()));
+            o
+        })
+        .collect();
+    doc.insert("errors", Json::Array(rows));
     doc
 }
 
@@ -344,6 +381,17 @@ mod tests {
     }
 
     #[test]
+    fn empty_measured_list_is_a_typed_error_not_a_panic() {
+        let err = measured_extremes("ghost", &[]).expect_err("empty list must not rank");
+        let msg = err.to_string();
+        assert!(msg.contains("sweep of ghost"), "names the sweep: {msg}");
+        assert!(
+            msg.contains("no measured variants"),
+            "states the cause: {msg}"
+        );
+    }
+
+    #[test]
     fn bench_json_has_gated_counters() {
         let e = sweep_program("matmul", &zoo::matmul(), &[6], &quiet_cfg()).expect("sweeps");
         let doc = bench_json(&[e], &quiet_cfg());
@@ -364,6 +412,26 @@ mod tests {
         ] {
             assert!(progs[0].get(key).is_some(), "missing gated field {key}");
         }
+        assert!(
+            matches!(parsed.get("errors"), Some(Json::Array(a)) if a.is_empty()),
+            "clean sweep carries an empty errors array"
+        );
+    }
+
+    #[test]
+    fn failed_programs_become_error_rows() {
+        let errs = vec![("ghost".to_string(), "no measured variants".to_string())];
+        let doc = bench_json_with_errors(&[], &errs, &quiet_cfg());
+        let parsed = Json::parse(&doc.to_pretty_string()).expect("round-trips");
+        let rows = match parsed.get("errors") {
+            Some(Json::Array(a)) => a,
+            _ => panic!("errors array"),
+        };
+        assert_eq!(rows.len(), 1);
+        assert!(matches!(rows[0].get("name"), Some(Json::Str(s)) if s == "ghost"));
+        assert!(
+            matches!(rows[0].get("error"), Some(Json::Str(s)) if s.contains("no measured variants"))
+        );
     }
 
     #[test]

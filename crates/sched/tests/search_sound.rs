@@ -133,6 +133,7 @@ fn tree_cfg(reversal: bool) -> SchedConfig {
     SchedConfig {
         reversal,
         shapes: false,
+        tile: false,
         align: false,
         threads: 1,
         measure_reps: 1,
@@ -185,6 +186,31 @@ proptest! {
             );
         }
     }
+}
+
+/// The pruned search stays exact on a strip-mined program: split matmul's
+/// reuse-carrying K loop and re-run the label differential. This proves
+/// the non-unimodular clamp bounds a split introduces do not confuse the
+/// prefix pruning — the pruned set over the 4-deep split nest equals the
+/// brute-force legal set.
+#[test]
+fn tiled_search_matches_brute_force_on_split_program() {
+    let p = zoo::matmul();
+    let l = inl_core::tiling::innermost_reuse_loop(&p).expect("matmul carries reuse on K");
+    let r = inl_core::tiling::split(&p, l, 4).expect("split");
+    assert!(inl_core::tiling::split_legal(&r)
+        .expect("legality")
+        .is_legal());
+    let expected = brute_force_legal(&r.program, false);
+    assert!(
+        !expected.is_empty(),
+        "split program must keep legal variants"
+    );
+    let result = schedule_with(&r.program, &tree_cfg(false)).expect("search");
+    let mut found = result.legal.clone();
+    found.sort();
+    assert_eq!(found, expected, "legal-set mismatch on the split program");
+    assert!(result.stats.nodes_visited <= result.stats.nodes_exhaustive);
 }
 
 /// Deterministic spot-check that the differential actually bites: the

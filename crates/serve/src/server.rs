@@ -15,6 +15,11 @@
 //! then the stop flag is raised and the listener unblocked with a
 //! loop-back connection. Workers drain every already-accepted connection
 //! before exiting, so in-flight requests always get their responses.
+//!
+//! A panicking thread poisons the queue mutex but cannot corrupt it (the
+//! queue holds independent sockets; no multi-step invariant spans a
+//! panic site), so the listener and workers recover the guard with
+//! `into_inner` instead of propagating the poison and dying one by one.
 
 use crate::handler::handle_request;
 use inl_proto::{encode_response, read_frame, write_frame, FrameLimits, Request, Response};
@@ -215,7 +220,10 @@ pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
                             .stats
                             .connections
                             .fetch_add(1, Ordering::Relaxed);
-                        let mut q = accept_shared.queue.lock().unwrap();
+                        let mut q = accept_shared
+                            .queue
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner());
                         q.push_back(stream);
                         drop(q);
                         accept_shared.ready.notify_one();
@@ -250,7 +258,7 @@ pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
 fn worker_loop(shared: &Shared, addr: SocketAddr) {
     loop {
         let stream = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(s) = q.pop_front() {
                     break Some(s);
@@ -258,7 +266,7 @@ fn worker_loop(shared: &Shared, addr: SocketAddr) {
                 if shared.stop.load(Ordering::SeqCst) {
                     break None;
                 }
-                q = shared.ready.wait(q).unwrap();
+                q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
         match stream {
@@ -354,4 +362,52 @@ fn respond(shared: &Shared, w: &mut impl std::io::Write, resp: &Response) -> std
         .fetch_add(text.len() as u64, Ordering::Relaxed);
     inl_obs::counter_add!("serve.bytes_out", text.len());
     write_frame(w, text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Client, Request, Response};
+
+    /// A thread that panics while holding the connection-queue lock
+    /// poisons the mutex. The queue's invariant (a deque of independent
+    /// sockets) cannot be half-updated by any panic here, so the listener
+    /// and every worker recover the guard with `into_inner` and keep
+    /// serving — concurrent sessions through the poisoned lock still get
+    /// their responses.
+    #[test]
+    fn poisoned_queue_lock_does_not_kill_the_server() {
+        let handle = serve(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            limits: FrameLimits::default(),
+        })
+        .expect("bind ephemeral port");
+        let addr = handle.local_addr();
+
+        // Poison the real server's queue mutex: take the lock on a
+        // scratch thread and panic while holding it.
+        let shared = Arc::clone(&handle.shared);
+        let panicker = std::thread::spawn(move || {
+            let _q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            panic!("deliberate poison");
+        });
+        assert!(panicker.join().is_err(), "the panicker must panic");
+        assert!(handle.shared.queue.is_poisoned(), "mutex must be poisoned");
+
+        // Concurrent sessions must still be accepted, queued through the
+        // poisoned lock, popped by workers, and answered.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for _ in 0..3 {
+                        let resp = client.request(&Request::Stats).expect("request");
+                        assert!(matches!(resp, Response::Stats { .. }));
+                    }
+                });
+            }
+        });
+        handle.shutdown();
+    }
 }
